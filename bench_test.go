@@ -1,0 +1,110 @@
+// Benchmarks: one per experiment (E1–E12, the stand-ins for the paper's
+// absent tables/figures — see DESIGN.md), plus micro-benchmarks of the
+// engine and the core policy. Run with:
+//
+//	go test -bench=. -benchmem
+//
+// Each experiment benchmark executes the full experiment in Quick mode per
+// iteration, so -bench also regenerates (a small version of) every table.
+package rrsched_test
+
+import (
+	"fmt"
+	"io"
+	"testing"
+
+	"rrsched"
+	"rrsched/internal/core"
+	"rrsched/internal/experiments"
+	"rrsched/internal/sim"
+	"rrsched/internal/workload"
+)
+
+func benchExperiment(b *testing.B, id string) {
+	e, ok := experiments.ByID(id)
+	if !ok {
+		b.Fatalf("unknown experiment %s", id)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		tables := e.Run(experiments.Config{Quick: true})
+		if len(tables) == 0 {
+			b.Fatalf("%s produced no tables", id)
+		}
+		for _, t := range tables {
+			if err := t.Render(io.Discard); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+func BenchmarkE1DeltaLRUAdversary(b *testing.B)   { benchExperiment(b, "E1") }
+func BenchmarkE2EDFAdversary(b *testing.B)        { benchExperiment(b, "E2") }
+func BenchmarkE3Theorem1(b *testing.B)            { benchExperiment(b, "E3") }
+func BenchmarkE4Theorem2(b *testing.B)            { benchExperiment(b, "E4") }
+func BenchmarkE5Theorem3(b *testing.B)            { benchExperiment(b, "E5") }
+func BenchmarkE6EligibleDrops(b *testing.B)       { benchExperiment(b, "E6") }
+func BenchmarkE7EpochAccounting(b *testing.B)     { benchExperiment(b, "E7") }
+func BenchmarkE8BackgroundShortTerm(b *testing.B) { benchExperiment(b, "E8") }
+func BenchmarkE9ExactOPT(b *testing.B)            { benchExperiment(b, "E9") }
+func BenchmarkE10Augmentation(b *testing.B)       { benchExperiment(b, "E10") }
+func BenchmarkE11Ablations(b *testing.B)          { benchExperiment(b, "E11") }
+func BenchmarkE12Paging(b *testing.B)             { benchExperiment(b, "E12") }
+func BenchmarkE13SuperEpochs(b *testing.B)        { benchExperiment(b, "E13") }
+func BenchmarkE14Transforms(b *testing.B)         { benchExperiment(b, "E14") }
+func BenchmarkE15Adaptive(b *testing.B)           { benchExperiment(b, "E15") }
+func BenchmarkE16Quantiles(b *testing.B)          { benchExperiment(b, "E16") }
+func BenchmarkE17AdversaryMining(b *testing.B)    { benchExperiment(b, "E17") }
+
+// BenchmarkEngineDeltaLRUEDF measures raw engine + core-policy throughput in
+// rounds/op at several scales.
+func BenchmarkEngineDeltaLRUEDF(b *testing.B) {
+	for _, scale := range []struct {
+		colors int
+		n      int
+		rounds int64
+	}{
+		{colors: 8, n: 8, rounds: 1024},
+		{colors: 32, n: 16, rounds: 1024},
+		{colors: 128, n: 64, rounds: 1024},
+	} {
+		name := fmt.Sprintf("colors=%d/n=%d", scale.colors, scale.n)
+		b.Run(name, func(b *testing.B) {
+			seq, err := workload.RandomBatched(workload.RandomConfig{
+				Seed: 1, Delta: 4, Colors: scale.colors, Rounds: scale.rounds,
+				MinDelayExp: 1, MaxDelayExp: 4, Load: 0.6, RateLimited: true,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			env := sim.Env{Seq: seq, Resources: scale.n, Replication: 2, Speed: 1}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := sim.Run(env, core.NewDeltaLRUEDF()); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(float64(scale.rounds)*float64(b.N)/b.Elapsed().Seconds(), "rounds/s")
+		})
+	}
+}
+
+// BenchmarkFullStack measures the end-to-end VarBatch ∘ Distribute ∘
+// ΔLRU-EDF pipeline on a general instance.
+func BenchmarkFullStack(b *testing.B) {
+	seq, err := workload.RandomGeneral(workload.RandomConfig{
+		Seed: 1, Delta: 4, Colors: 16, Rounds: 1024,
+		MinDelayExp: 1, MaxDelayExp: 5, Load: 0.5, ZipfS: 1.3,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := rrsched.Schedule(seq, 16); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

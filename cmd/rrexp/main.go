@@ -1,0 +1,86 @@
+// Command rrexp runs the experiment suite that stands in for the paper's
+// (absent) tables and figures: every theorem, key lemma, and appendix
+// lower-bound construction has an experiment (see DESIGN.md for the index).
+//
+// Examples:
+//
+//	rrexp -list
+//	rrexp -run E1
+//	rrexp -all
+//	rrexp -all -quick -csv results/
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"rrsched/internal/experiments"
+)
+
+func main() {
+	var (
+		list   = flag.Bool("list", false, "list experiments")
+		run    = flag.String("run", "", "run one experiment by id (e.g. E3)")
+		all    = flag.Bool("all", false, "run every experiment")
+		quick  = flag.Bool("quick", false, "smaller sweeps")
+		csvDir = flag.String("csv", "", "also write tables as CSV files into this directory")
+	)
+	flag.Parse()
+
+	cfg := experiments.Config{Quick: *quick}
+	switch {
+	case *list:
+		for _, e := range experiments.All() {
+			fmt.Printf("%-4s %s\n     claim: %s\n", e.ID, e.Title, e.Claim)
+		}
+	case *run != "":
+		e, ok := experiments.ByID(strings.ToUpper(*run))
+		if !ok {
+			fmt.Fprintf(os.Stderr, "rrexp: unknown experiment %q (try -list)\n", *run)
+			os.Exit(1)
+		}
+		runOne(e, cfg, *csvDir)
+	case *all:
+		for _, e := range experiments.All() {
+			runOne(e, cfg, *csvDir)
+		}
+	default:
+		flag.Usage()
+		os.Exit(2)
+	}
+}
+
+func runOne(e experiments.Experiment, cfg experiments.Config, csvDir string) {
+	fmt.Printf("=== %s: %s ===\n", e.ID, e.Title)
+	fmt.Printf("claim: %s\n\n", e.Claim)
+	for i, tb := range e.Run(cfg) {
+		if err := tb.Render(os.Stdout); err != nil {
+			fmt.Fprintln(os.Stderr, "rrexp:", err)
+			os.Exit(1)
+		}
+		fmt.Println()
+		if csvDir != "" {
+			if err := os.MkdirAll(csvDir, 0o755); err != nil {
+				fmt.Fprintln(os.Stderr, "rrexp:", err)
+				os.Exit(1)
+			}
+			name := fmt.Sprintf("%s_%d.csv", strings.ToLower(e.ID), i)
+			f, err := os.Create(filepath.Join(csvDir, name))
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "rrexp:", err)
+				os.Exit(1)
+			}
+			if err := tb.RenderCSV(f); err != nil {
+				fmt.Fprintln(os.Stderr, "rrexp:", err)
+				os.Exit(1)
+			}
+			if err := f.Close(); err != nil {
+				fmt.Fprintln(os.Stderr, "rrexp:", err)
+				os.Exit(1)
+			}
+		}
+	}
+}

@@ -1,0 +1,102 @@
+// Command rropt computes offline baselines for an instance: the certified
+// lower bound, the best heuristic schedule, and (when the instance is small
+// enough) the exact optimum by dynamic programming, then compares the online
+// stack against them.
+//
+// Example:
+//
+//	rropt -m 1 -n 8 -seed 3 -colors 3 -rounds 24
+//	rropt -trace trace.json -m 2 -n 16
+package main
+
+import (
+	"errors"
+	"flag"
+	"fmt"
+	"os"
+
+	"rrsched/internal/core"
+	"rrsched/internal/model"
+	"rrsched/internal/offline"
+	"rrsched/internal/reduce"
+	"rrsched/internal/workload"
+)
+
+func main() {
+	var (
+		tracePath = flag.String("trace", "", "JSON trace file (overrides the generator)")
+		m         = flag.Int("m", 1, "offline resources")
+		n         = flag.Int("n", 8, "online resources for the stack comparison")
+		delta     = flag.Int64("delta", 2, "reconfiguration cost Δ")
+		colors    = flag.Int("colors", 3, "number of colors")
+		rounds    = flag.Int64("rounds", 24, "arrival rounds")
+		load      = flag.Float64("load", 0.5, "per-color load")
+		seed      = flag.Int64("seed", 1, "PRNG seed")
+		maxStates = flag.Int("max-states", 500000, "exact solver state budget per round")
+		solver    = flag.String("solver", "dp", "exact solver: dp (layered dynamic program) | bb (branch and bound)")
+	)
+	flag.Parse()
+
+	var seq *model.Sequence
+	var err error
+	if *tracePath != "" {
+		f, ferr := os.Open(*tracePath)
+		if ferr != nil {
+			fatal(ferr)
+		}
+		seq, err = workload.ReadTrace(f)
+		f.Close()
+	} else {
+		seq, err = workload.RandomGeneral(workload.RandomConfig{
+			Seed: *seed, Delta: *delta, Colors: *colors, Rounds: *rounds,
+			MinDelayExp: 1, MaxDelayExp: 2, Load: *load,
+		})
+	}
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("instance: jobs=%d rounds=%d colors=%d Δ=%d\n", seq.NumJobs(), seq.NumRounds(), len(seq.Colors()), seq.Delta())
+
+	lb := offline.LowerBound(seq, *m)
+	greedy := offline.BestGreedy(seq, *m)
+	fmt.Printf("offline m=%d: LB=%d  heuristic UB=%d (window=%d, reconfig=%d, drop=%d)\n",
+		*m, lb, greedy.Cost.Total(), greedy.Window, greedy.Cost.Reconfig, greedy.Cost.Drop)
+
+	var opt int64
+	switch *solver {
+	case "dp":
+		opt, err = offline.Exact(seq, *m, offline.ExactOptions{MaxStates: *maxStates})
+	case "bb":
+		opt, err = offline.ExactBB(seq, *m, offline.BBOptions{MaxNodes: *maxStates * 10})
+	default:
+		fatal(fmt.Errorf("unknown solver %q", *solver))
+	}
+	switch {
+	case errors.Is(err, offline.ErrTooLarge):
+		fmt.Println("exact OPT: instance too large for the exact solver (use the LB/UB bracket)")
+	case err != nil:
+		fatal(err)
+	default:
+		fmt.Printf("exact OPT: %d  (sandwich ok: %v)\n", opt, lb <= opt && opt <= greedy.Cost.Total())
+	}
+
+	res, err := reduce.RunVarBatch(seq, *n, core.NewDeltaLRUEDF())
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("online stack n=%d: cost=%d (reconfig=%d, drop=%d)  ratioLB=%.3f\n",
+		*n, res.Cost.Total(), res.Cost.Reconfig, res.Cost.Drop,
+		float64(res.Cost.Total())/float64(maxi(lb, 1)))
+}
+
+func maxi(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "rropt:", err)
+	os.Exit(1)
+}

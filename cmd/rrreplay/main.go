@@ -1,0 +1,85 @@
+// Command rrreplay audits a saved schedule against a saved workload trace
+// and prints the independent cost derivation plus a schedule analysis
+// (utilization, thrash index, per-color statistics). Every experiment
+// artifact in this repository is replayable: traces come from rrtrace /
+// rrsim -save-trace, schedules from rrsim -save-schedule.
+//
+// Example:
+//
+//	rrsim -workload zipf -save-trace t.json -save-schedule s.json
+//	rrreplay -trace t.json -schedule s.json
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"rrsched/internal/analysis"
+	"rrsched/internal/model"
+	"rrsched/internal/workload"
+)
+
+func main() {
+	var (
+		tracePath = flag.String("trace", "", "JSON workload trace (required)")
+		schedPath = flag.String("schedule", "", "JSON schedule (required)")
+		top       = flag.Int("top", 5, "show the N most reconfigured colors")
+		gantt     = flag.Bool("gantt", false, "render an ASCII per-resource timeline")
+		width     = flag.Int("width", 96, "gantt chart width in columns")
+	)
+	flag.Parse()
+	if *tracePath == "" || *schedPath == "" {
+		flag.Usage()
+		os.Exit(2)
+	}
+	tf, err := os.Open(*tracePath)
+	if err != nil {
+		fatal(err)
+	}
+	seq, err := workload.ReadTrace(tf)
+	tf.Close()
+	if err != nil {
+		fatal(err)
+	}
+	sf, err := os.Open(*schedPath)
+	if err != nil {
+		fatal(err)
+	}
+	sched, err := model.ReadSchedule(sf)
+	sf.Close()
+	if err != nil {
+		fatal(err)
+	}
+
+	cost, err := model.Audit(seq, sched)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "rrreplay: ILLEGAL SCHEDULE:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("audit:  legal schedule for %d jobs on %d resources (speed %d)\n",
+		seq.NumJobs(), sched.NumResources, sched.Speed)
+	fmt.Printf("cost:   reconfig=%d drop=%d total=%d\n", cost.Reconfig, cost.Drop, cost.Total())
+
+	rep, err := analysis.Analyze(seq, sched)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("detail: %s\n", rep.Summary())
+	fmt.Printf("top %d reconfigured colors:\n", *top)
+	for _, s := range rep.TopReconfigured(*top) {
+		fmt.Printf("  %-6v reconfigs=%-5d executed=%-6d dropped=%-6d residency=%d\n",
+			s.Color, s.Reconfigs, s.Executed, s.Dropped, s.Residency)
+	}
+	if *gantt {
+		fmt.Println()
+		if err := analysis.Gantt(seq, sched, analysis.GanttOptions{Width: *width}, os.Stdout); err != nil {
+			fatal(err)
+		}
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "rrreplay:", err)
+	os.Exit(1)
+}

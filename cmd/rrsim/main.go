@@ -1,0 +1,193 @@
+// Command rrsim runs one scheduling policy on one workload and prints the
+// cost summary. Workloads come from the built-in generators or a JSON trace.
+//
+// Examples:
+//
+//	rrsim -policy stack -workload zipf -n 8 -delta 4 -rounds 512 -seed 1
+//	rrsim -policy dlru-edf -workload batched -colors 10 -load 0.7
+//	rrsim -policy most-pending -trace trace.json -n 8
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"rrsched/internal/baseline"
+	"rrsched/internal/core"
+	"rrsched/internal/model"
+	"rrsched/internal/offline"
+	"rrsched/internal/reduce"
+	"rrsched/internal/sim"
+	"rrsched/internal/workload"
+)
+
+func main() {
+	var (
+		policy    = flag.String("policy", "stack", "policy: stack | distribute | dlru-edf | dlru | edf | most-pending | color-edf | static | never")
+		wl        = flag.String("workload", "batched", "workload: batched | general | zipf | phase | background | diurnal")
+		tracePath = flag.String("trace", "", "JSON trace file (overrides -workload)")
+		n         = flag.Int("n", 8, "number of online resources (multiple of 4)")
+		m         = flag.Int("m", 1, "offline resources for the lower bound / bracket")
+		delta     = flag.Int64("delta", 4, "reconfiguration cost Δ")
+		colors    = flag.Int("colors", 8, "number of colors")
+		rounds    = flag.Int64("rounds", 512, "arrival rounds")
+		load      = flag.Float64("load", 0.6, "per-color load fraction")
+		seed      = flag.Int64("seed", 1, "PRNG seed")
+		minExp    = flag.Uint("min-delay-exp", 1, "minimum delay bound exponent (D = 2^exp)")
+		maxExp    = flag.Uint("max-delay-exp", 4, "maximum delay bound exponent")
+		bracket   = flag.Bool("bracket", true, "also compute the offline OPT bracket at -m resources")
+		saveTrace = flag.String("save-trace", "", "write the generated workload as a JSON trace")
+		saveSched = flag.String("save-schedule", "", "write the resulting schedule as JSON (replayable with rrreplay)")
+	)
+	flag.Parse()
+
+	seq, err := buildWorkload(*wl, *tracePath, workload.RandomConfig{
+		Seed: *seed, Delta: *delta, Colors: *colors, Rounds: *rounds,
+		MinDelayExp: *minExp, MaxDelayExp: *maxExp, Load: *load,
+	})
+	if err != nil {
+		fatal(err)
+	}
+	// Canonical job IDs (round-major, color-ascending): saved traces and
+	// schedules then compose — rrreplay can audit one against the other.
+	seq = seq.Canonical()
+	if *saveTrace != "" {
+		f, err := os.Create(*saveTrace)
+		if err != nil {
+			fatal(err)
+		}
+		if err := workload.WriteTrace(f, seq); err != nil {
+			fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			fatal(err)
+		}
+	}
+
+	fmt.Printf("workload: %s  jobs=%d rounds=%d colors=%d Δ=%d batched=%v rate-limited=%v\n",
+		*wl, seq.NumJobs(), seq.NumRounds(), len(seq.Colors()), seq.Delta(), seq.IsBatched(), seq.IsRateLimited())
+
+	cost, name, sched, err := runPolicy(*policy, seq, *n)
+	if err != nil {
+		fatal(err)
+	}
+	if *saveSched != "" {
+		f, err := os.Create(*saveSched)
+		if err != nil {
+			fatal(err)
+		}
+		if err := model.WriteSchedule(f, sched); err != nil {
+			fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			fatal(err)
+		}
+	}
+	fmt.Printf("policy:   %s  n=%d\n", name, *n)
+	fmt.Printf("cost:     reconfig=%d drop=%d total=%d\n", cost.Reconfig, cost.Drop, cost.Total())
+
+	if *bracket {
+		br := offline.BracketOPT(seq, *m)
+		fmt.Printf("offline:  m=%d LB=%d UB=%d  ratioLB=%.3f ratioUB=%.3f\n",
+			*m, br.LB, br.UB,
+			float64(cost.Total())/float64(maxi(br.LB, 1)),
+			float64(cost.Total())/float64(maxi(br.UB, 1)))
+	}
+}
+
+func buildWorkload(kind, tracePath string, cfg workload.RandomConfig) (*model.Sequence, error) {
+	if tracePath != "" {
+		f, err := os.Open(tracePath)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		return workload.ReadTrace(f)
+	}
+	switch kind {
+	case "batched":
+		cfg.RateLimited = true
+		return workload.RandomBatched(cfg)
+	case "general":
+		return workload.RandomGeneral(cfg)
+	case "zipf":
+		cfg.ZipfS = 1.4
+		return workload.RandomGeneral(cfg)
+	case "phase":
+		return workload.PhaseShift(workload.PhaseShiftConfig{
+			Seed: cfg.Seed, Delta: cfg.Delta, Colors: cfg.Colors,
+			PhaseLen: cfg.Rounds / 4, Phases: 4,
+			ActivePerPhase: cfg.Colors / 3, Delay: int64(1) << cfg.MinDelayExp, Load: cfg.Load,
+		})
+	case "background":
+		return workload.BackgroundShortTerm(workload.BackgroundConfig{
+			Seed: cfg.Seed, Delta: cfg.Delta,
+			ShortColors: cfg.Colors / 2, ShortDelay: int64(1) << cfg.MinDelayExp,
+			BackgroundColors: 2, BackgroundDelay: int64(1) << cfg.MaxDelayExp,
+			Rounds: cfg.Rounds, BurstProb: 0.5,
+			BackgroundJobs: int(cfg.Load * float64(int64(1)<<cfg.MaxDelayExp)),
+		})
+	case "diurnal":
+		return workload.Diurnal(workload.DiurnalConfig{
+			Seed: cfg.Seed, Delta: cfg.Delta, Colors: cfg.Colors,
+			Period: cfg.Rounds / 2, Days: 2,
+			Delay: int64(1) << cfg.MinDelayExp, PeakLoad: cfg.Load, TroughFrac: 0.1,
+		})
+	default:
+		return nil, fmt.Errorf("unknown workload %q", kind)
+	}
+}
+
+func runPolicy(name string, seq *model.Sequence, n int) (model.Cost, string, *model.Schedule, error) {
+	switch name {
+	case "stack":
+		res, err := reduce.RunVarBatch(seq, n, core.NewDeltaLRUEDF())
+		if err != nil {
+			return model.Cost{}, "", nil, err
+		}
+		return res.Cost, res.Policy, res.Schedule, nil
+	case "distribute":
+		res, err := reduce.RunDistribute(seq, n, core.NewDeltaLRUEDF())
+		if err != nil {
+			return model.Cost{}, "", nil, err
+		}
+		return res.Cost, res.Policy, res.Schedule, nil
+	}
+	var p sim.Policy
+	switch name {
+	case "dlru-edf":
+		p = core.NewDeltaLRUEDF()
+	case "dlru":
+		p = core.NewDeltaLRU()
+	case "edf":
+		p = core.NewEDF()
+	case "most-pending":
+		p = &baseline.MostPending{}
+	case "color-edf":
+		p = &baseline.ColorEDF{}
+	case "static":
+		p = &baseline.Static{}
+	case "never":
+		p = baseline.Never{}
+	default:
+		return model.Cost{}, "", nil, fmt.Errorf("unknown policy %q", name)
+	}
+	res, err := sim.Run(sim.Env{Seq: seq, Resources: n, Replication: 2, Speed: 1}, p)
+	if err != nil {
+		return model.Cost{}, "", nil, err
+	}
+	return res.Cost, res.Policy, res.Schedule, nil
+}
+
+func maxi(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "rrsim:", err)
+	os.Exit(1)
+}

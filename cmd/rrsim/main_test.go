@@ -1,0 +1,100 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"rrsched/internal/workload"
+)
+
+func baseCfg() workload.RandomConfig {
+	return workload.RandomConfig{
+		Seed: 1, Delta: 4, Colors: 6, Rounds: 64,
+		MinDelayExp: 1, MaxDelayExp: 3, Load: 0.5,
+	}
+}
+
+func TestBuildWorkloadKinds(t *testing.T) {
+	for _, kind := range []string{"batched", "general", "zipf", "phase", "background", "diurnal"} {
+		seq, err := buildWorkload(kind, "", baseCfg())
+		if err != nil {
+			t.Fatalf("%s: %v", kind, err)
+		}
+		if seq.NumJobs() == 0 {
+			t.Errorf("%s: empty workload", kind)
+		}
+		if err := seq.Validate(); err != nil {
+			t.Errorf("%s: %v", kind, err)
+		}
+	}
+	if _, err := buildWorkload("nope", "", baseCfg()); err == nil {
+		t.Error("unknown workload accepted")
+	}
+}
+
+func TestBuildWorkloadFromTrace(t *testing.T) {
+	seq, err := buildWorkload("batched", "", baseCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "trace.json")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := workload.WriteTrace(f, seq); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	back, err := buildWorkload("ignored", path, baseCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.NumJobs() != seq.NumJobs() {
+		t.Errorf("trace roundtrip: %d != %d jobs", back.NumJobs(), seq.NumJobs())
+	}
+	if _, err := buildWorkload("", filepath.Join(t.TempDir(), "missing.json"), baseCfg()); err == nil {
+		t.Error("missing trace file accepted")
+	}
+}
+
+func TestRunPolicyAllNames(t *testing.T) {
+	seq, err := buildWorkload("general", "", baseCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	names := []string{"stack", "distribute", "dlru-edf", "dlru", "edf",
+		"most-pending", "color-edf", "static", "never"}
+	for _, name := range names {
+		if name == "distribute" || name == "dlru-edf" || name == "dlru" || name == "edf" {
+			// These require batched inputs.
+			continue
+		}
+		cost, pname, sched, err := runPolicy(name, seq, 8)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if pname == "" || cost.Total() < 0 || sched == nil {
+			t.Errorf("%s: result %v %q", name, cost, pname)
+		}
+	}
+	batched, err := buildWorkload("batched", "", baseCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{"distribute", "dlru-edf", "dlru", "edf"} {
+		if _, _, _, err := runPolicy(name, batched, 8); err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+	}
+	if _, _, _, err := runPolicy("nope", seq, 8); err == nil {
+		t.Error("unknown policy accepted")
+	}
+}
+
+func TestMaxi(t *testing.T) {
+	if maxi(3, 5) != 5 || maxi(5, 3) != 5 {
+		t.Error("maxi broken")
+	}
+}

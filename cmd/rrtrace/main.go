@@ -1,0 +1,139 @@
+// Command rrtrace generates, inspects, and converts workload traces.
+//
+// Examples:
+//
+//	rrtrace gen -workload zipf -rounds 512 -o trace.json
+//	rrtrace info -i trace.json
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"rrsched/internal/model"
+	"rrsched/internal/workload"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+	}
+	switch os.Args[1] {
+	case "gen":
+		gen(os.Args[2:])
+	case "info":
+		info(os.Args[2:])
+	default:
+		usage()
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, "usage: rrtrace gen|info [flags]")
+	os.Exit(2)
+}
+
+func gen(args []string) {
+	fs := flag.NewFlagSet("gen", flag.ExitOnError)
+	var (
+		wl     = fs.String("workload", "batched", "batched | general | zipf | phase | background | diurnal")
+		out    = fs.String("o", "", "output file (default stdout)")
+		delta  = fs.Int64("delta", 4, "reconfiguration cost Δ")
+		colors = fs.Int("colors", 8, "number of colors")
+		rounds = fs.Int64("rounds", 512, "arrival rounds")
+		load   = fs.Float64("load", 0.6, "per-color load")
+		seed   = fs.Int64("seed", 1, "PRNG seed")
+		minExp = fs.Uint("min-delay-exp", 1, "minimum delay bound exponent")
+		maxExp = fs.Uint("max-delay-exp", 4, "maximum delay bound exponent")
+	)
+	fs.Parse(args)
+	cfg := workload.RandomConfig{
+		Seed: *seed, Delta: *delta, Colors: *colors, Rounds: *rounds,
+		MinDelayExp: *minExp, MaxDelayExp: *maxExp, Load: *load,
+	}
+	var seq *model.Sequence
+	var err error
+	switch *wl {
+	case "batched":
+		cfg.RateLimited = true
+		seq, err = workload.RandomBatched(cfg)
+	case "general":
+		seq, err = workload.RandomGeneral(cfg)
+	case "zipf":
+		cfg.ZipfS = 1.4
+		seq, err = workload.RandomGeneral(cfg)
+	case "phase":
+		seq, err = workload.PhaseShift(workload.PhaseShiftConfig{
+			Seed: *seed, Delta: *delta, Colors: *colors,
+			PhaseLen: *rounds / 4, Phases: 4,
+			ActivePerPhase: *colors / 3, Delay: int64(1) << *minExp, Load: *load,
+		})
+	case "background":
+		seq, err = workload.BackgroundShortTerm(workload.BackgroundConfig{
+			Seed: *seed, Delta: *delta,
+			ShortColors: *colors / 2, ShortDelay: int64(1) << *minExp,
+			BackgroundColors: 2, BackgroundDelay: int64(1) << *maxExp,
+			Rounds: *rounds, BurstProb: 0.5,
+			BackgroundJobs: int(*load * float64(int64(1)<<*maxExp)),
+		})
+	case "diurnal":
+		seq, err = workload.Diurnal(workload.DiurnalConfig{
+			Seed: *seed, Delta: *delta, Colors: *colors,
+			Period: *rounds / 2, Days: 2,
+			Delay: int64(1) << *minExp, PeakLoad: *load, TroughFrac: 0.1,
+		})
+	default:
+		fatal(fmt.Errorf("unknown workload %q", *wl))
+	}
+	if err != nil {
+		fatal(err)
+	}
+	w := os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		w = f
+	}
+	if err := workload.WriteTrace(w, seq); err != nil {
+		fatal(err)
+	}
+}
+
+func info(args []string) {
+	fs := flag.NewFlagSet("info", flag.ExitOnError)
+	in := fs.String("i", "", "input trace file (default stdin)")
+	fs.Parse(args)
+	r := os.Stdin
+	if *in != "" {
+		f, err := os.Open(*in)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		r = f
+	}
+	seq, err := workload.ReadTrace(r)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("jobs:          %d\n", seq.NumJobs())
+	fmt.Printf("rounds:        %d (horizon %d)\n", seq.NumRounds(), seq.Horizon())
+	fmt.Printf("delta:         %d\n", seq.Delta())
+	fmt.Printf("batched:       %v\n", seq.IsBatched())
+	fmt.Printf("rate-limited:  %v\n", seq.IsRateLimited())
+	fmt.Printf("pow2 delays:   %v\n", seq.PowerOfTwoDelays())
+	fmt.Printf("colors:        %d\n", len(seq.Colors()))
+	for _, c := range seq.Colors() {
+		d, _ := seq.DelayBound(c)
+		fmt.Printf("  %-6v D=%-6d jobs=%d\n", c, d, seq.JobsOfColor(c))
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "rrtrace:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,73 @@
+package rrsched_test
+
+import (
+	"fmt"
+
+	"rrsched"
+)
+
+// ExampleSchedule runs the full online stack on a small hand-built instance.
+func ExampleSchedule() {
+	b := rrsched.NewBuilder(2) // Δ = 2
+	b.Add(0, 0, 4, 4)          // round 0: 4 jobs of color 0, delay bound 4
+	b.Add(0, 1, 8, 6)          // round 0: 6 jobs of color 1, delay bound 8
+	b.Add(8, 1, 8, 6)          // round 8: 6 more jobs of color 1
+	seq := b.MustBuild()
+
+	res, err := rrsched.Schedule(seq, 8)
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	audited, _ := rrsched.Audit(seq, res.Schedule)
+	fmt.Println(res.Algorithm)
+	fmt.Println(audited == res.Cost)
+	fmt.Println(res.Schedule.NumExecs() == seq.NumJobs()) // all 16 jobs executed
+	// Output:
+	// varbatch(dlru-edf)
+	// true
+	// true
+}
+
+// ExampleNewStream drives the incremental scheduler round by round.
+func ExampleNewStream() {
+	s, err := rrsched.NewStream(2, 8)
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	// Two bursts of jobs, pushed as they "arrive".
+	id := int64(0)
+	push := func(round int64, color rrsched.Color, delay int64, n int) {
+		jobs := make([]rrsched.Job, n)
+		for i := range jobs {
+			jobs[i] = rrsched.Job{ID: id, Color: color, Arrival: round, Delay: delay}
+			id++
+		}
+		if _, err := s.Push(round, jobs); err != nil {
+			fmt.Println(err)
+		}
+	}
+	push(0, 0, 4, 4)
+	push(4, 1, 4, 4)
+	if _, err := s.Drain(); err != nil {
+		fmt.Println(err)
+	}
+	fmt.Println(s.Executed()+s.Dropped() == 8)
+	// Output:
+	// true
+}
+
+// ExampleOfflineBracket sandwiches the offline optimum.
+func ExampleOfflineBracket() {
+	b := rrsched.NewBuilder(3)
+	b.Add(0, 0, 2, 2)
+	b.Add(0, 1, 2, 2)
+	seq := b.MustBuild()
+
+	lb, ub := rrsched.OfflineBracket(seq, 1)
+	opt, _ := rrsched.ExactOPT(seq, 1)
+	fmt.Println(lb <= opt && opt <= ub)
+	// Output:
+	// true
+}

@@ -1,0 +1,50 @@
+// Paging: the classic disk paging problem is the special case of
+// reconfigurable resource scheduling with unit delay bound, unit
+// reconfiguration cost, and infinite drop cost (Sleator–Tarjan 1985). This
+// example replays the classic results the paper's framework generalizes:
+// every deterministic policy is at best k-competitive, randomization
+// (Marker) breaks that barrier, and resource augmentation (a 2x cache)
+// collapses the ratio — the same mechanism Theorems 1–3 use.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"rrsched/internal/paging"
+)
+
+func main() {
+	const length = 30000
+	fmt.Println("Sleator–Tarjan adversary trace (k+1 pages, cyclic):")
+	fmt.Printf("%-4s %10s %10s %10s %10s %10s %12s\n",
+		"k", "LRU(k)", "FIFO(k)", "Marker(k)", "OPT(k)", "LRU(2k)", "LRU(k)/OPT")
+	for _, k := range []int{4, 8, 16, 32} {
+		trace := paging.SleatorTarjanTrace(k, length)
+		lru := paging.RunTrace(&paging.LRU{}, k, trace)
+		fifo := paging.RunTrace(&paging.FIFO{}, k, trace)
+		marker := paging.RunTrace(paging.NewMarker(42), k, trace)
+		opt := paging.BeladyFaults(k, trace)
+		lru2 := paging.RunTrace(&paging.LRU{}, 2*k, trace)
+		fmt.Printf("%-4d %10d %10d %10d %10d %10d %12.2f\n",
+			k, lru, fifo, marker, opt, lru2, float64(lru)/float64(opt))
+	}
+
+	fmt.Println("\nZipf trace (256 pages, skew 1.2):")
+	trace, err := paging.ZipfTrace(7, 256, length, 1.2)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("%-4s %10s %10s %10s %10s %10s\n", "k", "LRU", "FIFO", "Marker", "OPT", "LRU/OPT")
+	for _, k := range []int{8, 16, 32} {
+		lru := paging.RunTrace(&paging.LRU{}, k, trace)
+		fifo := paging.RunTrace(&paging.FIFO{}, k, trace)
+		marker := paging.RunTrace(paging.NewMarker(42), k, trace)
+		opt := paging.BeladyFaults(k, trace)
+		fmt.Printf("%-4d %10d %10d %10d %10d %10.2f\n",
+			k, lru, fifo, marker, opt, float64(lru)/float64(opt))
+	}
+	fmt.Println("\nTakeaways: deterministic ratio ≈ k on the adversary (the ST lower")
+	fmt.Println("bound); Marker's randomization escapes it; doubling the cache —")
+	fmt.Println("resource augmentation — reduces LRU to a handful of cold faults.")
+}

@@ -1,0 +1,90 @@
+// Router: a multi-service software router on a multi-core network processor
+// (the paper's motivating application, cf. Kokku et al. and Srinivasan et
+// al.). Each packet class has a QoS delay tolerance; cores must be
+// reconfigured between packet-processing services at a context-switch cost.
+// The example compares the paper's stack against greedy baselines under
+// bursty, skewed traffic and prints a per-class drop breakdown.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"rrsched"
+	"rrsched/internal/baseline"
+	"rrsched/internal/model"
+	"rrsched/internal/offline"
+	"rrsched/internal/sim"
+	"rrsched/internal/workload"
+)
+
+func main() {
+	// 12 packet classes: 4 voice-like (delay 2), 4 video-like (delay 8),
+	// 4 bulk (delay 64). Zipf-skewed load, bursty arrivals.
+	seq, err := workload.RandomGeneral(workload.RandomConfig{
+		Seed: 42, Delta: 6, Colors: 12, Rounds: 1024,
+		MinDelayExp: 1, MaxDelayExp: 6, Load: 0.45, ZipfS: 1.3,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	cores := 16
+	fmt.Printf("router: %d packet classes, %d packets, %d cores, context-switch cost Δ=%d\n",
+		len(seq.Colors()), seq.NumJobs(), cores, seq.Delta())
+
+	stack, err := rrsched.Schedule(seq, cores)
+	if err != nil {
+		log.Fatal(err)
+	}
+	report("varbatch(dlru-edf)", seq, stack.Cost)
+
+	env := sim.Env{Seq: seq, Resources: cores, Replication: 2, Speed: 1}
+	for _, p := range []sim.Policy{&baseline.MostPending{}, &baseline.ColorEDF{}, &baseline.Static{}} {
+		res, err := sim.Run(env, p)
+		if err != nil {
+			log.Fatal(err)
+		}
+		report(p.Name(), seq, res.Cost)
+	}
+	lb := offline.LowerBound(seq, cores/8)
+	fmt.Printf("\ncertified offline lower bound (m=%d): %d\n", cores/8, lb)
+
+	// Per-class SLO report for the stack: drops by delay class.
+	drops := dropsByDelay(seq, stack.Schedule)
+	fmt.Println("\nstack drop rate by delay tolerance:")
+	for _, d := range []int64{2, 4, 8, 16, 32, 64} {
+		if tot := totalsByDelay(seq)[d]; tot > 0 {
+			fmt.Printf("  D=%-3d %5d packets, dropped %4d (%.1f%%)\n",
+				d, tot, drops[d], 100*float64(drops[d])/float64(tot))
+		}
+	}
+
+	// Policies that ignore recency thrash: count distinct reconfigurations.
+	fmt.Printf("\nreconfigurations: stack=%d most-pending=%d\n",
+		stack.Schedule.NumReconfigs(),
+		sim.MustRun(env, &baseline.MostPending{}).Schedule.NumReconfigs())
+}
+
+func report(name string, seq *model.Sequence, c model.Cost) {
+	fmt.Printf("%-20s reconfig=%-6d drop=%-6d total=%-6d (drop rate %.1f%%)\n",
+		name, c.Reconfig, c.Drop, c.Total(), 100*float64(c.Drop)/float64(seq.NumJobs()))
+}
+
+func dropsByDelay(seq *model.Sequence, sched *model.Schedule) map[int64]int {
+	executed := sched.ExecutedJobIDs()
+	out := map[int64]int{}
+	for _, j := range seq.Jobs() {
+		if !executed[j.ID] {
+			out[j.Delay]++
+		}
+	}
+	return out
+}
+
+func totalsByDelay(seq *model.Sequence) map[int64]int {
+	out := map[int64]int{}
+	for _, j := range seq.Jobs() {
+		out[j.Delay]++
+	}
+	return out
+}

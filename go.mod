@@ -1,0 +1,3 @@
+module rrsched
+
+go 1.22

@@ -1,0 +1,193 @@
+// Package adversary searches for bad inputs automatically: a seeded
+// hill-climbing miner mutates a batched instance (resizing individual
+// batches) to maximize a policy's measured ratio against the certified
+// offline lower bound. The hand-built Appendix A/B constructions show the
+// *existence* of bad inputs for the pure policies; the miner shows they can
+// be found mechanically, and that the combined policy resists the same
+// search — experiment E17.
+package adversary
+
+import (
+	"fmt"
+	"math/rand"
+
+	"rrsched/internal/model"
+	"rrsched/internal/offline"
+	"rrsched/internal/sim"
+	"rrsched/internal/stats"
+)
+
+// Config bounds the search space and budget.
+type Config struct {
+	Seed   int64
+	Delta  int64
+	Colors int
+	// DelayExps assigns each color the delay bound 2^DelayExps[i % len].
+	DelayExps []uint
+	// Rounds is the instance length.
+	Rounds int64
+	// MaxBatch caps the per-batch job count (0 = the color's delay bound,
+	// i.e. rate-limited instances).
+	MaxBatch int
+	// Iterations is the hill-climbing budget.
+	Iterations int
+	// Resources given to the policy; LBResources to the lower bound.
+	Resources   int
+	LBResources int
+}
+
+func (c Config) validate() error {
+	if c.Delta <= 0 || c.Colors <= 0 || c.Rounds <= 0 || c.Iterations < 0 {
+		return fmt.Errorf("adversary: invalid config %+v", c)
+	}
+	if len(c.DelayExps) == 0 {
+		return fmt.Errorf("adversary: need at least one delay exponent")
+	}
+	if c.Resources <= 0 || c.LBResources <= 0 {
+		return fmt.Errorf("adversary: need positive resource counts")
+	}
+	return nil
+}
+
+// Result reports the mined instance and its measured ratio trajectory.
+type Result struct {
+	Sequence *model.Sequence
+	// Ratio is cost(policy)/LB on the mined instance.
+	Ratio float64
+	// InitialRatio is the ratio of the random starting instance.
+	InitialRatio float64
+	// Accepted counts accepted mutations.
+	Accepted int
+}
+
+// genome is the mutable instance encoding: batch sizes per (color, batch
+// index).
+type genome struct {
+	cfg    Config
+	delays []int64
+	sizes  [][]int // per color, per batch index
+}
+
+func newGenome(cfg Config, rng *rand.Rand) *genome {
+	g := &genome{cfg: cfg}
+	g.delays = make([]int64, cfg.Colors)
+	g.sizes = make([][]int, cfg.Colors)
+	for c := 0; c < cfg.Colors; c++ {
+		d := int64(1) << cfg.DelayExps[c%len(cfg.DelayExps)]
+		g.delays[c] = d
+		batches := int(cfg.Rounds / d)
+		if cfg.Rounds%d != 0 {
+			batches++
+		}
+		g.sizes[c] = make([]int, batches)
+		for b := range g.sizes[c] {
+			g.sizes[c][b] = rng.Intn(g.maxBatch(c) + 1)
+		}
+	}
+	return g
+}
+
+func (g *genome) maxBatch(c int) int {
+	if g.cfg.MaxBatch > 0 {
+		return g.cfg.MaxBatch
+	}
+	return int(g.delays[c])
+}
+
+func (g *genome) sequence() (*model.Sequence, error) {
+	b := model.NewBuilder(g.cfg.Delta)
+	for c := 0; c < g.cfg.Colors; c++ {
+		for bi, n := range g.sizes[c] {
+			if n > 0 {
+				b.Add(int64(bi)*g.delays[c], model.Color(c), g.delays[c], n)
+			}
+		}
+	}
+	return b.Build()
+}
+
+// mutate perturbs the genome, returning an undo closure. Three move kinds:
+// flip one batch; set ALL batches of a color to one value (structural, which
+// lets the search discover the Appendix A shape "Δ jobs every period"); or
+// concentrate a color into a single huge first batch.
+func (g *genome) mutate(rng *rand.Rand) func() {
+	c := rng.Intn(g.cfg.Colors)
+	pick := func() int {
+		// Structurally interesting sizes: empty, Δ, full.
+		candidates := []int{0, int(g.cfg.Delta), g.maxBatch(c), rng.Intn(g.maxBatch(c) + 1)}
+		v := candidates[rng.Intn(len(candidates))]
+		if v > g.maxBatch(c) {
+			v = g.maxBatch(c)
+		}
+		return v
+	}
+	switch rng.Intn(4) {
+	case 0: // structural: uniform batches for the whole color
+		old := append([]int(nil), g.sizes[c]...)
+		v := pick()
+		for bi := range g.sizes[c] {
+			g.sizes[c][bi] = v
+		}
+		return func() { copy(g.sizes[c], old) }
+	case 1: // concentrate: everything in the first batch
+		old := append([]int(nil), g.sizes[c]...)
+		for bi := range g.sizes[c] {
+			g.sizes[c][bi] = 0
+		}
+		g.sizes[c][0] = g.maxBatch(c)
+		return func() { copy(g.sizes[c], old) }
+	default: // point mutation
+		bi := rng.Intn(len(g.sizes[c]))
+		old := g.sizes[c][bi]
+		g.sizes[c][bi] = pick()
+		return func() { g.sizes[c][bi] = old }
+	}
+}
+
+// Mine hill-climbs toward a worst-case instance for the policy produced by
+// factory. The factory is invoked per evaluation (policies are stateful).
+func Mine(cfg Config, factory func() sim.Policy) (*Result, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	g := newGenome(cfg, rng)
+
+	eval := func() (float64, *model.Sequence, error) {
+		seq, err := g.sequence()
+		if err != nil {
+			return 0, nil, err
+		}
+		if seq.NumJobs() == 0 {
+			return 0, seq, nil
+		}
+		res, err := sim.Run(sim.Env{Seq: seq, Resources: cfg.Resources, Replication: 2, Speed: 1}, factory())
+		if err != nil {
+			return 0, nil, err
+		}
+		lb := offline.LowerBound(seq, cfg.LBResources)
+		return stats.Ratio(res.Cost.Total(), lb), seq, nil
+	}
+
+	best, bestSeq, err := eval()
+	if err != nil {
+		return nil, err
+	}
+	result := &Result{InitialRatio: best}
+	for i := 0; i < cfg.Iterations; i++ {
+		undo := g.mutate(rng)
+		ratio, seq, err := eval()
+		if err != nil {
+			return nil, err
+		}
+		if ratio > best {
+			best, bestSeq = ratio, seq
+			result.Accepted++
+		} else {
+			undo()
+		}
+	}
+	result.Sequence = bestSeq
+	result.Ratio = best
+	return result, nil
+}

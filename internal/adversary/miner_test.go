@@ -1,0 +1,86 @@
+package adversary
+
+import (
+	"testing"
+
+	"rrsched/internal/core"
+	"rrsched/internal/sim"
+)
+
+func baseConfig() Config {
+	// A search space containing the Appendix A shape: four short colors
+	// (delay 64) and one long color (delay 512) over 512 rounds.
+	return Config{
+		Seed: 1, Delta: 4, Colors: 5,
+		DelayExps: []uint{6, 6, 6, 6, 9},
+		Rounds:    512, Iterations: 300,
+		Resources: 8, LBResources: 1,
+	}
+}
+
+func TestMineImprovesRatio(t *testing.T) {
+	cfg := baseConfig()
+	res, err := Mine(cfg, func() sim.Policy { return core.NewDeltaLRU() })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Ratio < res.InitialRatio {
+		t.Errorf("mining regressed: %v -> %v", res.InitialRatio, res.Ratio)
+	}
+	if res.Sequence == nil || res.Sequence.Validate() != nil {
+		t.Fatal("mined instance invalid")
+	}
+	if !res.Sequence.IsBatched() {
+		t.Error("mined instance not batched")
+	}
+}
+
+func TestMineSeparatesPureFromCombined(t *testing.T) {
+	cfg := baseConfig()
+	lru, err := Mine(cfg, func() sim.Policy { return core.NewDeltaLRU() })
+	if err != nil {
+		t.Fatal(err)
+	}
+	combo, err := Mine(cfg, func() sim.Policy { return core.NewDeltaLRUEDF() })
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The miner should find substantially worse inputs for pure ΔLRU than
+	// for the combination (the Appendix A phenomenon, found mechanically).
+	t.Logf("mined ratios: dlru=%.2f dlru-edf=%.2f", lru.Ratio, combo.Ratio)
+	if lru.Ratio < combo.Ratio {
+		t.Errorf("mined ΔLRU ratio %v below combined %v: separation missing", lru.Ratio, combo.Ratio)
+	}
+	if lru.Ratio < 1.2 {
+		t.Errorf("miner failed to find a bad ΔLRU input (ratio %v)", lru.Ratio)
+	}
+}
+
+func TestMineDeterministic(t *testing.T) {
+	cfg := baseConfig()
+	cfg.Iterations = 40
+	a, err := Mine(cfg, func() sim.Policy { return core.NewEDF() })
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Mine(cfg, func() sim.Policy { return core.NewEDF() })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Ratio != b.Ratio || a.Accepted != b.Accepted {
+		t.Fatalf("nondeterministic mining: %v/%d vs %v/%d", a.Ratio, a.Accepted, b.Ratio, b.Accepted)
+	}
+}
+
+func TestMineValidation(t *testing.T) {
+	bad := []Config{
+		{},
+		{Delta: 1, Colors: 1, Rounds: 8, Iterations: 1, Resources: 4, LBResources: 1}, // no delay exps
+		{Delta: 1, Colors: 1, Rounds: 8, DelayExps: []uint{1}, Iterations: 1},         // no resources
+	}
+	for i, cfg := range bad {
+		if _, err := Mine(cfg, func() sim.Policy { return core.NewEDF() }); err == nil {
+			t.Errorf("config %d accepted", i)
+		}
+	}
+}

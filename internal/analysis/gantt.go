@@ -1,0 +1,133 @@
+package analysis
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+
+	"rrsched/internal/model"
+)
+
+// GanttOptions controls the schedule chart rendering.
+type GanttOptions struct {
+	// From/To bound the rendered rounds ([From, To); To 0 means the whole
+	// schedule).
+	From, To int64
+	// Width caps the number of rendered columns; longer ranges are
+	// downsampled (each column shows the color holding the location at the
+	// column's first round). Default 96.
+	Width int
+}
+
+// Gantt renders a per-resource timeline of the schedule as ASCII art: one
+// row per location, one column per (possibly downsampled) round, with each
+// color drawn as a distinct letter, '.' for black, and uppercase letters
+// marking rounds in which the location actually executed a job. It is the
+// quickest way to *see* thrashing (striped rows) versus stable residency
+// (long runs), and is used by rrreplay and the examples.
+func Gantt(seq *model.Sequence, sched *model.Schedule, opts GanttOptions, w io.Writer) error {
+	if _, err := model.Audit(seq, sched); err != nil {
+		return err
+	}
+	horizon := seq.Horizon()
+	for _, r := range sched.Reconfigs {
+		if r.Round > horizon {
+			horizon = r.Round
+		}
+	}
+	from := opts.From
+	to := opts.To
+	if to <= 0 || to > horizon+1 {
+		to = horizon + 1
+	}
+	if from < 0 || from >= to {
+		from = 0
+	}
+	width := opts.Width
+	if width <= 0 {
+		width = 96
+	}
+	span := to - from
+	step := (span + int64(width) - 1) / int64(width)
+	if step < 1 {
+		step = 1
+	}
+	cols := int((span + step - 1) / step)
+
+	// Reconstruct per-location color timelines.
+	recs := make([]model.Reconfigure, len(sched.Reconfigs))
+	copy(recs, sched.Reconfigs)
+	sort.SliceStable(recs, func(i, j int) bool {
+		if recs[i].Round != recs[j].Round {
+			return recs[i].Round < recs[j].Round
+		}
+		return recs[i].Mini < recs[j].Mini
+	})
+	execAt := map[[2]int64]bool{} // (location, round)
+	for _, e := range sched.Execs {
+		execAt[[2]int64{int64(e.Resource), e.Round}] = true
+	}
+
+	// Color letters: ascending colors get 'a', 'b', ... cycling.
+	letters := map[model.Color]byte{}
+	for i, c := range seq.Colors() {
+		letters[c] = byte('a' + i%26)
+	}
+	letterOf := func(c model.Color) byte {
+		if c == model.Black {
+			return '.'
+		}
+		if b, ok := letters[c]; ok {
+			return b
+		}
+		return '?'
+	}
+
+	var b strings.Builder
+	fmt.Fprintf(&b, "gantt: rounds [%d,%d) step %d, %d locations ('.'=black, letter=color, UPPERCASE=executed)\n",
+		from, to, step, sched.NumResources)
+	cur := make([]model.Color, sched.NumResources)
+	for i := range cur {
+		cur[i] = model.Black
+	}
+	next := 0
+	rows := make([][]byte, sched.NumResources)
+	for i := range rows {
+		rows[i] = make([]byte, cols)
+		for j := range rows[i] {
+			rows[i][j] = ' '
+		}
+	}
+	for r := int64(0); r < to; r++ {
+		for next < len(recs) && recs[next].Round == r {
+			cur[recs[next].Resource] = recs[next].To
+			next++
+		}
+		if r < from {
+			continue
+		}
+		col := int((r - from) / step)
+		for loc := 0; loc < sched.NumResources; loc++ {
+			ch := letterOf(cur[loc])
+			if execAt[[2]int64{int64(loc), r}] && ch != '.' {
+				ch = ch - 'a' + 'A'
+			}
+			// First write wins per column unless an execution upgrades it.
+			if rows[loc][col] == ' ' || (ch >= 'A' && ch <= 'Z') {
+				rows[loc][col] = ch
+			}
+		}
+	}
+	for loc, row := range rows {
+		fmt.Fprintf(&b, "r%02d |%s|\n", loc, string(row))
+	}
+	// Legend.
+	b.WriteString("legend:")
+	for _, c := range seq.Colors() {
+		fmt.Fprintf(&b, " %c=%v", letterOf(c), c)
+	}
+	b.WriteByte('\n')
+	_, err := io.WriteString(w, b.String())
+	return err
+}

@@ -1,0 +1,76 @@
+package analysis
+
+import (
+	"strings"
+	"testing"
+
+	"rrsched/internal/core"
+	"rrsched/internal/model"
+	"rrsched/internal/sim"
+	"rrsched/internal/workload"
+)
+
+func TestGanttHandSchedule(t *testing.T) {
+	seq, s := handSchedule(t)
+	var b strings.Builder
+	if err := Gantt(seq, s, GanttOptions{}, &b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	if !strings.Contains(out, "r00 |") {
+		t.Errorf("missing resource row:\n%s", out)
+	}
+	// Round 0-3 color 0 ('a', executed rounds 0,1 uppercase), rounds 4+
+	// color 1 ('b').
+	if !strings.Contains(out, "A") || !strings.Contains(out, "B") {
+		t.Errorf("executed-round uppercase letters missing:\n%s", out)
+	}
+	if !strings.Contains(out, "legend: a=c0 b=c1") {
+		t.Errorf("legend missing:\n%s", out)
+	}
+}
+
+func TestGanttDownsampling(t *testing.T) {
+	seq, err := workload.RandomBatched(workload.RandomConfig{
+		Seed: 1, Delta: 4, Colors: 5, Rounds: 1024,
+		MinDelayExp: 1, MaxDelayExp: 4, Load: 0.6, RateLimited: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := sim.MustRun(sim.Env{Seq: seq, Resources: 8, Replication: 2, Speed: 1}, core.NewDeltaLRUEDF())
+	var b strings.Builder
+	if err := Gantt(seq, res.Schedule, GanttOptions{Width: 40}, &b); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(b.String(), "\n")
+	for _, line := range lines {
+		if strings.HasPrefix(line, "r0") {
+			inner := line[strings.Index(line, "|")+1 : strings.LastIndex(line, "|")]
+			if len(inner) > 40 {
+				t.Fatalf("row wider than requested: %d", len(inner))
+			}
+		}
+	}
+}
+
+func TestGanttWindow(t *testing.T) {
+	seq, s := handSchedule(t)
+	var b strings.Builder
+	if err := Gantt(seq, s, GanttOptions{From: 4, To: 6}, &b); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "rounds [4,6)") {
+		t.Errorf("window header wrong:\n%s", b.String())
+	}
+}
+
+func TestGanttRejectsIllegal(t *testing.T) {
+	seq := model.NewBuilder(1).Add(0, 0, 1, 1).MustBuild()
+	s := model.NewSchedule(1, 1)
+	s.AddExec(0, 0, 0, 0)
+	var b strings.Builder
+	if err := Gantt(seq, s, GanttOptions{}, &b); err == nil {
+		t.Fatal("illegal schedule rendered")
+	}
+}

@@ -1,0 +1,227 @@
+// Package baseline provides simple reference policies that work on arbitrary
+// (non-batched) instances: a most-pending greedy, a pure color-EDF greedy
+// without eligibility counters (maximally thrashy), a static partition, and
+// a never-reconfigure anchor. They calibrate the experiment tables: the
+// paper's stack should beat or match them across workloads, and the pure
+// greedies should exhibit the thrashing / underutilization failure modes the
+// introduction describes.
+package baseline
+
+import (
+	"sort"
+
+	"rrsched/internal/model"
+	"rrsched/internal/sim"
+)
+
+// MostPending caches the colors with the most pending jobs, with a
+// hysteresis margin: a cached color is only displaced when a challenger has
+// at least Margin more pending jobs. Margin 0 is maximally reactive.
+type MostPending struct {
+	Margin int
+}
+
+// Name implements sim.Policy.
+func (p *MostPending) Name() string { return "most-pending" }
+
+// Reset implements sim.Policy.
+func (p *MostPending) Reset(sim.Env) {}
+
+// DropPhase implements sim.Policy.
+func (p *MostPending) DropPhase(sim.View, map[model.Color]int) {}
+
+// ArrivalPhase implements sim.Policy.
+func (p *MostPending) ArrivalPhase(sim.View, []model.Job) {}
+
+// Target implements sim.Policy.
+func (p *MostPending) Target(v sim.View) []model.Color {
+	type entry struct {
+		c model.Color
+		n int
+	}
+	var nonidle []entry
+	for _, c := range v.Universe() {
+		if n := v.Pending(c); n > 0 {
+			nonidle = append(nonidle, entry{c: c, n: n})
+		}
+	}
+	sort.Slice(nonidle, func(i, j int) bool {
+		if nonidle[i].n != nonidle[j].n {
+			return nonidle[i].n > nonidle[j].n
+		}
+		return nonidle[i].c < nonidle[j].c
+	})
+	slots := v.Slots()
+	target := make([]model.Color, 0, slots)
+	used := make(map[model.Color]bool, slots)
+	// Keep cached colors that are still competitive (hysteresis).
+	rankOf := make(map[model.Color]int, len(nonidle))
+	for i, e := range nonidle {
+		rankOf[e.c] = i
+	}
+	for _, c := range v.CachedColors() {
+		if n := v.Pending(c); n > 0 {
+			if r, ok := rankOf[c]; ok && r < slots+p.Margin && len(target) < slots {
+				target = append(target, c)
+				used[c] = true
+			}
+		}
+	}
+	for _, e := range nonidle {
+		if len(target) >= slots {
+			break
+		}
+		if !used[e.c] {
+			target = append(target, e.c)
+			used[e.c] = true
+		}
+	}
+	return target
+}
+
+// ColorEDF caches the colors whose earliest pending deadline is smallest,
+// recomputed from scratch every round with no eligibility gate and no
+// hysteresis. It is the "natural EDF approach" of the introduction and
+// thrashes on alternating idleness.
+type ColorEDF struct {
+	deadlines map[model.Color]*deadlineQueue
+}
+
+type deadlineQueue struct {
+	// earliest deadline among pending jobs; maintained from the view's
+	// pending counts plus arrival bookkeeping.
+	jobs []int64
+}
+
+// Name implements sim.Policy.
+func (p *ColorEDF) Name() string { return "color-edf" }
+
+// Reset implements sim.Policy.
+func (p *ColorEDF) Reset(sim.Env) {
+	p.deadlines = make(map[model.Color]*deadlineQueue)
+}
+
+// DropPhase implements sim.Policy.
+func (p *ColorEDF) DropPhase(v sim.View, dropped map[model.Color]int) {
+	k := v.Round()
+	for _, q := range p.deadlines {
+		i := 0
+		for i < len(q.jobs) && q.jobs[i] <= k {
+			i++
+		}
+		q.jobs = q.jobs[i:]
+	}
+	_ = dropped
+}
+
+// ArrivalPhase implements sim.Policy.
+func (p *ColorEDF) ArrivalPhase(v sim.View, arrivals []model.Job) {
+	for _, j := range arrivals {
+		q := p.deadlines[j.Color]
+		if q == nil {
+			q = &deadlineQueue{}
+			p.deadlines[j.Color] = q
+		}
+		q.jobs = append(q.jobs, j.Deadline())
+	}
+}
+
+// Target implements sim.Policy.
+func (p *ColorEDF) Target(v sim.View) []model.Color {
+	// Trim executed jobs: the view's pending count is authoritative; keep
+	// the latest Pending(c) deadlines (executions consume the earliest).
+	type entry struct {
+		c  model.Color
+		dd int64
+	}
+	var nonidle []entry
+	for c, q := range p.deadlines {
+		n := v.Pending(c)
+		if len(q.jobs) > n {
+			q.jobs = q.jobs[len(q.jobs)-n:]
+		}
+		if n > 0 && len(q.jobs) > 0 {
+			nonidle = append(nonidle, entry{c: c, dd: q.jobs[0]})
+		}
+	}
+	sort.Slice(nonidle, func(i, j int) bool {
+		if nonidle[i].dd != nonidle[j].dd {
+			return nonidle[i].dd < nonidle[j].dd
+		}
+		return nonidle[i].c < nonidle[j].c
+	})
+	slots := v.Slots()
+	if len(nonidle) > slots {
+		nonidle = nonidle[:slots]
+	}
+	target := make([]model.Color, len(nonidle))
+	for i, e := range nonidle {
+		target[i] = e.c
+	}
+	return target
+}
+
+// Static caches a fixed color set forever (configured once): the
+// underutilization anchor. If Colors is nil, Reset picks the first Slots()
+// colors of the universe.
+type Static struct {
+	Colors []model.Color
+
+	chosen []model.Color
+}
+
+// Name implements sim.Policy.
+func (p *Static) Name() string { return "static" }
+
+// Reset implements sim.Policy.
+func (p *Static) Reset(env sim.Env) {
+	if p.Colors != nil {
+		p.chosen = p.Colors
+		return
+	}
+	all := env.Seq.Colors()
+	if len(all) > env.Slots() {
+		all = all[:env.Slots()]
+	}
+	p.chosen = all
+}
+
+// DropPhase implements sim.Policy.
+func (p *Static) DropPhase(sim.View, map[model.Color]int) {}
+
+// ArrivalPhase implements sim.Policy.
+func (p *Static) ArrivalPhase(sim.View, []model.Job) {}
+
+// Target implements sim.Policy.
+func (p *Static) Target(v sim.View) []model.Color {
+	if len(p.chosen) > v.Slots() {
+		return p.chosen[:v.Slots()]
+	}
+	return p.chosen
+}
+
+// Never caches nothing and drops everything: the trivial upper anchor. Its
+// cost equals the number of jobs.
+type Never struct{}
+
+// Name implements sim.Policy.
+func (Never) Name() string { return "never" }
+
+// Reset implements sim.Policy.
+func (Never) Reset(sim.Env) {}
+
+// DropPhase implements sim.Policy.
+func (Never) DropPhase(sim.View, map[model.Color]int) {}
+
+// ArrivalPhase implements sim.Policy.
+func (Never) ArrivalPhase(sim.View, []model.Job) {}
+
+// Target implements sim.Policy.
+func (Never) Target(sim.View) []model.Color { return nil }
+
+var (
+	_ sim.Policy = (*MostPending)(nil)
+	_ sim.Policy = (*ColorEDF)(nil)
+	_ sim.Policy = (*Static)(nil)
+	_ sim.Policy = Never{}
+)

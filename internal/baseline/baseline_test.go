@@ -1,0 +1,110 @@
+package baseline
+
+import (
+	"testing"
+
+	"rrsched/internal/model"
+	"rrsched/internal/sim"
+	"rrsched/internal/workload"
+)
+
+func randomGeneral(seed int64) *model.Sequence {
+	seq, err := workload.RandomGeneral(workload.RandomConfig{
+		Seed: seed, Delta: 3, Colors: 6, Rounds: 128,
+		MinDelayExp: 1, MaxDelayExp: 3, Load: 0.6,
+	})
+	if err != nil {
+		panic(err)
+	}
+	return seq
+}
+
+func TestNeverDropsEverything(t *testing.T) {
+	seq := randomGeneral(1)
+	res := sim.MustRun(sim.Env{Seq: seq, Resources: 4, Replication: 2, Speed: 1}, Never{})
+	if res.Cost.Drop != int64(seq.NumJobs()) || res.Cost.Reconfig != 0 {
+		t.Errorf("never cost = %v", res.Cost)
+	}
+}
+
+func TestStaticConfiguresOnce(t *testing.T) {
+	seq := randomGeneral(2)
+	p := &Static{}
+	res := sim.MustRun(sim.Env{Seq: seq, Resources: 4, Replication: 2, Speed: 1}, p)
+	// At most Slots() colors × replication locations, configured once each.
+	if res.Cost.Reconfig > int64(4)*seq.Delta() {
+		t.Errorf("static reconfig = %d, want <= %d", res.Cost.Reconfig, int64(4)*seq.Delta())
+	}
+}
+
+func TestStaticExplicitColors(t *testing.T) {
+	seq := model.NewBuilder(2).Add(0, 0, 4, 4).Add(0, 1, 4, 4).MustBuild()
+	p := &Static{Colors: []model.Color{1}}
+	res := sim.MustRun(sim.Env{Seq: seq, Resources: 2, Replication: 2, Speed: 1}, p)
+	if res.DropsByColor[1] != 0 {
+		t.Errorf("configured color dropped %d jobs", res.DropsByColor[1])
+	}
+	if res.DropsByColor[0] != 4 {
+		t.Errorf("unconfigured color dropped %d, want all 4", res.DropsByColor[0])
+	}
+}
+
+func TestMostPendingServesHeaviestColor(t *testing.T) {
+	// Color 0 has 10 pending, color 1 has 1: with one slot, color 0 wins.
+	seq := model.NewBuilder(1).Add(0, 0, 4, 10).Add(0, 1, 4, 1).MustBuild()
+	res := sim.MustRun(sim.Env{Seq: seq, Resources: 2, Replication: 2, Speed: 1}, &MostPending{})
+	if res.DropsByColor[0] > res.DropsByColor[1]+4 {
+		t.Errorf("most-pending starved the heavy color: %v", res.DropsByColor)
+	}
+}
+
+func TestMostPendingHysteresisReducesChurn(t *testing.T) {
+	seq := randomGeneral(3)
+	env := sim.Env{Seq: seq, Resources: 4, Replication: 2, Speed: 1}
+	loose := sim.MustRun(env, &MostPending{})
+	tight := sim.MustRun(env, &MostPending{Margin: 3})
+	if tight.Cost.Reconfig > loose.Cost.Reconfig {
+		t.Errorf("hysteresis increased reconfigs: %d > %d",
+			tight.Cost.Reconfig, loose.Cost.Reconfig)
+	}
+}
+
+func TestColorEDFTracksDeadlines(t *testing.T) {
+	// Color 1's jobs are always more urgent; with one slot it must be served.
+	seq := model.NewBuilder(1).
+		Add(0, 0, 16, 4).
+		Add(0, 1, 2, 2).Add(2, 1, 2, 2).Add(4, 1, 2, 2).
+		MustBuild()
+	res := sim.MustRun(sim.Env{Seq: seq, Resources: 2, Replication: 2, Speed: 1}, &ColorEDF{})
+	if res.DropsByColor[1] != 0 {
+		t.Errorf("color-edf dropped %d urgent jobs", res.DropsByColor[1])
+	}
+}
+
+func TestAllBaselinesAuditOnRandomInstances(t *testing.T) {
+	for seed := int64(0); seed < 8; seed++ {
+		seq := randomGeneral(seed)
+		for _, p := range []sim.Policy{
+			&MostPending{}, &MostPending{Margin: 2}, &ColorEDF{}, &Static{}, Never{},
+		} {
+			res := sim.MustRun(sim.Env{Seq: seq, Resources: 4, Replication: 2, Speed: 1}, p)
+			if got := model.MustAudit(seq, res.Schedule); got != res.Cost {
+				t.Fatalf("%s seed %d: audit %v != engine %v", p.Name(), seed, got, res.Cost)
+			}
+		}
+	}
+}
+
+func TestBaselineNames(t *testing.T) {
+	names := map[string]sim.Policy{
+		"most-pending": &MostPending{},
+		"color-edf":    &ColorEDF{},
+		"static":       &Static{},
+		"never":        Never{},
+	}
+	for want, p := range names {
+		if p.Name() != want {
+			t.Errorf("name = %q, want %q", p.Name(), want)
+		}
+	}
+}

@@ -1,0 +1,88 @@
+package core_test
+
+import (
+	"strings"
+	"testing"
+
+	"rrsched/internal/core"
+	"rrsched/internal/model"
+	"rrsched/internal/sim"
+	"rrsched/internal/workload"
+)
+
+func TestAdaptiveRunsAndAudits(t *testing.T) {
+	for seed := int64(1); seed <= 5; seed++ {
+		seq := randomRateLimited(seed)
+		p := core.NewAdaptive()
+		res := sim.MustRun(sim.Env{Seq: seq, Resources: 8, Replication: 2, Speed: 1}, p)
+		if got := model.MustAudit(seq, res.Schedule); got != res.Cost {
+			t.Fatalf("seed %d: audit %v != engine %v", seed, got, res.Cost)
+		}
+		if q := p.Quota(); q < 0 || q > 4 {
+			t.Fatalf("seed %d: quota %d out of range", seed, q)
+		}
+	}
+}
+
+func TestAdaptiveQuotaMoves(t *testing.T) {
+	// A heavily dropping workload (way over capacity) should push the quota
+	// down toward the EDF half.
+	seq, err := workload.RandomBatched(workload.RandomConfig{
+		Seed: 3, Delta: 2, Colors: 16, Rounds: 1024,
+		MinDelayExp: 1, MaxDelayExp: 2, Load: 2.0, RateLimited: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := core.NewAdaptive()
+	sim.MustRun(sim.Env{Seq: seq, Resources: 8, Replication: 2, Speed: 1}, p)
+	hist := p.QuotaHistory()
+	if len(hist) == 0 {
+		t.Fatal("no adaptation windows elapsed")
+	}
+	if p.Quota() >= 2 {
+		t.Errorf("quota = %d, expected it to drop below the initial 2 under heavy drops (history %v)", p.Quota(), hist)
+	}
+}
+
+func TestAdaptiveOnAdversaryAvoidsLRUCollapse(t *testing.T) {
+	// On the Appendix A instance pure ΔLRU (all-LRU quota) starves the
+	// long-term color; the adaptive policy must stay within a small factor
+	// of the fixed combination.
+	n := 8
+	seq, err := workload.DeltaLRUAdversary(n, 4, 6, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	env := sim.Env{Seq: seq, Resources: n, Replication: 2, Speed: 1}
+	fixed := sim.MustRun(env, core.NewDeltaLRUEDF()).Cost.Total()
+	allLRU := sim.MustRun(env, core.NewDeltaLRUEDF(core.WithLRUSlots(4))).Cost.Total()
+	adaptive := sim.MustRun(env, core.NewAdaptive()).Cost.Total()
+	if adaptive > 2*fixed {
+		t.Errorf("adaptive %d > 2x fixed %d on the adversary", adaptive, fixed)
+	}
+	if adaptive >= allLRU {
+		t.Errorf("adaptive %d did not beat all-LRU %d on the adversary", adaptive, allLRU)
+	}
+}
+
+func TestAdaptiveDeterministic(t *testing.T) {
+	seq := randomRateLimited(7)
+	env := sim.Env{Seq: seq, Resources: 8, Replication: 2, Speed: 1}
+	a := sim.MustRun(env, core.NewAdaptive())
+	b := sim.MustRun(env, core.NewAdaptive())
+	if a.Cost != b.Cost {
+		t.Fatalf("nondeterministic: %v vs %v", a.Cost, b.Cost)
+	}
+}
+
+func TestAdaptiveString(t *testing.T) {
+	p := core.NewAdaptive()
+	p.Reset(sim.Env{Seq: randomRateLimited(1), Resources: 8, Replication: 2, Speed: 1})
+	if s := p.String(); !strings.Contains(s, "adaptive-dlru-edf") {
+		t.Errorf("String = %q", s)
+	}
+	if p.Name() != "adaptive-dlru-edf" {
+		t.Errorf("Name = %q", p.Name())
+	}
+}

@@ -1,0 +1,308 @@
+package core_test
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"rrsched/internal/core"
+	"rrsched/internal/model"
+	"rrsched/internal/sim"
+	"rrsched/internal/workload"
+)
+
+func randomRateLimited(seed int64) *model.Sequence {
+	seq, err := workload.RandomBatched(workload.RandomConfig{
+		Seed: seed, Delta: int64(2 + seed%5), Colors: int(4 + seed%6), Rounds: 256,
+		MinDelayExp: 1, MaxDelayExp: 4, Load: 0.4 + float64(seed%4)*0.2,
+		RateLimited: true,
+	})
+	if err != nil {
+		panic(err)
+	}
+	return seq
+}
+
+// TestLemma33ReconfigBound: ReconfigCost(ΔLRU-EDF) <= 4 · numEpochs · Δ on
+// random rate-limited batched instances (Lemma 3.3).
+func TestLemma33ReconfigBound(t *testing.T) {
+	f := func(seedRaw uint8) bool {
+		seed := int64(seedRaw)
+		seq := randomRateLimited(seed)
+		if seq.NumJobs() == 0 {
+			return true
+		}
+		p := core.NewDeltaLRUEDF()
+		res := sim.MustRun(sim.Env{Seq: seq, Resources: 8, Replication: 2, Speed: 1}, p)
+		bound := 4 * p.Tracker().NumEpochs() * seq.Delta()
+		if res.Cost.Reconfig > bound {
+			t.Logf("seed %d: reconfig %d > 4·epochs·Δ = %d", seed, res.Cost.Reconfig, bound)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestLemma34IneligibleDropBound: IneligibleDropCost <= numEpochs · Δ
+// (Lemma 3.4).
+func TestLemma34IneligibleDropBound(t *testing.T) {
+	f := func(seedRaw uint8) bool {
+		seed := int64(seedRaw)
+		seq := randomRateLimited(seed)
+		if seq.NumJobs() == 0 {
+			return true
+		}
+		p := core.NewDeltaLRUEDF()
+		sim.MustRun(sim.Env{Seq: seq, Resources: 8, Replication: 2, Speed: 1}, p)
+		tr := p.Tracker()
+		bound := tr.NumEpochs() * seq.Delta()
+		if tr.IneligibleDrops() > bound {
+			t.Logf("seed %d: ineligible drops %d > epochs·Δ = %d", seed, tr.IneligibleDrops(), bound)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestLemma31FewJobsNeverCached: a color with fewer than Δ jobs never
+// becomes eligible and is never cached, so all its jobs are dropped
+// (Lemma 3.1's premise).
+func TestLemma31FewJobsNeverCached(t *testing.T) {
+	// Color 0: Δ-1 jobs; color 1: plenty.
+	seq := model.NewBuilder(8).
+		Add(0, 0, 4, 7).
+		Add(0, 1, 4, 4).Add(4, 1, 4, 4).Add(8, 1, 4, 4).
+		MustBuild()
+	p := core.NewDeltaLRUEDF()
+	res := sim.MustRun(sim.Env{Seq: seq, Resources: 8, Replication: 2, Speed: 1}, p)
+	if res.DropsByColor[0] != 7 {
+		t.Errorf("color with < Δ jobs dropped %d of 7", res.DropsByColor[0])
+	}
+	for _, rec := range res.Schedule.Reconfigs {
+		if rec.To == 0 {
+			t.Fatal("sub-Δ color was cached")
+		}
+	}
+}
+
+// TestDropClassificationPartition: eligible + ineligible drops equals total
+// drops for the combined policy.
+func TestDropClassificationPartition(t *testing.T) {
+	for seed := int64(0); seed < 10; seed++ {
+		seq := randomRateLimited(seed)
+		p := core.NewDeltaLRUEDF()
+		res := sim.MustRun(sim.Env{Seq: seq, Resources: 8, Replication: 2, Speed: 1}, p)
+		tr := p.Tracker()
+		if tr.EligibleDrops()+tr.IneligibleDrops() != res.Cost.Drop {
+			t.Fatalf("seed %d: %d + %d != %d", seed,
+				tr.EligibleDrops(), tr.IneligibleDrops(), res.Cost.Drop)
+		}
+	}
+}
+
+// TestDeterminism: identical runs produce identical schedules.
+func TestDeterminism(t *testing.T) {
+	seq := randomRateLimited(3)
+	env := sim.Env{Seq: seq, Resources: 8, Replication: 2, Speed: 1}
+	a := sim.MustRun(env, core.NewDeltaLRUEDF())
+	b := sim.MustRun(env, core.NewDeltaLRUEDF())
+	if a.Cost != b.Cost || len(a.Schedule.Reconfigs) != len(b.Schedule.Reconfigs) {
+		t.Fatalf("nondeterministic: %v vs %v", a.Cost, b.Cost)
+	}
+	for i := range a.Schedule.Reconfigs {
+		if a.Schedule.Reconfigs[i] != b.Schedule.Reconfigs[i] {
+			t.Fatalf("reconfig %d differs", i)
+		}
+	}
+}
+
+// TestDeltaLRUKeepsRecentTimestamps: on the Appendix A structure, ΔLRU
+// caches the short-term colors and starves the long-term color.
+func TestDeltaLRUKeepsRecentTimestamps(t *testing.T) {
+	n, delta := 8, int64(4)
+	seq, err := workload.DeltaLRUAdversary(n, delta, 6, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := sim.MustRun(sim.Env{Seq: seq, Resources: n, Replication: 2, Speed: 1}, core.NewDeltaLRU())
+	longColor := model.Color(n / 2)
+	// The long-term color is never executed after the short colors warm up.
+	if res.DropsByColor[longColor] == 0 {
+		t.Error("ΔLRU served the long-term color — the adversary should starve it")
+	}
+	// ΔLRU's total reconfig cost is bounded: it settles on the short colors.
+	if res.Cost.Reconfig > int64(2*n)*delta {
+		t.Errorf("ΔLRU reconfig = %d, want <= %d (settled configuration)", res.Cost.Reconfig, int64(2*n)*delta)
+	}
+}
+
+// TestEDFServesEarliestDeadlines: EDF caches nonidle colors with the
+// earliest deadlines.
+func TestEDFServesEarliestDeadlines(t *testing.T) {
+	// Two colors, slots for one (n=2, repl=2 -> 1 slot). Color 1 has the
+	// shorter delay bound; both become eligible in round 0.
+	seq := model.NewBuilder(2).
+		Add(0, 0, 8, 4).
+		Add(0, 1, 2, 2).Add(2, 1, 2, 2).
+		MustBuild()
+	res := sim.MustRun(sim.Env{Seq: seq, Resources: 2, Replication: 2, Speed: 1}, core.NewEDF())
+	// Color 1 (D=2, earlier deadlines) must not be starved.
+	if res.DropsByColor[1] > 0 {
+		t.Errorf("EDF dropped %d jobs of the earliest-deadline color", res.DropsByColor[1])
+	}
+}
+
+// TestComboCachedSubsetEligible: every color the combined policy targets is
+// eligible at target time (cache ⊆ eligible, the invariant Lemma 3.3 rests
+// on). Verified via the engine: a cached color's counter state must say
+// eligible whenever it is in the target.
+func TestComboCachedSubsetEligible(t *testing.T) {
+	seq := randomRateLimited(5)
+	p := core.NewDeltaLRUEDF()
+	probe := &eligibilityProbe{inner: p}
+	sim.MustRun(sim.Env{Seq: seq, Resources: 8, Replication: 2, Speed: 1}, probe)
+	if probe.violations > 0 {
+		t.Fatalf("%d target colors were ineligible", probe.violations)
+	}
+	if probe.targets == 0 {
+		t.Fatal("probe never saw a target")
+	}
+}
+
+type eligibilityProbe struct {
+	inner      *core.DeltaLRUEDF
+	violations int
+	targets    int
+}
+
+func (p *eligibilityProbe) Name() string    { return "probe(" + p.inner.Name() + ")" }
+func (p *eligibilityProbe) Reset(e sim.Env) { p.inner.Reset(e) }
+func (p *eligibilityProbe) DropPhase(v sim.View, d map[model.Color]int) {
+	p.inner.DropPhase(v, d)
+}
+func (p *eligibilityProbe) ArrivalPhase(v sim.View, a []model.Job) {
+	p.inner.ArrivalPhase(v, a)
+}
+func (p *eligibilityProbe) Target(v sim.View) []model.Color {
+	tg := p.inner.Target(v)
+	for _, c := range tg {
+		p.targets++
+		if !p.inner.Tracker().Eligible(c) {
+			p.violations++
+		}
+	}
+	return tg
+}
+
+// TestComboRespectsSlotQuota: the combined policy never targets more than
+// Slots() colors, across random instances.
+func TestComboRespectsSlotQuota(t *testing.T) {
+	f := func(seedRaw uint8) bool {
+		seq := randomRateLimited(int64(seedRaw))
+		counter := &quotaProbe{inner: core.NewDeltaLRUEDF()}
+		res, err := sim.Run(sim.Env{Seq: seq, Resources: 8, Replication: 2, Speed: 1}, counter)
+		if err != nil {
+			return false
+		}
+		_, err = model.Audit(seq, res.Schedule)
+		return err == nil && counter.maxTargets <= 4
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+type quotaProbe struct {
+	inner      *core.DeltaLRUEDF
+	maxTargets int
+}
+
+func (p *quotaProbe) Name() string                                { return "quota" }
+func (p *quotaProbe) Reset(e sim.Env)                             { p.inner.Reset(e) }
+func (p *quotaProbe) DropPhase(v sim.View, d map[model.Color]int) { p.inner.DropPhase(v, d) }
+func (p *quotaProbe) ArrivalPhase(v sim.View, a []model.Job)      { p.inner.ArrivalPhase(v, a) }
+func (p *quotaProbe) Target(v sim.View) []model.Color {
+	tg := p.inner.Target(v)
+	if len(tg) > p.maxTargets {
+		p.maxTargets = len(tg)
+	}
+	return tg
+}
+
+// TestWithLRUSlotsExtremes: quota 0 behaves like the EDF half only; quota =
+// Slots() behaves like the LRU half only. Both still audit.
+func TestWithLRUSlotsExtremes(t *testing.T) {
+	seq := randomRateLimited(4)
+	for _, q := range []int{0, 1, 2, 3, 4} {
+		p := core.NewDeltaLRUEDF(core.WithLRUSlots(q))
+		res := sim.MustRun(sim.Env{Seq: seq, Resources: 8, Replication: 2, Speed: 1}, p)
+		if _, err := model.Audit(seq, res.Schedule); err != nil {
+			t.Fatalf("quota %d: %v", q, err)
+		}
+	}
+}
+
+func TestWithLRUSlotsOutOfRangePanics(t *testing.T) {
+	seq := randomRateLimited(1)
+	p := core.NewDeltaLRUEDF(core.WithLRUSlots(99))
+	defer func() {
+		if recover() == nil {
+			t.Fatal("quota 99 accepted with 4 slots")
+		}
+	}()
+	sim.MustRun(sim.Env{Seq: seq, Resources: 8, Replication: 2, Speed: 1}, p)
+}
+
+// TestPolicyNames pins the public names used by the CLIs and tables.
+func TestPolicyNames(t *testing.T) {
+	if core.NewDeltaLRU().Name() != "dlru" ||
+		core.NewEDF().Name() != "edf" ||
+		core.NewDeltaLRUEDF().Name() != "dlru-edf" {
+		t.Error("policy names changed")
+	}
+}
+
+// TestAllPoliciesAuditOnRandomInstances is the cross-policy audit sweep.
+func TestAllPoliciesAuditOnRandomInstances(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	for i := 0; i < 15; i++ {
+		seq := randomRateLimited(rng.Int63n(1000))
+		for _, mk := range []func() sim.Policy{
+			func() sim.Policy { return core.NewDeltaLRU() },
+			func() sim.Policy { return core.NewEDF() },
+			func() sim.Policy { return core.NewDeltaLRUEDF() },
+		} {
+			p := mk()
+			res := sim.MustRun(sim.Env{Seq: seq, Resources: 8, Replication: 2, Speed: 1}, p)
+			if got := model.MustAudit(seq, res.Schedule); got != res.Cost {
+				t.Fatalf("%s: audit %v != engine %v", p.Name(), got, res.Cost)
+			}
+		}
+	}
+}
+
+// TestWithTimestampKRunsAndAudits: the LRU-K variant stays legal and
+// deterministic across K.
+func TestWithTimestampKRunsAndAudits(t *testing.T) {
+	seq := randomRateLimited(6)
+	for _, k := range []int{1, 2, 3} {
+		p := core.NewDeltaLRUEDF(core.WithTimestampK(k))
+		res := sim.MustRun(sim.Env{Seq: seq, Resources: 8, Replication: 2, Speed: 1}, p)
+		if got := model.MustAudit(seq, res.Schedule); got != res.Cost {
+			t.Fatalf("K=%d: audit %v != engine %v", k, got, res.Cost)
+		}
+	}
+	// K=1 must behave exactly like the default.
+	env := sim.Env{Seq: seq, Resources: 8, Replication: 2, Speed: 1}
+	a := sim.MustRun(env, core.NewDeltaLRUEDF())
+	b := sim.MustRun(env, core.NewDeltaLRUEDF(core.WithTimestampK(1)))
+	if a.Cost != b.Cost {
+		t.Fatalf("K=1 differs from default: %v vs %v", a.Cost, b.Cost)
+	}
+}

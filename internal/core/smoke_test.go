@@ -1,0 +1,96 @@
+package core_test
+
+import (
+	"testing"
+
+	"rrsched/internal/baseline"
+	"rrsched/internal/core"
+	"rrsched/internal/edf"
+	"rrsched/internal/model"
+	"rrsched/internal/offline"
+	"rrsched/internal/reduce"
+	"rrsched/internal/sim"
+	"rrsched/internal/workload"
+)
+
+// TestSmokeEndToEnd drives the whole stack once on a random rate-limited
+// batched instance: run all three Section 3 policies plus baselines, audit
+// every schedule, and check the basic cost sanity relations.
+func TestSmokeEndToEnd(t *testing.T) {
+	seq, err := workload.RandomBatched(workload.RandomConfig{
+		Seed: 1, Delta: 4, Colors: 8, Rounds: 256,
+		MinDelayExp: 1, MaxDelayExp: 4, Load: 0.8, RateLimited: true,
+	})
+	if err != nil {
+		t.Fatalf("generate: %v", err)
+	}
+	if !seq.IsRateLimited() {
+		t.Fatal("generator did not produce a rate-limited sequence")
+	}
+	n := 8
+	env := sim.Env{Seq: seq, Resources: n, Replication: 2, Speed: 1}
+
+	policies := []sim.Policy{
+		core.NewDeltaLRUEDF(),
+		core.NewDeltaLRU(),
+		core.NewEDF(),
+		&baseline.MostPending{},
+		&baseline.ColorEDF{},
+		&baseline.Static{},
+		baseline.Never{},
+	}
+	lb := offline.LowerBound(seq, n/8+1)
+	for _, p := range policies {
+		res, err := sim.Run(env, p)
+		if err != nil {
+			t.Fatalf("%s: %v", p.Name(), err)
+		}
+		audited, err := model.Audit(seq, res.Schedule)
+		if err != nil {
+			t.Fatalf("%s: audit: %v", p.Name(), err)
+		}
+		if audited != res.Cost {
+			t.Fatalf("%s: engine cost %v != audited cost %v", p.Name(), res.Cost, audited)
+		}
+		if res.Executed+res.Dropped != seq.NumJobs() {
+			t.Fatalf("%s: executed %d + dropped %d != jobs %d", p.Name(), res.Executed, res.Dropped, seq.NumJobs())
+		}
+		t.Logf("%-14s %v (jobs=%d, LB(m=%d)=%d)", p.Name(), res.Cost, seq.NumJobs(), n/8+1, lb)
+	}
+
+	// Never drops everything.
+	never := sim.MustRun(env, baseline.Never{})
+	if never.Cost.Drop != int64(seq.NumJobs()) || never.Cost.Reconfig != 0 {
+		t.Fatalf("never policy: %v, want all %d jobs dropped", never.Cost, seq.NumJobs())
+	}
+
+	// Par-EDF drop count lower-bounds every n-resource schedule's drops.
+	parN := edf.ParEDFDrops(seq, n)
+	for _, p := range []sim.Policy{core.NewDeltaLRUEDF(), core.NewEDF()} {
+		res := sim.MustRun(env, p)
+		if res.Cost.Drop < parN {
+			t.Fatalf("%s drops %d < ParEDF(n=%d) drops %d: optimality violated", p.Name(), res.Cost.Drop, n, parN)
+		}
+	}
+
+	// Reductions run and audit on batched and general instances.
+	dres, err := reduce.RunDistribute(seq, n, core.NewDeltaLRUEDF())
+	if err != nil {
+		t.Fatalf("distribute: %v", err)
+	}
+	if dres.Cost.Total() > dres.Inner.Cost.Total() {
+		t.Fatalf("distribute outer cost %v exceeds inner cost %v (violates Lemma 4.2)", dres.Cost, dres.Inner.Cost)
+	}
+	gen, err := workload.RandomGeneral(workload.RandomConfig{
+		Seed: 2, Delta: 4, Colors: 6, Rounds: 200,
+		MinDelayExp: 1, MaxDelayExp: 4, Load: 0.4,
+	})
+	if err != nil {
+		t.Fatalf("generate general: %v", err)
+	}
+	vres, err := reduce.RunVarBatch(gen, n, core.NewDeltaLRUEDF())
+	if err != nil {
+		t.Fatalf("varbatch: %v", err)
+	}
+	t.Logf("varbatch(dlru-edf) on general input: %v (jobs=%d)", vres.Cost, gen.NumJobs())
+}

@@ -1,0 +1,342 @@
+// Package core implements the paper's online reconfiguration policies for
+// rate-limited batched instances (Section 3): ΔLRU (3.1.1), EDF (3.1.2), and
+// the main contribution ΔLRU-EDF (3.1.3), a combination that caches one set
+// of colors by recency of ΔLRU timestamps and a second set by earliest
+// deadline. All three share the counter / eligibility / timestamp state
+// machine of Section 3.1 ("common aspects"), implemented by Tracker.
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"rrsched/internal/model"
+	"rrsched/internal/sim"
+)
+
+// colorState is the per-color bookkeeping of Section 3.1: the counter ℓ.cnt,
+// the deadline ℓ.dd, the eligibility bit, and the most recent
+// counter-wrapping rounds (enough to answer timestamp queries; the ΔLRU
+// timestamp is the latest wrap strictly before the most recent multiple of
+// D_ℓ, and the ΔLRU-K generalization uses the K-th latest).
+type colorState struct {
+	delay    int64
+	cnt      int64
+	dd       int64
+	eligible bool
+	wraps    []int64 // wrap rounds, most recent last (bounded by the tracker's depth)
+	seen     bool    // a job of this color has arrived (epoch 0 started)
+}
+
+// wrap records a counter-wrapping event in round k, retaining at most depth
+// entries.
+func (cs *colorState) wrap(k int64, depth int) {
+	cs.wraps = append(cs.wraps, k)
+	if len(cs.wraps) > depth {
+		cs.wraps = cs.wraps[len(cs.wraps)-depth:]
+	}
+}
+
+// lastWrap returns the most recent wrap round (ok == false if none).
+func (cs *colorState) lastWrap() (int64, bool) {
+	if len(cs.wraps) == 0 {
+		return 0, false
+	}
+	return cs.wraps[len(cs.wraps)-1], true
+}
+
+// timestampK returns the generalized ΔLRU-K timestamp at round now: the
+// K-th latest counter-wrapping round strictly before k, where k is the most
+// recent integral multiple of D_ℓ; 0 if fewer than K such wraps exist. K=1
+// is the paper's timestamp (Section 3.1.1); larger K is the LRU-K flavor of
+// O'Neil et al. discussed in the related work.
+func (cs *colorState) timestampK(now int64, K int) int64 {
+	k := (now / cs.delay) * cs.delay
+	found := 0
+	for i := len(cs.wraps) - 1; i >= 0; i-- {
+		if cs.wraps[i] < k {
+			found++
+			if found == K {
+				return cs.wraps[i]
+			}
+		}
+	}
+	return 0
+}
+
+// timestamp is the paper's K = 1 timestamp.
+func (cs *colorState) timestamp(now int64) int64 { return cs.timestampK(now, 1) }
+
+// Tracker maintains the shared per-color state for the Section 3 policies
+// and the epoch / drop-classification accounting used by the analysis
+// (epochs per Section 3.2, eligible vs ineligible drops per Lemma 3.2/3.4).
+type Tracker struct {
+	delta  int64
+	states map[model.Color]*colorState
+	tsK    int // timestamp depth K (1 = the paper's ΔLRU)
+
+	completedEpochs int64
+	eligibleDrops   int64
+	ineligibleDrops int64
+
+	// super, when non-nil, performs the Section 3.4 super-epoch accounting
+	// (see superepoch.go).
+	super *superEpochTracker
+}
+
+// NewTracker returns a Tracker for the given environment. The core policies
+// require batched arrivals (jobs of color ℓ arrive at integral multiples of
+// D_ℓ); Reset panics otherwise, because the drop/arrival phase bookkeeping of
+// Section 3.1 is only defined for batched inputs. Use the VarBatch and
+// Distribute reductions for general inputs.
+func NewTracker(env sim.Env) *Tracker {
+	if !env.Seq.IsBatched() {
+		panic("core: the Section 3 policies require batched arrivals; wrap general inputs with reduce.VarBatch")
+	}
+	t := NewDynamicTracker(env.Seq.Delta())
+	for _, c := range env.Seq.Colors() {
+		d, _ := env.Seq.DelayBound(c)
+		t.Register(c, d)
+	}
+	return t
+}
+
+// NewDynamicTracker returns a Tracker whose color universe is registered
+// incrementally with Register — the streaming interface uses this, since
+// subcolors of the Distribute reduction come into existence as batches
+// arrive. The caller is responsible for only feeding batched arrivals.
+func NewDynamicTracker(delta int64) *Tracker {
+	if delta <= 0 {
+		panic("core: non-positive reconfiguration cost")
+	}
+	return &Tracker{
+		delta:  delta,
+		states: make(map[model.Color]*colorState),
+		tsK:    1,
+	}
+}
+
+// SetTimestampK sets the timestamp depth K (>= 1): topByTimestamp then ranks
+// colors by their K-th latest visible counter wrap (the LRU-K
+// generalization). Must be set before the run.
+func (t *Tracker) SetTimestampK(k int) {
+	if k < 1 {
+		panic("core: timestamp depth must be >= 1")
+	}
+	t.tsK = k
+}
+
+// Register adds a color with its delay bound to the universe; registering an
+// existing color with the same delay is a no-op, with a different delay a
+// panic.
+func (t *Tracker) Register(c model.Color, delay int64) {
+	if delay <= 0 {
+		panic("core: non-positive delay bound")
+	}
+	if cs, ok := t.states[c]; ok {
+		if cs.delay != delay {
+			panic(fmt.Sprintf("core: color %v re-registered with delay %d (was %d)", c, delay, cs.delay))
+		}
+		return
+	}
+	t.states[c] = &colorState{delay: delay}
+}
+
+// ComputeTarget runs the ΔLRU-EDF reconfiguration scheme (Section 3.1.3)
+// directly on a tracker and view: the top lruSlots eligible colors by
+// timestamp are protected, and the remaining capacity is managed by the EDF
+// scheme. This is the policy core exposed for incremental drivers
+// (internal/stream); DeltaLRUEDF.Target delegates to the same logic.
+func ComputeTarget(t *Tracker, v sim.View, lruSlots int) []model.Color {
+	lru := t.topByTimestamp(v.Round(), lruSlots)
+	return edfUpdate(t, v, v.CachedColors(), lru, v.Slots()-lruSlots)
+}
+
+// state returns the colorState of c; colors outside the universe map to nil.
+func (t *Tracker) state(c model.Color) *colorState { return t.states[c] }
+
+// Eligible reports whether color c is currently eligible.
+func (t *Tracker) Eligible(c model.Color) bool {
+	cs := t.states[c]
+	return cs != nil && cs.eligible
+}
+
+// Deadline returns ℓ.dd of color c.
+func (t *Tracker) Deadline(c model.Color) int64 {
+	cs := t.states[c]
+	if cs == nil {
+		return 0
+	}
+	return cs.dd
+}
+
+// Timestamp returns the ΔLRU timestamp of color c at round now.
+func (t *Tracker) Timestamp(c model.Color, now int64) int64 {
+	cs := t.states[c]
+	if cs == nil {
+		return 0
+	}
+	return cs.timestampK(now, t.tsK)
+}
+
+// NumEpochs returns the number of epochs associated with the input so far,
+// counting the incomplete last epoch of every color that has started one
+// (Section 3.2: an epoch of ℓ ends the moment ℓ becomes ineligible; colors
+// start ineligible and epoch 0 starts with the color's first job).
+func (t *Tracker) NumEpochs() int64 {
+	n := t.completedEpochs
+	for _, cs := range t.states {
+		if cs.seen {
+			n++ // the current (possibly incomplete) epoch
+		}
+	}
+	return n
+}
+
+// EligibleDrops returns the drop cost incurred on eligible jobs (jobs
+// dropped while their color was eligible).
+func (t *Tracker) EligibleDrops() int64 { return t.eligibleDrops }
+
+// IneligibleDrops returns the drop cost incurred on ineligible jobs.
+func (t *Tracker) IneligibleDrops() int64 { return t.ineligibleDrops }
+
+// DropPhase performs the Section 3.1 drop-phase bookkeeping for round k:
+// classify this round's drops by the (pre-transition) eligibility of their
+// color, then, for every color ℓ with k ≡ 0 (mod D_ℓ) that is eligible and
+// not cached, make ℓ ineligible and zero its counter, ending its epoch.
+func (t *Tracker) DropPhase(v sim.View, dropped map[model.Color]int) {
+	for c, n := range dropped {
+		cs := t.states[c]
+		if cs == nil {
+			continue
+		}
+		if cs.eligible {
+			t.eligibleDrops += int64(n)
+		} else {
+			t.ineligibleDrops += int64(n)
+		}
+	}
+	k := v.Round()
+	for c, cs := range t.states {
+		if k%cs.delay != 0 {
+			continue
+		}
+		if cs.eligible && !v.Cached(c) {
+			cs.eligible = false
+			cs.cnt = 0
+			t.completedEpochs++
+			if t.super != nil {
+				// The epoch of c ends here and its successor begins
+				// immediately (Section 3.2).
+				t.super.onEpochStart(c)
+			}
+		}
+	}
+}
+
+// ArrivalPhase performs the Section 3.1 arrival-phase bookkeeping for round
+// k: for every color ℓ with k ≡ 0 (mod D_ℓ), advance its deadline to k+D_ℓ,
+// add this round's arrivals to its counter, and on reaching Δ wrap the
+// counter (recording the wrap round) and make the color eligible.
+func (t *Tracker) ArrivalPhase(v sim.View, arrivals []model.Job) {
+	counts := make(map[model.Color]int64)
+	for _, j := range arrivals {
+		counts[j.Color]++
+	}
+	k := v.Round()
+	t.observeArrivalForSuperEpochs(v, k)
+	for c, cs := range t.states {
+		if k%cs.delay != 0 {
+			continue
+		}
+		cs.dd = k + cs.delay
+		if n := counts[c]; n > 0 {
+			if !cs.seen {
+				cs.seen = true
+			}
+			cs.cnt += n
+		}
+		if cs.cnt >= t.delta {
+			cs.cnt %= t.delta
+			cs.wrap(k, t.tsK+1)
+			cs.eligible = true
+		}
+	}
+}
+
+// eligibleColors returns the eligible colors in ascending color order (the
+// paper's "consistent order of colors").
+func (t *Tracker) eligibleColors() []model.Color {
+	out := make([]model.Color, 0, len(t.states))
+	for c, cs := range t.states {
+		if cs.eligible {
+			out = append(out, c)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// topByTimestamp returns the (at most q) eligible colors with the most
+// recent timestamps at round now, ties broken by the consistent color order.
+func (t *Tracker) topByTimestamp(now int64, q int) []model.Color {
+	elig := t.eligibleColors()
+	sort.SliceStable(elig, func(i, j int) bool {
+		ti := t.states[elig[i]].timestampK(now, t.tsK)
+		tj := t.states[elig[j]].timestampK(now, t.tsK)
+		if ti != tj {
+			return ti > tj
+		}
+		return elig[i] < elig[j]
+	})
+	if len(elig) > q {
+		elig = elig[:q]
+	}
+	return elig
+}
+
+// edfRank is the EDF ranking key of Section 3.1.2: nonidle colors first,
+// then ascending deadline, then ascending delay bound, then the consistent
+// order of colors. Smaller compares first (better rank).
+type edfRank struct {
+	idle  bool
+	dd    int64
+	delay int64
+	color model.Color
+}
+
+func (a edfRank) less(b edfRank) bool {
+	if a.idle != b.idle {
+		return !a.idle // nonidle first
+	}
+	if a.dd != b.dd {
+		return a.dd < b.dd
+	}
+	if a.delay != b.delay {
+		return a.delay < b.delay
+	}
+	return a.color < b.color
+}
+
+// rankEDF sorts the given colors by the EDF ranking at the current view
+// state (idleness comes from the live pending counts).
+func (t *Tracker) rankEDF(v sim.View, colors []model.Color) []model.Color {
+	ranked := make([]model.Color, len(colors))
+	copy(ranked, colors)
+	key := func(c model.Color) edfRank {
+		cs := t.states[c]
+		return edfRank{idle: v.Pending(c) == 0, dd: cs.dd, delay: cs.delay, color: c}
+	}
+	sort.SliceStable(ranked, func(i, j int) bool { return key(ranked[i]).less(key(ranked[j])) })
+	return ranked
+}
+
+// DelayBoundOf returns the registered delay bound of color c (0 if the
+// color is unknown).
+func (t *Tracker) DelayBoundOf(c model.Color) int64 {
+	cs := t.states[c]
+	if cs == nil {
+		return 0
+	}
+	return cs.delay
+}

@@ -1,0 +1,293 @@
+package edf
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"rrsched/internal/model"
+	"rrsched/internal/workload"
+)
+
+func TestParEDFDropsSimple(t *testing.T) {
+	// 3 jobs with D=1 in one round, m=2: one must drop.
+	seq := model.NewBuilder(1).Add(0, 0, 1, 3).MustBuild()
+	if got := ParEDFDrops(seq, 2); got != 1 {
+		t.Errorf("drops = %d, want 1", got)
+	}
+	if got := ParEDFDrops(seq, 3); got != 0 {
+		t.Errorf("drops = %d, want 0", got)
+	}
+}
+
+func TestParEDFDropsPrefersEarlierDeadline(t *testing.T) {
+	// Round 0: one job D=1 (deadline 1) and one job D=4 (deadline 4), m=1.
+	// EDF runs the D=1 job first; the D=4 job runs later. No drops.
+	seq := model.NewBuilder(1).Add(0, 0, 1, 1).Add(0, 1, 4, 1).MustBuild()
+	if got := ParEDFDrops(seq, 1); got != 0 {
+		t.Errorf("drops = %d, want 0 (EDF order avoids all drops)", got)
+	}
+}
+
+func TestParEDFDropsCapacity(t *testing.T) {
+	// 10 jobs, D=2, m=2: capacity 2 jobs/round × 2 rounds = 4 executed.
+	seq := model.NewBuilder(1).Add(0, 0, 2, 10).MustBuild()
+	if got := ParEDFDrops(seq, 2); got != 6 {
+		t.Errorf("drops = %d, want 6", got)
+	}
+}
+
+func TestParEDFPanicsOnBadM(t *testing.T) {
+	seq := model.NewBuilder(1).Add(0, 0, 1, 1).MustBuild()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("ParEDFDrops(seq, 0) did not panic")
+		}
+	}()
+	ParEDFDrops(seq, 0)
+}
+
+// bruteForceMinDrops computes the minimum possible drops for a tiny instance
+// with m parallel execution slots per round and no configuration constraint,
+// by exhaustive search over execution choices.
+func bruteForceMinDrops(seq *model.Sequence, m int) int {
+	jobs := seq.Jobs()
+	best := len(jobs)
+	var rec func(round int64, executed map[int64]bool)
+	rec = func(round int64, executed map[int64]bool) {
+		if round > seq.Horizon() {
+			drops := 0
+			for _, j := range jobs {
+				if !executed[j.ID] {
+					drops++
+				}
+			}
+			if drops < best {
+				best = drops
+			}
+			return
+		}
+		// Candidates executable this round.
+		var cands []int64
+		for _, j := range jobs {
+			if !executed[j.ID] && j.Arrival <= round && round < j.Deadline() {
+				cands = append(cands, j.ID)
+			}
+		}
+		// Choose up to m of them (order within a round is irrelevant):
+		// enumerate subsets of size <= m, with a pragmatic cap.
+		var choose func(i, left int, chosen []int64)
+		choose = func(i, left int, chosen []int64) {
+			if left == 0 || i == len(cands) {
+				for _, id := range chosen {
+					executed[id] = true
+				}
+				rec(round+1, executed)
+				for _, id := range chosen {
+					delete(executed, id)
+				}
+				return
+			}
+			choose(i+1, left-1, append(chosen, cands[i])) // take
+			choose(i+1, left, chosen)                     // skip
+		}
+		choose(0, m, nil)
+	}
+	rec(0, map[int64]bool{})
+	return best
+}
+
+// TestParEDFOptimalProperty: on tiny random instances, Par-EDF's drop count
+// equals the true minimum computed by brute force (EDF optimality,
+// Lemma 3.7's foundation).
+func TestParEDFOptimalProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		b := model.NewBuilder(1)
+		for i := 0; i < 6; i++ {
+			c := model.Color(rng.Intn(2))
+			d := int64(1 + rng.Intn(2)) // 1 or 2
+			if c == 1 {
+				d = 2
+			} else {
+				d = 1
+			}
+			b.Add(int64(rng.Intn(4)), c, d, rng.Intn(2))
+		}
+		seq, err := b.Build()
+		if err != nil || seq.NumJobs() == 0 {
+			return true
+		}
+		m := 1 + rng.Intn(2)
+		got := ParEDFDrops(seq, m)
+		want := bruteForceMinDrops(seq, m)
+		if int(got) != want {
+			t.Logf("seed %d: ParEDF drops %d, brute force %d", seed, got, want)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestParEDFMonotoneInM: more resources never increase drops.
+func TestParEDFMonotoneInM(t *testing.T) {
+	seq, err := workload.RandomBatched(workload.RandomConfig{
+		Seed: 1, Delta: 4, Colors: 6, Rounds: 128,
+		MinDelayExp: 1, MaxDelayExp: 3, Load: 1.2, RateLimited: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	prev := ParEDFDrops(seq, 1)
+	for m := 2; m <= 8; m++ {
+		cur := ParEDFDrops(seq, m)
+		if cur > prev {
+			t.Fatalf("drops increased from %d to %d at m=%d", prev, cur, m)
+		}
+		prev = cur
+	}
+}
+
+// TestSubsequenceMonotonicity mirrors Lemma 3.9: removing jobs from the
+// input never decreases the number of jobs Par-EDF executes from the rest.
+// (The paper proves this for DS-Seq-EDF; the EDF core argument is the same.)
+func TestSubsequenceMonotonicity(t *testing.T) {
+	full, err := workload.RandomBatched(workload.RandomConfig{
+		Seed: 5, Delta: 2, Colors: 4, Rounds: 64,
+		MinDelayExp: 1, MaxDelayExp: 2, Load: 1.5, RateLimited: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Drop every third job to build a subsequence.
+	b := model.NewBuilder(full.Delta())
+	kept := 0
+	for _, j := range full.Jobs() {
+		if j.ID%3 != 0 {
+			b.Add(j.Arrival, j.Color, j.Delay, 1)
+			kept++
+		}
+	}
+	sub := b.MustBuild()
+	m := 2
+	execFull := int64(full.NumJobs()) - ParEDFDrops(full, m)
+	execSub := int64(sub.NumJobs()) - ParEDFDrops(sub, m)
+	if execFull < execSub {
+		t.Fatalf("full input executed %d < subsequence %d", execFull, execSub)
+	}
+}
+
+// TestCorollary31DSSeqLeParEDF: DropCost(DS-Seq-EDF, m) <=
+// DropCost(Par-EDF, m)... the paper's Corollary 3.1 compares DS-Seq-EDF
+// against Par-EDF at the same m. Verified on random rate-limited instances
+// with power-of-two delay bounds.
+func TestCorollary31DSSeqLeParEDF(t *testing.T) {
+	for seed := int64(1); seed <= 8; seed++ {
+		seq, err := workload.RandomBatched(workload.RandomConfig{
+			Seed: seed, Delta: 3, Colors: 5, Rounds: 128,
+			MinDelayExp: 1, MaxDelayExp: 3, Load: 0.8, RateLimited: true,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		m := 2
+		ds, err := DSSeqEDF(seq, m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		par := ParEDFDrops(seq, m)
+		if ds.Cost.Drop > par {
+			t.Errorf("seed %d: DS-Seq-EDF drops %d > Par-EDF drops %d (Corollary 3.1)",
+				seed, ds.Cost.Drop, par)
+		}
+	}
+}
+
+func TestSeqEDFRunsAndAudits(t *testing.T) {
+	seq, err := workload.RandomBatched(workload.RandomConfig{
+		Seed: 2, Delta: 3, Colors: 5, Rounds: 64,
+		MinDelayExp: 1, MaxDelayExp: 3, Load: 0.5, RateLimited: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := SeqEDF(seq, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := model.MustAudit(seq, res.Schedule); got != res.Cost {
+		t.Errorf("audit %v != engine %v", got, res.Cost)
+	}
+	ds, err := DSSeqEDF(seq, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ds.Schedule.Speed != 2 {
+		t.Errorf("DS-Seq-EDF speed = %d", ds.Schedule.Speed)
+	}
+	if got := model.MustAudit(seq, ds.Schedule); got != ds.Cost {
+		t.Errorf("DS audit %v != engine %v", got, ds.Cost)
+	}
+	// Double speed never drops more than uni-speed with the same policy.
+	if ds.Cost.Drop > res.Cost.Drop {
+		t.Errorf("double-speed drops %d > uni-speed drops %d", ds.Cost.Drop, res.Cost.Drop)
+	}
+}
+
+func TestJobRankOrdering(t *testing.T) {
+	a := jobRank{deadline: 1, delay: 1, color: 0, id: 0}
+	b := jobRank{deadline: 2, delay: 1, color: 0, id: 1}
+	if !less(a, b) || less(b, a) {
+		t.Error("deadline ordering broken")
+	}
+	c := jobRank{deadline: 2, delay: 2, color: 0, id: 2}
+	if !less(b, c) {
+		t.Error("delay tie-break broken")
+	}
+	d := jobRank{deadline: 2, delay: 2, color: 1, id: 3}
+	if !less(c, d) {
+		t.Error("color tie-break broken")
+	}
+	e := jobRank{deadline: 2, delay: 2, color: 1, id: 4}
+	if !less(d, e) {
+		t.Error("id tie-break broken")
+	}
+}
+
+// TestParEDFBucketMatchesHeapProperty: the calendar-queue implementation
+// produces identical drop counts to the heap implementation.
+func TestParEDFBucketMatchesHeapProperty(t *testing.T) {
+	f := func(seedRaw uint8, mRaw uint8) bool {
+		seq, err := workload.RandomBatched(workload.RandomConfig{
+			Seed: int64(seedRaw), Delta: 3, Colors: 5, Rounds: 128,
+			MinDelayExp: 1, MaxDelayExp: 3, Load: 1.4,
+		})
+		if err != nil || seq.NumJobs() == 0 {
+			return true
+		}
+		m := int(mRaw)%4 + 1
+		heap := ParEDFDrops(seq, m)
+		bucket := ParEDFDropsBucket(seq, m)
+		if heap != bucket {
+			t.Logf("seed %d m=%d: heap %d != bucket %d", seedRaw, m, heap, bucket)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestParEDFBucketPanicsOnBadM(t *testing.T) {
+	seq := model.NewBuilder(1).Add(0, 0, 1, 1).MustBuild()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("m=0 accepted")
+		}
+	}()
+	ParEDFDropsBucket(seq, 0)
+}

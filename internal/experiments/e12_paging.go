@@ -1,0 +1,50 @@
+package experiments
+
+import (
+	"rrsched/internal/paging"
+	"rrsched/internal/stats"
+)
+
+func init() {
+	register(Experiment{
+		ID:    "E12",
+		Title: "Paging special case (Sleator–Tarjan)",
+		Claim: "Paging is reconfigurable resource scheduling with unit delay bound, unit reconfiguration cost, and infinite drop cost. On the adversary trace every deterministic policy with cache k faults k times as often as OPT; with a 2x cache (resource augmentation) LRU is constant competitive.",
+		Run:   runE12,
+	})
+}
+
+func runE12(cfg Config) []*stats.Table {
+	length := 20000
+	if cfg.Quick {
+		length = 4000
+	}
+	ks := []int{4, 8, 16}
+	adv := stats.NewTable(
+		"E12a: Sleator–Tarjan adversary trace — LRU(k) pays ~k× OPT(k); LRU(2k) is ~2-competitive (augmentation); randomized Marker escapes the deterministic bound",
+		"k", "requests", "LRU(k)", "FIFO(k)", "Marker(k)", "OPT(k)", "LRU(k)/OPT(k)", "LRU(2k)", "LRU(2k)/OPT(k)")
+	for _, k := range ks {
+		trace := paging.SleatorTarjanTrace(k, length)
+		lru := paging.RunTrace(&paging.LRU{}, k, trace)
+		fifo := paging.RunTrace(&paging.FIFO{}, k, trace)
+		marker := paging.RunTrace(paging.NewMarker(42), k, trace)
+		opt := paging.BeladyFaults(k, trace)
+		lru2 := paging.RunTrace(&paging.LRU{}, 2*k, trace)
+		adv.AddRow(k, length, lru, fifo, marker, opt,
+			stats.Ratio(int64(lru), int64(opt)), lru2, stats.Ratio(int64(lru2), int64(opt)))
+	}
+	zipf := stats.NewTable(
+		"E12b: Zipf page trace — LRU tracks OPT closely on skewed workloads",
+		"k", "pages", "LRU(k)", "FIFO(k)", "OPT(k)", "LRU/OPT")
+	for _, k := range ks {
+		trace, err := paging.ZipfTrace(11, 256, length, 1.2)
+		if err != nil {
+			panic(err)
+		}
+		lru := paging.RunTrace(&paging.LRU{}, k, trace)
+		fifo := paging.RunTrace(&paging.FIFO{}, k, trace)
+		opt := paging.BeladyFaults(k, trace)
+		zipf.AddRow(k, 256, lru, fifo, opt, stats.Ratio(int64(lru), int64(opt)))
+	}
+	return []*stats.Table{adv, zipf}
+}

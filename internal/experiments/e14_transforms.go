@@ -1,0 +1,102 @@
+package experiments
+
+import (
+	"fmt"
+
+	"rrsched/internal/model"
+	"rrsched/internal/offline"
+	"rrsched/internal/reduce"
+	"rrsched/internal/stats"
+	"rrsched/internal/workload"
+)
+
+func init() {
+	register(Experiment{
+		ID:    "E14",
+		Title: "Constructive transformations: Aggregate (Lemma 4.1) and PunctualTransform (Lemma 5.3)",
+		Claim: "Both offline schedule transformations realize their contracts on measured inputs: Aggregate keeps drop cost equal with 3x resources and O(1)x reconfiguration cost; PunctualTransform makes every execution punctual with 7x resources and O(1)x reconfiguration cost.",
+		Run:   runE14,
+	})
+}
+
+func runE14(cfg Config) []*stats.Table {
+	seeds := []int64{1, 2, 3, 4}
+	if cfg.Quick {
+		seeds = seeds[:2]
+	}
+	m := 2
+
+	agg := stats.NewTable(
+		fmt.Sprintf("E14a: Aggregate on offline greedy schedules (m=%d -> 3m resources); reconfig ratio must stay O(1)", m),
+		"seed", "jobs", "T execs", "T' execs", "T reconfig", "T' reconfig", "ratio")
+	for _, seed := range seeds {
+		seq, err := workload.RandomBatched(workload.RandomConfig{
+			Seed: seed, Delta: 3, Colors: 5, Rounds: 256,
+			MinDelayExp: 1, MaxDelayExp: 4, Load: 1.6,
+		})
+		if err != nil {
+			panic(err)
+		}
+		inner, smap, err := reduce.DistributeSequence(seq)
+		if err != nil {
+			panic(err)
+		}
+		src := offline.BestGreedy(seq, m)
+		out, err := reduce.Aggregate(seq, inner, smap, src.Schedule)
+		if err != nil {
+			panic(err)
+		}
+		cost, err := model.Audit(inner, out)
+		if err != nil {
+			panic(err)
+		}
+		agg.AddRow(seed, seq.NumJobs(), src.Schedule.NumExecs(), out.NumExecs(),
+			src.Cost.Reconfig, cost.Reconfig,
+			stats.Ratio(cost.Reconfig, maxi(src.Cost.Reconfig, 1)))
+	}
+
+	punc := stats.NewTable(
+		fmt.Sprintf("E14b: PunctualTransform on offline greedy schedules (m=%d -> 7m resources); all executions become punctual", m),
+		"seed", "jobs", "S execs", "S' execs", "S reconfig", "S' reconfig", "ratio", "punctual?")
+	for _, seed := range seeds {
+		seq, err := workload.RandomGeneral(workload.RandomConfig{
+			Seed: seed, Delta: 3, Colors: 5, Rounds: 256,
+			MinDelayExp: 1, MaxDelayExp: 4, Load: 0.5,
+		})
+		if err != nil {
+			panic(err)
+		}
+		src := offline.BestGreedy(seq, m)
+		out, err := reduce.PunctualTransform(seq, src.Schedule)
+		if err != nil {
+			panic(err)
+		}
+		cost, err := model.Audit(seq, out)
+		if err != nil {
+			panic(err)
+		}
+		jobs := map[int64]model.Job{}
+		for _, j := range seq.Jobs() {
+			jobs[j.ID] = j
+		}
+		punctual := true
+		for _, e := range out.Execs {
+			if p, err := reduce.ClassifyExecution(jobs[e.JobID], e.Round); err != nil || p != reduce.Punctual {
+				punctual = false
+				break
+			}
+		}
+		punc.AddRow(seed, seq.NumJobs(), src.Schedule.NumExecs(), out.NumExecs(),
+			src.Cost.Reconfig, cost.Reconfig,
+			stats.Ratio(cost.Reconfig, maxi(src.Cost.Reconfig, 1)),
+			fmt.Sprintf("%v", punctual))
+	}
+	return []*stats.Table{agg, punc}
+}
+
+func maxi(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}

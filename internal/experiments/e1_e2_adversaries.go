@@ -1,0 +1,111 @@
+package experiments
+
+import (
+	"fmt"
+
+	"rrsched/internal/core"
+	"rrsched/internal/model"
+	"rrsched/internal/sim"
+	"rrsched/internal/stats"
+	"rrsched/internal/workload"
+)
+
+func init() {
+	register(Experiment{
+		ID:    "E1",
+		Title: "Appendix A: ΔLRU is not resource competitive",
+		Claim: "On the Appendix A instance the competitive ratio of ΔLRU is Ω(2^(j+1)/(nΔ)) — it grows unboundedly with j — while ΔLRU-EDF stays bounded.",
+		Run:   runE1,
+	})
+	register(Experiment{
+		ID:    "E2",
+		Title: "Appendix B: EDF is not resource competitive",
+		Claim: "On the Appendix B instance the competitive ratio of EDF is at least 2^(k-j-1)/(n/2+1) — it grows unboundedly with k-j — while ΔLRU-EDF stays bounded.",
+		Run:   runE2,
+	})
+}
+
+// offlineScript realizes a hand-built offline schedule (a reconfiguration
+// script for m resources) and returns its audited cost; this is a feasible
+// schedule, hence an upper bound on OPT.
+func offlineScript(seq *model.Sequence, m int, recs []model.Reconfigure) model.Cost {
+	sched, err := sim.Replay(seq, m, 1, recs)
+	if err != nil {
+		panic("experiments: offline script replay: " + err.Error())
+	}
+	cost, err := model.Audit(seq, sched)
+	if err != nil {
+		panic("experiments: offline script audit: " + err.Error())
+	}
+	return cost
+}
+
+func runE1(cfg Config) []*stats.Table {
+	n := 8
+	delta := int64(4)
+	js := []uint{6, 7, 8, 9}
+	if cfg.Quick {
+		js = []uint{6, 7}
+	}
+	t := stats.NewTable(
+		fmt.Sprintf("E1: Appendix A adversary vs ΔLRU (n=%d, Δ=%d, k=j+3); OFF caches the long-term color on one resource", n, delta),
+		"j", "jobs", "dLRU cost", "dLRU-EDF cost", "OFF cost", "ratio dLRU", "ratio dLRU-EDF", "theory Ω(2^(j+1)/nΔ)")
+	for _, j := range js {
+		k := j + 3
+		seq, err := workload.DeltaLRUAdversary(n, delta, j, k)
+		if err != nil {
+			panic(err)
+		}
+		env := sim.Env{Seq: seq, Resources: n, Replication: 2, Speed: 1}
+		lru := sim.MustRun(env, core.NewDeltaLRU())
+		combo := sim.MustRun(env, core.NewDeltaLRUEDF())
+		// The Appendix A offline schedule: one resource, configured to the
+		// long-term color at round 0, forever.
+		longColor := model.Color(n / 2)
+		off := offlineScript(seq, 1, []model.Reconfigure{{Round: 0, Resource: 0, To: longColor}})
+		t.AddRow(int(j), seq.NumJobs(),
+			lru.Cost.Total(), combo.Cost.Total(), off.Total(),
+			stats.Ratio(lru.Cost.Total(), off.Total()),
+			stats.Ratio(combo.Cost.Total(), off.Total()),
+			float64(int64(1)<<(j+1))/float64(int64(n)*delta))
+	}
+	return []*stats.Table{t}
+}
+
+func runE2(cfg Config) []*stats.Table {
+	n := 4
+	delta := int64(8)
+	j := uint(4)
+	ks := []uint{6, 7, 8, 9}
+	if cfg.Quick {
+		ks = []uint{6, 7}
+	}
+	t := stats.NewTable(
+		fmt.Sprintf("E2: Appendix B adversary vs EDF (n=%d, Δ=%d, j=%d); OFF serves the short color then each long color in its own stretch", n, delta, j),
+		"k", "jobs", "EDF cost", "dLRU-EDF cost", "OFF cost", "ratio EDF", "ratio dLRU-EDF", "theory 2^(k-j-1)/(n/2+1)")
+	for _, k := range ks {
+		seq, err := workload.EDFAdversary(n, delta, j, k)
+		if err != nil {
+			panic(err)
+		}
+		env := sim.Env{Seq: seq, Resources: n, Replication: 2, Speed: 1}
+		edfRes := sim.MustRun(env, core.NewEDF())
+		combo := sim.MustRun(env, core.NewDeltaLRUEDF())
+		// The Appendix B offline schedule with one resource: the short color
+		// for rounds [0, 2^(k-1)), then long color p throughout
+		// [2^(k+p-1), 2^(k+p)).
+		recs := []model.Reconfigure{{Round: 0, Resource: 0, To: model.Color(0)}}
+		for p := 0; p < n/2; p++ {
+			recs = append(recs, model.Reconfigure{
+				Round: int64(1) << (k + uint(p) - 1), Resource: 0, To: model.Color(1 + p),
+			})
+		}
+		off := offlineScript(seq, 1, recs)
+		t.AddRow(int(k), seq.NumJobs(),
+			edfRes.Cost.Total(), combo.Cost.Total(), off.Total(),
+			stats.Ratio(edfRes.Cost.Total(), off.Total()),
+			stats.Ratio(combo.Cost.Total(), off.Total()),
+			float64(int64(1)<<(k-j-1))/float64(n/2+1))
+	}
+	return []*stats.Table{t}
+}

@@ -1,0 +1,140 @@
+package experiments
+
+import (
+	"fmt"
+
+	"rrsched/internal/core"
+	"rrsched/internal/edf"
+	"rrsched/internal/reduce"
+	"rrsched/internal/sim"
+	"rrsched/internal/stats"
+	"rrsched/internal/workload"
+)
+
+func init() {
+	register(Experiment{
+		ID:    "E6",
+		Title: "Lemma 3.2 chain: eligible drops of ΔLRU-EDF vs the EDF-family bounds",
+		Claim: "EligibleDrops(ΔLRU-EDF @ n=8m) <= Drops(DS-Seq-EDF @ m') <= Drops(Par-EDF @ m') for the paper's parameters, and Par-EDF @ m lower-bounds OPT's drops.",
+		Run:   runE6,
+	})
+	register(Experiment{
+		ID:    "E7",
+		Title: "Lemmas 3.3 & 3.4: epoch accounting of ΔLRU-EDF",
+		Claim: "ReconfigCost <= 4·numEpochs·Δ and IneligibleDropCost <= numEpochs·Δ on every input; the slack columns must be >= 0.",
+		Run:   runE7,
+	})
+	register(Experiment{
+		ID:    "E8",
+		Title: "Introduction scenario: thrashing vs underutilization",
+		Claim: "Pure recency (ΔLRU) underutilizes (heavy background drops) while the deadline-aware policies drop nothing. EDF's thrashing half of the dilemma is adversarial (see E2); on this randomized scenario its reconfiguration cost stays moderate, which the results report honestly.",
+		Run:   runE8,
+	})
+}
+
+func runE6(cfg Config) []*stats.Table {
+	m := 1
+	n := 8 * m
+	seeds := []int64{1, 2, 3, 4, 5}
+	if cfg.Quick {
+		seeds = seeds[:2]
+	}
+	t := stats.NewTable(
+		fmt.Sprintf("E6: drop-cost chain on rate-limited batched inputs (ΔLRU-EDF at n=%d; EDF family at 2m=%d resources; Par-EDF at m=%d lower-bounds OPT drops)", n, 2*m, m),
+		"seed", "jobs", "eligibleDrops", "dsSeqEDF(2m)", "parEDF(2m)", "parEDF(m)", "total drops")
+	for _, seed := range seeds {
+		seq, err := workload.RandomBatched(workload.RandomConfig{
+			Seed: seed, Delta: 4, Colors: 10, Rounds: 512,
+			MinDelayExp: 1, MaxDelayExp: 4, Load: 0.8, RateLimited: true,
+		})
+		if err != nil {
+			panic(err)
+		}
+		p := core.NewDeltaLRUEDF()
+		res := sim.MustRun(sim.Env{Seq: seq, Resources: n, Replication: 2, Speed: 1}, p)
+		ds, err := edf.DSSeqEDF(seq, 2*m)
+		if err != nil {
+			panic(err)
+		}
+		t.AddRow(seed, seq.NumJobs(),
+			p.Tracker().EligibleDrops(), ds.Cost.Drop,
+			edf.ParEDFDrops(seq, 2*m), edf.ParEDFDrops(seq, m), res.Cost.Drop)
+	}
+	return []*stats.Table{t}
+}
+
+func runE7(cfg Config) []*stats.Table {
+	n := 8
+	seeds := []int64{1, 2, 3, 4, 5}
+	if cfg.Quick {
+		seeds = seeds[:2]
+	}
+	t := stats.NewTable(
+		fmt.Sprintf("E7: epoch accounting of ΔLRU-EDF (n=%d); Lemma 3.3 bound is 4·epochs·Δ, Lemma 3.4 bound is epochs·Δ", n),
+		"seed", "Δ", "epochs", "reconfig", "4·epochs·Δ", "slack 3.3", "ineligibleDrops", "epochs·Δ", "slack 3.4")
+	for _, seed := range seeds {
+		delta := int64(4 + 4*(seed%3))
+		seq, err := workload.RandomBatched(workload.RandomConfig{
+			Seed: seed, Delta: delta, Colors: 10, Rounds: 512,
+			MinDelayExp: 1, MaxDelayExp: 4, Load: 0.7, RateLimited: true,
+		})
+		if err != nil {
+			panic(err)
+		}
+		p := core.NewDeltaLRUEDF()
+		res := sim.MustRun(sim.Env{Seq: seq, Resources: n, Replication: 2, Speed: 1}, p)
+		tr := p.Tracker()
+		epochs := tr.NumEpochs()
+		bound33 := 4 * epochs * delta
+		bound34 := epochs * delta
+		t.AddRow(seed, delta, epochs,
+			res.Cost.Reconfig, bound33, bound33-res.Cost.Reconfig,
+			tr.IneligibleDrops(), bound34, bound34-tr.IneligibleDrops())
+	}
+	return []*stats.Table{t}
+}
+
+func runE8(cfg Config) []*stats.Table {
+	n := 8
+	rounds := int64(1024)
+	if cfg.Quick {
+		rounds = 512
+	}
+	seq, err := workload.BackgroundShortTerm(workload.BackgroundConfig{
+		Seed: 7, Delta: 8,
+		ShortColors: 4, ShortDelay: 8,
+		BackgroundColors: 2, BackgroundDelay: 256,
+		Rounds: rounds, BurstProb: 0.5, BackgroundJobs: 192,
+	})
+	if err != nil {
+		panic(err)
+	}
+	t := stats.NewTable(
+		fmt.Sprintf("E8: background vs short-term scenario (n=%d, jobs=%d): cost decomposition per policy", n, seq.NumJobs()),
+		"policy", "reconfig", "drop", "total")
+	run := func(name string, f func() (int64, int64)) {
+		rc, dr := f()
+		t.AddRow(name, rc, dr, rc+dr)
+	}
+	env := sim.Env{Seq: seq, Resources: n, Replication: 2, Speed: 1}
+	run("dlru (recency only)", func() (int64, int64) {
+		r := sim.MustRun(env, core.NewDeltaLRU())
+		return r.Cost.Reconfig, r.Cost.Drop
+	})
+	run("edf (deadline only)", func() (int64, int64) {
+		r := sim.MustRun(env, core.NewEDF())
+		return r.Cost.Reconfig, r.Cost.Drop
+	})
+	run("dlru-edf (combination)", func() (int64, int64) {
+		r := sim.MustRun(env, core.NewDeltaLRUEDF())
+		return r.Cost.Reconfig, r.Cost.Drop
+	})
+	run("distribute(dlru-edf)", func() (int64, int64) {
+		r, err := reduce.RunDistribute(seq, n, core.NewDeltaLRUEDF())
+		if err != nil {
+			panic(err)
+		}
+		return r.Cost.Reconfig, r.Cost.Drop
+	})
+	return []*stats.Table{t}
+}

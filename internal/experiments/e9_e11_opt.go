@@ -1,0 +1,159 @@
+package experiments
+
+import (
+	"fmt"
+
+	"rrsched/internal/core"
+	"rrsched/internal/model"
+	"rrsched/internal/offline"
+	"rrsched/internal/reduce"
+	"rrsched/internal/sim"
+	"rrsched/internal/stats"
+	"rrsched/internal/workload"
+)
+
+func init() {
+	register(Experiment{
+		ID:    "E9",
+		Title: "Exact OPT validation on small instances",
+		Claim: "On instances small enough for the exact solver: LB <= OPT <= heuristic UB, and the measured ratio cost(VarBatch stack)/OPT is a bounded constant.",
+		Run:   runE9,
+	})
+	register(Experiment{
+		ID:    "E10",
+		Title: "Augmentation sweep",
+		Claim: "The measured ratio of the ΔLRU-EDF stack against a fixed offline bracket shrinks as the resource-augmentation factor grows, flattening near the paper's 8x regime.",
+		Run:   runE10,
+	})
+	register(Experiment{
+		ID:    "E11",
+		Title: "Ablations of ΔLRU-EDF design choices",
+		Claim: "Removing either half of the combination (pure-LRU or pure-EDF slot split) or the two-way replication degrades the worst of reconfiguration or drop cost, as the design discussion predicts.",
+		Run:   runE11,
+	})
+}
+
+func runE9(cfg Config) []*stats.Table {
+	m := 1
+	n := 8 * m
+	seeds := []int64{1, 2, 3, 4, 5, 6, 7, 8}
+	if cfg.Quick {
+		seeds = seeds[:3]
+	}
+	t := stats.NewTable(
+		fmt.Sprintf("E9: exact OPT (m=%d) vs bracket and the online stack (n=%d) on small instances", m, n),
+		"seed", "jobs", "LB", "OPT", "UB", "stack cost", "ratio OPT", "bracket ok")
+	for _, seed := range seeds {
+		seq, err := workload.RandomGeneral(workload.RandomConfig{
+			Seed: seed, Delta: 2, Colors: 3, Rounds: 24,
+			MinDelayExp: 1, MaxDelayExp: 2, Load: 0.5,
+		})
+		if err != nil {
+			panic(err)
+		}
+		opt, err := offline.Exact(seq, m, offline.ExactOptions{})
+		if err != nil {
+			panic(err)
+		}
+		br := offline.BracketOPT(seq, m)
+		res, err := reduce.RunVarBatch(seq, n, core.NewDeltaLRUEDF())
+		if err != nil {
+			panic(err)
+		}
+		ok := br.LB <= opt && opt <= br.UB
+		t.AddRow(seed, seq.NumJobs(), br.LB, opt, br.UB, res.Cost.Total(),
+			stats.Ratio(res.Cost.Total(), opt), fmt.Sprintf("%v", ok))
+	}
+	return []*stats.Table{t}
+}
+
+func runE10(cfg Config) []*stats.Table {
+	m := 1
+	ns := []int{4, 8, 16, 32}
+	if cfg.Quick {
+		ns = []int{4, 8}
+	}
+	seeds := []int64{1, 2, 3}
+	t := stats.NewTable(
+		fmt.Sprintf("E10: augmentation sweep — ΔLRU-EDF cost vs OPT bracket (m=%d) as n grows (paper regime n=8m)", m),
+		"n", "augmentation", "mean cost", "mean LB", "mean ratioLB")
+	for _, n := range ns {
+		var sumCost, sumLB int64
+		var sumRatio float64
+		for _, seed := range seeds {
+			seq, err := workload.RandomBatched(workload.RandomConfig{
+				Seed: seed, Delta: 4, Colors: 10, Rounds: 512,
+				MinDelayExp: 1, MaxDelayExp: 4, Load: 0.5, ZipfS: 1.3, RateLimited: true,
+			})
+			if err != nil {
+				panic(err)
+			}
+			res := sim.MustRun(sim.Env{Seq: seq, Resources: n, Replication: 2, Speed: 1}, core.NewDeltaLRUEDF())
+			lb := offline.LowerBound(seq, m)
+			sumCost += res.Cost.Total()
+			sumLB += lb
+			sumRatio += stats.Ratio(res.Cost.Total(), lb)
+		}
+		k := int64(len(seeds))
+		t.AddRow(n, fmt.Sprintf("%dx", n/m), sumCost/k, sumLB/k, sumRatio/float64(len(seeds)))
+	}
+	return []*stats.Table{t}
+}
+
+func runE11(cfg Config) []*stats.Table {
+	n := 8
+	seeds := []int64{1, 2, 3, 4}
+	if cfg.Quick {
+		seeds = seeds[:2]
+	}
+	type variantResult struct {
+		reconfig, drop, total int64
+	}
+	variants := []struct {
+		name string
+		run  func(seq *model.Sequence) variantResult
+	}{
+		{"default (half/half, repl=2)", func(seq *model.Sequence) variantResult {
+			r := sim.MustRun(sim.Env{Seq: seq, Resources: n, Replication: 2, Speed: 1}, core.NewDeltaLRUEDF())
+			return variantResult{r.Cost.Reconfig, r.Cost.Drop, r.Cost.Total()}
+		}},
+		{"all slots LRU (pure ΔLRU split)", func(seq *model.Sequence) variantResult {
+			r := sim.MustRun(sim.Env{Seq: seq, Resources: n, Replication: 2, Speed: 1}, core.NewDeltaLRUEDF(core.WithLRUSlots(n/2)))
+			return variantResult{r.Cost.Reconfig, r.Cost.Drop, r.Cost.Total()}
+		}},
+		{"no LRU slots (pure EDF split)", func(seq *model.Sequence) variantResult {
+			r := sim.MustRun(sim.Env{Seq: seq, Resources: n, Replication: 2, Speed: 1}, core.NewEDF())
+			return variantResult{r.Cost.Reconfig, r.Cost.Drop, r.Cost.Total()}
+		}},
+		{"no replication (repl=1)", func(seq *model.Sequence) variantResult {
+			r := sim.MustRun(sim.Env{Seq: seq, Resources: n, Replication: 1, Speed: 1}, core.NewDeltaLRUEDF())
+			return variantResult{r.Cost.Reconfig, r.Cost.Drop, r.Cost.Total()}
+		}},
+		{"quarter LRU slots", func(seq *model.Sequence) variantResult {
+			r := sim.MustRun(sim.Env{Seq: seq, Resources: n, Replication: 2, Speed: 1}, core.NewDeltaLRUEDF(core.WithLRUSlots(1)))
+			return variantResult{r.Cost.Reconfig, r.Cost.Drop, r.Cost.Total()}
+		}},
+	}
+	t := stats.NewTable(
+		fmt.Sprintf("E11: ablations of ΔLRU-EDF on rate-limited batched Zipf inputs (n=%d, mean over %d seeds)", n, len(seeds)),
+		"variant", "mean reconfig", "mean drop", "mean total")
+	for _, v := range variants {
+		var agg variantResult
+		for _, seed := range seeds {
+			seq, err := workload.RandomBatched(workload.RandomConfig{
+				Seed: seed, Delta: 4, Colors: 10, Rounds: 512,
+				MinDelayExp: 1, MaxDelayExp: 4, Load: 0.7, ZipfS: 1.4, RateLimited: true,
+			})
+			if err != nil {
+				panic(err)
+			}
+			r := v.run(seq)
+			agg.reconfig += r.reconfig
+			agg.drop += r.drop
+			agg.total += r.total
+		}
+		k := int64(len(seeds))
+		t.AddRow(v.name, agg.reconfig/k, agg.drop/k, agg.total/k)
+	}
+	return []*stats.Table{t}
+}

@@ -1,0 +1,247 @@
+package experiments
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+)
+
+func TestRegistryComplete(t *testing.T) {
+	all := All()
+	if len(all) != 17 {
+		t.Fatalf("registered %d experiments, want 17", len(all))
+	}
+	for i, e := range all {
+		want := "E" + strconv.Itoa(i+1)
+		if e.ID != want {
+			t.Errorf("experiment %d has ID %s, want %s (numeric ordering)", i, e.ID, want)
+		}
+		if e.Title == "" || e.Claim == "" || e.Run == nil {
+			t.Errorf("%s is incompletely registered", e.ID)
+		}
+	}
+}
+
+func TestByID(t *testing.T) {
+	if _, ok := ByID("E1"); !ok {
+		t.Error("E1 missing")
+	}
+	if _, ok := ByID("E99"); ok {
+		t.Error("E99 exists")
+	}
+}
+
+// TestAllExperimentsRunQuick executes every experiment in quick mode and
+// sanity-checks the tables: non-empty, rows match headers.
+func TestAllExperimentsRunQuick(t *testing.T) {
+	for _, e := range All() {
+		e := e
+		t.Run(e.ID, func(t *testing.T) {
+			tables := e.Run(Config{Quick: true})
+			if len(tables) == 0 {
+				t.Fatal("no tables")
+			}
+			for _, tb := range tables {
+				if len(tb.Headers) == 0 || len(tb.Rows) == 0 {
+					t.Fatalf("table %q is empty", tb.Caption)
+				}
+				for _, row := range tb.Rows {
+					if len(row) != len(tb.Headers) {
+						t.Fatalf("table %q: row width %d != headers %d", tb.Caption, len(row), len(tb.Headers))
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestE1ShapeRatioGrows: the ΔLRU ratio must grow with j while the
+// ΔLRU-EDF ratio stays flat — the paper's Appendix A shape.
+func TestE1ShapeRatioGrows(t *testing.T) {
+	e, _ := ByID("E1")
+	tb := e.Run(Config{Quick: false})[0]
+	first := parseF(t, tb.Rows[0][5])
+	last := parseF(t, tb.Rows[len(tb.Rows)-1][5])
+	if last < 2*first {
+		t.Errorf("ΔLRU ratio did not grow: %v -> %v", first, last)
+	}
+	comboFirst := parseF(t, tb.Rows[0][6])
+	comboLast := parseF(t, tb.Rows[len(tb.Rows)-1][6])
+	if comboLast > 3*comboFirst+1 {
+		t.Errorf("ΔLRU-EDF ratio grew: %v -> %v", comboFirst, comboLast)
+	}
+}
+
+// TestE2ShapeRatioGrows: the EDF ratio grows with k, ΔLRU-EDF stays flat —
+// the Appendix B shape.
+func TestE2ShapeRatioGrows(t *testing.T) {
+	e, _ := ByID("E2")
+	tb := e.Run(Config{Quick: false})[0]
+	first := parseF(t, tb.Rows[0][5])
+	last := parseF(t, tb.Rows[len(tb.Rows)-1][5])
+	if last < 2*first {
+		t.Errorf("EDF ratio did not grow: %v -> %v", first, last)
+	}
+	comboFirst := parseF(t, tb.Rows[0][6])
+	comboLast := parseF(t, tb.Rows[len(tb.Rows)-1][6])
+	if comboLast > 3*comboFirst+1 {
+		t.Errorf("ΔLRU-EDF ratio grew: %v -> %v", comboFirst, comboLast)
+	}
+}
+
+// TestE3RatiosBounded: measured ratioLB stays under a generous constant on
+// every row (Theorem 1's empirical signature).
+func TestE3RatiosBounded(t *testing.T) {
+	e, _ := ByID("E3")
+	tb := e.Run(Config{Quick: true})[0]
+	col := indexOf(t, tb.Headers, "ratioLB")
+	for _, row := range tb.Rows {
+		if r := parseF(t, row[col]); r > 8 {
+			t.Errorf("ratioLB %v exceeds 8 on row %v", r, row)
+		}
+	}
+}
+
+// TestE7SlackNonNegative: the Lemma 3.3/3.4 slack columns must be >= 0.
+func TestE7SlackNonNegative(t *testing.T) {
+	e, _ := ByID("E7")
+	tb := e.Run(Config{Quick: true})[0]
+	i33 := indexOf(t, tb.Headers, "slack 3.3")
+	i34 := indexOf(t, tb.Headers, "slack 3.4")
+	for _, row := range tb.Rows {
+		if parseF(t, row[i33]) < 0 || parseF(t, row[i34]) < 0 {
+			t.Errorf("negative slack in row %v", row)
+		}
+	}
+}
+
+// TestE9BracketHolds: every row must report "bracket ok = true".
+func TestE9BracketHolds(t *testing.T) {
+	e, _ := ByID("E9")
+	tb := e.Run(Config{Quick: true})[0]
+	col := indexOf(t, tb.Headers, "bracket ok")
+	for _, row := range tb.Rows {
+		if row[col] != "true" {
+			t.Errorf("bracket violated: %v", row)
+		}
+	}
+}
+
+// TestE12AdversaryRatio: LRU(k)/OPT(k) ≈ k on the Sleator–Tarjan trace.
+func TestE12AdversaryRatio(t *testing.T) {
+	e, _ := ByID("E12")
+	tb := e.Run(Config{Quick: true})[0]
+	kCol := indexOf(t, tb.Headers, "k")
+	rCol := indexOf(t, tb.Headers, "LRU(k)/OPT(k)")
+	for _, row := range tb.Rows {
+		k := parseF(t, row[kCol])
+		r := parseF(t, row[rCol])
+		if r < 0.7*k || r > 1.3*k {
+			t.Errorf("k=%v: ratio %v not ≈ k", k, r)
+		}
+	}
+}
+
+func parseF(t *testing.T, s string) float64 {
+	t.Helper()
+	v, err := strconv.ParseFloat(strings.TrimSpace(s), 64)
+	if err != nil {
+		t.Fatalf("parse %q: %v", s, err)
+	}
+	return v
+}
+
+func indexOf(t *testing.T, headers []string, name string) int {
+	t.Helper()
+	for i, h := range headers {
+		if h == name {
+			return i
+		}
+	}
+	t.Fatalf("header %q not found in %v", name, headers)
+	return -1
+}
+
+// TestE10MonotoneInAugmentation: mean ratioLB must not increase with n.
+func TestE10MonotoneInAugmentation(t *testing.T) {
+	e, _ := ByID("E10")
+	tb := e.Run(Config{Quick: false})[0]
+	col := indexOf(t, tb.Headers, "mean ratioLB")
+	prev := 1e18
+	for _, row := range tb.Rows {
+		r := parseF(t, row[col])
+		if r > prev+0.01 {
+			t.Errorf("ratio increased with augmentation: %v after %v", r, prev)
+		}
+		prev = r
+	}
+}
+
+// TestE13OverlapBound: Corollary 3.2's cap of 3 epochs per super-epoch.
+func TestE13OverlapBound(t *testing.T) {
+	e, _ := ByID("E13")
+	tb := e.Run(Config{Quick: true})[0]
+	col := indexOf(t, tb.Headers, "max overlap")
+	for _, row := range tb.Rows {
+		if v := parseF(t, row[col]); v > 3 {
+			t.Errorf("max epoch overlap %v > 3 (Corollary 3.2)", v)
+		}
+	}
+}
+
+// TestE14ExecutionParity: the Aggregate and PunctualTransform tables must
+// show identical execution counts before and after (Lemma 4.5 parity and the
+// Lemma 5.3 contract).
+func TestE14ExecutionParity(t *testing.T) {
+	e, _ := ByID("E14")
+	tables := e.Run(Config{Quick: true})
+	agg := tables[0]
+	i1 := indexOf(t, agg.Headers, "T execs")
+	i2 := indexOf(t, agg.Headers, "T' execs")
+	for _, row := range agg.Rows {
+		if row[i1] != row[i2] {
+			t.Errorf("aggregate parity broken: %v", row)
+		}
+	}
+	punc := tables[1]
+	j1 := indexOf(t, punc.Headers, "S execs")
+	j2 := indexOf(t, punc.Headers, "S' execs")
+	jp := indexOf(t, punc.Headers, "punctual?")
+	for _, row := range punc.Rows {
+		if row[j1] != row[j2] || row[jp] != "true" {
+			t.Errorf("punctual contract broken: %v", row)
+		}
+	}
+}
+
+// TestE16TailBounded: the max ratio stays within 2x of the median on every
+// family (no heavy tail).
+func TestE16TailBounded(t *testing.T) {
+	e, _ := ByID("E16")
+	tb := e.Run(Config{Quick: true})[0]
+	p50 := indexOf(t, tb.Headers, "p50")
+	maxc := indexOf(t, tb.Headers, "max")
+	for _, row := range tb.Rows {
+		med := parseF(t, row[p50])
+		mx := parseF(t, row[maxc])
+		if mx > 2*med+0.5 {
+			t.Errorf("heavy tail in %v: max %v vs p50 %v", row[0], mx, med)
+		}
+	}
+}
+
+// TestE15AdaptiveRobust: adaptive never exceeds 2x the fixed split on any
+// family row.
+func TestE15AdaptiveRobust(t *testing.T) {
+	e, _ := ByID("E15")
+	tb := e.Run(Config{Quick: true})[0]
+	fixed := indexOf(t, tb.Headers, "fixed half/half")
+	adaptive := indexOf(t, tb.Headers, "adaptive")
+	for _, row := range tb.Rows {
+		f := parseF(t, row[fixed])
+		a := parseF(t, row[adaptive])
+		if a > 2*f {
+			t.Errorf("adaptive %v > 2x fixed %v on %v", a, f, row[0])
+		}
+	}
+}

@@ -1,0 +1,64 @@
+// Package experiments implements the evaluation harness: one experiment per
+// paper claim (theorems, key lemmas, the two appendix lower-bound
+// constructions, and the introduction's motivating scenario), each
+// regenerating the tables recorded in EXPERIMENTS.md. The paper is
+// theory-only, so these experiments stand in for its (absent) tables and
+// figures; see DESIGN.md for the full index.
+package experiments
+
+import (
+	"fmt"
+	"sort"
+
+	"rrsched/internal/stats"
+)
+
+// Config tunes experiment scale.
+type Config struct {
+	// Quick shrinks sweeps for benchmarks and CI; full scale otherwise.
+	Quick bool
+}
+
+// Experiment is a registered, runnable experiment.
+type Experiment struct {
+	ID    string
+	Title string
+	Claim string
+	Run   func(cfg Config) []*stats.Table
+}
+
+var registry = map[string]Experiment{}
+
+func register(e Experiment) {
+	if _, dup := registry[e.ID]; dup {
+		panic("experiments: duplicate id " + e.ID)
+	}
+	registry[e.ID] = e
+}
+
+// All returns every experiment in ID order.
+func All() []Experiment {
+	out := make([]Experiment, 0, len(registry))
+	for _, e := range registry {
+		out = append(out, e)
+	}
+	sort.Slice(out, func(i, j int) bool { return idLess(out[i].ID, out[j].ID) })
+	return out
+}
+
+// idLess orders E1 < E2 < ... < E10 numerically.
+func idLess(a, b string) bool {
+	na, nb := 0, 0
+	fmt.Sscanf(a, "E%d", &na)
+	fmt.Sscanf(b, "E%d", &nb)
+	if na != nb {
+		return na < nb
+	}
+	return a < b
+}
+
+// ByID looks up an experiment.
+func ByID(id string) (Experiment, bool) {
+	e, ok := registry[id]
+	return e, ok
+}

@@ -1,0 +1,136 @@
+package model
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Audit replays a schedule against a sequence and independently verifies its
+// legality, then re-derives its cost. It checks that
+//
+//   - events are ordered by (round, mini-round),
+//   - every executed job exists, is executed at most once, on a resource
+//     configured to the job's color at that instant, and strictly within
+//     [arrival, deadline),
+//   - at most one execution per (resource, round, mini-round),
+//   - executions in an (round, mini) slot happen at or after the job's
+//     arrival phase (arrival round allowed, since arrivals precede
+//     executions within a round).
+//
+// The returned cost charges Delta per reconfiguration record and 1 per job
+// never executed. Audit is the single source of truth for costs: engines and
+// offline solvers are validated against it in tests.
+func Audit(seq *Sequence, sched *Schedule) (Cost, error) {
+	if sched.NumResources <= 0 {
+		return Cost{}, fmt.Errorf("model: audit: schedule has no resources")
+	}
+	if sched.Speed < 1 {
+		return Cost{}, fmt.Errorf("model: audit: invalid speed %d", sched.Speed)
+	}
+
+	// Index jobs by ID.
+	jobs := make(map[int64]Job, seq.NumJobs())
+	for _, j := range seq.Jobs() {
+		jobs[j.ID] = j
+	}
+
+	// Merge reconfigurations and executions into a single timeline keyed by
+	// (round, mini, phase) where reconfigurations precede executions.
+	type event struct {
+		round int64
+		mini  int
+		kind  int // 0 = reconfig, 1 = exec
+		idx   int
+	}
+	events := make([]event, 0, len(sched.Reconfigs)+len(sched.Execs))
+	for i, r := range sched.Reconfigs {
+		if r.Resource < 0 || r.Resource >= sched.NumResources {
+			return Cost{}, fmt.Errorf("model: audit: reconfig %d targets resource %d of %d", i, r.Resource, sched.NumResources)
+		}
+		if r.Mini < 0 || r.Mini >= sched.Speed {
+			return Cost{}, fmt.Errorf("model: audit: reconfig %d has mini-round %d with speed %d", i, r.Mini, sched.Speed)
+		}
+		if r.Round < 0 {
+			return Cost{}, fmt.Errorf("model: audit: reconfig %d in negative round", i)
+		}
+		events = append(events, event{round: r.Round, mini: r.Mini, kind: 0, idx: i})
+	}
+	for i, e := range sched.Execs {
+		if e.Resource < 0 || e.Resource >= sched.NumResources {
+			return Cost{}, fmt.Errorf("model: audit: exec %d targets resource %d of %d", i, e.Resource, sched.NumResources)
+		}
+		if e.Mini < 0 || e.Mini >= sched.Speed {
+			return Cost{}, fmt.Errorf("model: audit: exec %d has mini-round %d with speed %d", i, e.Mini, sched.Speed)
+		}
+		events = append(events, event{round: e.Round, mini: e.Mini, kind: 1, idx: i})
+	}
+	sort.SliceStable(events, func(a, b int) bool {
+		ea, eb := events[a], events[b]
+		if ea.round != eb.round {
+			return ea.round < eb.round
+		}
+		if ea.mini != eb.mini {
+			return ea.mini < eb.mini
+		}
+		return ea.kind < eb.kind
+	})
+
+	config := make([]Color, sched.NumResources)
+	for i := range config {
+		config[i] = Black
+	}
+	executed := make(map[int64]bool, len(sched.Execs))
+	type slot struct {
+		round    int64
+		mini     int
+		resource int
+	}
+	usedSlot := make(map[slot]bool, len(sched.Execs))
+
+	var cost Cost
+	for _, ev := range events {
+		if ev.kind == 0 {
+			r := sched.Reconfigs[ev.idx]
+			if config[r.Resource] == r.To {
+				return Cost{}, fmt.Errorf("model: audit: no-op reconfiguration of resource %d to %v in round %d", r.Resource, r.To, r.Round)
+			}
+			config[r.Resource] = r.To
+			cost.Reconfig += seq.Delta()
+			continue
+		}
+		e := sched.Execs[ev.idx]
+		j, ok := jobs[e.JobID]
+		if !ok {
+			return Cost{}, fmt.Errorf("model: audit: execution of unknown job %d", e.JobID)
+		}
+		if executed[e.JobID] {
+			return Cost{}, fmt.Errorf("model: audit: job %d executed twice", e.JobID)
+		}
+		executed[e.JobID] = true
+		if config[e.Resource] != j.Color {
+			return Cost{}, fmt.Errorf("model: audit: job %d (color %v) executed on resource %d configured %v in round %d",
+				e.JobID, j.Color, e.Resource, config[e.Resource], e.Round)
+		}
+		if e.Round < j.Arrival || e.Round >= j.Deadline() {
+			return Cost{}, fmt.Errorf("model: audit: job %d executed in round %d outside window [%d,%d)",
+				e.JobID, e.Round, j.Arrival, j.Deadline())
+		}
+		sl := slot{round: e.Round, mini: e.Mini, resource: e.Resource}
+		if usedSlot[sl] {
+			return Cost{}, fmt.Errorf("model: audit: two executions on resource %d in round %d mini %d", e.Resource, e.Round, e.Mini)
+		}
+		usedSlot[sl] = true
+	}
+
+	cost.Drop = int64(seq.NumJobs() - len(executed))
+	return cost, nil
+}
+
+// MustAudit is Audit but panics on a legality violation.
+func MustAudit(seq *Sequence, sched *Schedule) Cost {
+	c, err := Audit(seq, sched)
+	if err != nil {
+		panic(err)
+	}
+	return c
+}

@@ -1,0 +1,206 @@
+package model
+
+import (
+	"strings"
+	"testing"
+)
+
+// twoJobSeq: 2 jobs of color 0 (D=4) at round 0, 1 job of color 1 (D=2) at
+// round 2, Δ=3.
+func twoJobSeq() *Sequence {
+	return NewBuilder(3).Add(0, 0, 4, 2).Add(2, 1, 2, 1).MustBuild()
+}
+
+func TestAuditHappyPath(t *testing.T) {
+	seq := twoJobSeq()
+	s := NewSchedule(2, 1)
+	s.AddReconfig(0, 0, 0, 0) // resource 0 -> color 0
+	s.AddExec(0, 0, 0, 0)     // job 0 in round 0
+	s.AddExec(1, 0, 0, 1)     // job 1 in round 1
+	s.AddReconfig(2, 0, 1, 1) // resource 1 -> color 1
+	s.AddExec(2, 0, 1, 2)     // job 2 in round 2
+	cost, err := Audit(seq, s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := Cost{Reconfig: 6, Drop: 0}
+	if cost != want {
+		t.Errorf("cost = %v, want %v", cost, want)
+	}
+}
+
+func TestAuditDropsUnexecuted(t *testing.T) {
+	seq := twoJobSeq()
+	s := NewSchedule(1, 1)
+	cost, err := Audit(seq, s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cost.Drop != 3 || cost.Reconfig != 0 {
+		t.Errorf("cost = %v, want 3 drops", cost)
+	}
+}
+
+func TestAuditViolations(t *testing.T) {
+	seq := twoJobSeq()
+	cases := []struct {
+		name  string
+		build func() *Schedule
+		want  string
+	}{
+		{"wrong color", func() *Schedule {
+			s := NewSchedule(1, 1)
+			s.AddReconfig(0, 0, 0, 1) // color 1
+			s.AddExec(0, 0, 0, 0)     // job 0 is color 0
+			return s
+		}, "configured"},
+		{"unconfigured resource", func() *Schedule {
+			s := NewSchedule(1, 1)
+			s.AddExec(0, 0, 0, 0)
+			return s
+		}, "configured"},
+		{"before arrival", func() *Schedule {
+			s := NewSchedule(1, 1)
+			s.AddReconfig(0, 0, 0, 1)
+			s.AddExec(0, 0, 0, 2) // job 2 arrives in round 2
+			return s
+		}, "outside window"},
+		{"after deadline", func() *Schedule {
+			s := NewSchedule(1, 1)
+			s.AddReconfig(0, 0, 0, 0)
+			s.AddExec(4, 0, 0, 0) // color 0 deadline is round 4
+			return s
+		}, "outside window"},
+		{"double execution", func() *Schedule {
+			s := NewSchedule(1, 1)
+			s.AddReconfig(0, 0, 0, 0)
+			s.AddExec(0, 0, 0, 0)
+			s.AddExec(1, 0, 0, 0)
+			return s
+		}, "twice"},
+		{"slot reuse", func() *Schedule {
+			s := NewSchedule(1, 1)
+			s.AddReconfig(0, 0, 0, 0)
+			s.AddExec(0, 0, 0, 0)
+			s.AddExec(0, 0, 0, 1)
+			return s
+		}, "two executions"},
+		{"unknown job", func() *Schedule {
+			s := NewSchedule(1, 1)
+			s.AddReconfig(0, 0, 0, 0)
+			s.AddExec(0, 0, 0, 42)
+			return s
+		}, "unknown job"},
+		{"no-op reconfig", func() *Schedule {
+			s := NewSchedule(1, 1)
+			s.AddReconfig(0, 0, 0, 0)
+			s.AddReconfig(1, 0, 0, 0)
+			return s
+		}, "no-op"},
+		{"bad resource", func() *Schedule {
+			s := NewSchedule(1, 1)
+			s.AddReconfig(0, 0, 5, 0)
+			return s
+		}, "resource"},
+		{"bad mini", func() *Schedule {
+			s := NewSchedule(1, 1)
+			s.AddReconfig(0, 1, 0, 0) // mini 1 with speed 1
+			return s
+		}, "mini-round"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			_, err := Audit(seq, c.build())
+			if err == nil {
+				t.Fatal("Audit accepted an illegal schedule")
+			}
+			if !strings.Contains(err.Error(), c.want) {
+				t.Errorf("error %q does not mention %q", err, c.want)
+			}
+		})
+	}
+}
+
+func TestAuditDoubleSpeed(t *testing.T) {
+	// With speed 2 a single resource can execute two jobs per round.
+	seq := NewBuilder(1).Add(0, 0, 1, 2).MustBuild() // both must run in round 0
+	s := NewSchedule(1, 2)
+	s.AddReconfig(0, 0, 0, 0)
+	s.AddExec(0, 0, 0, 0)
+	s.AddExec(0, 1, 0, 1)
+	cost, err := Audit(seq, s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cost.Drop != 0 {
+		t.Errorf("double-speed schedule dropped %d jobs", cost.Drop)
+	}
+}
+
+func TestAuditReconfigAfterExecutionSameMini(t *testing.T) {
+	// A reconfiguration in (round, mini) applies before executions of that
+	// (round, mini): executing the OLD color in the same mini must fail.
+	seq := twoJobSeq()
+	s := NewSchedule(1, 1)
+	s.AddReconfig(0, 0, 0, 0)
+	s.AddExec(0, 0, 0, 0)
+	s.AddReconfig(2, 0, 0, 1)
+	s.AddExec(2, 0, 0, 1) // job 1 is color 0; resource is color 1 in round 2
+	if _, err := Audit(seq, s); err == nil {
+		t.Fatal("execution of pre-reconfiguration color accepted")
+	}
+}
+
+func TestMustAuditPanics(t *testing.T) {
+	seq := twoJobSeq()
+	s := NewSchedule(1, 1)
+	s.AddExec(0, 0, 0, 0)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MustAudit did not panic")
+		}
+	}()
+	MustAudit(seq, s)
+}
+
+func TestCostArithmetic(t *testing.T) {
+	a := Cost{Reconfig: 3, Drop: 4}
+	b := Cost{Reconfig: 1, Drop: 2}
+	if a.Total() != 7 {
+		t.Errorf("Total = %d", a.Total())
+	}
+	if got := a.Add(b); got != (Cost{Reconfig: 4, Drop: 6}) {
+		t.Errorf("Add = %v", got)
+	}
+	if !strings.Contains(a.String(), "total=7") {
+		t.Errorf("String = %q", a.String())
+	}
+}
+
+func TestScheduleAccessors(t *testing.T) {
+	s := NewSchedule(2, 1)
+	s.AddReconfig(0, 0, 0, 3)
+	s.AddExec(0, 0, 0, 7)
+	if s.NumReconfigs() != 1 || s.NumExecs() != 1 {
+		t.Errorf("counts = %d, %d", s.NumReconfigs(), s.NumExecs())
+	}
+	if ids := s.ExecutedJobIDs(); !ids[7] || len(ids) != 1 {
+		t.Errorf("ExecutedJobIDs = %v", ids)
+	}
+}
+
+func TestNewSchedulePanics(t *testing.T) {
+	for _, f := range []func(){
+		func() { NewSchedule(0, 1) },
+		func() { NewSchedule(1, 0) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("NewSchedule accepted invalid parameters")
+				}
+			}()
+			f()
+		}()
+	}
+}

@@ -1,0 +1,59 @@
+package model
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// FuzzReadSchedule hardens the schedule parser: arbitrary bytes must either
+// fail cleanly or produce a schedule that Audit can process (accept or
+// reject) without panicking.
+func FuzzReadSchedule(f *testing.F) {
+	good := NewSchedule(2, 1)
+	good.AddReconfig(0, 0, 0, 0)
+	good.AddExec(0, 0, 0, 0)
+	var buf bytes.Buffer
+	if err := WriteSchedule(&buf, good); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(buf.String())
+	f.Add(`{"resources":1,"speed":1,"reconfigs":[{"round":0,"resource":0,"to":0}]}`)
+	f.Add(`{"resources":1,"speed":2,"execs":[{"round":5,"mini":1,"resource":0,"job":3}]}`)
+	f.Add(`{"resources":0}`)
+	f.Add(`nonsense`)
+	f.Add(`{"resources":1,"reconfigs":[{"round":-1,"resource":9,"to":-5}]}`)
+
+	seq := NewBuilder(2).Add(0, 0, 4, 2).MustBuild()
+	f.Fuzz(func(t *testing.T, data string) {
+		sched, err := ReadSchedule(strings.NewReader(data))
+		if err != nil {
+			return
+		}
+		// Audit must terminate with a verdict, never panic.
+		if cost, err := Audit(seq, sched); err == nil {
+			if cost.Reconfig < 0 || cost.Drop < 0 {
+				t.Fatalf("negative cost %v from input %q", cost, data)
+			}
+		}
+	})
+}
+
+// FuzzBuilderAdd hardens the sequence builder against arbitrary argument
+// streams: Build either fails or yields a valid sequence.
+func FuzzBuilderAdd(f *testing.F) {
+	f.Add(int64(0), int32(0), int64(2), 3, int64(4), int32(1), int64(4), 2)
+	f.Add(int64(-1), int32(0), int64(1), 1, int64(0), int32(-2), int64(0), -1)
+	f.Fuzz(func(t *testing.T, r1 int64, c1 int32, d1 int64, n1 int, r2 int64, c2 int32, d2 int64, n2 int) {
+		b := NewBuilder(2)
+		b.Add(r1, Color(c1), d1, n1)
+		b.Add(r2, Color(c2), d2, n2)
+		seq, err := b.Build()
+		if err != nil {
+			return
+		}
+		if verr := seq.Validate(); verr != nil {
+			t.Fatalf("builder produced invalid sequence: %v", verr)
+		}
+	})
+}

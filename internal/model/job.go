@@ -1,0 +1,66 @@
+// Package model defines the problem model for reconfigurable resource
+// scheduling with variable delay bounds: unit jobs with per-color delay
+// bounds, request sequences, schedules, cost accounting, and schedule audits.
+//
+// The model follows Section 2 of Plaxton, Sun, Tiwari, and Vin,
+// "Reconfigurable Resource Scheduling with Variable Delay Bounds":
+// each round consists of a drop phase, an arrival phase, a reconfiguration
+// phase, and an execution phase. Jobs are unit sized, must run on a resource
+// configured to their color, and are dropped at unit cost when their deadline
+// round is reached. Reconfiguring a resource costs Delta.
+package model
+
+import "fmt"
+
+// Color identifies a job category. Resources are configured to exactly one
+// color at a time. The zero value is a valid color; Black is the
+// distinguished initial color of every resource and never a job color.
+type Color int32
+
+// Black is the initial color of every resource. No job may be black.
+const Black Color = -1
+
+// String renders the color for diagnostics.
+func (c Color) String() string {
+	if c == Black {
+		return "black"
+	}
+	return fmt.Sprintf("c%d", int32(c))
+}
+
+// Job is a unit job: it occupies one resource for one execution slot.
+// Delay is the per-color delay bound D_ℓ; a job arriving in round r must be
+// executed in some round in [r, r+Delay) or it is dropped at unit cost in the
+// drop phase of round r+Delay.
+type Job struct {
+	// ID is unique within a Sequence and identifies the job in schedules
+	// and audits.
+	ID int64
+	// Color is the job's category; never Black.
+	Color Color
+	// Arrival is the round in whose arrival phase the job appears.
+	Arrival int64
+	// Delay is the delay bound of the job's color (D_ℓ).
+	Delay int64
+}
+
+// Deadline returns the round in whose drop phase the job is dropped if it has
+// not been executed. The job may execute in rounds [Arrival, Deadline()).
+func (j Job) Deadline() int64 { return j.Arrival + j.Delay }
+
+// Validate reports whether the job is well formed.
+func (j Job) Validate() error {
+	if j.Color == Black {
+		return fmt.Errorf("model: job %d has the black color", j.ID)
+	}
+	if j.Color < 0 {
+		return fmt.Errorf("model: job %d has negative color %d", j.ID, j.Color)
+	}
+	if j.Arrival < 0 {
+		return fmt.Errorf("model: job %d has negative arrival %d", j.ID, j.Arrival)
+	}
+	if j.Delay <= 0 {
+		return fmt.Errorf("model: job %d has non-positive delay bound %d", j.ID, j.Delay)
+	}
+	return nil
+}

@@ -1,0 +1,119 @@
+package model
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestJobDeadline(t *testing.T) {
+	cases := []struct {
+		job  Job
+		want int64
+	}{
+		{Job{Arrival: 0, Delay: 1}, 1},
+		{Job{Arrival: 5, Delay: 8}, 13},
+		{Job{Arrival: 100, Delay: 1}, 101},
+	}
+	for _, c := range cases {
+		if got := c.job.Deadline(); got != c.want {
+			t.Errorf("Deadline(%+v) = %d, want %d", c.job, got, c.want)
+		}
+	}
+}
+
+func TestJobDeadlineProperty(t *testing.T) {
+	f := func(arrival int32, delayRaw uint8) bool {
+		a := int64(arrival)
+		if a < 0 {
+			a = -a
+		}
+		d := int64(delayRaw)%64 + 1
+		j := Job{Arrival: a, Delay: d}
+		// A job can execute in exactly d rounds: [arrival, deadline).
+		return j.Deadline()-j.Arrival == d && j.Deadline() > j.Arrival
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestJobValidate(t *testing.T) {
+	valid := Job{ID: 1, Color: 0, Arrival: 0, Delay: 1}
+	if err := valid.Validate(); err != nil {
+		t.Errorf("valid job rejected: %v", err)
+	}
+	cases := []struct {
+		name string
+		job  Job
+		want string
+	}{
+		{"black color", Job{Color: Black, Delay: 1}, "black"},
+		{"negative color", Job{Color: -7, Delay: 1}, "negative color"},
+		{"negative arrival", Job{Color: 0, Arrival: -1, Delay: 1}, "negative arrival"},
+		{"zero delay", Job{Color: 0, Delay: 0}, "delay bound"},
+		{"negative delay", Job{Color: 0, Delay: -3}, "delay bound"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			err := c.job.Validate()
+			if err == nil {
+				t.Fatalf("Validate(%+v) accepted an invalid job", c.job)
+			}
+			if !strings.Contains(err.Error(), c.want) {
+				t.Errorf("error %q does not mention %q", err, c.want)
+			}
+		})
+	}
+}
+
+func TestColorString(t *testing.T) {
+	if got := Black.String(); got != "black" {
+		t.Errorf("Black.String() = %q", got)
+	}
+	if got := Color(3).String(); got != "c3" {
+		t.Errorf("Color(3).String() = %q", got)
+	}
+}
+
+func TestIsPowerOfTwo(t *testing.T) {
+	for _, v := range []int64{1, 2, 4, 8, 1024, 1 << 40} {
+		if !IsPowerOfTwo(v) {
+			t.Errorf("IsPowerOfTwo(%d) = false", v)
+		}
+	}
+	for _, v := range []int64{0, -1, -2, 3, 5, 6, 7, 9, 1000} {
+		if IsPowerOfTwo(v) {
+			t.Errorf("IsPowerOfTwo(%d) = true", v)
+		}
+	}
+}
+
+func TestFloorPowerOfTwo(t *testing.T) {
+	cases := map[int64]int64{1: 1, 2: 2, 3: 2, 4: 4, 5: 4, 7: 4, 8: 8, 9: 8, 1023: 512, 1024: 1024}
+	for in, want := range cases {
+		if got := FloorPowerOfTwo(in); got != want {
+			t.Errorf("FloorPowerOfTwo(%d) = %d, want %d", in, got, want)
+		}
+	}
+}
+
+func TestFloorPowerOfTwoPanicsOnNonPositive(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("FloorPowerOfTwo(0) did not panic")
+		}
+	}()
+	FloorPowerOfTwo(0)
+}
+
+func TestFloorPowerOfTwoProperty(t *testing.T) {
+	f := func(raw uint32) bool {
+		v := int64(raw)%1_000_000 + 1
+		p := FloorPowerOfTwo(v)
+		return IsPowerOfTwo(p) && p <= v && 2*p > v
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

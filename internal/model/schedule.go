@@ -1,0 +1,87 @@
+package model
+
+import "fmt"
+
+// Cost aggregates the two cost components of a schedule.
+type Cost struct {
+	Reconfig int64 // total reconfiguration cost (Delta per resource recolor)
+	Drop     int64 // total drop cost (1 per dropped job)
+}
+
+// Total returns Reconfig + Drop.
+func (c Cost) Total() int64 { return c.Reconfig + c.Drop }
+
+// Add returns the component-wise sum of c and o.
+func (c Cost) Add(o Cost) Cost {
+	return Cost{Reconfig: c.Reconfig + o.Reconfig, Drop: c.Drop + o.Drop}
+}
+
+// String renders the cost for diagnostics.
+func (c Cost) String() string {
+	return fmt.Sprintf("cost{reconfig=%d drop=%d total=%d}", c.Reconfig, c.Drop, c.Total())
+}
+
+// Reconfigure records a single resource recoloring in a schedule. It takes
+// effect in the given mini-round of the given round, before executions of
+// that mini-round.
+type Reconfigure struct {
+	Round    int64
+	Mini     int   // mini-round index within the round (0 for uni-speed)
+	Resource int   // resource index
+	To       Color // new color
+}
+
+// Execution records one job execution.
+type Execution struct {
+	Round    int64
+	Mini     int
+	Resource int
+	JobID    int64
+}
+
+// Schedule is a complete record of the decisions of an algorithm on a
+// sequence: every reconfiguration and every job execution, in order. Costs
+// are re-derivable from the record (see Audit), which makes schedules the
+// common currency between online policies, reductions, and offline solvers.
+type Schedule struct {
+	NumResources int
+	Speed        int // mini-rounds per round: 1 (uni-speed) or 2 (double-speed)
+	Reconfigs    []Reconfigure
+	Execs        []Execution
+}
+
+// NewSchedule returns an empty schedule for n resources at the given speed.
+func NewSchedule(n, speed int) *Schedule {
+	if n <= 0 {
+		panic("model: schedule needs at least one resource")
+	}
+	if speed < 1 {
+		panic("model: schedule speed must be >= 1")
+	}
+	return &Schedule{NumResources: n, Speed: speed}
+}
+
+// AddReconfig appends a reconfiguration record.
+func (s *Schedule) AddReconfig(round int64, mini, resource int, to Color) {
+	s.Reconfigs = append(s.Reconfigs, Reconfigure{Round: round, Mini: mini, Resource: resource, To: to})
+}
+
+// AddExec appends an execution record.
+func (s *Schedule) AddExec(round int64, mini, resource int, jobID int64) {
+	s.Execs = append(s.Execs, Execution{Round: round, Mini: mini, Resource: resource, JobID: jobID})
+}
+
+// NumReconfigs returns the number of recorded reconfigurations.
+func (s *Schedule) NumReconfigs() int { return len(s.Reconfigs) }
+
+// NumExecs returns the number of recorded executions.
+func (s *Schedule) NumExecs() int { return len(s.Execs) }
+
+// ExecutedJobIDs returns the set of executed job IDs.
+func (s *Schedule) ExecutedJobIDs() map[int64]bool {
+	out := make(map[int64]bool, len(s.Execs))
+	for _, e := range s.Execs {
+		out[e.JobID] = true
+	}
+	return out
+}

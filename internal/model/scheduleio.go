@@ -1,0 +1,70 @@
+package model
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// scheduleJSON is the on-disk representation of a Schedule.
+type scheduleJSON struct {
+	Resources int               `json:"resources"`
+	Speed     int               `json:"speed"`
+	Reconfigs []reconfigureJSON `json:"reconfigs"`
+	Execs     []executionJSON   `json:"execs"`
+}
+
+type reconfigureJSON struct {
+	Round    int64 `json:"round"`
+	Mini     int   `json:"mini,omitempty"`
+	Resource int   `json:"resource"`
+	To       int32 `json:"to"`
+}
+
+type executionJSON struct {
+	Round    int64 `json:"round"`
+	Mini     int   `json:"mini,omitempty"`
+	Resource int   `json:"resource"`
+	JobID    int64 `json:"job"`
+}
+
+// WriteSchedule serializes a schedule as indented JSON. Together with the
+// workload trace format this makes every experiment's output replayable and
+// re-auditable out of process.
+func WriteSchedule(w io.Writer, s *Schedule) error {
+	out := scheduleJSON{Resources: s.NumResources, Speed: s.Speed}
+	for _, r := range s.Reconfigs {
+		out.Reconfigs = append(out.Reconfigs, reconfigureJSON{Round: r.Round, Mini: r.Mini, Resource: r.Resource, To: int32(r.To)})
+	}
+	for _, e := range s.Execs {
+		out.Execs = append(out.Execs, executionJSON{Round: e.Round, Mini: e.Mini, Resource: e.Resource, JobID: e.JobID})
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(out)
+}
+
+// ReadSchedule parses a JSON schedule.
+func ReadSchedule(r io.Reader) (*Schedule, error) {
+	var in scheduleJSON
+	if err := json.NewDecoder(r).Decode(&in); err != nil {
+		return nil, fmt.Errorf("model: decoding schedule: %w", err)
+	}
+	if in.Resources <= 0 {
+		return nil, fmt.Errorf("model: schedule declares %d resources", in.Resources)
+	}
+	if in.Speed == 0 {
+		in.Speed = 1
+	}
+	if in.Speed < 1 {
+		return nil, fmt.Errorf("model: schedule declares speed %d", in.Speed)
+	}
+	s := NewSchedule(in.Resources, in.Speed)
+	for _, r := range in.Reconfigs {
+		s.AddReconfig(r.Round, r.Mini, r.Resource, Color(r.To))
+	}
+	for _, e := range in.Execs {
+		s.AddExec(e.Round, e.Mini, e.Resource, e.JobID)
+	}
+	return s, nil
+}

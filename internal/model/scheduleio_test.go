@@ -1,0 +1,73 @@
+package model
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestScheduleRoundTrip(t *testing.T) {
+	s := NewSchedule(3, 2)
+	s.AddReconfig(0, 0, 0, 4)
+	s.AddReconfig(2, 1, 1, Black)
+	s.AddExec(0, 0, 0, 17)
+	s.AddExec(5, 1, 2, 18)
+	var buf bytes.Buffer
+	if err := WriteSchedule(&buf, s); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadSchedule(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.NumResources != 3 || back.Speed != 2 {
+		t.Errorf("header = %d/%d", back.NumResources, back.Speed)
+	}
+	if len(back.Reconfigs) != 2 || back.Reconfigs[1].To != Black {
+		t.Errorf("reconfigs = %+v", back.Reconfigs)
+	}
+	if len(back.Execs) != 2 || back.Execs[1].JobID != 18 {
+		t.Errorf("execs = %+v", back.Execs)
+	}
+}
+
+func TestScheduleRoundTripAuditEquivalence(t *testing.T) {
+	seq := twoJobSeq()
+	s := NewSchedule(2, 1)
+	s.AddReconfig(0, 0, 0, 0)
+	s.AddExec(0, 0, 0, 0)
+	s.AddExec(1, 0, 0, 1)
+	s.AddReconfig(2, 0, 1, 1)
+	s.AddExec(2, 0, 1, 2)
+	var buf bytes.Buffer
+	if err := WriteSchedule(&buf, s); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadSchedule(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := MustAudit(seq, s)
+	b := MustAudit(seq, back)
+	if a != b {
+		t.Errorf("audit changed across serialization: %v vs %v", a, b)
+	}
+}
+
+func TestReadScheduleErrors(t *testing.T) {
+	cases := []string{
+		"not json",
+		`{"resources":0,"speed":1}`,
+		`{"resources":1,"speed":-1}`,
+	}
+	for i, c := range cases {
+		if _, err := ReadSchedule(strings.NewReader(c)); err == nil {
+			t.Errorf("case %d decoded", i)
+		}
+	}
+	// Missing speed defaults to 1.
+	s, err := ReadSchedule(strings.NewReader(`{"resources":2}`))
+	if err != nil || s.Speed != 1 {
+		t.Errorf("default speed: %v %v", s, err)
+	}
+}

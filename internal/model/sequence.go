@@ -1,0 +1,276 @@
+package model
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Sequence is an input instance: a request sequence together with the
+// per-color delay bounds and the reconfiguration cost Delta. Request i is the
+// (possibly empty) set of jobs arriving in round i.
+//
+// Invariants (enforced by the Builder and checked by Validate):
+//   - every job of color ℓ carries the same delay bound D_ℓ,
+//   - job IDs are unique and dense in [0, NumJobs()),
+//   - arrivals lie in [0, NumRounds()).
+type Sequence struct {
+	delta    int64
+	requests [][]Job         // indexed by round
+	delays   map[Color]int64 // D_ℓ per color
+	numJobs  int
+	horizon  int64 // first round by which every job has been dropped or could have run
+}
+
+// Delta returns the reconfiguration cost.
+func (s *Sequence) Delta() int64 { return s.delta }
+
+// NumRounds returns the number of arrival rounds (the length of the request
+// sequence). Jobs may still be pending after the last arrival round; see
+// Horizon.
+func (s *Sequence) NumRounds() int64 { return int64(len(s.requests)) }
+
+// Horizon returns the first round h such that every job's deadline is <= h.
+// Simulating rounds [0, h] processes every drop; no work remains afterwards.
+func (s *Sequence) Horizon() int64 { return s.horizon }
+
+// NumJobs returns the total number of jobs in the sequence.
+func (s *Sequence) NumJobs() int { return s.numJobs }
+
+// Request returns the jobs arriving in round r. The returned slice must not
+// be modified. Rounds beyond NumRounds return nil.
+func (s *Sequence) Request(r int64) []Job {
+	if r < 0 || r >= int64(len(s.requests)) {
+		return nil
+	}
+	return s.requests[r]
+}
+
+// DelayBound returns the delay bound D_ℓ of color c and whether the color
+// appears in the sequence.
+func (s *Sequence) DelayBound(c Color) (int64, bool) {
+	d, ok := s.delays[c]
+	return d, ok
+}
+
+// Colors returns the colors appearing in the sequence in ascending order.
+func (s *Sequence) Colors() []Color {
+	out := make([]Color, 0, len(s.delays))
+	for c := range s.delays {
+		out = append(out, c)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// JobsOfColor returns the number of jobs of color c.
+func (s *Sequence) JobsOfColor(c Color) int {
+	n := 0
+	for _, req := range s.requests {
+		for _, j := range req {
+			if j.Color == c {
+				n++
+			}
+		}
+	}
+	return n
+}
+
+// Jobs returns all jobs in arrival order (by round, then by position within
+// the request). The slice is freshly allocated.
+func (s *Sequence) Jobs() []Job {
+	out := make([]Job, 0, s.numJobs)
+	for _, req := range s.requests {
+		out = append(out, req...)
+	}
+	return out
+}
+
+// JobByID returns the job with the given ID.
+func (s *Sequence) JobByID(id int64) (Job, bool) {
+	for _, req := range s.requests {
+		for _, j := range req {
+			if j.ID == id {
+				return j, true
+			}
+		}
+	}
+	return Job{}, false
+}
+
+// IsBatched reports whether every job of every color ℓ arrives at an integral
+// multiple of D_ℓ (the batch field equals D_ℓ in the paper's notation).
+func (s *Sequence) IsBatched() bool {
+	for r, req := range s.requests {
+		for _, j := range req {
+			if int64(r)%j.Delay != 0 {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// IsRateLimited reports whether the sequence is batched and, additionally, at
+// most D_ℓ jobs of color ℓ arrive at each integral multiple of D_ℓ.
+func (s *Sequence) IsRateLimited() bool {
+	if !s.IsBatched() {
+		return false
+	}
+	for _, req := range s.requests {
+		perColor := map[Color]int64{}
+		for _, j := range req {
+			perColor[j.Color]++
+		}
+		for c, n := range perColor {
+			if n > s.delays[c] {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// PowerOfTwoDelays reports whether every delay bound is a power of two.
+func (s *Sequence) PowerOfTwoDelays() bool {
+	for _, d := range s.delays {
+		if !IsPowerOfTwo(d) {
+			return false
+		}
+	}
+	return true
+}
+
+// Validate checks all sequence invariants. A sequence produced by a Builder
+// always validates; Validate exists for sequences decoded from traces.
+func (s *Sequence) Validate() error {
+	if s.delta <= 0 {
+		return fmt.Errorf("model: non-positive reconfiguration cost %d", s.delta)
+	}
+	seen := make(map[int64]bool, s.numJobs)
+	count := 0
+	for r, req := range s.requests {
+		for _, j := range req {
+			if err := j.Validate(); err != nil {
+				return err
+			}
+			if j.Arrival != int64(r) {
+				return fmt.Errorf("model: job %d in request %d has arrival %d", j.ID, r, j.Arrival)
+			}
+			if d, ok := s.delays[j.Color]; !ok || d != j.Delay {
+				return fmt.Errorf("model: job %d of color %v has delay %d, want per-color bound %d", j.ID, j.Color, j.Delay, d)
+			}
+			if seen[j.ID] {
+				return fmt.Errorf("model: duplicate job id %d", j.ID)
+			}
+			seen[j.ID] = true
+			count++
+		}
+	}
+	if count != s.numJobs {
+		return fmt.Errorf("model: job count mismatch: counted %d, recorded %d", count, s.numJobs)
+	}
+	return nil
+}
+
+// IsPowerOfTwo reports whether v is a positive power of two.
+func IsPowerOfTwo(v int64) bool { return v > 0 && v&(v-1) == 0 }
+
+// FloorPowerOfTwo returns the largest power of two that is <= v; v must be
+// positive.
+func FloorPowerOfTwo(v int64) int64 {
+	if v <= 0 {
+		panic("model: FloorPowerOfTwo of non-positive value")
+	}
+	p := int64(1)
+	for p<<1 > 0 && p<<1 <= v {
+		p <<= 1
+	}
+	return p
+}
+
+// Builder incrementally constructs a Sequence. Jobs are assigned dense IDs in
+// the order they are added. The zero Builder is not ready: use NewBuilder.
+type Builder struct {
+	delta    int64
+	requests [][]Job
+	delays   map[Color]int64
+	nextID   int64
+	err      error
+}
+
+// NewBuilder returns a Builder for a sequence with reconfiguration cost delta.
+func NewBuilder(delta int64) *Builder {
+	return &Builder{delta: delta, delays: make(map[Color]int64)}
+}
+
+// Add appends count jobs of the given color and delay bound arriving in the
+// given round. The first Add for a color fixes its delay bound; later Adds
+// must agree. Errors are deferred to Build.
+func (b *Builder) Add(round int64, c Color, delay int64, count int) *Builder {
+	if b.err != nil {
+		return b
+	}
+	if round < 0 {
+		b.err = fmt.Errorf("model: negative round %d", round)
+		return b
+	}
+	if c < 0 {
+		b.err = fmt.Errorf("model: invalid job color %v", c)
+		return b
+	}
+	if delay <= 0 {
+		b.err = fmt.Errorf("model: non-positive delay %d for color %v", delay, c)
+		return b
+	}
+	if count < 0 {
+		b.err = fmt.Errorf("model: negative job count %d", count)
+		return b
+	}
+	if d, ok := b.delays[c]; ok && d != delay {
+		b.err = fmt.Errorf("model: color %v has delay bound %d, cannot add jobs with delay %d", c, d, delay)
+		return b
+	}
+	b.delays[c] = delay
+	for int64(len(b.requests)) <= round {
+		b.requests = append(b.requests, nil)
+	}
+	for i := 0; i < count; i++ {
+		b.requests[round] = append(b.requests[round], Job{ID: b.nextID, Color: c, Arrival: round, Delay: delay})
+		b.nextID++
+	}
+	return b
+}
+
+// Build finalizes the sequence. It returns the first error recorded by Add.
+func (b *Builder) Build() (*Sequence, error) {
+	if b.err != nil {
+		return nil, b.err
+	}
+	if b.delta <= 0 {
+		return nil, fmt.Errorf("model: non-positive reconfiguration cost %d", b.delta)
+	}
+	s := &Sequence{
+		delta:    b.delta,
+		requests: b.requests,
+		delays:   b.delays,
+		numJobs:  int(b.nextID),
+	}
+	for _, req := range b.requests {
+		for _, j := range req {
+			if j.Deadline() > s.horizon {
+				s.horizon = j.Deadline()
+			}
+		}
+	}
+	return s, nil
+}
+
+// MustBuild is Build but panics on error; intended for tests and generators
+// with statically valid inputs.
+func (b *Builder) MustBuild() *Sequence {
+	s, err := b.Build()
+	if err != nil {
+		panic(err)
+	}
+	return s
+}

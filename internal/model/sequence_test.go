@@ -1,0 +1,197 @@
+package model
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestBuilderBasics(t *testing.T) {
+	seq := NewBuilder(4).
+		Add(0, 0, 2, 3).
+		Add(2, 0, 2, 1).
+		Add(0, 1, 4, 2).
+		MustBuild()
+	if seq.Delta() != 4 {
+		t.Errorf("Delta = %d", seq.Delta())
+	}
+	if seq.NumJobs() != 6 {
+		t.Errorf("NumJobs = %d", seq.NumJobs())
+	}
+	if seq.NumRounds() != 3 {
+		t.Errorf("NumRounds = %d", seq.NumRounds())
+	}
+	if seq.Horizon() != 4 {
+		t.Errorf("Horizon = %d, want 4 (color 0 at round 2 has deadline 4; color 1 deadline 4)", seq.Horizon())
+	}
+	if d, ok := seq.DelayBound(0); !ok || d != 2 {
+		t.Errorf("DelayBound(0) = %d, %v", d, ok)
+	}
+	if _, ok := seq.DelayBound(9); ok {
+		t.Error("DelayBound(9) should not exist")
+	}
+	if got := seq.Colors(); len(got) != 2 || got[0] != 0 || got[1] != 1 {
+		t.Errorf("Colors = %v", got)
+	}
+	if got := seq.JobsOfColor(0); got != 4 {
+		t.Errorf("JobsOfColor(0) = %d", got)
+	}
+	if err := seq.Validate(); err != nil {
+		t.Errorf("Validate: %v", err)
+	}
+}
+
+func TestBuilderJobIDsDense(t *testing.T) {
+	seq := NewBuilder(1).Add(0, 0, 1, 5).Add(1, 1, 2, 5).MustBuild()
+	seen := map[int64]bool{}
+	for _, j := range seq.Jobs() {
+		seen[j.ID] = true
+	}
+	for id := int64(0); id < 10; id++ {
+		if !seen[id] {
+			t.Errorf("missing dense job id %d", id)
+		}
+	}
+}
+
+func TestBuilderErrors(t *testing.T) {
+	cases := []struct {
+		name  string
+		build func() (*Sequence, error)
+		want  string
+	}{
+		{"negative round", func() (*Sequence, error) { return NewBuilder(1).Add(-1, 0, 1, 1).Build() }, "negative round"},
+		{"bad color", func() (*Sequence, error) { return NewBuilder(1).Add(0, -2, 1, 1).Build() }, "invalid job color"},
+		{"bad delay", func() (*Sequence, error) { return NewBuilder(1).Add(0, 0, 0, 1).Build() }, "non-positive delay"},
+		{"negative count", func() (*Sequence, error) { return NewBuilder(1).Add(0, 0, 1, -1).Build() }, "negative job count"},
+		{"delay conflict", func() (*Sequence, error) { return NewBuilder(1).Add(0, 0, 2, 1).Add(2, 0, 4, 1).Build() }, "delay bound"},
+		{"bad delta", func() (*Sequence, error) { return NewBuilder(0).Add(0, 0, 1, 1).Build() }, "reconfiguration cost"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			_, err := c.build()
+			if err == nil {
+				t.Fatal("Build accepted an invalid input")
+			}
+			if !strings.Contains(err.Error(), c.want) {
+				t.Errorf("error %q does not mention %q", err, c.want)
+			}
+		})
+	}
+}
+
+func TestBuilderErrorSticky(t *testing.T) {
+	b := NewBuilder(1).Add(-1, 0, 1, 1)
+	b.Add(0, 0, 1, 1) // after an error, further Adds are ignored
+	if _, err := b.Build(); err == nil {
+		t.Fatal("sticky error lost")
+	}
+}
+
+func TestMustBuildPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MustBuild did not panic on invalid input")
+		}
+	}()
+	NewBuilder(1).Add(-1, 0, 1, 1).MustBuild()
+}
+
+func TestIsBatched(t *testing.T) {
+	batched := NewBuilder(1).Add(0, 0, 4, 1).Add(4, 0, 4, 2).Add(8, 0, 4, 1).MustBuild()
+	if !batched.IsBatched() {
+		t.Error("batched sequence reported non-batched")
+	}
+	general := NewBuilder(1).Add(3, 0, 4, 1).MustBuild()
+	if general.IsBatched() {
+		t.Error("job at round 3 with D=4 reported batched")
+	}
+	// D=1 jobs are batched at every round.
+	unit := NewBuilder(1).Add(3, 0, 1, 1).Add(7, 0, 1, 1).MustBuild()
+	if !unit.IsBatched() {
+		t.Error("unit delay jobs should always be batched")
+	}
+}
+
+func TestIsRateLimited(t *testing.T) {
+	ok := NewBuilder(1).Add(0, 0, 4, 4).Add(4, 0, 4, 3).MustBuild()
+	if !ok.IsRateLimited() {
+		t.Error("batch of size <= D reported over-rate")
+	}
+	over := NewBuilder(1).Add(0, 0, 4, 5).MustBuild()
+	if over.IsRateLimited() {
+		t.Error("batch of size 5 > D=4 reported rate-limited")
+	}
+	nonBatched := NewBuilder(1).Add(1, 0, 4, 1).MustBuild()
+	if nonBatched.IsRateLimited() {
+		t.Error("non-batched sequence cannot be rate-limited")
+	}
+}
+
+func TestPowerOfTwoDelays(t *testing.T) {
+	yes := NewBuilder(1).Add(0, 0, 4, 1).Add(0, 1, 1, 1).MustBuild()
+	if !yes.PowerOfTwoDelays() {
+		t.Error("power-of-two delays not detected")
+	}
+	no := NewBuilder(1).Add(0, 0, 3, 1).MustBuild()
+	if no.PowerOfTwoDelays() {
+		t.Error("delay 3 reported as power of two")
+	}
+}
+
+func TestRequestOutOfRange(t *testing.T) {
+	seq := NewBuilder(1).Add(0, 0, 1, 1).MustBuild()
+	if seq.Request(-1) != nil || seq.Request(99) != nil {
+		t.Error("out-of-range requests should be nil")
+	}
+}
+
+func TestJobByID(t *testing.T) {
+	seq := NewBuilder(1).Add(0, 0, 2, 2).Add(3, 1, 1, 1).MustBuild()
+	j, ok := seq.JobByID(2)
+	if !ok || j.Color != 1 || j.Arrival != 3 {
+		t.Errorf("JobByID(2) = %+v, %v", j, ok)
+	}
+	if _, ok := seq.JobByID(99); ok {
+		t.Error("JobByID(99) found a ghost job")
+	}
+}
+
+// TestSequenceInvariantsProperty: any sequence built from random Add calls
+// validates, reports consistent job counts, and has Horizon >= every
+// deadline.
+func TestSequenceInvariantsProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		b := NewBuilder(int64(rng.Intn(10)) + 1)
+		total := 0
+		for i := 0; i < 30; i++ {
+			c := Color(rng.Intn(5))
+			d := int64(1) << uint(c%4) // delay fixed per color
+			n := rng.Intn(4)
+			b.Add(int64(rng.Intn(50)), c, d, n)
+			total += n
+		}
+		seq, err := b.Build()
+		if err != nil {
+			return false
+		}
+		if seq.Validate() != nil || seq.NumJobs() != total {
+			return false
+		}
+		for _, j := range seq.Jobs() {
+			if j.Deadline() > seq.Horizon() {
+				return false
+			}
+		}
+		sum := 0
+		for _, c := range seq.Colors() {
+			sum += seq.JobsOfColor(c)
+		}
+		return sum == total
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,103 @@
+package model
+
+// Filter returns the subsequence of s containing exactly the jobs for which
+// keep returns true, preserving arrival rounds, per-color delay bounds, and
+// Delta. Job IDs are freshly assigned (dense), as in any Sequence.
+//
+// Filtering is the analysis's main surgical tool: Theorem 1 splits an input
+// into the jobs of sub-Δ colors and the rest; Lemma 3.10 extracts the
+// eligible jobs; Lemma 3.6 states that dropping jobs never increases OPT's
+// drop cost. The corresponding tests exercise those statements through
+// Filter.
+func (s *Sequence) Filter(keep func(Job) bool) *Sequence {
+	b := NewBuilder(s.delta)
+	for r := int64(0); r < s.NumRounds(); r++ {
+		for _, j := range s.Request(r) {
+			if keep(j) {
+				b.Add(r, j.Color, j.Delay, 1)
+			}
+		}
+	}
+	return b.MustBuild()
+}
+
+// FilterColors returns the subsequence with only the given colors.
+func (s *Sequence) FilterColors(colors ...Color) *Sequence {
+	set := make(map[Color]bool, len(colors))
+	for _, c := range colors {
+		set[c] = true
+	}
+	return s.Filter(func(j Job) bool { return set[j.Color] })
+}
+
+// SplitByColorVolume splits s into (alpha, beta) where alpha holds the jobs
+// of colors with fewer than threshold jobs in s and beta the rest — the
+// decomposition used in the proof of Theorem 1 with threshold Δ.
+func (s *Sequence) SplitByColorVolume(threshold int64) (alpha, beta *Sequence) {
+	small := make(map[Color]bool)
+	for _, c := range s.Colors() {
+		if int64(s.JobsOfColor(c)) < threshold {
+			small[c] = true
+		}
+	}
+	alpha = s.Filter(func(j Job) bool { return small[j.Color] })
+	beta = s.Filter(func(j Job) bool { return !small[j.Color] })
+	return alpha, beta
+}
+
+// Canonical returns a sequence with the same jobs but canonical job IDs:
+// round-major, ascending color within each round. The JSON trace format
+// groups jobs by (round, color) and reassigns IDs in this order on load, so
+// a schedule recorded against a canonical sequence stays valid across a
+// trace round trip.
+func (s *Sequence) Canonical() *Sequence {
+	b := NewBuilder(s.delta)
+	for r := int64(0); r < s.NumRounds(); r++ {
+		counts := map[Color]int{}
+		for _, j := range s.Request(r) {
+			counts[j.Color]++
+		}
+		colors := make([]Color, 0, len(counts))
+		for c := range counts {
+			colors = append(colors, c)
+		}
+		sortColors(colors)
+		for _, c := range colors {
+			d, _ := s.DelayBound(c)
+			b.Add(r, c, d, counts[c])
+		}
+	}
+	return b.MustBuild()
+}
+
+func sortColors(colors []Color) {
+	for i := 1; i < len(colors); i++ {
+		for j := i; j > 0 && colors[j] < colors[j-1]; j-- {
+			colors[j], colors[j-1] = colors[j-1], colors[j]
+		}
+	}
+}
+
+// Truncate returns the prefix of s containing only jobs arriving before
+// round cut.
+func (s *Sequence) Truncate(cut int64) *Sequence {
+	return s.Filter(func(j Job) bool { return j.Arrival < cut })
+}
+
+// Concat appends the arrivals of other, shifted by offset rounds, to a copy
+// of s. Colors shared between the two sequences must agree on delay bounds;
+// Concat panics otherwise (the Builder's invariant).
+func (s *Sequence) Concat(other *Sequence, offset int64) *Sequence {
+	b := NewBuilder(s.delta)
+	for r := int64(0); r < s.NumRounds(); r++ {
+		for _, j := range s.Request(r) {
+			b.Add(r, j.Color, j.Delay, 1)
+		}
+	}
+	for r := int64(0); r < other.NumRounds(); r++ {
+		for _, j := range other.Request(r) {
+			b.Add(r+offset, j.Color, j.Delay, 1)
+		}
+	}
+	return b.MustBuild()
+}

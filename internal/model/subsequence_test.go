@@ -1,0 +1,129 @@
+package model
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func sampleSeq() *Sequence {
+	return NewBuilder(3).
+		Add(0, 0, 2, 2).
+		Add(0, 1, 4, 5).
+		Add(2, 0, 2, 1).
+		Add(4, 2, 4, 1).
+		MustBuild()
+}
+
+func TestFilterColors(t *testing.T) {
+	s := sampleSeq()
+	sub := s.FilterColors(0)
+	if sub.NumJobs() != 3 {
+		t.Errorf("jobs = %d", sub.NumJobs())
+	}
+	if len(sub.Colors()) != 1 || sub.Colors()[0] != 0 {
+		t.Errorf("colors = %v", sub.Colors())
+	}
+	if d, ok := sub.DelayBound(0); !ok || d != 2 {
+		t.Errorf("delay = %d, %v", d, ok)
+	}
+	if sub.Delta() != s.Delta() {
+		t.Error("delta changed")
+	}
+}
+
+func TestSplitByColorVolume(t *testing.T) {
+	s := sampleSeq()
+	alpha, beta := s.SplitByColorVolume(3) // colors with < 3 jobs -> alpha
+	// color 0 has 3 jobs (beta), color 1 has 5 (beta), color 2 has 1 (alpha)
+	if alpha.NumJobs() != 1 || beta.NumJobs() != 8 {
+		t.Errorf("alpha/beta = %d/%d", alpha.NumJobs(), beta.NumJobs())
+	}
+	if alpha.NumJobs()+beta.NumJobs() != s.NumJobs() {
+		t.Error("split lost jobs")
+	}
+}
+
+func TestTruncate(t *testing.T) {
+	s := sampleSeq()
+	pre := s.Truncate(2)
+	if pre.NumJobs() != 7 { // rounds 0 only: 2 + 5
+		t.Errorf("jobs = %d", pre.NumJobs())
+	}
+}
+
+func TestConcat(t *testing.T) {
+	a := NewBuilder(2).Add(0, 0, 2, 1).MustBuild()
+	b := NewBuilder(2).Add(0, 0, 2, 2).Add(2, 1, 4, 1).MustBuild()
+	c := a.Concat(b, 4)
+	if c.NumJobs() != 4 {
+		t.Errorf("jobs = %d", c.NumJobs())
+	}
+	if len(c.Request(4)) != 2 || len(c.Request(6)) != 1 {
+		t.Errorf("shifted arrivals wrong: %d @4, %d @6", len(c.Request(4)), len(c.Request(6)))
+	}
+	if err := c.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestConcatDelayConflictPanics(t *testing.T) {
+	a := NewBuilder(2).Add(0, 0, 2, 1).MustBuild()
+	b := NewBuilder(2).Add(0, 0, 4, 1).MustBuild() // color 0 with different delay
+	defer func() {
+		if recover() == nil {
+			t.Fatal("delay conflict not caught")
+		}
+	}()
+	a.Concat(b, 0)
+}
+
+// TestFilterPartitionProperty: Filter(p) and Filter(!p) partition the jobs,
+// and both validate.
+func TestFilterPartitionProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		b := NewBuilder(2)
+		for i := 0; i < 25; i++ {
+			c := Color(rng.Intn(4))
+			b.Add(int64(rng.Intn(20)), c, int64(1)<<uint(int(c)%3), rng.Intn(3))
+		}
+		s := b.MustBuild()
+		pred := func(j Job) bool { return j.Color%2 == 0 }
+		yes := s.Filter(pred)
+		no := s.Filter(func(j Job) bool { return !pred(j) })
+		return yes.Validate() == nil && no.Validate() == nil &&
+			yes.NumJobs()+no.NumJobs() == s.NumJobs()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCanonicalStableUnderTraceOrder(t *testing.T) {
+	// Build a sequence with interleaved colors in one round; Canonical must
+	// reassign IDs round-major, color-ascending, and be idempotent.
+	s := NewBuilder(2).
+		Add(0, 2, 4, 1).
+		Add(0, 0, 2, 2).
+		Add(0, 1, 4, 1).
+		Add(2, 0, 2, 1).
+		MustBuild()
+	c := s.Canonical()
+	if c.NumJobs() != s.NumJobs() {
+		t.Fatal("canonicalization lost jobs")
+	}
+	jobs := c.Request(0)
+	for i := 1; i < len(jobs); i++ {
+		if jobs[i].Color < jobs[i-1].Color {
+			t.Fatalf("round 0 not color-sorted: %v", jobs)
+		}
+	}
+	c2 := c.Canonical()
+	ja, jb := c.Jobs(), c2.Jobs()
+	for i := range ja {
+		if ja[i] != jb[i] {
+			t.Fatalf("Canonical not idempotent at job %d: %+v vs %+v", i, ja[i], jb[i])
+		}
+	}
+}

@@ -1,0 +1,145 @@
+package offline
+
+import (
+	"fmt"
+
+	"rrsched/internal/model"
+)
+
+// BBOptions bounds the branch-and-bound solver.
+type BBOptions struct {
+	// MaxNodes caps the number of expanded search nodes (default 2e6).
+	MaxNodes int
+}
+
+// ExactBB computes the exact optimal total cost by depth-first branch and
+// bound over the same round-layer state space as Exact, with two prunes
+// that let it reach larger instances:
+//
+//   - incumbent pruning: the search starts from the BestGreedy heuristic
+//     cost and discards any node whose accumulated cost plus an admissible
+//     remaining-cost bound reaches the incumbent;
+//   - dominance pruning: a node is discarded when the same (round, state)
+//     was already reached at an equal or lower cost.
+//
+// The admissible remaining bound charges, for every color with pending or
+// future jobs that is not in the node's configuration, the inevitable
+// min(Δ, #remaining jobs) the optimal completion must still pay — the
+// per-color component of LowerBound, localized to the suffix.
+//
+// ExactBB returns the same value as Exact (cross-checked by property tests)
+// and ErrTooLarge when the node budget is exhausted.
+func ExactBB(seq *model.Sequence, m int, opts BBOptions) (int64, error) {
+	if m <= 0 {
+		return 0, fmt.Errorf("offline: ExactBB needs at least one resource")
+	}
+	if opts.MaxNodes == 0 {
+		opts.MaxNodes = 2_000_000
+	}
+	horizon := seq.Horizon()
+	delta := seq.Delta()
+
+	// futureJobs[c][k] = number of color-c jobs arriving in rounds >= k.
+	futureJobs := map[model.Color][]int64{}
+	for _, c := range seq.Colors() {
+		futureJobs[c] = make([]int64, horizon+2)
+	}
+	for r := int64(0); r < seq.NumRounds(); r++ {
+		for _, j := range seq.Request(r) {
+			futureJobs[j.Color][r]++
+		}
+	}
+	for _, counts := range futureJobs {
+		for k := horizon - 1; k >= 0; k-- {
+			counts[k] += counts[k+1]
+		}
+	}
+
+	incumbent := BestGreedy(seq, m).Cost.Total()
+	best := incumbent
+	seen := map[string]int64{}
+	nodes := 0
+
+	var dfs func(k int64, st dpState, g int64) error
+	dfs = func(k int64, st dpState, g int64) error {
+		nodes++
+		if nodes > opts.MaxNodes {
+			return ErrTooLarge
+		}
+		if k > horizon {
+			if g < best {
+				best = g
+			}
+			return nil
+		}
+		// Drop + arrival phases (deterministic).
+		st = st.clone()
+		g += st.pending.dropDue(k)
+		for _, j := range seq.Request(k) {
+			st.pending.add(j.Color, j.Deadline())
+		}
+		if g >= best {
+			return nil
+		}
+		if g+suffixBound(st, futureJobs, k, delta) >= best {
+			return nil
+		}
+		key := fmt.Sprintf("%d|%s", k, st.key())
+		if prev, ok := seen[key]; ok && prev <= g {
+			return nil
+		}
+		seen[key] = g
+
+		for _, cfg := range usefulConfigs(st, m) {
+			next := st.clone()
+			rc := reconfigCost(next.config, cfg, delta)
+			if g+rc >= best {
+				continue
+			}
+			next.config = cfg
+			next.pending.execute(cfg)
+			if err := dfs(k+1, next, g+rc); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+
+	start := dpState{config: blackConfig(m), pending: pendingProfile{}}
+	if err := dfs(0, start, 0); err != nil {
+		return 0, err
+	}
+	return best, nil
+}
+
+// suffixBound is an admissible lower bound on the remaining cost from round
+// k with the given state: every color with pending-or-future jobs that is
+// not currently configured must still pay min(Δ, remaining jobs of that
+// color); configured colors may serve the rest for free in the relaxation.
+func suffixBound(st dpState, futureJobs map[model.Color][]int64, k int64, delta int64) int64 {
+	inCfg := map[model.Color]bool{}
+	for _, c := range st.config {
+		inCfg[c] = true
+	}
+	var lb int64
+	for c, counts := range futureJobs {
+		if inCfg[c] {
+			continue
+		}
+		// Round k's arrivals are already in the pending profile when the
+		// bound is evaluated, so only strictly later arrivals count.
+		remaining := int64(len(st.pending[c]))
+		if int(k+1) < len(counts) {
+			remaining += counts[k+1]
+		}
+		if remaining == 0 {
+			continue
+		}
+		if remaining < delta {
+			lb += remaining
+		} else {
+			lb += delta
+		}
+	}
+	return lb
+}

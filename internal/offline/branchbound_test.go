@@ -1,0 +1,112 @@
+package offline
+
+import (
+	"errors"
+	"testing"
+	"testing/quick"
+
+	"rrsched/internal/model"
+	"rrsched/internal/workload"
+)
+
+// TestExactBBMatchesDPProperty: branch and bound agrees with the layered DP
+// on every instance both can solve — the core cross-validation of the two
+// exact solvers.
+func TestExactBBMatchesDPProperty(t *testing.T) {
+	f := func(seedRaw uint16) bool {
+		seq := tinyRandom(int64(seedRaw))
+		if seq.NumJobs() == 0 {
+			return true
+		}
+		m := 1 + int(seedRaw)%2
+		dp, err := Exact(seq, m, ExactOptions{})
+		if err != nil {
+			return true
+		}
+		bb, err := ExactBB(seq, m, BBOptions{})
+		if err != nil {
+			t.Logf("seed %d: bb error %v", seedRaw, err)
+			return false
+		}
+		if dp != bb {
+			t.Logf("seed %d m=%d: DP %d != BB %d", seedRaw, m, dp, bb)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestExactBBHandConstructed(t *testing.T) {
+	seq := model.NewBuilder(5).Add(0, 0, 2, 2).MustBuild()
+	got, err := ExactBB(seq, 1, BBOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 2 {
+		t.Errorf("OPT = %d, want 2", got)
+	}
+}
+
+func TestExactBBLargerThanDP(t *testing.T) {
+	// An instance the layer DP exhausts its (small) budget on, but BB solves
+	// thanks to pruning.
+	seq, err := workload.RandomGeneral(workload.RandomConfig{
+		Seed: 4, Delta: 2, Colors: 3, Rounds: 40,
+		MinDelayExp: 1, MaxDelayExp: 2, Load: 0.5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Exact(seq, 1, ExactOptions{MaxStates: 500}); !errors.Is(err, ErrTooLarge) {
+		t.Skip("DP solved the instance with a tiny budget; pruning comparison moot")
+	}
+	bb, err := ExactBB(seq, 1, BBOptions{})
+	if err != nil {
+		t.Fatalf("BB failed: %v", err)
+	}
+	lb := LowerBound(seq, 1)
+	ub := BestGreedy(seq, 1).Cost.Total()
+	if bb < lb || bb > ub {
+		t.Errorf("BB result %d outside bracket [%d, %d]", bb, lb, ub)
+	}
+}
+
+func TestExactBBErrTooLarge(t *testing.T) {
+	seq, err := workload.RandomBatched(workload.RandomConfig{
+		Seed: 1, Delta: 2, Colors: 6, Rounds: 64,
+		MinDelayExp: 1, MaxDelayExp: 3, Load: 1.0, RateLimited: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ExactBB(seq, 2, BBOptions{MaxNodes: 100}); !errors.Is(err, ErrTooLarge) {
+		t.Fatalf("err = %v, want ErrTooLarge", err)
+	}
+}
+
+func TestExactBBRejectsBadM(t *testing.T) {
+	seq := model.NewBuilder(1).Add(0, 0, 1, 1).MustBuild()
+	if _, err := ExactBB(seq, 0, BBOptions{}); err == nil {
+		t.Fatal("m=0 accepted")
+	}
+}
+
+// TestExactBBNeverBelowLB: BB's result respects the certified lower bound.
+func TestExactBBNeverBelowLB(t *testing.T) {
+	for seed := int64(0); seed < 10; seed++ {
+		seq := tinyRandom(seed)
+		if seq.NumJobs() == 0 {
+			continue
+		}
+		bb, err := ExactBB(seq, 1, BBOptions{})
+		if err != nil {
+			continue
+		}
+		if lb := LowerBound(seq, 1); bb < lb {
+			t.Fatalf("seed %d: BB %d < LB %d", seed, bb, lb)
+		}
+	}
+}

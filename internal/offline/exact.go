@@ -1,0 +1,262 @@
+package offline
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+
+	"rrsched/internal/model"
+)
+
+// ErrTooLarge is returned by Exact when the dynamic program exceeds its
+// state budget; callers should fall back to BracketOPT.
+var ErrTooLarge = fmt.Errorf("offline: instance too large for the exact solver")
+
+// ExactOptions bounds the exact solver.
+type ExactOptions struct {
+	// MaxStates caps the number of distinct states per round layer
+	// (default 200000).
+	MaxStates int
+}
+
+// Exact computes the exact optimal total cost for seq with m uni-speed
+// resources by dynamic programming over rounds. The state is the multiset of
+// resource colors plus the pending-job profile (per color, a deadline
+// histogram); transitions enumerate every useful configuration multiset
+// (colors with pending jobs, colors of the current configuration, and
+// black), charge Δ per recolored resource, and execute
+// earliest-deadline-first within each color, which is optimal for a fixed
+// configuration timeline by an exchange argument.
+//
+// The solver is exponential and intended for the small instances used to
+// validate LowerBound <= OPT <= BestGreedy and to measure true competitive
+// ratios in experiment E9.
+func Exact(seq *model.Sequence, m int, opts ExactOptions) (int64, error) {
+	if m <= 0 {
+		return 0, fmt.Errorf("offline: Exact needs at least one resource")
+	}
+	if opts.MaxStates == 0 {
+		opts.MaxStates = 200000
+	}
+	delta := seq.Delta()
+	horizon := seq.Horizon()
+
+	start := dpState{config: blackConfig(m), pending: pendingProfile{}}
+	layer := map[string]layerEntry{start.key(): {state: start, cost: 0}}
+
+	for k := int64(0); k <= horizon; k++ {
+		// Drop + arrival phases are deterministic per state.
+		pre := make(map[string]layerEntry, len(layer))
+		for _, e := range layer {
+			st := e.state.clone()
+			dropCost := st.pending.dropDue(k)
+			for _, j := range seq.Request(k) {
+				st.pending.add(j.Color, j.Deadline())
+			}
+			addEntry(pre, st, e.cost+dropCost)
+		}
+		// Reconfiguration + execution: enumerate configurations.
+		next := make(map[string]layerEntry, len(pre))
+		for _, e := range pre {
+			for _, cfg := range usefulConfigs(e.state, m) {
+				st := e.state.clone()
+				rc := reconfigCost(st.config, cfg, delta)
+				st.config = cfg
+				st.pending.execute(cfg)
+				addEntry(next, st, e.cost+rc)
+			}
+			if len(next) > opts.MaxStates {
+				return 0, ErrTooLarge
+			}
+		}
+		layer = next
+	}
+
+	best := int64(-1)
+	for _, e := range layer {
+		if best < 0 || e.cost < best {
+			best = e.cost
+		}
+	}
+	if best < 0 {
+		return 0, fmt.Errorf("offline: exact solver produced no states")
+	}
+	return best, nil
+}
+
+type layerEntry struct {
+	state dpState
+	cost  int64
+}
+
+func addEntry(layer map[string]layerEntry, st dpState, cost int64) {
+	k := st.key()
+	if cur, ok := layer[k]; !ok || cost < cur.cost {
+		layer[k] = layerEntry{state: st, cost: cost}
+	}
+}
+
+// dpState is (configuration multiset, pending profile).
+type dpState struct {
+	config  []model.Color // sorted multiset, Black allowed
+	pending pendingProfile
+}
+
+func blackConfig(m int) []model.Color {
+	cfg := make([]model.Color, m)
+	for i := range cfg {
+		cfg[i] = model.Black
+	}
+	return cfg
+}
+
+func (s dpState) clone() dpState {
+	cfg := make([]model.Color, len(s.config))
+	copy(cfg, s.config)
+	return dpState{config: cfg, pending: s.pending.clone()}
+}
+
+func (s dpState) key() string {
+	var b strings.Builder
+	for _, c := range s.config {
+		b.WriteString(strconv.Itoa(int(c)))
+		b.WriteByte(',')
+	}
+	b.WriteByte('|')
+	b.WriteString(s.pending.key())
+	return b.String()
+}
+
+// pendingProfile maps colors to sorted deadline lists (one entry per job).
+type pendingProfile map[model.Color][]int64
+
+func (p pendingProfile) clone() pendingProfile {
+	out := make(pendingProfile, len(p))
+	for c, dl := range p {
+		cp := make([]int64, len(dl))
+		copy(cp, dl)
+		out[c] = cp
+	}
+	return out
+}
+
+func (p pendingProfile) add(c model.Color, deadline int64) {
+	dl := append(p[c], deadline)
+	sort.Slice(dl, func(i, j int) bool { return dl[i] < dl[j] })
+	p[c] = dl
+}
+
+// dropDue removes jobs with deadline <= k and returns their count (cost).
+func (p pendingProfile) dropDue(k int64) int64 {
+	var cost int64
+	for c, dl := range p {
+		i := 0
+		for i < len(dl) && dl[i] <= k {
+			i++
+		}
+		cost += int64(i)
+		if i == len(dl) {
+			delete(p, c)
+		} else if i > 0 {
+			p[c] = dl[i:]
+		}
+	}
+	return cost
+}
+
+// execute removes, for each resource configured to color c, the
+// earliest-deadline pending job of c.
+func (p pendingProfile) execute(cfg []model.Color) {
+	per := map[model.Color]int{}
+	for _, c := range cfg {
+		if c != model.Black {
+			per[c]++
+		}
+	}
+	for c, n := range per {
+		dl := p[c]
+		if len(dl) <= n {
+			delete(p, c)
+		} else {
+			p[c] = dl[n:]
+		}
+	}
+}
+
+func (p pendingProfile) key() string {
+	colors := make([]model.Color, 0, len(p))
+	for c := range p {
+		colors = append(colors, c)
+	}
+	sort.Slice(colors, func(i, j int) bool { return colors[i] < colors[j] })
+	var b strings.Builder
+	for _, c := range colors {
+		b.WriteString(strconv.Itoa(int(c)))
+		b.WriteByte(':')
+		for _, d := range p[c] {
+			b.WriteString(strconv.FormatInt(d, 10))
+			b.WriteByte(',')
+		}
+		b.WriteByte(';')
+	}
+	return b.String()
+}
+
+// usefulConfigs enumerates the candidate configuration multisets after the
+// arrival phase: every sorted multiset of size m over {black} ∪ {colors with
+// pending jobs} ∪ {current configuration colors}. Configurations outside
+// this set are dominated: configuring a color with no pending jobs can be
+// postponed at no extra cost.
+func usefulConfigs(st dpState, m int) [][]model.Color {
+	cands := map[model.Color]bool{model.Black: true}
+	for c := range st.pending {
+		cands[c] = true
+	}
+	for _, c := range st.config {
+		cands[c] = true
+	}
+	colors := make([]model.Color, 0, len(cands))
+	for c := range cands {
+		colors = append(colors, c)
+	}
+	sort.Slice(colors, func(i, j int) bool { return colors[i] < colors[j] })
+
+	var out [][]model.Color
+	cur := make([]model.Color, 0, m)
+	var rec func(startIdx, left int)
+	rec = func(startIdx, left int) {
+		if left == 0 {
+			cfg := make([]model.Color, m)
+			copy(cfg, cur)
+			out = append(out, cfg)
+			return
+		}
+		for i := startIdx; i < len(colors); i++ {
+			cur = append(cur, colors[i])
+			rec(i, left-1)
+			cur = cur[:len(cur)-1]
+		}
+	}
+	rec(0, m)
+	return out
+}
+
+// reconfigCost charges Δ per resource whose color changes, matching old and
+// new configuration multisets to maximize overlap (both are sorted).
+func reconfigCost(oldCfg, newCfg []model.Color, delta int64) int64 {
+	i, j, overlap := 0, 0, 0
+	for i < len(oldCfg) && j < len(newCfg) {
+		switch {
+		case oldCfg[i] == newCfg[j]:
+			overlap++
+			i++
+			j++
+		case oldCfg[i] < newCfg[j]:
+			i++
+		default:
+			j++
+		}
+	}
+	return delta * int64(len(newCfg)-overlap)
+}

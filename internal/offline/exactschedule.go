@@ -1,0 +1,199 @@
+package offline
+
+import (
+	"fmt"
+	"sort"
+
+	"rrsched/internal/model"
+)
+
+// ExactSchedule computes the optimal cost like Exact and additionally
+// materializes an optimal schedule (auditable with model.Audit), by keeping
+// parent pointers through the round-layer DP and replaying the optimal
+// configuration timeline with greedy earliest-deadline executions.
+func ExactSchedule(seq *model.Sequence, m int, opts ExactOptions) (int64, *model.Schedule, error) {
+	if m <= 0 {
+		return 0, nil, fmt.Errorf("offline: ExactSchedule needs at least one resource")
+	}
+	if opts.MaxStates == 0 {
+		opts.MaxStates = 200000
+	}
+	delta := seq.Delta()
+	horizon := seq.Horizon()
+
+	type entry struct {
+		state     dpState
+		cost      int64
+		parentKey string        // key in the previous layer
+		config    []model.Color // configuration chosen this round
+	}
+	start := dpState{config: blackConfig(m), pending: pendingProfile{}}
+	layer := map[string]entry{start.key(): {state: start, cost: 0}}
+	var layers []map[string]entry
+
+	for k := int64(0); k <= horizon; k++ {
+		next := make(map[string]entry, len(layer))
+		for parentKey, e := range layer {
+			st := e.state.clone()
+			dropCost := st.pending.dropDue(k)
+			for _, j := range seq.Request(k) {
+				st.pending.add(j.Color, j.Deadline())
+			}
+			for _, cfg := range usefulConfigs(st, m) {
+				child := st.clone()
+				rc := reconfigCost(child.config, cfg, delta)
+				child.config = cfg
+				child.pending.execute(cfg)
+				key := child.key()
+				cand := entry{state: child, cost: e.cost + dropCost + rc, parentKey: parentKey, config: cfg}
+				if cur, ok := next[key]; !ok || cand.cost < cur.cost {
+					next[key] = cand
+				}
+			}
+			if len(next) > opts.MaxStates {
+				return 0, nil, ErrTooLarge
+			}
+		}
+		layers = append(layers, next)
+		layer = next
+	}
+
+	// Find the best final entry and walk parents back to round 0.
+	bestKey, bestCost := "", int64(-1)
+	for key, e := range layer {
+		if bestCost < 0 || e.cost < bestCost {
+			bestKey, bestCost = key, e.cost
+		}
+	}
+	if bestCost < 0 {
+		return 0, nil, fmt.Errorf("offline: exact solver produced no states")
+	}
+	configs := make([][]model.Color, horizon+1)
+	key := bestKey
+	for k := horizon; k >= 0; k-- {
+		e := layers[k][key]
+		configs[k] = e.config
+		key = e.parentKey
+	}
+
+	sched, err := realizeConfigs(seq, m, configs)
+	if err != nil {
+		return 0, nil, err
+	}
+	return bestCost, sched, nil
+}
+
+// realizeConfigs turns a per-round configuration multiset timeline into a
+// concrete schedule: multisets are matched between rounds to minimize
+// recolorings (sorted greedy matching, which is optimal for multisets), and
+// executions run earliest-deadline-first within each color.
+func realizeConfigs(seq *model.Sequence, m int, configs [][]model.Color) (*model.Schedule, error) {
+	var recs []model.Reconfigure
+	cur := make([]model.Color, m)
+	for i := range cur {
+		cur[i] = model.Black
+	}
+	for k, cfg := range configs {
+		// Count how many locations of each color we need vs have.
+		needOf := map[model.Color]int{}
+		for _, c := range cfg {
+			if c != model.Black {
+				needOf[c]++
+			}
+		}
+		haveOf := map[model.Color]int{}
+		for _, c := range cur {
+			if c != model.Black {
+				haveOf[c]++
+			}
+		}
+		// Keep min(need, have) locations per color; recolor surplus
+		// locations to cover deficits.
+		keep := map[model.Color]int{}
+		for c, n := range needOf {
+			if h := haveOf[c]; h < n {
+				keep[c] = h
+			} else {
+				keep[c] = n
+			}
+		}
+		var deficits []model.Color
+		for c, n := range needOf {
+			for i := keep[c]; i < n; i++ {
+				deficits = append(deficits, c)
+			}
+		}
+		sort.Slice(deficits, func(i, j int) bool { return deficits[i] < deficits[j] })
+		kept := map[model.Color]int{}
+		var freeLocs []int
+		for loc, c := range cur {
+			if c != model.Black && kept[c] < keep[c] {
+				kept[c]++
+				continue
+			}
+			freeLocs = append(freeLocs, loc)
+		}
+		if len(deficits) > len(freeLocs) {
+			return nil, fmt.Errorf("offline: config realization needs %d recolorings with %d free locations", len(deficits), len(freeLocs))
+		}
+		for i, c := range deficits {
+			loc := freeLocs[i]
+			cur[loc] = c
+			recs = append(recs, model.Reconfigure{Round: int64(k), Resource: loc, To: c})
+		}
+	}
+	sched, err := replayExact(seq, m, recs)
+	if err != nil {
+		return nil, err
+	}
+	return sched, nil
+}
+
+// replayExact is sim.Replay without the import cycle: it re-derives
+// executions for the scripted configuration timeline.
+func replayExact(seq *model.Sequence, m int, recs []model.Reconfigure) (*model.Schedule, error) {
+	sched := model.NewSchedule(m, 1)
+	locColor := make([]model.Color, m)
+	for i := range locColor {
+		locColor[i] = model.Black
+	}
+	pending := pendingProfile{}
+	next := 0
+	sort.SliceStable(recs, func(i, j int) bool { return recs[i].Round < recs[j].Round })
+	jobIDs := map[model.Color][]int64{} // deadline-ordered pending job ids per color
+	for k := int64(0); k <= seq.Horizon(); k++ {
+		pending.dropDue(k)
+		for c := range jobIDs {
+			// Trim job ids whose deadline passed: the profile already
+			// dropped them; keep lists aligned.
+			jobIDs[c] = jobIDs[c][len(jobIDs[c])-len(pending[c]):]
+		}
+		for _, j := range seq.Request(k) {
+			pending.add(j.Color, j.Deadline())
+			jobIDs[j.Color] = append(jobIDs[j.Color], j.ID)
+		}
+		for next < len(recs) && recs[next].Round == k {
+			r := recs[next]
+			next++
+			if locColor[r.Resource] == r.To {
+				continue
+			}
+			locColor[r.Resource] = r.To
+			sched.AddReconfig(k, 0, r.Resource, r.To)
+		}
+		for loc := 0; loc < m; loc++ {
+			c := locColor[loc]
+			if c == model.Black || len(jobIDs[c]) == 0 {
+				continue
+			}
+			id := jobIDs[c][0]
+			jobIDs[c] = jobIDs[c][1:]
+			pending[c] = pending[c][1:]
+			if len(pending[c]) == 0 {
+				delete(pending, c)
+			}
+			sched.AddExec(k, 0, loc, id)
+		}
+	}
+	return sched, nil
+}

@@ -1,0 +1,73 @@
+package offline
+
+import (
+	"testing"
+	"testing/quick"
+
+	"rrsched/internal/model"
+)
+
+// TestExactScheduleAuditsToOptimal: the materialized schedule is legal and
+// its audited cost equals the DP's optimal value (it cannot be below OPT,
+// and the realization never pays more than the DP accounted).
+func TestExactScheduleAuditsToOptimal(t *testing.T) {
+	f := func(seedRaw uint16) bool {
+		seq := tinyRandom(int64(seedRaw))
+		if seq.NumJobs() == 0 {
+			return true
+		}
+		m := 1 + int(seedRaw)%2
+		opt, sched, err := ExactSchedule(seq, m, ExactOptions{})
+		if err != nil {
+			return true // too large: skip
+		}
+		cost, err := model.Audit(seq, sched)
+		if err != nil {
+			t.Logf("seed %d: illegal optimal schedule: %v", seedRaw, err)
+			return false
+		}
+		if cost.Total() != opt {
+			t.Logf("seed %d m=%d: audited %d != OPT %d", seedRaw, m, cost.Total(), opt)
+			return false
+		}
+		// Cross-check against the cost-only solver.
+		only, err := Exact(seq, m, ExactOptions{})
+		if err != nil {
+			return true
+		}
+		return only == opt
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestExactScheduleHandInstance(t *testing.T) {
+	// Δ=1: serving both colors with m=2 costs 2 reconfigs, zero drops.
+	seq := model.NewBuilder(1).Add(0, 0, 2, 2).Add(0, 1, 2, 2).MustBuild()
+	opt, sched, err := ExactSchedule(seq, 2, ExactOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if opt != 2 {
+		t.Errorf("OPT = %d, want 2", opt)
+	}
+	cost := model.MustAudit(seq, sched)
+	if cost.Drop != 0 || cost.Reconfig != 2 {
+		t.Errorf("optimal schedule cost = %v", cost)
+	}
+	if sched.NumExecs() != 4 {
+		t.Errorf("execs = %d, want 4", sched.NumExecs())
+	}
+}
+
+func TestExactScheduleRejections(t *testing.T) {
+	seq := model.NewBuilder(1).Add(0, 0, 1, 1).MustBuild()
+	if _, _, err := ExactSchedule(seq, 0, ExactOptions{}); err == nil {
+		t.Error("m=0 accepted")
+	}
+	big := tinyRandom(1)
+	if _, _, err := ExactSchedule(big, 2, ExactOptions{MaxStates: 1}); err == nil {
+		t.Error("state budget ignored")
+	}
+}

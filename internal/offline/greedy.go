@@ -1,0 +1,192 @@
+package offline
+
+import (
+	"sort"
+
+	"rrsched/internal/model"
+	"rrsched/internal/sim"
+)
+
+// GreedyResult is a feasible offline schedule with its audited cost.
+type GreedyResult struct {
+	Window   int64
+	Cost     model.Cost
+	Schedule *model.Schedule
+}
+
+// WindowGreedy builds a feasible offline schedule with m resources by
+// partitioning time into windows of length w and, at each window start,
+// reassigning resources to the colors with the largest executable backlog in
+// the window, with a Δ switching penalty discouraging churn. It is a
+// heuristic upper bound on OPT: any feasible schedule costs at least OPT.
+//
+// Offline knowledge is used only to compute per-window color loads; the
+// schedule itself is realized (and its cost derived) by sim.Replay +
+// model.Audit, so the result is feasible by construction.
+func WindowGreedy(seq *model.Sequence, m int, w int64) GreedyResult {
+	if m <= 0 {
+		panic("offline: WindowGreedy needs at least one resource")
+	}
+	if w <= 0 {
+		panic("offline: WindowGreedy needs a positive window")
+	}
+	horizon := seq.Horizon()
+	delta := seq.Delta()
+
+	// Per-window load: jobs whose execution window intersects the window.
+	// load[c] approximates how much work color c could give a resource.
+	var recs []model.Reconfigure
+	config := make([]model.Color, m)
+	for i := range config {
+		config[i] = model.Black
+	}
+	for start := int64(0); start <= horizon; start += w {
+		end := start + w
+		load := make(map[model.Color]int64)
+		for r := maxInt64(0, start-maxDelay(seq)); r < end && r < seq.NumRounds(); r++ {
+			for _, j := range seq.Request(r) {
+				if j.Arrival < end && j.Deadline() > start {
+					load[j.Color]++
+				}
+			}
+		}
+		next := assignResources(config, load, m, w, delta)
+		for i := 0; i < m; i++ {
+			if next[i] != config[i] && next[i] != model.Black {
+				recs = append(recs, model.Reconfigure{Round: start, Mini: 0, Resource: i, To: next[i]})
+			}
+			if next[i] != model.Black {
+				config[i] = next[i]
+			}
+		}
+	}
+
+	sched, err := sim.Replay(seq, m, 1, recs)
+	if err != nil {
+		panic("offline: WindowGreedy produced an invalid script: " + err.Error())
+	}
+	cost, err := model.Audit(seq, sched)
+	if err != nil {
+		panic("offline: WindowGreedy produced an illegal schedule: " + err.Error())
+	}
+	return GreedyResult{Window: w, Cost: cost, Schedule: sched}
+}
+
+// assignResources chooses the next per-resource colors for one window:
+// resources keep their color while it still has load; freed resources are
+// given to the unserved colors with the largest load, provided the gain
+// (executable jobs, capped at the window length) exceeds the Δ switch cost.
+func assignResources(config []model.Color, load map[model.Color]int64, m int, w, delta int64) []model.Color {
+	next := make([]model.Color, m)
+	remaining := make(map[model.Color]int64, len(load))
+	for c, n := range load {
+		remaining[c] = n
+	}
+	// Keep resources whose color still has work (no switch cost).
+	free := make([]int, 0, m)
+	for i, c := range config {
+		if c != model.Black && remaining[c] > 0 {
+			next[i] = c
+			remaining[c] -= minInt64(remaining[c], w)
+		} else {
+			next[i] = config[i] // provisional: may be overwritten below
+			free = append(free, i)
+		}
+	}
+	// Candidates sorted by remaining load, deterministic tie break.
+	type cand struct {
+		c model.Color
+		n int64
+	}
+	cands := make([]cand, 0, len(remaining))
+	for c, n := range remaining {
+		if n > 0 {
+			cands = append(cands, cand{c: c, n: n})
+		}
+	}
+	sort.Slice(cands, func(i, j int) bool {
+		if cands[i].n != cands[j].n {
+			return cands[i].n > cands[j].n
+		}
+		return cands[i].c < cands[j].c
+	})
+	ci := 0
+	for _, slot := range free {
+		for ci < len(cands) && cands[ci].n <= 0 {
+			ci++
+		}
+		if ci >= len(cands) {
+			break
+		}
+		gain := minInt64(cands[ci].n, w)
+		if gain > delta {
+			next[slot] = cands[ci].c
+			cands[ci].n -= gain
+		}
+	}
+	return next
+}
+
+// BestGreedy runs WindowGreedy over a geometric ladder of window lengths and
+// returns the cheapest audited schedule. The ladder spans the natural time
+// scales of the instance: Δ, the delay bounds, and the horizon.
+func BestGreedy(seq *model.Sequence, m int) GreedyResult {
+	windows := candidateWindows(seq)
+	best := WindowGreedy(seq, m, windows[0])
+	for _, w := range windows[1:] {
+		if r := WindowGreedy(seq, m, w); r.Cost.Total() < best.Cost.Total() {
+			best = r
+		}
+	}
+	return best
+}
+
+func candidateWindows(seq *model.Sequence) []int64 {
+	set := map[int64]bool{1: true}
+	add := func(v int64) {
+		if v >= 1 {
+			set[v] = true
+		}
+	}
+	add(seq.Delta())
+	add(2 * seq.Delta())
+	add(4 * seq.Delta())
+	for _, c := range seq.Colors() {
+		d, _ := seq.DelayBound(c)
+		add(d)
+	}
+	h := seq.Horizon()
+	add(h)
+	add(h / 2)
+	add(h / 4)
+	out := make([]int64, 0, len(set))
+	for w := range set {
+		out = append(out, w)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+func maxDelay(seq *model.Sequence) int64 {
+	var d int64 = 1
+	for _, c := range seq.Colors() {
+		if v, _ := seq.DelayBound(c); v > d {
+			d = v
+		}
+	}
+	return d
+}
+
+func minInt64(a, b int64) int64 {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func maxInt64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,61 @@
+// Package offline provides the offline side of the competitive-ratio
+// measurements: an exact optimal-schedule solver for small instances
+// (dynamic programming over configurations), certified lower bounds on the
+// optimal cost for large instances, and a feasible offline heuristic whose
+// audited cost upper-bounds OPT. Together they bracket OPT:
+//
+//	LowerBound(σ, m) <= OPT(σ, m) <= BestGreedy(σ, m).Cost.Total()
+//
+// so measured ratios cost(ALG)/LowerBound are upper bounds on the true
+// competitive ratio.
+package offline
+
+import (
+	"rrsched/internal/edf"
+	"rrsched/internal/model"
+)
+
+// LowerBound returns a certified lower bound on the total cost of every
+// schedule for seq with m uni-speed resources. It is the maximum of two
+// bounds:
+//
+//   - the drop bound (Lemma 3.7): Par-EDF with m resources drops the fewest
+//     jobs any m-resource schedule can, so its drop count lower-bounds even
+//     the optimal schedule's total cost;
+//   - the per-color bound: for each color ℓ the optimal schedule either
+//     configures ℓ at least once (>= Δ reconfiguration cost attributable to
+//     ℓ, since resources start black) or drops all jobs of ℓ (>= #jobs_ℓ),
+//     so it pays at least min(Δ, #jobs_ℓ) per color.
+func LowerBound(seq *model.Sequence, m int) int64 {
+	drop := edf.ParEDFDrops(seq, m)
+	var perColor int64
+	for _, c := range seq.Colors() {
+		n := int64(seq.JobsOfColor(c))
+		if n == 0 {
+			continue
+		}
+		if n < seq.Delta() {
+			perColor += n
+		} else {
+			perColor += seq.Delta()
+		}
+	}
+	if perColor > drop {
+		return perColor
+	}
+	return drop
+}
+
+// Bracket bounds OPT from both sides: LB is certified, UB is the audited
+// cost of the best feasible offline heuristic schedule.
+type Bracket struct {
+	LB int64
+	UB int64
+}
+
+// BracketOPT computes a LowerBound/heuristic bracket around OPT(seq, m).
+func BracketOPT(seq *model.Sequence, m int) Bracket {
+	lb := LowerBound(seq, m)
+	ub := BestGreedy(seq, m).Cost.Total()
+	return Bracket{LB: lb, UB: ub}
+}

@@ -1,0 +1,231 @@
+package offline
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"rrsched/internal/model"
+	"rrsched/internal/workload"
+)
+
+func tinyRandom(seed int64) *model.Sequence {
+	rng := rand.New(rand.NewSource(seed))
+	b := model.NewBuilder(int64(rng.Intn(3)) + 1)
+	colors := rng.Intn(3) + 1
+	for i := 0; i < 10; i++ {
+		c := model.Color(rng.Intn(colors))
+		d := int64(1) << uint(int(c)%2+1) // 2 or 4
+		b.Add(int64(rng.Intn(10)), c, d, rng.Intn(2))
+	}
+	return b.MustBuild()
+}
+
+func TestExactSimpleInstances(t *testing.T) {
+	// One color, 2 jobs (D=2), Δ=5, m=1: serving costs 5, dropping costs 2.
+	seq := model.NewBuilder(5).Add(0, 0, 2, 2).MustBuild()
+	opt, err := Exact(seq, 1, ExactOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if opt != 2 {
+		t.Errorf("OPT = %d, want 2 (dropping beats a Δ=5 reconfiguration)", opt)
+	}
+	// Same but Δ=1: serving wins.
+	seq2 := model.NewBuilder(1).Add(0, 0, 2, 2).MustBuild()
+	opt2, err := Exact(seq2, 1, ExactOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if opt2 != 1 {
+		t.Errorf("OPT = %d, want 1 (one reconfiguration, both jobs run)", opt2)
+	}
+}
+
+func TestExactTwoColorsOneResource(t *testing.T) {
+	// Colors interleave; with one resource and Δ=1 OPT must decide between
+	// switching (2 reconfigs) and dropping one side.
+	seq := model.NewBuilder(1).
+		Add(0, 0, 2, 2).
+		Add(0, 1, 2, 2).
+		MustBuild()
+	opt, err := Exact(seq, 1, ExactOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Serve color 0 in rounds 0-1 (Δ=1), drop color 1 (2 drops) => 3,
+	// or serve one of each: 2 reconfigs + 1 drop of each remaining... best
+	// is 1 reconfig + serve 2 jobs of one color + drop 2 = 3. With two
+	// colors and 2 rounds the resource can execute only 2 of 4 jobs:
+	// cost = reconfigs + drops >= 1 + 2 = 3.
+	if opt != 3 {
+		t.Errorf("OPT = %d, want 3", opt)
+	}
+	// With m=2 both colors can be served fully: 2 reconfigs.
+	opt2, err := Exact(seq, 2, ExactOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if opt2 != 2 {
+		t.Errorf("OPT(m=2) = %d, want 2", opt2)
+	}
+}
+
+func TestExactIdlingCanWin(t *testing.T) {
+	// Jobs of color 0 now, a big batch of color 1 later, one resource, Δ=4.
+	// Serving color 0's single job (cost 4) is worse than dropping it
+	// (cost 1) and saving the reconfiguration for color 1's 8 jobs.
+	seq := model.NewBuilder(4).
+		Add(0, 0, 2, 1).
+		Add(2, 1, 8, 8).
+		MustBuild()
+	opt, err := Exact(seq, 1, ExactOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if opt != 5 { // drop 1 + Δ for color 1, all 8 jobs run in rounds 2..9
+		t.Errorf("OPT = %d, want 5", opt)
+	}
+}
+
+func TestExactErrTooLarge(t *testing.T) {
+	seq, err := workload.RandomBatched(workload.RandomConfig{
+		Seed: 1, Delta: 2, Colors: 6, Rounds: 64,
+		MinDelayExp: 1, MaxDelayExp: 3, Load: 1.0, RateLimited: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = Exact(seq, 2, ExactOptions{MaxStates: 50})
+	if !errors.Is(err, ErrTooLarge) {
+		t.Fatalf("err = %v, want ErrTooLarge", err)
+	}
+}
+
+func TestExactRejectsBadM(t *testing.T) {
+	seq := model.NewBuilder(1).Add(0, 0, 1, 1).MustBuild()
+	if _, err := Exact(seq, 0, ExactOptions{}); err == nil {
+		t.Fatal("m=0 accepted")
+	}
+}
+
+// TestSandwichProperty: LB <= OPT <= BestGreedy on tiny random instances —
+// the core soundness property of the bracket.
+func TestSandwichProperty(t *testing.T) {
+	f := func(seedRaw uint16) bool {
+		seq := tinyRandom(int64(seedRaw))
+		if seq.NumJobs() == 0 {
+			return true
+		}
+		m := 1 + int(seedRaw)%2
+		opt, err := Exact(seq, m, ExactOptions{})
+		if err != nil {
+			return true // too large: skip
+		}
+		lb := LowerBound(seq, m)
+		ub := BestGreedy(seq, m).Cost.Total()
+		if !(lb <= opt && opt <= ub) {
+			t.Logf("seed %d m=%d: LB=%d OPT=%d UB=%d", seedRaw, m, lb, opt, ub)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestLowerBoundComponents(t *testing.T) {
+	// Per-color component: 2 colors, one with #jobs < Δ, one with more.
+	seq := model.NewBuilder(4).
+		Add(0, 0, 2, 2).  // min(4, 2) = 2
+		Add(0, 1, 4, 10). // min(4, 10) = 4
+		MustBuild()
+	lb := LowerBound(seq, 8) // huge m: drop bound is 0
+	if lb != 6 {
+		t.Errorf("LB = %d, want 6 (per-color bound)", lb)
+	}
+	// Drop component dominates when capacity is scarce.
+	seq2 := model.NewBuilder(1).Add(0, 0, 1, 10).MustBuild()
+	lb2 := LowerBound(seq2, 1) // 9 drops inevitable; per-color bound is 1
+	if lb2 != 9 {
+		t.Errorf("LB = %d, want 9 (drop bound)", lb2)
+	}
+}
+
+func TestWindowGreedyFeasibleAndAudited(t *testing.T) {
+	seq, err := workload.RandomBatched(workload.RandomConfig{
+		Seed: 3, Delta: 4, Colors: 6, Rounds: 128,
+		MinDelayExp: 1, MaxDelayExp: 3, Load: 0.8, RateLimited: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, w := range []int64{1, 4, 16, 64} {
+		r := WindowGreedy(seq, 2, w)
+		if got := model.MustAudit(seq, r.Schedule); got != r.Cost {
+			t.Fatalf("window %d: audit mismatch", w)
+		}
+	}
+}
+
+func TestWindowGreedyPanics(t *testing.T) {
+	seq := model.NewBuilder(1).Add(0, 0, 1, 1).MustBuild()
+	for _, f := range []func(){
+		func() { WindowGreedy(seq, 0, 1) },
+		func() { WindowGreedy(seq, 1, 0) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("invalid WindowGreedy parameters accepted")
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestBestGreedyPicksCheapest(t *testing.T) {
+	seq, err := workload.PhaseShift(workload.PhaseShiftConfig{
+		Seed: 1, Delta: 8, Colors: 8, PhaseLen: 64, Phases: 4,
+		ActivePerPhase: 2, Delay: 4, Load: 0.8,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	best := BestGreedy(seq, 2)
+	for _, w := range candidateWindows(seq) {
+		if r := WindowGreedy(seq, 2, w); r.Cost.Total() < best.Cost.Total() {
+			t.Fatalf("BestGreedy (%d) missed cheaper window %d (%d)",
+				best.Cost.Total(), w, r.Cost.Total())
+		}
+	}
+}
+
+func TestBracketOPTOrdering(t *testing.T) {
+	for seed := int64(0); seed < 10; seed++ {
+		seq := tinyRandom(seed)
+		if seq.NumJobs() == 0 {
+			continue
+		}
+		br := BracketOPT(seq, 1)
+		if br.LB > br.UB {
+			t.Fatalf("seed %d: LB %d > UB %d", seed, br.LB, br.UB)
+		}
+	}
+}
+
+func TestCandidateWindowsSortedPositive(t *testing.T) {
+	seq := model.NewBuilder(4).Add(0, 0, 8, 3).MustBuild()
+	ws := candidateWindows(seq)
+	for i, w := range ws {
+		if w < 1 {
+			t.Fatalf("window %d < 1", w)
+		}
+		if i > 0 && ws[i-1] >= w {
+			t.Fatalf("windows not strictly ascending: %v", ws)
+		}
+	}
+}

@@ -1,0 +1,204 @@
+package paging
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestLRUBasics(t *testing.T) {
+	l := &LRU{}
+	l.Reset(2)
+	if !l.Access(1) || !l.Access(2) {
+		t.Fatal("cold misses not faults")
+	}
+	if l.Access(1) {
+		t.Fatal("hit reported as fault")
+	}
+	if !l.Access(3) { // evicts 2 (LRU)
+		t.Fatal("capacity miss not a fault")
+	}
+	if l.Access(1) {
+		t.Fatal("1 was evicted but should be resident")
+	}
+	if !l.Access(2) {
+		t.Fatal("2 should have been evicted")
+	}
+}
+
+func TestFIFOBasics(t *testing.T) {
+	f := &FIFO{}
+	f.Reset(2)
+	f.Access(1)
+	f.Access(2)
+	f.Access(1)       // hit, does not refresh
+	if !f.Access(3) { // evicts 1 (oldest resident)
+		t.Fatal("miss not a fault")
+	}
+	if !f.Access(1) {
+		t.Fatal("1 should have been evicted by FIFO")
+	}
+}
+
+func TestBeladySimple(t *testing.T) {
+	// k=1, trace a b a: OPT faults 3 times (every switch).
+	if got := BeladyFaults(1, []Page{0, 1, 0}); got != 3 {
+		t.Errorf("Belady = %d, want 3", got)
+	}
+	// k=2, trace a b a b: 2 cold faults only.
+	if got := BeladyFaults(2, []Page{0, 1, 0, 1}); got != 2 {
+		t.Errorf("Belady = %d, want 2", got)
+	}
+	// Belady evicts the page used farthest in the future.
+	// k=2, trace: a b c b a — evict a when c arrives? next use of a is 4,
+	// next use of b is 3, so evict a; faults: a, b, c, a = 4.
+	if got := BeladyFaults(2, []Page{0, 1, 2, 1, 0}); got != 4 {
+		t.Errorf("Belady = %d, want 4", got)
+	}
+}
+
+// TestBeladyLowerBoundsProperty: OPT never faults more than LRU or FIFO on
+// random traces (necessary condition for optimality).
+func TestBeladyLowerBoundsProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		trace := make([]Page, 200)
+		for i := range trace {
+			trace[i] = Page(rng.Intn(12))
+		}
+		k := 2 + rng.Intn(5)
+		opt := BeladyFaults(k, trace)
+		return opt <= RunTrace(&LRU{}, k, trace) && opt <= RunTrace(&FIFO{}, k, trace)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestBeladyOptimalSmall: on tiny traces Belady matches exhaustive search.
+func TestBeladyOptimalSmall(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		trace := make([]Page, 8)
+		for i := range trace {
+			trace[i] = Page(rng.Intn(4))
+		}
+		k := 2
+		return BeladyFaults(k, trace) == bruteOPT(k, trace)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+// bruteOPT explores all eviction choices.
+func bruteOPT(k int, trace []Page) int {
+	var rec func(i int, cache map[Page]bool) int
+	rec = func(i int, cache map[Page]bool) int {
+		if i == len(trace) {
+			return 0
+		}
+		p := trace[i]
+		if cache[p] {
+			return rec(i+1, cache)
+		}
+		if len(cache) < k {
+			cache[p] = true
+			r := rec(i+1, cache)
+			delete(cache, p)
+			return 1 + r
+		}
+		best := len(trace) + 1
+		for victim := range cache {
+			delete(cache, victim)
+			cache[p] = true
+			if r := rec(i+1, cache); r < best {
+				best = r
+			}
+			delete(cache, p)
+			cache[victim] = true
+		}
+		return 1 + best
+	}
+	return bruteHelper(rec, trace)
+}
+
+func bruteHelper(rec func(int, map[Page]bool) int, trace []Page) int {
+	return rec(0, map[Page]bool{})
+}
+
+// TestSleatorTarjanRatio: on the adversary trace LRU(k) faults every
+// request while OPT(k) faults about once per k — the classic k-competitive
+// lower bound.
+func TestSleatorTarjanRatio(t *testing.T) {
+	for _, k := range []int{3, 5, 8} {
+		trace := SleatorTarjanTrace(k, 5000)
+		lru := RunTrace(&LRU{}, k, trace)
+		opt := BeladyFaults(k, trace)
+		if lru != len(trace) {
+			t.Errorf("k=%d: LRU faulted %d of %d (adversary should force every request)", k, lru, len(trace))
+		}
+		ratio := float64(lru) / float64(opt)
+		if ratio < float64(k)*0.8 {
+			t.Errorf("k=%d: ratio %.2f, want about %d", k, ratio, k)
+		}
+	}
+}
+
+// TestAugmentationHelps: LRU with cache 2k on the k-adversary trace holds
+// all k+1 pages and stops faulting — the resource augmentation phenomenon
+// the paper's framework generalizes.
+func TestAugmentationHelps(t *testing.T) {
+	k := 6
+	trace := SleatorTarjanTrace(k, 5000)
+	faults := RunTrace(&LRU{}, 2*k, trace)
+	if faults != k+1 {
+		t.Errorf("LRU(2k) faults = %d, want %d cold faults only", faults, k+1)
+	}
+}
+
+func TestZipfTrace(t *testing.T) {
+	trace, err := ZipfTrace(1, 64, 1000, 1.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(trace) != 1000 {
+		t.Fatalf("len = %d", len(trace))
+	}
+	counts := map[Page]int{}
+	for _, p := range trace {
+		if p < 0 || p >= 64 {
+			t.Fatalf("page %d out of range", p)
+		}
+		counts[p]++
+	}
+	if counts[0] <= counts[40] {
+		t.Error("zipf skew missing: page 0 not hotter than page 40")
+	}
+	if _, err := ZipfTrace(1, 64, 10, 0.5); err == nil {
+		t.Error("s <= 1 accepted")
+	}
+}
+
+func TestPolicyNames(t *testing.T) {
+	if (&LRU{}).Name() != "lru" || (&FIFO{}).Name() != "fifo" {
+		t.Error("policy names changed")
+	}
+}
+
+func TestResetClearsState(t *testing.T) {
+	l := &LRU{}
+	l.Reset(2)
+	l.Access(1)
+	l.Reset(2)
+	if !l.Access(1) {
+		t.Error("Reset kept residency")
+	}
+	f := &FIFO{}
+	f.Reset(2)
+	f.Access(1)
+	f.Reset(2)
+	if !f.Access(1) {
+		t.Error("FIFO Reset kept residency")
+	}
+}

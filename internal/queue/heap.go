@@ -1,0 +1,85 @@
+// Package queue provides the small container substrates the schedulers are
+// built on: a generic binary heap, an indexed (addressable) priority queue
+// with decrease/increase-key, and a growable FIFO ring buffer. Everything is
+// allocation-conscious and stdlib only.
+package queue
+
+// Heap is a generic binary min-heap ordered by the provided less function.
+// The zero value is not usable; construct with NewHeap.
+type Heap[T any] struct {
+	items []T
+	less  func(a, b T) bool
+}
+
+// NewHeap returns an empty heap ordered by less.
+func NewHeap[T any](less func(a, b T) bool) *Heap[T] {
+	if less == nil {
+		panic("queue: nil less function")
+	}
+	return &Heap[T]{less: less}
+}
+
+// Len returns the number of items in the heap.
+func (h *Heap[T]) Len() int { return len(h.items) }
+
+// Push inserts an item.
+func (h *Heap[T]) Push(v T) {
+	h.items = append(h.items, v)
+	h.up(len(h.items) - 1)
+}
+
+// Peek returns the minimum item without removing it. It panics on an empty
+// heap.
+func (h *Heap[T]) Peek() T {
+	if len(h.items) == 0 {
+		panic("queue: Peek on empty heap")
+	}
+	return h.items[0]
+}
+
+// Pop removes and returns the minimum item. It panics on an empty heap.
+func (h *Heap[T]) Pop() T {
+	if len(h.items) == 0 {
+		panic("queue: Pop on empty heap")
+	}
+	top := h.items[0]
+	last := len(h.items) - 1
+	h.items[0] = h.items[last]
+	var zero T
+	h.items[last] = zero
+	h.items = h.items[:last]
+	if len(h.items) > 0 {
+		h.down(0)
+	}
+	return top
+}
+
+func (h *Heap[T]) up(i int) {
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !h.less(h.items[i], h.items[parent]) {
+			return
+		}
+		h.items[i], h.items[parent] = h.items[parent], h.items[i]
+		i = parent
+	}
+}
+
+func (h *Heap[T]) down(i int) {
+	n := len(h.items)
+	for {
+		left := 2*i + 1
+		if left >= n {
+			return
+		}
+		smallest := left
+		if right := left + 1; right < n && h.less(h.items[right], h.items[left]) {
+			smallest = right
+		}
+		if !h.less(h.items[smallest], h.items[i]) {
+			return
+		}
+		h.items[i], h.items[smallest] = h.items[smallest], h.items[i]
+		i = smallest
+	}
+}

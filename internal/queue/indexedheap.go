@@ -1,0 +1,141 @@
+package queue
+
+// IndexedHeap is a binary min-heap whose entries are addressable by a
+// comparable key. It supports O(log n) insert, remove-by-key, and
+// reprioritize-by-key, which is what the schedulers need to keep per-color
+// rankings current as deadlines and idleness flip.
+type IndexedHeap[K comparable, P any] struct {
+	keys []K
+	prio []P
+	pos  map[K]int
+	less func(a, b P) bool
+}
+
+// NewIndexedHeap returns an empty indexed heap ordered by less on priorities.
+func NewIndexedHeap[K comparable, P any](less func(a, b P) bool) *IndexedHeap[K, P] {
+	if less == nil {
+		panic("queue: nil less function")
+	}
+	return &IndexedHeap[K, P]{pos: make(map[K]int), less: less}
+}
+
+// Len returns the number of entries.
+func (h *IndexedHeap[K, P]) Len() int { return len(h.keys) }
+
+// Contains reports whether key is present.
+func (h *IndexedHeap[K, P]) Contains(key K) bool {
+	_, ok := h.pos[key]
+	return ok
+}
+
+// Priority returns the priority of key and whether it is present.
+func (h *IndexedHeap[K, P]) Priority(key K) (P, bool) {
+	i, ok := h.pos[key]
+	if !ok {
+		var zero P
+		return zero, false
+	}
+	return h.prio[i], true
+}
+
+// Push inserts key with the given priority, or updates its priority if the
+// key is already present.
+func (h *IndexedHeap[K, P]) Push(key K, p P) {
+	if i, ok := h.pos[key]; ok {
+		h.prio[i] = p
+		h.fix(i)
+		return
+	}
+	h.keys = append(h.keys, key)
+	h.prio = append(h.prio, p)
+	h.pos[key] = len(h.keys) - 1
+	h.up(len(h.keys) - 1)
+}
+
+// Peek returns the minimum key and priority without removing them. It panics
+// on an empty heap.
+func (h *IndexedHeap[K, P]) Peek() (K, P) {
+	if len(h.keys) == 0 {
+		panic("queue: Peek on empty indexed heap")
+	}
+	return h.keys[0], h.prio[0]
+}
+
+// Pop removes and returns the minimum key and priority. It panics on an
+// empty heap.
+func (h *IndexedHeap[K, P]) Pop() (K, P) {
+	k, p := h.Peek()
+	h.removeAt(0)
+	return k, p
+}
+
+// Remove deletes key and reports whether it was present.
+func (h *IndexedHeap[K, P]) Remove(key K) bool {
+	i, ok := h.pos[key]
+	if !ok {
+		return false
+	}
+	h.removeAt(i)
+	return true
+}
+
+func (h *IndexedHeap[K, P]) removeAt(i int) {
+	last := len(h.keys) - 1
+	delete(h.pos, h.keys[i])
+	if i != last {
+		h.keys[i] = h.keys[last]
+		h.prio[i] = h.prio[last]
+		h.pos[h.keys[i]] = i
+	}
+	h.keys = h.keys[:last]
+	h.prio = h.prio[:last]
+	if i < last {
+		h.fix(i)
+	}
+}
+
+func (h *IndexedHeap[K, P]) fix(i int) {
+	if !h.up(i) {
+		h.down(i)
+	}
+}
+
+func (h *IndexedHeap[K, P]) up(i int) bool {
+	moved := false
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !h.less(h.prio[i], h.prio[parent]) {
+			break
+		}
+		h.swap(i, parent)
+		i = parent
+		moved = true
+	}
+	return moved
+}
+
+func (h *IndexedHeap[K, P]) down(i int) {
+	n := len(h.keys)
+	for {
+		left := 2*i + 1
+		if left >= n {
+			return
+		}
+		smallest := left
+		if right := left + 1; right < n && h.less(h.prio[right], h.prio[left]) {
+			smallest = right
+		}
+		if !h.less(h.prio[smallest], h.prio[i]) {
+			return
+		}
+		h.swap(i, smallest)
+		i = smallest
+	}
+}
+
+func (h *IndexedHeap[K, P]) swap(i, j int) {
+	h.keys[i], h.keys[j] = h.keys[j], h.keys[i]
+	h.prio[i], h.prio[j] = h.prio[j], h.prio[i]
+	h.pos[h.keys[i]] = i
+	h.pos[h.keys[j]] = j
+}

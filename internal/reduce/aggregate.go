@@ -1,0 +1,305 @@
+package reduce
+
+import (
+	"fmt"
+	"sort"
+
+	"rrsched/internal/model"
+)
+
+// Aggregate implements the constructive content of Lemma 4.1 (Section 4.3):
+// given a batched instance I with power-of-two delay bounds, its Distribute
+// reduction I' (with the subcolor map), and an arbitrary uni-speed schedule
+// T for I with m resources, it builds a schedule T' for I' with 3m resources
+// that executes exactly as many jobs as T (Lemma 4.5) with reconfiguration
+// cost O(reconfig(T)) (Lemma 4.6).
+//
+// Structure (following the paper, with per-resource bookkeeping):
+//
+//   - resources 3k, 3k+1, 3k+2 of T' serve resource k of T;
+//   - jobs are processed by ascending delay bound, block by block, color by
+//     color; every execution of a delay-p job by T lies in the block(p, ·)
+//     of its own arrival batch (batched input);
+//   - if resource k is (T, p, i, ℓ)-monochromatic (configured to ℓ
+//     throughout block(p, i)), its executions of ℓ in the block run
+//     contiguously on resource 3k, preferring the subcolor bucket the
+//     resource used in the previous block (the paper's label inheritance,
+//     which avoids reconfigurations at block boundaries);
+//   - otherwise the executions spill into first-free slots on the helper
+//     resources 3k+1 and 3k+2 inside the block (the paper's multichromatic
+//     triples; two helpers per original resource always have enough free
+//     slots because T executes at most one job per round on k).
+func Aggregate(seq *model.Sequence, inner *model.Sequence, smap *SubcolorMap, T *model.Schedule) (*model.Schedule, error) {
+	if T.Speed != 1 {
+		return nil, fmt.Errorf("reduce: Aggregate requires a uni-speed schedule")
+	}
+	if !seq.IsBatched() || !seq.PowerOfTwoDelays() {
+		return nil, fmt.Errorf("reduce: Aggregate requires a batched instance with power-of-two delay bounds")
+	}
+	jobs := make(map[int64]model.Job, seq.NumJobs())
+	for _, j := range seq.Jobs() {
+		jobs[j.ID] = j
+	}
+
+	// Inner job IDs per (inner color, batch round), in arrival order.
+	innerJobs := map[model.Color]map[int64][]int64{}
+	for _, j := range inner.Jobs() {
+		byRound := innerJobs[j.Color]
+		if byRound == nil {
+			byRound = map[int64][]int64{}
+			innerJobs[j.Color] = byRound
+		}
+		byRound[j.Arrival] = append(byRound[j.Arrival], j.ID)
+	}
+
+	// Count T's executions per (resource, color, block index of the color's
+	// delay bound). Batched input: a delay-p job executed in round r arrived
+	// at BlockStart(p, Block(p, r)).
+	type execKey struct {
+		res   int
+		color model.Color
+		block int64
+	}
+	counts := map[execKey]int{}
+	for _, e := range T.Execs {
+		j, ok := jobs[e.JobID]
+		if !ok {
+			return nil, fmt.Errorf("reduce: schedule executes unknown job %d", e.JobID)
+		}
+		counts[execKey{res: e.Resource, color: j.Color, block: Block(j.Delay, e.Round)}]++
+	}
+
+	// Per-resource configuration timelines of T, to test monochromaticity.
+	timelines := make([]*configTimeline, T.NumResources)
+	{
+		recsByRes := make([][]model.Reconfigure, T.NumResources)
+		for _, r := range T.Reconfigs {
+			recsByRes[r.Resource] = append(recsByRes[r.Resource], r)
+		}
+		for k := range timelines {
+			timelines[k] = newConfigTimeline(recsByRes[k])
+		}
+	}
+
+	// Work list ordered by ascending delay bound, block, color, resource.
+	type workItem struct {
+		delay int64
+		block int64
+		color model.Color
+		res   int
+		count int
+	}
+	var work []workItem
+	for k, n := range counts {
+		d, _ := seq.DelayBound(k.color)
+		work = append(work, workItem{delay: d, block: k.block, color: k.color, res: k.res, count: n})
+	}
+	sort.Slice(work, func(a, b int) bool {
+		x, y := work[a], work[b]
+		if x.delay != y.delay {
+			return x.delay < y.delay
+		}
+		if x.block != y.block {
+			return x.block < y.block
+		}
+		if x.color != y.color {
+			return x.color < y.color
+		}
+		return x.res < y.res
+	})
+
+	b := &aggregateBuilder{
+		inner:     inner,
+		smap:      smap,
+		innerJobs: innerJobs,
+		outRes:    3 * T.NumResources,
+		slots:     map[slotKey]placement{},
+		inherited: map[inheritKey]int64{},
+		used:      map[usedKey]int{},
+	}
+	for _, w := range work {
+		mono := timelines[w.res].configuredThroughout(w.color, BlockStart(w.delay, w.block), BlockStart(w.delay, w.block+1))
+		if err := b.place(w.res, w.color, w.delay, w.block, w.count, mono); err != nil {
+			return nil, err
+		}
+	}
+	return b.emit(), nil
+}
+
+type slotKey struct {
+	res   int
+	round int64
+}
+
+type placement struct {
+	color model.Color // inner color
+	jobID int64
+}
+
+type inheritKey struct {
+	res   int
+	color model.Color
+}
+
+type usedKey struct {
+	color model.Color // outer color
+	batch int64
+	j     int64
+}
+
+type aggregateBuilder struct {
+	inner     *model.Sequence
+	smap      *SubcolorMap
+	innerJobs map[model.Color]map[int64][]int64
+
+	outRes    int
+	slots     map[slotKey]placement
+	inherited map[inheritKey]int64 // preferred bucket per (original resource, outer color)
+	used      map[usedKey]int      // jobs consumed per (outer color, batch, bucket)
+}
+
+// take consumes one inner job of subcolor (color, j) from the given batch,
+// returning its inner color and job ID.
+func (b *aggregateBuilder) take(color model.Color, batch, j int64) (model.Color, int64, bool) {
+	ic, ok := b.smap.Inner(color, j)
+	if !ok {
+		return 0, 0, false
+	}
+	ids := b.innerJobs[ic][batch]
+	u := b.used[usedKey{color: color, batch: batch, j: j}]
+	if u >= len(ids) {
+		return 0, 0, false
+	}
+	b.used[usedKey{color: color, batch: batch, j: j}] = u + 1
+	return ic, ids[u], true
+}
+
+// place schedules `count` executions of outer color `color` (delay bound
+// `delay`) from the batch at BlockStart(delay, block) onto the T' resources
+// of original resource `res`.
+func (b *aggregateBuilder) place(res int, color model.Color, delay, block int64, count int, mono bool) error {
+	batch := BlockStart(delay, block)
+	start, end := batch, BlockStart(delay, block+1)
+	if mono {
+		// Contiguous run on resource 3res from the block start, preferring
+		// the inherited bucket so consecutive monochromatic blocks keep the
+		// same subcolor (no boundary reconfiguration).
+		bucketOrder := b.bucketOrder(res, color)
+		r := start
+		for placed := 0; placed < count; placed++ {
+			if r >= end {
+				return fmt.Errorf("reduce: monochromatic run overflow for color %v block %d", color, block)
+			}
+			key := slotKey{res: 3 * res, round: r}
+			if _, occ := b.slots[key]; occ {
+				return fmt.Errorf("reduce: monochromatic slot collision on resource %d round %d", 3*res, r)
+			}
+			ic, id, ok := b.takeInOrder(color, batch, bucketOrder)
+			if !ok {
+				return fmt.Errorf("reduce: batch %d of color %v exhausted", batch, color)
+			}
+			b.slots[key] = placement{color: ic, jobID: id}
+			b.rememberBucket(res, color, ic)
+			r++
+		}
+		return nil
+	}
+	// Multichromatic: first-free helper slots inside the block.
+	helpers := []int{3*res + 1, 3*res + 2}
+	bucketOrder := b.bucketOrder(res, color)
+	for placed := 0; placed < count; placed++ {
+		done := false
+		for _, hr := range helpers {
+			for r := start; r < end && !done; r++ {
+				key := slotKey{res: hr, round: r}
+				if _, occ := b.slots[key]; occ {
+					continue
+				}
+				ic, id, ok := b.takeInOrder(color, batch, bucketOrder)
+				if !ok {
+					return fmt.Errorf("reduce: batch %d of color %v exhausted", batch, color)
+				}
+				b.slots[key] = placement{color: ic, jobID: id}
+				done = true
+			}
+			if done {
+				break
+			}
+		}
+		if !done {
+			return fmt.Errorf("reduce: no free helper slot for color %v in block [%d,%d)", color, start, end)
+		}
+	}
+	return nil
+}
+
+// bucketOrder returns the bucket indices to try: the inherited bucket first,
+// then ascending.
+func (b *aggregateBuilder) bucketOrder(res int, color model.Color) []int64 {
+	n := b.smap.Buckets(color)
+	order := make([]int64, 0, n)
+	if j, ok := b.inherited[inheritKey{res: res, color: color}]; ok && j < n {
+		order = append(order, j)
+	}
+	for j := int64(0); j < n; j++ {
+		if len(order) > 0 && order[0] == j {
+			continue
+		}
+		order = append(order, j)
+	}
+	return order
+}
+
+// takeInOrder consumes a job trying buckets in the given order.
+func (b *aggregateBuilder) takeInOrder(color model.Color, batch int64, order []int64) (model.Color, int64, bool) {
+	for _, j := range order {
+		if ic, id, ok := b.take(color, batch, j); ok {
+			return ic, id, ok
+		}
+	}
+	return 0, 0, false
+}
+
+func (b *aggregateBuilder) rememberBucket(res int, color model.Color, ic model.Color) {
+	// Recover the bucket index of ic by scanning (buckets are few).
+	for j := int64(0); ; j++ {
+		c, ok := b.smap.Inner(color, j)
+		if !ok {
+			return
+		}
+		if c == ic {
+			b.inherited[inheritKey{res: res, color: color}] = j
+			return
+		}
+	}
+}
+
+// emit walks each T' resource's slots in round order and materializes the
+// schedule: a reconfiguration whenever the desired color differs from the
+// resource's current color, then the execution.
+func (b *aggregateBuilder) emit() *model.Schedule {
+	out := model.NewSchedule(b.outRes, 1)
+	byRes := make(map[int][]int64)
+	for key := range b.slots {
+		byRes[key.res] = append(byRes[key.res], key.round)
+	}
+	resList := make([]int, 0, len(byRes))
+	for res := range byRes {
+		resList = append(resList, res)
+	}
+	sort.Ints(resList)
+	for _, res := range resList {
+		rounds := byRes[res]
+		sort.Slice(rounds, func(i, j int) bool { return rounds[i] < rounds[j] })
+		cur := model.Black
+		for _, r := range rounds {
+			p := b.slots[slotKey{res: res, round: r}]
+			if p.color != cur {
+				out.AddReconfig(r, 0, res, p.color)
+				cur = p.color
+			}
+			out.AddExec(r, 0, res, p.jobID)
+		}
+	}
+	return out
+}

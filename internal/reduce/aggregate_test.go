@@ -1,0 +1,133 @@
+package reduce
+
+import (
+	"testing"
+	"testing/quick"
+
+	"rrsched/internal/model"
+	"rrsched/internal/offline"
+	"rrsched/internal/workload"
+)
+
+// aggregateCheck runs the Lemma 4.1 contract checks: T' is legal for I' with
+// 3m resources, executes exactly as many jobs as T (Lemma 4.5), and its
+// reconfiguration cost is O(cost(T)) (Lemma 4.6, generous constant).
+func aggregateCheck(t *testing.T, seq *model.Sequence, m int) {
+	t.Helper()
+	inner, smap, err := DistributeSequence(seq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := offline.BestGreedy(seq, m)
+	out, err := Aggregate(seq, inner, smap, src.Schedule)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.NumResources != 3*m {
+		t.Fatalf("resources = %d, want %d", out.NumResources, 3*m)
+	}
+	cost, err := model.Audit(inner, out)
+	if err != nil {
+		t.Fatalf("aggregate schedule illegal for I': %v", err)
+	}
+	if got, want := out.NumExecs(), src.Schedule.NumExecs(); got != want {
+		t.Fatalf("executions: %d, want %d (Lemma 4.5 parity)", got, want)
+	}
+	bound := 16 * (src.Cost.Total() + seq.Delta())
+	if cost.Reconfig > bound {
+		t.Fatalf("reconfig %d > %d = 16·(cost(T)+Δ) (Lemma 4.6)", cost.Reconfig, bound)
+	}
+}
+
+func TestAggregateOnGreedySchedules(t *testing.T) {
+	for seed := int64(1); seed <= 6; seed++ {
+		seq, err := workload.RandomBatched(workload.RandomConfig{
+			Seed: seed, Delta: 3, Colors: 5, Rounds: 96,
+			MinDelayExp: 1, MaxDelayExp: 4, Load: 1.6, // over-rate: buckets matter
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		aggregateCheck(t, seq, 1)
+		aggregateCheck(t, seq, 2)
+	}
+}
+
+func TestAggregateProperty(t *testing.T) {
+	f := func(seedRaw uint8) bool {
+		seq, err := workload.RandomBatched(workload.RandomConfig{
+			Seed: int64(seedRaw), Delta: 2, Colors: 4, Rounds: 64,
+			MinDelayExp: 1, MaxDelayExp: 3, Load: 2.2,
+		})
+		if err != nil || seq.NumJobs() == 0 {
+			return true
+		}
+		inner, smap, err := DistributeSequence(seq)
+		if err != nil {
+			return false
+		}
+		src := offline.BestGreedy(seq, 2)
+		out, err := Aggregate(seq, inner, smap, src.Schedule)
+		if err != nil {
+			t.Log(err)
+			return false
+		}
+		if _, err := model.Audit(inner, out); err != nil {
+			t.Log(err)
+			return false
+		}
+		return out.NumExecs() == src.Schedule.NumExecs()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestAggregateLabelInheritance(t *testing.T) {
+	// A single color served monochromatically across many blocks: the
+	// aggregate schedule should configure (ℓ, 0) once and never reconfigure.
+	b := model.NewBuilder(2)
+	for r := int64(0); r < 64; r += 4 {
+		b.Add(r, 0, 4, 4)
+	}
+	seq := b.MustBuild()
+	inner, smap, err := DistributeSequence(seq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// T: one resource, configured to color 0 at round 0 forever, executing
+	// greedily.
+	src := model.NewSchedule(1, 1)
+	src.AddReconfig(0, 0, 0, 0)
+	for r := int64(0); r < 64; r++ {
+		src.AddExec(r, 0, 0, r) // job IDs are dense in arrival order: 4/batch
+	}
+	if _, err := model.Audit(seq, src); err != nil {
+		t.Fatalf("hand schedule invalid: %v", err)
+	}
+	out, err := Aggregate(seq, inner, smap, src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.NumReconfigs() != 1 {
+		t.Errorf("reconfigs = %d, want 1 (label inheritance keeps the subcolor)", out.NumReconfigs())
+	}
+	if out.NumExecs() != 64 {
+		t.Errorf("execs = %d", out.NumExecs())
+	}
+}
+
+func TestAggregateRejections(t *testing.T) {
+	seq := model.NewBuilder(1).Add(0, 0, 2, 1).MustBuild()
+	inner, smap, err := DistributeSequence(seq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Aggregate(seq, inner, smap, model.NewSchedule(1, 2)); err == nil {
+		t.Error("double-speed schedule accepted")
+	}
+	nonBatched := model.NewBuilder(1).Add(1, 0, 2, 1).MustBuild()
+	if _, err := Aggregate(nonBatched, inner, smap, model.NewSchedule(1, 1)); err == nil {
+		t.Error("non-batched instance accepted")
+	}
+}

@@ -1,0 +1,34 @@
+// Package reduce implements the paper's reduction layers: Distribute
+// (Section 4) reduces batched instances to rate-limited batched instances by
+// splitting each color into subcolors with at most D_ℓ jobs per batch, and
+// VarBatch (Section 5) reduces arbitrary instances to batched instances by
+// delaying each job to the next half-block boundary of its (power-of-two
+// rounded) delay bound. Both wrap an inner policy for the reduced instance
+// and project its configuration timeline back onto the original instance,
+// deriving executions with sim.Replay.
+package reduce
+
+// Block returns the index i such that round r lies in block(p, i), the p
+// rounds starting from round i*p (Section 3.3).
+func Block(p, r int64) int64 {
+	if p <= 0 {
+		panic("reduce: non-positive block size")
+	}
+	return r / p
+}
+
+// BlockStart returns the first round of block(p, i).
+func BlockStart(p, i int64) int64 { return i * p }
+
+// HalfBlock returns the index i such that round r lies in halfBlock(p, i),
+// the p/2 rounds starting from round i*p/2 (Section 5.1). p must be an even
+// positive number.
+func HalfBlock(p, r int64) int64 {
+	if p <= 0 || p%2 != 0 {
+		panic("reduce: half-blocks need a positive even delay bound")
+	}
+	return r / (p / 2)
+}
+
+// HalfBlockStart returns the first round of halfBlock(p, i).
+func HalfBlockStart(p, i int64) int64 { return i * (p / 2) }

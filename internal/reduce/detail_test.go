@@ -1,0 +1,190 @@
+package reduce
+
+import (
+	"testing"
+
+	"rrsched/internal/core"
+	"rrsched/internal/model"
+	"rrsched/internal/workload"
+)
+
+// TestDistributeBucketBoundaries pins the exact bucket split: with D=4 and
+// batches of 9 jobs, buckets must hold 4/4/1 jobs.
+func TestDistributeBucketBoundaries(t *testing.T) {
+	seq := model.NewBuilder(2).Add(0, 0, 4, 9).MustBuild()
+	inner, m, err := DistributeSequence(seq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.NumInner() != 3 {
+		t.Fatalf("buckets = %d, want 3", m.NumInner())
+	}
+	counts := map[model.Color]int{}
+	for _, j := range inner.Jobs() {
+		counts[j.Color]++
+	}
+	want := []int{4, 4, 1}
+	for j, w := range want {
+		ic, ok := m.Inner(0, int64(j))
+		if !ok {
+			t.Fatalf("bucket %d missing", j)
+		}
+		if counts[ic] != w {
+			t.Errorf("bucket %d has %d jobs, want %d", j, counts[ic], w)
+		}
+	}
+	if n := m.Buckets(0); n != 3 {
+		t.Errorf("Buckets(0) = %d", n)
+	}
+	if _, ok := m.Inner(0, 3); ok {
+		t.Error("phantom bucket 3 exists")
+	}
+}
+
+// TestDistributeBucketsStableAcrossBatches: bucket j of a later batch maps
+// to the SAME inner color (subcolors are per (color, j), not per batch).
+func TestDistributeBucketsStableAcrossBatches(t *testing.T) {
+	seq := model.NewBuilder(2).Add(0, 0, 4, 6).Add(4, 0, 4, 7).MustBuild()
+	inner, m, err := DistributeSequence(seq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.NumInner() != 2 {
+		t.Fatalf("subcolors = %d, want 2 (max ceil(7/4))", m.NumInner())
+	}
+	ic0, _ := m.Inner(0, 0)
+	// Bucket 0 receives 4 jobs per batch (capped by D).
+	perRound := map[int64]int{}
+	for _, j := range inner.Jobs() {
+		if j.Color == ic0 {
+			perRound[j.Arrival]++
+		}
+	}
+	if perRound[0] != 4 || perRound[4] != 4 {
+		t.Errorf("bucket 0 per round = %v, want 4 and 4", perRound)
+	}
+	if !inner.IsRateLimited() {
+		t.Error("not rate-limited")
+	}
+}
+
+// TestPunctualSpecialJobClassification pins the special-job rule of
+// Lemma 5.1: with the color configured throughout two consecutive
+// half-blocks, early executions shift by +D/2 onto the first transform
+// resource; without, they spill to the helper resources.
+func TestPunctualSpecialJobClassification(t *testing.T) {
+	// D=8, half-blocks of 4. Jobs arrive at round 0 (half-block 0) and are
+	// executed early (rounds 0..3) on a resource configured to the color
+	// throughout rounds 0..7 => special.
+	seq := model.NewBuilder(2).Add(0, 0, 8, 3).MustBuild()
+	src := model.NewSchedule(1, 1)
+	src.AddReconfig(0, 0, 0, 0)
+	src.AddExec(0, 0, 0, 0)
+	src.AddExec(1, 0, 0, 1)
+	src.AddExec(2, 0, 0, 2)
+	out, err := PunctualTransform(seq, src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// All three executions land on resource 0 (7k+0 with k=0) at rounds
+	// shifted by +4.
+	for _, e := range out.Execs {
+		if e.Resource != 0 {
+			t.Errorf("special job %d executed on resource %d, want 0", e.JobID, e.Resource)
+		}
+		if e.Round != int64(e.JobID)+4 {
+			t.Errorf("job %d at round %d, want %d", e.JobID, e.Round, e.JobID+4)
+		}
+	}
+	if _, err := model.Audit(seq, out); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPunctualNonspecialSpills(t *testing.T) {
+	// The resource switches color at round 2 (inside the arrival
+	// half-block), so the early executions are NOT special and must spill to
+	// helper resources 1/2 in the next half-block.
+	seq := model.NewBuilder(2).Add(0, 0, 8, 2).Add(0, 1, 8, 2).MustBuild()
+	src := model.NewSchedule(1, 1)
+	src.AddReconfig(0, 0, 0, 0)
+	src.AddExec(0, 0, 0, 0)
+	src.AddExec(1, 0, 0, 1)
+	src.AddReconfig(2, 0, 0, 1)
+	src.AddExec(2, 0, 0, 2)
+	src.AddExec(3, 0, 0, 3)
+	out, err := PunctualTransform(seq, src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range out.Execs {
+		if e.Resource == 0 {
+			t.Errorf("nonspecial job %d landed on the special-shift resource", e.JobID)
+		}
+		if e.Round < 4 || e.Round >= 8 {
+			t.Errorf("job %d at round %d, want within half-block [4,8)", e.JobID, e.Round)
+		}
+	}
+	if got := len(out.ExecutedJobIDs()); got != 4 {
+		t.Errorf("executed %d of 4", got)
+	}
+	if _, err := model.Audit(seq, out); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestVarBatchStackOnArbitraryDelays: the full stack handles non-power-of-two
+// delay bounds end to end (Section 5.3 rounding).
+func TestVarBatchStackOnArbitraryDelays(t *testing.T) {
+	b := model.NewBuilder(3)
+	delays := []int64{3, 5, 6, 7, 12, 100}
+	for i, d := range delays {
+		for r := int64(0); r < 96; r += 7 {
+			b.Add(r, model.Color(i), d, 1+i%2)
+		}
+	}
+	seq := b.MustBuild()
+	if seq.PowerOfTwoDelays() {
+		t.Fatal("test wants non-power-of-two delays")
+	}
+	res, err := RunVarBatch(seq, 8, core.NewDeltaLRUEDF())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, err := model.Audit(seq, res.Schedule); err != nil || got != res.Cost {
+		t.Fatalf("audit: %v %v vs %v", err, got, res.Cost)
+	}
+}
+
+// TestReductionsPreserveJobConservation across a spread of generators.
+func TestReductionsPreserveJobConservation(t *testing.T) {
+	gens := []func() (*model.Sequence, error){
+		func() (*model.Sequence, error) {
+			return workload.RandomGeneral(workload.RandomConfig{
+				Seed: 21, Delta: 3, Colors: 5, Rounds: 96, MinDelayExp: 1, MaxDelayExp: 4, Load: 0.7})
+		},
+		func() (*model.Sequence, error) {
+			return workload.Diurnal(workload.DiurnalConfig{
+				Seed: 5, Delta: 3, Colors: 5, Period: 64, Days: 2, Delay: 2, PeakLoad: 0.8, TroughFrac: 0.2})
+		},
+		func() (*model.Sequence, error) {
+			return workload.MMPP(workload.MMPPConfig{
+				Seed: 5, Delta: 3, Colors: 5, Rounds: 128, MinDelayExp: 1, MaxDelayExp: 3,
+				OnLoad: 1.0, OffLoad: 0.1, MeanOn: 16, MeanOff: 16})
+		},
+	}
+	for i, gen := range gens {
+		seq, err := gen()
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := RunVarBatch(seq, 8, core.NewDeltaLRUEDF())
+		if err != nil {
+			t.Fatalf("gen %d: %v", i, err)
+		}
+		executed := res.Schedule.NumExecs()
+		if executed+int(res.Cost.Drop) != seq.NumJobs() {
+			t.Fatalf("gen %d: %d + %d != %d", i, executed, res.Cost.Drop, seq.NumJobs())
+		}
+	}
+}

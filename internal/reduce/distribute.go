@@ -1,0 +1,139 @@
+package reduce
+
+import (
+	"fmt"
+
+	"rrsched/internal/model"
+	"rrsched/internal/sim"
+)
+
+// SubcolorMap records the color translation of a Distribute reduction:
+// inner color id -> the outer color it was split from, and back.
+type SubcolorMap struct {
+	toOuter []model.Color          // indexed by inner color id
+	toInner map[subKey]model.Color // (outer color, bucket) -> inner color
+}
+
+type subKey struct {
+	outer model.Color
+	j     int64
+}
+
+// Outer returns the outer color an inner color projects to.
+func (m *SubcolorMap) Outer(inner model.Color) model.Color {
+	if inner < 0 || int(inner) >= len(m.toOuter) {
+		panic(fmt.Sprintf("reduce: unknown inner color %v", inner))
+	}
+	return m.toOuter[inner]
+}
+
+// Inner returns the inner color of subcolor (outer, j), if it exists.
+func (m *SubcolorMap) Inner(outer model.Color, j int64) (model.Color, bool) {
+	c, ok := m.toInner[subKey{outer: outer, j: j}]
+	return c, ok
+}
+
+// Buckets returns the number of subcolors outer was split into.
+func (m *SubcolorMap) Buckets(outer model.Color) int64 {
+	var n int64
+	for { // bucket indices are dense from 0 (j = rank/D per request)
+		if _, ok := m.toInner[subKey{outer: outer, j: n}]; !ok {
+			return n
+		}
+		n++
+	}
+}
+
+// NumInner returns the number of inner colors.
+func (m *SubcolorMap) NumInner() int { return len(m.toOuter) }
+
+// DistributeSequence builds the rate-limited instance I' from a batched
+// instance I (Section 4.1, step 1): each color ℓ is split into subcolors
+// (ℓ, j); the job with rank r within a request is assigned subcolor
+// j = floor(r / D_ℓ), so at most D_ℓ jobs of each subcolor arrive per batch.
+// Subcolors keep the delay bound D_ℓ. The returned sequence is always
+// rate-limited.
+func DistributeSequence(seq *model.Sequence) (*model.Sequence, *SubcolorMap, error) {
+	if !seq.IsBatched() {
+		return nil, nil, fmt.Errorf("reduce: Distribute requires a batched input sequence")
+	}
+	innerOf := make(map[subKey]model.Color)
+	var toOuter []model.Color
+	b := model.NewBuilder(seq.Delta())
+	for r := int64(0); r < seq.NumRounds(); r++ {
+		rank := make(map[model.Color]int64)
+		for _, job := range seq.Request(r) {
+			j := rank[job.Color] / job.Delay
+			rank[job.Color]++
+			k := subKey{outer: job.Color, j: j}
+			inner, ok := innerOf[k]
+			if !ok {
+				inner = model.Color(len(toOuter))
+				innerOf[k] = inner
+				toOuter = append(toOuter, job.Color)
+			}
+			b.Add(r, inner, job.Delay, 1)
+		}
+	}
+	out, err := b.Build()
+	if err != nil {
+		return nil, nil, err
+	}
+	return out, &SubcolorMap{toOuter: toOuter, toInner: innerOf}, nil
+}
+
+// Result is the outcome of a reduction run: the audited outer schedule and
+// cost on the original instance, plus the inner simulation for diagnostics.
+type Result struct {
+	Policy   string
+	Cost     model.Cost
+	Schedule *model.Schedule
+	Inner    *sim.Result
+	// InnerSeq is the reduced instance the inner policy ran on.
+	InnerSeq *model.Sequence
+}
+
+// ProjectReconfigs maps inner reconfiguration records onto outer colors.
+func ProjectReconfigs(recs []model.Reconfigure, mapColor func(model.Color) model.Color) []model.Reconfigure {
+	out := make([]model.Reconfigure, len(recs))
+	for i, r := range recs {
+		out[i] = r
+		if r.To != model.Black {
+			out[i].To = mapColor(r.To)
+		}
+	}
+	return out
+}
+
+// RunDistribute runs algorithm Distribute (Section 4.1) on a batched
+// instance: build I', run the inner policy (ΔLRU-EDF in the paper) on I'
+// with n resources, and project the resulting configurations back — whenever
+// the inner schedule configures (ℓ, j), the outer schedule configures ℓ, and
+// executions are re-derived greedily (interchangeable within a color). The
+// outer cost never exceeds the inner cost (Lemma 4.2).
+func RunDistribute(seq *model.Sequence, n int, policy sim.Policy) (*Result, error) {
+	innerSeq, m, err := DistributeSequence(seq)
+	if err != nil {
+		return nil, err
+	}
+	inner, err := sim.Run(sim.Env{Seq: innerSeq, Resources: n, Replication: 2, Speed: 1}, policy)
+	if err != nil {
+		return nil, err
+	}
+	outerRecs := ProjectReconfigs(inner.Schedule.Reconfigs, m.Outer)
+	sched, err := sim.Replay(seq, n, 1, outerRecs)
+	if err != nil {
+		return nil, err
+	}
+	cost, err := model.Audit(seq, sched)
+	if err != nil {
+		return nil, err
+	}
+	return &Result{
+		Policy:   "distribute(" + policy.Name() + ")",
+		Cost:     cost,
+		Schedule: sched,
+		Inner:    inner,
+		InnerSeq: innerSeq,
+	}, nil
+}

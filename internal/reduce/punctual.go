@@ -1,0 +1,276 @@
+package reduce
+
+import (
+	"fmt"
+	"sort"
+
+	"rrsched/internal/model"
+)
+
+// Punctuality classifies one execution of a job with (power-of-two) delay
+// bound p relative to the half-block grid of p: the job arrives in
+// halfBlock(p, i) and is executed early (same half-block), punctually (the
+// next), or late (the one after), per Section 5.2.
+type Punctuality int
+
+// Punctuality values.
+const (
+	Early Punctuality = iota
+	Punctual
+	Late
+)
+
+// ClassifyExecution returns the punctuality of executing job j in round r.
+// Jobs with delay bound 1 are always Punctual by convention (they are
+// "already batched" in the paper's treatment and pass through VarBatch
+// untouched).
+func ClassifyExecution(j model.Job, r int64) (Punctuality, error) {
+	if r < j.Arrival || r >= j.Deadline() {
+		return 0, fmt.Errorf("reduce: round %d outside job %d's window [%d,%d)", r, j.ID, j.Arrival, j.Deadline())
+	}
+	if j.Delay == 1 {
+		return Punctual, nil
+	}
+	if !model.IsPowerOfTwo(j.Delay) {
+		return 0, fmt.Errorf("reduce: punctuality is defined for power-of-two delay bounds, job %d has %d", j.ID, j.Delay)
+	}
+	h := j.Delay / 2
+	switch HalfBlock(j.Delay, r) - HalfBlock(j.Delay, j.Arrival) {
+	case 0:
+		return Early, nil
+	case 1:
+		return Punctual, nil
+	case 2:
+		return Late, nil
+	default:
+		return 0, fmt.Errorf("reduce: job %d executed %d half-blocks (h=%d) after arrival", j.ID, HalfBlock(j.Delay, r)-HalfBlock(j.Delay, j.Arrival), h)
+	}
+}
+
+// PunctualTransform implements the constructive content of Lemma 5.3: given
+// any uni-speed offline schedule S for σ with m resources and power-of-two
+// delay bounds, it builds a *punctual* schedule S′ with 7m resources that
+// executes every job S executes, with reconfiguration cost O(cost(S)).
+// Resources 7k..7k+6 of S′ serve resource k of S:
+//
+//	7k+0  special early jobs, shifted +D_ℓ/2 (Lemma 5.1, resource 0)
+//	7k+1  nonspecial early jobs, first-free slots in the next half-block
+//	7k+2  (Lemma 5.1, resources 1 and 2)
+//	7k+3  punctual jobs, verbatim (with S_k's configuration timeline)
+//	7k+4  special late jobs, shifted −D_ℓ/2 (Lemma 5.2, mirrored)
+//	7k+5  nonspecial late jobs, first-free slots in the previous
+//	7k+6  half-block (Lemma 5.2, mirrored)
+//
+// A job of color ℓ is *special* for the early case when ℓ is configured on
+// resource k throughout halfBlock(D_ℓ, i) and halfBlock(D_ℓ, i+1) (and
+// symmetrically for the late case); shifting such executions by ±D_ℓ/2 stays
+// under the same configuration, so resources 7k+0 and 7k+4 simply copy S_k's
+// configuration timeline.
+func PunctualTransform(seq *model.Sequence, sched *model.Schedule) (*model.Schedule, error) {
+	if sched.Speed != 1 {
+		return nil, fmt.Errorf("reduce: PunctualTransform requires a uni-speed schedule")
+	}
+	if !seq.PowerOfTwoDelays() {
+		return nil, fmt.Errorf("reduce: PunctualTransform requires power-of-two delay bounds")
+	}
+	jobs := make(map[int64]model.Job, seq.NumJobs())
+	for _, j := range seq.Jobs() {
+		jobs[j.ID] = j
+	}
+
+	m := sched.NumResources
+	out := model.NewSchedule(7*m, 1)
+
+	// Group the input schedule per resource.
+	recsByRes := make([][]model.Reconfigure, m)
+	for _, r := range sched.Reconfigs {
+		recsByRes[r.Resource] = append(recsByRes[r.Resource], r)
+	}
+	execsByRes := make([][]model.Execution, m)
+	for _, e := range sched.Execs {
+		execsByRes[e.Resource] = append(execsByRes[e.Resource], e)
+	}
+	for k := 0; k < m; k++ {
+		if err := punctualizeResource(seq, jobs, recsByRes[k], execsByRes[k], k, out); err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+// configTimeline answers "what color does resource k hold in round r" for a
+// sorted reconfiguration list.
+type configTimeline struct {
+	rounds []int64
+	colors []model.Color
+}
+
+func newConfigTimeline(recs []model.Reconfigure) *configTimeline {
+	sorted := make([]model.Reconfigure, len(recs))
+	copy(sorted, recs)
+	sort.SliceStable(sorted, func(i, j int) bool { return sorted[i].Round < sorted[j].Round })
+	tl := &configTimeline{}
+	for _, r := range sorted {
+		tl.rounds = append(tl.rounds, r.Round)
+		tl.colors = append(tl.colors, r.To)
+	}
+	return tl
+}
+
+func (tl *configTimeline) at(r int64) model.Color {
+	idx := sort.Search(len(tl.rounds), func(i int) bool { return tl.rounds[i] > r })
+	if idx == 0 {
+		return model.Black
+	}
+	return tl.colors[idx-1]
+}
+
+// configuredThroughout reports whether color c holds for all rounds in
+// [start, end).
+func (tl *configTimeline) configuredThroughout(c model.Color, start, end int64) bool {
+	for r := start; r < end; r++ {
+		if tl.at(r) != c {
+			return false
+		}
+	}
+	return true
+}
+
+func punctualizeResource(seq *model.Sequence, jobs map[int64]model.Job,
+	recs []model.Reconfigure, execs []model.Execution, k int, out *model.Schedule) error {
+
+	tl := newConfigTimeline(recs)
+	base := 7 * k
+
+	// Copy S_k's configuration timeline onto the shift resources (+0, +4)
+	// and the punctual resource (+3).
+	for _, dst := range []int{base + 0, base + 3, base + 4} {
+		prev := model.Black
+		for i, r := range tl.rounds {
+			if tl.colors[i] == prev {
+				continue
+			}
+			out.AddReconfig(r, 0, dst, tl.colors[i])
+			prev = tl.colors[i]
+		}
+	}
+
+	// Classify executions.
+	var earlySpills, lateSpills []spill
+	for _, e := range execs {
+		j, ok := jobs[e.JobID]
+		if !ok {
+			return fmt.Errorf("reduce: schedule executes unknown job %d", e.JobID)
+		}
+		punct, err := ClassifyExecution(j, e.Round)
+		if err != nil {
+			return err
+		}
+		h := j.Delay / 2
+		switch punct {
+		case Punctual:
+			out.AddExec(e.Round, 0, base+3, e.JobID)
+		case Early:
+			// Special iff the color holds throughout the arrival half-block
+			// and the next one.
+			i := HalfBlock(j.Delay, e.Round)
+			s := HalfBlockStart(j.Delay, i)
+			if tl.configuredThroughout(j.Color, s, s+j.Delay) {
+				out.AddExec(e.Round+h, 0, base+0, e.JobID)
+			} else {
+				earlySpills = append(earlySpills, spill{job: j, round: e.Round})
+			}
+		case Late:
+			i := HalfBlock(j.Delay, e.Round)
+			s := HalfBlockStart(j.Delay, i-1)
+			if tl.configuredThroughout(j.Color, s, s+j.Delay) {
+				out.AddExec(e.Round-h, 0, base+4, e.JobID)
+			} else {
+				lateSpills = append(lateSpills, spill{job: j, round: e.Round})
+			}
+		}
+	}
+
+	// Place nonspecial spills greedily in the target half-block on the two
+	// helper resources, ascending delay bound then round then color
+	// (Lemma 5.1's third step processes delay bounds ascending).
+	if err := placeSpills(earlySpills, +1, base+1, base+2, out); err != nil {
+		return err
+	}
+	if err := placeSpills(lateSpills, -1, base+5, base+6, out); err != nil {
+		return err
+	}
+	return nil
+}
+
+// spill is a nonspecial early/late execution awaiting re-placement.
+type spill struct {
+	job   model.Job
+	round int64 // original execution round
+}
+
+// placeSpills schedules nonspecial executions into the half-block adjacent
+// to their original one (dir = +1 for early jobs moving forward, -1 for late
+// jobs moving back) on two helper resources, using first-free slots and
+// reconfiguring the helper resources as colors change.
+func placeSpills(spills []spill, dir int64, resA, resB int, out *model.Schedule) error {
+	sort.SliceStable(spills, func(i, j int) bool {
+		a, b := spills[i], spills[j]
+		if a.job.Delay != b.job.Delay {
+			return a.job.Delay < b.job.Delay
+		}
+		if a.round != b.round {
+			return a.round < b.round
+		}
+		return a.job.Color < b.job.Color
+	})
+	type helper struct {
+		res      int
+		occupied map[int64]bool
+		color    map[int64]model.Color // desired color per occupied round
+	}
+	helpers := []*helper{
+		{res: resA, occupied: map[int64]bool{}, color: map[int64]model.Color{}},
+		{res: resB, occupied: map[int64]bool{}, color: map[int64]model.Color{}},
+	}
+	for _, sp := range spills {
+		h := sp.job.Delay / 2
+		i := HalfBlock(sp.job.Delay, sp.round)
+		target := i + dir
+		start := HalfBlockStart(sp.job.Delay, target)
+		end := start + h
+		placed := false
+		for _, hp := range helpers {
+			for r := start; r < end && !placed; r++ {
+				if !hp.occupied[r] {
+					hp.occupied[r] = true
+					hp.color[r] = sp.job.Color
+					out.AddExec(r, 0, hp.res, sp.job.ID)
+					placed = true
+				}
+			}
+			if placed {
+				break
+			}
+		}
+		if !placed {
+			return fmt.Errorf("reduce: no free helper slot for job %d in half-block [%d,%d)", sp.job.ID, start, end)
+		}
+	}
+	// Emit helper reconfigurations: walk rounds in order, recolor on change.
+	for _, hp := range helpers {
+		rounds := make([]int64, 0, len(hp.color))
+		for r := range hp.color {
+			rounds = append(rounds, r)
+		}
+		sort.Slice(rounds, func(i, j int) bool { return rounds[i] < rounds[j] })
+		prev := model.Black
+		for _, r := range rounds {
+			if hp.color[r] != prev {
+				out.AddReconfig(r, 0, hp.res, hp.color[r])
+				prev = hp.color[r]
+			}
+		}
+	}
+	return nil
+}

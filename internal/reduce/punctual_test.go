@@ -1,0 +1,197 @@
+package reduce
+
+import (
+	"testing"
+	"testing/quick"
+
+	"rrsched/internal/model"
+	"rrsched/internal/offline"
+	"rrsched/internal/workload"
+)
+
+func TestClassifyExecution(t *testing.T) {
+	j := model.Job{ID: 1, Color: 0, Arrival: 4, Delay: 8} // halfBlock(8, ·): h=4, arrival in HB 1
+	cases := []struct {
+		round int64
+		want  Punctuality
+	}{
+		{4, Early},     // same half-block [4,8)
+		{7, Early},     //
+		{8, Punctual},  // next half-block [8,12)
+		{11, Punctual}, //
+	}
+	for _, c := range cases {
+		got, err := ClassifyExecution(j, c.round)
+		if err != nil {
+			t.Fatalf("round %d: %v", c.round, err)
+		}
+		if got != c.want {
+			t.Errorf("round %d: %v, want %v", c.round, got, c.want)
+		}
+	}
+	// Late: arrival at 7 (HB 1 = [4,8)), execution at 12..14 is HB 3.
+	j2 := model.Job{ID: 2, Color: 0, Arrival: 7, Delay: 8}
+	if got, err := ClassifyExecution(j2, 12); err != nil || got != Late {
+		t.Errorf("late case: %v, %v", got, err)
+	}
+	// Out of window.
+	if _, err := ClassifyExecution(j, 99); err == nil {
+		t.Error("out-of-window execution classified")
+	}
+	// Unit delay is punctual by convention.
+	j3 := model.Job{ID: 3, Color: 0, Arrival: 5, Delay: 1}
+	if got, err := ClassifyExecution(j3, 5); err != nil || got != Punctual {
+		t.Errorf("unit delay: %v, %v", got, err)
+	}
+	// Non-power-of-two delay rejected.
+	j4 := model.Job{ID: 4, Color: 0, Arrival: 0, Delay: 6}
+	if _, err := ClassifyExecution(j4, 0); err == nil {
+		t.Error("non-power-of-two delay classified")
+	}
+}
+
+// isPunctualSchedule checks that every execution is punctual (the defining
+// property of Lemma 5.3's output).
+func isPunctualSchedule(t *testing.T, seq *model.Sequence, sched *model.Schedule) bool {
+	t.Helper()
+	jobs := map[int64]model.Job{}
+	for _, j := range seq.Jobs() {
+		jobs[j.ID] = j
+	}
+	for _, e := range sched.Execs {
+		p, err := ClassifyExecution(jobs[e.JobID], e.Round)
+		if err != nil {
+			t.Fatalf("classify: %v", err)
+		}
+		if p != Punctual {
+			return false
+		}
+	}
+	return true
+}
+
+func punctualCheck(t *testing.T, seq *model.Sequence, m int) {
+	t.Helper()
+	// Use the offline greedy as the "arbitrary schedule S".
+	src := offline.BestGreedy(seq, m)
+	out, err := PunctualTransform(seq, src.Schedule)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// (0) 7m resources.
+	if out.NumResources != 7*m {
+		t.Fatalf("resources = %d, want %d", out.NumResources, 7*m)
+	}
+	// (1) Legal for σ.
+	cost, err := model.Audit(seq, out)
+	if err != nil {
+		t.Fatalf("transformed schedule illegal: %v", err)
+	}
+	// (2) Executes every job S executes (same drop cost).
+	srcIDs := src.Schedule.ExecutedJobIDs()
+	outIDs := out.ExecutedJobIDs()
+	for id := range srcIDs {
+		if !outIDs[id] {
+			t.Fatalf("job %d executed by S but not by S'", id)
+		}
+	}
+	// (3) Punctual.
+	if !isPunctualSchedule(t, seq, out) {
+		t.Fatal("transformed schedule is not punctual")
+	}
+	// (4) Reconfiguration cost O(cost(S)): generous constant 12 plus the
+	// per-resource timeline copies (3 copies of S_k's timeline).
+	bound := 12 * (src.Cost.Total() + seq.Delta())
+	if cost.Reconfig > bound {
+		t.Fatalf("reconfig %d > %d = 12·(cost(S)+Δ)", cost.Reconfig, bound)
+	}
+}
+
+func TestPunctualTransformOnGreedySchedules(t *testing.T) {
+	for seed := int64(1); seed <= 6; seed++ {
+		seq, err := workload.RandomGeneral(workload.RandomConfig{
+			Seed: seed, Delta: 3, Colors: 5, Rounds: 96,
+			MinDelayExp: 1, MaxDelayExp: 4, Load: 0.5,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		punctualCheck(t, seq, 1)
+		punctualCheck(t, seq, 2)
+	}
+}
+
+func TestPunctualTransformProperty(t *testing.T) {
+	f := func(seedRaw uint8) bool {
+		seq, err := workload.RandomBatched(workload.RandomConfig{
+			Seed: int64(seedRaw), Delta: 2, Colors: 4, Rounds: 64,
+			MinDelayExp: 1, MaxDelayExp: 3, Load: 0.7, RateLimited: true,
+		})
+		if err != nil || seq.NumJobs() == 0 {
+			return true
+		}
+		src := offline.BestGreedy(seq, 2)
+		out, err := PunctualTransform(seq, src.Schedule)
+		if err != nil {
+			t.Log(err)
+			return false
+		}
+		if _, err := model.Audit(seq, out); err != nil {
+			t.Log(err)
+			return false
+		}
+		return isPunctualSchedule(t, seq, out) &&
+			len(out.ExecutedJobIDs()) >= len(src.Schedule.ExecutedJobIDs())
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPunctualTransformRejections(t *testing.T) {
+	seq := model.NewBuilder(1).Add(0, 0, 2, 1).MustBuild()
+	if _, err := PunctualTransform(seq, model.NewSchedule(1, 2)); err == nil {
+		t.Error("double-speed schedule accepted")
+	}
+	odd := model.NewBuilder(1).Add(0, 0, 3, 1).MustBuild()
+	if _, err := PunctualTransform(odd, model.NewSchedule(1, 1)); err == nil {
+		t.Error("non-power-of-two delays accepted")
+	}
+}
+
+// TestPunctualFeedsVarBatch closes the Theorem 3 loop constructively: a
+// punctual schedule for σ induces a schedule for the VarBatch-delayed
+// instance σ' with the same executions, which is what Lemma 5.3 feeds into
+// Theorem 3.
+func TestPunctualFeedsVarBatch(t *testing.T) {
+	seq, err := workload.RandomGeneral(workload.RandomConfig{
+		Seed: 11, Delta: 2, Colors: 4, Rounds: 64,
+		MinDelayExp: 2, MaxDelayExp: 3, Load: 0.4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := offline.BestGreedy(seq, 1)
+	out, err := PunctualTransform(seq, src.Schedule)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Every punctual execution of a delay-p job lands inside the execution
+	// window [arrival', arrival'+p/2) that VarBatchSequence assigns.
+	jobs := map[int64]model.Job{}
+	for _, j := range seq.Jobs() {
+		jobs[j.ID] = j
+	}
+	for _, e := range out.Execs {
+		j := jobs[e.JobID]
+		if j.Delay == 1 {
+			continue
+		}
+		h := j.Delay / 2
+		newArrival := (j.Arrival/h + 1) * h
+		if e.Round < newArrival || e.Round >= newArrival+h {
+			t.Fatalf("job %d executed at %d outside its VarBatch window [%d,%d)",
+				e.JobID, e.Round, newArrival, newArrival+h)
+		}
+	}
+}

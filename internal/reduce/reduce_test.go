@@ -1,0 +1,278 @@
+package reduce
+
+import (
+	"testing"
+	"testing/quick"
+
+	"rrsched/internal/core"
+	"rrsched/internal/model"
+	"rrsched/internal/sim"
+	"rrsched/internal/workload"
+)
+
+func TestBlockHelpers(t *testing.T) {
+	if Block(4, 0) != 0 || Block(4, 3) != 0 || Block(4, 4) != 1 || Block(4, 11) != 2 {
+		t.Error("Block arithmetic broken")
+	}
+	if BlockStart(4, 2) != 8 {
+		t.Error("BlockStart broken")
+	}
+	if HalfBlock(4, 0) != 0 || HalfBlock(4, 1) != 0 || HalfBlock(4, 2) != 1 || HalfBlock(4, 7) != 3 {
+		t.Error("HalfBlock arithmetic broken")
+	}
+	if HalfBlockStart(4, 3) != 6 {
+		t.Error("HalfBlockStart broken")
+	}
+}
+
+func TestBlockPanics(t *testing.T) {
+	for _, f := range []func(){
+		func() { Block(0, 1) },
+		func() { HalfBlock(3, 1) }, // odd
+		func() { HalfBlock(0, 1) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("invalid block parameters accepted")
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestBatchedDelay(t *testing.T) {
+	cases := map[int64]int64{1: 1, 2: 1, 3: 1, 4: 2, 5: 2, 7: 2, 8: 4, 9: 4, 15: 4, 16: 8, 64: 32}
+	for in, want := range cases {
+		if got := BatchedDelay(in); got != want {
+			t.Errorf("BatchedDelay(%d) = %d, want %d", in, got, want)
+		}
+	}
+}
+
+func TestDistributeSequenceSplitsOverRateBatches(t *testing.T) {
+	// 10 jobs of color 0 (D=4) in one batch: subcolors of at most 4 jobs.
+	seq := model.NewBuilder(2).Add(0, 0, 4, 10).MustBuild()
+	inner, m, err := DistributeSequence(seq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !inner.IsRateLimited() {
+		t.Fatal("Distribute output is not rate-limited")
+	}
+	if inner.NumJobs() != 10 {
+		t.Errorf("job count changed: %d", inner.NumJobs())
+	}
+	if m.NumInner() != 3 { // ceil(10/4) = 3 subcolors
+		t.Errorf("subcolors = %d, want 3", m.NumInner())
+	}
+	for i := 0; i < m.NumInner(); i++ {
+		if m.Outer(model.Color(i)) != 0 {
+			t.Errorf("subcolor %d maps to %v", i, m.Outer(model.Color(i)))
+		}
+	}
+}
+
+func TestDistributeSequencePreservesRateLimited(t *testing.T) {
+	// Already rate-limited input: one subcolor per color, identical content.
+	seq := model.NewBuilder(2).Add(0, 0, 4, 3).Add(4, 0, 4, 4).MustBuild()
+	inner, m, err := DistributeSequence(seq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.NumInner() != 1 {
+		t.Errorf("subcolors = %d, want 1", m.NumInner())
+	}
+	if inner.NumJobs() != seq.NumJobs() {
+		t.Error("job count changed")
+	}
+}
+
+func TestDistributeSequenceRanksWithinRequest(t *testing.T) {
+	// Ranks are per (round, color): a second color must not consume the
+	// first color's subcolor budget.
+	seq := model.NewBuilder(2).Add(0, 0, 2, 5).Add(0, 1, 2, 5).MustBuild()
+	inner, m, err := DistributeSequence(seq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !inner.IsRateLimited() {
+		t.Fatal("not rate-limited")
+	}
+	// Each color needs ceil(5/2) = 3 subcolors.
+	if m.NumInner() != 6 {
+		t.Errorf("subcolors = %d, want 6", m.NumInner())
+	}
+}
+
+func TestDistributeRejectsNonBatched(t *testing.T) {
+	seq := model.NewBuilder(2).Add(1, 0, 4, 1).MustBuild()
+	if _, _, err := DistributeSequence(seq); err == nil {
+		t.Fatal("non-batched input accepted")
+	}
+}
+
+func TestSubcolorMapPanicsOnUnknown(t *testing.T) {
+	m := &SubcolorMap{toOuter: []model.Color{0}}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("unknown inner color accepted")
+		}
+	}()
+	m.Outer(5)
+}
+
+// TestLemma42OuterCostLeInner: the projected outer cost never exceeds the
+// inner cost (Lemma 4.2), across random batched instances.
+func TestLemma42OuterCostLeInner(t *testing.T) {
+	f := func(seedRaw uint8) bool {
+		seq, err := workload.RandomBatched(workload.RandomConfig{
+			Seed: int64(seedRaw), Delta: 3, Colors: 5, Rounds: 128,
+			MinDelayExp: 1, MaxDelayExp: 3, Load: 1.8, // over-rate
+		})
+		if err != nil || seq.NumJobs() == 0 {
+			return true
+		}
+		res, err := RunDistribute(seq, 8, core.NewDeltaLRUEDF())
+		if err != nil {
+			t.Log(err)
+			return false
+		}
+		if res.Cost.Total() > res.Inner.Cost.Total() {
+			t.Logf("seed %d: outer %v > inner %v", seedRaw, res.Cost, res.Inner.Cost)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestVarBatchSequenceWindows(t *testing.T) {
+	// A job with D=8 arriving at round 5 (halfBlock(4) index 1) moves to
+	// round 8 with delay 4: window [8,12) ⊆ [5,13).
+	seq := model.NewBuilder(2).Add(5, 0, 8, 1).MustBuild()
+	batched, err := VarBatchSequence(seq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	jobs := batched.Jobs()
+	if len(jobs) != 1 {
+		t.Fatal("job lost")
+	}
+	j := jobs[0]
+	if j.Arrival != 8 || j.Delay != 4 {
+		t.Errorf("job = %+v, want arrival 8 delay 4", j)
+	}
+	if !batched.IsBatched() {
+		t.Error("VarBatch output is not batched")
+	}
+}
+
+func TestVarBatchSequenceUnitDelayPassthrough(t *testing.T) {
+	seq := model.NewBuilder(2).Add(5, 0, 1, 2).MustBuild()
+	batched, err := VarBatchSequence(seq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	j := batched.Jobs()[0]
+	if j.Arrival != 5 || j.Delay != 1 {
+		t.Errorf("unit-delay job moved: %+v", j)
+	}
+}
+
+func TestVarBatchSequenceArbitraryDelays(t *testing.T) {
+	// D=7 (not a power of two): h = floor-pow2(7)/2 = 2. A job at round 3
+	// moves to round 4 with delay 2: window [4,6) ⊆ [3,10).
+	seq := model.NewBuilder(2).Add(3, 0, 7, 1).MustBuild()
+	batched, err := VarBatchSequence(seq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	j := batched.Jobs()[0]
+	if j.Arrival != 4 || j.Delay != 2 {
+		t.Errorf("job = %+v, want arrival 4 delay 2", j)
+	}
+}
+
+// TestVarBatchWindowContainmentProperty: every transformed job window is
+// contained in its original window (the legality foundation of Theorem 3).
+func TestVarBatchWindowContainmentProperty(t *testing.T) {
+	f := func(arrivalRaw uint16, delayRaw uint8) bool {
+		arrival := int64(arrivalRaw % 1000)
+		delay := int64(delayRaw)%100 + 1
+		seq := model.NewBuilder(2).Add(arrival, 0, delay, 1).MustBuild()
+		batched, err := VarBatchSequence(seq)
+		if err != nil {
+			return false
+		}
+		j := batched.Jobs()[0]
+		orig := seq.Jobs()[0]
+		return j.Arrival >= orig.Arrival && j.Deadline() <= orig.Deadline()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestVarBatchOuterDropsLeInner: the final replayed schedule on the original
+// instance never drops more than the batched inner run (the outer replay
+// sees every job at least as early and keeps it at least as long).
+func TestVarBatchOuterDropsLeInner(t *testing.T) {
+	for seed := int64(1); seed <= 6; seed++ {
+		seq, err := workload.RandomGeneral(workload.RandomConfig{
+			Seed: seed, Delta: 3, Colors: 6, Rounds: 128,
+			MinDelayExp: 1, MaxDelayExp: 4, Load: 0.6,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := RunVarBatch(seq, 8, core.NewDeltaLRUEDF())
+		if err != nil {
+			t.Fatal(err)
+		}
+		// res.Inner is the innermost (rate-limited) run whose drop cost
+		// upper-bounds the outer's by the two projection steps.
+		if res.Cost.Drop > res.Inner.Cost.Drop {
+			t.Errorf("seed %d: outer drops %d > inner drops %d",
+				seed, res.Cost.Drop, res.Inner.Cost.Drop)
+		}
+		if res.Cost.Reconfig > res.Inner.Cost.Reconfig {
+			t.Errorf("seed %d: outer reconfig %d > inner reconfig %d",
+				seed, res.Cost.Reconfig, res.Inner.Cost.Reconfig)
+		}
+	}
+}
+
+// TestProjectReconfigs maps colors and leaves black untouched.
+func TestProjectReconfigs(t *testing.T) {
+	recs := []model.Reconfigure{
+		{Round: 0, Resource: 0, To: 2},
+		{Round: 1, Resource: 1, To: model.Black},
+	}
+	out := ProjectReconfigs(recs, func(c model.Color) model.Color { return c + 10 })
+	if out[0].To != 12 {
+		t.Errorf("mapped color = %v", out[0].To)
+	}
+	if out[1].To != model.Black {
+		t.Errorf("black mapped to %v", out[1].To)
+	}
+}
+
+func TestVarBatchPolicyRun(t *testing.T) {
+	seq := model.NewBuilder(2).Add(0, 0, 4, 6).Add(3, 1, 8, 6).MustBuild()
+	p := &VarBatchPolicy{NewInner: func() sim.Policy { return core.NewDeltaLRUEDF() }}
+	res, err := p.Run(seq, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := model.Audit(seq, res.Schedule); err != nil {
+		t.Fatal(err)
+	}
+	bad := &VarBatchPolicy{}
+	if _, err := bad.Run(seq, 8); err == nil {
+		t.Fatal("nil factory accepted")
+	}
+}

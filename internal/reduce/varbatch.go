@@ -1,0 +1,98 @@
+package reduce
+
+import (
+	"fmt"
+
+	"rrsched/internal/model"
+	"rrsched/internal/sim"
+)
+
+// BatchedDelay returns the delay bound a color receives in the batched
+// instance VarBatch constructs. For a power-of-two delay bound p > 1 this is
+// p/2 (Section 5.1); for an arbitrary delay bound 2^j <= p < 2^(j+1) it is
+// 2^(j-1) (Section 5.3); delay bound 1 passes through unchanged (jobs with
+// D_ℓ = 1 are already batched).
+func BatchedDelay(p int64) int64 {
+	if p <= 0 {
+		panic("reduce: non-positive delay bound")
+	}
+	if p == 1 {
+		return 1
+	}
+	return model.FloorPowerOfTwo(p) / 2
+}
+
+// VarBatchSequence builds the batched instance σ' from an arbitrary instance
+// σ (Section 5.1, step 1): a job of delay bound p arriving in
+// halfBlock(h, i) — where h = BatchedDelay(p) — is delayed to the start of
+// halfBlock(h, i+1) and its execution is restricted to that half-block, i.e.
+// it becomes a job with arrival (i+1)*h and delay bound h. Every job's new
+// execution window is contained in its original window, so any schedule for
+// σ' is (after identification of jobs) a schedule for σ.
+func VarBatchSequence(seq *model.Sequence) (*model.Sequence, error) {
+	b := model.NewBuilder(seq.Delta())
+	for r := int64(0); r < seq.NumRounds(); r++ {
+		for _, job := range seq.Request(r) {
+			h := BatchedDelay(job.Delay)
+			arrival := r
+			if h < job.Delay {
+				arrival = (r/h + 1) * h
+			}
+			b.Add(arrival, job.Color, h, 1)
+		}
+	}
+	out, err := b.Build()
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// RunVarBatch runs algorithm VarBatch (Section 5.1) on an arbitrary
+// instance: delay arrivals to half-block boundaries, then apply Distribute
+// with the given inner policy (ΔLRU-EDF for the paper's main result,
+// Theorem 3). The final schedule is audited against the ORIGINAL instance;
+// it is legal because every batched window is contained in the original
+// window, and its drop cost never exceeds the batched schedule's (the outer
+// replay sees every job at least as early and keeps it at least as long).
+func RunVarBatch(seq *model.Sequence, n int, policy sim.Policy) (*Result, error) {
+	batched, err := VarBatchSequence(seq)
+	if err != nil {
+		return nil, err
+	}
+	inner, err := RunDistribute(batched, n, policy)
+	if err != nil {
+		return nil, err
+	}
+	sched, err := sim.Replay(seq, n, 1, inner.Schedule.Reconfigs)
+	if err != nil {
+		return nil, err
+	}
+	cost, err := model.Audit(seq, sched)
+	if err != nil {
+		return nil, err
+	}
+	return &Result{
+		Policy:   "varbatch(" + policy.Name() + ")",
+		Cost:     cost,
+		Schedule: sched,
+		Inner:    inner.Inner,
+		InnerSeq: inner.InnerSeq,
+	}, nil
+}
+
+// VarBatchPolicy adapts the full reduction stack into a single object with a
+// policy-like interface for callers that just want "the paper's online
+// algorithm for [Δ | 1 | D_ℓ | 1]". It is not a sim.Policy (the reduction
+// changes the instance), so it exposes Run instead.
+type VarBatchPolicy struct {
+	NewInner func() sim.Policy
+}
+
+// Run executes the stack on an arbitrary instance with n resources.
+func (p *VarBatchPolicy) Run(seq *model.Sequence, n int) (*Result, error) {
+	if p.NewInner == nil {
+		return nil, fmt.Errorf("reduce: VarBatchPolicy needs a NewInner factory")
+	}
+	return RunVarBatch(seq, n, p.NewInner())
+}

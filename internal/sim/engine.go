@@ -1,0 +1,374 @@
+// Package sim provides the round-based simulation engine for reconfigurable
+// resource scheduling. The engine owns the resources, the per-color pending
+// queues, and the cost meter; an online Policy only chooses, each mini-round,
+// which set of distinct colors should be cached. The engine places colors on
+// locations with minimal recoloring, replicates each cached color across
+// Replication locations (the paper caches every color in two locations), and
+// executes pending jobs earliest-deadline-first within each color.
+//
+// The four phases of round k (paper, Section 2):
+//
+//  1. drop phase: jobs with deadline k are dropped at unit cost,
+//  2. arrival phase: request k is received,
+//  3. reconfiguration phase: the policy picks the cached color set,
+//  4. execution phase: each resource executes one pending job of its color.
+//
+// Double-speed schedules repeat phases 3 and 4 (Speed = 2).
+package sim
+
+import (
+	"fmt"
+	"sort"
+
+	"rrsched/internal/model"
+	"rrsched/internal/queue"
+)
+
+// Env describes one simulation run.
+type Env struct {
+	Seq         *model.Sequence
+	Resources   int // n: number of resources given to the policy
+	Replication int // locations per cached color (2 for the paper's algorithms)
+	Speed       int // mini-rounds per round (1 uni-speed, 2 double-speed)
+}
+
+// Slots returns the distinct-color cache capacity Resources/Replication.
+func (e Env) Slots() int { return e.Resources / e.Replication }
+
+// Validate checks the environment parameters.
+func (e Env) Validate() error {
+	if e.Seq == nil {
+		return fmt.Errorf("sim: nil sequence")
+	}
+	if e.Resources <= 0 {
+		return fmt.Errorf("sim: need at least one resource, got %d", e.Resources)
+	}
+	if e.Replication <= 0 {
+		return fmt.Errorf("sim: replication must be positive, got %d", e.Replication)
+	}
+	if e.Resources%e.Replication != 0 {
+		return fmt.Errorf("sim: resources (%d) must be a multiple of replication (%d)", e.Resources, e.Replication)
+	}
+	if e.Speed != 1 && e.Speed != 2 {
+		return fmt.Errorf("sim: speed must be 1 or 2, got %d", e.Speed)
+	}
+	return nil
+}
+
+// View is the read-only state a policy may observe when deciding. It reveals
+// nothing about future requests: online policies see only the present.
+type View interface {
+	// Round returns the current round index.
+	Round() int64
+	// Mini returns the current mini-round (always 0 for uni-speed).
+	Mini() int
+	// Resources returns n.
+	Resources() int
+	// Slots returns the distinct-color cache capacity n/Replication.
+	Slots() int
+	// Delta returns the reconfiguration cost.
+	Delta() int64
+	// Pending returns the number of pending jobs of color c.
+	Pending(c model.Color) int
+	// Cached reports whether color c is currently cached.
+	Cached(c model.Color) bool
+	// CachedColors returns the cached colors in ascending order.
+	CachedColors() []model.Color
+	// DelayBound returns D_c, or 0 if the color never appears.
+	DelayBound(c model.Color) int64
+	// Universe returns every color of the sequence in ascending order.
+	Universe() []model.Color
+}
+
+// Policy is an online reconfiguration policy. The engine calls DropPhase and
+// ArrivalPhase once per round (in that order) and Target once per mini-round;
+// Target returns the desired set of distinct cached colors, at most
+// View.Slots() of them, and the engine realizes it with minimal recoloring.
+type Policy interface {
+	Name() string
+	// Reset prepares the policy for a fresh run in the given environment.
+	Reset(env Env)
+	// DropPhase is invoked after the engine dropped all jobs whose deadline
+	// is the current round; dropped maps colors to the number of their jobs
+	// dropped this round (absent colors dropped none).
+	DropPhase(v View, dropped map[model.Color]int)
+	// ArrivalPhase is invoked after the round's request joined the pending
+	// queues; arrivals is the request (empty most rounds).
+	ArrivalPhase(v View, arrivals []model.Job)
+	// Target returns the distinct colors to cache for the current mini-round.
+	Target(v View) []model.Color
+}
+
+// Result is the outcome of a run.
+type Result struct {
+	Policy   string
+	Cost     model.Cost
+	Schedule *model.Schedule
+	// Executed is the number of jobs executed; Dropped the number dropped.
+	Executed int
+	Dropped  int
+	// DropsByColor counts drops per color.
+	DropsByColor map[model.Color]int
+}
+
+// Run simulates the policy on the environment and returns the resulting
+// schedule and cost. The schedule is complete and independently auditable
+// with model.Audit.
+func Run(env Env, p Policy) (*Result, error) {
+	if err := env.Validate(); err != nil {
+		return nil, err
+	}
+	if err := env.Seq.Validate(); err != nil {
+		return nil, err
+	}
+	st := newState(env)
+	p.Reset(env)
+
+	horizon := env.Seq.Horizon()
+	for k := int64(0); k <= horizon; k++ {
+		st.round = k
+
+		// Phase 1: drop.
+		dropped := st.dropDue(k)
+		p.DropPhase(st, dropped)
+
+		// Phase 2: arrival.
+		arrivals := env.Seq.Request(k)
+		st.admit(arrivals)
+		p.ArrivalPhase(st, arrivals)
+
+		// Phases 3 and 4, repeated Speed times.
+		for mini := 0; mini < env.Speed; mini++ {
+			st.mini = mini
+			target := p.Target(st)
+			if err := st.reconfigure(target); err != nil {
+				return nil, fmt.Errorf("sim: round %d mini %d: %w", k, mini, err)
+			}
+			st.execute()
+		}
+	}
+
+	res := &Result{
+		Policy:       p.Name(),
+		Cost:         st.cost,
+		Schedule:     st.sched,
+		Executed:     st.executed,
+		Dropped:      st.droppedTotal,
+		DropsByColor: st.dropsByColor,
+	}
+	return res, nil
+}
+
+// MustRun is Run but panics on error; for tests and generators with
+// statically valid inputs.
+func MustRun(env Env, p Policy) *Result {
+	r, err := Run(env, p)
+	if err != nil {
+		panic(err)
+	}
+	return r
+}
+
+// state implements View and owns the mutable simulation state.
+type state struct {
+	env   Env
+	round int64
+	mini  int
+
+	pending  map[model.Color]*queue.Ring[model.Job]
+	universe []model.Color
+
+	locColor  []model.Color         // color at each location
+	colorLocs map[model.Color][]int // locations of each cached color
+	freeLocs  []int                 // locations holding no cached color (black or orphaned)
+
+	sched        *model.Schedule
+	cost         model.Cost
+	executed     int
+	droppedTotal int
+	dropsByColor map[model.Color]int
+}
+
+func newState(env Env) *state {
+	st := &state{
+		env:          env,
+		pending:      make(map[model.Color]*queue.Ring[model.Job]),
+		colorLocs:    make(map[model.Color][]int),
+		sched:        model.NewSchedule(env.Resources, env.Speed),
+		dropsByColor: make(map[model.Color]int),
+	}
+	st.universe = env.Seq.Colors()
+	st.locColor = make([]model.Color, env.Resources)
+	st.freeLocs = make([]int, env.Resources)
+	for i := range st.locColor {
+		st.locColor[i] = model.Black
+		st.freeLocs[i] = env.Resources - 1 - i // pop from the back => ascending use
+	}
+	return st
+}
+
+// --- View ---
+
+func (s *state) Round() int64   { return s.round }
+func (s *state) Mini() int      { return s.mini }
+func (s *state) Resources() int { return s.env.Resources }
+func (s *state) Slots() int     { return s.env.Slots() }
+func (s *state) Delta() int64   { return s.env.Seq.Delta() }
+func (s *state) Universe() []model.Color {
+	out := make([]model.Color, len(s.universe))
+	copy(out, s.universe)
+	return out
+}
+
+func (s *state) Pending(c model.Color) int {
+	q := s.pending[c]
+	if q == nil {
+		return 0
+	}
+	return q.Len()
+}
+
+func (s *state) Cached(c model.Color) bool {
+	_, ok := s.colorLocs[c]
+	return ok
+}
+
+func (s *state) CachedColors() []model.Color {
+	out := make([]model.Color, 0, len(s.colorLocs))
+	for c := range s.colorLocs {
+		out = append(out, c)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+func (s *state) DelayBound(c model.Color) int64 {
+	d, _ := s.env.Seq.DelayBound(c)
+	return d
+}
+
+// --- phases ---
+
+// dropDue removes every pending job whose deadline equals round k. Within a
+// color, pending jobs are queued in arrival order, so deadlines are
+// nondecreasing from the head: popping while the head is due is exhaustive.
+func (s *state) dropDue(k int64) map[model.Color]int {
+	dropped := make(map[model.Color]int)
+	for c, q := range s.pending {
+		for q.Len() > 0 && q.Peek().Deadline() <= k {
+			q.Pop()
+			dropped[c]++
+		}
+	}
+	for c, n := range dropped {
+		s.cost.Drop += int64(n)
+		s.droppedTotal += n
+		s.dropsByColor[c] += n
+	}
+	return dropped
+}
+
+func (s *state) admit(jobs []model.Job) {
+	for _, j := range jobs {
+		q := s.pending[j.Color]
+		if q == nil {
+			q = &queue.Ring[model.Job]{}
+			s.pending[j.Color] = q
+		}
+		q.Push(j)
+	}
+}
+
+// reconfigure realizes the target color set: colors leaving the cache free
+// their locations, colors entering claim Replication free locations each.
+// Unchanged colors keep their locations, so only genuine recolorings cost.
+func (s *state) reconfigure(target []model.Color) error {
+	want := make(map[model.Color]bool, len(target))
+	for _, c := range target {
+		if c == model.Black {
+			return fmt.Errorf("policy targeted the black color")
+		}
+		if want[c] {
+			return fmt.Errorf("policy targeted color %v twice", c)
+		}
+		want[c] = true
+	}
+	if len(want) > s.env.Slots() {
+		return fmt.Errorf("policy targeted %d colors with only %d slots", len(want), s.env.Slots())
+	}
+
+	// Evict colors no longer wanted. Eviction is logical: the location keeps
+	// its physical color (and keeps executing that color's jobs, as in the
+	// paper's model) until another color overwrites it. Evictions are
+	// processed in color order so location assignment — and therefore the
+	// recorded schedule — is deterministic.
+	var evicted []model.Color
+	for c := range s.colorLocs {
+		if !want[c] {
+			evicted = append(evicted, c)
+		}
+	}
+	sort.Slice(evicted, func(i, j int) bool { return evicted[i] < evicted[j] })
+	for _, c := range evicted {
+		s.freeLocs = append(s.freeLocs, s.colorLocs[c]...)
+		delete(s.colorLocs, c)
+	}
+	// Admit new colors. A free location that still physically holds the
+	// admitted color is reused at zero cost: the resource was never
+	// recolored, so no reconfiguration happens.
+	for _, c := range target {
+		if _, ok := s.colorLocs[c]; ok {
+			continue
+		}
+		locs := make([]int, 0, s.env.Replication)
+		for i := 0; i < s.env.Replication; i++ {
+			loc, reused := s.takeFreeLoc(c)
+			locs = append(locs, loc)
+			if !reused {
+				s.locColor[loc] = c
+				s.sched.AddReconfig(s.round, s.mini, loc, c)
+				s.cost.Reconfig += s.env.Seq.Delta()
+			}
+		}
+		s.colorLocs[c] = locs
+	}
+	return nil
+}
+
+// takeFreeLoc pops a free location for color c, preferring one that already
+// physically holds c (reused == true, no reconfiguration needed).
+func (s *state) takeFreeLoc(c model.Color) (loc int, reused bool) {
+	n := len(s.freeLocs)
+	for i := n - 1; i >= 0; i-- {
+		if s.locColor[s.freeLocs[i]] == c {
+			loc = s.freeLocs[i]
+			s.freeLocs[i] = s.freeLocs[n-1]
+			s.freeLocs = s.freeLocs[:n-1]
+			return loc, true
+		}
+	}
+	loc = s.freeLocs[n-1]
+	s.freeLocs = s.freeLocs[:n-1]
+	return loc, false
+}
+
+// execute runs the execution phase of the current mini-round: every location
+// executes the earliest-deadline pending job of its physical color, if any.
+// A location whose color was logically evicted but not yet overwritten still
+// executes: in the paper's model a resource stays configured to its color
+// until recolored.
+func (s *state) execute() {
+	for loc := 0; loc < s.env.Resources; loc++ {
+		c := s.locColor[loc]
+		if c == model.Black {
+			continue
+		}
+		q := s.pending[c]
+		if q == nil || q.Len() == 0 {
+			continue
+		}
+		j := q.Pop()
+		s.sched.AddExec(s.round, s.mini, loc, j.ID)
+		s.executed++
+	}
+}

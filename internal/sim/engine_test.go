@@ -1,0 +1,323 @@
+package sim
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"rrsched/internal/model"
+)
+
+// scriptPolicy returns a fixed target set per round (indexed by round), for
+// deterministic engine tests.
+type scriptPolicy struct {
+	targets map[int64][]model.Color
+	last    []model.Color
+}
+
+func (p *scriptPolicy) Name() string                        { return "script" }
+func (p *scriptPolicy) Reset(Env)                           { p.last = nil }
+func (p *scriptPolicy) DropPhase(View, map[model.Color]int) {}
+func (p *scriptPolicy) ArrivalPhase(View, []model.Job)      {}
+func (p *scriptPolicy) Target(v View) []model.Color {
+	if tg, ok := p.targets[v.Round()]; ok {
+		p.last = tg
+	}
+	return p.last
+}
+
+func TestEnvValidate(t *testing.T) {
+	seq := model.NewBuilder(1).Add(0, 0, 1, 1).MustBuild()
+	cases := []struct {
+		env  Env
+		want string
+	}{
+		{Env{Seq: nil, Resources: 1, Replication: 1, Speed: 1}, "nil sequence"},
+		{Env{Seq: seq, Resources: 0, Replication: 1, Speed: 1}, "at least one resource"},
+		{Env{Seq: seq, Resources: 2, Replication: 0, Speed: 1}, "replication"},
+		{Env{Seq: seq, Resources: 3, Replication: 2, Speed: 1}, "multiple of replication"},
+		{Env{Seq: seq, Resources: 2, Replication: 1, Speed: 3}, "speed"},
+	}
+	for _, c := range cases {
+		err := c.env.Validate()
+		if err == nil || !strings.Contains(err.Error(), c.want) {
+			t.Errorf("Validate(%+v) = %v, want mention of %q", c.env, err, c.want)
+		}
+	}
+	good := Env{Seq: seq, Resources: 4, Replication: 2, Speed: 2}
+	if err := good.Validate(); err != nil {
+		t.Errorf("valid env rejected: %v", err)
+	}
+	if good.Slots() != 2 {
+		t.Errorf("Slots = %d", good.Slots())
+	}
+}
+
+func TestEngineBasicExecutionAndCosts(t *testing.T) {
+	// 3 jobs of color 0 (D=2) at round 0 with 1 resource: execute 2, drop 1.
+	seq := model.NewBuilder(5).Add(0, 0, 2, 3).MustBuild()
+	p := &scriptPolicy{targets: map[int64][]model.Color{0: {0}}}
+	res := MustRun(Env{Seq: seq, Resources: 1, Replication: 1, Speed: 1}, p)
+	if res.Cost.Reconfig != 5 {
+		t.Errorf("reconfig = %d, want 5 (one recolor at Δ=5)", res.Cost.Reconfig)
+	}
+	if res.Cost.Drop != 1 || res.Executed != 2 {
+		t.Errorf("drop=%d executed=%d, want 1/2", res.Cost.Drop, res.Executed)
+	}
+	if got := model.MustAudit(seq, res.Schedule); got != res.Cost {
+		t.Errorf("audit %v != engine %v", got, res.Cost)
+	}
+	if res.DropsByColor[0] != 1 {
+		t.Errorf("DropsByColor = %v", res.DropsByColor)
+	}
+}
+
+func TestEngineReplicationExecutesTwice(t *testing.T) {
+	// Replication 2: color 0 occupies both locations, 2 executions per round.
+	seq := model.NewBuilder(1).Add(0, 0, 2, 4).MustBuild()
+	p := &scriptPolicy{targets: map[int64][]model.Color{0: {0}}}
+	res := MustRun(Env{Seq: seq, Resources: 2, Replication: 2, Speed: 1}, p)
+	if res.Cost.Drop != 0 {
+		t.Errorf("dropped %d with replicated capacity 2x2", res.Cost.Drop)
+	}
+	if res.Cost.Reconfig != 2 {
+		t.Errorf("reconfig = %d, want 2 (two locations)", res.Cost.Reconfig)
+	}
+}
+
+func TestEngineDoubleSpeed(t *testing.T) {
+	// Speed 2: one resource executes 2 jobs per round.
+	seq := model.NewBuilder(1).Add(0, 0, 1, 2).MustBuild()
+	p := &scriptPolicy{targets: map[int64][]model.Color{0: {0}}}
+	res := MustRun(Env{Seq: seq, Resources: 1, Replication: 1, Speed: 2}, p)
+	if res.Cost.Drop != 0 {
+		t.Errorf("double-speed dropped %d", res.Cost.Drop)
+	}
+}
+
+func TestEngineFreeReadmission(t *testing.T) {
+	// Evicting a color logically and re-admitting it before its location is
+	// overwritten must not charge a second reconfiguration.
+	seq := model.NewBuilder(7).
+		Add(0, 0, 2, 1).
+		Add(4, 0, 2, 1).
+		MustBuild()
+	p := &scriptPolicy{targets: map[int64][]model.Color{
+		0: {0},
+		2: {},  // evict color 0 (location keeps color 0 physically)
+		4: {0}, // re-admit: free
+	}}
+	res := MustRun(Env{Seq: seq, Resources: 1, Replication: 1, Speed: 1}, p)
+	if res.Cost.Reconfig != 7 {
+		t.Errorf("reconfig = %d, want 7 (single paid recolor)", res.Cost.Reconfig)
+	}
+	if res.Cost.Drop != 0 {
+		t.Errorf("drop = %d", res.Cost.Drop)
+	}
+}
+
+func TestEngineOrphanedLocationStillExecutes(t *testing.T) {
+	// A logically evicted color keeps executing until overwritten: the
+	// physical resource is still configured to it (paper's model).
+	seq := model.NewBuilder(1).Add(0, 0, 4, 4).MustBuild()
+	p := &scriptPolicy{targets: map[int64][]model.Color{
+		0: {0},
+		1: {}, // evicted logically, never overwritten
+	}}
+	res := MustRun(Env{Seq: seq, Resources: 1, Replication: 1, Speed: 1}, p)
+	if res.Cost.Drop != 0 {
+		t.Errorf("dropped %d: orphaned location stopped executing", res.Cost.Drop)
+	}
+}
+
+func TestEngineRejectsBadTargets(t *testing.T) {
+	seq := model.NewBuilder(1).Add(0, 0, 2, 1).Add(0, 1, 2, 1).Add(0, 2, 2, 1).MustBuild()
+	cases := []struct {
+		name   string
+		target []model.Color
+		want   string
+	}{
+		{"too many", []model.Color{0, 1, 2}, "slots"},
+		{"black", []model.Color{model.Black}, "black"},
+		{"duplicate", []model.Color{0, 0}, "twice"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			p := &scriptPolicy{targets: map[int64][]model.Color{0: c.target}}
+			_, err := Run(Env{Seq: seq, Resources: 2, Replication: 1, Speed: 1}, p)
+			if err == nil || !strings.Contains(err.Error(), c.want) {
+				t.Errorf("err = %v, want mention of %q", err, c.want)
+			}
+		})
+	}
+}
+
+func TestEngineViewConsistency(t *testing.T) {
+	seq := model.NewBuilder(2).Add(0, 0, 4, 3).Add(0, 1, 2, 1).MustBuild()
+	var sawPending, sawCached, sawUniverse bool
+	p := &probePolicy{probe: func(v View) []model.Color {
+		if v.Round() == 0 && v.Pending(0) == 3 && v.Pending(1) == 1 {
+			sawPending = true
+		}
+		if v.Round() == 1 {
+			if v.Cached(0) && !v.Cached(2) {
+				sawCached = true
+			}
+			u := v.Universe()
+			if len(u) == 2 && u[0] == 0 && u[1] == 1 {
+				sawUniverse = true
+			}
+			cc := v.CachedColors()
+			if len(cc) != 1 || cc[0] != 0 {
+				t.Errorf("CachedColors = %v", cc)
+			}
+			if v.Delta() != 2 || v.DelayBound(0) != 4 || v.DelayBound(9) != 0 {
+				t.Error("Delta/DelayBound wrong")
+			}
+			if v.Resources() != 2 || v.Slots() != 2 {
+				t.Error("Resources/Slots wrong")
+			}
+		}
+		return []model.Color{0}
+	}}
+	MustRun(Env{Seq: seq, Resources: 2, Replication: 1, Speed: 1}, p)
+	if !sawPending || !sawCached || !sawUniverse {
+		t.Errorf("view probes: pending=%v cached=%v universe=%v", sawPending, sawCached, sawUniverse)
+	}
+}
+
+type probePolicy struct {
+	probe func(View) []model.Color
+}
+
+func (p *probePolicy) Name() string                        { return "probe" }
+func (p *probePolicy) Reset(Env)                           {}
+func (p *probePolicy) DropPhase(View, map[model.Color]int) {}
+func (p *probePolicy) ArrivalPhase(View, []model.Job)      {}
+func (p *probePolicy) Target(v View) []model.Color         { return p.probe(v) }
+
+func TestEngineDropPhaseCallback(t *testing.T) {
+	seq := model.NewBuilder(1).Add(0, 0, 2, 3).MustBuild()
+	var droppedAt2 int
+	p := &dropProbePolicy{onDrop: func(v View, d map[model.Color]int) {
+		if v.Round() == 2 {
+			droppedAt2 = d[0]
+		}
+	}}
+	MustRun(Env{Seq: seq, Resources: 1, Replication: 1, Speed: 1}, p)
+	// 3 jobs, 1 resource, no configuration: all 3 dropped in round 2.
+	if droppedAt2 != 3 {
+		t.Errorf("dropped at round 2 = %d, want 3", droppedAt2)
+	}
+}
+
+type dropProbePolicy struct {
+	onDrop func(View, map[model.Color]int)
+}
+
+func (p *dropProbePolicy) Name() string                            { return "drop-probe" }
+func (p *dropProbePolicy) Reset(Env)                               {}
+func (p *dropProbePolicy) DropPhase(v View, d map[model.Color]int) { p.onDrop(v, d) }
+func (p *dropProbePolicy) ArrivalPhase(View, []model.Job)          {}
+func (p *dropProbePolicy) Target(View) []model.Color               { return nil }
+
+// TestEngineAuditAgreesProperty: on random instances and random target
+// scripts, the engine's cost meter agrees with the independent audit, and
+// executed + dropped == jobs.
+func TestEngineAuditAgreesProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		b := model.NewBuilder(int64(rng.Intn(5)) + 1)
+		colors := rng.Intn(4) + 1
+		for i := 0; i < 40; i++ {
+			c := model.Color(rng.Intn(colors))
+			d := int64(1) << uint(int(c)%3)
+			b.Add(int64(rng.Intn(30)), c, d, rng.Intn(3))
+		}
+		seq, err := b.Build()
+		if err != nil || seq.NumJobs() == 0 {
+			return true // skip degenerate
+		}
+		targets := map[int64][]model.Color{}
+		for r := int64(0); r <= seq.Horizon(); r++ {
+			if rng.Intn(3) == 0 {
+				var tg []model.Color
+				for c := 0; c < colors && len(tg) < 2; c++ {
+					if rng.Intn(2) == 0 {
+						tg = append(tg, model.Color(c))
+					}
+				}
+				targets[r] = tg
+			}
+		}
+		res, err := Run(Env{Seq: seq, Resources: 2, Replication: 1, Speed: 1},
+			&scriptPolicy{targets: targets})
+		if err != nil {
+			return false
+		}
+		audited, err := model.Audit(seq, res.Schedule)
+		if err != nil {
+			return false
+		}
+		return audited == res.Cost && res.Executed+res.Dropped == seq.NumJobs()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestReplayReproducesEngineSchedule: replaying the engine's own reconfig
+// records yields a schedule with identical cost (greedy executions within a
+// color are interchangeable).
+func TestReplayReproducesEngineSchedule(t *testing.T) {
+	seq := model.NewBuilder(3).
+		Add(0, 0, 4, 6).Add(0, 1, 2, 2).
+		Add(4, 0, 4, 2).Add(4, 1, 2, 3).
+		MustBuild()
+	p := &scriptPolicy{targets: map[int64][]model.Color{0: {0, 1}, 4: {1}}}
+	res := MustRun(Env{Seq: seq, Resources: 2, Replication: 1, Speed: 1}, p)
+	replayed, err := Replay(seq, 2, 1, res.Schedule.Reconfigs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rc, err := model.Audit(seq, replayed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rc != res.Cost {
+		t.Errorf("replayed cost %v != engine cost %v", rc, res.Cost)
+	}
+}
+
+func TestReplayDropsPhysicalNoops(t *testing.T) {
+	seq := model.NewBuilder(2).Add(0, 0, 2, 1).MustBuild()
+	recs := []model.Reconfigure{
+		{Round: 0, Resource: 0, To: 0},
+		{Round: 1, Resource: 0, To: 0}, // physical no-op: free
+	}
+	sched, err := Replay(seq, 1, 1, recs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cost := model.MustAudit(seq, sched)
+	if cost.Reconfig != 2 {
+		t.Errorf("reconfig = %d, want 2 (no-op dropped)", cost.Reconfig)
+	}
+}
+
+func TestReplayErrors(t *testing.T) {
+	seq := model.NewBuilder(1).Add(0, 0, 1, 1).MustBuild()
+	if _, err := Replay(seq, 0, 1, nil); err == nil {
+		t.Error("Replay accepted 0 resources")
+	}
+	if _, err := Replay(seq, 1, 5, nil); err == nil {
+		t.Error("Replay accepted speed 5")
+	}
+	if _, err := Replay(seq, 1, 1, []model.Reconfigure{{Round: 0, Resource: 9, To: 0}}); err == nil {
+		t.Error("Replay accepted an out-of-range resource")
+	}
+	if _, err := Replay(seq, 1, 1, []model.Reconfigure{{Round: 0, Mini: 1, Resource: 0, To: 0}}); err == nil {
+		t.Error("Replay accepted a mini-round beyond speed")
+	}
+}

@@ -1,0 +1,107 @@
+package sim
+
+import (
+	"fmt"
+	"sort"
+
+	"rrsched/internal/model"
+	"rrsched/internal/queue"
+)
+
+// Replay realizes a schedule from a scripted configuration timeline: given
+// the reconfiguration records (location-level recolorings), it simulates the
+// four phases and fills in the execution records greedily, executing at each
+// location the earliest-deadline pending job of the location's color.
+//
+// Replay is the common back end of the reductions: Distribute and VarBatch
+// project an inner schedule's configurations onto the outer instance and let
+// Replay derive the executions, which is exactly the paper's "whenever S'
+// configures color (ℓ,j), S configures color ℓ; whenever S' executes a job
+// of color (ℓ,j), S executes a job of color ℓ" (Section 4.1) since per-color
+// executions are interchangeable.
+//
+// Reconfigs that recolor a location to the color it already holds are
+// dropped (they would be illegal no-ops); the rest are recorded verbatim, so
+// the replayed reconfiguration cost never exceeds Delta times the input
+// record count.
+func Replay(seq *model.Sequence, n, speed int, reconfigs []model.Reconfigure) (*model.Schedule, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("sim: replay needs at least one resource")
+	}
+	if speed != 1 && speed != 2 {
+		return nil, fmt.Errorf("sim: replay speed must be 1 or 2, got %d", speed)
+	}
+	ordered := make([]model.Reconfigure, len(reconfigs))
+	copy(ordered, reconfigs)
+	sort.SliceStable(ordered, func(i, j int) bool {
+		a, b := ordered[i], ordered[j]
+		if a.Round != b.Round {
+			return a.Round < b.Round
+		}
+		return a.Mini < b.Mini
+	})
+
+	sched := model.NewSchedule(n, speed)
+	locColor := make([]model.Color, n)
+	for i := range locColor {
+		locColor[i] = model.Black
+	}
+	pending := make(map[model.Color]*queue.Ring[model.Job])
+	next := 0
+
+	horizon := seq.Horizon()
+	for _, r := range ordered {
+		if r.Round > horizon {
+			horizon = r.Round
+		}
+	}
+	for k := int64(0); k <= horizon; k++ {
+		// Drop phase.
+		for _, q := range pending {
+			for q.Len() > 0 && q.Peek().Deadline() <= k {
+				q.Pop()
+			}
+		}
+		// Arrival phase.
+		for _, j := range seq.Request(k) {
+			q := pending[j.Color]
+			if q == nil {
+				q = &queue.Ring[model.Job]{}
+				pending[j.Color] = q
+			}
+			q.Push(j)
+		}
+		for mini := 0; mini < speed; mini++ {
+			// Reconfiguration phase: apply scripted recolorings.
+			for next < len(ordered) && ordered[next].Round == k && ordered[next].Mini == mini {
+				r := ordered[next]
+				next++
+				if r.Resource < 0 || r.Resource >= n {
+					return nil, fmt.Errorf("sim: replay reconfig targets resource %d of %d", r.Resource, n)
+				}
+				if locColor[r.Resource] == r.To {
+					continue // physical no-op, free
+				}
+				locColor[r.Resource] = r.To
+				sched.AddReconfig(k, mini, r.Resource, r.To)
+			}
+			// Execution phase.
+			for loc := 0; loc < n; loc++ {
+				c := locColor[loc]
+				if c == model.Black {
+					continue
+				}
+				q := pending[c]
+				if q == nil || q.Len() == 0 {
+					continue
+				}
+				j := q.Pop()
+				sched.AddExec(k, mini, loc, j.ID)
+			}
+		}
+	}
+	if next != len(ordered) {
+		return nil, fmt.Errorf("sim: replay left %d reconfigs unapplied (mini-round out of range?)", len(ordered)-next)
+	}
+	return sched, nil
+}

@@ -1,0 +1,184 @@
+package stats
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Series is the figure analogue of Table: a shared x-axis with one or more
+// named y-columns, rendered as an aligned table plus an ASCII chart so the
+// *shape* of a result (who wins, where crossovers fall) is visible in a
+// terminal or a test log.
+type Series struct {
+	Caption string
+	XLabel  string
+	X       []float64
+	columns []seriesColumn
+}
+
+type seriesColumn struct {
+	name string
+	y    []float64
+}
+
+// NewSeries returns an empty series with the given caption and x-axis label.
+func NewSeries(caption, xlabel string) *Series {
+	return &Series{Caption: caption, XLabel: xlabel}
+}
+
+// AddPoint appends an x value; subsequent AddY calls fill the columns.
+func (s *Series) AddPoint(x float64) { s.X = append(s.X, x) }
+
+// AddY appends a y value to the named column, creating it on first use.
+// Columns must be filled densely: the n-th AddY for a column pairs with the
+// n-th x value.
+func (s *Series) AddY(name string, y float64) {
+	for i := range s.columns {
+		if s.columns[i].name == name {
+			s.columns[i].y = append(s.columns[i].y, y)
+			return
+		}
+	}
+	s.columns = append(s.columns, seriesColumn{name: name, y: []float64{y}})
+}
+
+// Columns returns the column names in insertion order.
+func (s *Series) Columns() []string {
+	out := make([]string, len(s.columns))
+	for i, c := range s.columns {
+		out[i] = c.name
+	}
+	return out
+}
+
+// Validate checks that every column has one y per x.
+func (s *Series) Validate() error {
+	for _, c := range s.columns {
+		if len(c.y) != len(s.X) {
+			return fmt.Errorf("stats: column %q has %d points for %d x values", c.name, len(c.y), len(s.X))
+		}
+	}
+	return nil
+}
+
+// Table converts the series into a Table (x column first).
+func (s *Series) Table() (*Table, error) {
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	headers := append([]string{s.XLabel}, s.Columns()...)
+	t := NewTable(s.Caption, headers...)
+	for i := range s.X {
+		row := make([]any, 0, len(headers))
+		row = append(row, FormatFloat(s.X[i]))
+		for _, c := range s.columns {
+			row = append(row, c.y[i])
+		}
+		t.AddRow(row...)
+	}
+	return t, nil
+}
+
+// Render writes the series as a table followed by one ASCII chart per
+// column (height rows, width = number of points, log-friendly).
+func (s *Series) Render(w io.Writer, height int) error {
+	t, err := s.Table()
+	if err != nil {
+		return err
+	}
+	if err := t.Render(w); err != nil {
+		return err
+	}
+	if height < 2 {
+		height = 8
+	}
+	for _, c := range s.columns {
+		if _, err := fmt.Fprintf(w, "\n%s\n%s", c.name, asciiChart(c.y, height)); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// asciiChart renders values as a bar chart, one column per point.
+func asciiChart(y []float64, height int) string {
+	if len(y) == 0 {
+		return "(empty)\n"
+	}
+	lo, hi := math.Inf(1), math.Inf(-1)
+	for _, v := range y {
+		lo = math.Min(lo, v)
+		hi = math.Max(hi, v)
+	}
+	if lo > 0 {
+		lo = 0 // anchor bars at zero for positive data
+	}
+	span := hi - lo
+	if span == 0 {
+		span = 1
+	}
+	grid := make([][]byte, height)
+	for r := range grid {
+		grid[r] = []byte(strings.Repeat(" ", len(y)))
+	}
+	for i, v := range y {
+		level := int(math.Round((v - lo) / span * float64(height-1)))
+		for r := 0; r <= level; r++ {
+			grid[height-1-r][i] = '#'
+		}
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s (max)\n", FormatFloat(hi))
+	for _, row := range grid {
+		b.Write(row)
+		b.WriteByte('\n')
+	}
+	fmt.Fprintf(&b, "%s (min)\n", FormatFloat(lo))
+	return b.String()
+}
+
+// Quantiles returns the q-quantiles (0 <= q <= 1, sorted input copy) of vals;
+// convenience for summarizing sweeps.
+func Quantiles(vals []float64, qs ...float64) []float64 {
+	if len(vals) == 0 {
+		return make([]float64, len(qs))
+	}
+	sorted := make([]float64, len(vals))
+	copy(sorted, vals)
+	sort.Float64s(sorted)
+	out := make([]float64, len(qs))
+	for i, q := range qs {
+		if q <= 0 {
+			out[i] = sorted[0]
+			continue
+		}
+		if q >= 1 {
+			out[i] = sorted[len(sorted)-1]
+			continue
+		}
+		pos := q * float64(len(sorted)-1)
+		lo := int(math.Floor(pos))
+		frac := pos - float64(lo)
+		if lo+1 < len(sorted) {
+			out[i] = sorted[lo]*(1-frac) + sorted[lo+1]*frac
+		} else {
+			out[i] = sorted[lo]
+		}
+	}
+	return out
+}
+
+// Mean returns the arithmetic mean of vals (0 for empty input).
+func Mean(vals []float64) float64 {
+	if len(vals) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, v := range vals {
+		sum += v
+	}
+	return sum / float64(len(vals))
+}

@@ -1,0 +1,149 @@
+package stats
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func buildSeries() *Series {
+	s := NewSeries("ratio vs n", "n")
+	for _, x := range []float64{4, 8, 16} {
+		s.AddPoint(x)
+	}
+	for _, y := range []float64{2.2, 1.3, 0.4} {
+		s.AddY("ratio", y)
+	}
+	for _, y := range []float64{1, 1, 1} {
+		s.AddY("baseline", y)
+	}
+	return s
+}
+
+func TestSeriesTable(t *testing.T) {
+	s := buildSeries()
+	tb, err := s.Table()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tb.Headers) != 3 || tb.Headers[0] != "n" || tb.Headers[1] != "ratio" {
+		t.Errorf("headers = %v", tb.Headers)
+	}
+	if len(tb.Rows) != 3 {
+		t.Errorf("rows = %d", len(tb.Rows))
+	}
+}
+
+func TestSeriesValidate(t *testing.T) {
+	s := NewSeries("bad", "x")
+	s.AddPoint(1)
+	s.AddPoint(2)
+	s.AddY("y", 5) // only one y for two x
+	if s.Validate() == nil {
+		t.Fatal("ragged series validated")
+	}
+	if _, err := s.Table(); err == nil {
+		t.Fatal("ragged series tabled")
+	}
+	var b strings.Builder
+	if err := s.Render(&b, 4); err == nil {
+		t.Fatal("ragged series rendered")
+	}
+}
+
+func TestSeriesRenderChart(t *testing.T) {
+	s := buildSeries()
+	var b strings.Builder
+	if err := s.Render(&b, 5); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	if !strings.Contains(out, "ratio vs n") || !strings.Contains(out, "#") {
+		t.Errorf("render missing pieces:\n%s", out)
+	}
+	if !strings.Contains(out, "(max)") || !strings.Contains(out, "(min)") {
+		t.Errorf("chart axis labels missing:\n%s", out)
+	}
+	// Both columns charted.
+	if strings.Count(out, "(max)") != 2 {
+		t.Errorf("want 2 charts:\n%s", out)
+	}
+}
+
+func TestSeriesColumns(t *testing.T) {
+	s := buildSeries()
+	cols := s.Columns()
+	if len(cols) != 2 || cols[0] != "ratio" || cols[1] != "baseline" {
+		t.Errorf("columns = %v", cols)
+	}
+}
+
+func TestAsciiChartShapes(t *testing.T) {
+	out := asciiChart([]float64{1, 2, 3}, 3)
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	// max label, 3 grid rows, min label
+	if len(lines) != 5 {
+		t.Fatalf("lines = %d:\n%s", len(lines), out)
+	}
+	// Bottom grid row fully filled; top row only the last bar.
+	if lines[3] != "###" {
+		t.Errorf("bottom row = %q", lines[3])
+	}
+	if strings.Count(lines[1], "#") != 1 {
+		t.Errorf("top row = %q", lines[1])
+	}
+	if asciiChart(nil, 3) != "(empty)\n" {
+		t.Error("empty chart")
+	}
+	// Constant series does not divide by zero.
+	if !strings.Contains(asciiChart([]float64{5, 5}, 3), "#") {
+		t.Error("flat chart empty")
+	}
+}
+
+func TestQuantiles(t *testing.T) {
+	vals := []float64{4, 1, 3, 2}
+	qs := Quantiles(vals, 0, 0.5, 1)
+	if qs[0] != 1 || qs[2] != 4 {
+		t.Errorf("quantiles = %v", qs)
+	}
+	if qs[1] < 2 || qs[1] > 3 {
+		t.Errorf("median = %v", qs[1])
+	}
+	if got := Quantiles(nil, 0.5); got[0] != 0 {
+		t.Errorf("empty quantiles = %v", got)
+	}
+}
+
+// TestQuantilesMonotoneProperty: quantiles are monotone in q and bounded by
+// the extremes.
+func TestQuantilesMonotoneProperty(t *testing.T) {
+	f := func(raw []int16) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		vals := make([]float64, len(raw))
+		for i, v := range raw {
+			vals[i] = float64(v)
+		}
+		qs := Quantiles(vals, 0, 0.25, 0.5, 0.75, 1)
+		for i := 1; i < len(qs); i++ {
+			if qs[i] < qs[i-1] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMean(t *testing.T) {
+	if Mean([]float64{1, 2, 3}) != 2 {
+		t.Error("mean wrong")
+	}
+	if Mean(nil) != 0 {
+		t.Error("empty mean")
+	}
+}

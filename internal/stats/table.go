@@ -1,0 +1,143 @@
+// Package stats provides the reporting substrate: aligned-text and CSV
+// tables, numeric series (the paper-figure analogue), and summary helpers
+// (competitive-ratio arithmetic over cost brackets).
+package stats
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Table is a simple column-aligned table with a caption, rendered as aligned
+// text (for terminals) or CSV (for plotting).
+type Table struct {
+	Caption string
+	Headers []string
+	Rows    [][]string
+}
+
+// NewTable returns an empty table with the given caption and headers.
+func NewTable(caption string, headers ...string) *Table {
+	return &Table{Caption: caption, Headers: headers}
+}
+
+// AddRow appends a row; cells are formatted with %v.
+func (t *Table) AddRow(cells ...any) {
+	row := make([]string, len(cells))
+	for i, c := range cells {
+		switch v := c.(type) {
+		case float64:
+			row[i] = FormatFloat(v)
+		case string:
+			row[i] = v
+		default:
+			row[i] = fmt.Sprintf("%v", c)
+		}
+	}
+	t.Rows = append(t.Rows, row)
+}
+
+// FormatFloat renders a float compactly (3 decimals, trailing zeros kept for
+// alignment; infinities rendered as "inf").
+func FormatFloat(v float64) string {
+	if v != v {
+		return "nan"
+	}
+	if v > 1e300 {
+		return "inf"
+	}
+	return fmt.Sprintf("%.3f", v)
+}
+
+// Render writes the table as aligned text.
+func (t *Table) Render(w io.Writer) error {
+	widths := make([]int, len(t.Headers))
+	for i, h := range t.Headers {
+		widths[i] = len(h)
+	}
+	for _, row := range t.Rows {
+		for i, c := range row {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	var b strings.Builder
+	if t.Caption != "" {
+		b.WriteString(t.Caption)
+		b.WriteByte('\n')
+	}
+	writeRow := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			b.WriteString(c)
+			for p := len(c); p < widths[i]; p++ {
+				b.WriteByte(' ')
+			}
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(t.Headers)
+	sep := make([]string, len(t.Headers))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	writeRow(sep)
+	for _, row := range t.Rows {
+		writeRow(row)
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// RenderCSV writes the table as CSV (caption as a comment line).
+func (t *Table) RenderCSV(w io.Writer) error {
+	var b strings.Builder
+	if t.Caption != "" {
+		b.WriteString("# ")
+		b.WriteString(t.Caption)
+		b.WriteByte('\n')
+	}
+	writeCSVRow := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteByte(',')
+			}
+			if strings.ContainsAny(c, ",\"\n") {
+				c = "\"" + strings.ReplaceAll(c, "\"", "\"\"") + "\""
+			}
+			b.WriteString(c)
+		}
+		b.WriteByte('\n')
+	}
+	writeCSVRow(t.Headers)
+	for _, row := range t.Rows {
+		writeCSVRow(row)
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// String renders the table as aligned text.
+func (t *Table) String() string {
+	var b strings.Builder
+	if err := t.Render(&b); err != nil {
+		return err.Error()
+	}
+	return b.String()
+}
+
+// Ratio returns num/den as a float, with den == 0 mapping to +inf when num
+// is positive and 1 when both are zero (two zero-cost schedules tie).
+func Ratio(num, den int64) float64 {
+	if den == 0 {
+		if num == 0 {
+			return 1
+		}
+		return 1e308
+	}
+	return float64(num) / float64(den)
+}

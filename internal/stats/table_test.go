@@ -1,0 +1,83 @@
+package stats
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestTableRenderAlignment(t *testing.T) {
+	tb := NewTable("caption", "name", "value")
+	tb.AddRow("a", 1)
+	tb.AddRow("longer", 22)
+	out := tb.String()
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 5 { // caption, header, separator, 2 rows
+		t.Fatalf("lines = %d: %q", len(lines), out)
+	}
+	if lines[0] != "caption" {
+		t.Errorf("caption line = %q", lines[0])
+	}
+	if !strings.HasPrefix(lines[1], "name") {
+		t.Errorf("header = %q", lines[1])
+	}
+	if !strings.Contains(lines[2], "----") {
+		t.Errorf("separator = %q", lines[2])
+	}
+	// All data lines align: the value column starts at the same offset.
+	off := strings.Index(lines[1], "value")
+	if !strings.HasPrefix(lines[3][off:], "1") || !strings.HasPrefix(lines[4][off:], "22") {
+		t.Errorf("misaligned columns:\n%s", out)
+	}
+}
+
+func TestTableFloatFormatting(t *testing.T) {
+	tb := NewTable("", "x")
+	tb.AddRow(1.23456)
+	if !strings.Contains(tb.String(), "1.235") {
+		t.Errorf("float not rounded: %q", tb.String())
+	}
+}
+
+func TestFormatFloatSpecials(t *testing.T) {
+	if FormatFloat(math.Inf(1)) != "inf" {
+		t.Error("inf formatting")
+	}
+	nan := 0.0
+	nan = nan / nan
+	if FormatFloat(nan) != "nan" {
+		t.Error("nan formatting")
+	}
+}
+
+func TestRenderCSV(t *testing.T) {
+	tb := NewTable("cap", "a", "b")
+	tb.AddRow("x,y", 1)
+	tb.AddRow(`quote"inside`, 2)
+	var b strings.Builder
+	if err := tb.RenderCSV(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	if !strings.HasPrefix(out, "# cap\n") {
+		t.Errorf("caption comment missing: %q", out)
+	}
+	if !strings.Contains(out, `"x,y",1`) {
+		t.Errorf("comma not quoted: %q", out)
+	}
+	if !strings.Contains(out, `"quote""inside",2`) {
+		t.Errorf("quote not escaped: %q", out)
+	}
+}
+
+func TestRatio(t *testing.T) {
+	if Ratio(6, 3) != 2 {
+		t.Error("Ratio(6,3)")
+	}
+	if Ratio(0, 0) != 1 {
+		t.Error("Ratio(0,0) should be 1 (two zero-cost schedules tie)")
+	}
+	if Ratio(5, 0) < 1e307 {
+		t.Error("Ratio(5,0) should be huge")
+	}
+}

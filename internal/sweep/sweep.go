@@ -1,0 +1,82 @@
+// Package sweep provides a small deterministic parallel-map substrate for
+// parameter sweeps: experiments fan seeds and configurations out over a
+// bounded worker pool and collect results in input order, so tables stay
+// byte-identical regardless of GOMAXPROCS. The simulator itself is
+// sequential (a run is a causal chain of rounds); parallelism lives at the
+// sweep level, which is where the evaluation spends its time.
+package sweep
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+)
+
+// Map applies f to every input concurrently using at most workers
+// goroutines (0 means GOMAXPROCS) and returns the outputs in input order.
+// The first panic in a worker is re-raised on the caller's goroutine after
+// all workers have stopped, so a failing sweep never leaks goroutines.
+func Map[In, Out any](workers int, inputs []In, f func(In) Out) []Out {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(inputs) {
+		workers = len(inputs)
+	}
+	out := make([]Out, len(inputs))
+	if len(inputs) == 0 {
+		return out
+	}
+	if workers <= 1 {
+		for i, in := range inputs {
+			out[i] = f(in)
+		}
+		return out
+	}
+
+	var (
+		wg       sync.WaitGroup
+		panicMu  sync.Mutex
+		panicked any
+	)
+	next := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				func() {
+					defer func() {
+						if r := recover(); r != nil {
+							panicMu.Lock()
+							if panicked == nil {
+								panicked = r
+							}
+							panicMu.Unlock()
+						}
+					}()
+					out[i] = f(inputs[i])
+				}()
+			}
+		}()
+	}
+	for i := range inputs {
+		next <- i
+	}
+	close(next)
+	wg.Wait()
+	if panicked != nil {
+		panic(fmt.Sprintf("sweep: worker panicked: %v", panicked))
+	}
+	return out
+}
+
+// Seeds returns the integers [0, n) as int64 seeds, a convenience for
+// seed sweeps.
+func Seeds(n int) []int64 {
+	out := make([]int64, n)
+	for i := range out {
+		out[i] = int64(i)
+	}
+	return out
+}

@@ -1,0 +1,92 @@
+package sweep
+
+import (
+	"strings"
+	"sync/atomic"
+	"testing"
+	"testing/quick"
+)
+
+func TestMapOrdering(t *testing.T) {
+	in := Seeds(100)
+	out := Map(8, in, func(v int64) int64 { return v * v })
+	for i, v := range out {
+		if v != int64(i)*int64(i) {
+			t.Fatalf("out[%d] = %d", i, v)
+		}
+	}
+}
+
+func TestMapEmptyAndSingle(t *testing.T) {
+	if got := Map(4, nil, func(v int64) int64 { return v }); len(got) != 0 {
+		t.Error("empty input produced output")
+	}
+	if got := Map(4, []int64{7}, func(v int64) int64 { return v + 1 }); got[0] != 8 {
+		t.Error("single input wrong")
+	}
+}
+
+func TestMapSequentialFallback(t *testing.T) {
+	out := Map(1, Seeds(10), func(v int64) int64 { return -v })
+	if out[3] != -3 {
+		t.Error("sequential path wrong")
+	}
+}
+
+func TestMapUsesConcurrency(t *testing.T) {
+	var calls atomic.Int64
+	Map(4, Seeds(64), func(v int64) int64 {
+		calls.Add(1)
+		return v
+	})
+	if calls.Load() != 64 {
+		t.Fatalf("calls = %d", calls.Load())
+	}
+}
+
+func TestMapPropagatesPanic(t *testing.T) {
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("panic swallowed")
+		}
+		if !strings.Contains(r.(string), "boom") {
+			t.Fatalf("panic = %v", r)
+		}
+	}()
+	Map(4, Seeds(16), func(v int64) int64 {
+		if v == 9 {
+			panic("boom")
+		}
+		return v
+	})
+}
+
+// TestMapMatchesSequentialProperty: parallel Map agrees with a plain loop.
+func TestMapMatchesSequentialProperty(t *testing.T) {
+	f := func(vals []int32, workersRaw uint8) bool {
+		in := make([]int64, len(vals))
+		for i, v := range vals {
+			in[i] = int64(v)
+		}
+		workers := int(workersRaw%8) + 1
+		fn := func(v int64) int64 { return 3*v - 1 }
+		got := Map(workers, in, fn)
+		for i, v := range in {
+			if got[i] != fn(v) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSeeds(t *testing.T) {
+	s := Seeds(3)
+	if len(s) != 3 || s[0] != 0 || s[2] != 2 {
+		t.Errorf("Seeds = %v", s)
+	}
+}

@@ -1,0 +1,74 @@
+// Package workload generates input sequences: the adversarial constructions
+// of Appendix A (against ΔLRU) and Appendix B (against EDF), randomized
+// batched / rate-limited / general workloads (uniform, Zipf, bursty, phase
+// shifting), the motivating background-vs-short-term scenario from the
+// paper's introduction, and a JSON trace format for the CLI tools.
+package workload
+
+import (
+	"fmt"
+
+	"rrsched/internal/model"
+)
+
+// DeltaLRUAdversary builds the Appendix A lower-bound instance against ΔLRU:
+// n/2 "short-term" colors with delay bound 2^j receiving Δ jobs at every
+// multiple of 2^j, plus one "long-term" color with delay bound 2^k receiving
+// 2^k jobs at round 0, with 2^k > 2^(j+1) > nΔ. ΔLRU caches the short-term
+// colors (their timestamps are always at least as recent) and drops the
+// 2^k long-term jobs, while the offline schedule serves the long-term color
+// with one resource and one reconfiguration.
+func DeltaLRUAdversary(n int, delta int64, j, k uint) (*model.Sequence, error) {
+	if n < 2 || n%2 != 0 {
+		return nil, fmt.Errorf("workload: adversary needs even n >= 2, got %d", n)
+	}
+	dj := int64(1) << j
+	dk := int64(1) << k
+	if !(dk > 2*dj && 2*dj > int64(n)*delta) {
+		return nil, fmt.Errorf("workload: need 2^k > 2^(j+1) > n*Delta (2^j=%d, 2^k=%d, nΔ=%d)", dj, dk, int64(n)*delta)
+	}
+	b := model.NewBuilder(delta)
+	short := n / 2
+	longColor := model.Color(short)
+	// Long-term color: 2^k jobs at the very beginning.
+	b.Add(0, longColor, dk, int(dk))
+	// Short-term colors: Δ jobs each at every multiple of 2^j during the
+	// 2^k rounds.
+	for r := int64(0); r < dk; r += dj {
+		for c := 0; c < short; c++ {
+			b.Add(r, model.Color(c), dj, int(delta))
+		}
+	}
+	return b.Build()
+}
+
+// EDFAdversary builds the Appendix B lower-bound instance against EDF: one
+// color with delay bound 2^j receiving Δ jobs at every multiple of 2^j until
+// round 2^(k-1), plus n/2 colors with delay bounds 2^k, 2^(k+1), ...,
+// 2^(k+n/2-1), where color p receives 2^(k+p-1) jobs at round 0, with
+// 2^k > 2^j > Δ > n. EDF thrashes between the short color and the long
+// colors; the offline schedule serves each long color in its own contiguous
+// stretch with n/2 + 1 reconfigurations and no drops.
+func EDFAdversary(n int, delta int64, j, k uint) (*model.Sequence, error) {
+	if n < 2 || n%2 != 0 {
+		return nil, fmt.Errorf("workload: adversary needs even n >= 2, got %d", n)
+	}
+	dj := int64(1) << j
+	dk := int64(1) << k
+	if !(dk > dj && dj > delta && delta > int64(n)) {
+		return nil, fmt.Errorf("workload: need 2^k > 2^j > Delta > n (2^j=%d, 2^k=%d, Δ=%d, n=%d)", dj, dk, delta, n)
+	}
+	b := model.NewBuilder(delta)
+	shortColor := model.Color(0)
+	// Short color: Δ jobs at each multiple of 2^j until round 2^(k-1).
+	for r := int64(0); r < dk/2; r += dj {
+		b.Add(r, shortColor, dj, int(delta))
+	}
+	// Long colors p = 0..n/2-1 with delay bound 2^(k+p): 2^(k+p-1) jobs at
+	// round 0.
+	for p := 0; p < n/2; p++ {
+		d := dk << uint(p)
+		b.Add(0, model.Color(1+p), d, int(d/2))
+	}
+	return b.Build()
+}

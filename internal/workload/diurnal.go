@@ -1,0 +1,58 @@
+package workload
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"rrsched/internal/model"
+)
+
+// DiurnalConfig parameterizes a day/night load pattern: per-color load
+// follows a sinusoid with a per-color phase offset, modeling the
+// time-of-day traffic mixes of shared data centers (services peak at
+// different hours, so the optimal processor allocation rotates).
+type DiurnalConfig struct {
+	Seed   int64
+	Delta  int64
+	Colors int
+	// Period is the length of one day in rounds.
+	Period int64
+	// Days is the number of periods to generate.
+	Days int
+	// Delay is the common power-of-two delay bound.
+	Delay int64
+	// PeakLoad is the per-color load at its peak (jobs per round); the
+	// trough is PeakLoad * TroughFrac.
+	PeakLoad   float64
+	TroughFrac float64
+}
+
+// Diurnal generates the day/night workload. Colors peak at evenly spaced
+// phases across the period, so at any instant roughly the same total load is
+// offered but its composition rotates once per day — a regime where a good
+// policy reconfigures O(colors) times per day.
+func Diurnal(cfg DiurnalConfig) (*model.Sequence, error) {
+	if cfg.Delta <= 0 || cfg.Colors <= 0 || cfg.Period <= 0 || cfg.Days <= 0 || cfg.Delay <= 0 {
+		return nil, fmt.Errorf("workload: invalid diurnal config %+v", cfg)
+	}
+	if cfg.PeakLoad < 0 || cfg.TroughFrac < 0 || cfg.TroughFrac > 1 {
+		return nil, fmt.Errorf("workload: invalid diurnal load (peak %v, trough fraction %v)", cfg.PeakLoad, cfg.TroughFrac)
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	b := model.NewBuilder(cfg.Delta)
+	total := cfg.Period * int64(cfg.Days)
+	for c := 0; c < cfg.Colors; c++ {
+		phase := 2 * math.Pi * float64(c) / float64(cfg.Colors)
+		for r := int64(0); r < total; r += cfg.Delay {
+			t := 2*math.Pi*float64(r%cfg.Period)/float64(cfg.Period) - phase
+			// Sinusoid in [TroughFrac, 1] scaled by PeakLoad.
+			level := cfg.TroughFrac + (1-cfg.TroughFrac)*(0.5+0.5*math.Cos(t))
+			mean := cfg.PeakLoad * level * float64(cfg.Delay)
+			if n := samplePoissonish(rng, mean); n > 0 {
+				b.Add(r, model.Color(c), cfg.Delay, n)
+			}
+		}
+	}
+	return b.Build()
+}

@@ -1,0 +1,87 @@
+package workload
+
+import (
+	"testing"
+
+	"rrsched/internal/model"
+)
+
+func TestDiurnalStructure(t *testing.T) {
+	seq, err := Diurnal(DiurnalConfig{
+		Seed: 1, Delta: 4, Colors: 6, Period: 256, Days: 2,
+		Delay: 4, PeakLoad: 1.0, TroughFrac: 0.1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := seq.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if !seq.IsBatched() {
+		t.Error("diurnal workload not batched")
+	}
+	if len(seq.Colors()) != 6 {
+		t.Errorf("colors = %d", len(seq.Colors()))
+	}
+	if seq.NumRounds() > 512 {
+		t.Errorf("rounds = %d", seq.NumRounds())
+	}
+}
+
+func TestDiurnalPhasesRotate(t *testing.T) {
+	// Color 0 peaks at phase 0 (start of day), color c at phase c/colors.
+	// Check that color 0's arrivals are denser near the start of the day
+	// than half a period later, and that an opposite-phase color inverts.
+	seq, err := Diurnal(DiurnalConfig{
+		Seed: 2, Delta: 4, Colors: 2, Period: 512, Days: 4,
+		Delay: 2, PeakLoad: 2.0, TroughFrac: 0.0,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	countIn := func(c model.Color, lo, hi int64) int {
+		n := 0
+		for r := lo; r < hi; r++ {
+			for _, j := range seq.Request(r) {
+				if j.Color == c {
+					n++
+				}
+			}
+		}
+		return n
+	}
+	// Day 1 window near phase 0 vs phase π for color 0.
+	peak0 := countIn(0, 0, 128) + countIn(0, 512, 640)
+	trough0 := countIn(0, 192, 320) + countIn(0, 704, 832)
+	if peak0 <= trough0 {
+		t.Errorf("color 0: peak %d <= trough %d", peak0, trough0)
+	}
+	// Color 1 is phase-shifted by π: inverted.
+	peak1 := countIn(1, 192, 320) + countIn(1, 704, 832)
+	trough1 := countIn(1, 0, 128) + countIn(1, 512, 640)
+	if peak1 <= trough1 {
+		t.Errorf("color 1: peak %d <= trough %d", peak1, trough1)
+	}
+}
+
+func TestDiurnalValidation(t *testing.T) {
+	bad := []DiurnalConfig{
+		{},
+		{Delta: 1, Colors: 1, Period: 8, Days: 1, Delay: 2, TroughFrac: 2},
+		{Delta: 1, Colors: 1, Period: 8, Days: 1, Delay: 2, PeakLoad: -1},
+	}
+	for i, cfg := range bad {
+		if _, err := Diurnal(cfg); err == nil {
+			t.Errorf("config %d accepted", i)
+		}
+	}
+}
+
+func TestDiurnalDeterministic(t *testing.T) {
+	cfg := DiurnalConfig{Seed: 9, Delta: 2, Colors: 3, Period: 64, Days: 1, Delay: 2, PeakLoad: 0.5, TroughFrac: 0.2}
+	a, _ := Diurnal(cfg)
+	b, _ := Diurnal(cfg)
+	if a.NumJobs() != b.NumJobs() {
+		t.Fatal("same seed differs")
+	}
+}

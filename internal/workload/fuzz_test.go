@@ -1,0 +1,51 @@
+package workload
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// FuzzReadTrace hardens the trace parser: arbitrary bytes must either fail
+// cleanly or produce a sequence that validates and round-trips.
+func FuzzReadTrace(f *testing.F) {
+	seed, err := RandomBatched(RandomConfig{
+		Seed: 1, Delta: 2, Colors: 3, Rounds: 16,
+		MinDelayExp: 1, MaxDelayExp: 2, Load: 0.8, RateLimited: true,
+	})
+	if err != nil {
+		f.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WriteTrace(&buf, seed); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(buf.String())
+	f.Add(`{"delta":1,"colors":[{"id":0,"delay":2}],"requests":[{"round":0,"jobs":[{"color":0,"count":1}]}]}`)
+	f.Add(`{"delta":-1}`)
+	f.Add(`garbage`)
+	f.Add(`{"delta":1,"colors":[{"id":0,"delay":2}],"requests":[{"round":-3,"jobs":[{"color":0,"count":1}]}]}`)
+	f.Add(`{"delta":1,"colors":[{"id":0,"delay":2}],"requests":[{"round":0,"jobs":[{"color":0,"count":-5}]}]}`)
+
+	f.Fuzz(func(t *testing.T, data string) {
+		seq, err := ReadTrace(strings.NewReader(data))
+		if err != nil {
+			return // clean rejection
+		}
+		if verr := seq.Validate(); verr != nil {
+			t.Fatalf("parser accepted an invalid sequence: %v\ninput: %q", verr, data)
+		}
+		// Round trip must be stable for accepted inputs.
+		var out bytes.Buffer
+		if err := WriteTrace(&out, seq); err != nil {
+			t.Fatalf("re-encode failed: %v", err)
+		}
+		back, err := ReadTrace(&out)
+		if err != nil {
+			t.Fatalf("re-decode failed: %v", err)
+		}
+		if back.NumJobs() != seq.NumJobs() {
+			t.Fatalf("round trip changed job count: %d -> %d", seq.NumJobs(), back.NumJobs())
+		}
+	})
+}

@@ -1,0 +1,84 @@
+package workload
+
+import (
+	"testing"
+
+	"rrsched/internal/model"
+)
+
+func TestMMPPStructure(t *testing.T) {
+	seq, err := MMPP(MMPPConfig{
+		Seed: 1, Delta: 4, Colors: 6, Rounds: 512,
+		MinDelayExp: 1, MaxDelayExp: 3,
+		OnLoad: 1.0, OffLoad: 0.05, MeanOn: 32, MeanOff: 64,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := seq.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if !seq.IsBatched() || !seq.PowerOfTwoDelays() {
+		t.Error("MMPP output not batched / pow2")
+	}
+	if seq.NumJobs() == 0 {
+		t.Error("empty workload")
+	}
+}
+
+func TestMMPPBurstiness(t *testing.T) {
+	// With long sojourns and a large ON/OFF contrast, per-batch counts
+	// should be strongly bimodal: the variance of batch sizes must exceed
+	// what a constant-rate process with the same mean would give.
+	seq, err := MMPP(MMPPConfig{
+		Seed: 3, Delta: 2, Colors: 1, Rounds: 4096,
+		MinDelayExp: 2, MaxDelayExp: 2,
+		OnLoad: 2.0, OffLoad: 0.0, MeanOn: 64, MeanOff: 64,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sizes []float64
+	for r := int64(0); r < seq.NumRounds(); r += 4 {
+		sizes = append(sizes, float64(len(seq.Request(r))))
+	}
+	mean, varSum := 0.0, 0.0
+	for _, s := range sizes {
+		mean += s
+	}
+	mean /= float64(len(sizes))
+	for _, s := range sizes {
+		varSum += (s - mean) * (s - mean)
+	}
+	variance := varSum / float64(len(sizes))
+	// A Poisson-like process has variance ≈ mean; the MMPP with OFF=0 and
+	// half the time off must be far more dispersed.
+	if variance < 2*mean {
+		t.Errorf("variance %v not > 2x mean %v: burst structure missing", variance, mean)
+	}
+}
+
+func TestMMPPValidation(t *testing.T) {
+	bad := []MMPPConfig{
+		{},
+		{Delta: 1, Colors: 1, Rounds: 8, OnLoad: 0.1, OffLoad: 0.5, MeanOn: 2, MeanOff: 2}, // Off > On
+		{Delta: 1, Colors: 1, Rounds: 8, OnLoad: 1, OffLoad: 0, MeanOn: 0.5, MeanOff: 2},   // sojourn < 1
+		{Delta: 1, Colors: 1, Rounds: 8, MinDelayExp: 3, MaxDelayExp: 1, OnLoad: 1, MeanOn: 2, MeanOff: 2},
+	}
+	for i, cfg := range bad {
+		if _, err := MMPP(cfg); err == nil {
+			t.Errorf("config %d accepted", i)
+		}
+	}
+}
+
+func TestMMPPDeterministic(t *testing.T) {
+	cfg := MMPPConfig{Seed: 7, Delta: 2, Colors: 3, Rounds: 128,
+		MinDelayExp: 1, MaxDelayExp: 2, OnLoad: 0.8, OffLoad: 0.1, MeanOn: 16, MeanOff: 16}
+	a, _ := MMPP(cfg)
+	b, _ := MMPP(cfg)
+	if a.NumJobs() != b.NumJobs() {
+		t.Fatal("same seed differs")
+	}
+	var _ *model.Sequence = a
+}

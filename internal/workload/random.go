@@ -1,0 +1,167 @@
+package workload
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"rrsched/internal/model"
+)
+
+// RandomConfig parameterizes the randomized generators. All generators are
+// deterministic given Seed.
+type RandomConfig struct {
+	Seed   int64
+	Delta  int64
+	Colors int
+	// Rounds is the number of arrival rounds to generate.
+	Rounds int64
+	// MinDelayExp/MaxDelayExp bound the per-color delay bounds to
+	// 2^MinDelayExp .. 2^MaxDelayExp (inclusive), chosen uniformly per color.
+	MinDelayExp uint
+	MaxDelayExp uint
+	// Load is the expected number of jobs per color per delay-bound period,
+	// as a fraction of the delay bound (1.0 means a color fully loads one
+	// resource on average).
+	Load float64
+	// ZipfS, if > 1, skews per-color load by a Zipf distribution with
+	// parameter ZipfS (color popularity ranks follow the color order).
+	ZipfS float64
+	// RateLimited caps each batch at D_ℓ jobs.
+	RateLimited bool
+	// PowerOfTwoOnly forces power-of-two delay bounds (always true when both
+	// exponent bounds are used); setting MinDelayExp == MaxDelayExp gives
+	// uniform delay bounds.
+	_ struct{}
+}
+
+func (c RandomConfig) validate() error {
+	if c.Delta <= 0 {
+		return fmt.Errorf("workload: non-positive Delta %d", c.Delta)
+	}
+	if c.Colors <= 0 {
+		return fmt.Errorf("workload: need at least one color")
+	}
+	if c.Rounds <= 0 {
+		return fmt.Errorf("workload: need at least one round")
+	}
+	if c.MinDelayExp > c.MaxDelayExp {
+		return fmt.Errorf("workload: MinDelayExp > MaxDelayExp")
+	}
+	if c.Load < 0 {
+		return fmt.Errorf("workload: negative load")
+	}
+	return nil
+}
+
+// colorDelays samples per-color power-of-two delay bounds.
+func colorDelays(rng *rand.Rand, cfg RandomConfig) []int64 {
+	delays := make([]int64, cfg.Colors)
+	for i := range delays {
+		exp := cfg.MinDelayExp
+		if cfg.MaxDelayExp > cfg.MinDelayExp {
+			exp += uint(rng.Intn(int(cfg.MaxDelayExp-cfg.MinDelayExp) + 1))
+		}
+		delays[i] = int64(1) << exp
+	}
+	return delays
+}
+
+// colorWeights returns per-color load multipliers (Zipf-skewed if requested),
+// normalized to mean 1.
+func colorWeights(cfg RandomConfig) []float64 {
+	w := make([]float64, cfg.Colors)
+	if cfg.ZipfS <= 1 {
+		for i := range w {
+			w[i] = 1
+		}
+		return w
+	}
+	sum := 0.0
+	for i := range w {
+		w[i] = 1 / math.Pow(float64(i+1), cfg.ZipfS)
+		sum += w[i]
+	}
+	for i := range w {
+		w[i] *= float64(cfg.Colors) / sum
+	}
+	return w
+}
+
+// RandomBatched generates a batched instance [Δ | 1 | D_ℓ | D_ℓ]: jobs of
+// color ℓ arrive only at multiples of D_ℓ, in batches whose expected size is
+// Load · weight_ℓ · D_ℓ (Poisson-like via a geometric mixture). With
+// cfg.RateLimited the batch size is capped at D_ℓ, producing a rate-limited
+// instance.
+func RandomBatched(cfg RandomConfig) (*model.Sequence, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	delays := colorDelays(rng, cfg)
+	weights := colorWeights(cfg)
+	b := model.NewBuilder(cfg.Delta)
+	for c := 0; c < cfg.Colors; c++ {
+		d := delays[c]
+		mean := cfg.Load * weights[c] * float64(d)
+		for r := int64(0); r < cfg.Rounds; r += d {
+			n := samplePoissonish(rng, mean)
+			if cfg.RateLimited && int64(n) > d {
+				n = int(d)
+			}
+			if n > 0 {
+				b.Add(r, model.Color(c), d, n)
+			}
+		}
+	}
+	return b.Build()
+}
+
+// RandomGeneral generates a general instance [Δ | 1 | D_ℓ | 1]: jobs of
+// color ℓ arrive at arbitrary rounds with per-round intensity
+// Load · weight_ℓ (so a color's expected load per delay period matches
+// RandomBatched).
+func RandomGeneral(cfg RandomConfig) (*model.Sequence, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	delays := colorDelays(rng, cfg)
+	weights := colorWeights(cfg)
+	b := model.NewBuilder(cfg.Delta)
+	for c := 0; c < cfg.Colors; c++ {
+		mean := cfg.Load * weights[c]
+		for r := int64(0); r < cfg.Rounds; r++ {
+			if n := samplePoissonish(rng, mean); n > 0 {
+				b.Add(r, model.Color(c), delays[c], n)
+			}
+		}
+	}
+	return b.Build()
+}
+
+// samplePoissonish samples a nonnegative integer with the given mean using
+// a simple inversion-free scheme: the integer part is deterministic and the
+// fractional part is a Bernoulli trial, then a geometric jitter spreads
+// bursts. It avoids math.Exp while keeping the mean exact.
+func samplePoissonish(rng *rand.Rand, mean float64) int {
+	if mean <= 0 {
+		return 0
+	}
+	base := int(mean)
+	frac := mean - float64(base)
+	n := base
+	if rng.Float64() < frac {
+		n++
+	}
+	// Burst jitter: move mass between adjacent rounds without changing the
+	// long-run mean: with probability 1/4 double this sample, with
+	// probability 1/4 zero it.
+	switch rng.Intn(4) {
+	case 0:
+		n *= 2
+	case 1:
+		n = 0
+	}
+	return n
+}

@@ -1,0 +1,112 @@
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+
+	"rrsched/internal/model"
+)
+
+// BackgroundConfig parameterizes the introduction's motivating scenario:
+// "background" colors with deadlines far in the future compete with
+// intermittently arriving "short-term" colors for the same resources.
+type BackgroundConfig struct {
+	Seed  int64
+	Delta int64
+	// ShortColors short-term colors with delay bound ShortDelay.
+	ShortColors int
+	ShortDelay  int64
+	// BackgroundColors background colors with delay bound BackgroundDelay.
+	BackgroundColors int
+	BackgroundDelay  int64
+	// Rounds is the length of the arrival window.
+	Rounds int64
+	// BurstProb is the probability that a short-term color bursts in a given
+	// period; a burst delivers ShortDelay jobs (full load).
+	BurstProb float64
+	// BackgroundJobs is the number of background jobs per background color,
+	// all arriving at round 0.
+	BackgroundJobs int
+}
+
+// BackgroundShortTerm generates the intro scenario: background jobs arrive
+// up front with a long delay bound; short-term jobs arrive in intermittent
+// bursts. Pure LRU-style policies underutilize idle cycles (dropping
+// background work); pure EDF-style policies thrash reconfiguring background
+// colors in and out between bursts.
+func BackgroundShortTerm(cfg BackgroundConfig) (*model.Sequence, error) {
+	if cfg.Delta <= 0 || cfg.Rounds <= 0 || cfg.ShortDelay <= 0 || cfg.BackgroundDelay <= 0 {
+		return nil, fmt.Errorf("workload: invalid background scenario config %+v", cfg)
+	}
+	if cfg.BackgroundDelay <= cfg.ShortDelay {
+		return nil, fmt.Errorf("workload: background delay (%d) must exceed short delay (%d)", cfg.BackgroundDelay, cfg.ShortDelay)
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	b := model.NewBuilder(cfg.Delta)
+	// Background colors first (ids 0..BackgroundColors-1).
+	for c := 0; c < cfg.BackgroundColors; c++ {
+		for r := int64(0); r < cfg.Rounds; r += cfg.BackgroundDelay {
+			b.Add(r, model.Color(c), cfg.BackgroundDelay, cfg.BackgroundJobs)
+		}
+	}
+	// Short-term colors burst intermittently at multiples of ShortDelay.
+	for c := 0; c < cfg.ShortColors; c++ {
+		col := model.Color(cfg.BackgroundColors + c)
+		for r := int64(0); r < cfg.Rounds; r += cfg.ShortDelay {
+			if rng.Float64() < cfg.BurstProb {
+				b.Add(r, col, cfg.ShortDelay, int(cfg.ShortDelay))
+			}
+		}
+	}
+	return b.Build()
+}
+
+// PhaseShiftConfig parameterizes a shared-data-center style workload whose
+// service mix changes across phases (the paper's data-center motivation:
+// processor allocations must track workload composition).
+type PhaseShiftConfig struct {
+	Seed   int64
+	Delta  int64
+	Colors int
+	// PhaseLen is the length of each phase in rounds.
+	PhaseLen int64
+	// Phases is the number of phases.
+	Phases int
+	// ActivePerPhase is how many colors are hot in each phase.
+	ActivePerPhase int
+	// Delay is the common power-of-two delay bound of all colors.
+	Delay int64
+	// Load is the per-hot-color load fraction (jobs per round per color).
+	Load float64
+}
+
+// PhaseShift generates a workload where each phase activates a different
+// subset of colors at high load while the rest stay silent. Good policies
+// reconfigure once per phase; thrashing policies reconfigure within phases.
+func PhaseShift(cfg PhaseShiftConfig) (*model.Sequence, error) {
+	if cfg.Delta <= 0 || cfg.Colors <= 0 || cfg.PhaseLen <= 0 || cfg.Phases <= 0 || cfg.Delay <= 0 {
+		return nil, fmt.Errorf("workload: invalid phase shift config %+v", cfg)
+	}
+	if cfg.ActivePerPhase <= 0 || cfg.ActivePerPhase > cfg.Colors {
+		return nil, fmt.Errorf("workload: ActivePerPhase %d out of range (1..%d)", cfg.ActivePerPhase, cfg.Colors)
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	b := model.NewBuilder(cfg.Delta)
+	for ph := 0; ph < cfg.Phases; ph++ {
+		perm := rng.Perm(cfg.Colors)
+		active := perm[:cfg.ActivePerPhase]
+		start := int64(ph) * cfg.PhaseLen
+		for r := start; r < start+cfg.PhaseLen; r++ {
+			if r%cfg.Delay != 0 {
+				continue
+			}
+			for _, c := range active {
+				n := samplePoissonish(rng, cfg.Load*float64(cfg.Delay))
+				if n > 0 {
+					b.Add(r, model.Color(c), cfg.Delay, n)
+				}
+			}
+		}
+	}
+	return b.Build()
+}

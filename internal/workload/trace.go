@@ -1,0 +1,111 @@
+package workload
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+
+	"rrsched/internal/model"
+)
+
+// Trace is the JSON on-disk representation of an instance, used by the CLI
+// tools to save and reload workloads.
+type Trace struct {
+	Delta    int64          `json:"delta"`
+	Colors   []TraceColor   `json:"colors"`
+	Requests []TraceRequest `json:"requests"`
+}
+
+// TraceColor declares a color and its delay bound.
+type TraceColor struct {
+	ID    int32 `json:"id"`
+	Delay int64 `json:"delay"`
+}
+
+// TraceRequest is one round's arrivals, as (color, count) pairs.
+type TraceRequest struct {
+	Round int64       `json:"round"`
+	Jobs  []TraceJobs `json:"jobs"`
+}
+
+// TraceJobs is a batch of identical jobs.
+type TraceJobs struct {
+	Color int32 `json:"color"`
+	Count int   `json:"count"`
+}
+
+// ToTrace converts a sequence to its trace representation.
+func ToTrace(seq *model.Sequence) *Trace {
+	t := &Trace{Delta: seq.Delta()}
+	for _, c := range seq.Colors() {
+		d, _ := seq.DelayBound(c)
+		t.Colors = append(t.Colors, TraceColor{ID: int32(c), Delay: d})
+	}
+	for r := int64(0); r < seq.NumRounds(); r++ {
+		req := seq.Request(r)
+		if len(req) == 0 {
+			continue
+		}
+		counts := map[model.Color]int{}
+		order := []model.Color{}
+		for _, j := range req {
+			if counts[j.Color] == 0 {
+				order = append(order, j.Color)
+			}
+			counts[j.Color]++
+		}
+		// Canonical color order within a round: ascending. A sequence in
+		// canonical form (model.Sequence.Canonical) survives the round trip
+		// with identical job IDs, keeping saved schedules replayable.
+		sort.Slice(order, func(i, j int) bool { return order[i] < order[j] })
+		tr := TraceRequest{Round: r}
+		for _, c := range order {
+			tr.Jobs = append(tr.Jobs, TraceJobs{Color: int32(c), Count: counts[c]})
+		}
+		t.Requests = append(t.Requests, tr)
+	}
+	return t
+}
+
+// ToSequence converts a trace back into a validated sequence.
+func (t *Trace) ToSequence() (*model.Sequence, error) {
+	delays := map[model.Color]int64{}
+	for _, c := range t.Colors {
+		if c.Delay <= 0 {
+			return nil, fmt.Errorf("workload: trace color %d has non-positive delay %d", c.ID, c.Delay)
+		}
+		delays[model.Color(c.ID)] = c.Delay
+	}
+	b := model.NewBuilder(t.Delta)
+	for _, req := range t.Requests {
+		for _, jb := range req.Jobs {
+			d, ok := delays[model.Color(jb.Color)]
+			if !ok {
+				return nil, fmt.Errorf("workload: trace request in round %d references undeclared color %d", req.Round, jb.Color)
+			}
+			b.Add(req.Round, model.Color(jb.Color), d, jb.Count)
+		}
+	}
+	seq, err := b.Build()
+	if err != nil {
+		return nil, err
+	}
+	return seq, seq.Validate()
+}
+
+// WriteTrace serializes a sequence as indented JSON.
+func WriteTrace(w io.Writer, seq *model.Sequence) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(ToTrace(seq))
+}
+
+// ReadTrace parses a JSON trace into a sequence.
+func ReadTrace(r io.Reader) (*model.Sequence, error) {
+	var t Trace
+	if err := json.NewDecoder(r).Decode(&t); err != nil {
+		return nil, fmt.Errorf("workload: decoding trace: %w", err)
+	}
+	return t.ToSequence()
+}

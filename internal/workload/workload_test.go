@@ -1,0 +1,357 @@
+package workload
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"rrsched/internal/model"
+)
+
+func TestDeltaLRUAdversaryStructure(t *testing.T) {
+	n, delta := 8, int64(4)
+	j, k := uint(6), uint(9)
+	seq, err := DeltaLRUAdversary(n, delta, j, k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := seq.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if !seq.IsBatched() {
+		t.Error("adversary instance not batched")
+	}
+	// n/2 short colors + 1 long color.
+	if got := len(seq.Colors()); got != n/2+1 {
+		t.Errorf("colors = %d", got)
+	}
+	long := model.Color(n / 2)
+	if d, _ := seq.DelayBound(long); d != 1<<k {
+		t.Errorf("long delay = %d", d)
+	}
+	if got := seq.JobsOfColor(long); got != 1<<k {
+		t.Errorf("long jobs = %d, want 2^k", got)
+	}
+	// Short colors: Δ jobs per multiple of 2^j over 2^k rounds.
+	if got := seq.JobsOfColor(0); int64(got) != delta*(1<<(k-j)) {
+		t.Errorf("short jobs = %d", got)
+	}
+}
+
+func TestDeltaLRUAdversaryRejectsBadParams(t *testing.T) {
+	if _, err := DeltaLRUAdversary(7, 4, 6, 9); err == nil {
+		t.Error("odd n accepted")
+	}
+	if _, err := DeltaLRUAdversary(8, 4, 2, 9); err == nil {
+		t.Error("2^(j+1) <= nΔ accepted")
+	}
+	if _, err := DeltaLRUAdversary(8, 4, 6, 7); err == nil {
+		t.Error("2^k <= 2^(j+1) accepted")
+	}
+}
+
+func TestEDFAdversaryStructure(t *testing.T) {
+	n, delta := 4, int64(8)
+	j, k := uint(4), uint(7)
+	seq, err := EDFAdversary(n, delta, j, k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := seq.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if !seq.IsBatched() {
+		t.Error("adversary instance not batched")
+	}
+	// 1 short color + n/2 long colors.
+	if got := len(seq.Colors()); got != n/2+1 {
+		t.Errorf("colors = %d", got)
+	}
+	// Long color p has 2^(k+p-1) jobs and delay 2^(k+p).
+	for p := 0; p < n/2; p++ {
+		c := model.Color(1 + p)
+		if d, _ := seq.DelayBound(c); d != 1<<(k+uint(p)) {
+			t.Errorf("long color %d delay = %d", p, d)
+		}
+		if got := seq.JobsOfColor(c); got != 1<<(k+uint(p)-1) {
+			t.Errorf("long color %d jobs = %d", p, got)
+		}
+	}
+}
+
+func TestEDFAdversaryRejectsBadParams(t *testing.T) {
+	if _, err := EDFAdversary(4, 8, 2, 7); err == nil {
+		t.Error("2^j <= Δ accepted")
+	}
+	if _, err := EDFAdversary(4, 2, 4, 7); err == nil {
+		t.Error("Δ <= n accepted")
+	}
+}
+
+func TestRandomBatchedProperties(t *testing.T) {
+	f := func(seedRaw uint8, rateLimited bool) bool {
+		seq, err := RandomBatched(RandomConfig{
+			Seed: int64(seedRaw), Delta: 4, Colors: 6, Rounds: 64,
+			MinDelayExp: 1, MaxDelayExp: 3, Load: 1.5, RateLimited: rateLimited,
+		})
+		if err != nil {
+			return false
+		}
+		if seq.Validate() != nil || !seq.IsBatched() || !seq.PowerOfTwoDelays() {
+			return false
+		}
+		if rateLimited && !seq.IsRateLimited() {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRandomGeneralValidates(t *testing.T) {
+	seq, err := RandomGeneral(RandomConfig{
+		Seed: 1, Delta: 4, Colors: 6, Rounds: 64,
+		MinDelayExp: 1, MaxDelayExp: 3, Load: 0.5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := seq.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRandomDeterministicBySeed(t *testing.T) {
+	cfg := RandomConfig{Seed: 7, Delta: 4, Colors: 5, Rounds: 64,
+		MinDelayExp: 1, MaxDelayExp: 3, Load: 0.7}
+	a, _ := RandomGeneral(cfg)
+	b, _ := RandomGeneral(cfg)
+	if a.NumJobs() != b.NumJobs() {
+		t.Fatal("same seed, different instance")
+	}
+	cfg.Seed = 8
+	c, _ := RandomGeneral(cfg)
+	if a.NumJobs() == c.NumJobs() && a.NumRounds() == c.NumRounds() {
+		ja, jc := a.Jobs(), c.Jobs()
+		same := len(ja) == len(jc)
+		for i := 0; same && i < len(ja); i++ {
+			same = ja[i] == jc[i]
+		}
+		if same {
+			t.Fatal("different seeds produced identical instances")
+		}
+	}
+}
+
+func TestRandomConfigValidation(t *testing.T) {
+	bad := []RandomConfig{
+		{Delta: 0, Colors: 1, Rounds: 1},
+		{Delta: 1, Colors: 0, Rounds: 1},
+		{Delta: 1, Colors: 1, Rounds: 0},
+		{Delta: 1, Colors: 1, Rounds: 1, MinDelayExp: 3, MaxDelayExp: 1},
+		{Delta: 1, Colors: 1, Rounds: 1, Load: -1},
+	}
+	for i, cfg := range bad {
+		if _, err := RandomBatched(cfg); err == nil {
+			t.Errorf("config %d accepted: %+v", i, cfg)
+		}
+		if _, err := RandomGeneral(cfg); err == nil {
+			t.Errorf("config %d accepted by RandomGeneral: %+v", i, cfg)
+		}
+	}
+}
+
+func TestZipfWeightsSkew(t *testing.T) {
+	w := colorWeights(RandomConfig{Colors: 10, ZipfS: 1.8})
+	if w[0] <= w[9] {
+		t.Errorf("zipf weights not decreasing: %v", w)
+	}
+	flat := colorWeights(RandomConfig{Colors: 10})
+	for _, v := range flat {
+		if v != 1 {
+			t.Errorf("flat weights = %v", flat)
+		}
+	}
+}
+
+func TestBackgroundShortTermStructure(t *testing.T) {
+	seq, err := BackgroundShortTerm(BackgroundConfig{
+		Seed: 1, Delta: 8, ShortColors: 4, ShortDelay: 8,
+		BackgroundColors: 2, BackgroundDelay: 256,
+		Rounds: 512, BurstProb: 0.5, BackgroundJobs: 100,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := seq.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if !seq.IsBatched() {
+		t.Error("scenario not batched")
+	}
+	// Background colors are 0..1 with delay 256.
+	if d, _ := seq.DelayBound(0); d != 256 {
+		t.Errorf("background delay = %d", d)
+	}
+	if d, _ := seq.DelayBound(2); d != 8 {
+		t.Errorf("short delay = %d", d)
+	}
+}
+
+func TestBackgroundConfigValidation(t *testing.T) {
+	_, err := BackgroundShortTerm(BackgroundConfig{
+		Seed: 1, Delta: 8, ShortColors: 1, ShortDelay: 8,
+		BackgroundColors: 1, BackgroundDelay: 4, // <= short delay
+		Rounds: 64, BurstProb: 0.5, BackgroundJobs: 1,
+	})
+	if err == nil || !strings.Contains(err.Error(), "must exceed") {
+		t.Errorf("err = %v", err)
+	}
+}
+
+func TestPhaseShiftStructure(t *testing.T) {
+	seq, err := PhaseShift(PhaseShiftConfig{
+		Seed: 1, Delta: 4, Colors: 9, PhaseLen: 32, Phases: 3,
+		ActivePerPhase: 3, Delay: 4, Load: 1.0,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := seq.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if seq.NumRounds() > 3*32 {
+		t.Errorf("rounds = %d", seq.NumRounds())
+	}
+}
+
+func TestPhaseShiftValidation(t *testing.T) {
+	if _, err := PhaseShift(PhaseShiftConfig{Delta: 1, Colors: 3, PhaseLen: 8, Phases: 1, ActivePerPhase: 9, Delay: 2}); err == nil {
+		t.Error("ActivePerPhase > Colors accepted")
+	}
+	if _, err := PhaseShift(PhaseShiftConfig{}); err == nil {
+		t.Error("zero config accepted")
+	}
+}
+
+func TestTraceRoundTrip(t *testing.T) {
+	orig, err := RandomGeneral(RandomConfig{
+		Seed: 5, Delta: 3, Colors: 4, Rounds: 32,
+		MinDelayExp: 1, MaxDelayExp: 3, Load: 0.8,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WriteTrace(&buf, orig); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadTrace(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.NumJobs() != orig.NumJobs() || back.Delta() != orig.Delta() {
+		t.Fatalf("roundtrip changed instance: %d/%d jobs", back.NumJobs(), orig.NumJobs())
+	}
+	for r := int64(0); r < orig.NumRounds(); r++ {
+		if len(back.Request(r)) != len(orig.Request(r)) {
+			t.Fatalf("round %d: %d != %d jobs", r, len(back.Request(r)), len(orig.Request(r)))
+		}
+	}
+}
+
+func TestTraceRoundTripProperty(t *testing.T) {
+	f := func(seedRaw uint8) bool {
+		orig, err := RandomBatched(RandomConfig{
+			Seed: int64(seedRaw), Delta: 2, Colors: 3, Rounds: 32,
+			MinDelayExp: 1, MaxDelayExp: 2, Load: 0.8, RateLimited: true,
+		})
+		if err != nil {
+			return false
+		}
+		var buf bytes.Buffer
+		if WriteTrace(&buf, orig) != nil {
+			return false
+		}
+		back, err := ReadTrace(&buf)
+		if err != nil {
+			return false
+		}
+		if back.NumJobs() != orig.NumJobs() {
+			return false
+		}
+		// Per-color delay bounds and counts survive.
+		for _, c := range orig.Colors() {
+			do, _ := orig.DelayBound(c)
+			db, ok := back.DelayBound(c)
+			if !ok || do != db || orig.JobsOfColor(c) != back.JobsOfColor(c) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTraceDecodeErrors(t *testing.T) {
+	cases := []string{
+		`not json`,
+		`{"delta":1,"colors":[{"id":0,"delay":0}],"requests":[]}`,
+		`{"delta":1,"colors":[],"requests":[{"round":0,"jobs":[{"color":7,"count":1}]}]}`,
+	}
+	for i, c := range cases {
+		if _, err := ReadTrace(strings.NewReader(c)); err == nil {
+			t.Errorf("case %d decoded", i)
+		}
+	}
+}
+
+func TestSamplePoissonishMeanRoughlyPreserved(t *testing.T) {
+	rngSeq, err := RandomBatched(RandomConfig{
+		Seed: 9, Delta: 2, Colors: 1, Rounds: 4096,
+		MinDelayExp: 1, MaxDelayExp: 1, Load: 0.5, RateLimited: false,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Expected jobs: load(0.5) * D(2) per batch * 2048 batches = 2048.
+	got := float64(rngSeq.NumJobs())
+	if got < 1500 || got > 2600 {
+		t.Errorf("generated %v jobs, want ~2048", got)
+	}
+}
+
+// TestTracePreservesCanonicalJobIDs: a canonical sequence survives the trace
+// round trip with identical job IDs, so saved schedules stay replayable.
+func TestTracePreservesCanonicalJobIDs(t *testing.T) {
+	orig, err := RandomGeneral(RandomConfig{
+		Seed: 13, Delta: 3, Colors: 5, Rounds: 48,
+		MinDelayExp: 1, MaxDelayExp: 3, Load: 0.8,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	canon := orig.Canonical()
+	var buf bytes.Buffer
+	if err := WriteTrace(&buf, canon); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadTrace(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ja, jb := canon.Jobs(), back.Jobs()
+	if len(ja) != len(jb) {
+		t.Fatalf("job counts differ: %d vs %d", len(ja), len(jb))
+	}
+	for i := range ja {
+		if ja[i] != jb[i] {
+			t.Fatalf("job %d differs: %+v vs %+v", i, ja[i], jb[i])
+		}
+	}
+}

@@ -1,0 +1,115 @@
+package rrsched_test
+
+import (
+	"testing"
+
+	"rrsched"
+	"rrsched/internal/workload"
+)
+
+func buildGeneral(t *testing.T, seed int64) *rrsched.Sequence {
+	t.Helper()
+	seq, err := workload.RandomGeneral(workload.RandomConfig{
+		Seed: seed, Delta: 3, Colors: 5, Rounds: 96,
+		MinDelayExp: 1, MaxDelayExp: 3, Load: 0.5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return seq
+}
+
+func TestScheduleEndToEnd(t *testing.T) {
+	seq := buildGeneral(t, 1)
+	res, err := rrsched.Schedule(seq, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Algorithm != "varbatch(dlru-edf)" {
+		t.Errorf("algorithm = %q", res.Algorithm)
+	}
+	cost, err := rrsched.Audit(seq, res.Schedule)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cost != res.Cost {
+		t.Errorf("audit %v != reported %v", cost, res.Cost)
+	}
+}
+
+func TestScheduleBatched(t *testing.T) {
+	seq := rrsched.NewBuilder(2).
+		Add(0, 0, 4, 6).
+		Add(4, 1, 4, 6).
+		MustBuild()
+	res, err := rrsched.ScheduleBatched(seq, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := rrsched.Audit(seq, res.Schedule); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestScheduleBatchedRejectsGeneral(t *testing.T) {
+	seq := rrsched.NewBuilder(2).Add(1, 0, 4, 1).MustBuild()
+	if _, err := rrsched.ScheduleBatched(seq, 8); err == nil {
+		t.Fatal("non-batched input accepted by ScheduleBatched")
+	}
+}
+
+func TestRunPolicyFacade(t *testing.T) {
+	seq := rrsched.NewBuilder(2).Add(0, 0, 4, 8).Add(0, 1, 2, 2).MustBuild()
+	for _, p := range []rrsched.Policy{
+		rrsched.NewDeltaLRUEDF(), rrsched.NewDeltaLRU(), rrsched.NewEDF(),
+	} {
+		res, err := rrsched.RunPolicy(seq, 8, p)
+		if err != nil {
+			t.Fatalf("%s: %v", p.Name(), err)
+		}
+		if res.Cost.Total() < 0 {
+			t.Fatalf("%s: negative cost", p.Name())
+		}
+	}
+}
+
+func TestOfflineFacade(t *testing.T) {
+	seq := rrsched.NewBuilder(2).Add(0, 0, 2, 4).Add(0, 1, 2, 4).MustBuild()
+	lb, ub := rrsched.OfflineBracket(seq, 1)
+	if lb > ub {
+		t.Fatalf("LB %d > UB %d", lb, ub)
+	}
+	opt, err := rrsched.ExactOPT(seq, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lb > opt || opt > ub {
+		t.Fatalf("bracket violated: %d <= %d <= %d", lb, opt, ub)
+	}
+	if got := rrsched.OfflineLowerBound(seq, 1); got != lb {
+		t.Errorf("OfflineLowerBound = %d, bracket LB = %d", got, lb)
+	}
+}
+
+func TestScheduleInvalidResources(t *testing.T) {
+	seq := buildGeneral(t, 2)
+	if _, err := rrsched.Schedule(seq, 0); err == nil {
+		t.Fatal("0 resources accepted")
+	}
+	if _, err := rrsched.Schedule(seq, 3); err == nil {
+		t.Fatal("n not a multiple of replication accepted")
+	}
+}
+
+func TestBlackConstant(t *testing.T) {
+	if rrsched.Black != rrsched.Color(-1) {
+		t.Error("Black changed")
+	}
+}
+
+func TestNegativeResourcesRejected(t *testing.T) {
+	seq := buildGeneral(t, 3)
+	if _, err := rrsched.Schedule(seq, -4); err == nil {
+		t.Error("negative resource count accepted")
+	}
+}
