@@ -27,7 +27,10 @@ func benchExperiment(b *testing.B, id string) {
 	}
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
-		tables := e.Run(experiments.Config{Quick: true})
+		tables, err := e.Run(experiments.Config{Quick: true})
+		if err != nil {
+			b.Fatalf("%s failed: %v", id, err)
+		}
 		if len(tables) == 0 {
 			b.Fatalf("%s produced no tables", id)
 		}
@@ -56,6 +59,7 @@ func BenchmarkE14Transforms(b *testing.B)         { benchExperiment(b, "E14") }
 func BenchmarkE15Adaptive(b *testing.B)           { benchExperiment(b, "E15") }
 func BenchmarkE16Quantiles(b *testing.B)          { benchExperiment(b, "E16") }
 func BenchmarkE17AdversaryMining(b *testing.B)    { benchExperiment(b, "E17") }
+func BenchmarkE18Faults(b *testing.B)             { benchExperiment(b, "E18") }
 
 // BenchmarkEngineDeltaLRUEDF measures raw engine + core-policy throughput in
 // rounds/op at several scales.

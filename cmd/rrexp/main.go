@@ -21,9 +21,23 @@ import (
 )
 
 func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "rrexp:", err)
+		os.Exit(1)
+	}
+}
+
+func run() (err error) {
+	// Experiments return errors rather than panicking, but a defect in an
+	// experiment body must still exit with a diagnostic, not a stack trace.
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("internal panic: %v", r)
+		}
+	}()
 	var (
 		list   = flag.Bool("list", false, "list experiments")
-		run    = flag.String("run", "", "run one experiment by id (e.g. E3)")
+		runID  = flag.String("run", "", "run one experiment by id (e.g. E3)")
 		all    = flag.Bool("all", false, "run every experiment")
 		quick  = flag.Bool("quick", false, "smaller sweeps")
 		csvDir = flag.String("csv", "", "also write tables as CSV files into this directory")
@@ -36,51 +50,54 @@ func main() {
 		for _, e := range experiments.All() {
 			fmt.Printf("%-4s %s\n     claim: %s\n", e.ID, e.Title, e.Claim)
 		}
-	case *run != "":
-		e, ok := experiments.ByID(strings.ToUpper(*run))
+	case *runID != "":
+		e, ok := experiments.ByID(strings.ToUpper(*runID))
 		if !ok {
-			fmt.Fprintf(os.Stderr, "rrexp: unknown experiment %q (try -list)\n", *run)
-			os.Exit(1)
+			return fmt.Errorf("unknown experiment %q (try -list)", *runID)
 		}
-		runOne(e, cfg, *csvDir)
+		return runOne(e, cfg, *csvDir)
 	case *all:
 		for _, e := range experiments.All() {
-			runOne(e, cfg, *csvDir)
+			if err := runOne(e, cfg, *csvDir); err != nil {
+				return err
+			}
 		}
 	default:
 		flag.Usage()
 		os.Exit(2)
 	}
+	return nil
 }
 
-func runOne(e experiments.Experiment, cfg experiments.Config, csvDir string) {
+func runOne(e experiments.Experiment, cfg experiments.Config, csvDir string) error {
 	fmt.Printf("=== %s: %s ===\n", e.ID, e.Title)
 	fmt.Printf("claim: %s\n\n", e.Claim)
-	for i, tb := range e.Run(cfg) {
+	tables, err := e.Run(cfg)
+	if err != nil {
+		return fmt.Errorf("%s: %w", e.ID, err)
+	}
+	for i, tb := range tables {
 		if err := tb.Render(os.Stdout); err != nil {
-			fmt.Fprintln(os.Stderr, "rrexp:", err)
-			os.Exit(1)
+			return err
 		}
 		fmt.Println()
 		if csvDir != "" {
 			if err := os.MkdirAll(csvDir, 0o755); err != nil {
-				fmt.Fprintln(os.Stderr, "rrexp:", err)
-				os.Exit(1)
+				return err
 			}
 			name := fmt.Sprintf("%s_%d.csv", strings.ToLower(e.ID), i)
 			f, err := os.Create(filepath.Join(csvDir, name))
 			if err != nil {
-				fmt.Fprintln(os.Stderr, "rrexp:", err)
-				os.Exit(1)
+				return err
 			}
 			if err := tb.RenderCSV(f); err != nil {
-				fmt.Fprintln(os.Stderr, "rrexp:", err)
-				os.Exit(1)
+				f.Close()
+				return err
 			}
 			if err := f.Close(); err != nil {
-				fmt.Fprintln(os.Stderr, "rrexp:", err)
-				os.Exit(1)
+				return err
 			}
 		}
 	}
+	return nil
 }

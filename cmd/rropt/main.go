@@ -23,6 +23,14 @@ import (
 )
 
 func main() {
+	// Library code returns errors; a defect that still panics must exit with
+	// a diagnostic, not a stack trace.
+	defer func() {
+		if r := recover(); r != nil {
+			fmt.Fprintln(os.Stderr, "rropt: internal panic:", r)
+			os.Exit(1)
+		}
+	}()
 	var (
 		tracePath = flag.String("trace", "", "JSON trace file (overrides the generator)")
 		m         = flag.Int("m", 1, "offline resources")

@@ -21,6 +21,14 @@ import (
 )
 
 func main() {
+	// Library code returns errors; a defect that still panics must exit with
+	// a diagnostic, not a stack trace.
+	defer func() {
+		if r := recover(); r != nil {
+			fmt.Fprintln(os.Stderr, "rrreplay: internal panic:", r)
+			os.Exit(1)
+		}
+	}()
 	var (
 		tracePath = flag.String("trace", "", "JSON workload trace (required)")
 		schedPath = flag.String("schedule", "", "JSON schedule (required)")

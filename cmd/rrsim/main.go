@@ -23,6 +23,14 @@ import (
 )
 
 func main() {
+	// Library code returns errors; a defect that still panics must exit with
+	// a diagnostic, not a stack trace.
+	defer func() {
+		if r := recover(); r != nil {
+			fmt.Fprintln(os.Stderr, "rrsim: internal panic:", r)
+			os.Exit(1)
+		}
+	}()
 	var (
 		policy    = flag.String("policy", "stack", "policy: stack | distribute | dlru-edf | dlru | edf | most-pending | color-edf | static | never")
 		wl        = flag.String("workload", "batched", "workload: batched | general | zipf | phase | background | diurnal")

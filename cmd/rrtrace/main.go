@@ -16,6 +16,14 @@ import (
 )
 
 func main() {
+	// Library code returns errors; a defect that still panics must exit with
+	// a diagnostic, not a stack trace.
+	defer func() {
+		if r := recover(); r != nil {
+			fmt.Fprintln(os.Stderr, "rrtrace: internal panic:", r)
+			os.Exit(1)
+		}
+	}()
 	if len(os.Args) < 2 {
 		usage()
 	}

@@ -1,0 +1,111 @@
+// Package chaos provides fault injection and robustness measurement for the
+// scheduling stack. It has three layers:
+//
+//   - perturbations: seeded, composable transformations of request sequences
+//     (arrival surges, duplicated batches) and of serialized trace/schedule
+//     bytes (bit flips, truncation, splicing),
+//   - hammers: adversarial drivers that feed malformed input to the
+//     user-reachable readers and the streaming scheduler and demand graceful
+//     errors — never a panic, never silent corruption,
+//   - metrics: cost-inflation and drop-rate reports comparing a faulty run
+//     against the fault-free run of the same seed (see Compare).
+//
+// Everything is deterministic given the seeds, so chaos findings reproduce.
+package chaos
+
+import (
+	"fmt"
+	"math/rand"
+
+	"rrsched/internal/model"
+)
+
+// Perturbation is a seeded transformation of a request sequence. Perturbations
+// compose with Chain.
+type Perturbation func(seq *model.Sequence) (*model.Sequence, error)
+
+// Chain composes perturbations left to right.
+func Chain(ps ...Perturbation) Perturbation {
+	return func(seq *model.Sequence) (*model.Sequence, error) {
+		var err error
+		for _, p := range ps {
+			seq, err = p(seq)
+			if err != nil {
+				return nil, err
+			}
+		}
+		return seq, nil
+	}
+}
+
+// Identity returns the sequence unchanged (the fault-free baseline).
+func Identity() Perturbation {
+	return func(seq *model.Sequence) (*model.Sequence, error) { return seq, nil }
+}
+
+// Surge amplifies arrivals in the window [start, start+length): each batch in
+// the window is scaled by factor (>= 1), modeling a flash crowd. The
+// perturbed sequence keeps every original job and adds the surge copies.
+func Surge(start, length int64, factor float64) Perturbation {
+	return func(seq *model.Sequence) (*model.Sequence, error) {
+		if factor < 1 {
+			return nil, fmt.Errorf("chaos: surge factor %g < 1", factor)
+		}
+		if length <= 0 {
+			return nil, fmt.Errorf("chaos: surge length %d <= 0", length)
+		}
+		b := model.NewBuilder(seq.Delta())
+		for r := int64(0); r < seq.NumRounds(); r++ {
+			counts := map[model.Color]int{}
+			order := []model.Color{}
+			for _, j := range seq.Request(r) {
+				if counts[j.Color] == 0 {
+					order = append(order, j.Color)
+				}
+				counts[j.Color]++
+			}
+			for _, c := range order {
+				n := counts[c]
+				if r >= start && r < start+length {
+					n = int(float64(n) * factor)
+				}
+				d, _ := seq.DelayBound(c)
+				b.Add(r, c, d, n)
+			}
+		}
+		return b.Build()
+	}
+}
+
+// DuplicateBatches re-adds each round's batches with probability p (seeded),
+// modeling an at-least-once delivery layer replaying arrivals. The duplicates
+// are fresh jobs (new IDs): the workload doubles, the deadline pressure does
+// not move.
+func DuplicateBatches(seed int64, p float64) Perturbation {
+	return func(seq *model.Sequence) (*model.Sequence, error) {
+		if p < 0 || p > 1 {
+			return nil, fmt.Errorf("chaos: duplication probability %g outside [0,1]", p)
+		}
+		rng := rand.New(rand.NewSource(seed))
+		b := model.NewBuilder(seq.Delta())
+		for r := int64(0); r < seq.NumRounds(); r++ {
+			counts := map[model.Color]int{}
+			order := []model.Color{}
+			for _, j := range seq.Request(r) {
+				if counts[j.Color] == 0 {
+					order = append(order, j.Color)
+				}
+				counts[j.Color]++
+			}
+			for _, c := range order {
+				n := counts[c]
+				if rng.Float64() < p {
+					n *= 2
+				}
+				d, _ := seq.DelayBound(c)
+				b.Add(r, c, d, n)
+			}
+		}
+		return b.Build()
+	}
+}

@@ -1,0 +1,191 @@
+package chaos
+
+import (
+	"math"
+	"testing"
+
+	"rrsched/internal/model"
+	"rrsched/internal/sim"
+	"rrsched/internal/workload"
+)
+
+func baseSequence(t *testing.T) *model.Sequence {
+	t.Helper()
+	seq, err := workload.RandomGeneral(workload.RandomConfig{
+		Seed: 11, Delta: 3, Colors: 6, Rounds: 96,
+		MinDelayExp: 1, MaxDelayExp: 4, Load: 0.5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return seq
+}
+
+func TestSurgeAddsJobsOnlyInWindow(t *testing.T) {
+	seq := baseSequence(t)
+	surged, err := Surge(10, 20, 3)(seq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if surged.NumJobs() <= seq.NumJobs() {
+		t.Fatalf("surge did not add jobs: %d -> %d", seq.NumJobs(), surged.NumJobs())
+	}
+	for r := int64(0); r < seq.NumRounds(); r++ {
+		orig, got := len(seq.Request(r)), len(surged.Request(r))
+		if r >= 10 && r < 30 {
+			if got < orig {
+				t.Fatalf("round %d lost jobs under surge: %d -> %d", r, orig, got)
+			}
+		} else if got != orig {
+			t.Fatalf("round %d outside window changed: %d -> %d", r, orig, got)
+		}
+	}
+	if _, err := Surge(0, 10, 0.5)(seq); err == nil {
+		t.Error("accepted surge factor < 1")
+	}
+	if _, err := Surge(0, 0, 2)(seq); err == nil {
+		t.Error("accepted non-positive surge length")
+	}
+}
+
+func TestDuplicateBatchesIsSeededAndBounded(t *testing.T) {
+	seq := baseSequence(t)
+	a, err := DuplicateBatches(5, 0.5)(seq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := DuplicateBatches(5, 0.5)(seq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.NumJobs() != b.NumJobs() {
+		t.Error("same seed produced different duplication")
+	}
+	if a.NumJobs() < seq.NumJobs() || a.NumJobs() > 2*seq.NumJobs() {
+		t.Errorf("duplication out of bounds: %d from %d", a.NumJobs(), seq.NumJobs())
+	}
+	if _, err := DuplicateBatches(1, 1.5)(seq); err == nil {
+		t.Error("accepted probability > 1")
+	}
+}
+
+func TestChainComposes(t *testing.T) {
+	seq := baseSequence(t)
+	out, err := Chain(Identity(), Surge(0, 8, 2), DuplicateBatches(1, 0.3))(seq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.NumJobs() <= seq.NumJobs() {
+		t.Errorf("chain did not grow the workload: %d -> %d", seq.NumJobs(), out.NumJobs())
+	}
+}
+
+func TestCorruptBytesIsSeededAndNonDestructive(t *testing.T) {
+	data := []byte(`{"delta":3,"colors":[{"id":0,"delay":4}],"requests":[]}`)
+	orig := append([]byte(nil), data...)
+	a := CorruptBytes(7, data)
+	b := CorruptBytes(7, data)
+	if string(a) != string(b) {
+		t.Error("same seed produced different corruptions")
+	}
+	if string(data) != string(orig) {
+		t.Error("CorruptBytes modified its input")
+	}
+	distinct := map[string]bool{}
+	for seed := int64(0); seed < 32; seed++ {
+		distinct[string(CorruptBytes(seed, data))] = true
+	}
+	if len(distinct) < 8 {
+		t.Errorf("only %d distinct corruptions from 32 seeds", len(distinct))
+	}
+}
+
+func TestHammerTraceReader(t *testing.T) {
+	seq := baseSequence(t)
+	if err := HammerTraceReader(1, seq, 300); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHammerScheduleReader(t *testing.T) {
+	seq := baseSequence(t)
+	plan, err := sim.RandomFaultPlan(sim.FaultConfig{
+		Seed: 2, Resources: 8, Horizon: seq.Horizon() + 1, MeanUp: 32, MeanDown: 4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := sim.Run(sim.Env{Seq: seq, Resources: 8, Replication: 2, Speed: 1, Faults: plan}, greedy{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := HammerScheduleReader(3, res.Schedule, 300); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHammerStream(t *testing.T) {
+	for seed := int64(0); seed < 8; seed++ {
+		if err := HammerStream(seed, 128); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// greedy caches the most-loaded colors; a minimal dynamic policy for chaos
+// tests (the experiment harness exercises the real ΔLRU-EDF stack).
+type greedy struct{}
+
+func (greedy) Name() string                            { return "greedy" }
+func (greedy) Reset(sim.Env)                           {}
+func (greedy) DropPhase(sim.View, map[model.Color]int) {}
+func (greedy) ArrivalPhase(sim.View, []model.Job)      {}
+func (greedy) Target(v sim.View) []model.Color {
+	var out []model.Color
+	for _, c := range v.Universe() {
+		if len(out) == v.Slots() {
+			break
+		}
+		if v.Pending(c) > 0 {
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+func TestCompareReportsInflationAndDrops(t *testing.T) {
+	seq := baseSequence(t)
+	env := sim.Env{Seq: seq, Resources: 8, Replication: 2, Speed: 1}
+	baseline, err := sim.Run(env, greedy{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan, err := sim.RandomFaultPlan(sim.FaultConfig{
+		Seed: 4, Resources: 8, Horizon: seq.Horizon() + 1, MeanUp: 16, MeanDown: 8,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	faultyEnv := env
+	faultyEnv.Faults = plan
+	faulty, err := sim.Run(faultyEnv, greedy{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := Compare(baseline, faulty, plan)
+	if rep.CostInflation < 1 {
+		t.Errorf("faults deflated cost: %v", rep)
+	}
+	if math.IsNaN(rep.CostInflation) || math.IsInf(rep.CostInflation, 0) {
+		t.Errorf("non-finite inflation: %v", rep)
+	}
+	if rep.DowntimeRounds != plan.DowntimeRounds() {
+		t.Errorf("downtime %d != plan %d", rep.DowntimeRounds, plan.DowntimeRounds())
+	}
+	if rep.DropRateDelta != rep.FaultyDropRate-rep.BaselineDropRate {
+		t.Errorf("inconsistent drop delta: %v", rep)
+	}
+	if rep.String() == "" {
+		t.Error("empty report string")
+	}
+}

@@ -1,0 +1,107 @@
+package chaos
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+
+	"rrsched/internal/model"
+	"rrsched/internal/workload"
+)
+
+// CorruptBytes returns a seeded corruption of data: a mix of bit flips, byte
+// substitutions, truncation, and splicing (duplicating a random chunk). The
+// input is never modified; equal (seed, data) produce equal corruptions.
+func CorruptBytes(seed int64, data []byte) []byte {
+	rng := rand.New(rand.NewSource(seed))
+	out := append([]byte(nil), data...)
+	if len(out) == 0 {
+		return out
+	}
+	switch rng.Intn(4) {
+	case 0: // bit flips
+		for i, n := 0, 1+rng.Intn(8); i < n; i++ {
+			pos := rng.Intn(len(out))
+			out[pos] ^= 1 << uint(rng.Intn(8))
+		}
+	case 1: // byte substitutions (biased toward JSON-hostile values)
+		hostile := []byte{'{', '}', '[', ']', '"', ',', '-', '9', 0x00, 0xff}
+		for i, n := 0, 1+rng.Intn(8); i < n; i++ {
+			out[rng.Intn(len(out))] = hostile[rng.Intn(len(hostile))]
+		}
+	case 2: // truncation
+		out = out[:rng.Intn(len(out))]
+	default: // splice: duplicate a random chunk somewhere else
+		if len(out) > 2 {
+			a, b := rng.Intn(len(out)), rng.Intn(len(out))
+			if a > b {
+				a, b = b, a
+			}
+			chunk := append([]byte(nil), out[a:b]...)
+			at := rng.Intn(len(out))
+			out = append(out[:at], append(chunk, out[at:]...)...)
+		}
+	}
+	return out
+}
+
+// HammerTraceReader feeds iters seeded corruptions of a valid trace to the
+// trace reader. The reader must either return an error or a sequence that
+// validates; any panic is converted to a returned error naming the seed, so
+// failures reproduce.
+func HammerTraceReader(seed int64, seq *model.Sequence, iters int) (err error) {
+	var buf bytes.Buffer
+	if err := workload.WriteTrace(&buf, seq); err != nil {
+		return fmt.Errorf("chaos: serializing base trace: %w", err)
+	}
+	base := buf.Bytes()
+	for i := 0; i < iters; i++ {
+		caseSeed := seed + int64(i)
+		if err := hammerOneTrace(caseSeed, CorruptBytes(caseSeed, base)); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func hammerOneTrace(seed int64, data []byte) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("chaos: trace reader panicked on corruption seed %d: %v", seed, r)
+		}
+	}()
+	got, readErr := workload.ReadTrace(bytes.NewReader(data))
+	if readErr != nil {
+		return nil // graceful rejection is a pass
+	}
+	if validateErr := got.Validate(); validateErr != nil {
+		return fmt.Errorf("chaos: trace reader accepted an invalid sequence (corruption seed %d): %w", seed, validateErr)
+	}
+	return nil
+}
+
+// HammerScheduleReader is HammerTraceReader for the schedule reader.
+func HammerScheduleReader(seed int64, sched *model.Schedule, iters int) error {
+	var buf bytes.Buffer
+	if err := model.WriteSchedule(&buf, sched); err != nil {
+		return fmt.Errorf("chaos: serializing base schedule: %w", err)
+	}
+	base := buf.Bytes()
+	for i := 0; i < iters; i++ {
+		caseSeed := seed + int64(i)
+		if err := hammerOneSchedule(caseSeed, CorruptBytes(caseSeed, base)); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func hammerOneSchedule(seed int64, data []byte) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("chaos: schedule reader panicked on corruption seed %d: %v", seed, r)
+		}
+	}()
+	_, _ = model.ReadSchedule(bytes.NewReader(data))
+	return nil
+}

@@ -1,0 +1,122 @@
+package chaos
+
+import (
+	"fmt"
+	"math/rand"
+
+	"rrsched/internal/model"
+	"rrsched/internal/stream"
+)
+
+// HammerStream drives a streaming scheduler for the given number of rounds
+// with a seeded mix of valid pushes and malformed ones — duplicate job IDs,
+// replays of already-retired rounds, wrong arrival stamps, black colors,
+// delay-bound mismatches. Every malformed push must be rejected with an error
+// while leaving the scheduler fully usable: after each rejection the driver
+// immediately pushes valid work and verifies it is accepted and that the
+// job accounting stays consistent. Any panic or silent acceptance is
+// reported as an error naming the seed.
+func HammerStream(seed int64, rounds int64) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("chaos: stream panicked (seed %d): %v", seed, r)
+		}
+	}()
+	rng := rand.New(rand.NewSource(seed))
+	s, err := stream.New(stream.Config{Delta: 2 + int64(rng.Intn(4)), Resources: 8})
+	if err != nil {
+		return fmt.Errorf("chaos: creating stream: %w", err)
+	}
+
+	delays := []int64{2, 4, 8}
+	colorDelay := func(c model.Color) int64 { return delays[int(c)%len(delays)] }
+	nextID := int64(0)
+	// liveIDs tracks accepted jobs not yet seen executed or dropped in a
+	// decision: only those IDs must be rejected as duplicates.
+	var liveIDs []int64
+	retired := map[int64]bool{}
+	seenColor := map[model.Color]bool{}
+	liveID := func() (int64, bool) {
+		for len(liveIDs) > 0 && retired[liveIDs[len(liveIDs)-1]] {
+			liveIDs = liveIDs[:len(liveIDs)-1]
+		}
+		if len(liveIDs) == 0 {
+			return 0, false
+		}
+		return liveIDs[len(liveIDs)-1], true
+	}
+	observe := func(dec stream.Decision) {
+		for _, e := range dec.Executions {
+			retired[e.JobID] = true
+		}
+		for _, id := range dec.Dropped {
+			retired[id] = true
+		}
+	}
+
+	for r := int64(0); r < rounds; r++ {
+		// Occasionally attack before the round's valid push.
+		switch rng.Intn(6) {
+		case 0: // replay an already-retired round
+			if r > 0 {
+				late := rng.Int63n(r)
+				if _, err := s.Push(late, nil); err == nil {
+					return fmt.Errorf("chaos: stream accepted replayed round %d at round %d (seed %d)", late, r, seed)
+				}
+			}
+		case 1: // duplicate an in-flight job ID
+			if id, ok := liveID(); ok {
+				c := model.Color(rng.Intn(4))
+				dup := model.Job{ID: id, Color: c, Arrival: r, Delay: colorDelay(c)}
+				if _, err := s.Push(r, []model.Job{dup}); err == nil {
+					return fmt.Errorf("chaos: stream accepted duplicate job id %d (seed %d)", id, seed)
+				}
+			}
+		case 2: // arrival stamp disagrees with the pushed round
+			c := model.Color(rng.Intn(4))
+			bad := model.Job{ID: nextID, Color: c, Arrival: r + 1, Delay: colorDelay(c)}
+			if _, err := s.Push(r, []model.Job{bad}); err == nil {
+				return fmt.Errorf("chaos: stream accepted mis-stamped arrival (seed %d)", seed)
+			}
+		case 3: // black color
+			bad := model.Job{ID: nextID, Color: model.Black, Arrival: r, Delay: 4}
+			if _, err := s.Push(r, []model.Job{bad}); err == nil {
+				return fmt.Errorf("chaos: stream accepted a black job (seed %d)", seed)
+			}
+		case 4: // delay bound inconsistent with the color's earlier jobs
+			if c := model.Color(rng.Intn(4)); seenColor[c] {
+				bad := model.Job{ID: nextID, Color: c, Arrival: r, Delay: colorDelay(c) * 16}
+				if _, err := s.Push(r, []model.Job{bad}); err == nil {
+					return fmt.Errorf("chaos: stream accepted a delay-bound mismatch (seed %d)", seed)
+				}
+			}
+		}
+
+		// The valid push of the round must succeed after any rejection.
+		var jobs []model.Job
+		for i, n := 0, rng.Intn(4); i < n; i++ {
+			c := model.Color(rng.Intn(4))
+			jobs = append(jobs, model.Job{ID: nextID, Color: c, Arrival: r, Delay: colorDelay(c)})
+			liveIDs = append(liveIDs, nextID)
+			seenColor[c] = true
+			nextID++
+		}
+		dec, err := s.Push(r, jobs)
+		if err != nil {
+			return fmt.Errorf("chaos: valid push rejected in round %d (seed %d): %w", r, seed, err)
+		}
+		observe(dec)
+		if s.Executed()+s.Dropped() > int(nextID) {
+			return fmt.Errorf("chaos: accounting overflow in round %d (seed %d): %d executed + %d dropped > %d pushed",
+				r, seed, s.Executed(), s.Dropped(), nextID)
+		}
+	}
+	if _, err := s.Drain(); err != nil {
+		return fmt.Errorf("chaos: drain failed (seed %d): %w", seed, err)
+	}
+	if s.Executed()+s.Dropped() != int(nextID) {
+		return fmt.Errorf("chaos: %d executed + %d dropped != %d accepted after drain (seed %d)",
+			s.Executed(), s.Dropped(), nextID, seed)
+	}
+	return nil
+}

@@ -1,0 +1,61 @@
+package chaos
+
+import (
+	"fmt"
+
+	"rrsched/internal/model"
+	"rrsched/internal/sim"
+)
+
+// Report quantifies the robustness of a policy under faults by comparing a
+// faulty run against the fault-free run of the same seed and workload.
+type Report struct {
+	Baseline model.Cost
+	Faulty   model.Cost
+	// CostInflation is faulty total cost / baseline total cost (1 = faults
+	// cost nothing extra; baseline total 0 reports 1 if the faulty total is
+	// also 0, else +Inf is avoided by reporting the faulty total itself).
+	CostInflation float64
+	// BaselineDropRate and FaultyDropRate are dropped / total jobs.
+	BaselineDropRate float64
+	FaultyDropRate   float64
+	// DropRateDelta is FaultyDropRate - BaselineDropRate.
+	DropRateDelta float64
+	// DowntimeRounds is the total resource-rounds of injected downtime.
+	DowntimeRounds int64
+}
+
+// Compare builds a Report from a fault-free and a faulty run of the same
+// workload. The fault plan may be nil for input-chaos comparisons (surges,
+// duplication) where no resources go down.
+func Compare(baseline, faulty *sim.Result, plan *sim.FaultPlan) Report {
+	rep := Report{
+		Baseline: baseline.Cost,
+		Faulty:   faulty.Cost,
+	}
+	switch {
+	case baseline.Cost.Total() > 0:
+		rep.CostInflation = float64(faulty.Cost.Total()) / float64(baseline.Cost.Total())
+	case faulty.Cost.Total() == 0:
+		rep.CostInflation = 1
+	default:
+		rep.CostInflation = float64(faulty.Cost.Total())
+	}
+	if n := baseline.Executed + baseline.Dropped; n > 0 {
+		rep.BaselineDropRate = float64(baseline.Dropped) / float64(n)
+	}
+	if n := faulty.Executed + faulty.Dropped; n > 0 {
+		rep.FaultyDropRate = float64(faulty.Dropped) / float64(n)
+	}
+	rep.DropRateDelta = rep.FaultyDropRate - rep.BaselineDropRate
+	if plan != nil {
+		rep.DowntimeRounds = plan.DowntimeRounds()
+	}
+	return rep
+}
+
+// String renders the report for diagnostics.
+func (r Report) String() string {
+	return fmt.Sprintf("chaos{inflation=%.3f drops=%.3f->%.3f (Δ%+.3f) downtime=%d}",
+		r.CostInflation, r.BaselineDropRate, r.FaultyDropRate, r.DropRateDelta, r.DowntimeRounds)
+}

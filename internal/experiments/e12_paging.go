@@ -14,7 +14,7 @@ func init() {
 	})
 }
 
-func runE12(cfg Config) []*stats.Table {
+func runE12(cfg Config) ([]*stats.Table, error) {
 	length := 20000
 	if cfg.Quick {
 		length = 4000
@@ -39,12 +39,12 @@ func runE12(cfg Config) []*stats.Table {
 	for _, k := range ks {
 		trace, err := paging.ZipfTrace(11, 256, length, 1.2)
 		if err != nil {
-			panic(err)
+			return nil, err
 		}
 		lru := paging.RunTrace(&paging.LRU{}, k, trace)
 		fifo := paging.RunTrace(&paging.FIFO{}, k, trace)
 		opt := paging.BeladyFaults(k, trace)
 		zipf.AddRow(k, 256, lru, fifo, opt, stats.Ratio(int64(lru), int64(opt)))
 	}
-	return []*stats.Table{adv, zipf}
+	return []*stats.Table{adv, zipf}, nil
 }

@@ -18,7 +18,7 @@ func init() {
 	})
 }
 
-func runE13(cfg Config) []*stats.Table {
+func runE13(cfg Config) ([]*stats.Table, error) {
 	n := 8
 	seeds := []int64{1, 2, 3, 4, 5, 6}
 	if cfg.Quick {
@@ -33,10 +33,12 @@ func runE13(cfg Config) []*stats.Table {
 			MinDelayExp: 1, MaxDelayExp: 4, Load: 0.8, RateLimited: true,
 		})
 		if err != nil {
-			panic(err)
+			return nil, err
 		}
 		p := core.NewDeltaLRUEDF(core.WithSuperEpochs())
-		sim.MustRun(sim.Env{Seq: seq, Resources: n, Replication: 2, Speed: 1}, p)
+		if _, err := sim.Run(sim.Env{Seq: seq, Resources: n, Replication: 2, Speed: 1}, p); err != nil {
+			return nil, err
+		}
 		tr := p.Tracker()
 		se := tr.SuperEpochs()
 		// Corollary 3.2 gives epochs(σ) <= 3 · (#super-epochs, incl. the
@@ -46,5 +48,5 @@ func runE13(cfg Config) []*stats.Table {
 			se.TimestampUpdates, se.MaxEpochOverlap,
 			fmt.Sprintf("%v", tr.NumEpochs() <= bound))
 	}
-	return []*stats.Table{t}
+	return []*stats.Table{t}, nil
 }

@@ -19,7 +19,7 @@ func init() {
 	})
 }
 
-func runE14(cfg Config) []*stats.Table {
+func runE14(cfg Config) ([]*stats.Table, error) {
 	seeds := []int64{1, 2, 3, 4}
 	if cfg.Quick {
 		seeds = seeds[:2]
@@ -35,20 +35,20 @@ func runE14(cfg Config) []*stats.Table {
 			MinDelayExp: 1, MaxDelayExp: 4, Load: 1.6,
 		})
 		if err != nil {
-			panic(err)
+			return nil, err
 		}
 		inner, smap, err := reduce.DistributeSequence(seq)
 		if err != nil {
-			panic(err)
+			return nil, err
 		}
 		src := offline.BestGreedy(seq, m)
 		out, err := reduce.Aggregate(seq, inner, smap, src.Schedule)
 		if err != nil {
-			panic(err)
+			return nil, err
 		}
 		cost, err := model.Audit(inner, out)
 		if err != nil {
-			panic(err)
+			return nil, err
 		}
 		agg.AddRow(seed, seq.NumJobs(), src.Schedule.NumExecs(), out.NumExecs(),
 			src.Cost.Reconfig, cost.Reconfig,
@@ -64,16 +64,16 @@ func runE14(cfg Config) []*stats.Table {
 			MinDelayExp: 1, MaxDelayExp: 4, Load: 0.5,
 		})
 		if err != nil {
-			panic(err)
+			return nil, err
 		}
 		src := offline.BestGreedy(seq, m)
 		out, err := reduce.PunctualTransform(seq, src.Schedule)
 		if err != nil {
-			panic(err)
+			return nil, err
 		}
 		cost, err := model.Audit(seq, out)
 		if err != nil {
-			panic(err)
+			return nil, err
 		}
 		jobs := map[int64]model.Job{}
 		for _, j := range seq.Jobs() {
@@ -91,7 +91,7 @@ func runE14(cfg Config) []*stats.Table {
 			stats.Ratio(cost.Reconfig, maxi(src.Cost.Reconfig, 1)),
 			fmt.Sprintf("%v", punctual))
 	}
-	return []*stats.Table{agg, punc}
+	return []*stats.Table{agg, punc}, nil
 }
 
 func maxi(a, b int64) int64 {

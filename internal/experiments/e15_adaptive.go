@@ -19,7 +19,7 @@ func init() {
 	})
 }
 
-func runE15(cfg Config) []*stats.Table {
+func runE15(cfg Config) ([]*stats.Table, error) {
 	n := 8
 	seeds := []int64{1, 2, 3}
 	if cfg.Quick {
@@ -27,36 +27,23 @@ func runE15(cfg Config) []*stats.Table {
 	}
 	families := []struct {
 		name string
-		gen  func(seed int64) *model.Sequence
+		gen  func(seed int64) (*model.Sequence, error)
 	}{
-		{"zipf-batched", func(seed int64) *model.Sequence {
-			seq, err := workload.RandomBatched(workload.RandomConfig{
+		{"zipf-batched", func(seed int64) (*model.Sequence, error) {
+			return workload.RandomBatched(workload.RandomConfig{
 				Seed: seed, Delta: 4, Colors: 10, Rounds: 1024,
 				MinDelayExp: 1, MaxDelayExp: 4, Load: 0.7, ZipfS: 1.4, RateLimited: true,
 			})
-			if err != nil {
-				panic(err)
-			}
-			return seq
 		}},
-		{"bursty-background", func(seed int64) *model.Sequence {
-			seq, err := workload.BackgroundShortTerm(workload.BackgroundConfig{
+		{"bursty-background", func(seed int64) (*model.Sequence, error) {
+			return workload.BackgroundShortTerm(workload.BackgroundConfig{
 				Seed: seed, Delta: 8, ShortColors: 4, ShortDelay: 8,
 				BackgroundColors: 2, BackgroundDelay: 256,
 				Rounds: 1024, BurstProb: 0.5, BackgroundJobs: 192,
 			})
-			if err != nil {
-				panic(err)
-			}
-			return seq
 		}},
-		{"adversary-A", func(seed int64) *model.Sequence {
-			seq, err := workload.DeltaLRUAdversary(n, 4, 6, 9)
-			if err != nil {
-				panic(err)
-			}
-			_ = seed
-			return seq
+		{"adversary-A", func(seed int64) (*model.Sequence, error) {
+			return workload.DeltaLRUAdversary(n, 4, 6, 9)
 		}},
 	}
 	t := stats.NewTable(
@@ -66,16 +53,39 @@ func runE15(cfg Config) []*stats.Table {
 		var fixed, allLRU, allEDF, adaptive int64
 		finalQuota := 0
 		for _, seed := range seeds {
-			seq := fam.gen(seed)
+			seq, err := fam.gen(seed)
+			if err != nil {
+				return nil, err
+			}
 			env := sim.Env{Seq: seq, Resources: n, Replication: 2, Speed: 1}
-			fixed += sim.MustRun(env, core.NewDeltaLRUEDF()).Cost.Total()
-			allLRU += sim.MustRun(env, core.NewDeltaLRUEDF(core.WithLRUSlots(env.Slots()))).Cost.Total()
-			allEDF += sim.MustRun(env, core.NewEDF()).Cost.Total()
+			total := func(p sim.Policy) (int64, error) {
+				r, err := sim.Run(env, p)
+				if err != nil {
+					return 0, err
+				}
+				return r.Cost.Total(), nil
+			}
+			v, err := total(core.NewDeltaLRUEDF())
+			if err != nil {
+				return nil, err
+			}
+			fixed += v
+			if v, err = total(core.NewDeltaLRUEDF(core.WithLRUSlots(env.Slots()))); err != nil {
+				return nil, err
+			}
+			allLRU += v
+			if v, err = total(core.NewEDF()); err != nil {
+				return nil, err
+			}
+			allEDF += v
 			ad := core.NewAdaptive()
-			adaptive += sim.MustRun(env, ad).Cost.Total()
+			if v, err = total(ad); err != nil {
+				return nil, err
+			}
+			adaptive += v
 			finalQuota = ad.Quota()
 		}
 		t.AddRow(fam.name, fixed, allLRU, allEDF, adaptive, finalQuota)
 	}
-	return []*stats.Table{t}
+	return []*stats.Table{t}, nil
 }

@@ -21,7 +21,7 @@ func init() {
 	})
 }
 
-func runE16(cfg Config) []*stats.Table {
+func runE16(cfg Config) ([]*stats.Table, error) {
 	m := 1
 	n := 8 * m
 	numSeeds := 60
@@ -60,20 +60,26 @@ func runE16(cfg Config) []*stats.Table {
 		"family", "seeds", "mean", "p50", "p90", "p95", "max")
 	for _, fam := range families {
 		gen := fam.gen
-		ratios := sweep.Map(0, sweep.Seeds(numSeeds), func(seed int64) float64 {
+		ratios, err := sweep.Map(0, sweep.Seeds(numSeeds), func(seed int64) (float64, error) {
 			seq, err := gen(seed + 1)
 			if err != nil {
-				panic(err)
+				return 0, err
 			}
 			if seq.NumJobs() == 0 {
-				return 1
+				return 1, nil
 			}
-			res := sim.MustRun(sim.Env{Seq: seq, Resources: n, Replication: 2, Speed: 1}, core.NewDeltaLRUEDF())
+			res, err := sim.Run(sim.Env{Seq: seq, Resources: n, Replication: 2, Speed: 1}, core.NewDeltaLRUEDF())
+			if err != nil {
+				return 0, err
+			}
 			lb := offline.LowerBound(seq, m)
-			return stats.Ratio(res.Cost.Total(), lb)
+			return stats.Ratio(res.Cost.Total(), lb), nil
 		})
+		if err != nil {
+			return nil, fmt.Errorf("family %s: %w", fam.name, err)
+		}
 		qs := stats.Quantiles(ratios, 0.5, 0.9, 0.95, 1)
 		t.AddRow(fam.name, numSeeds, stats.Mean(ratios), qs[0], qs[1], qs[2], qs[3])
 	}
-	return []*stats.Table{t}
+	return []*stats.Table{t}, nil
 }

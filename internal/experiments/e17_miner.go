@@ -18,7 +18,7 @@ func init() {
 	})
 }
 
-func runE17(cfg Config) []*stats.Table {
+func runE17(cfg Config) ([]*stats.Table, error) {
 	iters := 300
 	seeds := []int64{1, 2}
 	if cfg.Quick {
@@ -49,10 +49,10 @@ func runE17(cfg Config) []*stats.Table {
 		for _, seed := range seeds {
 			res, err := adversary.Mine(mk(seed), p.factory)
 			if err != nil {
-				panic(err)
+				return nil, err
 			}
 			t.AddRow(p.name, seed, res.InitialRatio, res.Ratio, res.Accepted, res.Sequence.NumJobs())
 		}
 	}
-	return []*stats.Table{t}
+	return []*stats.Table{t}, nil
 }

@@ -1,0 +1,133 @@
+package experiments
+
+import (
+	"fmt"
+
+	"rrsched/internal/chaos"
+	"rrsched/internal/core"
+	"rrsched/internal/model"
+	"rrsched/internal/sim"
+	"rrsched/internal/stats"
+	"rrsched/internal/workload"
+)
+
+func init() {
+	register(Experiment{
+		ID:    "E18",
+		Title: "Robustness: ΔLRU-EDF under resource failures and input chaos",
+		Claim: "Under seeded crash/repair fault plans every faulty ΔLRU-EDF schedule passes the model audit, total-cost inflation vs the fault-free same-seed run stays near 1 (lost capacity converts reconfiguration cost into drop cost), and the drop-rate increase scales with injected downtime; under input chaos (surges, duplicate batches) inflation stays a small constant.",
+		Run:   runE18,
+	})
+}
+
+// e18Scenario is one fault regime: how often resources fail and for how long.
+type e18Scenario struct {
+	name     string
+	meanUp   float64
+	meanDown float64
+}
+
+func runE18(cfg Config) ([]*stats.Table, error) {
+	n := 8
+	seeds := []int64{1, 2, 3}
+	if cfg.Quick {
+		seeds = seeds[:2]
+	}
+	scenarios := []e18Scenario{
+		{"rare-fast (up~256, down~8)", 256, 8},
+		{"frequent-fast (up~64, down~8)", 64, 8},
+		{"rare-long (up~256, down~64)", 256, 64},
+	}
+
+	faults := stats.NewTable(
+		fmt.Sprintf("E18a: ΔLRU-EDF under crash/repair fault plans (n=%d, repl=2); inflation = faulty/fault-free total cost of the same seed; every faulty schedule is audited", n),
+		"scenario", "seed", "jobs", "downtime", "outages", "base cost", "faulty cost", "inflation", "drop rate Δ", "audit ok")
+	for _, sc := range scenarios {
+		for _, seed := range seeds {
+			seq, err := workload.RandomBatched(workload.RandomConfig{
+				Seed: seed, Delta: 4, Colors: 10, Rounds: 512,
+				MinDelayExp: 1, MaxDelayExp: 4, Load: 0.7, RateLimited: true,
+			})
+			if err != nil {
+				return nil, err
+			}
+			env := sim.Env{Seq: seq, Resources: n, Replication: 2, Speed: 1}
+			base, err := sim.Run(env, core.NewDeltaLRUEDF())
+			if err != nil {
+				return nil, err
+			}
+			plan, err := sim.RandomFaultPlan(sim.FaultConfig{
+				Seed: seed, Resources: n, Horizon: seq.Horizon() + 1,
+				MeanUp: sc.meanUp, MeanDown: sc.meanDown,
+			})
+			if err != nil {
+				return nil, err
+			}
+			faultyEnv := env
+			faultyEnv.Faults = plan
+			faulty, err := sim.Run(faultyEnv, core.NewDeltaLRUEDF())
+			if err != nil {
+				return nil, err
+			}
+			// The faulty schedule must still be a legal schedule of the model:
+			// the audit replays it (outages included) and recomputes the cost.
+			audited, err := model.Audit(seq, faulty.Schedule)
+			if err != nil {
+				return nil, fmt.Errorf("E18: audit of faulty schedule (%s, seed %d): %w", sc.name, seed, err)
+			}
+			rep := chaos.Compare(base, faulty, plan)
+			faults.AddRow(sc.name, seed, seq.NumJobs(),
+				rep.DowntimeRounds, plan.NumOutages(),
+				base.Cost.Total(), faulty.Cost.Total(),
+				rep.CostInflation, rep.DropRateDelta,
+				fmt.Sprintf("%v", audited.Total() == faulty.Cost.Total()))
+		}
+	}
+
+	input := stats.NewTable(
+		fmt.Sprintf("E18b: ΔLRU-EDF under input chaos (n=%d, fault-free resources); perturbed workloads vs the unperturbed run", n),
+		"perturbation", "seed", "jobs", "perturbed jobs", "base cost", "perturbed cost", "inflation", "drop rate Δ")
+	perturbations := []struct {
+		name string
+		mk   func(seed int64) chaos.Perturbation
+	}{
+		{"surge x3 @ [128,192)", func(seed int64) chaos.Perturbation {
+			return chaos.Surge(128, 64, 3)
+		}},
+		{"duplicate batches p=0.25", func(seed int64) chaos.Perturbation {
+			return chaos.DuplicateBatches(seed, 0.25)
+		}},
+		{"surge + duplicates", func(seed int64) chaos.Perturbation {
+			return chaos.Chain(chaos.Surge(128, 64, 2), chaos.DuplicateBatches(seed, 0.25))
+		}},
+	}
+	for _, p := range perturbations {
+		for _, seed := range seeds {
+			seq, err := workload.RandomBatched(workload.RandomConfig{
+				Seed: seed, Delta: 4, Colors: 10, Rounds: 512,
+				MinDelayExp: 1, MaxDelayExp: 4, Load: 0.7, RateLimited: true,
+			})
+			if err != nil {
+				return nil, err
+			}
+			env := sim.Env{Seq: seq, Resources: n, Replication: 2, Speed: 1}
+			base, err := sim.Run(env, core.NewDeltaLRUEDF())
+			if err != nil {
+				return nil, err
+			}
+			perturbed, err := p.mk(seed)(seq)
+			if err != nil {
+				return nil, err
+			}
+			pres, err := sim.Run(sim.Env{Seq: perturbed, Resources: n, Replication: 2, Speed: 1}, core.NewDeltaLRUEDF())
+			if err != nil {
+				return nil, err
+			}
+			rep := chaos.Compare(base, pres, nil)
+			input.AddRow(p.name, seed, seq.NumJobs(), perturbed.NumJobs(),
+				base.Cost.Total(), pres.Cost.Total(),
+				rep.CostInflation, rep.DropRateDelta)
+		}
+	}
+	return []*stats.Table{faults, input}, nil
+}

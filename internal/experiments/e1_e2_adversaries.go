@@ -28,19 +28,19 @@ func init() {
 // offlineScript realizes a hand-built offline schedule (a reconfiguration
 // script for m resources) and returns its audited cost; this is a feasible
 // schedule, hence an upper bound on OPT.
-func offlineScript(seq *model.Sequence, m int, recs []model.Reconfigure) model.Cost {
+func offlineScript(seq *model.Sequence, m int, recs []model.Reconfigure) (model.Cost, error) {
 	sched, err := sim.Replay(seq, m, 1, recs)
 	if err != nil {
-		panic("experiments: offline script replay: " + err.Error())
+		return model.Cost{}, fmt.Errorf("experiments: offline script replay: %w", err)
 	}
 	cost, err := model.Audit(seq, sched)
 	if err != nil {
-		panic("experiments: offline script audit: " + err.Error())
+		return model.Cost{}, fmt.Errorf("experiments: offline script audit: %w", err)
 	}
-	return cost
+	return cost, nil
 }
 
-func runE1(cfg Config) []*stats.Table {
+func runE1(cfg Config) ([]*stats.Table, error) {
 	n := 8
 	delta := int64(4)
 	js := []uint{6, 7, 8, 9}
@@ -54,25 +54,34 @@ func runE1(cfg Config) []*stats.Table {
 		k := j + 3
 		seq, err := workload.DeltaLRUAdversary(n, delta, j, k)
 		if err != nil {
-			panic(err)
+			return nil, err
 		}
 		env := sim.Env{Seq: seq, Resources: n, Replication: 2, Speed: 1}
-		lru := sim.MustRun(env, core.NewDeltaLRU())
-		combo := sim.MustRun(env, core.NewDeltaLRUEDF())
+		lru, err := sim.Run(env, core.NewDeltaLRU())
+		if err != nil {
+			return nil, err
+		}
+		combo, err := sim.Run(env, core.NewDeltaLRUEDF())
+		if err != nil {
+			return nil, err
+		}
 		// The Appendix A offline schedule: one resource, configured to the
 		// long-term color at round 0, forever.
 		longColor := model.Color(n / 2)
-		off := offlineScript(seq, 1, []model.Reconfigure{{Round: 0, Resource: 0, To: longColor}})
+		off, err := offlineScript(seq, 1, []model.Reconfigure{{Round: 0, Resource: 0, To: longColor}})
+		if err != nil {
+			return nil, err
+		}
 		t.AddRow(int(j), seq.NumJobs(),
 			lru.Cost.Total(), combo.Cost.Total(), off.Total(),
 			stats.Ratio(lru.Cost.Total(), off.Total()),
 			stats.Ratio(combo.Cost.Total(), off.Total()),
 			float64(int64(1)<<(j+1))/float64(int64(n)*delta))
 	}
-	return []*stats.Table{t}
+	return []*stats.Table{t}, nil
 }
 
-func runE2(cfg Config) []*stats.Table {
+func runE2(cfg Config) ([]*stats.Table, error) {
 	n := 4
 	delta := int64(8)
 	j := uint(4)
@@ -86,11 +95,17 @@ func runE2(cfg Config) []*stats.Table {
 	for _, k := range ks {
 		seq, err := workload.EDFAdversary(n, delta, j, k)
 		if err != nil {
-			panic(err)
+			return nil, err
 		}
 		env := sim.Env{Seq: seq, Resources: n, Replication: 2, Speed: 1}
-		edfRes := sim.MustRun(env, core.NewEDF())
-		combo := sim.MustRun(env, core.NewDeltaLRUEDF())
+		edfRes, err := sim.Run(env, core.NewEDF())
+		if err != nil {
+			return nil, err
+		}
+		combo, err := sim.Run(env, core.NewDeltaLRUEDF())
+		if err != nil {
+			return nil, err
+		}
 		// The Appendix B offline schedule with one resource: the short color
 		// for rounds [0, 2^(k-1)), then long color p throughout
 		// [2^(k+p-1), 2^(k+p)).
@@ -100,12 +115,15 @@ func runE2(cfg Config) []*stats.Table {
 				Round: int64(1) << (k + uint(p) - 1), Resource: 0, To: model.Color(1 + p),
 			})
 		}
-		off := offlineScript(seq, 1, recs)
+		off, err := offlineScript(seq, 1, recs)
+		if err != nil {
+			return nil, err
+		}
 		t.AddRow(int(k), seq.NumJobs(),
 			edfRes.Cost.Total(), combo.Cost.Total(), off.Total(),
 			stats.Ratio(edfRes.Cost.Total(), off.Total()),
 			stats.Ratio(combo.Cost.Total(), off.Total()),
 			float64(int64(1)<<(k-j-1))/float64(n/2+1))
 	}
-	return []*stats.Table{t}
+	return []*stats.Table{t}, nil
 }

@@ -35,7 +35,7 @@ func init() {
 	})
 }
 
-func runE3(cfg Config) []*stats.Table {
+func runE3(cfg Config) ([]*stats.Table, error) {
 	m := 1
 	n := 8 * m
 	seeds := []int64{1, 2, 3, 4, 5, 6}
@@ -70,23 +70,29 @@ func runE3(cfg Config) []*stats.Table {
 	}
 	// The bracket computation dominates; fan the sweep out over the worker
 	// pool and collect rows in input order so the table is deterministic.
-	rows := sweep.Map(0, cells, func(c cell) []any {
+	rows, err := sweep.Map(0, cells, func(c cell) ([]any, error) {
 		seq, err := workload.RandomBatched(c.cfg)
 		if err != nil {
-			panic(err)
+			return nil, err
 		}
-		res := sim.MustRun(sim.Env{Seq: seq, Resources: n, Replication: 2, Speed: 1}, core.NewDeltaLRUEDF())
+		res, err := sim.Run(sim.Env{Seq: seq, Resources: n, Replication: 2, Speed: 1}, core.NewDeltaLRUEDF())
+		if err != nil {
+			return nil, err
+		}
 		br := offline.BracketOPT(seq, m)
 		return []any{c.name, c.seed, seq.NumJobs(), res.Cost.Total(), res.Cost.Reconfig, res.Cost.Drop,
-			br.LB, br.UB, stats.Ratio(res.Cost.Total(), br.LB), stats.Ratio(res.Cost.Total(), br.UB)}
+			br.LB, br.UB, stats.Ratio(res.Cost.Total(), br.LB), stats.Ratio(res.Cost.Total(), br.UB)}, nil
 	})
+	if err != nil {
+		return nil, err
+	}
 	for _, row := range rows {
 		t.AddRow(row...)
 	}
-	return []*stats.Table{t}
+	return []*stats.Table{t}, nil
 }
 
-func runE4(cfg Config) []*stats.Table {
+func runE4(cfg Config) ([]*stats.Table, error) {
 	m := 1
 	n := 8 * m
 	seeds := []int64{1, 2, 3, 4}
@@ -102,21 +108,21 @@ func runE4(cfg Config) []*stats.Table {
 			MinDelayExp: 1, MaxDelayExp: 4, Load: 2.5, // over-rate: batches exceed D_ℓ
 		})
 		if err != nil {
-			panic(err)
+			return nil, err
 		}
 		res, err := reduce.RunDistribute(seq, n, core.NewDeltaLRUEDF())
 		if err != nil {
-			panic(err)
+			return nil, err
 		}
 		br := offline.BracketOPT(seq, m)
 		t.AddRow(seed, seq.NumJobs(), fmt.Sprintf("%v", seq.IsRateLimited()),
 			res.Inner.Cost.Total(), res.Cost.Total(), br.LB, br.UB,
 			stats.Ratio(res.Cost.Total(), br.LB))
 	}
-	return []*stats.Table{t}
+	return []*stats.Table{t}, nil
 }
 
-func runE5(cfg Config) []*stats.Table {
+func runE5(cfg Config) ([]*stats.Table, error) {
 	m := 1
 	n := 8 * m
 	seeds := []int64{1, 2, 3, 4}
@@ -147,19 +153,25 @@ func runE5(cfg Config) []*stats.Table {
 		for _, seed := range seeds {
 			seq, err := g.gen(seed)
 			if err != nil {
-				panic(err)
+				return nil, err
 			}
 			vres, err := reduce.RunVarBatch(seq, n, core.NewDeltaLRUEDF())
 			if err != nil {
-				panic(err)
+				return nil, err
 			}
 			env := sim.Env{Seq: seq, Resources: n, Replication: 2, Speed: 1}
-			mp := sim.MustRun(env, &baseline.MostPending{})
-			ce := sim.MustRun(env, &baseline.ColorEDF{})
+			mp, err := sim.Run(env, &baseline.MostPending{})
+			if err != nil {
+				return nil, err
+			}
+			ce, err := sim.Run(env, &baseline.ColorEDF{})
+			if err != nil {
+				return nil, err
+			}
 			br := offline.BracketOPT(seq, m)
 			t.AddRow(g.name, seed, seq.NumJobs(), vres.Cost.Total(), mp.Cost.Total(), ce.Cost.Total(),
 				br.LB, br.UB, stats.Ratio(vres.Cost.Total(), br.LB))
 		}
 	}
-	return []*stats.Table{t}
+	return []*stats.Table{t}, nil
 }

@@ -5,6 +5,7 @@ import (
 
 	"rrsched/internal/core"
 	"rrsched/internal/edf"
+	"rrsched/internal/model"
 	"rrsched/internal/reduce"
 	"rrsched/internal/sim"
 	"rrsched/internal/stats"
@@ -32,7 +33,7 @@ func init() {
 	})
 }
 
-func runE6(cfg Config) []*stats.Table {
+func runE6(cfg Config) ([]*stats.Table, error) {
 	m := 1
 	n := 8 * m
 	seeds := []int64{1, 2, 3, 4, 5}
@@ -48,22 +49,25 @@ func runE6(cfg Config) []*stats.Table {
 			MinDelayExp: 1, MaxDelayExp: 4, Load: 0.8, RateLimited: true,
 		})
 		if err != nil {
-			panic(err)
+			return nil, err
 		}
 		p := core.NewDeltaLRUEDF()
-		res := sim.MustRun(sim.Env{Seq: seq, Resources: n, Replication: 2, Speed: 1}, p)
+		res, err := sim.Run(sim.Env{Seq: seq, Resources: n, Replication: 2, Speed: 1}, p)
+		if err != nil {
+			return nil, err
+		}
 		ds, err := edf.DSSeqEDF(seq, 2*m)
 		if err != nil {
-			panic(err)
+			return nil, err
 		}
 		t.AddRow(seed, seq.NumJobs(),
 			p.Tracker().EligibleDrops(), ds.Cost.Drop,
 			edf.ParEDFDrops(seq, 2*m), edf.ParEDFDrops(seq, m), res.Cost.Drop)
 	}
-	return []*stats.Table{t}
+	return []*stats.Table{t}, nil
 }
 
-func runE7(cfg Config) []*stats.Table {
+func runE7(cfg Config) ([]*stats.Table, error) {
 	n := 8
 	seeds := []int64{1, 2, 3, 4, 5}
 	if cfg.Quick {
@@ -79,10 +83,13 @@ func runE7(cfg Config) []*stats.Table {
 			MinDelayExp: 1, MaxDelayExp: 4, Load: 0.7, RateLimited: true,
 		})
 		if err != nil {
-			panic(err)
+			return nil, err
 		}
 		p := core.NewDeltaLRUEDF()
-		res := sim.MustRun(sim.Env{Seq: seq, Resources: n, Replication: 2, Speed: 1}, p)
+		res, err := sim.Run(sim.Env{Seq: seq, Resources: n, Replication: 2, Speed: 1}, p)
+		if err != nil {
+			return nil, err
+		}
 		tr := p.Tracker()
 		epochs := tr.NumEpochs()
 		bound33 := 4 * epochs * delta
@@ -91,10 +98,10 @@ func runE7(cfg Config) []*stats.Table {
 			res.Cost.Reconfig, bound33, bound33-res.Cost.Reconfig,
 			tr.IneligibleDrops(), bound34, bound34-tr.IneligibleDrops())
 	}
-	return []*stats.Table{t}
+	return []*stats.Table{t}, nil
 }
 
-func runE8(cfg Config) []*stats.Table {
+func runE8(cfg Config) ([]*stats.Table, error) {
 	n := 8
 	rounds := int64(1024)
 	if cfg.Quick {
@@ -107,34 +114,57 @@ func runE8(cfg Config) []*stats.Table {
 		Rounds: rounds, BurstProb: 0.5, BackgroundJobs: 192,
 	})
 	if err != nil {
-		panic(err)
+		return nil, err
 	}
 	t := stats.NewTable(
 		fmt.Sprintf("E8: background vs short-term scenario (n=%d, jobs=%d): cost decomposition per policy", n, seq.NumJobs()),
 		"policy", "reconfig", "drop", "total")
-	run := func(name string, f func() (int64, int64)) {
-		rc, dr := f()
-		t.AddRow(name, rc, dr, rc+dr)
+	run := func(name string, f func() (model.Cost, error)) error {
+		c, err := f()
+		if err != nil {
+			return fmt.Errorf("%s: %w", name, err)
+		}
+		t.AddRow(name, c.Reconfig, c.Drop, c.Reconfig+c.Drop)
+		return nil
 	}
 	env := sim.Env{Seq: seq, Resources: n, Replication: 2, Speed: 1}
-	run("dlru (recency only)", func() (int64, int64) {
-		r := sim.MustRun(env, core.NewDeltaLRU())
-		return r.Cost.Reconfig, r.Cost.Drop
-	})
-	run("edf (deadline only)", func() (int64, int64) {
-		r := sim.MustRun(env, core.NewEDF())
-		return r.Cost.Reconfig, r.Cost.Drop
-	})
-	run("dlru-edf (combination)", func() (int64, int64) {
-		r := sim.MustRun(env, core.NewDeltaLRUEDF())
-		return r.Cost.Reconfig, r.Cost.Drop
-	})
-	run("distribute(dlru-edf)", func() (int64, int64) {
-		r, err := reduce.RunDistribute(seq, n, core.NewDeltaLRUEDF())
-		if err != nil {
-			panic(err)
+	steps := []struct {
+		name string
+		f    func() (model.Cost, error)
+	}{
+		{"dlru (recency only)", func() (model.Cost, error) {
+			r, err := sim.Run(env, core.NewDeltaLRU())
+			if err != nil {
+				return model.Cost{}, err
+			}
+			return r.Cost, nil
+		}},
+		{"edf (deadline only)", func() (model.Cost, error) {
+			r, err := sim.Run(env, core.NewEDF())
+			if err != nil {
+				return model.Cost{}, err
+			}
+			return r.Cost, nil
+		}},
+		{"dlru-edf (combination)", func() (model.Cost, error) {
+			r, err := sim.Run(env, core.NewDeltaLRUEDF())
+			if err != nil {
+				return model.Cost{}, err
+			}
+			return r.Cost, nil
+		}},
+		{"distribute(dlru-edf)", func() (model.Cost, error) {
+			r, err := reduce.RunDistribute(seq, n, core.NewDeltaLRUEDF())
+			if err != nil {
+				return model.Cost{}, err
+			}
+			return r.Cost, nil
+		}},
+	}
+	for _, s := range steps {
+		if err := run(s.name, s.f); err != nil {
+			return nil, err
 		}
-		return r.Cost.Reconfig, r.Cost.Drop
-	})
-	return []*stats.Table{t}
+	}
+	return []*stats.Table{t}, nil
 }

@@ -33,7 +33,7 @@ func init() {
 	})
 }
 
-func runE9(cfg Config) []*stats.Table {
+func runE9(cfg Config) ([]*stats.Table, error) {
 	m := 1
 	n := 8 * m
 	seeds := []int64{1, 2, 3, 4, 5, 6, 7, 8}
@@ -49,25 +49,25 @@ func runE9(cfg Config) []*stats.Table {
 			MinDelayExp: 1, MaxDelayExp: 2, Load: 0.5,
 		})
 		if err != nil {
-			panic(err)
+			return nil, err
 		}
 		opt, err := offline.Exact(seq, m, offline.ExactOptions{})
 		if err != nil {
-			panic(err)
+			return nil, err
 		}
 		br := offline.BracketOPT(seq, m)
 		res, err := reduce.RunVarBatch(seq, n, core.NewDeltaLRUEDF())
 		if err != nil {
-			panic(err)
+			return nil, err
 		}
 		ok := br.LB <= opt && opt <= br.UB
 		t.AddRow(seed, seq.NumJobs(), br.LB, opt, br.UB, res.Cost.Total(),
 			stats.Ratio(res.Cost.Total(), opt), fmt.Sprintf("%v", ok))
 	}
-	return []*stats.Table{t}
+	return []*stats.Table{t}, nil
 }
 
-func runE10(cfg Config) []*stats.Table {
+func runE10(cfg Config) ([]*stats.Table, error) {
 	m := 1
 	ns := []int{4, 8, 16, 32}
 	if cfg.Quick {
@@ -86,9 +86,12 @@ func runE10(cfg Config) []*stats.Table {
 				MinDelayExp: 1, MaxDelayExp: 4, Load: 0.5, ZipfS: 1.3, RateLimited: true,
 			})
 			if err != nil {
-				panic(err)
+				return nil, err
 			}
-			res := sim.MustRun(sim.Env{Seq: seq, Resources: n, Replication: 2, Speed: 1}, core.NewDeltaLRUEDF())
+			res, err := sim.Run(sim.Env{Seq: seq, Resources: n, Replication: 2, Speed: 1}, core.NewDeltaLRUEDF())
+			if err != nil {
+				return nil, err
+			}
 			lb := offline.LowerBound(seq, m)
 			sumCost += res.Cost.Total()
 			sumLB += lb
@@ -97,10 +100,10 @@ func runE10(cfg Config) []*stats.Table {
 		k := int64(len(seeds))
 		t.AddRow(n, fmt.Sprintf("%dx", n/m), sumCost/k, sumLB/k, sumRatio/float64(len(seeds)))
 	}
-	return []*stats.Table{t}
+	return []*stats.Table{t}, nil
 }
 
-func runE11(cfg Config) []*stats.Table {
+func runE11(cfg Config) ([]*stats.Table, error) {
 	n := 8
 	seeds := []int64{1, 2, 3, 4}
 	if cfg.Quick {
@@ -109,29 +112,31 @@ func runE11(cfg Config) []*stats.Table {
 	type variantResult struct {
 		reconfig, drop, total int64
 	}
+	runVariant := func(seq *model.Sequence, repl int, p sim.Policy) (variantResult, error) {
+		r, err := sim.Run(sim.Env{Seq: seq, Resources: n, Replication: repl, Speed: 1}, p)
+		if err != nil {
+			return variantResult{}, err
+		}
+		return variantResult{r.Cost.Reconfig, r.Cost.Drop, r.Cost.Total()}, nil
+	}
 	variants := []struct {
 		name string
-		run  func(seq *model.Sequence) variantResult
+		run  func(seq *model.Sequence) (variantResult, error)
 	}{
-		{"default (half/half, repl=2)", func(seq *model.Sequence) variantResult {
-			r := sim.MustRun(sim.Env{Seq: seq, Resources: n, Replication: 2, Speed: 1}, core.NewDeltaLRUEDF())
-			return variantResult{r.Cost.Reconfig, r.Cost.Drop, r.Cost.Total()}
+		{"default (half/half, repl=2)", func(seq *model.Sequence) (variantResult, error) {
+			return runVariant(seq, 2, core.NewDeltaLRUEDF())
 		}},
-		{"all slots LRU (pure ΔLRU split)", func(seq *model.Sequence) variantResult {
-			r := sim.MustRun(sim.Env{Seq: seq, Resources: n, Replication: 2, Speed: 1}, core.NewDeltaLRUEDF(core.WithLRUSlots(n/2)))
-			return variantResult{r.Cost.Reconfig, r.Cost.Drop, r.Cost.Total()}
+		{"all slots LRU (pure ΔLRU split)", func(seq *model.Sequence) (variantResult, error) {
+			return runVariant(seq, 2, core.NewDeltaLRUEDF(core.WithLRUSlots(n/2)))
 		}},
-		{"no LRU slots (pure EDF split)", func(seq *model.Sequence) variantResult {
-			r := sim.MustRun(sim.Env{Seq: seq, Resources: n, Replication: 2, Speed: 1}, core.NewEDF())
-			return variantResult{r.Cost.Reconfig, r.Cost.Drop, r.Cost.Total()}
+		{"no LRU slots (pure EDF split)", func(seq *model.Sequence) (variantResult, error) {
+			return runVariant(seq, 2, core.NewEDF())
 		}},
-		{"no replication (repl=1)", func(seq *model.Sequence) variantResult {
-			r := sim.MustRun(sim.Env{Seq: seq, Resources: n, Replication: 1, Speed: 1}, core.NewDeltaLRUEDF())
-			return variantResult{r.Cost.Reconfig, r.Cost.Drop, r.Cost.Total()}
+		{"no replication (repl=1)", func(seq *model.Sequence) (variantResult, error) {
+			return runVariant(seq, 1, core.NewDeltaLRUEDF())
 		}},
-		{"quarter LRU slots", func(seq *model.Sequence) variantResult {
-			r := sim.MustRun(sim.Env{Seq: seq, Resources: n, Replication: 2, Speed: 1}, core.NewDeltaLRUEDF(core.WithLRUSlots(1)))
-			return variantResult{r.Cost.Reconfig, r.Cost.Drop, r.Cost.Total()}
+		{"quarter LRU slots", func(seq *model.Sequence) (variantResult, error) {
+			return runVariant(seq, 2, core.NewDeltaLRUEDF(core.WithLRUSlots(1)))
 		}},
 	}
 	t := stats.NewTable(
@@ -145,9 +150,12 @@ func runE11(cfg Config) []*stats.Table {
 				MinDelayExp: 1, MaxDelayExp: 4, Load: 0.7, ZipfS: 1.4, RateLimited: true,
 			})
 			if err != nil {
-				panic(err)
+				return nil, err
 			}
-			r := v.run(seq)
+			r, err := v.run(seq)
+			if err != nil {
+				return nil, err
+			}
 			agg.reconfig += r.reconfig
 			agg.drop += r.drop
 			agg.total += r.total
@@ -155,5 +163,5 @@ func runE11(cfg Config) []*stats.Table {
 		k := int64(len(seeds))
 		t.AddRow(v.name, agg.reconfig/k, agg.drop/k, agg.total/k)
 	}
-	return []*stats.Table{t}
+	return []*stats.Table{t}, nil
 }

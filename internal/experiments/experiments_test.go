@@ -4,12 +4,28 @@ import (
 	"strconv"
 	"strings"
 	"testing"
+
+	"rrsched/internal/stats"
 )
+
+// mustRun executes an experiment by ID and fails the test on error.
+func mustRun(t *testing.T, id string, cfg Config) []*stats.Table {
+	t.Helper()
+	e, ok := ByID(id)
+	if !ok {
+		t.Fatalf("experiment %s not registered", id)
+	}
+	tables, err := e.Run(cfg)
+	if err != nil {
+		t.Fatalf("%s failed: %v", id, err)
+	}
+	return tables
+}
 
 func TestRegistryComplete(t *testing.T) {
 	all := All()
-	if len(all) != 17 {
-		t.Fatalf("registered %d experiments, want 17", len(all))
+	if len(all) != 18 {
+		t.Fatalf("registered %d experiments, want 18", len(all))
 	}
 	for i, e := range all {
 		want := "E" + strconv.Itoa(i+1)
@@ -37,7 +53,7 @@ func TestAllExperimentsRunQuick(t *testing.T) {
 	for _, e := range All() {
 		e := e
 		t.Run(e.ID, func(t *testing.T) {
-			tables := e.Run(Config{Quick: true})
+			tables := mustRun(t, e.ID, Config{Quick: true})
 			if len(tables) == 0 {
 				t.Fatal("no tables")
 			}
@@ -58,8 +74,7 @@ func TestAllExperimentsRunQuick(t *testing.T) {
 // TestE1ShapeRatioGrows: the ΔLRU ratio must grow with j while the
 // ΔLRU-EDF ratio stays flat — the paper's Appendix A shape.
 func TestE1ShapeRatioGrows(t *testing.T) {
-	e, _ := ByID("E1")
-	tb := e.Run(Config{Quick: false})[0]
+	tb := mustRun(t, "E1", Config{Quick: false})[0]
 	first := parseF(t, tb.Rows[0][5])
 	last := parseF(t, tb.Rows[len(tb.Rows)-1][5])
 	if last < 2*first {
@@ -75,8 +90,7 @@ func TestE1ShapeRatioGrows(t *testing.T) {
 // TestE2ShapeRatioGrows: the EDF ratio grows with k, ΔLRU-EDF stays flat —
 // the Appendix B shape.
 func TestE2ShapeRatioGrows(t *testing.T) {
-	e, _ := ByID("E2")
-	tb := e.Run(Config{Quick: false})[0]
+	tb := mustRun(t, "E2", Config{Quick: false})[0]
 	first := parseF(t, tb.Rows[0][5])
 	last := parseF(t, tb.Rows[len(tb.Rows)-1][5])
 	if last < 2*first {
@@ -92,8 +106,7 @@ func TestE2ShapeRatioGrows(t *testing.T) {
 // TestE3RatiosBounded: measured ratioLB stays under a generous constant on
 // every row (Theorem 1's empirical signature).
 func TestE3RatiosBounded(t *testing.T) {
-	e, _ := ByID("E3")
-	tb := e.Run(Config{Quick: true})[0]
+	tb := mustRun(t, "E3", Config{Quick: true})[0]
 	col := indexOf(t, tb.Headers, "ratioLB")
 	for _, row := range tb.Rows {
 		if r := parseF(t, row[col]); r > 8 {
@@ -104,8 +117,7 @@ func TestE3RatiosBounded(t *testing.T) {
 
 // TestE7SlackNonNegative: the Lemma 3.3/3.4 slack columns must be >= 0.
 func TestE7SlackNonNegative(t *testing.T) {
-	e, _ := ByID("E7")
-	tb := e.Run(Config{Quick: true})[0]
+	tb := mustRun(t, "E7", Config{Quick: true})[0]
 	i33 := indexOf(t, tb.Headers, "slack 3.3")
 	i34 := indexOf(t, tb.Headers, "slack 3.4")
 	for _, row := range tb.Rows {
@@ -117,8 +129,7 @@ func TestE7SlackNonNegative(t *testing.T) {
 
 // TestE9BracketHolds: every row must report "bracket ok = true".
 func TestE9BracketHolds(t *testing.T) {
-	e, _ := ByID("E9")
-	tb := e.Run(Config{Quick: true})[0]
+	tb := mustRun(t, "E9", Config{Quick: true})[0]
 	col := indexOf(t, tb.Headers, "bracket ok")
 	for _, row := range tb.Rows {
 		if row[col] != "true" {
@@ -129,8 +140,7 @@ func TestE9BracketHolds(t *testing.T) {
 
 // TestE12AdversaryRatio: LRU(k)/OPT(k) ≈ k on the Sleator–Tarjan trace.
 func TestE12AdversaryRatio(t *testing.T) {
-	e, _ := ByID("E12")
-	tb := e.Run(Config{Quick: true})[0]
+	tb := mustRun(t, "E12", Config{Quick: true})[0]
 	kCol := indexOf(t, tb.Headers, "k")
 	rCol := indexOf(t, tb.Headers, "LRU(k)/OPT(k)")
 	for _, row := range tb.Rows {
@@ -164,8 +174,7 @@ func indexOf(t *testing.T, headers []string, name string) int {
 
 // TestE10MonotoneInAugmentation: mean ratioLB must not increase with n.
 func TestE10MonotoneInAugmentation(t *testing.T) {
-	e, _ := ByID("E10")
-	tb := e.Run(Config{Quick: false})[0]
+	tb := mustRun(t, "E10", Config{Quick: false})[0]
 	col := indexOf(t, tb.Headers, "mean ratioLB")
 	prev := 1e18
 	for _, row := range tb.Rows {
@@ -179,8 +188,7 @@ func TestE10MonotoneInAugmentation(t *testing.T) {
 
 // TestE13OverlapBound: Corollary 3.2's cap of 3 epochs per super-epoch.
 func TestE13OverlapBound(t *testing.T) {
-	e, _ := ByID("E13")
-	tb := e.Run(Config{Quick: true})[0]
+	tb := mustRun(t, "E13", Config{Quick: true})[0]
 	col := indexOf(t, tb.Headers, "max overlap")
 	for _, row := range tb.Rows {
 		if v := parseF(t, row[col]); v > 3 {
@@ -193,8 +201,7 @@ func TestE13OverlapBound(t *testing.T) {
 // show identical execution counts before and after (Lemma 4.5 parity and the
 // Lemma 5.3 contract).
 func TestE14ExecutionParity(t *testing.T) {
-	e, _ := ByID("E14")
-	tables := e.Run(Config{Quick: true})
+	tables := mustRun(t, "E14", Config{Quick: true})
 	agg := tables[0]
 	i1 := indexOf(t, agg.Headers, "T execs")
 	i2 := indexOf(t, agg.Headers, "T' execs")
@@ -217,8 +224,7 @@ func TestE14ExecutionParity(t *testing.T) {
 // TestE16TailBounded: the max ratio stays within 2x of the median on every
 // family (no heavy tail).
 func TestE16TailBounded(t *testing.T) {
-	e, _ := ByID("E16")
-	tb := e.Run(Config{Quick: true})[0]
+	tb := mustRun(t, "E16", Config{Quick: true})[0]
 	p50 := indexOf(t, tb.Headers, "p50")
 	maxc := indexOf(t, tb.Headers, "max")
 	for _, row := range tb.Rows {
@@ -233,8 +239,7 @@ func TestE16TailBounded(t *testing.T) {
 // TestE15AdaptiveRobust: adaptive never exceeds 2x the fixed split on any
 // family row.
 func TestE15AdaptiveRobust(t *testing.T) {
-	e, _ := ByID("E15")
-	tb := e.Run(Config{Quick: true})[0]
+	tb := mustRun(t, "E15", Config{Quick: true})[0]
 	fixed := indexOf(t, tb.Headers, "fixed half/half")
 	adaptive := indexOf(t, tb.Headers, "adaptive")
 	for _, row := range tb.Rows {

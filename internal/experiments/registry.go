@@ -19,12 +19,15 @@ type Config struct {
 	Quick bool
 }
 
-// Experiment is a registered, runnable experiment.
+// Experiment is a registered, runnable experiment. Run returns the
+// experiment's tables or an error; experiments never panic on bad
+// configurations or failed runs, so drivers (cmd/rrexp, benchmarks) can
+// report failures and keep going.
 type Experiment struct {
 	ID    string
 	Title string
 	Claim string
-	Run   func(cfg Config) []*stats.Table
+	Run   func(cfg Config) ([]*stats.Table, error)
 }
 
 var registry = map[string]Experiment{}

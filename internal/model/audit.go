@@ -15,7 +15,10 @@ import (
 //   - at most one execution per (resource, round, mini-round),
 //   - executions in an (round, mini) slot happen at or after the job's
 //     arrival phase (arrival round allowed, since arrivals precede
-//     executions within a round).
+//     executions within a round),
+//   - no execution or reconfiguration lands on a resource while it is down
+//     (within one of the schedule's recorded outages), and a resource's
+//     configuration is wiped to black when an outage begins.
 //
 // The returned cost charges Delta per reconfiguration record and 1 per job
 // never executed. Audit is the single source of truth for costs: engines and
@@ -34,15 +37,43 @@ func Audit(seq *Sequence, sched *Schedule) (Cost, error) {
 		jobs[j.ID] = j
 	}
 
-	// Merge reconfigurations and executions into a single timeline keyed by
-	// (round, mini, phase) where reconfigurations precede executions.
+	// Validate the outage records: in range, well-ordered, and non-overlapping
+	// per resource.
+	byResource := make(map[int][]Outage, len(sched.Outages))
+	for i, o := range sched.Outages {
+		if o.Resource < 0 || o.Resource >= sched.NumResources {
+			return Cost{}, fmt.Errorf("model: audit: outage %d targets resource %d of %d", i, o.Resource, sched.NumResources)
+		}
+		if o.Start < 0 || o.End <= o.Start {
+			return Cost{}, fmt.Errorf("model: audit: outage %d has invalid interval [%d,%d)", i, o.Start, o.End)
+		}
+		byResource[o.Resource] = append(byResource[o.Resource], o)
+	}
+	for r, outs := range byResource {
+		sort.Slice(outs, func(i, j int) bool { return outs[i].Start < outs[j].Start })
+		for i := 1; i < len(outs); i++ {
+			if outs[i].Start < outs[i-1].End {
+				return Cost{}, fmt.Errorf("model: audit: overlapping outages on resource %d: [%d,%d) and [%d,%d)",
+					r, outs[i-1].Start, outs[i-1].End, outs[i].Start, outs[i].End)
+			}
+		}
+	}
+
+	// Merge outage transitions, reconfigurations, and executions into a
+	// single timeline keyed by (round, mini, phase). Fault transitions happen
+	// at the start of a round (mini -1), repairs before crashes so adjacent
+	// outages compose; reconfigurations precede executions within a mini.
 	type event struct {
 		round int64
 		mini  int
-		kind  int // 0 = reconfig, 1 = exec
+		kind  int // 0 = repair, 1 = crash, 2 = reconfig, 3 = exec
 		idx   int
 	}
-	events := make([]event, 0, len(sched.Reconfigs)+len(sched.Execs))
+	events := make([]event, 0, len(sched.Reconfigs)+len(sched.Execs)+2*len(sched.Outages))
+	for i, o := range sched.Outages {
+		events = append(events, event{round: o.Start, mini: -1, kind: 1, idx: i})
+		events = append(events, event{round: o.End, mini: -1, kind: 0, idx: i})
+	}
 	for i, r := range sched.Reconfigs {
 		if r.Resource < 0 || r.Resource >= sched.NumResources {
 			return Cost{}, fmt.Errorf("model: audit: reconfig %d targets resource %d of %d", i, r.Resource, sched.NumResources)
@@ -53,7 +84,7 @@ func Audit(seq *Sequence, sched *Schedule) (Cost, error) {
 		if r.Round < 0 {
 			return Cost{}, fmt.Errorf("model: audit: reconfig %d in negative round", i)
 		}
-		events = append(events, event{round: r.Round, mini: r.Mini, kind: 0, idx: i})
+		events = append(events, event{round: r.Round, mini: r.Mini, kind: 2, idx: i})
 	}
 	for i, e := range sched.Execs {
 		if e.Resource < 0 || e.Resource >= sched.NumResources {
@@ -62,7 +93,7 @@ func Audit(seq *Sequence, sched *Schedule) (Cost, error) {
 		if e.Mini < 0 || e.Mini >= sched.Speed {
 			return Cost{}, fmt.Errorf("model: audit: exec %d has mini-round %d with speed %d", i, e.Mini, sched.Speed)
 		}
-		events = append(events, event{round: e.Round, mini: e.Mini, kind: 1, idx: i})
+		events = append(events, event{round: e.Round, mini: e.Mini, kind: 3, idx: i})
 	}
 	sort.SliceStable(events, func(a, b int) bool {
 		ea, eb := events[a], events[b]
@@ -79,6 +110,7 @@ func Audit(seq *Sequence, sched *Schedule) (Cost, error) {
 	for i := range config {
 		config[i] = Black
 	}
+	down := make([]bool, sched.NumResources)
 	executed := make(map[int64]bool, len(sched.Execs))
 	type slot struct {
 		round    int64
@@ -89,8 +121,20 @@ func Audit(seq *Sequence, sched *Schedule) (Cost, error) {
 
 	var cost Cost
 	for _, ev := range events {
-		if ev.kind == 0 {
+		switch ev.kind {
+		case 0: // repair: the resource returns, blank (its color was wiped at crash)
+			down[sched.Outages[ev.idx].Resource] = false
+			continue
+		case 1: // crash: the resource goes down and loses its configuration
+			o := sched.Outages[ev.idx]
+			down[o.Resource] = true
+			config[o.Resource] = Black
+			continue
+		case 2:
 			r := sched.Reconfigs[ev.idx]
+			if down[r.Resource] {
+				return Cost{}, fmt.Errorf("model: audit: reconfiguration of down resource %d in round %d", r.Resource, r.Round)
+			}
 			if config[r.Resource] == r.To {
 				return Cost{}, fmt.Errorf("model: audit: no-op reconfiguration of resource %d to %v in round %d", r.Resource, r.To, r.Round)
 			}
@@ -99,6 +143,9 @@ func Audit(seq *Sequence, sched *Schedule) (Cost, error) {
 			continue
 		}
 		e := sched.Execs[ev.idx]
+		if down[e.Resource] {
+			return Cost{}, fmt.Errorf("model: audit: execution of job %d on down resource %d in round %d", e.JobID, e.Resource, e.Round)
+		}
 		j, ok := jobs[e.JobID]
 		if !ok {
 			return Cost{}, fmt.Errorf("model: audit: execution of unknown job %d", e.JobID)
@@ -126,11 +173,14 @@ func Audit(seq *Sequence, sched *Schedule) (Cost, error) {
 	return cost, nil
 }
 
-// MustAudit is Audit but panics on a legality violation.
+// MustAudit is Audit but panics on a legality violation. It is a helper for
+// tests and generators with statically legal schedules; user-reachable paths
+// (the cmd tools and the experiment harness) use Audit and propagate the
+// error.
 func MustAudit(seq *Sequence, sched *Schedule) Cost {
 	c, err := Audit(seq, sched)
 	if err != nil {
-		panic(err)
+		panic(fmt.Errorf("model: audit failed: %w", err))
 	}
 	return c
 }

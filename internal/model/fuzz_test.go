@@ -23,12 +23,40 @@ func FuzzReadSchedule(f *testing.F) {
 	f.Add(`{"resources":0}`)
 	f.Add(`nonsense`)
 	f.Add(`{"resources":1,"reconfigs":[{"round":-1,"resource":9,"to":-5}]}`)
+	// Outage serialization and hardening corners: legal outages, inverted and
+	// out-of-range intervals, wrong resources, oversized declarations.
+	faulty := NewSchedule(2, 1)
+	faulty.AddOutage(0, 1, 3)
+	faulty.AddReconfig(3, 0, 0, 0)
+	faulty.AddExec(3, 0, 0, 1)
+	buf.Reset()
+	if err := WriteSchedule(&buf, faulty); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(buf.String())
+	f.Add(`{"resources":2,"outages":[{"resource":0,"start":1,"end":3}]}`)
+	f.Add(`{"resources":2,"outages":[{"resource":0,"start":3,"end":1}]}`)
+	f.Add(`{"resources":2,"outages":[{"resource":5,"start":0,"end":1}]}`)
+	f.Add(`{"resources":2,"outages":[{"resource":0,"start":-1,"end":2}]}`)
+	f.Add(`{"resources":2,"outages":[{"resource":0,"start":0,"end":1099511627777}]}`)
+	f.Add(`{"resources":2097152}`)
+	f.Add(`{"resources":1,"speed":99}`)
+	f.Add(`{"resources":1,"execs":[{"round":1099511627777,"resource":0,"job":0}]}`)
+	f.Add(`{"resources":1,"execs":[{"round":0,"resource":0,"job":-7}]}`)
 
 	seq := NewBuilder(2).Add(0, 0, 4, 2).MustBuild()
 	f.Fuzz(func(t *testing.T, data string) {
 		sched, err := ReadSchedule(strings.NewReader(data))
 		if err != nil {
 			return
+		}
+		// Accepted schedules must survive a write/read round trip.
+		var rt bytes.Buffer
+		if err := WriteSchedule(&rt, sched); err != nil {
+			t.Fatalf("write-back of accepted schedule failed: %v", err)
+		}
+		if _, err := ReadSchedule(&rt); err != nil {
+			t.Fatalf("round trip of accepted schedule rejected: %v", err)
 		}
 		// Audit must terminate with a verdict, never panic.
 		if cost, err := Audit(seq, sched); err == nil {

@@ -39,6 +39,18 @@ type Execution struct {
 	JobID    int64
 }
 
+// Outage records a resource failure: the resource is down during rounds
+// [Start, End). A down resource executes nothing and may not be
+// reconfigured, and its configured color is wiped when the outage begins
+// (on repair it restarts black). Schedules produced under a fault plan
+// carry their outages so audits and replays can verify that no decision
+// touched a dead resource.
+type Outage struct {
+	Resource int
+	Start    int64 // first down round
+	End      int64 // first up round after the outage (exclusive)
+}
+
 // Schedule is a complete record of the decisions of an algorithm on a
 // sequence: every reconfiguration and every job execution, in order. Costs
 // are re-derivable from the record (see Audit), which makes schedules the
@@ -48,6 +60,10 @@ type Schedule struct {
 	Speed        int // mini-rounds per round: 1 (uni-speed) or 2 (double-speed)
 	Reconfigs    []Reconfigure
 	Execs        []Execution
+	// Outages are the resource downtimes the schedule was produced under
+	// (empty for fault-free runs). Audit enforces that no reconfiguration or
+	// execution lands on a down resource.
+	Outages []Outage
 }
 
 // NewSchedule returns an empty schedule for n resources at the given speed.
@@ -69,6 +85,11 @@ func (s *Schedule) AddReconfig(round int64, mini, resource int, to Color) {
 // AddExec appends an execution record.
 func (s *Schedule) AddExec(round int64, mini, resource int, jobID int64) {
 	s.Execs = append(s.Execs, Execution{Round: round, Mini: mini, Resource: resource, JobID: jobID})
+}
+
+// AddOutage appends an outage record: resource is down during [start, end).
+func (s *Schedule) AddOutage(resource int, start, end int64) {
+	s.Outages = append(s.Outages, Outage{Resource: resource, Start: start, End: end})
 }
 
 // NumReconfigs returns the number of recorded reconfigurations.

@@ -6,12 +6,22 @@ import (
 	"io"
 )
 
+// Hard ceilings for decoded schedules. Schedules beyond these sizes are not
+// produced by any generator in this repository; rejecting them up front keeps
+// a corrupted or hostile file from driving huge allocations downstream.
+const (
+	maxScheduleResources = 1 << 20
+	maxScheduleSpeed     = 16
+	maxScheduleRound     = int64(1) << 40
+)
+
 // scheduleJSON is the on-disk representation of a Schedule.
 type scheduleJSON struct {
 	Resources int               `json:"resources"`
 	Speed     int               `json:"speed"`
 	Reconfigs []reconfigureJSON `json:"reconfigs"`
 	Execs     []executionJSON   `json:"execs"`
+	Outages   []outageJSON      `json:"outages,omitempty"`
 }
 
 type reconfigureJSON struct {
@@ -28,6 +38,12 @@ type executionJSON struct {
 	JobID    int64 `json:"job"`
 }
 
+type outageJSON struct {
+	Resource int   `json:"resource"`
+	Start    int64 `json:"start"`
+	End      int64 `json:"end"`
+}
+
 // WriteSchedule serializes a schedule as indented JSON. Together with the
 // workload trace format this makes every experiment's output replayable and
 // re-auditable out of process.
@@ -39,12 +55,17 @@ func WriteSchedule(w io.Writer, s *Schedule) error {
 	for _, e := range s.Execs {
 		out.Execs = append(out.Execs, executionJSON{Round: e.Round, Mini: e.Mini, Resource: e.Resource, JobID: e.JobID})
 	}
+	for _, o := range s.Outages {
+		out.Outages = append(out.Outages, outageJSON{Resource: o.Resource, Start: o.Start, End: o.End})
+	}
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
 	return enc.Encode(out)
 }
 
-// ReadSchedule parses a JSON schedule.
+// ReadSchedule parses a JSON schedule. Malformed input — out-of-range
+// resources, negative rounds, unknown (sub-black) colors, absurd sizes — is
+// rejected with an error rather than deferred to a downstream panic.
 func ReadSchedule(r io.Reader) (*Schedule, error) {
 	var in scheduleJSON
 	if err := json.NewDecoder(r).Decode(&in); err != nil {
@@ -53,18 +74,54 @@ func ReadSchedule(r io.Reader) (*Schedule, error) {
 	if in.Resources <= 0 {
 		return nil, fmt.Errorf("model: schedule declares %d resources", in.Resources)
 	}
+	if in.Resources > maxScheduleResources {
+		return nil, fmt.Errorf("model: schedule declares %d resources (limit %d)", in.Resources, maxScheduleResources)
+	}
 	if in.Speed == 0 {
 		in.Speed = 1
 	}
-	if in.Speed < 1 {
-		return nil, fmt.Errorf("model: schedule declares speed %d", in.Speed)
+	if in.Speed < 1 || in.Speed > maxScheduleSpeed {
+		return nil, fmt.Errorf("model: schedule declares speed %d (want 1..%d)", in.Speed, maxScheduleSpeed)
 	}
 	s := NewSchedule(in.Resources, in.Speed)
-	for _, r := range in.Reconfigs {
+	for i, r := range in.Reconfigs {
+		if r.Round < 0 || r.Round > maxScheduleRound {
+			return nil, fmt.Errorf("model: reconfig %d has round %d out of range", i, r.Round)
+		}
+		if r.Resource < 0 || r.Resource >= in.Resources {
+			return nil, fmt.Errorf("model: reconfig %d targets resource %d of %d", i, r.Resource, in.Resources)
+		}
+		if r.Mini < 0 || r.Mini >= in.Speed {
+			return nil, fmt.Errorf("model: reconfig %d has mini-round %d with speed %d", i, r.Mini, in.Speed)
+		}
+		if Color(r.To) < Black {
+			return nil, fmt.Errorf("model: reconfig %d recolors to unknown color %d", i, r.To)
+		}
 		s.AddReconfig(r.Round, r.Mini, r.Resource, Color(r.To))
 	}
-	for _, e := range in.Execs {
+	for i, e := range in.Execs {
+		if e.Round < 0 || e.Round > maxScheduleRound {
+			return nil, fmt.Errorf("model: exec %d has round %d out of range", i, e.Round)
+		}
+		if e.Resource < 0 || e.Resource >= in.Resources {
+			return nil, fmt.Errorf("model: exec %d targets resource %d of %d", i, e.Resource, in.Resources)
+		}
+		if e.Mini < 0 || e.Mini >= in.Speed {
+			return nil, fmt.Errorf("model: exec %d has mini-round %d with speed %d", i, e.Mini, in.Speed)
+		}
+		if e.JobID < 0 {
+			return nil, fmt.Errorf("model: exec %d has negative job id %d", i, e.JobID)
+		}
 		s.AddExec(e.Round, e.Mini, e.Resource, e.JobID)
+	}
+	for i, o := range in.Outages {
+		if o.Resource < 0 || o.Resource >= in.Resources {
+			return nil, fmt.Errorf("model: outage %d targets resource %d of %d", i, o.Resource, in.Resources)
+		}
+		if o.Start < 0 || o.End <= o.Start || o.End > maxScheduleRound {
+			return nil, fmt.Errorf("model: outage %d has invalid interval [%d,%d)", i, o.Start, o.End)
+		}
+		s.AddOutage(o.Resource, o.Start, o.End)
 	}
 	return s, nil
 }

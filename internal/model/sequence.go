@@ -266,11 +266,12 @@ func (b *Builder) Build() (*Sequence, error) {
 }
 
 // MustBuild is Build but panics on error; intended for tests and generators
-// with statically valid inputs.
+// with statically valid inputs. User-reachable paths (the cmd tools, trace
+// readers, and the experiment harness) use Build and propagate the error.
 func (b *Builder) MustBuild() *Sequence {
 	s, err := b.Build()
 	if err != nil {
-		panic(err)
+		panic(fmt.Errorf("model: build failed: %w", err))
 	}
 	return s
 }

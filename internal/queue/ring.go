@@ -52,6 +52,16 @@ func (r *Ring[T]) Clear() {
 	r.count = 0
 }
 
+// Items returns the queued items in FIFO order without removing them; the
+// checkpoint machinery uses it to serialize queues non-destructively.
+func (r *Ring[T]) Items() []T {
+	out := make([]T, 0, r.count)
+	for i := 0; i < r.count; i++ {
+		out = append(out, r.buf[(r.head+i)%len(r.buf)])
+	}
+	return out
+}
+
 // Drain removes all items and returns them in FIFO order.
 func (r *Ring[T]) Drain() []T {
 	out := make([]T, 0, r.count)

@@ -30,6 +30,12 @@ type Env struct {
 	Resources   int // n: number of resources given to the policy
 	Replication int // locations per cached color (2 for the paper's algorithms)
 	Speed       int // mini-rounds per round (1 uni-speed, 2 double-speed)
+	// Faults, when non-nil, injects resource failures: a down resource
+	// executes nothing, loses its cached color at crash, and returns blank on
+	// repair. The plan must cover exactly Resources resources. The run's
+	// schedule records the outages so model.Audit verifies no decision
+	// touched a dead resource.
+	Faults *FaultPlan
 }
 
 // Slots returns the distinct-color cache capacity Resources/Replication.
@@ -51,6 +57,9 @@ func (e Env) Validate() error {
 	}
 	if e.Speed != 1 && e.Speed != 2 {
 		return fmt.Errorf("sim: speed must be 1 or 2, got %d", e.Speed)
+	}
+	if e.Faults != nil && e.Faults.Resources() != e.Resources {
+		return fmt.Errorf("sim: fault plan covers %d resources, environment has %d", e.Faults.Resources(), e.Resources)
 	}
 	return nil
 }
@@ -113,20 +122,36 @@ type Result struct {
 
 // Run simulates the policy on the environment and returns the resulting
 // schedule and cost. The schedule is complete and independently auditable
-// with model.Audit.
-func Run(env Env, p Policy) (*Result, error) {
+// with model.Audit. A panicking policy is converted to a returned error so
+// user-reachable callers (the cmd tools, the experiment harness) never crash
+// on a policy/workload mismatch.
+func Run(env Env, p Policy) (res *Result, err error) {
 	if err := env.Validate(); err != nil {
 		return nil, err
 	}
 	if err := env.Seq.Validate(); err != nil {
 		return nil, err
 	}
+	defer func() {
+		if r := recover(); r != nil {
+			res = nil
+			err = fmt.Errorf("sim: policy %q panicked: %v", p.Name(), r)
+		}
+	}()
 	st := newState(env)
 	p.Reset(env)
+	if env.Faults != nil {
+		for _, o := range env.Faults.Outages() {
+			st.sched.AddOutage(o.Resource, o.Start, o.End)
+		}
+	}
 
 	horizon := env.Seq.Horizon()
 	for k := int64(0); k <= horizon; k++ {
 		st.round = k
+
+		// Phase 0: fault transitions (repairs, then crashes).
+		st.applyFaults(k)
 
 		// Phase 1: drop.
 		dropped := st.dropDue(k)
@@ -148,7 +173,7 @@ func Run(env Env, p Policy) (*Result, error) {
 		}
 	}
 
-	res := &Result{
+	res = &Result{
 		Policy:       p.Name(),
 		Cost:         st.cost,
 		Schedule:     st.sched,
@@ -160,11 +185,12 @@ func Run(env Env, p Policy) (*Result, error) {
 }
 
 // MustRun is Run but panics on error; for tests and generators with
-// statically valid inputs.
+// statically valid inputs. User-reachable paths (the cmd tools and the
+// experiment harness) use Run and propagate the error.
 func MustRun(env Env, p Policy) *Result {
 	r, err := Run(env, p)
 	if err != nil {
-		panic(err)
+		panic(fmt.Errorf("sim: run failed: %w", err))
 	}
 	return r
 }
@@ -180,7 +206,8 @@ type state struct {
 
 	locColor  []model.Color         // color at each location
 	colorLocs map[model.Color][]int // locations of each cached color
-	freeLocs  []int                 // locations holding no cached color (black or orphaned)
+	freeLocs  []int                 // up locations holding no cached color (black or orphaned)
+	down      []bool                // down locations: never in colorLocs or freeLocs
 
 	sched        *model.Schedule
 	cost         model.Cost
@@ -199,6 +226,7 @@ func newState(env Env) *state {
 	}
 	st.universe = env.Seq.Colors()
 	st.locColor = make([]model.Color, env.Resources)
+	st.down = make([]bool, env.Resources)
 	st.freeLocs = make([]int, env.Resources)
 	for i := range st.locColor {
 		st.locColor[i] = model.Black
@@ -248,6 +276,68 @@ func (s *state) DelayBound(c model.Color) int64 {
 }
 
 // --- phases ---
+
+// applyFaults realizes the fault plan's transitions for round k. Repairs are
+// processed before crashes so back-to-back outages on the same resource
+// compose, matching the audit's event order.
+func (s *state) applyFaults(k int64) {
+	f := s.env.Faults
+	if f == nil {
+		return
+	}
+	for r := 0; r < s.env.Resources; r++ {
+		if s.down[r] && !f.Down(r, k) {
+			s.repair(r)
+		}
+	}
+	for r := 0; r < s.env.Resources; r++ {
+		if !s.down[r] && f.Down(r, k) {
+			s.crash(r)
+		}
+	}
+}
+
+// crash takes a location down and evicts its cached color, if any: the lost
+// replica must be re-placed at cost Delta, while surviving replicas return to
+// the free pool keeping their physical color, so re-admitting the color
+// reuses them for free. The crashed location itself is wiped to black.
+func (s *state) crash(loc int) {
+	s.down[loc] = true
+	for i, f := range s.freeLocs {
+		if f == loc {
+			s.freeLocs[i] = s.freeLocs[len(s.freeLocs)-1]
+			s.freeLocs = s.freeLocs[:len(s.freeLocs)-1]
+			break
+		}
+	}
+	if c := s.locColor[loc]; c != model.Black {
+		if locs, ok := s.colorLocs[c]; ok {
+			member := false
+			for _, l := range locs {
+				if l == loc {
+					member = true
+					break
+				}
+			}
+			if member {
+				for _, l := range locs {
+					if l != loc {
+						s.freeLocs = append(s.freeLocs, l)
+					}
+				}
+				delete(s.colorLocs, c)
+			}
+		}
+	}
+	s.locColor[loc] = model.Black
+}
+
+// repair brings a location back up, blank (its color was wiped at crash); it
+// rejoins the free pool and must be recolored before executing again.
+func (s *state) repair(loc int) {
+	s.down[loc] = false
+	s.freeLocs = append(s.freeLocs, loc)
+}
 
 // dropDue removes every pending job whose deadline equals round k. Within a
 // color, pending jobs are queued in arrival order, so deadlines are
@@ -313,15 +403,17 @@ func (s *state) reconfigure(target []model.Color) error {
 		s.freeLocs = append(s.freeLocs, s.colorLocs[c]...)
 		delete(s.colorLocs, c)
 	}
-	// Admit new colors. A free location that still physically holds the
-	// admitted color is reused at zero cost: the resource was never
-	// recolored, so no reconfiguration happens.
+	// Admit new colors and top up under-replicated ones (a crash evicts a
+	// color; on re-admission, or once repairs refill the pool, it regains its
+	// Replication locations). A free location that still physically holds the
+	// color is reused at zero cost: the resource was never recolored, so no
+	// reconfiguration happens. Under faults, down resources can shrink the
+	// pool below Slots()*Replication, so placement is best-effort: each color
+	// gets up to Replication replicas while free locations last. Without
+	// faults the pool always suffices and every color gets all replicas.
 	for _, c := range target {
-		if _, ok := s.colorLocs[c]; ok {
-			continue
-		}
-		locs := make([]int, 0, s.env.Replication)
-		for i := 0; i < s.env.Replication; i++ {
+		locs := s.colorLocs[c]
+		for len(locs) < s.env.Replication && len(s.freeLocs) > 0 {
 			loc, reused := s.takeFreeLoc(c)
 			locs = append(locs, loc)
 			if !reused {
@@ -329,6 +421,9 @@ func (s *state) reconfigure(target []model.Color) error {
 				s.sched.AddReconfig(s.round, s.mini, loc, c)
 				s.cost.Reconfig += s.env.Seq.Delta()
 			}
+		}
+		if len(locs) == 0 {
+			continue
 		}
 		s.colorLocs[c] = locs
 	}
@@ -359,6 +454,9 @@ func (s *state) takeFreeLoc(c model.Color) (loc int, reused bool) {
 // until recolored.
 func (s *state) execute() {
 	for loc := 0; loc < s.env.Resources; loc++ {
+		if s.down[loc] {
+			continue
+		}
 		c := s.locColor[loc]
 		if c == model.Black {
 			continue

@@ -1,0 +1,169 @@
+package sim
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"rrsched/internal/model"
+)
+
+// FaultPlan is a deterministic resource failure/repair schedule: for each
+// resource, a sorted list of non-overlapping outages (down intervals in
+// rounds). The paper's model assumes resources never fail; a fault plan
+// extends a simulation with the stochastic-availability view of real-time
+// scheduling work (resources as an on/off random process), but fully
+// pre-sampled from a seed so runs stay reproducible and auditable.
+//
+// Semantics during a run (see Env.Faults):
+//   - a down resource executes nothing and may not be reconfigured,
+//   - when a resource crashes, its cached color is evicted (the color's
+//     surviving replicas return to the free pool, keeping their physical
+//     color so re-admission reuses them at no cost) and the resource's own
+//     configuration is wiped to black,
+//   - on repair the resource returns blank and must be re-placed (recolored
+//     at cost Δ) before it executes again.
+type FaultPlan struct {
+	resources int
+	byRes     [][]model.Outage // per resource, sorted by Start, non-overlapping
+}
+
+// FaultConfig parameterizes RandomFaultPlan. Up and down durations are
+// sampled independently per resource from exponential distributions (plus
+// one round, so durations are always positive), giving a seeded
+// crash/repair renewal process.
+type FaultConfig struct {
+	// Seed drives the pseudo-random outage sampling; equal configs produce
+	// identical plans.
+	Seed int64
+	// Resources is the number of resources covered by the plan.
+	Resources int
+	// Horizon bounds outage generation: all outages lie within [0, Horizon).
+	Horizon int64
+	// MeanUp is the mean number of rounds a resource stays up between
+	// failures (>= 1).
+	MeanUp float64
+	// MeanDown is the mean number of rounds a failed resource stays down
+	// before repair (>= 1).
+	MeanDown float64
+}
+
+// Validate checks the fault configuration.
+func (c FaultConfig) Validate() error {
+	if c.Resources <= 0 {
+		return fmt.Errorf("sim: fault plan needs at least one resource, got %d", c.Resources)
+	}
+	if c.Horizon <= 0 {
+		return fmt.Errorf("sim: fault plan needs a positive horizon, got %d", c.Horizon)
+	}
+	if c.MeanUp < 1 {
+		return fmt.Errorf("sim: mean up-time must be >= 1 round, got %g", c.MeanUp)
+	}
+	if c.MeanDown < 1 {
+		return fmt.Errorf("sim: mean down-time must be >= 1 round, got %g", c.MeanDown)
+	}
+	return nil
+}
+
+// RandomFaultPlan samples a seeded crash/repair plan: every resource starts
+// up, stays up ~Exp(MeanUp) rounds, goes down ~Exp(MeanDown) rounds, and so
+// on until the horizon. The plan is a pure function of the config.
+func RandomFaultPlan(cfg FaultConfig) (*FaultPlan, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	p := &FaultPlan{resources: cfg.Resources, byRes: make([][]model.Outage, cfg.Resources)}
+	for r := 0; r < cfg.Resources; r++ {
+		t := int64(0)
+		for {
+			t += 1 + int64(rng.ExpFloat64()*cfg.MeanUp)
+			if t >= cfg.Horizon {
+				break
+			}
+			down := 1 + int64(rng.ExpFloat64()*cfg.MeanDown)
+			end := t + down
+			if end > cfg.Horizon {
+				end = cfg.Horizon
+			}
+			p.byRes[r] = append(p.byRes[r], model.Outage{Resource: r, Start: t, End: end})
+			t = end
+		}
+	}
+	return p, nil
+}
+
+// NewFaultPlan builds a plan from explicit outage records (for tests and
+// hand-crafted scenarios). Outages must be in range and, per resource,
+// non-overlapping.
+func NewFaultPlan(resources int, outages []model.Outage) (*FaultPlan, error) {
+	if resources <= 0 {
+		return nil, fmt.Errorf("sim: fault plan needs at least one resource, got %d", resources)
+	}
+	p := &FaultPlan{resources: resources, byRes: make([][]model.Outage, resources)}
+	for i, o := range outages {
+		if o.Resource < 0 || o.Resource >= resources {
+			return nil, fmt.Errorf("sim: outage %d targets resource %d of %d", i, o.Resource, resources)
+		}
+		if o.Start < 0 || o.End <= o.Start {
+			return nil, fmt.Errorf("sim: outage %d has invalid interval [%d,%d)", i, o.Start, o.End)
+		}
+		p.byRes[o.Resource] = append(p.byRes[o.Resource], o)
+	}
+	for r := range p.byRes {
+		outs := p.byRes[r]
+		sort.Slice(outs, func(i, j int) bool { return outs[i].Start < outs[j].Start })
+		for i := 1; i < len(outs); i++ {
+			if outs[i].Start < outs[i-1].End {
+				return nil, fmt.Errorf("sim: overlapping outages on resource %d: [%d,%d) and [%d,%d)",
+					r, outs[i-1].Start, outs[i-1].End, outs[i].Start, outs[i].End)
+			}
+		}
+	}
+	return p, nil
+}
+
+// Resources returns the number of resources the plan covers.
+func (p *FaultPlan) Resources() int { return p.resources }
+
+// Down reports whether the resource is down in the given round.
+func (p *FaultPlan) Down(resource int, round int64) bool {
+	if resource < 0 || resource >= p.resources {
+		return false
+	}
+	outs := p.byRes[resource]
+	// First outage starting after round; its predecessor is the only
+	// candidate interval containing round.
+	i := sort.Search(len(outs), func(i int) bool { return outs[i].Start > round })
+	return i > 0 && round < outs[i-1].End
+}
+
+// Outages returns every outage, sorted by (resource, start).
+func (p *FaultPlan) Outages() []model.Outage {
+	var out []model.Outage
+	for _, outs := range p.byRes {
+		out = append(out, outs...)
+	}
+	return out
+}
+
+// NumOutages returns the total number of outages in the plan.
+func (p *FaultPlan) NumOutages() int {
+	n := 0
+	for _, outs := range p.byRes {
+		n += len(outs)
+	}
+	return n
+}
+
+// DowntimeRounds returns the total resource-rounds of downtime in the plan
+// (the sum of outage lengths over all resources).
+func (p *FaultPlan) DowntimeRounds() int64 {
+	var total int64
+	for _, outs := range p.byRes {
+		for _, o := range outs {
+			total += o.End - o.Start
+		}
+	}
+	return total
+}

@@ -1,0 +1,296 @@
+package sim
+
+import (
+	"reflect"
+	"sort"
+	"strings"
+	"testing"
+
+	"rrsched/internal/model"
+)
+
+func TestFaultConfigValidate(t *testing.T) {
+	good := FaultConfig{Seed: 1, Resources: 4, Horizon: 100, MeanUp: 32, MeanDown: 4}
+	if err := good.Validate(); err != nil {
+		t.Fatalf("valid config rejected: %v", err)
+	}
+	cases := []struct {
+		mutate func(*FaultConfig)
+		want   string
+	}{
+		{func(c *FaultConfig) { c.Resources = 0 }, "at least one resource"},
+		{func(c *FaultConfig) { c.Horizon = 0 }, "positive horizon"},
+		{func(c *FaultConfig) { c.MeanUp = 0.5 }, "mean up-time"},
+		{func(c *FaultConfig) { c.MeanDown = 0 }, "mean down-time"},
+	}
+	for _, tc := range cases {
+		cfg := good
+		tc.mutate(&cfg)
+		if err := cfg.Validate(); err == nil || !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("Validate(%+v) = %v, want mention of %q", cfg, err, tc.want)
+		}
+	}
+}
+
+func TestNewFaultPlanValidation(t *testing.T) {
+	if _, err := NewFaultPlan(0, nil); err == nil {
+		t.Error("accepted zero resources")
+	}
+	if _, err := NewFaultPlan(2, []model.Outage{{Resource: 2, Start: 0, End: 1}}); err == nil {
+		t.Error("accepted out-of-range resource")
+	}
+	if _, err := NewFaultPlan(2, []model.Outage{{Resource: 0, Start: 5, End: 5}}); err == nil {
+		t.Error("accepted empty interval")
+	}
+	if _, err := NewFaultPlan(2, []model.Outage{{Resource: 0, Start: -1, End: 1}}); err == nil {
+		t.Error("accepted negative start")
+	}
+	if _, err := NewFaultPlan(2, []model.Outage{
+		{Resource: 0, Start: 0, End: 4},
+		{Resource: 0, Start: 3, End: 6},
+	}); err == nil {
+		t.Error("accepted overlapping outages")
+	}
+	// Same interval on different resources is fine; adjacency composes.
+	p, err := NewFaultPlan(2, []model.Outage{
+		{Resource: 0, Start: 4, End: 6},
+		{Resource: 0, Start: 6, End: 8},
+		{Resource: 1, Start: 4, End: 6},
+	})
+	if err != nil {
+		t.Fatalf("valid plan rejected: %v", err)
+	}
+	for round, want := range map[int64]bool{3: false, 4: true, 5: true, 6: true, 7: true, 8: false} {
+		if got := p.Down(0, round); got != want {
+			t.Errorf("Down(0, %d) = %v, want %v", round, got, want)
+		}
+	}
+	if p.Down(1, 7) {
+		t.Error("resource 1 should be up in round 7")
+	}
+	if p.DowntimeRounds() != 6 {
+		t.Errorf("DowntimeRounds = %d, want 6", p.DowntimeRounds())
+	}
+	if p.NumOutages() != 3 {
+		t.Errorf("NumOutages = %d, want 3", p.NumOutages())
+	}
+}
+
+func TestRandomFaultPlanDeterministicAndConsistent(t *testing.T) {
+	cfg := FaultConfig{Seed: 42, Resources: 8, Horizon: 512, MeanUp: 64, MeanDown: 8}
+	a, err := RandomFaultPlan(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RandomFaultPlan(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a.Outages(), b.Outages()) {
+		t.Error("same seed produced different plans")
+	}
+	if a.NumOutages() == 0 {
+		t.Fatal("plan with MeanUp=64 over 512 rounds produced no outages")
+	}
+	// Every outage lies within the horizon; Down agrees with the intervals.
+	for _, o := range a.Outages() {
+		if o.Start < 0 || o.End <= o.Start || o.End > cfg.Horizon {
+			t.Fatalf("outage out of range: %+v", o)
+		}
+		if !a.Down(o.Resource, o.Start) || a.Down(o.Resource, o.End) {
+			t.Fatalf("Down disagrees with outage %+v", o)
+		}
+	}
+	other, err := RandomFaultPlan(FaultConfig{Seed: 43, Resources: 8, Horizon: 512, MeanUp: 64, MeanDown: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reflect.DeepEqual(a.Outages(), other.Outages()) {
+		t.Error("different seeds produced identical plans")
+	}
+}
+
+func TestEnvValidateRejectsMismatchedFaultPlan(t *testing.T) {
+	seq := model.NewBuilder(1).Add(0, 0, 1, 1).MustBuild()
+	plan, err := NewFaultPlan(4, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	env := Env{Seq: seq, Resources: 2, Replication: 1, Speed: 1, Faults: plan}
+	if err := env.Validate(); err == nil || !strings.Contains(err.Error(), "fault plan") {
+		t.Errorf("Validate = %v, want fault plan mismatch error", err)
+	}
+}
+
+// TestFaultCrashEvictsAndRepairReplaces walks the crash/repair life cycle on
+// a scripted scenario: a crash evicts the cached color (surviving replica is
+// reused for free), the down resource executes nothing, and the repaired
+// resource must be recolored (one extra Delta) before it executes again.
+func TestFaultCrashEvictsAndRepairReplaces(t *testing.T) {
+	// 4 jobs of color 0 (D=4) arrive at round 0; 2 resources, replication 2.
+	seq := model.NewBuilder(1).Add(0, 0, 4, 4).MustBuild()
+	plan, err := NewFaultPlan(2, []model.Outage{{Resource: 0, Start: 1, End: 3}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	env := Env{Seq: seq, Resources: 2, Replication: 2, Speed: 1, Faults: plan}
+	p := &scriptPolicy{targets: map[int64][]model.Color{0: {0}}}
+	res, err := Run(env, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Executed != 4 || res.Dropped != 0 {
+		t.Fatalf("executed %d dropped %d, want 4 executed 0 dropped", res.Executed, res.Dropped)
+	}
+	// Round 0 places both replicas (2 Delta); the survivor is reused for free
+	// after the crash; the repaired resource is recolored once (1 Delta).
+	if res.Cost.Reconfig != 3 {
+		t.Fatalf("reconfig cost %d, want 3", res.Cost.Reconfig)
+	}
+	for _, e := range res.Schedule.Execs {
+		if e.Resource == 0 && e.Round >= 1 && e.Round < 3 {
+			t.Fatalf("execution on down resource 0 in round %d", e.Round)
+		}
+	}
+	sawRepairReconfig := false
+	for _, r := range res.Schedule.Reconfigs {
+		if r.Resource == 0 && r.Round == 3 {
+			sawRepairReconfig = true
+		}
+	}
+	if !sawRepairReconfig {
+		t.Error("repaired resource was not recolored in round 3")
+	}
+	if len(res.Schedule.Outages) != 1 {
+		t.Fatalf("schedule records %d outages, want 1", len(res.Schedule.Outages))
+	}
+	cost, err := model.Audit(seq, res.Schedule)
+	if err != nil {
+		t.Fatalf("audit rejected faulty schedule: %v", err)
+	}
+	if cost != res.Cost {
+		t.Fatalf("audit cost %v != engine cost %v", cost, res.Cost)
+	}
+}
+
+// greedyPolicy caches the Slots() colors with the most pending jobs; it is a
+// deliberately churny policy for fault stress tests.
+type greedyPolicy struct{}
+
+func (greedyPolicy) Name() string                        { return "greedy" }
+func (greedyPolicy) Reset(Env)                           {}
+func (greedyPolicy) DropPhase(View, map[model.Color]int) {}
+func (greedyPolicy) ArrivalPhase(View, []model.Job)      {}
+func (greedyPolicy) Target(v View) []model.Color {
+	colors := v.Universe()
+	sort.Slice(colors, func(i, j int) bool {
+		pi, pj := v.Pending(colors[i]), v.Pending(colors[j])
+		if pi != pj {
+			return pi > pj
+		}
+		return colors[i] < colors[j]
+	})
+	out := []model.Color{}
+	for _, c := range colors {
+		if len(out) == v.Slots() {
+			break
+		}
+		if v.Pending(c) > 0 {
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+// TestFaultInvariantsUnderRandomPlans is the fault-model property test: under
+// seeded random outage plans, no execution or reconfiguration ever lands on a
+// down resource, the audit accepts every schedule, and audit and engine agree
+// on the cost.
+func TestFaultInvariantsUnderRandomPlans(t *testing.T) {
+	seq := model.NewBuilder(4).
+		Add(0, 0, 4, 6).Add(0, 1, 4, 3).Add(0, 2, 8, 5).
+		Add(4, 0, 4, 4).Add(4, 1, 4, 6).
+		Add(8, 0, 4, 5).Add(8, 2, 8, 7).Add(8, 3, 8, 2).
+		Add(16, 1, 4, 8).Add(16, 3, 8, 4).
+		MustBuild()
+	for seed := int64(0); seed < 20; seed++ {
+		plan, err := RandomFaultPlan(FaultConfig{
+			Seed: seed, Resources: 6, Horizon: seq.Horizon() + 1, MeanUp: 8, MeanDown: 3,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		env := Env{Seq: seq, Resources: 6, Replication: 2, Speed: 1, Faults: plan}
+		res, err := Run(env, greedyPolicy{})
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		for _, e := range res.Schedule.Execs {
+			if plan.Down(e.Resource, e.Round) {
+				t.Fatalf("seed %d: execution on down resource %d in round %d", seed, e.Resource, e.Round)
+			}
+		}
+		for _, r := range res.Schedule.Reconfigs {
+			if plan.Down(r.Resource, r.Round) {
+				t.Fatalf("seed %d: reconfiguration of down resource %d in round %d", seed, r.Resource, r.Round)
+			}
+		}
+		cost, err := model.Audit(seq, res.Schedule)
+		if err != nil {
+			t.Fatalf("seed %d: audit rejected faulty schedule: %v", seed, err)
+		}
+		if cost != res.Cost {
+			t.Fatalf("seed %d: audit cost %v != engine cost %v", seed, cost, res.Cost)
+		}
+	}
+}
+
+// panicPolicy panics in Target, standing in for policy/workload mismatches
+// (e.g. a batched-only tracker fed a general sequence).
+type panicPolicy struct{}
+
+func (panicPolicy) Name() string                        { return "panicker" }
+func (panicPolicy) Reset(Env)                           {}
+func (panicPolicy) DropPhase(View, map[model.Color]int) {}
+func (panicPolicy) ArrivalPhase(View, []model.Job)      {}
+func (panicPolicy) Target(View) []model.Color           { panic("policy exploded") }
+
+func TestRunConvertsPolicyPanicToError(t *testing.T) {
+	seq := model.NewBuilder(1).Add(0, 0, 2, 1).MustBuild()
+	env := Env{Seq: seq, Resources: 1, Replication: 1, Speed: 1}
+	res, err := Run(env, panicPolicy{})
+	if err == nil || !strings.Contains(err.Error(), "panicked") {
+		t.Fatalf("Run = (%v, %v), want panic converted to error", res, err)
+	}
+	if res != nil {
+		t.Fatal("result should be nil after panic")
+	}
+}
+
+func TestAuditRejectsExecutionOnDownResource(t *testing.T) {
+	seq := model.NewBuilder(1).Add(0, 0, 4, 1).MustBuild()
+	sched := model.NewSchedule(1, 1)
+	sched.AddReconfig(0, 0, 0, 0)
+	sched.AddExec(2, 0, 0, 0)
+	sched.AddOutage(0, 2, 3)
+	if _, err := model.Audit(seq, sched); err == nil || !strings.Contains(err.Error(), "down resource") {
+		t.Errorf("Audit = %v, want execution-on-down-resource error", err)
+	}
+
+	sched2 := model.NewSchedule(1, 1)
+	sched2.AddReconfig(1, 0, 0, 0)
+	sched2.AddOutage(0, 1, 2)
+	if _, err := model.Audit(seq, sched2); err == nil || !strings.Contains(err.Error(), "down resource") {
+		t.Errorf("Audit = %v, want reconfiguration-of-down-resource error", err)
+	}
+
+	// A crash wipes the configuration: executing after repair without
+	// recoloring must fail the color check.
+	sched3 := model.NewSchedule(1, 1)
+	sched3.AddReconfig(0, 0, 0, 0)
+	sched3.AddOutage(0, 1, 2)
+	sched3.AddExec(2, 0, 0, 0)
+	if _, err := model.Audit(seq, sched3); err == nil || !strings.Contains(err.Error(), "configured") {
+		t.Errorf("Audit = %v, want wrong-color error after crash wiped config", err)
+	}
+}

@@ -1,0 +1,202 @@
+package stream
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"rrsched/internal/model"
+	"rrsched/internal/workload"
+)
+
+func decisionBytes(t *testing.T, decs []Decision) []byte {
+	t.Helper()
+	b, err := json.Marshal(decs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+// TestSnapshotRestoreDecisionIdentical is the kill-and-restore test: a run
+// interrupted by Snapshot/Restore at an arbitrary round must produce a
+// decision trace byte-identical to the uninterrupted run on the same pushes.
+func TestSnapshotRestoreDecisionIdentical(t *testing.T) {
+	seq, err := workload.RandomGeneral(workload.RandomConfig{
+		Seed: 7, Delta: 4, Colors: 8, Rounds: 200,
+		MinDelayExp: 1, MaxDelayExp: 4, Load: 0.6, ZipfS: 1.2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	horizon := seq.Horizon()
+
+	for _, killAt := range []int64{0, 1, 17, 63, 100, horizon - 1} {
+		// Uninterrupted run.
+		ref, err := New(Config{Delta: seq.Delta(), Resources: 8})
+		if err != nil {
+			t.Fatal(err)
+		}
+		var refDecs []Decision
+		for r := int64(0); r <= horizon; r++ {
+			dec, err := ref.Push(r, seq.Request(r))
+			if err != nil {
+				t.Fatal(err)
+			}
+			refDecs = append(refDecs, dec)
+		}
+
+		// Interrupted run: push to killAt, snapshot, discard the scheduler
+		// ("kill"), restore, and continue.
+		a, err := New(Config{Delta: seq.Delta(), Resources: 8})
+		if err != nil {
+			t.Fatal(err)
+		}
+		var decs []Decision
+		for r := int64(0); r <= killAt; r++ {
+			dec, err := a.Push(r, seq.Request(r))
+			if err != nil {
+				t.Fatal(err)
+			}
+			decs = append(decs, dec)
+		}
+		snap, err := a.Snapshot()
+		if err != nil {
+			t.Fatal(err)
+		}
+		a = nil
+		b, err := Restore(snap)
+		if err != nil {
+			t.Fatalf("kill at %d: restore: %v", killAt, err)
+		}
+		for r := killAt + 1; r <= horizon; r++ {
+			dec, err := b.Push(r, seq.Request(r))
+			if err != nil {
+				t.Fatalf("kill at %d: push round %d: %v", killAt, r, err)
+			}
+			decs = append(decs, dec)
+		}
+
+		if !bytes.Equal(decisionBytes(t, refDecs), decisionBytes(t, decs)) {
+			t.Fatalf("kill at %d: resumed decision trace differs from uninterrupted run", killAt)
+		}
+		if ref.Cost() != b.Cost() {
+			t.Fatalf("kill at %d: resumed cost %v != uninterrupted %v", killAt, ref.Cost(), b.Cost())
+		}
+		if ref.Executed() != b.Executed() || ref.Dropped() != b.Dropped() {
+			t.Fatalf("kill at %d: resumed counters (%d,%d) != uninterrupted (%d,%d)",
+				killAt, b.Executed(), b.Dropped(), ref.Executed(), ref.Dropped())
+		}
+
+		// The final states must also snapshot identically.
+		refSnap, err := ref.Snapshot()
+		if err != nil {
+			t.Fatal(err)
+		}
+		endSnap, err := b.Snapshot()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(refSnap, endSnap) {
+			t.Fatalf("kill at %d: final snapshots differ", killAt)
+		}
+	}
+}
+
+func TestSnapshotDeterministic(t *testing.T) {
+	seq, err := workload.RandomGeneral(workload.RandomConfig{
+		Seed: 3, Delta: 3, Colors: 5, Rounds: 64,
+		MinDelayExp: 1, MaxDelayExp: 3, Load: 0.7,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, _ := pushSequence(t, seq, 8)
+	a, err := s.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := s.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a, b) {
+		t.Error("two snapshots of the same scheduler differ")
+	}
+}
+
+func TestRestoreRejectsCorruptCheckpoints(t *testing.T) {
+	s, err := New(Config{Delta: 2, Resources: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Push(0, []model.Job{{ID: 0, Color: 0, Arrival: 0, Delay: 2}}); err != nil {
+		t.Fatal(err)
+	}
+	snap, err := s.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Restore(snap); err != nil {
+		t.Fatalf("round-trip of a valid snapshot failed: %v", err)
+	}
+
+	corrupt := func(mutate func(map[string]any)) []byte {
+		var m map[string]any
+		if err := json.Unmarshal(snap, &m); err != nil {
+			t.Fatal(err)
+		}
+		mutate(m)
+		out, err := json.Marshal(m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return out
+	}
+	cases := []struct {
+		name string
+		data []byte
+		want string
+	}{
+		{"truncated", snap[:len(snap)/2], "decoding checkpoint"},
+		{"not json", []byte("ceci n'est pas un checkpoint"), "decoding checkpoint"},
+		{"bad version", corrupt(func(m map[string]any) { m["version"] = 99.0 }), "version"},
+		{"bad delta", corrupt(func(m map[string]any) { m["delta"] = -1.0 }), "Delta"},
+		{"bad resources", corrupt(func(m map[string]any) { m["resources"] = 3.0 }), "multiple of 4"},
+		{"negative round", corrupt(func(m map[string]any) { m["round"] = -5.0 }), "negative round"},
+		{"accounting", corrupt(func(m map[string]any) { m["executed"] = 100.0 }), "accounting"},
+		{"loc mismatch", corrupt(func(m map[string]any) { m["loc_color"] = []any{} }), "locations"},
+		{"no tracker", corrupt(func(m map[string]any) {
+			inner := m["inner"].(map[string]any)
+			inner["tracker"] = nil
+		}), "tracker"},
+	}
+	for _, c := range cases {
+		if _, err := Restore(c.data); err == nil || !strings.Contains(err.Error(), c.want) {
+			t.Errorf("%s: Restore = %v, want mention of %q", c.name, err, c.want)
+		}
+	}
+}
+
+func TestPushRejectsDuplicateAndLateJobs(t *testing.T) {
+	s, err := New(Config{Delta: 2, Resources: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Push(0, []model.Job{
+		{ID: 0, Color: 0, Arrival: 0, Delay: 8},
+		{ID: 0, Color: 0, Arrival: 0, Delay: 8},
+	}); err == nil || !strings.Contains(err.Error(), "duplicate") {
+		t.Errorf("same-batch duplicate accepted: %v", err)
+	}
+	if _, err := s.Push(0, []model.Job{{ID: 0, Color: 0, Arrival: 0, Delay: 8}}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Push(1, []model.Job{{ID: 0, Color: 0, Arrival: 1, Delay: 8}}); err == nil || !strings.Contains(err.Error(), "duplicate") {
+		t.Errorf("in-flight duplicate accepted: %v", err)
+	}
+	if _, err := s.Push(0, nil); err == nil || !strings.Contains(err.Error(), "already processed") {
+		t.Errorf("late push accepted: %v", err)
+	}
+}

@@ -20,6 +20,7 @@ package stream
 
 import (
 	"fmt"
+	"sort"
 
 	"rrsched/internal/model"
 	"rrsched/internal/queue"
@@ -66,7 +67,8 @@ type Scheduler struct {
 	executed     int
 	dropped      int
 	pushedJobs   int
-	maxScheduled int64 // highest job ID seen (for validation)
+	maxScheduled int64          // highest job ID accepted so far (-1 before the first)
+	inflight     map[int64]bool // IDs of accepted jobs not yet executed or dropped
 }
 
 // New returns a streaming scheduler.
@@ -84,6 +86,8 @@ func New(cfg Config) (*Scheduler, error) {
 		futureReleases: map[int64][]model.Job{},
 		locColor:       make([]model.Color, cfg.Resources),
 		inner:          newInnerState(cfg),
+		maxScheduled:   -1,
+		inflight:       map[int64]bool{},
 	}
 	for i := range s.locColor {
 		s.locColor[i] = model.Black
@@ -108,6 +112,7 @@ func (s *Scheduler) Push(r int64, jobs []model.Job) (Decision, error) {
 	if r < s.round {
 		return Decision{}, fmt.Errorf("stream: round %d already processed (next is %d)", r, s.round)
 	}
+	batchSeen := make(map[int64]bool, len(jobs))
 	for _, j := range jobs {
 		if err := j.Validate(); err != nil {
 			return Decision{}, err
@@ -118,6 +123,13 @@ func (s *Scheduler) Push(r int64, jobs []model.Job) (Decision, error) {
 		if d, ok := s.delays[j.Color]; ok && d != j.Delay {
 			return Decision{}, fmt.Errorf("stream: color %v has delay bound %d, job %d has %d", j.Color, d, j.ID, j.Delay)
 		}
+		// Reject duplicated IDs — a crashed producer re-sending in-flight work
+		// would otherwise corrupt the pending queues. (A replay of an already
+		// retired round is caught by the round check above.)
+		if s.inflight[j.ID] || batchSeen[j.ID] {
+			return Decision{}, fmt.Errorf("stream: job id %d already accepted (duplicate push)", j.ID)
+		}
+		batchSeen[j.ID] = true
 	}
 	// Process skipped empty rounds so drops and batched bookkeeping land on
 	// time.
@@ -155,15 +167,23 @@ func (s *Scheduler) Drain() ([]Decision, error) {
 func (s *Scheduler) step(r int64, arrivals []model.Job) (Decision, error) {
 	dec := Decision{Round: r}
 
-	// Outer drop phase: drop jobs whose deadline is r.
-	for c, q := range s.pendingByColor {
+	// Outer drop phase: drop jobs whose deadline is r. Colors are visited in
+	// ascending order so the decision trace is deterministic (and therefore
+	// reproducible across checkpoint/restore).
+	dropColors := make([]model.Color, 0, len(s.pendingByColor))
+	for c := range s.pendingByColor {
+		dropColors = append(dropColors, c)
+	}
+	sort.Slice(dropColors, func(i, j int) bool { return dropColors[i] < dropColors[j] })
+	for _, c := range dropColors {
+		q := s.pendingByColor[c]
 		for q.Len() > 0 && q.Peek().Deadline() <= r {
 			j := q.Pop()
+			delete(s.inflight, j.ID)
 			dec.Dropped = append(dec.Dropped, j.ID)
 			s.dropped++
 			s.cost.Drop++
 		}
-		_ = c
 	}
 
 	// Outer arrival phase: admit jobs, register delay bounds, and schedule
@@ -176,6 +196,10 @@ func (s *Scheduler) step(r int64, arrivals []model.Job) (Decision, error) {
 			s.pendingByColor[j.Color] = q
 		}
 		q.Push(j)
+		s.inflight[j.ID] = true
+		if j.ID > s.maxScheduled {
+			s.maxScheduled = j.ID
+		}
 		s.pushedJobs++
 		h := reduce.BatchedDelay(j.Delay)
 		release := j.Arrival
@@ -212,6 +236,7 @@ func (s *Scheduler) step(r int64, arrivals []model.Job) (Decision, error) {
 			continue
 		}
 		j := q.Pop()
+		delete(s.inflight, j.ID)
 		dec.Executions = append(dec.Executions, model.Execution{Round: r, Resource: loc, JobID: j.ID})
 		s.executed++
 	}

@@ -9,14 +9,54 @@ package sweep
 import (
 	"fmt"
 	"runtime"
+	"sort"
+	"strings"
 	"sync"
 )
 
+// TaskError records one failed task of a sweep: which input index failed and
+// why (either the error f returned or a recovered panic).
+type TaskError struct {
+	Index int
+	Err   error
+}
+
+func (e TaskError) Error() string { return fmt.Sprintf("task %d: %v", e.Index, e.Err) }
+
+func (e TaskError) Unwrap() error { return e.Err }
+
+// SweepError aggregates every failed task of a sweep in input-index order.
+type SweepError struct {
+	Tasks []TaskError
+}
+
+func (e *SweepError) Error() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "sweep: %d of the tasks failed:", len(e.Tasks))
+	for _, t := range e.Tasks {
+		b.WriteString(" [")
+		b.WriteString(t.Error())
+		b.WriteString("]")
+	}
+	return b.String()
+}
+
+// Indices returns the failed input indices in increasing order.
+func (e *SweepError) Indices() []int {
+	out := make([]int, len(e.Tasks))
+	for i, t := range e.Tasks {
+		out[i] = t.Index
+	}
+	return out
+}
+
 // Map applies f to every input concurrently using at most workers
 // goroutines (0 means GOMAXPROCS) and returns the outputs in input order.
-// The first panic in a worker is re-raised on the caller's goroutine after
-// all workers have stopped, so a failing sweep never leaks goroutines.
-func Map[In, Out any](workers int, inputs []In, f func(In) Out) []Out {
+// A task that returns an error or panics does not abort the sweep: the
+// remaining tasks still run to completion, the failed slots keep their zero
+// value, and Map reports every failure — with its input index — in a single
+// *SweepError. The error is nil iff every task succeeded.
+func Map[In, Out any](workers int, inputs []In, f func(In) (Out, error)) ([]Out, error) {
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
@@ -25,50 +65,58 @@ func Map[In, Out any](workers int, inputs []In, f func(In) Out) []Out {
 	}
 	out := make([]Out, len(inputs))
 	if len(inputs) == 0 {
-		return out
-	}
-	if workers <= 1 {
-		for i, in := range inputs {
-			out[i] = f(in)
-		}
-		return out
+		return out, nil
 	}
 
 	var (
-		wg       sync.WaitGroup
-		panicMu  sync.Mutex
-		panicked any
+		failMu sync.Mutex
+		fails  []TaskError
 	)
-	next := make(chan int)
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for i := range next {
-				func() {
-					defer func() {
-						if r := recover(); r != nil {
-							panicMu.Lock()
-							if panicked == nil {
-								panicked = r
-							}
-							panicMu.Unlock()
-						}
-					}()
-					out[i] = f(inputs[i])
-				}()
+	runTask := func(i int) {
+		defer func() {
+			if r := recover(); r != nil {
+				failMu.Lock()
+				fails = append(fails, TaskError{Index: i, Err: fmt.Errorf("panic: %v", r)})
+				failMu.Unlock()
 			}
 		}()
+		v, err := f(inputs[i])
+		if err != nil {
+			failMu.Lock()
+			fails = append(fails, TaskError{Index: i, Err: err})
+			failMu.Unlock()
+			return
+		}
+		out[i] = v
 	}
-	for i := range inputs {
-		next <- i
+
+	if workers <= 1 {
+		for i := range inputs {
+			runTask(i)
+		}
+	} else {
+		var wg sync.WaitGroup
+		next := make(chan int)
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for i := range next {
+					runTask(i)
+				}
+			}()
+		}
+		for i := range inputs {
+			next <- i
+		}
+		close(next)
+		wg.Wait()
 	}
-	close(next)
-	wg.Wait()
-	if panicked != nil {
-		panic(fmt.Sprintf("sweep: worker panicked: %v", panicked))
+	if len(fails) > 0 {
+		sort.Slice(fails, func(a, b int) bool { return fails[a].Index < fails[b].Index })
+		return out, &SweepError{Tasks: fails}
 	}
-	return out
+	return out, nil
 }
 
 // Seeds returns the integers [0, n) as int64 seeds, a convenience for

@@ -1,15 +1,24 @@
 package sweep
 
 import (
+	"errors"
+	"fmt"
 	"strings"
 	"sync/atomic"
 	"testing"
 	"testing/quick"
 )
 
+func ok[In, Out any](f func(In) Out) func(In) (Out, error) {
+	return func(v In) (Out, error) { return f(v), nil }
+}
+
 func TestMapOrdering(t *testing.T) {
 	in := Seeds(100)
-	out := Map(8, in, func(v int64) int64 { return v * v })
+	out, err := Map(8, in, ok(func(v int64) int64 { return v * v }))
+	if err != nil {
+		t.Fatal(err)
+	}
 	for i, v := range out {
 		if v != int64(i)*int64(i) {
 			t.Fatalf("out[%d] = %d", i, v)
@@ -18,48 +27,96 @@ func TestMapOrdering(t *testing.T) {
 }
 
 func TestMapEmptyAndSingle(t *testing.T) {
-	if got := Map(4, nil, func(v int64) int64 { return v }); len(got) != 0 {
-		t.Error("empty input produced output")
+	got, err := Map(4, nil, ok(func(v int64) int64 { return v }))
+	if err != nil || len(got) != 0 {
+		t.Error("empty input produced output or error")
 	}
-	if got := Map(4, []int64{7}, func(v int64) int64 { return v + 1 }); got[0] != 8 {
+	got, err = Map(4, []int64{7}, ok(func(v int64) int64 { return v + 1 }))
+	if err != nil || got[0] != 8 {
 		t.Error("single input wrong")
 	}
 }
 
 func TestMapSequentialFallback(t *testing.T) {
-	out := Map(1, Seeds(10), func(v int64) int64 { return -v })
-	if out[3] != -3 {
+	out, err := Map(1, Seeds(10), ok(func(v int64) int64 { return -v }))
+	if err != nil || out[3] != -3 {
 		t.Error("sequential path wrong")
 	}
 }
 
 func TestMapUsesConcurrency(t *testing.T) {
 	var calls atomic.Int64
-	Map(4, Seeds(64), func(v int64) int64 {
+	if _, err := Map(4, Seeds(64), ok(func(v int64) int64 {
 		calls.Add(1)
 		return v
-	})
+	})); err != nil {
+		t.Fatal(err)
+	}
 	if calls.Load() != 64 {
 		t.Fatalf("calls = %d", calls.Load())
 	}
 }
 
-func TestMapPropagatesPanic(t *testing.T) {
-	defer func() {
-		r := recover()
-		if r == nil {
-			t.Fatal("panic swallowed")
-		}
-		if !strings.Contains(r.(string), "boom") {
-			t.Fatalf("panic = %v", r)
-		}
-	}()
-	Map(4, Seeds(16), func(v int64) int64 {
+// TestMapSurvivesPanickingTask: a panicking task does not abort the sweep —
+// every other task completes, and the failure is reported with its index.
+func TestMapSurvivesPanickingTask(t *testing.T) {
+	var calls atomic.Int64
+	out, err := Map(4, Seeds(16), func(v int64) (int64, error) {
+		calls.Add(1)
 		if v == 9 {
 			panic("boom")
 		}
-		return v
+		return v * 10, nil
 	})
+	if calls.Load() != 16 {
+		t.Fatalf("sweep aborted early: only %d of 16 tasks ran", calls.Load())
+	}
+	if err == nil {
+		t.Fatal("panic swallowed")
+	}
+	var se *SweepError
+	if !errors.As(err, &se) {
+		t.Fatalf("error type = %T", err)
+	}
+	if idx := se.Indices(); len(idx) != 1 || idx[0] != 9 {
+		t.Fatalf("failed indices = %v, want [9]", idx)
+	}
+	if !strings.Contains(err.Error(), "boom") || !strings.Contains(err.Error(), "task 9") {
+		t.Fatalf("error = %v", err)
+	}
+	for i, v := range out {
+		switch {
+		case i == 9 && v != 0:
+			t.Fatalf("failed slot not zeroed: out[9] = %d", v)
+		case i != 9 && v != int64(i)*10:
+			t.Fatalf("out[%d] = %d", i, v)
+		}
+	}
+}
+
+// TestMapCollectsAllErrors: returned errors from multiple tasks are all
+// reported, sorted by input index, and wrapped for errors.Is.
+func TestMapCollectsAllErrors(t *testing.T) {
+	sentinel := errors.New("bad seed")
+	_, err := Map(4, Seeds(20), func(v int64) (int64, error) {
+		if v%7 == 3 {
+			return 0, fmt.Errorf("seed %d: %w", v, sentinel)
+		}
+		return v, nil
+	})
+	var se *SweepError
+	if !errors.As(err, &se) {
+		t.Fatalf("error type = %T (%v)", err, err)
+	}
+	idx := se.Indices()
+	if len(idx) != 3 || idx[0] != 3 || idx[1] != 10 || idx[2] != 17 {
+		t.Fatalf("failed indices = %v, want [3 10 17]", idx)
+	}
+	for _, task := range se.Tasks {
+		if !errors.Is(task, sentinel) {
+			t.Fatalf("task error %v does not wrap sentinel", task)
+		}
+	}
 }
 
 // TestMapMatchesSequentialProperty: parallel Map agrees with a plain loop.
@@ -71,7 +128,10 @@ func TestMapMatchesSequentialProperty(t *testing.T) {
 		}
 		workers := int(workersRaw%8) + 1
 		fn := func(v int64) int64 { return 3*v - 1 }
-		got := Map(workers, in, fn)
+		got, err := Map(workers, in, ok(fn))
+		if err != nil {
+			return false
+		}
 		for i, v := range in {
 			if got[i] != fn(v) {
 				return false

@@ -26,6 +26,13 @@ func FuzzReadTrace(f *testing.F) {
 	f.Add(`garbage`)
 	f.Add(`{"delta":1,"colors":[{"id":0,"delay":2}],"requests":[{"round":-3,"jobs":[{"color":0,"count":1}]}]}`)
 	f.Add(`{"delta":1,"colors":[{"id":0,"delay":2}],"requests":[{"round":0,"jobs":[{"color":0,"count":-5}]}]}`)
+	// Hardening corners: duplicate and negative color declarations, rounds and
+	// job totals beyond the reader's ceilings, undeclared colors in requests.
+	f.Add(`{"delta":1,"colors":[{"id":0,"delay":2},{"id":0,"delay":4}],"requests":[]}`)
+	f.Add(`{"delta":1,"colors":[{"id":-2,"delay":2}],"requests":[]}`)
+	f.Add(`{"delta":1,"colors":[{"id":0,"delay":2}],"requests":[{"round":1048577,"jobs":[{"color":0,"count":1}]}]}`)
+	f.Add(`{"delta":1,"colors":[{"id":0,"delay":2}],"requests":[{"round":0,"jobs":[{"color":0,"count":2147483647}]}]}`)
+	f.Add(`{"delta":1,"colors":[{"id":0,"delay":2}],"requests":[{"round":0,"jobs":[{"color":9,"count":1}]}]}`)
 
 	f.Fuzz(func(t *testing.T, data string) {
 		seq, err := ReadTrace(strings.NewReader(data))

@@ -68,21 +68,53 @@ func ToTrace(seq *model.Sequence) *Trace {
 	return t
 }
 
-// ToSequence converts a trace back into a validated sequence.
+// Hard ceilings for decoded traces. No generator in this repository comes
+// near them; they exist so a corrupted or hostile trace is rejected up front
+// instead of driving huge allocations (the builder allocates one request slot
+// per round up to the largest round mentioned, and one job per counted unit).
+const (
+	maxTraceRound  = int64(1) << 20
+	maxTraceColors = 1 << 16
+	maxTraceJobs   = 1 << 24
+)
+
+// ToSequence converts a trace back into a validated sequence. Malformed
+// traces — negative rounds or counts, undeclared or duplicated colors, and
+// absurd sizes — are rejected with an error.
 func (t *Trace) ToSequence() (*model.Sequence, error) {
+	if len(t.Colors) > maxTraceColors {
+		return nil, fmt.Errorf("workload: trace declares %d colors (limit %d)", len(t.Colors), maxTraceColors)
+	}
 	delays := map[model.Color]int64{}
 	for _, c := range t.Colors {
+		if c.ID < 0 {
+			return nil, fmt.Errorf("workload: trace declares negative color %d", c.ID)
+		}
 		if c.Delay <= 0 {
 			return nil, fmt.Errorf("workload: trace color %d has non-positive delay %d", c.ID, c.Delay)
+		}
+		if _, ok := delays[model.Color(c.ID)]; ok {
+			return nil, fmt.Errorf("workload: trace declares color %d twice", c.ID)
 		}
 		delays[model.Color(c.ID)] = c.Delay
 	}
 	b := model.NewBuilder(t.Delta)
+	totalJobs := int64(0)
 	for _, req := range t.Requests {
+		if req.Round < 0 || req.Round > maxTraceRound {
+			return nil, fmt.Errorf("workload: trace request round %d out of range [0,%d]", req.Round, maxTraceRound)
+		}
 		for _, jb := range req.Jobs {
 			d, ok := delays[model.Color(jb.Color)]
 			if !ok {
 				return nil, fmt.Errorf("workload: trace request in round %d references undeclared color %d", req.Round, jb.Color)
+			}
+			if jb.Count < 0 {
+				return nil, fmt.Errorf("workload: trace request in round %d has negative count %d", req.Round, jb.Count)
+			}
+			totalJobs += int64(jb.Count)
+			if totalJobs > maxTraceJobs {
+				return nil, fmt.Errorf("workload: trace has more than %d jobs", maxTraceJobs)
 			}
 			b.Add(req.Round, model.Color(jb.Color), d, jb.Count)
 		}

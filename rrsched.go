@@ -169,3 +169,14 @@ type (
 func NewStream(delta int64, resources int) (*Stream, error) {
 	return stream.New(stream.Config{Delta: delta, Resources: resources})
 }
+
+// RestoreStream rebuilds a Stream from a checkpoint taken with its Snapshot
+// method. The resumed scheduler's decisions are identical to those the
+// original would have produced had it never been interrupted:
+//
+//	snap, _ := s.Snapshot()        // persist before shutdown
+//	s2, _ := rrsched.RestoreStream(snap)
+//	dec, _ := s2.Push(r, jobs)     // continues where s left off
+func RestoreStream(snapshot []byte) (*Stream, error) {
+	return stream.Restore(snapshot)
+}
