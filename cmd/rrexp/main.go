@@ -91,7 +91,7 @@ func runOne(e experiments.Experiment, cfg experiments.Config, csvDir string) err
 				return err
 			}
 			if err := tb.RenderCSV(f); err != nil {
-				f.Close()
+				_ = f.Close() // the render error takes precedence
 				return err
 			}
 			if err := f.Close(); err != nil {

@@ -1,0 +1,168 @@
+// Command rrlint runs the repository's static-analysis engine
+// (internal/analysis) over every package of the module and reports
+// invariant violations: nondeterminism sources, library panics, discarded
+// errors, floating-point equality, and layering breaks.
+//
+// Usage:
+//
+//	go run ./cmd/rrlint ./...                 # whole module
+//	go run ./cmd/rrlint ./internal/sim/...    # one subtree
+//	go run ./cmd/rrlint -json ./...           # machine-readable output
+//	go run ./cmd/rrlint -disable=floatcmp ./...
+//	go run ./cmd/rrlint -list
+//
+// Exit status: 0 clean, 1 findings, 2 usage or load error. Suppress a
+// finding with a justified comment on or directly above the flagged line:
+//
+//	//lint:ignore determinism keys are sorted two lines below
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"rrsched/internal/analysis"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:]))
+}
+
+func run(args []string) int {
+	fs := flag.NewFlagSet("rrlint", flag.ContinueOnError)
+	fs.SetOutput(os.Stderr)
+	jsonOut := fs.Bool("json", false, "emit diagnostics as a JSON array")
+	enable := fs.String("enable", "", "comma-separated analyzers to run (default: all)")
+	disable := fs.String("disable", "", "comma-separated analyzers to skip")
+	list := fs.Bool("list", false, "list analyzers and exit")
+	dir := fs.String("C", ".", "directory to locate the module from")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	if *list {
+		for _, a := range analysis.Analyzers() {
+			fmt.Fprintf(os.Stdout, "%-12s %s\n", a.Name, a.Doc)
+		}
+		return 0
+	}
+
+	analyzers, unknown := analysis.ByName(splitList(*enable), splitList(*disable))
+	if len(unknown) > 0 {
+		fmt.Fprintf(os.Stderr, "rrlint: unknown analyzer(s): %s (use -list)\n", strings.Join(unknown, ", "))
+		return 2
+	}
+	if len(analyzers) == 0 {
+		fmt.Fprintln(os.Stderr, "rrlint: no analyzers selected")
+		return 2
+	}
+
+	root, err := analysis.FindModuleRoot(*dir)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "rrlint: %v\n", err)
+		return 2
+	}
+	mod, err := analysis.LoadModule(root)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "rrlint: %v\n", err)
+		return 2
+	}
+
+	pkgs, err := selectPackages(mod, fs.Args(), *dir)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "rrlint: %v\n", err)
+		return 2
+	}
+
+	diags := analysis.Run(pkgs, analyzers)
+	// Report positions relative to the module root: stable across machines
+	// and what CI annotations expect.
+	for i := range diags {
+		if rel, err := filepath.Rel(root, diags[i].File); err == nil {
+			diags[i].File = rel
+		}
+	}
+	if *jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(diags); err != nil {
+			fmt.Fprintf(os.Stderr, "rrlint: %v\n", err)
+			return 2
+		}
+	} else {
+		for _, d := range diags {
+			fmt.Fprintln(os.Stdout, d)
+		}
+		if len(diags) > 0 {
+			fmt.Fprintf(os.Stderr, "rrlint: %d finding(s) in %d package(s)\n", len(diags), len(pkgs))
+		}
+	}
+	if len(diags) > 0 {
+		return 1
+	}
+	return 0
+}
+
+// selectPackages filters the module's packages by the command-line patterns:
+// "./..." keeps everything, "./x/..." keeps the subtree rooted at x, and
+// "./x" keeps exactly x. No patterns means everything.
+func selectPackages(mod *analysis.Module, patterns []string, dir string) ([]*analysis.Package, error) {
+	if len(patterns) == 0 {
+		return mod.Pkgs, nil
+	}
+	abs := func(p string) (string, error) {
+		return filepath.Abs(filepath.Join(dir, p))
+	}
+	keep := map[string]bool{}
+	for _, pat := range patterns {
+		recursive := false
+		if strings.HasSuffix(pat, "/...") {
+			recursive = true
+			pat = strings.TrimSuffix(pat, "/...")
+			if pat == "." || pat == "" {
+				for _, p := range mod.Pkgs {
+					keep[p.Path] = true
+				}
+				continue
+			}
+		}
+		target, err := abs(pat)
+		if err != nil {
+			return nil, err
+		}
+		matched := false
+		for _, p := range mod.Pkgs {
+			if p.Dir == target || (recursive && strings.HasPrefix(p.Dir, target+string(filepath.Separator))) {
+				keep[p.Path] = true
+				matched = true
+			}
+		}
+		if !matched {
+			return nil, fmt.Errorf("pattern %q matches no packages", pat)
+		}
+	}
+	var out []*analysis.Package
+	for _, p := range mod.Pkgs {
+		if keep[p.Path] {
+			out = append(out, p)
+		}
+	}
+	return out, nil
+}
+
+func splitList(s string) []string {
+	if s == "" {
+		return nil
+	}
+	var out []string
+	for _, part := range strings.Split(s, ",") {
+		if part = strings.TrimSpace(part); part != "" {
+			out = append(out, part)
+		}
+	}
+	return out
+}

@@ -1,0 +1,53 @@
+package main
+
+import (
+	"path/filepath"
+	"testing"
+)
+
+// repoRoot walks up from the test's working directory (cmd/rrlint) to the
+// module root.
+func repoRoot() string { return filepath.Join("..", "..") }
+
+func TestRunCleanOnOwnRepo(t *testing.T) {
+	if code := run([]string{"-C", repoRoot(), "./..."}); code != 0 {
+		t.Fatalf("rrlint on its own repository: exit %d, want 0", code)
+	}
+}
+
+func TestRunFindsFixtureViolations(t *testing.T) {
+	// The determinism fixture is a standalone module with known-bad code;
+	// pointing the driver at it must produce findings (exit 1).
+	fixture := filepath.Join(repoRoot(), "internal", "analysis", "testdata", "src", "determinism")
+	if code := run([]string{"-C", fixture, "-enable", "determinism", "./..."}); code != 1 {
+		t.Fatalf("rrlint on the determinism fixture: exit %d, want 1", code)
+	}
+	if code := run([]string{"-C", fixture, "-enable", "determinism", "-json", "./..."}); code != 1 {
+		t.Fatalf("rrlint -json on the determinism fixture: exit %d, want 1", code)
+	}
+}
+
+func TestRunUsageErrors(t *testing.T) {
+	cases := [][]string{
+		{"-C", repoRoot(), "-enable", "nosuchanalyzer", "./..."},
+		{"-C", repoRoot(), "./no/such/dir"},
+		{"-C", filepath.Join(repoRoot(), ".."), "./..."}, // outside any module
+	}
+	for _, args := range cases {
+		if code := run(args); code != 2 {
+			t.Errorf("run(%v): exit %d, want 2", args, code)
+		}
+	}
+}
+
+func TestRunSubtreePattern(t *testing.T) {
+	if code := run([]string{"-C", repoRoot(), "./internal/model", "./internal/queue/..."}); code != 0 {
+		t.Fatalf("rrlint on model+queue subtrees: exit %d, want 0", code)
+	}
+}
+
+func TestRunList(t *testing.T) {
+	if code := run([]string{"-list"}); code != 0 {
+		t.Fatalf("rrlint -list: exit %d, want 0", code)
+	}
+}

@@ -53,7 +53,7 @@ func main() {
 			fatal(ferr)
 		}
 		seq, err = workload.ReadTrace(f)
-		f.Close()
+		_ = f.Close() // read-only; the read error is what matters
 	} else {
 		seq, err = workload.RandomGeneral(workload.RandomConfig{
 			Seed: *seed, Delta: *delta, Colors: *colors, Rounds: *rounds,

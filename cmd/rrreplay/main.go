@@ -15,7 +15,7 @@ import (
 	"fmt"
 	"os"
 
-	"rrsched/internal/analysis"
+	"rrsched/internal/introspect"
 	"rrsched/internal/model"
 	"rrsched/internal/workload"
 )
@@ -46,7 +46,7 @@ func main() {
 		fatal(err)
 	}
 	seq, err := workload.ReadTrace(tf)
-	tf.Close()
+	_ = tf.Close() // read-only; the read error is what matters
 	if err != nil {
 		fatal(err)
 	}
@@ -55,7 +55,7 @@ func main() {
 		fatal(err)
 	}
 	sched, err := model.ReadSchedule(sf)
-	sf.Close()
+	_ = sf.Close() // read-only; the read error is what matters
 	if err != nil {
 		fatal(err)
 	}
@@ -69,7 +69,7 @@ func main() {
 		seq.NumJobs(), sched.NumResources, sched.Speed)
 	fmt.Printf("cost:   reconfig=%d drop=%d total=%d\n", cost.Reconfig, cost.Drop, cost.Total())
 
-	rep, err := analysis.Analyze(seq, sched)
+	rep, err := introspect.Analyze(seq, sched)
 	if err != nil {
 		fatal(err)
 	}
@@ -81,7 +81,7 @@ func main() {
 	}
 	if *gantt {
 		fmt.Println()
-		if err := analysis.Gantt(seq, sched, analysis.GanttOptions{Width: *width}, os.Stdout); err != nil {
+		if err := introspect.Gantt(seq, sched, introspect.GanttOptions{Width: *width}, os.Stdout); err != nil {
 			fatal(err)
 		}
 	}

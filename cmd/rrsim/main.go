@@ -110,7 +110,7 @@ func buildWorkload(kind, tracePath string, cfg workload.RandomConfig) (*model.Se
 		if err != nil {
 			return nil, err
 		}
-		defer f.Close()
+		defer f.Close() //lint:ignore errcheck read-only file; the read error is what matters
 		return workload.ReadTrace(f)
 	}
 	switch kind {

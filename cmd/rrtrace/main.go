@@ -55,7 +55,7 @@ func gen(args []string) {
 		minExp = fs.Uint("min-delay-exp", 1, "minimum delay bound exponent")
 		maxExp = fs.Uint("max-delay-exp", 4, "maximum delay bound exponent")
 	)
-	fs.Parse(args)
+	_ = fs.Parse(args) // ExitOnError: Parse exits instead of returning
 	cfg := workload.RandomConfig{
 		Seed: *seed, Delta: *delta, Colors: *colors, Rounds: *rounds,
 		MinDelayExp: *minExp, MaxDelayExp: *maxExp, Load: *load,
@@ -103,25 +103,29 @@ func gen(args []string) {
 		if err != nil {
 			fatal(err)
 		}
-		defer f.Close()
 		w = f
 	}
 	if err := workload.WriteTrace(w, seq); err != nil {
 		fatal(err)
+	}
+	if w != os.Stdout {
+		if err := w.Close(); err != nil {
+			fatal(err)
+		}
 	}
 }
 
 func info(args []string) {
 	fs := flag.NewFlagSet("info", flag.ExitOnError)
 	in := fs.String("i", "", "input trace file (default stdin)")
-	fs.Parse(args)
+	_ = fs.Parse(args) // ExitOnError: Parse exits instead of returning
 	r := os.Stdin
 	if *in != "" {
 		f, err := os.Open(*in)
 		if err != nil {
 			fatal(err)
 		}
-		defer f.Close()
+		defer f.Close() //lint:ignore errcheck read-only file; the read error is what matters
 		r = f
 	}
 	seq, err := workload.ReadTrace(r)

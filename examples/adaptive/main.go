@@ -10,8 +10,8 @@ import (
 	"fmt"
 	"log"
 
-	"rrsched/internal/analysis"
 	"rrsched/internal/core"
+	"rrsched/internal/introspect"
 	"rrsched/internal/sim"
 	"rrsched/internal/workload"
 )
@@ -56,7 +56,7 @@ func main() {
 
 	// Analyze the adaptive schedule: utilization and thrashing profile.
 	last := runs[len(runs)-1]
-	rep, err := analysis.Analyze(seq, last.res.Schedule)
+	rep, err := introspect.Analyze(seq, last.res.Schedule)
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -59,11 +59,15 @@ func main() {
 
 	// Where do the drops land? Background drops = underutilization.
 	fmt.Println("\ndrop location (background vs short-term):")
-	for name, res := range map[string]*sim.Result{
-		"dlru":     lru,
-		"edf":      edfRes,
-		"dlru-edf": combo,
+	for _, entry := range []struct {
+		name string
+		res  *sim.Result
+	}{
+		{"dlru", lru},
+		{"edf", edfRes},
+		{"dlru-edf", combo},
 	} {
+		name, res := entry.name, entry.res
 		var bg, st int
 		for c, k := range res.DropsByColor {
 			if d, _ := seq.DelayBound(c); d > 8 {

@@ -1,199 +1,110 @@
-// Package analysis provides schedule introspection: per-color
-// reconfiguration and residency statistics, utilization, cost timelines, and
-// a thrashing index. The experiments and examples use it to explain *why* a
-// policy paid what it paid — the thrashing vs underutilization decomposition
-// the paper's introduction frames the problem with.
+// Package analysis is a from-scratch static-analysis engine, written only
+// against the standard library's go/parser, go/ast, go/types, and go/token,
+// that machine-checks the repository invariants the compiler cannot see:
+//
+//   - determinism: schedules must be reproducible for a given seed, so wall
+//     clocks, the global math/rand source, and map-iteration-order-dependent
+//     output are banned from library code (model.Audit replays runs
+//     byte-exactly; checkpoint resume is verified decision-for-decision);
+//   - nopanic: library panics were deliberately converted to error returns,
+//     so new panic sites outside constructor invariant guards and Must*
+//     wrappers are banned;
+//   - errcheck: silently discarded error returns are banned;
+//   - floatcmp: exact floating-point equality is banned in the statistics
+//     and experiment layers;
+//   - layering: the package DAG is pinned (model and queue are leaves, sim
+//     never sees experiments, each cmd declares its internals).
+//
+// The engine loads every package of the module (see LoadModule), runs each
+// enabled Analyzer over each package, and reports Diagnostics with file:line
+// positions. `//lint:ignore <analyzer> <reason>` comments suppress a
+// diagnostic on the same line or the line directly below the comment; an
+// ignore with no reason is itself a diagnostic. cmd/rrlint is the driver.
 package analysis
 
 import (
 	"fmt"
+	"go/token"
 	"sort"
-
-	"rrsched/internal/model"
 )
 
-// ColorStats summarizes one color's treatment by a schedule.
-type ColorStats struct {
-	Color model.Color
-	// Reconfigs counts recolorings TO this color (location-level).
-	Reconfigs int
-	// Executed and Dropped partition the color's jobs.
-	Executed int
-	Dropped  int
-	// Residency is the total number of (location, round) pairs the color
-	// held, counting from each recoloring to the next recoloring of that
-	// location (or the end of the schedule).
-	Residency int64
+// Diagnostic is one analyzer finding at a source position.
+type Diagnostic struct {
+	Analyzer string         `json:"analyzer"`
+	Pos      token.Position `json:"-"`
+	File     string         `json:"file"`
+	Line     int            `json:"line"`
+	Col      int            `json:"col"`
+	Message  string         `json:"message"`
 }
 
-// Report is a full schedule analysis.
-type Report struct {
-	Cost model.Cost
-	// PerColor, in ascending color order.
-	PerColor []ColorStats
-	// Utilization is executed jobs divided by total execution slots offered
-	// by non-black locations (busy fraction of configured capacity).
-	Utilization float64
-	// ThrashIndex is reconfiguration cost divided by total cost (0 = pure
-	// drops / underutilization regime, 1 = pure reconfigurations / thrashing
-	// regime).
-	ThrashIndex float64
-	// ReconfigRounds counts rounds with at least one reconfiguration.
-	ReconfigRounds int
-	// MeanResidency is the average residency (in rounds) of a configured
-	// stretch, over all recolorings.
-	MeanResidency float64
+// String renders the diagnostic in the conventional file:line:col form.
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s:%d:%d: %s: %s", d.File, d.Line, d.Col, d.Analyzer, d.Message)
 }
 
-// Analyze audits the schedule and derives the report. It fails if the
-// schedule is illegal for the sequence.
-func Analyze(seq *model.Sequence, sched *model.Schedule) (*Report, error) {
-	cost, err := model.Audit(seq, sched)
-	if err != nil {
-		return nil, err
-	}
-	horizon := seq.Horizon()
-	for _, r := range sched.Reconfigs {
-		if r.Round > horizon {
-			horizon = r.Round
-		}
-	}
-	for _, e := range sched.Execs {
-		if e.Round > horizon {
-			horizon = e.Round
-		}
-	}
+// Analyzer is one named analysis pass. Run inspects a single type-checked
+// package and reports findings through the Pass.
+type Analyzer struct {
+	Name string
+	Doc  string
+	Run  func(*Pass)
+}
 
-	stats := map[model.Color]*ColorStats{}
-	get := func(c model.Color) *ColorStats {
-		s := stats[c]
-		if s == nil {
-			s = &ColorStats{Color: c}
-			stats[c] = s
-		}
-		return s
-	}
+// Pass carries one (analyzer, package) unit of work.
+type Pass struct {
+	Analyzer *Analyzer
+	Fset     *token.FileSet
+	Pkg      *Package
 
-	// Per-location residency segments.
-	type segment struct {
-		color model.Color
-		start int64
-	}
-	current := make([]segment, sched.NumResources)
-	for i := range current {
-		current[i] = segment{color: model.Black}
-	}
-	recs := make([]model.Reconfigure, len(sched.Reconfigs))
-	copy(recs, sched.Reconfigs)
-	sort.SliceStable(recs, func(i, j int) bool {
-		if recs[i].Round != recs[j].Round {
-			return recs[i].Round < recs[j].Round
-		}
-		return recs[i].Mini < recs[j].Mini
+	diags *[]Diagnostic
+}
+
+// Reportf records a diagnostic at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	position := p.Fset.Position(pos)
+	*p.diags = append(*p.diags, Diagnostic{
+		Analyzer: p.Analyzer.Name,
+		Pos:      position,
+		File:     position.Filename,
+		Line:     position.Line,
+		Col:      position.Column,
+		Message:  fmt.Sprintf(format, args...),
 	})
-	var stretchLens []int64
-	closeSegment := func(loc int, end int64) {
-		seg := current[loc]
-		if seg.color == model.Black {
-			return
-		}
-		get(seg.color).Residency += end - seg.start
-		stretchLens = append(stretchLens, end-seg.start)
-	}
-	reconfigRounds := map[int64]bool{}
-	for _, r := range recs {
-		closeSegment(r.Resource, r.Round)
-		current[r.Resource] = segment{color: r.To, start: r.Round}
-		if r.To != model.Black {
-			get(r.To).Reconfigs++
-		}
-		reconfigRounds[r.Round] = true
-	}
-	for loc := range current {
-		closeSegment(loc, horizon+1)
-	}
-
-	// Job outcomes.
-	executed := sched.ExecutedJobIDs()
-	for _, j := range seq.Jobs() {
-		s := get(j.Color)
-		if executed[j.ID] {
-			s.Executed++
-		} else {
-			s.Dropped++
-		}
-	}
-
-	var totalResidency int64
-	perColor := make([]ColorStats, 0, len(stats))
-	for _, s := range stats {
-		totalResidency += s.Residency
-		perColor = append(perColor, *s)
-	}
-	sort.Slice(perColor, func(i, j int) bool { return perColor[i].Color < perColor[j].Color })
-
-	rep := &Report{Cost: cost, PerColor: perColor, ReconfigRounds: len(reconfigRounds)}
-	if slots := totalResidency * int64(sched.Speed); slots > 0 {
-		rep.Utilization = float64(len(sched.Execs)) / float64(slots)
-	}
-	if total := cost.Total(); total > 0 {
-		rep.ThrashIndex = float64(cost.Reconfig) / float64(total)
-	}
-	if len(stretchLens) > 0 {
-		var sum int64
-		for _, l := range stretchLens {
-			sum += l
-		}
-		rep.MeanResidency = float64(sum) / float64(len(stretchLens))
-	}
-	return rep, nil
 }
 
-// CostTimeline returns cumulative (reconfig, drop) cost per round, derived
-// from the schedule record: reconfigurations charge Δ in their round, and a
-// job charges its drop in its deadline round when never executed.
-func CostTimeline(seq *model.Sequence, sched *model.Schedule) ([]model.Cost, error) {
-	if _, err := model.Audit(seq, sched); err != nil {
-		return nil, err
+// Run applies each analyzer to each package and returns the surviving
+// diagnostics in (file, line, column, analyzer) order. Suppressed
+// diagnostics are dropped; malformed suppression comments are reported under
+// the pseudo-analyzer "lint".
+func Run(pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
+	var diags []Diagnostic
+	sup := newSuppressions()
+	for _, pkg := range pkgs {
+		for _, a := range analyzers {
+			pass := &Pass{Analyzer: a, Fset: pkg.Fset, Pkg: pkg, diags: &diags}
+			a.Run(pass)
+		}
+		sup.collect(pkg)
 	}
-	horizon := seq.Horizon()
-	for _, r := range sched.Reconfigs {
-		if r.Round > horizon {
-			horizon = r.Round
+	out := sup.malformed
+	for _, d := range diags {
+		if !sup.covers(d) {
+			out = append(out, d)
 		}
 	}
-	timeline := make([]model.Cost, horizon+1)
-	for _, r := range sched.Reconfigs {
-		timeline[r.Round].Reconfig += seq.Delta()
-	}
-	executed := sched.ExecutedJobIDs()
-	for _, j := range seq.Jobs() {
-		if !executed[j.ID] {
-			timeline[j.Deadline()].Drop++
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if a.File != b.File {
+			return a.File < b.File
 		}
-	}
-	// Prefix sums.
-	for i := 1; i <= int(horizon); i++ {
-		timeline[i] = timeline[i].Add(timeline[i-1])
-	}
-	return timeline, nil
-}
-
-// Summary renders the report as a short multi-line string.
-func (r *Report) Summary() string {
-	return fmt.Sprintf(
-		"cost=%d (reconfig=%d, drop=%d)  utilization=%.2f  thrash=%.2f  mean residency=%.1f rounds  reconfig rounds=%d",
-		r.Cost.Total(), r.Cost.Reconfig, r.Cost.Drop,
-		r.Utilization, r.ThrashIndex, r.MeanResidency, r.ReconfigRounds)
-}
-
-// TopReconfigured returns the k colors with the most recolorings.
-func (r *Report) TopReconfigured(k int) []ColorStats {
-	out := make([]ColorStats, len(r.PerColor))
-	copy(out, r.PerColor)
-	sort.SliceStable(out, func(i, j int) bool { return out[i].Reconfigs > out[j].Reconfigs })
-	if len(out) > k {
-		out = out[:k]
-	}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		if a.Col != b.Col {
+			return a.Col < b.Col
+		}
+		return a.Analyzer < b.Analyzer
+	})
 	return out
 }

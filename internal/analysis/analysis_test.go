@@ -1,164 +1,223 @@
 package analysis
 
 import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
-
-	"rrsched/internal/core"
-	"rrsched/internal/model"
-	"rrsched/internal/sim"
-	"rrsched/internal/workload"
 )
 
-func handSchedule(t *testing.T) (*model.Sequence, *model.Schedule) {
-	t.Helper()
-	// 2 jobs color 0 (D=4) at round 0; 2 jobs color 1 (D=4) at round 4.
-	seq := model.NewBuilder(2).Add(0, 0, 4, 2).Add(4, 1, 4, 2).MustBuild()
-	s := model.NewSchedule(1, 1)
-	s.AddReconfig(0, 0, 0, 0)
-	s.AddExec(0, 0, 0, 0)
-	s.AddExec(1, 0, 0, 1)
-	s.AddReconfig(4, 0, 0, 1)
-	s.AddExec(4, 0, 0, 2)
-	s.AddExec(5, 0, 0, 3)
-	return seq, s
-}
+// -update regenerates the expected-diagnostics files from the current
+// analyzer output: go test ./internal/analysis -run Golden -update
+var update = flag.Bool("update", false, "rewrite testdata expected.txt files")
 
-func TestAnalyzeHandSchedule(t *testing.T) {
-	seq, s := handSchedule(t)
-	rep, err := Analyze(seq, s)
-	if err != nil {
-		t.Fatal(err)
-	}
-	if rep.Cost.Total() != 4 { // 2 reconfigs × Δ=2
-		t.Errorf("cost = %v", rep.Cost)
-	}
-	if len(rep.PerColor) != 2 {
-		t.Fatalf("per-color entries = %d", len(rep.PerColor))
-	}
-	c0, c1 := rep.PerColor[0], rep.PerColor[1]
-	if c0.Reconfigs != 1 || c0.Executed != 2 || c0.Dropped != 0 {
-		t.Errorf("color 0 stats = %+v", c0)
-	}
-	if c1.Reconfigs != 1 || c1.Executed != 2 {
-		t.Errorf("color 1 stats = %+v", c1)
-	}
-	// Color 0 resident rounds [0,4) = 4; color 1 resident [4, horizon+1=9).
-	if c0.Residency != 4 {
-		t.Errorf("color 0 residency = %d, want 4", c0.Residency)
-	}
-	if c1.Residency != 5 {
-		t.Errorf("color 1 residency = %d, want 5", c1.Residency)
-	}
-	// Utilization: 4 executions over 9 configured slots.
-	if rep.Utilization < 0.43 || rep.Utilization > 0.46 {
-		t.Errorf("utilization = %v", rep.Utilization)
-	}
-	if rep.ThrashIndex != 1.0 { // zero drops
-		t.Errorf("thrash = %v", rep.ThrashIndex)
-	}
-	if rep.ReconfigRounds != 2 {
-		t.Errorf("reconfig rounds = %d", rep.ReconfigRounds)
-	}
-	if !strings.Contains(rep.Summary(), "cost=4") {
-		t.Errorf("summary = %q", rep.Summary())
+// fixtureAnalyzers configures the analyzers under test for each fixture
+// module: repo-independent fixtures need fixture-local package paths and
+// allowlists.
+func fixtureAnalyzers(name string) []*Analyzer {
+	switch name {
+	case "determinism", "suppress":
+		return []*Analyzer{Determinism()}
+	case "nopanic":
+		return []*Analyzer{NoPanic(map[string]string{
+			"fix/nopanic.NewGuarded": "fixture: constructor invariant guard recorded in the allowlist",
+		})}
+	case "errcheck":
+		return []*Analyzer{ErrCheck()}
+	case "floatcmp":
+		return []*Analyzer{FloatCmp("fix/floatcmp")}
+	case "layering":
+		return []*Analyzer{Layering(map[string][]string{
+			"fix/layering/a": {},
+			"fix/layering/b": {},
+			// fix/layering/c deliberately missing: undeclared packages are
+			// findings.
+		})}
+	default:
+		return nil
 	}
 }
 
-func TestAnalyzeRejectsIllegal(t *testing.T) {
-	seq := model.NewBuilder(1).Add(0, 0, 1, 1).MustBuild()
-	s := model.NewSchedule(1, 1)
-	s.AddExec(0, 0, 0, 0) // unconfigured
-	if _, err := Analyze(seq, s); err == nil {
-		t.Fatal("illegal schedule analyzed")
+// TestGolden runs each analyzer over its known-bad fixture module and
+// compares the diagnostics against the fixture's expected.txt.
+func TestGolden(t *testing.T) {
+	entries, err := os.ReadDir(filepath.Join("testdata", "src"))
+	if err != nil {
+		t.Fatal(err)
 	}
-	if _, err := CostTimeline(seq, s); err == nil {
-		t.Fatal("illegal schedule timelined")
+	for _, e := range entries {
+		if !e.IsDir() {
+			continue
+		}
+		name := e.Name()
+		t.Run(name, func(t *testing.T) {
+			analyzers := fixtureAnalyzers(name)
+			if analyzers == nil {
+				t.Fatalf("no analyzer configuration for fixture %q", name)
+			}
+			dir := filepath.Join("testdata", "src", name)
+			mod, err := LoadModule(dir)
+			if err != nil {
+				t.Fatal(err)
+			}
+			diags := Run(mod.Pkgs, analyzers)
+			var b strings.Builder
+			for _, d := range diags {
+				rel, err := filepath.Rel(mod.Root, d.File)
+				if err != nil {
+					t.Fatal(err)
+				}
+				fmt.Fprintf(&b, "%s:%d:%d: %s: %s\n", filepath.ToSlash(rel), d.Line, d.Col, d.Analyzer, d.Message)
+			}
+			got := b.String()
+			expPath := filepath.Join(dir, "expected.txt")
+			if *update {
+				if err := os.WriteFile(expPath, []byte(got), 0o644); err != nil {
+					t.Fatal(err)
+				}
+				return
+			}
+			wantBytes, err := os.ReadFile(expPath)
+			if err != nil {
+				t.Fatalf("missing expected-diagnostics file (run with -update to create): %v", err)
+			}
+			if got != string(wantBytes) {
+				t.Errorf("diagnostics mismatch\n--- got ---\n%s--- want ---\n%s", got, wantBytes)
+			}
+		})
 	}
 }
 
-func TestCostTimelineMonotoneAndTotal(t *testing.T) {
-	seq, err := workload.RandomBatched(workload.RandomConfig{
-		Seed: 4, Delta: 3, Colors: 5, Rounds: 64,
-		MinDelayExp: 1, MaxDelayExp: 3, Load: 0.9, RateLimited: true,
-	})
+// TestFixturesExitNonZero pins the acceptance criterion that every testdata
+// fixture yields at least one finding with a position inside the fixture.
+func TestFixturesExitNonZero(t *testing.T) {
+	entries, err := os.ReadDir(filepath.Join("testdata", "src"))
 	if err != nil {
 		t.Fatal(err)
 	}
-	res := sim.MustRun(sim.Env{Seq: seq, Resources: 8, Replication: 2, Speed: 1}, core.NewDeltaLRUEDF())
-	tl, err := CostTimeline(seq, res.Schedule)
-	if err != nil {
-		t.Fatal(err)
-	}
-	for i := 1; i < len(tl); i++ {
-		if tl[i].Reconfig < tl[i-1].Reconfig || tl[i].Drop < tl[i-1].Drop {
-			t.Fatalf("timeline decreased at round %d", i)
+	for _, e := range entries {
+		name := e.Name()
+		dir := filepath.Join("testdata", "src", name)
+		mod, err := LoadModule(dir)
+		if err != nil {
+			t.Fatal(err)
+		}
+		diags := Run(mod.Pkgs, fixtureAnalyzers(name))
+		if len(diags) == 0 {
+			t.Errorf("fixture %s: want at least one diagnostic, got none", name)
+			continue
+		}
+		for _, d := range diags {
+			if d.Line <= 0 || d.File == "" {
+				t.Errorf("fixture %s: diagnostic without a position: %+v", name, d)
+			}
+			abs, err := filepath.Abs(dir)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !strings.HasPrefix(d.File, abs+string(filepath.Separator)) {
+				t.Errorf("fixture %s: diagnostic outside the fixture: %s", name, d.File)
+			}
 		}
 	}
-	if last := tl[len(tl)-1]; last != res.Cost {
-		t.Errorf("timeline end %v != cost %v", last, res.Cost)
+}
+
+// TestSelfHost is the self-hosting gate: the engine, run with the
+// repository's own configuration, must be clean on the repository.
+func TestSelfHost(t *testing.T) {
+	root, err := FindModuleRoot(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	mod, err := LoadModule(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	diags := Run(mod.Pkgs, Analyzers())
+	for _, d := range diags {
+		t.Errorf("%s", d)
+	}
+	if len(diags) > 0 {
+		t.Fatalf("rrlint is not clean on its own repository: %d finding(s)", len(diags))
+	}
+	if len(mod.Pkgs) < 25 {
+		t.Fatalf("loaded only %d packages; the module walker is missing directories", len(mod.Pkgs))
 	}
 }
 
-func TestAnalyzeMatchesEngineOnPolicies(t *testing.T) {
-	seq, err := workload.RandomBatched(workload.RandomConfig{
-		Seed: 6, Delta: 4, Colors: 8, Rounds: 128,
-		MinDelayExp: 1, MaxDelayExp: 4, Load: 0.7, RateLimited: true,
-	})
-	if err != nil {
-		t.Fatal(err)
-	}
-	res := sim.MustRun(sim.Env{Seq: seq, Resources: 8, Replication: 2, Speed: 1}, core.NewDeltaLRUEDF())
-	rep, err := Analyze(seq, res.Schedule)
-	if err != nil {
-		t.Fatal(err)
-	}
-	if rep.Cost != res.Cost {
-		t.Errorf("report cost %v != engine %v", rep.Cost, res.Cost)
-	}
-	var executed, dropped, reconfigs int
-	for _, s := range rep.PerColor {
-		executed += s.Executed
-		dropped += s.Dropped
-		reconfigs += s.Reconfigs
-	}
-	if executed != res.Executed || dropped != res.Dropped {
-		t.Errorf("per-color sums %d/%d != engine %d/%d", executed, dropped, res.Executed, res.Dropped)
-	}
-	if reconfigs != res.Schedule.NumReconfigs() {
-		t.Errorf("reconfig sum %d != schedule %d", reconfigs, res.Schedule.NumReconfigs())
-	}
-	if rep.Utilization <= 0 || rep.Utilization > 1 {
-		t.Errorf("utilization = %v", rep.Utilization)
-	}
-	if rep.ThrashIndex < 0 || rep.ThrashIndex > 1 {
-		t.Errorf("thrash = %v", rep.ThrashIndex)
+// TestNoPanicAllowlistJustified keeps the allowlist honest: every entry
+// names a module-internal function and carries a non-empty justification.
+func TestNoPanicAllowlistJustified(t *testing.T) {
+	for key, why := range DefaultNoPanicAllowlist() {
+		if strings.TrimSpace(why) == "" {
+			t.Errorf("allowlist entry %s has no justification", key)
+		}
+		if !strings.HasPrefix(key, "rrsched/internal/") {
+			t.Errorf("allowlist entry %s does not name a module-internal function", key)
+		}
 	}
 }
 
-func TestTopReconfigured(t *testing.T) {
-	seq, s := handSchedule(t)
-	rep, err := Analyze(seq, s)
+// TestNoPanicAllowlistLive cross-checks the allowlist against the tree:
+// every allowlisted function must still contain a panic, so stale entries
+// are flushed out when the panic is refactored away.
+func TestNoPanicAllowlistLive(t *testing.T) {
+	root, err := FindModuleRoot(".")
 	if err != nil {
 		t.Fatal(err)
 	}
-	top := rep.TopReconfigured(1)
-	if len(top) != 1 {
-		t.Fatalf("top = %v", top)
+	mod, err := LoadModule(root)
+	if err != nil {
+		t.Fatal(err)
 	}
-	all := rep.TopReconfigured(10)
-	if len(all) != 2 {
-		t.Fatalf("top(10) = %v", all)
+	// Re-run nopanic with an empty allowlist: the union of flagged function
+	// keys is exactly the set of live panic sites.
+	live := map[string]bool{}
+	diags := Run(mod.Pkgs, []*Analyzer{NoPanic(nil)})
+	for _, d := range diags {
+		// Message format: "panic in library function <key>: ..."
+		const pfx = "panic in library function "
+		msg := strings.TrimPrefix(d.Message, pfx)
+		if i := strings.Index(msg, ":"); i >= 0 && msg != d.Message {
+			live[msg[:i]] = true
+		}
+	}
+	for key := range DefaultNoPanicAllowlist() {
+		if !live[key] {
+			t.Errorf("allowlist entry %s matches no live panic site; delete the stale entry", key)
+		}
 	}
 }
 
-func TestAnalyzeEmptySchedule(t *testing.T) {
-	seq := model.NewBuilder(1).Add(0, 0, 2, 3).MustBuild()
-	rep, err := Analyze(seq, model.NewSchedule(2, 1))
-	if err != nil {
-		t.Fatal(err)
+// TestByName covers the enable/disable selection logic.
+func TestByName(t *testing.T) {
+	sel, unknown := ByName(nil, nil)
+	if len(unknown) != 0 || len(sel) != len(Analyzers()) {
+		t.Fatalf("default selection: got %d analyzers, unknown=%v", len(sel), unknown)
 	}
-	if rep.Cost.Drop != 3 || rep.Utilization != 0 || rep.ThrashIndex != 0 {
-		t.Errorf("report = %+v", rep)
+	sel, unknown = ByName([]string{"determinism", "nopanic"}, []string{"nopanic"})
+	if len(unknown) != 0 || len(sel) != 1 || sel[0].Name != "determinism" {
+		t.Fatalf("enable+disable: got %v unknown=%v", names(sel), unknown)
+	}
+	_, unknown = ByName([]string{"nope"}, []string{"alsono"})
+	if len(unknown) != 2 {
+		t.Fatalf("want 2 unknown names, got %v", unknown)
+	}
+}
+
+func names(as []*Analyzer) []string {
+	var out []string
+	for _, a := range as {
+		out = append(out, a.Name)
+	}
+	return out
+}
+
+// TestFindModuleRootErrors pins the failure mode outside any module.
+func TestFindModuleRootErrors(t *testing.T) {
+	if _, err := FindModuleRoot(t.TempDir()); err == nil {
+		t.Fatal("want an error when no go.mod exists above the directory")
 	}
 }

@@ -1,0 +1,242 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/types"
+)
+
+// Determinism returns the analyzer that guards reproducibility: every run of
+// a seeded scenario must produce byte-identical schedules and summaries
+// (model.Audit replays runs exactly; checkpoint resume is verified
+// decision-for-decision). It flags, in non-test code:
+//
+//   - wall-clock reads (time.Now, time.Since, time.Until);
+//   - the global math/rand source (top-level rand.Intn, rand.Float64,
+//     rand.Shuffle, ... — seeded rand.New(rand.NewSource(seed)) instances
+//     are the approved pattern and are not flagged);
+//   - ranging over a map while appending to a slice, writing output, or
+//     encoding — the classic map-iteration-order leak. Loops that sort
+//     afterwards carry a //lint:ignore determinism comment saying so.
+func Determinism() *Analyzer {
+	a := &Analyzer{
+		Name: "determinism",
+		Doc:  "flags wall clocks, the global math/rand source, and map-iteration-order-dependent output",
+	}
+	a.Run = func(pass *Pass) {
+		for _, f := range pass.Pkg.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				if sel, ok := n.(*ast.SelectorExpr); ok {
+					checkDeterminismSelector(pass, sel)
+				}
+				return true
+			})
+			for _, decl := range f.Decls {
+				if fn, ok := decl.(*ast.FuncDecl); ok && fn.Body != nil {
+					checkMapRanges(pass, fn.Body)
+				}
+			}
+		}
+	}
+	return a
+}
+
+// wallClockFuncs are the time functions that read the wall clock.
+var wallClockFuncs = map[string]bool{"Now": true, "Since": true, "Until": true}
+
+// seededRandFuncs are the math/rand functions that are fine to call: they
+// construct explicitly seeded generators rather than drawing from the global
+// source.
+var seededRandFuncs = map[string]bool{"New": true, "NewSource": true, "NewZipf": true}
+
+func checkDeterminismSelector(pass *Pass, sel *ast.SelectorExpr) {
+	id, ok := sel.X.(*ast.Ident)
+	if !ok {
+		return
+	}
+	pkgName, ok := pass.Pkg.Info.Uses[id].(*types.PkgName)
+	if !ok {
+		return
+	}
+	// Only package-level functions matter: type references (rand.Rand,
+	// rand.Source) and method calls on seeded *rand.Rand values are fine.
+	if _, isFunc := pass.Pkg.Info.Uses[sel.Sel].(*types.Func); !isFunc {
+		return
+	}
+	switch pkgName.Imported().Path() {
+	case "time":
+		if wallClockFuncs[sel.Sel.Name] {
+			pass.Reportf(sel.Pos(), "time.%s reads the wall clock; seeded runs must not depend on real time", sel.Sel.Name)
+		}
+	case "math/rand", "math/rand/v2":
+		if !seededRandFuncs[sel.Sel.Name] {
+			pass.Reportf(sel.Pos(), "rand.%s draws from the global math/rand source; use a seeded rand.New(rand.NewSource(seed))", sel.Sel.Name)
+		}
+	}
+}
+
+// orderSensitiveCalls are method/function names that emit output in call
+// order, so calling them while ranging over a map leaks iteration order.
+var orderSensitiveCalls = map[string]bool{
+	"Write": true, "WriteString": true, "WriteByte": true, "WriteRune": true,
+	"Encode": true, "Print": true, "Printf": true, "Println": true,
+	"Fprint": true, "Fprintf": true, "Fprintln": true,
+}
+
+// checkMapRanges flags `range m` over a map whose body appends to a slice,
+// writes output, or encodes: the result depends on Go's randomized map
+// iteration order. Bodies that only update maps or commutative accumulators
+// are fine, and so is the canonical collect-then-sort idiom — an append
+// whose target is passed to a sort.* or slices.Sort* call later in the same
+// function is not flagged. (The heuristic cannot see whether the sort key is
+// total; a sort with ties broken by nothing still leaks map order and must
+// be caught in review.)
+func checkMapRanges(pass *Pass, body *ast.BlockStmt) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		rng, ok := n.(*ast.RangeStmt)
+		if !ok {
+			return true
+		}
+		tv, ok := pass.Pkg.Info.Types[rng.X]
+		if !ok {
+			return true
+		}
+		if _, isMap := tv.Type.Underlying().(*types.Map); !isMap {
+			return true
+		}
+		culprit, targets := mapRangeCulprit(pass, rng)
+		if culprit == "" {
+			return true
+		}
+		if len(targets) > 0 && allSortedAfter(pass, body, rng, targets) {
+			return true
+		}
+		pass.Reportf(rng.Pos(), "range over a map %s: output depends on map iteration order; iterate over sorted keys instead", culprit)
+		return true
+	})
+}
+
+// mapRangeCulprit scans a map-range body for order-sensitive effects. For
+// appends it also returns the keys of the append targets (x = append(x, ...)
+// or x.f.g = append(x.f.g, ...)), so the caller can look for a later sort.
+// Appends to variables declared inside the loop body build per-iteration
+// values and are not order-sensitive.
+func mapRangeCulprit(pass *Pass, rng *ast.RangeStmt) (culprit string, targets []string) {
+	appendOnly := true
+	captured := map[*ast.CallExpr]bool{}
+	ast.Inspect(rng.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			if len(n.Rhs) == 1 && len(n.Lhs) == 1 {
+				if call, ok := n.Rhs[0].(*ast.CallExpr); ok && isBuiltinAppend(pass, call) {
+					key, root := exprKey(pass, n.Lhs[0])
+					if root != nil && rng.Body.Pos() <= root.Pos() && root.Pos() <= rng.Body.End() {
+						// Per-iteration local: each iteration builds its own
+						// value, so order cannot leak through it.
+						captured[call] = true
+						return true
+					}
+					if key != "" {
+						if culprit == "" {
+							culprit = "appends to a slice"
+						}
+						targets = append(targets, key)
+						captured[call] = true
+					}
+				}
+			}
+		case *ast.CallExpr:
+			switch fun := n.Fun.(type) {
+			case *ast.Ident:
+				if isBuiltinAppend(pass, n) && !captured[n] {
+					// append not captured by a plain `x = append(x, ...)`
+					// assignment: cannot prove a later sort covers it.
+					culprit = "appends to a slice"
+					appendOnly = false
+				}
+			case *ast.SelectorExpr:
+				if orderSensitiveCalls[fun.Sel.Name] {
+					culprit = "calls " + fun.Sel.Name
+					appendOnly = false
+				}
+			}
+		}
+		return true
+	})
+	if !appendOnly {
+		targets = nil
+	}
+	return culprit, targets
+}
+
+func isBuiltinAppend(pass *Pass, call *ast.CallExpr) bool {
+	id, ok := call.Fun.(*ast.Ident)
+	return ok && id.Name == "append" && pass.Pkg.Info.Uses[id] == types.Universe.Lookup("append")
+}
+
+// exprKey canonicalizes an ident or selector chain (out, cp.Inner.Subcolors)
+// into a comparable key plus the root identifier's object. Anything else
+// (index expressions, calls) yields "".
+func exprKey(pass *Pass, e ast.Expr) (string, types.Object) {
+	switch e := e.(type) {
+	case *ast.Ident:
+		obj := pass.Pkg.Info.Uses[e]
+		if obj == nil {
+			obj = pass.Pkg.Info.Defs[e]
+		}
+		if obj == nil {
+			return "", nil
+		}
+		return fmt.Sprintf("%p", obj), obj
+	case *ast.SelectorExpr:
+		base, root := exprKey(pass, e.X)
+		if base == "" {
+			return "", nil
+		}
+		return base + "." + e.Sel.Name, root
+	default:
+		return "", nil
+	}
+}
+
+// allSortedAfter reports whether every append target is passed to a sorting
+// call (sort.* or slices.Sort*) after the range statement in the same
+// function body.
+func allSortedAfter(pass *Pass, body *ast.BlockStmt, rng *ast.RangeStmt, targets []string) bool {
+	sorted := map[string]bool{}
+	ast.Inspect(body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok || call.Pos() < rng.End() {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		id, ok := sel.X.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		pkgName, ok := pass.Pkg.Info.Uses[id].(*types.PkgName)
+		if !ok {
+			return true
+		}
+		switch pkgName.Imported().Path() {
+		case "sort", "slices":
+		default:
+			return true
+		}
+		for _, arg := range call.Args {
+			if key, _ := exprKey(pass, arg); key != "" {
+				sorted[key] = true
+			}
+		}
+		return true
+	})
+	for _, t := range targets {
+		if !sorted[t] {
+			return false
+		}
+	}
+	return true
+}

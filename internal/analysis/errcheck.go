@@ -1,0 +1,198 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// ErrCheck returns the analyzer that bans silently discarded errors. PR 1
+// turned library panics into error returns; an error return that callers
+// drop on the floor undoes that work. It flags:
+//
+//   - a call used as a statement (or deferred, or its value assigned
+//     entirely to blanks) whose results include an error;
+//   - `_` in an error position of an assignment when the line carries no
+//     comment — an annotated discard (`_ = w.Close() // best-effort`) is an
+//     explicit, reviewable decision and passes.
+//
+// Conventionally infallible writers are excluded: fmt.Print* to stdout,
+// fmt.Fprint* directly to os.Stdout or os.Stderr (best-effort CLI output),
+// and writes to strings.Builder / bytes.Buffer (their Write methods are
+// documented never to return an error), including via fmt.Fprint*.
+func ErrCheck() *Analyzer {
+	a := &Analyzer{
+		Name: "errcheck",
+		Doc:  "flags discarded error returns, including unannotated `_ =` discards",
+	}
+	a.Run = func(pass *Pass) {
+		for _, f := range pass.Pkg.Files {
+			commented := commentLines(pass, f)
+			ast.Inspect(f, func(n ast.Node) bool {
+				switch n := n.(type) {
+				case *ast.ExprStmt:
+					if call, ok := n.X.(*ast.CallExpr); ok {
+						checkDiscardedCall(pass, call)
+					}
+				case *ast.DeferStmt:
+					checkDiscardedCall(pass, n.Call)
+				case *ast.AssignStmt:
+					checkBlankError(pass, n, commented)
+				}
+				return true
+			})
+		}
+	}
+	return a
+}
+
+// commentLines collects the lines of f that carry any comment; a same-line
+// comment annotates (and thereby permits) a blank error discard.
+func commentLines(pass *Pass, f *ast.File) map[int]bool {
+	lines := map[int]bool{}
+	for _, cg := range f.Comments {
+		for _, c := range cg.List {
+			lines[pass.Fset.Position(c.Pos()).Line] = true
+		}
+	}
+	return lines
+}
+
+// checkDiscardedCall flags a call whose error results vanish because the
+// call is a bare statement or deferred.
+func checkDiscardedCall(pass *Pass, call *ast.CallExpr) {
+	if !returnsError(pass, call) || infallible(pass, call) {
+		return
+	}
+	pass.Reportf(call.Pos(), "result of %s includes an error that is discarded; handle it or annotate an explicit `_ =` discard", callName(pass, call))
+}
+
+// checkBlankError flags `_` in an error position of an assignment when the
+// line has no comment explaining the discard.
+func checkBlankError(pass *Pass, as *ast.AssignStmt, commented map[int]bool) {
+	// Only the single-call form (x, _ := f() or _ = f()) has result
+	// positions to match against the left-hand sides.
+	if len(as.Rhs) != 1 {
+		return
+	}
+	call, ok := as.Rhs[0].(*ast.CallExpr)
+	if !ok || infallible(pass, call) {
+		return
+	}
+	results := resultTypes(pass, call)
+	if len(results) != len(as.Lhs) {
+		return
+	}
+	for i, lhs := range as.Lhs {
+		id, ok := lhs.(*ast.Ident)
+		if !ok || id.Name != "_" || !isErrorType(results[i]) {
+			continue
+		}
+		if commented[pass.Fset.Position(as.Pos()).Line] {
+			continue
+		}
+		pass.Reportf(lhs.Pos(), "error result of %s discarded with `_` and no annotation; handle it or add a comment justifying the discard", callName(pass, call))
+	}
+}
+
+// resultTypes returns the call's result types (nil for a conversion or a
+// call with no recorded type).
+func resultTypes(pass *Pass, call *ast.CallExpr) []types.Type {
+	tv, ok := pass.Pkg.Info.Types[call]
+	if !ok {
+		return nil
+	}
+	switch t := tv.Type.(type) {
+	case *types.Tuple:
+		out := make([]types.Type, t.Len())
+		for i := 0; i < t.Len(); i++ {
+			out[i] = t.At(i).Type()
+		}
+		return out
+	default:
+		return []types.Type{t}
+	}
+}
+
+func returnsError(pass *Pass, call *ast.CallExpr) bool {
+	for _, t := range resultTypes(pass, call) {
+		if isErrorType(t) {
+			return true
+		}
+	}
+	return false
+}
+
+var errorType = types.Universe.Lookup("error").Type()
+
+func isErrorType(t types.Type) bool {
+	return t != nil && types.Identical(t, errorType)
+}
+
+// infallible reports whether the call is on the exclusion list of
+// conventionally error-free writers.
+func infallible(pass *Pass, call *ast.CallExpr) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	// Package-level fmt functions.
+	if id, ok := sel.X.(*ast.Ident); ok {
+		if pn, ok := pass.Pkg.Info.Uses[id].(*types.PkgName); ok && pn.Imported().Path() == "fmt" {
+			switch sel.Sel.Name {
+			case "Print", "Printf", "Println":
+				return true // stdout: best-effort CLI output
+			case "Fprint", "Fprintf", "Fprintln":
+				// Infallible when the destination cannot fail.
+				return len(call.Args) > 0 && isInfallibleWriter(pass, call.Args[0])
+			}
+			return false
+		}
+	}
+	// Methods on infallible writers (strings.Builder, bytes.Buffer).
+	return isInfallibleWriter(pass, sel.X)
+}
+
+// isInfallibleWriter reports whether the expression is a strings.Builder or
+// bytes.Buffer (possibly behind a pointer), whose Write methods are
+// documented to never return an error, or the os.Stdout / os.Stderr
+// streams, where CLI output is best-effort by convention.
+func isInfallibleWriter(pass *Pass, e ast.Expr) bool {
+	if sel, ok := e.(*ast.SelectorExpr); ok {
+		if id, ok := sel.X.(*ast.Ident); ok {
+			if pn, ok := pass.Pkg.Info.Uses[id].(*types.PkgName); ok && pn.Imported().Path() == "os" {
+				if sel.Sel.Name == "Stdout" || sel.Sel.Name == "Stderr" {
+					return true
+				}
+			}
+		}
+	}
+	tv, ok := pass.Pkg.Info.Types[e]
+	if !ok {
+		return false
+	}
+	t := tv.Type
+	if p, ok := t.Underlying().(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok || named.Obj().Pkg() == nil {
+		return false
+	}
+	full := named.Obj().Pkg().Path() + "." + named.Obj().Name()
+	return full == "strings.Builder" || full == "bytes.Buffer"
+}
+
+// callName renders the call target for diagnostics.
+func callName(pass *Pass, call *ast.CallExpr) string {
+	switch fun := call.Fun.(type) {
+	case *ast.Ident:
+		return fun.Name
+	case *ast.SelectorExpr:
+		if id, ok := fun.X.(*ast.Ident); ok {
+			return id.Name + "." + fun.Sel.Name
+		}
+		return fun.Sel.Name
+	default:
+		return "call"
+	}
+}

@@ -1,0 +1,52 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// FloatCmp returns the analyzer that bans exact floating-point equality in
+// the given packages (by import path). The statistics and experiment layers
+// compare measured ratios and quantiles; an exact `==`/`!=` there is almost
+// always a rounding-sensitive bug — compare with a tolerance, or restructure
+// to integer arithmetic. Comparisons that are genuinely exact (sentinel
+// values, checking for a prior exact assignment) carry a
+// //lint:ignore floatcmp comment with the justification.
+func FloatCmp(pkgPaths ...string) *Analyzer {
+	paths := map[string]bool{}
+	for _, p := range pkgPaths {
+		paths[p] = true
+	}
+	a := &Analyzer{
+		Name: "floatcmp",
+		Doc:  "flags ==/!= between floating-point operands in the statistics and experiment layers",
+	}
+	a.Run = func(pass *Pass) {
+		if !paths[pass.Pkg.Path] {
+			return
+		}
+		for _, f := range pass.Pkg.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				be, ok := n.(*ast.BinaryExpr)
+				if !ok || (be.Op != token.EQL && be.Op != token.NEQ) {
+					return true
+				}
+				if isFloat(pass, be.X) || isFloat(pass, be.Y) {
+					pass.Reportf(be.Pos(), "floating-point %s comparison; compare with a tolerance or justify with //lint:ignore floatcmp", be.Op)
+				}
+				return true
+			})
+		}
+	}
+	return a
+}
+
+func isFloat(pass *Pass, e ast.Expr) bool {
+	tv, ok := pass.Pkg.Info.Types[e]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	b, ok := tv.Type.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsFloat != 0
+}

@@ -1,0 +1,88 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// NoPanic returns the analyzer that keeps library code panic-free: PR 1
+// deliberately converted library panics into error returns so faulty inputs
+// degrade gracefully, and this analyzer stops new panic sites from creeping
+// back in. It flags every `panic(...)` in non-main packages except:
+//
+//   - functions whose name starts with "Must" (documented panicking
+//     wrappers around error-returning twins);
+//   - functions in the allowlist, keyed "pkgpath.Func" or
+//     "pkgpath.(Recv).Method", each with a one-line justification — the
+//     allowlist doubles as the audit record of every surviving panic site.
+//
+// Re-raising a recovered panic (`panic(r)` inside a recover branch) is not
+// distinguished; such sites belong in the allowlist too.
+func NoPanic(allowlist map[string]string) *Analyzer {
+	a := &Analyzer{
+		Name: "nopanic",
+		Doc:  "flags panic sites in library packages outside Must* wrappers and the audited allowlist",
+	}
+	a.Run = func(pass *Pass) {
+		if pass.Pkg.Types.Name() == "main" {
+			return
+		}
+		for _, f := range pass.Pkg.Files {
+			for _, decl := range f.Decls {
+				fn, ok := decl.(*ast.FuncDecl)
+				if !ok || fn.Body == nil {
+					continue
+				}
+				if strings.HasPrefix(fn.Name.Name, "Must") {
+					continue
+				}
+				key := funcKey(pass.Pkg, fn)
+				if _, ok := allowlist[key]; ok {
+					continue
+				}
+				ast.Inspect(fn.Body, func(n ast.Node) bool {
+					call, ok := n.(*ast.CallExpr)
+					if !ok {
+						return true
+					}
+					id, ok := call.Fun.(*ast.Ident)
+					if !ok || id.Name != "panic" {
+						return true
+					}
+					if pass.Pkg.Info.Uses[id] != types.Universe.Lookup("panic") {
+						return true
+					}
+					pass.Reportf(call.Pos(), "panic in library function %s: return an error instead, or audit the site into the nopanic allowlist", key)
+					return true
+				})
+			}
+		}
+	}
+	return a
+}
+
+// funcKey names a function for the allowlist: "pkgpath.Func" for functions,
+// "pkgpath.(Recv).Method" for methods (pointer receivers use the base type
+// name).
+func funcKey(pkg *Package, fn *ast.FuncDecl) string {
+	if fn.Recv == nil || len(fn.Recv.List) == 0 {
+		return pkg.Path + "." + fn.Name.Name
+	}
+	t := fn.Recv.List[0].Type
+	for {
+		switch u := t.(type) {
+		case *ast.StarExpr:
+			t = u.X
+		case *ast.IndexExpr: // generic receiver Type[T]
+			t = u.X
+		case *ast.IndexListExpr: // generic receiver Type[T1, T2]
+			t = u.X
+		default:
+			if id, ok := t.(*ast.Ident); ok {
+				return pkg.Path + ".(" + id.Name + ")." + fn.Name.Name
+			}
+			return pkg.Path + "." + fn.Name.Name
+		}
+	}
+}

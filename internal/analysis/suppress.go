@@ -1,0 +1,84 @@
+package analysis
+
+import (
+	"strings"
+)
+
+// ignoreDirective is the comment prefix that suppresses a diagnostic:
+//
+//	//lint:ignore <analyzer> <reason>
+//
+// It suppresses diagnostics of the named analyzer (or every analyzer, for
+// "all") on the comment's own line or on the line directly below it, so both
+// trailing and leading placement work. The reason is mandatory: a
+// suppression is only as good as its justification, and the self-run doubles
+// as documentation of every accepted exception.
+const ignoreDirective = "lint:ignore"
+
+type ignore struct {
+	analyzer string // "all" matches every analyzer
+}
+
+// suppressions indexes ignore directives by file and line.
+type suppressions struct {
+	byLine    map[string]map[int][]ignore
+	malformed []Diagnostic
+}
+
+func newSuppressions() *suppressions {
+	return &suppressions{byLine: make(map[string]map[int][]ignore)}
+}
+
+// collect scans every comment of the package for ignore directives.
+func (s *suppressions) collect(pkg *Package) {
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := strings.TrimPrefix(c.Text, "//")
+				text = strings.TrimSpace(strings.TrimPrefix(text, "/*"))
+				text = strings.TrimSuffix(text, "*/")
+				if !strings.HasPrefix(text, ignoreDirective) {
+					continue
+				}
+				rest := strings.TrimSpace(strings.TrimPrefix(text, ignoreDirective))
+				fields := strings.Fields(rest)
+				pos := pkg.Fset.Position(c.Pos())
+				if len(fields) < 2 {
+					s.malformed = append(s.malformed, Diagnostic{
+						Analyzer: "lint",
+						Pos:      pos,
+						File:     pos.Filename,
+						Line:     pos.Line,
+						Col:      pos.Column,
+						Message:  "malformed ignore: want //lint:ignore <analyzer> <reason>",
+					})
+					continue
+				}
+				lines := s.byLine[pos.Filename]
+				if lines == nil {
+					lines = make(map[int][]ignore)
+					s.byLine[pos.Filename] = lines
+				}
+				end := pkg.Fset.Position(c.End()).Line
+				lines[end] = append(lines[end], ignore{analyzer: fields[0]})
+			}
+		}
+	}
+}
+
+// covers reports whether an ignore directive on the diagnostic's line, or on
+// the line directly above it, names the diagnostic's analyzer.
+func (s *suppressions) covers(d Diagnostic) bool {
+	lines := s.byLine[d.File]
+	if lines == nil {
+		return false
+	}
+	for _, line := range []int{d.Line, d.Line - 1} {
+		for _, ig := range lines[line] {
+			if ig.analyzer == d.Analyzer || ig.analyzer == "all" {
+				return true
+			}
+		}
+	}
+	return false
+}

@@ -1,0 +1,66 @@
+// Package determinism is a known-bad fixture for the determinism analyzer.
+package determinism
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"strings"
+	"time"
+)
+
+// Clock reads the wall clock: flagged.
+func Clock() int64 {
+	return time.Now().UnixNano()
+}
+
+// Elapsed uses time.Since: flagged.
+func Elapsed(t time.Time) time.Duration {
+	return time.Since(t)
+}
+
+// GlobalRand draws from the unseeded global source: flagged.
+func GlobalRand() int {
+	return rand.Intn(10)
+}
+
+// SeededRand uses an explicitly seeded generator: fine.
+func SeededRand(seed int64) int {
+	rng := rand.New(rand.NewSource(seed))
+	return rng.Intn(10)
+}
+
+// LeakOrder appends map keys without sorting: flagged.
+func LeakOrder(m map[string]int) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k)
+	}
+	return out
+}
+
+// CollectThenSort appends map keys and sorts them after: fine.
+func CollectThenSort(m map[string]int) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// PrintOrder writes output while ranging a map: flagged.
+func PrintOrder(m map[string]int, sb *strings.Builder) {
+	for k, v := range m {
+		fmt.Fprintf(sb, "%s=%d\n", k, v)
+	}
+}
+
+// Accumulate only sums values: fine (addition commutes).
+func Accumulate(m map[string]int) int {
+	total := 0
+	for _, v := range m {
+		total += v
+	}
+	return total
+}

@@ -1,0 +1,55 @@
+// Package errcheck is a known-bad fixture for the errcheck analyzer.
+package errcheck
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"strings"
+)
+
+func fallible() error { return errors.New("boom") }
+
+func pair() (int, error) { return 0, errors.New("boom") }
+
+// DropStatement discards an error as a bare statement: flagged.
+func DropStatement() {
+	fallible()
+}
+
+// DropDefer discards an error in a defer: flagged.
+func DropDefer() {
+	defer fallible()
+}
+
+// DropBlankBare discards with `_ =` and no annotation: flagged.
+func DropBlankBare() {
+	_ = fallible()
+}
+
+// DropBlankAnnotated discards with `_ =` and a same-line comment: fine.
+func DropBlankAnnotated() {
+	_ = fallible() // best-effort: the fixture says so
+}
+
+// DropSecond discards only the error half of a pair, unannotated: flagged.
+func DropSecond() int {
+	n, _ := pair()
+	return n
+}
+
+// Handled checks the error: fine.
+func Handled() error {
+	if err := fallible(); err != nil {
+		return err
+	}
+	return nil
+}
+
+// StdoutOutput uses best-effort CLI writers: fine.
+func StdoutOutput(sb *strings.Builder) {
+	fmt.Println("hello")
+	fmt.Fprintln(os.Stderr, "world")
+	fmt.Fprintf(sb, "n=%d", 1)
+	sb.WriteString("tail")
+}

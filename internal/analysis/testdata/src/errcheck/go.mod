@@ -1,0 +1,3 @@
+module fix/errcheck
+
+go 1.22

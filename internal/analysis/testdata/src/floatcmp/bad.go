@@ -1,0 +1,27 @@
+// Package floatcmp is a known-bad fixture for the floatcmp analyzer.
+package floatcmp
+
+// EqualFloats compares floats exactly: flagged.
+func EqualFloats(a, b float64) bool {
+	return a == b
+}
+
+// NotEqualFloat32 compares float32 exactly: flagged.
+func NotEqualFloat32(a float32) bool {
+	return a != 0.5
+}
+
+// MixedCompare has one float operand: flagged.
+func MixedCompare(a float64) bool {
+	return a == 1
+}
+
+// IntCompare is exact integer equality: fine.
+func IntCompare(a, b int64) bool {
+	return a == b
+}
+
+// Ordered float comparisons are fine: only ==/!= are rounding traps.
+func Ordered(a, b float64) bool {
+	return a < b
+}

@@ -1,0 +1,3 @@
+module fix/floatcmp
+
+go 1.22

@@ -1,0 +1,10 @@
+// Package a is a leaf in the fixture's layering table; importing b is a
+// violation.
+package a
+
+import (
+	"fix/layering/b"
+)
+
+// UseB drags in a forbidden dependency.
+func UseB() int { return b.Value() }

@@ -1,0 +1,5 @@
+// Package b is a declared leaf with no module-internal imports: fine.
+package b
+
+// Value is a trivial export.
+func Value() int { return 42 }

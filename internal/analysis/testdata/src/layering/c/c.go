@@ -1,0 +1,5 @@
+// Package c is missing from the fixture's layering table: flagged.
+package c
+
+// Value is a trivial export.
+func Value() int { return 7 }

@@ -1,0 +1,3 @@
+module fix/layering
+
+go 1.22

@@ -1,0 +1,43 @@
+// Package nopanic is a known-bad fixture for the nopanic analyzer.
+package nopanic
+
+import "errors"
+
+// Explode panics in a plain library function: flagged.
+func Explode(v int) int {
+	if v < 0 {
+		panic("negative")
+	}
+	return v
+}
+
+// MustParse is a Must* wrapper: fine by convention.
+func MustParse(s string) int {
+	if s == "" {
+		panic("empty")
+	}
+	return len(s)
+}
+
+// NewGuarded is covered by the test's allowlist: fine.
+func NewGuarded(n int) int {
+	if n <= 0 {
+		panic("non-positive")
+	}
+	return n
+}
+
+// Safe returns an error like library code should: fine.
+func Safe(v int) (int, error) {
+	if v < 0 {
+		return 0, errors.New("negative")
+	}
+	return v, nil
+}
+
+// deepPanic hides the panic inside a closure: still flagged.
+func deepPanic() func() {
+	return func() {
+		panic("from closure")
+	}
+}

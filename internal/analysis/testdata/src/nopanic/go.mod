@@ -1,0 +1,3 @@
+module fix/nopanic
+
+go 1.22

@@ -1,0 +1,39 @@
+// Package suppress exercises //lint:ignore handling.
+package suppress
+
+import "time"
+
+// LeadingIgnore is suppressed by a comment on the line above.
+func LeadingIgnore() int64 {
+	//lint:ignore determinism fixture: testing leading suppression
+	return time.Now().UnixNano()
+}
+
+// TrailingIgnore is suppressed by a comment on the same line.
+func TrailingIgnore() int64 {
+	return time.Now().UnixNano() //lint:ignore determinism fixture: testing trailing suppression
+}
+
+// WrongAnalyzer names a different analyzer, so the finding survives.
+func WrongAnalyzer() int64 {
+	//lint:ignore errcheck fixture: wrong analyzer name
+	return time.Now().UnixNano()
+}
+
+// AllIgnore suppresses every analyzer on the next line.
+func AllIgnore() int64 {
+	//lint:ignore all fixture: testing the all wildcard
+	return time.Now().UnixNano()
+}
+
+// Malformed has no reason, which is itself a diagnostic, and the finding
+// survives.
+func Malformed() int64 {
+	//lint:ignore determinism
+	return time.Now().UnixNano()
+}
+
+// Unsuppressed has no ignore at all.
+func Unsuppressed() int64 {
+	return time.Now().UnixNano()
+}

@@ -1,0 +1,3 @@
+module fix/suppress
+
+go 1.22

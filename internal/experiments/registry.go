@@ -52,8 +52,8 @@ func All() []Experiment {
 // idLess orders E1 < E2 < ... < E10 numerically.
 func idLess(a, b string) bool {
 	na, nb := 0, 0
-	fmt.Sscanf(a, "E%d", &na)
-	fmt.Sscanf(b, "E%d", &nb)
+	_, _ = fmt.Sscanf(a, "E%d", &na) // best-effort: unparseable IDs sort as 0
+	_, _ = fmt.Sscanf(b, "E%d", &nb) // best-effort: unparseable IDs sort as 0
 	if na != nb {
 		return na < nb
 	}

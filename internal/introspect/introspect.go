@@ -1,0 +1,199 @@
+// Package introspect provides schedule introspection: per-color
+// reconfiguration and residency statistics, utilization, cost timelines, and
+// a thrashing index. The experiments and examples use it to explain *why* a
+// policy paid what it paid — the thrashing vs underutilization decomposition
+// the paper's introduction frames the problem with.
+package introspect
+
+import (
+	"fmt"
+	"sort"
+
+	"rrsched/internal/model"
+)
+
+// ColorStats summarizes one color's treatment by a schedule.
+type ColorStats struct {
+	Color model.Color
+	// Reconfigs counts recolorings TO this color (location-level).
+	Reconfigs int
+	// Executed and Dropped partition the color's jobs.
+	Executed int
+	Dropped  int
+	// Residency is the total number of (location, round) pairs the color
+	// held, counting from each recoloring to the next recoloring of that
+	// location (or the end of the schedule).
+	Residency int64
+}
+
+// Report is a full schedule analysis.
+type Report struct {
+	Cost model.Cost
+	// PerColor, in ascending color order.
+	PerColor []ColorStats
+	// Utilization is executed jobs divided by total execution slots offered
+	// by non-black locations (busy fraction of configured capacity).
+	Utilization float64
+	// ThrashIndex is reconfiguration cost divided by total cost (0 = pure
+	// drops / underutilization regime, 1 = pure reconfigurations / thrashing
+	// regime).
+	ThrashIndex float64
+	// ReconfigRounds counts rounds with at least one reconfiguration.
+	ReconfigRounds int
+	// MeanResidency is the average residency (in rounds) of a configured
+	// stretch, over all recolorings.
+	MeanResidency float64
+}
+
+// Analyze audits the schedule and derives the report. It fails if the
+// schedule is illegal for the sequence.
+func Analyze(seq *model.Sequence, sched *model.Schedule) (*Report, error) {
+	cost, err := model.Audit(seq, sched)
+	if err != nil {
+		return nil, err
+	}
+	horizon := seq.Horizon()
+	for _, r := range sched.Reconfigs {
+		if r.Round > horizon {
+			horizon = r.Round
+		}
+	}
+	for _, e := range sched.Execs {
+		if e.Round > horizon {
+			horizon = e.Round
+		}
+	}
+
+	stats := map[model.Color]*ColorStats{}
+	get := func(c model.Color) *ColorStats {
+		s := stats[c]
+		if s == nil {
+			s = &ColorStats{Color: c}
+			stats[c] = s
+		}
+		return s
+	}
+
+	// Per-location residency segments.
+	type segment struct {
+		color model.Color
+		start int64
+	}
+	current := make([]segment, sched.NumResources)
+	for i := range current {
+		current[i] = segment{color: model.Black}
+	}
+	recs := make([]model.Reconfigure, len(sched.Reconfigs))
+	copy(recs, sched.Reconfigs)
+	sort.SliceStable(recs, func(i, j int) bool {
+		if recs[i].Round != recs[j].Round {
+			return recs[i].Round < recs[j].Round
+		}
+		return recs[i].Mini < recs[j].Mini
+	})
+	var stretchLens []int64
+	closeSegment := func(loc int, end int64) {
+		seg := current[loc]
+		if seg.color == model.Black {
+			return
+		}
+		get(seg.color).Residency += end - seg.start
+		stretchLens = append(stretchLens, end-seg.start)
+	}
+	reconfigRounds := map[int64]bool{}
+	for _, r := range recs {
+		closeSegment(r.Resource, r.Round)
+		current[r.Resource] = segment{color: r.To, start: r.Round}
+		if r.To != model.Black {
+			get(r.To).Reconfigs++
+		}
+		reconfigRounds[r.Round] = true
+	}
+	for loc := range current {
+		closeSegment(loc, horizon+1)
+	}
+
+	// Job outcomes.
+	executed := sched.ExecutedJobIDs()
+	for _, j := range seq.Jobs() {
+		s := get(j.Color)
+		if executed[j.ID] {
+			s.Executed++
+		} else {
+			s.Dropped++
+		}
+	}
+
+	var totalResidency int64
+	perColor := make([]ColorStats, 0, len(stats))
+	for _, s := range stats {
+		totalResidency += s.Residency
+		perColor = append(perColor, *s)
+	}
+	sort.Slice(perColor, func(i, j int) bool { return perColor[i].Color < perColor[j].Color })
+
+	rep := &Report{Cost: cost, PerColor: perColor, ReconfigRounds: len(reconfigRounds)}
+	if slots := totalResidency * int64(sched.Speed); slots > 0 {
+		rep.Utilization = float64(len(sched.Execs)) / float64(slots)
+	}
+	if total := cost.Total(); total > 0 {
+		rep.ThrashIndex = float64(cost.Reconfig) / float64(total)
+	}
+	if len(stretchLens) > 0 {
+		var sum int64
+		for _, l := range stretchLens {
+			sum += l
+		}
+		rep.MeanResidency = float64(sum) / float64(len(stretchLens))
+	}
+	return rep, nil
+}
+
+// CostTimeline returns cumulative (reconfig, drop) cost per round, derived
+// from the schedule record: reconfigurations charge Δ in their round, and a
+// job charges its drop in its deadline round when never executed.
+func CostTimeline(seq *model.Sequence, sched *model.Schedule) ([]model.Cost, error) {
+	if _, err := model.Audit(seq, sched); err != nil {
+		return nil, err
+	}
+	horizon := seq.Horizon()
+	for _, r := range sched.Reconfigs {
+		if r.Round > horizon {
+			horizon = r.Round
+		}
+	}
+	timeline := make([]model.Cost, horizon+1)
+	for _, r := range sched.Reconfigs {
+		timeline[r.Round].Reconfig += seq.Delta()
+	}
+	executed := sched.ExecutedJobIDs()
+	for _, j := range seq.Jobs() {
+		if !executed[j.ID] {
+			timeline[j.Deadline()].Drop++
+		}
+	}
+	// Prefix sums.
+	for i := 1; i <= int(horizon); i++ {
+		timeline[i] = timeline[i].Add(timeline[i-1])
+	}
+	return timeline, nil
+}
+
+// Summary renders the report as a short multi-line string.
+func (r *Report) Summary() string {
+	return fmt.Sprintf(
+		"cost=%d (reconfig=%d, drop=%d)  utilization=%.2f  thrash=%.2f  mean residency=%.1f rounds  reconfig rounds=%d",
+		r.Cost.Total(), r.Cost.Reconfig, r.Cost.Drop,
+		r.Utilization, r.ThrashIndex, r.MeanResidency, r.ReconfigRounds)
+}
+
+// TopReconfigured returns the k colors with the most recolorings.
+func (r *Report) TopReconfigured(k int) []ColorStats {
+	out := make([]ColorStats, len(r.PerColor))
+	copy(out, r.PerColor)
+	sort.SliceStable(out, func(i, j int) bool { return out[i].Reconfigs > out[j].Reconfigs })
+	if len(out) > k {
+		out = out[:k]
+	}
+	return out
+}

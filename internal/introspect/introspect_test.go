@@ -1,0 +1,164 @@
+package introspect
+
+import (
+	"strings"
+	"testing"
+
+	"rrsched/internal/core"
+	"rrsched/internal/model"
+	"rrsched/internal/sim"
+	"rrsched/internal/workload"
+)
+
+func handSchedule(t *testing.T) (*model.Sequence, *model.Schedule) {
+	t.Helper()
+	// 2 jobs color 0 (D=4) at round 0; 2 jobs color 1 (D=4) at round 4.
+	seq := model.NewBuilder(2).Add(0, 0, 4, 2).Add(4, 1, 4, 2).MustBuild()
+	s := model.NewSchedule(1, 1)
+	s.AddReconfig(0, 0, 0, 0)
+	s.AddExec(0, 0, 0, 0)
+	s.AddExec(1, 0, 0, 1)
+	s.AddReconfig(4, 0, 0, 1)
+	s.AddExec(4, 0, 0, 2)
+	s.AddExec(5, 0, 0, 3)
+	return seq, s
+}
+
+func TestAnalyzeHandSchedule(t *testing.T) {
+	seq, s := handSchedule(t)
+	rep, err := Analyze(seq, s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Cost.Total() != 4 { // 2 reconfigs × Δ=2
+		t.Errorf("cost = %v", rep.Cost)
+	}
+	if len(rep.PerColor) != 2 {
+		t.Fatalf("per-color entries = %d", len(rep.PerColor))
+	}
+	c0, c1 := rep.PerColor[0], rep.PerColor[1]
+	if c0.Reconfigs != 1 || c0.Executed != 2 || c0.Dropped != 0 {
+		t.Errorf("color 0 stats = %+v", c0)
+	}
+	if c1.Reconfigs != 1 || c1.Executed != 2 {
+		t.Errorf("color 1 stats = %+v", c1)
+	}
+	// Color 0 resident rounds [0,4) = 4; color 1 resident [4, horizon+1=9).
+	if c0.Residency != 4 {
+		t.Errorf("color 0 residency = %d, want 4", c0.Residency)
+	}
+	if c1.Residency != 5 {
+		t.Errorf("color 1 residency = %d, want 5", c1.Residency)
+	}
+	// Utilization: 4 executions over 9 configured slots.
+	if rep.Utilization < 0.43 || rep.Utilization > 0.46 {
+		t.Errorf("utilization = %v", rep.Utilization)
+	}
+	if rep.ThrashIndex != 1.0 { // zero drops
+		t.Errorf("thrash = %v", rep.ThrashIndex)
+	}
+	if rep.ReconfigRounds != 2 {
+		t.Errorf("reconfig rounds = %d", rep.ReconfigRounds)
+	}
+	if !strings.Contains(rep.Summary(), "cost=4") {
+		t.Errorf("summary = %q", rep.Summary())
+	}
+}
+
+func TestAnalyzeRejectsIllegal(t *testing.T) {
+	seq := model.NewBuilder(1).Add(0, 0, 1, 1).MustBuild()
+	s := model.NewSchedule(1, 1)
+	s.AddExec(0, 0, 0, 0) // unconfigured
+	if _, err := Analyze(seq, s); err == nil {
+		t.Fatal("illegal schedule analyzed")
+	}
+	if _, err := CostTimeline(seq, s); err == nil {
+		t.Fatal("illegal schedule timelined")
+	}
+}
+
+func TestCostTimelineMonotoneAndTotal(t *testing.T) {
+	seq, err := workload.RandomBatched(workload.RandomConfig{
+		Seed: 4, Delta: 3, Colors: 5, Rounds: 64,
+		MinDelayExp: 1, MaxDelayExp: 3, Load: 0.9, RateLimited: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := sim.MustRun(sim.Env{Seq: seq, Resources: 8, Replication: 2, Speed: 1}, core.NewDeltaLRUEDF())
+	tl, err := CostTimeline(seq, res.Schedule)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < len(tl); i++ {
+		if tl[i].Reconfig < tl[i-1].Reconfig || tl[i].Drop < tl[i-1].Drop {
+			t.Fatalf("timeline decreased at round %d", i)
+		}
+	}
+	if last := tl[len(tl)-1]; last != res.Cost {
+		t.Errorf("timeline end %v != cost %v", last, res.Cost)
+	}
+}
+
+func TestAnalyzeMatchesEngineOnPolicies(t *testing.T) {
+	seq, err := workload.RandomBatched(workload.RandomConfig{
+		Seed: 6, Delta: 4, Colors: 8, Rounds: 128,
+		MinDelayExp: 1, MaxDelayExp: 4, Load: 0.7, RateLimited: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := sim.MustRun(sim.Env{Seq: seq, Resources: 8, Replication: 2, Speed: 1}, core.NewDeltaLRUEDF())
+	rep, err := Analyze(seq, res.Schedule)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Cost != res.Cost {
+		t.Errorf("report cost %v != engine %v", rep.Cost, res.Cost)
+	}
+	var executed, dropped, reconfigs int
+	for _, s := range rep.PerColor {
+		executed += s.Executed
+		dropped += s.Dropped
+		reconfigs += s.Reconfigs
+	}
+	if executed != res.Executed || dropped != res.Dropped {
+		t.Errorf("per-color sums %d/%d != engine %d/%d", executed, dropped, res.Executed, res.Dropped)
+	}
+	if reconfigs != res.Schedule.NumReconfigs() {
+		t.Errorf("reconfig sum %d != schedule %d", reconfigs, res.Schedule.NumReconfigs())
+	}
+	if rep.Utilization <= 0 || rep.Utilization > 1 {
+		t.Errorf("utilization = %v", rep.Utilization)
+	}
+	if rep.ThrashIndex < 0 || rep.ThrashIndex > 1 {
+		t.Errorf("thrash = %v", rep.ThrashIndex)
+	}
+}
+
+func TestTopReconfigured(t *testing.T) {
+	seq, s := handSchedule(t)
+	rep, err := Analyze(seq, s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	top := rep.TopReconfigured(1)
+	if len(top) != 1 {
+		t.Fatalf("top = %v", top)
+	}
+	all := rep.TopReconfigured(10)
+	if len(all) != 2 {
+		t.Fatalf("top(10) = %v", all)
+	}
+}
+
+func TestAnalyzeEmptySchedule(t *testing.T) {
+	seq := model.NewBuilder(1).Add(0, 0, 2, 3).MustBuild()
+	rep, err := Analyze(seq, model.NewSchedule(2, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Cost.Drop != 3 || rep.Utilization != 0 || rep.ThrashIndex != 0 {
+		t.Errorf("report = %+v", rep)
+	}
+}

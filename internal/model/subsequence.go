@@ -58,6 +58,7 @@ func (s *Sequence) Canonical() *Sequence {
 			counts[j.Color]++
 		}
 		colors := make([]Color, 0, len(counts))
+		//lint:ignore determinism colors are sorted by sortColors right below
 		for c := range counts {
 			colors = append(colors, c)
 		}

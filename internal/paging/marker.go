@@ -62,6 +62,7 @@ func (m *Marker) Access(p Page) bool {
 // own PRNG.
 func (m *Marker) randomUnmarked() (Page, bool) {
 	var cands []Page
+	//lint:ignore determinism cands are selection-sorted right below
 	for p := range m.cache {
 		if !m.marked[p] {
 			cands = append(cands, p)

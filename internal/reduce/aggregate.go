@@ -280,6 +280,7 @@ func (b *aggregateBuilder) rememberBucket(res int, color model.Color, ic model.C
 func (b *aggregateBuilder) emit() *model.Schedule {
 	out := model.NewSchedule(b.outRes, 1)
 	byRes := make(map[int][]int64)
+	//lint:ignore determinism each per-resource bucket is sorted before use below
 	for key := range b.slots {
 		byRes[key.res] = append(byRes[key.res], key.round)
 	}

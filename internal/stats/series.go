@@ -117,6 +117,7 @@ func asciiChart(y []float64, height int) string {
 		lo = 0 // anchor bars at zero for positive data
 	}
 	span := hi - lo
+	//lint:ignore floatcmp exact zero-span guard before dividing by span
 	if span == 0 {
 		span = 1
 	}

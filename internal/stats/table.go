@@ -41,6 +41,7 @@ func (t *Table) AddRow(cells ...any) {
 // FormatFloat renders a float compactly (3 decimals, trailing zeros kept for
 // alignment; infinities rendered as "inf").
 func FormatFloat(v float64) string {
+	//lint:ignore floatcmp v != v is the canonical NaN test
 	if v != v {
 		return "nan"
 	}
