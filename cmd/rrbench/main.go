@@ -1,0 +1,184 @@
+// Command rrbench runs the repository's benchmark matrix (internal/perf) and
+// writes a schema-versioned JSON report, the repo's performance trajectory
+// record. It can also diff the fresh run against a baseline report and fail
+// (exit non-zero) past a regression threshold, which makes it usable as a
+// perf gate next to the test suite.
+//
+// Examples:
+//
+//	rrbench                                    # full run -> BENCH_sim.json
+//	rrbench -scenario 'engine/'                # only the engine scenarios
+//	rrbench -baseline BENCH_old.json           # diff against a saved run
+//	rrbench -quick -out /tmp/smoke.json        # single-shot CI smoke run
+//	rrbench -cpuprofile cpu.pb.gz -scenario engine/n64
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"runtime"
+	"runtime/pprof"
+
+	"rrsched/internal/perf"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "rrbench:", err)
+		os.Exit(1)
+	}
+}
+
+// run executes the benchmark CLI with the given arguments; a non-nil error
+// means a non-zero exit, including the -baseline regression gate.
+func run(args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("rrbench", flag.ContinueOnError)
+	var (
+		out        = fs.String("out", "BENCH_sim.json", "output report path (empty: stdout only)")
+		baseline   = fs.String("baseline", "", "baseline report to diff against; regressions past -threshold exit non-zero")
+		threshold  = fs.Float64("threshold", 0.25, "relative regression threshold for -baseline diffing (0.25 = 25%)")
+		scenario   = fs.String("scenario", "", "regexp selecting scenarios to run (default: all)")
+		quick      = fs.Bool("quick", false, "single-shot smoke mode: run each scenario once and verify the report round-trips")
+		list       = fs.Bool("list", false, "list scenarios and exit")
+		cpuprofile = fs.String("cpuprofile", "", "write a CPU profile covering every selected scenario")
+		memprofile = fs.String("memprofile", "", "write an allocation profile taken after the run")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	scs, err := perf.Select(*scenario)
+	if err != nil {
+		return err
+	}
+	if *list {
+		for _, s := range scs {
+			_, _ = fmt.Fprintf(stdout, "%-24s %s\n", s.Name, s.Doc) // best-effort progress output; the report file is the product
+		}
+		return nil
+	}
+
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			return err
+		}
+		defer func() {
+			if cerr := f.Close(); cerr != nil {
+				fmt.Fprintln(os.Stderr, "rrbench: closing cpu profile:", cerr)
+			}
+		}()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			return fmt.Errorf("starting CPU profile: %w", err)
+		}
+		defer pprof.StopCPUProfile()
+	}
+
+	report := perf.NewReport()
+	for _, s := range scs {
+		var (
+			res perf.Result
+			err error
+		)
+		if *quick {
+			res, err = perf.MeasureQuick(s)
+		} else {
+			res, err = perf.Measure(s)
+		}
+		if err != nil {
+			return err
+		}
+		_, _ = fmt.Fprintf(stdout, "%-24s %12.1f ns/round %10.3f allocs/round %12.1f B/round  (%d iter x %d rounds)\n", // best-effort progress output
+			res.Name, res.NsPerRound, res.AllocsPerRound, res.BytesPerRound, res.Iterations, res.RoundsPerOp)
+		report.Results = append(report.Results, res)
+	}
+	report.Sort()
+
+	if *memprofile != "" {
+		f, err := os.Create(*memprofile)
+		if err != nil {
+			return err
+		}
+		runtime.GC() // flush accurate allocation figures into the profile
+		werr := pprof.Lookup("allocs").WriteTo(f, 0)
+		if cerr := f.Close(); werr == nil {
+			werr = cerr
+		}
+		if werr != nil {
+			return fmt.Errorf("writing mem profile: %w", werr)
+		}
+	}
+
+	if *out != "" {
+		if err := writeReport(*out, report); err != nil {
+			return err
+		}
+		_, _ = fmt.Fprintf(stdout, "wrote %s (%d scenarios, schema %s)\n", *out, len(report.Results), perf.Schema) // best-effort progress output; the report file is the product
+		if *quick {
+			// Smoke mode doubles as a schema check: the file just written
+			// must decode and validate.
+			if err := verifyRoundTrip(*out, report); err != nil {
+				return err
+			}
+			_, _ = fmt.Fprintln(stdout, "report schema round-trip ok") // best-effort progress output; the report file is the product
+		}
+	}
+
+	if *baseline != "" {
+		base, err := readReport(*baseline)
+		if err != nil {
+			return err
+		}
+		regs := perf.Compare(base, report, *threshold)
+		if len(regs) > 0 {
+			for _, r := range regs {
+				fmt.Fprintln(os.Stderr, "rrbench: REGRESSION", r)
+			}
+			return fmt.Errorf("%d metric(s) regressed more than %.0f%% vs %s", len(regs), *threshold*100, *baseline)
+		}
+		_, _ = fmt.Fprintf(stdout, "no regression vs %s at threshold %.0f%%\n", *baseline, *threshold*100) // best-effort progress output; the report file is the product
+	}
+	return nil
+}
+
+func writeReport(path string, r *perf.Report) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	werr := r.Write(f)
+	if cerr := f.Close(); werr == nil {
+		werr = cerr
+	}
+	return werr
+}
+
+func readReport(path string) (*perf.Report, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close() //lint:ignore errcheck read-only file; the read error is what matters
+	return perf.ReadReport(f)
+}
+
+// verifyRoundTrip re-reads the just-written report and checks it matches
+// what was measured, scenario for scenario.
+func verifyRoundTrip(path string, want *perf.Report) error {
+	got, err := readReport(path)
+	if err != nil {
+		return fmt.Errorf("round-trip: %w", err)
+	}
+	if got.Schema != want.Schema || len(got.Results) != len(want.Results) {
+		return fmt.Errorf("round-trip: decoded %d results under schema %q, want %d under %q",
+			len(got.Results), got.Schema, len(want.Results), want.Schema)
+	}
+	for i, g := range got.Results {
+		if g != want.Results[i] {
+			return fmt.Errorf("round-trip: result %q differs after decode", g.Name)
+		}
+	}
+	return nil
+}

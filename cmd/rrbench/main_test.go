@@ -1,0 +1,128 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"rrsched/internal/perf"
+)
+
+// quickRun invokes the CLI in quick mode on the cheap ring scenario.
+func quickRun(t *testing.T, extra ...string) (string, error) {
+	t.Helper()
+	var out bytes.Buffer
+	args := append([]string{"-quick", "-scenario", "^queue/ring$"}, extra...)
+	err := run(args, &out)
+	return out.String(), err
+}
+
+func TestQuickSmokeWritesValidReport(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "bench.json")
+	stdout, err := quickRun(t, "-out", path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(stdout, "report schema round-trip ok") {
+		t.Errorf("quick mode did not verify the round-trip:\n%s", stdout)
+	}
+	rep, err := readReport(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Schema != perf.Schema || len(rep.Results) != 1 || rep.Results[0].Name != "queue/ring" {
+		t.Errorf("unexpected report: %+v", rep)
+	}
+	if rep.Machine.GoVersion == "" || rep.Machine.GOMAXPROCS <= 0 {
+		t.Errorf("machine fields missing: %+v", rep.Machine)
+	}
+}
+
+// fullRun invokes the CLI in full measurement mode on the cheap ring
+// scenario (quick results are deliberately skipped by the regression gate,
+// so the gate tests must measure for real).
+func fullRun(t *testing.T, extra ...string) (string, error) {
+	t.Helper()
+	var out bytes.Buffer
+	args := append([]string{"-scenario", "^queue/ring$"}, extra...)
+	err := run(args, &out)
+	return out.String(), err
+}
+
+// TestBaselineRegressionExitsNonZero is the acceptance check for the perf
+// gate: against a doctored baseline that claims the ring scenario used to be
+// essentially free, a fresh run must be reported as a regression (non-nil
+// error from run, hence exit 1 from main).
+func TestBaselineRegressionExitsNonZero(t *testing.T) {
+	dir := t.TempDir()
+	base := filepath.Join(dir, "base.json")
+	if _, err := fullRun(t, "-out", base); err != nil {
+		t.Fatal(err)
+	}
+
+	// Doctor the baseline: pretend the scenario used to run 1000x faster.
+	doctored := doctorBaseline(t, base, func(r *perf.Result) {
+		r.NsPerRound /= 1000
+		if r.NsPerRound == 0 {
+			r.NsPerRound = 1e-6
+		}
+	})
+
+	out := filepath.Join(dir, "current.json")
+	stdout, err := fullRun(t, "-out", out, "-baseline", doctored, "-threshold", "0.25")
+	if err == nil {
+		t.Fatalf("regression vs doctored baseline not detected:\n%s", stdout)
+	}
+	if !strings.Contains(err.Error(), "regressed") {
+		t.Errorf("error %q does not mention the regression", err)
+	}
+
+	// Against the honest baseline (same machine moments apart) a generous
+	// threshold must pass.
+	if _, err := fullRun(t, "-out", out, "-baseline", base, "-threshold", "1000"); err != nil {
+		t.Errorf("honest baseline at threshold 1000 failed: %v", err)
+	}
+}
+
+func TestListAndBadFlags(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-list"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{"engine/n8", "policy/dlru-edf/n512", "stream/checkpoint", "sweep/fanout"} {
+		if !strings.Contains(out.String(), name) {
+			t.Errorf("-list output lacks %s", name)
+		}
+	}
+	if err := run([]string{"-scenario", "("}, &out); err == nil {
+		t.Error("invalid scenario regexp accepted")
+	}
+	if err := run([]string{"-baseline", "/does/not/exist.json", "-quick", "-scenario", "^queue/ring$", "-out", ""}, &out); err == nil {
+		t.Error("missing baseline file accepted")
+	}
+}
+
+// doctorBaseline rewrites every result of the report at path with mutate and
+// writes the result to a new file, returning its path.
+func doctorBaseline(t *testing.T, path string, mutate func(*perf.Result)) string {
+	t.Helper()
+	rep, err := readReport(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range rep.Results {
+		mutate(&rep.Results[i])
+	}
+	raw, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := filepath.Join(t.TempDir(), "doctored.json")
+	if err := os.WriteFile(out, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return out
+}

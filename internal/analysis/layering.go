@@ -102,6 +102,14 @@ func DefaultLayeringRules() map[string][]string {
 		m + "chaos":      {m + "model", m + "sim", m + "stream", m + "workload"},
 		m + "adversary":  {m + "model", m + "offline", m + "sim", m + "stats"},
 
+		// The benchmark harness drives the engine, policies, queues, the
+		// streaming scheduler, and the sweep substrate; like experiments it
+		// sits above the core layers and nothing imports it but its cmd.
+		m + "perf": {
+			m + "core", m + "model", m + "queue", m + "sim",
+			m + "stream", m + "sweep", m + "workload",
+		},
+
 		// The evaluation harness sits on top of everything.
 		m + "experiments": {
 			m + "adversary", m + "baseline", m + "chaos", m + "core", m + "edf",
@@ -110,6 +118,7 @@ func DefaultLayeringRules() map[string][]string {
 		},
 
 		// Commands: public API plus declared internals.
+		"rrsched/cmd/rrbench":  {m + "perf"},
 		"rrsched/cmd/rrexp":    {m + "experiments"},
 		"rrsched/cmd/rrlint":   {m + "analysis"},
 		"rrsched/cmd/rropt":    {m + "core", m + "model", m + "offline", m + "reduce", m + "workload"},

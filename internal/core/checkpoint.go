@@ -104,6 +104,9 @@ func RestoreTracker(cp *TrackerCheckpoint) (*Tracker, error) {
 				return nil, fmt.Errorf("core: checkpoint color %v has unsorted wraps", cc.Color)
 			}
 		}
+		// Register establishes the color's slot in the sorted order index;
+		// the restored state then replaces the blank one it created.
+		t.Register(cc.Color, cc.Delay)
 		t.states[cc.Color] = &colorState{
 			delay:    cc.Delay,
 			cnt:      cc.Cnt,

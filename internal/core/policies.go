@@ -85,13 +85,19 @@ func (p *EDF) Tracker() *Tracker { return p.tracker }
 // LRU-colors, never evicted here), rank the eligible unprotected colors, pull
 // the nonidle top-q entries that are missing into the cache, and evict
 // lowest-ranked unprotected colors while the cache exceeds capacity.
+//
+// All working storage is tracker-owned scratch, so the steady-state decision
+// path allocates nothing; the returned slice is valid only until the next
+// edfUpdate call on the same tracker (the sim.Policy.Target contract).
 func edfUpdate(t *Tracker, v sim.View, cached, protected []model.Color, q int) []model.Color {
-	prot := make(map[model.Color]bool, len(protected))
+	prot := t.protScratch
+	clear(prot)
 	for _, c := range protected {
 		prot[c] = true
 	}
-	inCache := make(map[model.Color]bool, len(cached)+len(protected))
-	set := make([]model.Color, 0, len(cached)+len(protected)+q)
+	inCache := t.cacheScratch
+	clear(inCache)
+	set := t.setScratch[:0]
 	for _, c := range protected {
 		if !inCache[c] {
 			inCache[c] = true
@@ -106,13 +112,15 @@ func edfUpdate(t *Tracker, v sim.View, cached, protected []model.Color, q int) [
 	}
 
 	// Rank eligible unprotected colors.
-	candidates := make([]model.Color, 0, len(t.states))
+	candidates := t.candScratch[:0]
 	for _, c := range t.eligibleColors() {
 		if !prot[c] {
 			candidates = append(candidates, c)
 		}
 	}
-	ranked := t.rankEDF(v, candidates)
+	t.candScratch = candidates
+	t.sortEDF(v, candidates)
+	ranked := candidates
 
 	// Bring in the nonidle top-q ranked colors that are missing.
 	top := ranked
@@ -143,6 +151,7 @@ func edfUpdate(t *Tracker, v sim.View, cached, protected []model.Color, q int) [
 		// evictable. Guard against silent corruption.
 		panic(fmt.Sprintf("core: cache overflow: %d colors, capacity %d", len(set), capacity))
 	}
+	t.setScratch = set
 	return set
 }
 

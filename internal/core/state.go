@@ -8,7 +8,7 @@ package core
 
 import (
 	"fmt"
-	"sort"
+	"slices"
 
 	"rrsched/internal/model"
 	"rrsched/internal/sim"
@@ -73,7 +73,8 @@ func (cs *colorState) timestamp(now int64) int64 { return cs.timestampK(now, 1) 
 type Tracker struct {
 	delta  int64
 	states map[model.Color]*colorState
-	tsK    int // timestamp depth K (1 = the paper's ΔLRU)
+	order  []model.Color // registered colors in ascending order
+	tsK    int           // timestamp depth K (1 = the paper's ΔLRU)
 
 	completedEpochs int64
 	eligibleDrops   int64
@@ -82,6 +83,17 @@ type Tracker struct {
 	// super, when non-nil, performs the Section 3.4 super-epoch accounting
 	// (see superepoch.go).
 	super *superEpochTracker
+
+	// Per-round scratch, reused across calls so the steady-state decision
+	// path allocates nothing. Slices returned from the helpers below alias
+	// these buffers and are valid only until the next tracker call.
+	countScratch map[model.Color]int64
+	eligScratch  []model.Color
+	lruScratch   []model.Color
+	protScratch  map[model.Color]bool
+	cacheScratch map[model.Color]bool
+	setScratch   []model.Color
+	candScratch  []model.Color
 }
 
 // NewTracker returns a Tracker for the given environment. The core policies
@@ -110,9 +122,12 @@ func NewDynamicTracker(delta int64) *Tracker {
 		panic("core: non-positive reconfiguration cost")
 	}
 	return &Tracker{
-		delta:  delta,
-		states: make(map[model.Color]*colorState),
-		tsK:    1,
+		delta:        delta,
+		states:       make(map[model.Color]*colorState),
+		tsK:          1,
+		countScratch: make(map[model.Color]int64),
+		protScratch:  make(map[model.Color]bool),
+		cacheScratch: make(map[model.Color]bool),
 	}
 }
 
@@ -140,6 +155,8 @@ func (t *Tracker) Register(c model.Color, delay int64) {
 		return
 	}
 	t.states[c] = &colorState{delay: delay}
+	i, _ := slices.BinarySearch(t.order, c)
+	t.order = slices.Insert(t.order, i, c)
 }
 
 // ComputeTarget runs the ΔLRU-EDF reconfiguration scheme (Section 3.1.3)
@@ -217,7 +234,8 @@ func (t *Tracker) DropPhase(v sim.View, dropped map[model.Color]int) {
 		}
 	}
 	k := v.Round()
-	for c, cs := range t.states {
+	for _, c := range t.order {
+		cs := t.states[c]
 		if k%cs.delay != 0 {
 			continue
 		}
@@ -239,13 +257,15 @@ func (t *Tracker) DropPhase(v sim.View, dropped map[model.Color]int) {
 // add this round's arrivals to its counter, and on reaching Δ wrap the
 // counter (recording the wrap round) and make the color eligible.
 func (t *Tracker) ArrivalPhase(v sim.View, arrivals []model.Job) {
-	counts := make(map[model.Color]int64)
+	counts := t.countScratch
+	clear(counts)
 	for _, j := range arrivals {
 		counts[j.Color]++
 	}
 	k := v.Round()
 	t.observeArrivalForSuperEpochs(v, k)
-	for c, cs := range t.states {
+	for _, c := range t.order {
+		cs := t.states[c]
 		if k%cs.delay != 0 {
 			continue
 		}
@@ -265,29 +285,41 @@ func (t *Tracker) ArrivalPhase(v sim.View, arrivals []model.Job) {
 }
 
 // eligibleColors returns the eligible colors in ascending color order (the
-// paper's "consistent order of colors").
+// paper's "consistent order of colors"). The returned slice aliases tracker
+// scratch: it is valid only until the next eligibleColors call.
 func (t *Tracker) eligibleColors() []model.Color {
-	out := make([]model.Color, 0, len(t.states))
-	for c, cs := range t.states {
-		if cs.eligible {
+	out := t.eligScratch[:0]
+	for _, c := range t.order {
+		if t.states[c].eligible {
 			out = append(out, c)
 		}
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	t.eligScratch = out
 	return out
 }
 
 // topByTimestamp returns the (at most q) eligible colors with the most
 // recent timestamps at round now, ties broken by the consistent color order.
+// The ranking key is a total order (no two distinct colors compare equal), so
+// the unstable sort below produces the same result the spec's stable sort
+// would. The returned slice aliases tracker scratch, valid until the next
+// topByTimestamp call.
 func (t *Tracker) topByTimestamp(now int64, q int) []model.Color {
-	elig := t.eligibleColors()
-	sort.SliceStable(elig, func(i, j int) bool {
-		ti := t.states[elig[i]].timestampK(now, t.tsK)
-		tj := t.states[elig[j]].timestampK(now, t.tsK)
-		if ti != tj {
-			return ti > tj
+	elig := append(t.lruScratch[:0], t.eligibleColors()...)
+	t.lruScratch = elig
+	slices.SortFunc(elig, func(a, b model.Color) int {
+		ta := t.states[a].timestampK(now, t.tsK)
+		tb := t.states[b].timestampK(now, t.tsK)
+		if ta != tb {
+			if ta > tb {
+				return -1
+			}
+			return 1
 		}
-		return elig[i] < elig[j]
+		if a < b {
+			return -1
+		}
+		return 1
 	})
 	if len(elig) > q {
 		elig = elig[:q]
@@ -318,17 +350,28 @@ func (a edfRank) less(b edfRank) bool {
 	return a.color < b.color
 }
 
-// rankEDF sorts the given colors by the EDF ranking at the current view
-// state (idleness comes from the live pending counts).
+// rankEDF returns a copy of the given colors sorted by the EDF ranking at the
+// current view state (idleness comes from the live pending counts).
 func (t *Tracker) rankEDF(v sim.View, colors []model.Color) []model.Color {
 	ranked := make([]model.Color, len(colors))
 	copy(ranked, colors)
-	key := func(c model.Color) edfRank {
-		cs := t.states[c]
-		return edfRank{idle: v.Pending(c) == 0, dd: cs.dd, delay: cs.delay, color: c}
-	}
-	sort.SliceStable(ranked, func(i, j int) bool { return key(ranked[i]).less(key(ranked[j])) })
+	t.sortEDF(v, ranked)
 	return ranked
+}
+
+// sortEDF sorts colors in place by the EDF ranking. The edfRank key is a
+// total order (the color field breaks every tie), so the unstable sort
+// produces the same permutation a stable sort would.
+func (t *Tracker) sortEDF(v sim.View, colors []model.Color) {
+	slices.SortFunc(colors, func(a, b model.Color) int {
+		ca, cb := t.states[a], t.states[b]
+		ka := edfRank{idle: v.Pending(a) == 0, dd: ca.dd, delay: ca.delay, color: a}
+		kb := edfRank{idle: v.Pending(b) == 0, dd: cb.dd, delay: cb.delay, color: b}
+		if ka.less(kb) {
+			return -1
+		}
+		return 1
+	})
 }
 
 // DelayBoundOf returns the registered delay bound of color c (0 if the

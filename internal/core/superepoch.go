@@ -115,7 +115,8 @@ func (t *Tracker) observeArrivalForSuperEpochs(v sim.View, k int64) {
 	if t.super == nil {
 		return
 	}
-	for c, cs := range t.states {
+	for _, c := range t.order {
+		cs := t.states[c]
 		if k%cs.delay != 0 {
 			continue
 		}

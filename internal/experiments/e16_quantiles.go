@@ -60,7 +60,7 @@ func runE16(cfg Config) ([]*stats.Table, error) {
 		"family", "seeds", "mean", "p50", "p90", "p95", "max")
 	for _, fam := range families {
 		gen := fam.gen
-		ratios, err := sweep.Map(0, sweep.Seeds(numSeeds), func(seed int64) (float64, error) {
+		ratios, err := sweep.Map(cfg.Workers, sweep.Seeds(numSeeds), func(seed int64) (float64, error) {
 			seq, err := gen(seed + 1)
 			if err != nil {
 				return 0, err

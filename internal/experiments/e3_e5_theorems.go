@@ -70,7 +70,7 @@ func runE3(cfg Config) ([]*stats.Table, error) {
 	}
 	// The bracket computation dominates; fan the sweep out over the worker
 	// pool and collect rows in input order so the table is deterministic.
-	rows, err := sweep.Map(0, cells, func(c cell) ([]any, error) {
+	rows, err := sweep.Map(cfg.Workers, cells, func(c cell) ([]any, error) {
 		seq, err := workload.RandomBatched(c.cfg)
 		if err != nil {
 			return nil, err

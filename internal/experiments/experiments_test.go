@@ -250,3 +250,25 @@ func TestE15AdaptiveRobust(t *testing.T) {
 		}
 	}
 }
+
+// TestWorkerCountDoesNotChangeResults pins the sweep pool to one worker and
+// compares against a parallel run: sweeps collect results in input order, so
+// the rendered tables must be byte-identical. This is the contract that lets
+// benchmark drivers set Config.Workers = 1 to measure work instead of
+// parallel speedup.
+func TestWorkerCountDoesNotChangeResults(t *testing.T) {
+	render := func(tables []*stats.Table) string {
+		var b strings.Builder
+		for _, tb := range tables {
+			b.WriteString(tb.String())
+		}
+		return b.String()
+	}
+	for _, id := range []string{"E3", "E16"} {
+		seq := render(mustRun(t, id, Config{Quick: true, Workers: 1}))
+		par := render(mustRun(t, id, Config{Quick: true, Workers: 4}))
+		if seq != par {
+			t.Errorf("%s: tables differ between Workers=1 and Workers=4:\n--- sequential ---\n%s\n--- parallel ---\n%s", id, seq, par)
+		}
+	}
+}

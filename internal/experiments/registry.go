@@ -17,6 +17,11 @@ import (
 type Config struct {
 	// Quick shrinks sweeps for benchmarks and CI; full scale otherwise.
 	Quick bool
+	// Workers bounds the sweep worker pool (0 means GOMAXPROCS). Pinning it
+	// to 1 makes an experiment run strictly sequential, which benchmark and
+	// profiling drivers use to measure work rather than parallel speedup;
+	// results are identical either way (sweeps collect in input order).
+	Workers int
 }
 
 // Experiment is a registered, runnable experiment. Run returns the

@@ -1,0 +1,139 @@
+package sim_test
+
+// Differential battery: every online policy, on a corpus of seeded small
+// random instances, must produce a schedule that model.Audit accepts, whose
+// audited cost matches the engine's meter, and whose total is bounded below
+// by both the certified lower bound and (when the DP fits its state budget)
+// the exact optimal cost. Any violation is a soundness bug in the engine,
+// the policy, the auditor, or the offline solver — the four are implemented
+// independently, which is what makes the comparison a real oracle.
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"rrsched/internal/core"
+	"rrsched/internal/model"
+	"rrsched/internal/offline"
+	"rrsched/internal/sim"
+)
+
+// arrivalBatch is one batched arrival: count jobs of one color in one round.
+type arrivalBatch struct {
+	round int64
+	color model.Color
+	delay int64
+	count int
+}
+
+// instance is a small random scheduling instance in a shrinkable form: the
+// batch list can be minimized element by element while staying batched
+// (every batch independently arrives at a multiple of its color's delay).
+type instance struct {
+	delta     int64
+	resources int
+	batches   []arrivalBatch
+}
+
+func (in instance) sequence() *model.Sequence {
+	b := model.NewBuilder(in.delta)
+	for _, a := range in.batches {
+		b.Add(a.round, a.color, a.delay, a.count)
+	}
+	return b.MustBuild()
+}
+
+// trace renders the instance as a human-readable counterexample.
+func (in instance) trace() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "delta=%d resources=%d\n", in.delta, in.resources)
+	for _, a := range in.batches {
+		fmt.Fprintf(&b, "  round %2d: %d job(s) of color %v (delay %d)\n", a.round, a.count, a.color, a.delay)
+	}
+	return b.String()
+}
+
+// randomInstance draws a small batched instance: up to 4 colors with
+// power-of-two delay bounds, arrivals at multiples of each color's delay,
+// horizon at most 24.
+func randomInstance(rng *rand.Rand) instance {
+	in := instance{
+		delta:     1 + rng.Int63n(3),
+		resources: 2 * (1 + rng.Intn(2)), // 2 or 4 (two-way replication)
+	}
+	colors := 1 + rng.Intn(4)
+	const lastArrival = 16 // + max delay 8 => horizon <= 24
+	for c := 0; c < colors; c++ {
+		delay := int64(1) << rng.Intn(4) // 1, 2, 4, or 8
+		for r := int64(0); r <= lastArrival; r += delay {
+			if cnt := rng.Intn(4); cnt > 0 && rng.Intn(2) == 0 {
+				in.batches = append(in.batches, arrivalBatch{round: r, color: model.Color(c), delay: delay, count: cnt})
+			}
+		}
+	}
+	if len(in.batches) == 0 {
+		in.batches = append(in.batches, arrivalBatch{round: 0, color: 0, delay: 1, count: 1})
+	}
+	return in
+}
+
+// onlinePolicies returns fresh instances of every Section 3 policy.
+func onlinePolicies() []sim.Policy {
+	return []sim.Policy{core.NewDeltaLRU(), core.NewEDF(), core.NewDeltaLRUEDF()}
+}
+
+func TestDifferentialOnlineVsOffline(t *testing.T) {
+	const numInstances = 200
+	rng := rand.New(rand.NewSource(7))
+	tooLarge := 0
+	for i := 0; i < numInstances; i++ {
+		in := randomInstance(rng)
+		seq := in.sequence()
+		if !seq.IsBatched() {
+			t.Fatalf("instance %d: generator produced a non-batched sequence\n%s", i, in.trace())
+		}
+
+		lb := offline.LowerBound(seq, in.resources)
+		exact, exactErr := offline.Exact(seq, in.resources, offline.ExactOptions{})
+		if exactErr != nil {
+			if exactErr != offline.ErrTooLarge {
+				t.Fatalf("instance %d: exact solver: %v\n%s", i, exactErr, in.trace())
+			}
+			tooLarge++
+		} else if exact < lb {
+			t.Errorf("instance %d: exact optimum %d below certified lower bound %d\n%s", i, exact, lb, in.trace())
+		}
+
+		for _, p := range onlinePolicies() {
+			res, err := sim.Run(sim.Env{Seq: seq, Resources: in.resources, Replication: 2, Speed: 1}, p)
+			if err != nil {
+				t.Fatalf("instance %d: %s: %v\n%s", i, p.Name(), err, in.trace())
+			}
+			audited, err := model.Audit(seq, res.Schedule)
+			if err != nil {
+				t.Fatalf("instance %d: %s: audit rejected the schedule: %v\n%s", i, p.Name(), err, in.trace())
+			}
+			if audited != res.Cost {
+				t.Errorf("instance %d: %s: audited cost %v != engine cost %v\n%s", i, p.Name(), audited, res.Cost, in.trace())
+			}
+			if res.Executed+res.Dropped != seq.NumJobs() {
+				t.Errorf("instance %d: %s: conservation violated: %d + %d != %d\n%s",
+					i, p.Name(), res.Executed, res.Dropped, seq.NumJobs(), in.trace())
+			}
+			total := audited.Total()
+			if total < lb {
+				t.Errorf("instance %d: %s: online cost %d below certified lower bound %d\n%s",
+					i, p.Name(), total, lb, in.trace())
+			}
+			if exactErr == nil && total < exact {
+				t.Errorf("instance %d: %s: online cost %d below exact optimum %d\n%s",
+					i, p.Name(), total, exact, in.trace())
+			}
+		}
+	}
+	if tooLarge > numInstances/4 {
+		t.Errorf("exact solver exceeded its state budget on %d of %d instances; the corpus is too large to be a differential oracle", tooLarge, numInstances)
+	}
+}

@@ -18,10 +18,8 @@ package sim
 
 import (
 	"fmt"
-	"sort"
 
 	"rrsched/internal/model"
-	"rrsched/internal/queue"
 )
 
 // Env describes one simulation run.
@@ -66,6 +64,11 @@ func (e Env) Validate() error {
 
 // View is the read-only state a policy may observe when deciding. It reveals
 // nothing about future requests: online policies see only the present.
+//
+// Slices returned by View methods may share the engine's internal buffers:
+// they are valid only until the engine advances (the next phase or
+// mini-round) and must not be modified or retained. Policies that need a
+// lasting copy must make one.
 type View interface {
 	// Round returns the current round index.
 	Round() int64
@@ -99,12 +102,15 @@ type Policy interface {
 	Reset(env Env)
 	// DropPhase is invoked after the engine dropped all jobs whose deadline
 	// is the current round; dropped maps colors to the number of their jobs
-	// dropped this round (absent colors dropped none).
+	// dropped this round (absent colors dropped none). The map is engine
+	// scratch: valid only for the duration of the call.
 	DropPhase(v View, dropped map[model.Color]int)
 	// ArrivalPhase is invoked after the round's request joined the pending
 	// queues; arrivals is the request (empty most rounds).
 	ArrivalPhase(v View, arrivals []model.Job)
 	// Target returns the distinct colors to cache for the current mini-round.
+	// The engine reads the returned slice before the next Target call and
+	// never retains it, so policies may return a reused buffer.
 	Target(v View) []model.Color
 }
 
@@ -193,280 +199,4 @@ func MustRun(env Env, p Policy) *Result {
 		panic(fmt.Errorf("sim: run failed: %w", err))
 	}
 	return r
-}
-
-// state implements View and owns the mutable simulation state.
-type state struct {
-	env   Env
-	round int64
-	mini  int
-
-	pending  map[model.Color]*queue.Ring[model.Job]
-	universe []model.Color
-
-	locColor  []model.Color         // color at each location
-	colorLocs map[model.Color][]int // locations of each cached color
-	freeLocs  []int                 // up locations holding no cached color (black or orphaned)
-	down      []bool                // down locations: never in colorLocs or freeLocs
-
-	sched        *model.Schedule
-	cost         model.Cost
-	executed     int
-	droppedTotal int
-	dropsByColor map[model.Color]int
-}
-
-func newState(env Env) *state {
-	st := &state{
-		env:          env,
-		pending:      make(map[model.Color]*queue.Ring[model.Job]),
-		colorLocs:    make(map[model.Color][]int),
-		sched:        model.NewSchedule(env.Resources, env.Speed),
-		dropsByColor: make(map[model.Color]int),
-	}
-	st.universe = env.Seq.Colors()
-	st.locColor = make([]model.Color, env.Resources)
-	st.down = make([]bool, env.Resources)
-	st.freeLocs = make([]int, env.Resources)
-	for i := range st.locColor {
-		st.locColor[i] = model.Black
-		st.freeLocs[i] = env.Resources - 1 - i // pop from the back => ascending use
-	}
-	return st
-}
-
-// --- View ---
-
-func (s *state) Round() int64   { return s.round }
-func (s *state) Mini() int      { return s.mini }
-func (s *state) Resources() int { return s.env.Resources }
-func (s *state) Slots() int     { return s.env.Slots() }
-func (s *state) Delta() int64   { return s.env.Seq.Delta() }
-func (s *state) Universe() []model.Color {
-	out := make([]model.Color, len(s.universe))
-	copy(out, s.universe)
-	return out
-}
-
-func (s *state) Pending(c model.Color) int {
-	q := s.pending[c]
-	if q == nil {
-		return 0
-	}
-	return q.Len()
-}
-
-func (s *state) Cached(c model.Color) bool {
-	_, ok := s.colorLocs[c]
-	return ok
-}
-
-func (s *state) CachedColors() []model.Color {
-	out := make([]model.Color, 0, len(s.colorLocs))
-	for c := range s.colorLocs {
-		out = append(out, c)
-	}
-	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
-	return out
-}
-
-func (s *state) DelayBound(c model.Color) int64 {
-	d, _ := s.env.Seq.DelayBound(c)
-	return d
-}
-
-// --- phases ---
-
-// applyFaults realizes the fault plan's transitions for round k. Repairs are
-// processed before crashes so back-to-back outages on the same resource
-// compose, matching the audit's event order.
-func (s *state) applyFaults(k int64) {
-	f := s.env.Faults
-	if f == nil {
-		return
-	}
-	for r := 0; r < s.env.Resources; r++ {
-		if s.down[r] && !f.Down(r, k) {
-			s.repair(r)
-		}
-	}
-	for r := 0; r < s.env.Resources; r++ {
-		if !s.down[r] && f.Down(r, k) {
-			s.crash(r)
-		}
-	}
-}
-
-// crash takes a location down and evicts its cached color, if any: the lost
-// replica must be re-placed at cost Delta, while surviving replicas return to
-// the free pool keeping their physical color, so re-admitting the color
-// reuses them for free. The crashed location itself is wiped to black.
-func (s *state) crash(loc int) {
-	s.down[loc] = true
-	for i, f := range s.freeLocs {
-		if f == loc {
-			s.freeLocs[i] = s.freeLocs[len(s.freeLocs)-1]
-			s.freeLocs = s.freeLocs[:len(s.freeLocs)-1]
-			break
-		}
-	}
-	if c := s.locColor[loc]; c != model.Black {
-		if locs, ok := s.colorLocs[c]; ok {
-			member := false
-			for _, l := range locs {
-				if l == loc {
-					member = true
-					break
-				}
-			}
-			if member {
-				for _, l := range locs {
-					if l != loc {
-						s.freeLocs = append(s.freeLocs, l)
-					}
-				}
-				delete(s.colorLocs, c)
-			}
-		}
-	}
-	s.locColor[loc] = model.Black
-}
-
-// repair brings a location back up, blank (its color was wiped at crash); it
-// rejoins the free pool and must be recolored before executing again.
-func (s *state) repair(loc int) {
-	s.down[loc] = false
-	s.freeLocs = append(s.freeLocs, loc)
-}
-
-// dropDue removes every pending job whose deadline equals round k. Within a
-// color, pending jobs are queued in arrival order, so deadlines are
-// nondecreasing from the head: popping while the head is due is exhaustive.
-func (s *state) dropDue(k int64) map[model.Color]int {
-	dropped := make(map[model.Color]int)
-	for c, q := range s.pending {
-		for q.Len() > 0 && q.Peek().Deadline() <= k {
-			q.Pop()
-			dropped[c]++
-		}
-	}
-	for c, n := range dropped {
-		s.cost.Drop += int64(n)
-		s.droppedTotal += n
-		s.dropsByColor[c] += n
-	}
-	return dropped
-}
-
-func (s *state) admit(jobs []model.Job) {
-	for _, j := range jobs {
-		q := s.pending[j.Color]
-		if q == nil {
-			q = &queue.Ring[model.Job]{}
-			s.pending[j.Color] = q
-		}
-		q.Push(j)
-	}
-}
-
-// reconfigure realizes the target color set: colors leaving the cache free
-// their locations, colors entering claim Replication free locations each.
-// Unchanged colors keep their locations, so only genuine recolorings cost.
-func (s *state) reconfigure(target []model.Color) error {
-	want := make(map[model.Color]bool, len(target))
-	for _, c := range target {
-		if c == model.Black {
-			return fmt.Errorf("policy targeted the black color")
-		}
-		if want[c] {
-			return fmt.Errorf("policy targeted color %v twice", c)
-		}
-		want[c] = true
-	}
-	if len(want) > s.env.Slots() {
-		return fmt.Errorf("policy targeted %d colors with only %d slots", len(want), s.env.Slots())
-	}
-
-	// Evict colors no longer wanted. Eviction is logical: the location keeps
-	// its physical color (and keeps executing that color's jobs, as in the
-	// paper's model) until another color overwrites it. Evictions are
-	// processed in color order so location assignment — and therefore the
-	// recorded schedule — is deterministic.
-	var evicted []model.Color
-	for c := range s.colorLocs {
-		if !want[c] {
-			evicted = append(evicted, c)
-		}
-	}
-	sort.Slice(evicted, func(i, j int) bool { return evicted[i] < evicted[j] })
-	for _, c := range evicted {
-		s.freeLocs = append(s.freeLocs, s.colorLocs[c]...)
-		delete(s.colorLocs, c)
-	}
-	// Admit new colors and top up under-replicated ones (a crash evicts a
-	// color; on re-admission, or once repairs refill the pool, it regains its
-	// Replication locations). A free location that still physically holds the
-	// color is reused at zero cost: the resource was never recolored, so no
-	// reconfiguration happens. Under faults, down resources can shrink the
-	// pool below Slots()*Replication, so placement is best-effort: each color
-	// gets up to Replication replicas while free locations last. Without
-	// faults the pool always suffices and every color gets all replicas.
-	for _, c := range target {
-		locs := s.colorLocs[c]
-		for len(locs) < s.env.Replication && len(s.freeLocs) > 0 {
-			loc, reused := s.takeFreeLoc(c)
-			locs = append(locs, loc)
-			if !reused {
-				s.locColor[loc] = c
-				s.sched.AddReconfig(s.round, s.mini, loc, c)
-				s.cost.Reconfig += s.env.Seq.Delta()
-			}
-		}
-		if len(locs) == 0 {
-			continue
-		}
-		s.colorLocs[c] = locs
-	}
-	return nil
-}
-
-// takeFreeLoc pops a free location for color c, preferring one that already
-// physically holds c (reused == true, no reconfiguration needed).
-func (s *state) takeFreeLoc(c model.Color) (loc int, reused bool) {
-	n := len(s.freeLocs)
-	for i := n - 1; i >= 0; i-- {
-		if s.locColor[s.freeLocs[i]] == c {
-			loc = s.freeLocs[i]
-			s.freeLocs[i] = s.freeLocs[n-1]
-			s.freeLocs = s.freeLocs[:n-1]
-			return loc, true
-		}
-	}
-	loc = s.freeLocs[n-1]
-	s.freeLocs = s.freeLocs[:n-1]
-	return loc, false
-}
-
-// execute runs the execution phase of the current mini-round: every location
-// executes the earliest-deadline pending job of its physical color, if any.
-// A location whose color was logically evicted but not yet overwritten still
-// executes: in the paper's model a resource stays configured to its color
-// until recolored.
-func (s *state) execute() {
-	for loc := 0; loc < s.env.Resources; loc++ {
-		if s.down[loc] {
-			continue
-		}
-		c := s.locColor[loc]
-		if c == model.Black {
-			continue
-		}
-		q := s.pending[c]
-		if q == nil || q.Len() == 0 {
-			continue
-		}
-		j := q.Pop()
-		s.sched.AddExec(s.round, s.mini, loc, j.ID)
-		s.executed++
-	}
 }

@@ -1,0 +1,157 @@
+package sim_test
+
+// Metamorphic battery: transformations of an instance that provably cannot
+// change the ΔLRU-EDF total cost must leave it unchanged.
+//
+//   - Order-preserving color renaming: every tie-break in the policy stack
+//     uses the "consistent order of colors" (ascending color value), never
+//     the values themselves, so any strictly increasing renaming preserves
+//     every comparison and hence every decision. (An arbitrary permutation
+//     is NOT cost-preserving: same-delay colors routinely tie on the EDF key
+//     and on timestamps, and the color order that breaks those ties would
+//     change.)
+//
+//   - Arrival-time translation: shifting all arrivals by a multiple of every
+//     delay bound preserves the k ≡ 0 (mod D_ℓ) phase structure, and
+//     timestamps shift uniformly so every recency comparison is preserved.
+//     Both compared copies are pre-shifted by at least one period so that no
+//     counter wrap lands on round 0, whose timestamp is indistinguishable
+//     from the "never wrapped" sentinel.
+//
+// A failure prints a minimized counterexample trace: batches are greedily
+// removed and shrunk while the discrepancy persists.
+
+import (
+	"math/rand"
+	"slices"
+	"testing"
+
+	"rrsched/internal/core"
+	"rrsched/internal/model"
+	"rrsched/internal/sim"
+)
+
+// runDLRUEDF returns the audited ΔLRU-EDF total cost of the instance.
+func runDLRUEDF(t *testing.T, in instance) int64 {
+	t.Helper()
+	seq := in.sequence()
+	res, err := sim.Run(sim.Env{Seq: seq, Resources: in.resources, Replication: 2, Speed: 1}, core.NewDeltaLRUEDF())
+	if err != nil {
+		t.Fatalf("dlru-edf failed on\n%s: %v", in.trace(), err)
+	}
+	audited, err := model.Audit(seq, res.Schedule)
+	if err != nil {
+		t.Fatalf("audit rejected dlru-edf schedule on\n%s: %v", in.trace(), err)
+	}
+	return audited.Total()
+}
+
+// minimize greedily shrinks the batch list while fails keeps reporting a
+// discrepancy: first dropping whole batches, then decrementing counts.
+func minimize(in instance, fails func(instance) bool) instance {
+	for i := 0; i < len(in.batches); {
+		cand := in
+		cand.batches = slices.Delete(slices.Clone(in.batches), i, i+1)
+		if len(cand.batches) > 0 && fails(cand) {
+			in = cand
+			continue
+		}
+		i++
+	}
+	for i := range in.batches {
+		for in.batches[i].count > 1 {
+			cand := in
+			cand.batches = slices.Clone(in.batches)
+			cand.batches[i].count--
+			if !fails(cand) {
+				break
+			}
+			in = cand
+		}
+	}
+	return in
+}
+
+// renameColors applies a strictly increasing color map: the i-th smallest
+// color of the instance becomes to[i].
+func renameColors(in instance, to []model.Color) instance {
+	var used []model.Color
+	for _, a := range in.batches {
+		if !slices.Contains(used, a.color) {
+			used = append(used, a.color)
+		}
+	}
+	slices.Sort(used)
+	out := in
+	out.batches = slices.Clone(in.batches)
+	for i := range out.batches {
+		out.batches[i].color = to[slices.Index(used, out.batches[i].color)]
+	}
+	return out
+}
+
+// monotoneTargets draws a random strictly increasing sequence of n colors
+// with gaps up to 7.
+func monotoneTargets(rng *rand.Rand, n int) []model.Color {
+	out := make([]model.Color, n)
+	next := model.Color(rng.Intn(8))
+	for i := range out {
+		out[i] = next
+		next += model.Color(1 + rng.Intn(7))
+	}
+	return out
+}
+
+func TestMetamorphicColorRenaming(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for i := 0; i < 60; i++ {
+		in := randomInstance(rng)
+		to := monotoneTargets(rng, 4) // at least as many targets as colors
+		fails := func(in instance) bool {
+			return runDLRUEDF(t, in) != runDLRUEDF(t, renameColors(in, to))
+		}
+		if fails(in) {
+			min := minimize(in, fails)
+			t.Fatalf("iteration %d: ΔLRU-EDF cost changed under order-preserving renaming %v\nminimized counterexample:\n%soriginal cost %d, renamed cost %d",
+				i, to, min.trace(), runDLRUEDF(t, min), runDLRUEDF(t, renameColors(min, to)))
+		}
+	}
+}
+
+// translate shifts every arrival by dt rounds.
+func translate(in instance, dt int64) instance {
+	out := in
+	out.batches = slices.Clone(in.batches)
+	for i := range out.batches {
+		out.batches[i].round += dt
+	}
+	return out
+}
+
+// delayPeriod returns the least common multiple of the instance's delay
+// bounds — with power-of-two delays, simply the largest one.
+func delayPeriod(in instance) int64 {
+	p := int64(1)
+	for _, a := range in.batches {
+		if a.delay > p {
+			p = a.delay
+		}
+	}
+	return p
+}
+
+func TestMetamorphicArrivalTranslation(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	for i := 0; i < 60; i++ {
+		in := randomInstance(rng)
+		p := delayPeriod(in)
+		fails := func(in instance) bool {
+			return runDLRUEDF(t, translate(in, p)) != runDLRUEDF(t, translate(in, 3*p))
+		}
+		if fails(in) {
+			min := minimize(in, fails)
+			t.Fatalf("iteration %d: ΔLRU-EDF cost changed under arrival translation by %d rounds\nminimized counterexample:\n%scost at shift %d: %d, at shift %d: %d",
+				i, 2*p, min.trace(), p, runDLRUEDF(t, translate(min, p)), 3*p, runDLRUEDF(t, translate(min, 3*p)))
+		}
+	}
+}

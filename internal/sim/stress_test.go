@@ -1,9 +1,12 @@
 package sim
 
 import (
+	"fmt"
+	"strings"
 	"testing"
 
 	"rrsched/internal/model"
+	"rrsched/internal/sweep"
 )
 
 // miniProbe changes its target every mini-round to exercise speed-2
@@ -98,5 +101,74 @@ func TestEngineEmptySequence(t *testing.T) {
 	res := MustRun(Env{Seq: seq, Resources: 2, Replication: 1, Speed: 1}, &scriptPolicy{})
 	if res.Cost.Total() != 0 || res.Executed != 0 {
 		t.Errorf("empty sequence produced %v", res.Cost)
+	}
+}
+
+// TestEngineConcurrentSweepStress fans many engine runs out over a worker
+// pool, the way experiment sweeps drive it. Each run owns its state (the
+// bucket-queue deadline index, the scratch buffers, the dense color tables),
+// so concurrent runs must neither race (this test is the -race exercise for
+// the engine's scratch reuse) nor perturb each other's results: every seed's
+// serialized schedule must be byte-identical to a sequential reference run.
+func TestEngineConcurrentSweepStress(t *testing.T) {
+	if testing.Short() {
+		t.Skip("stress test")
+	}
+	build := func(seed int64) *model.Sequence {
+		b := model.NewBuilder(4)
+		for c := 0; c < 16; c++ {
+			d := int64(1) << uint(1+(c+int(seed))%4)
+			for r := int64(0); r < 256; r += d {
+				if (r/d+seed+int64(c))%3 == 0 {
+					b.Add(r, model.Color(c), d, 1+int((seed+r)%3))
+				}
+			}
+		}
+		return b.MustBuild()
+	}
+	run := func(seed int64) (string, error) {
+		seq := build(seed)
+		p := &scriptPolicy{targets: map[int64][]model.Color{}}
+		for r := int64(0); r < 256; r += 8 {
+			p.targets[r] = []model.Color{
+				model.Color((seed + r/8) % 16),
+				model.Color((seed + r/8 + 5) % 16),
+			}
+		}
+		res, err := Run(Env{Seq: seq, Resources: 4, Replication: 2, Speed: 1}, p)
+		if err != nil {
+			return "", err
+		}
+		if res.Executed+res.Dropped != seq.NumJobs() {
+			return "", fmt.Errorf("seed %d: conservation violated: %d + %d != %d",
+				seed, res.Executed, res.Dropped, seq.NumJobs())
+		}
+		if got := model.MustAudit(seq, res.Schedule); got != res.Cost {
+			return "", fmt.Errorf("seed %d: audit %v != engine %v", seed, got, res.Cost)
+		}
+		var sb strings.Builder
+		if err := model.WriteSchedule(&sb, res.Schedule); err != nil {
+			return "", err
+		}
+		return sb.String(), nil
+	}
+
+	seeds := sweep.Seeds(32)
+	want := make([]string, len(seeds))
+	for i, s := range seeds {
+		ref, err := run(s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want[i] = ref
+	}
+	got, err := sweep.Map(0, seeds, run)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range seeds {
+		if got[i] != want[i] {
+			t.Errorf("seed %d: concurrent run diverged from sequential reference", seeds[i])
+		}
 	}
 }

@@ -150,3 +150,34 @@ func TestSeeds(t *testing.T) {
 		t.Errorf("Seeds = %v", s)
 	}
 }
+
+// TestMapRespectsWorkerBound checks that an explicit worker count is a hard
+// concurrency bound: at no instant do more than `workers` tasks run, and
+// workers=1 is strictly sequential. Drivers rely on this to pin sweeps to
+// one worker when measuring work rather than parallel speedup (rrbench).
+func TestMapRespectsWorkerBound(t *testing.T) {
+	for _, workers := range []int{1, 2, 4} {
+		var inFlight, peak atomic.Int64
+		_, err := Map(workers, Seeds(64), ok(func(v int64) int64 {
+			cur := inFlight.Add(1)
+			for {
+				old := peak.Load()
+				if cur <= old || peak.CompareAndSwap(old, cur) {
+					break
+				}
+			}
+			// Linger long enough that overlapping tasks would be observed.
+			for i := 0; i < 10000; i++ {
+				v += int64(i)
+			}
+			inFlight.Add(-1)
+			return v
+		}))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := peak.Load(); got > int64(workers) {
+			t.Errorf("workers=%d: observed %d concurrent tasks", workers, got)
+		}
+	}
+}
