@@ -13,11 +13,13 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"path/filepath"
 	"strings"
 
 	"rrsched/internal/experiments"
+	"rrsched/internal/obs"
 )
 
 func main() {
@@ -36,14 +38,20 @@ func run() (err error) {
 		}
 	}()
 	var (
-		list   = flag.Bool("list", false, "list experiments")
-		runID  = flag.String("run", "", "run one experiment by id (e.g. E3)")
-		all    = flag.Bool("all", false, "run every experiment")
-		quick  = flag.Bool("quick", false, "smaller sweeps")
-		csvDir = flag.String("csv", "", "also write tables as CSV files into this directory")
+		list     = flag.Bool("list", false, "list experiments")
+		runID    = flag.String("run", "", "run one experiment by id (e.g. E3)")
+		all      = flag.Bool("all", false, "run every experiment")
+		quick    = flag.Bool("quick", false, "smaller sweeps")
+		csvDir   = flag.String("csv", "", "also write tables as CSV files into this directory")
+		metrics  = flag.String("metrics", "", "write harness metrics (experiments/tables run, per-experiment latency) as JSON (path, or - for stdout)")
+		traceOut = flag.String("trace-out", "", "write one span per experiment as JSON (path, or - for stdout)")
 	)
 	flag.Parse()
 
+	h, err := newHarnessObs(*metrics != "", *traceOut != "")
+	if err != nil {
+		return err
+	}
 	cfg := experiments.Config{Quick: *quick}
 	switch {
 	case *list:
@@ -55,10 +63,12 @@ func run() (err error) {
 		if !ok {
 			return fmt.Errorf("unknown experiment %q (try -list)", *runID)
 		}
-		return runOne(e, cfg, *csvDir)
+		if err := h.observe(e, 0, func() error { return runOne(e, cfg, *csvDir, h) }); err != nil {
+			return err
+		}
 	case *all:
-		for _, e := range experiments.All() {
-			if err := runOne(e, cfg, *csvDir); err != nil {
+		for i, e := range experiments.All() {
+			if err := h.observe(e, i, func() error { return runOne(e, cfg, *csvDir, h) }); err != nil {
 				return err
 			}
 		}
@@ -66,10 +76,102 @@ func run() (err error) {
 		flag.Usage()
 		os.Exit(2)
 	}
+	return h.dump(*metrics, *traceOut)
+}
+
+// harnessObs instruments the experiment harness itself: a counter per
+// experiment and table, a latency histogram, and one span per experiment.
+// The experiments' inner simulations stay uninstrumented — rrexp measures
+// the suite, rrsim -metrics measures a single run.
+type harnessObs struct {
+	o           *obs.Observer
+	experiments *obs.Counter
+	tables      *obs.Counter
+	latency     *obs.Histogram
+}
+
+func newHarnessObs(wantMetrics, wantTrace bool) (*harnessObs, error) {
+	if !wantMetrics && !wantTrace {
+		return nil, nil
+	}
+	o, err := obs.NewObserver()
+	if err != nil {
+		return nil, err
+	}
+	if wantTrace {
+		o.Tracer = obs.NewTracer(obs.DefaultTracerCap)
+	}
+	h := &harnessObs{o: o}
+	if h.experiments, err = o.Metrics.Counter("rrexp_experiments_total"); err != nil {
+		return nil, err
+	}
+	if h.tables, err = o.Metrics.Counter("rrexp_tables_total"); err != nil {
+		return nil, err
+	}
+	// Experiment wall time in nanoseconds: 1ms to ~17min.
+	if h.latency, err = o.Metrics.Histogram("rrexp_experiment_ns", obs.ExpBuckets(1_000_000, 4, 10)); err != nil {
+		return nil, err
+	}
+	return h, nil
+}
+
+// observe runs one experiment under a span and the latency histogram.
+func (h *harnessObs) observe(e experiments.Experiment, idx int, run func() error) error {
+	if h == nil {
+		return run()
+	}
+	start := obs.Now()
+	err := run()
+	dur := obs.Now() - start
+	h.experiments.Inc()
+	h.latency.Observe(dur)
+	if h.o.Tracer != nil {
+		h.o.Tracer.RecordSpan(obs.Span{Name: e.ID, Round: int64(idx), Start: start, Dur: dur})
+	}
+	return err
+}
+
+func (h *harnessObs) countTable() {
+	if h != nil {
+		h.tables.Inc()
+	}
+}
+
+// dump writes the requested artifacts ("-" means stdout).
+func (h *harnessObs) dump(metrics, traceOut string) error {
+	if h == nil {
+		return nil
+	}
+	if metrics != "" {
+		if err := writeOut(metrics, h.o.Metrics.Snapshot().WriteJSON); err != nil {
+			return err
+		}
+	}
+	if traceOut != "" {
+		if err := writeOut(traceOut, h.o.Tracer.WriteJSON); err != nil {
+			return err
+		}
+	}
 	return nil
 }
 
-func runOne(e experiments.Experiment, cfg experiments.Config, csvDir string) error {
+// writeOut writes one JSON artifact to path ("-" means stdout).
+func writeOut(path string, write func(io.Writer) error) error {
+	if path == "-" {
+		return write(os.Stdout)
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := write(f); err != nil {
+		f.Close() //lint:ignore errcheck the write error takes precedence
+		return err
+	}
+	return f.Close()
+}
+
+func runOne(e experiments.Experiment, cfg experiments.Config, csvDir string, h *harnessObs) error {
 	fmt.Printf("=== %s: %s ===\n", e.ID, e.Title)
 	fmt.Printf("claim: %s\n\n", e.Claim)
 	tables, err := e.Run(cfg)
@@ -77,6 +179,7 @@ func runOne(e experiments.Experiment, cfg experiments.Config, csvDir string) err
 		return fmt.Errorf("%s: %w", e.ID, err)
 	}
 	for i, tb := range tables {
+		h.countTable()
 		if err := tb.Render(os.Stdout); err != nil {
 			return err
 		}

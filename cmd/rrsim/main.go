@@ -11,11 +11,13 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	"rrsched/internal/baseline"
 	"rrsched/internal/core"
 	"rrsched/internal/model"
+	"rrsched/internal/obs"
 	"rrsched/internal/offline"
 	"rrsched/internal/reduce"
 	"rrsched/internal/sim"
@@ -47,8 +49,21 @@ func main() {
 		bracket   = flag.Bool("bracket", true, "also compute the offline OPT bracket at -m resources")
 		saveTrace = flag.String("save-trace", "", "write the generated workload as a JSON trace")
 		saveSched = flag.String("save-schedule", "", "write the resulting schedule as JSON (replayable with rrreplay)")
+		metrics   = flag.String("metrics", "", "write the end-of-run metrics snapshot as JSON (path, or - for stdout)")
+		traceOut  = flag.String("trace-out", "", "write the phase span trace as JSON (path, or - for stdout)")
 	)
 	flag.Parse()
+
+	var o *obs.Observer
+	if *metrics != "" || *traceOut != "" {
+		var err error
+		if o, err = obs.NewObserver(); err != nil {
+			fatal(err)
+		}
+		if *traceOut != "" {
+			o.Tracer = obs.NewTracer(obs.DefaultTracerCap)
+		}
+	}
 
 	seq, err := buildWorkload(*wl, *tracePath, workload.RandomConfig{
 		Seed: *seed, Delta: *delta, Colors: *colors, Rounds: *rounds,
@@ -76,9 +91,19 @@ func main() {
 	fmt.Printf("workload: %s  jobs=%d rounds=%d colors=%d Δ=%d batched=%v rate-limited=%v\n",
 		*wl, seq.NumJobs(), seq.NumRounds(), len(seq.Colors()), seq.Delta(), seq.IsBatched(), seq.IsRateLimited())
 
-	cost, name, sched, err := runPolicy(*policy, seq, *n)
+	cost, name, sched, err := runPolicy(*policy, seq, *n, o)
 	if err != nil {
 		fatal(err)
+	}
+	if *metrics != "" {
+		if err := writeOut(*metrics, o.Metrics.Snapshot().WriteJSON); err != nil {
+			fatal(err)
+		}
+	}
+	if *traceOut != "" {
+		if err := writeOut(*traceOut, o.Tracer.WriteJSON); err != nil {
+			fatal(err)
+		}
 	}
 	if *saveSched != "" {
 		f, err := os.Create(*saveSched)
@@ -147,16 +172,32 @@ func buildWorkload(kind, tracePath string, cfg workload.RandomConfig) (*model.Se
 	}
 }
 
-func runPolicy(name string, seq *model.Sequence, n int) (model.Cost, string, *model.Schedule, error) {
+// writeOut writes one JSON artifact to path ("-" means stdout).
+func writeOut(path string, write func(io.Writer) error) error {
+	if path == "-" {
+		return write(os.Stdout)
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := write(f); err != nil {
+		f.Close() //lint:ignore errcheck the write error takes precedence
+		return err
+	}
+	return f.Close()
+}
+
+func runPolicy(name string, seq *model.Sequence, n int, o *obs.Observer) (model.Cost, string, *model.Schedule, error) {
 	switch name {
 	case "stack":
-		res, err := reduce.RunVarBatch(seq, n, core.NewDeltaLRUEDF())
+		res, err := reduce.RunVarBatchObserved(seq, n, core.NewDeltaLRUEDF(), o)
 		if err != nil {
 			return model.Cost{}, "", nil, err
 		}
 		return res.Cost, res.Policy, res.Schedule, nil
 	case "distribute":
-		res, err := reduce.RunDistribute(seq, n, core.NewDeltaLRUEDF())
+		res, err := reduce.RunDistributeObserved(seq, n, core.NewDeltaLRUEDF(), o)
 		if err != nil {
 			return model.Cost{}, "", nil, err
 		}
@@ -181,7 +222,7 @@ func runPolicy(name string, seq *model.Sequence, n int) (model.Cost, string, *mo
 	default:
 		return model.Cost{}, "", nil, fmt.Errorf("unknown policy %q", name)
 	}
-	res, err := sim.Run(sim.Env{Seq: seq, Resources: n, Replication: 2, Speed: 1}, p)
+	res, err := sim.Run(sim.Env{Seq: seq, Resources: n, Replication: 2, Speed: 1, Obs: o}, p)
 	if err != nil {
 		return model.Cost{}, "", nil, err
 	}

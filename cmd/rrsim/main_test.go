@@ -5,6 +5,7 @@ import (
 	"path/filepath"
 	"testing"
 
+	"rrsched/internal/obs"
 	"rrsched/internal/workload"
 )
 
@@ -71,7 +72,7 @@ func TestRunPolicyAllNames(t *testing.T) {
 			// These require batched inputs.
 			continue
 		}
-		cost, pname, sched, err := runPolicy(name, seq, 8)
+		cost, pname, sched, err := runPolicy(name, seq, 8, nil)
 		if err != nil {
 			t.Fatalf("%s: %v", name, err)
 		}
@@ -84,12 +85,46 @@ func TestRunPolicyAllNames(t *testing.T) {
 		t.Fatal(err)
 	}
 	for _, name := range []string{"distribute", "dlru-edf", "dlru", "edf"} {
-		if _, _, _, err := runPolicy(name, batched, 8); err != nil {
+		if _, _, _, err := runPolicy(name, batched, 8, nil); err != nil {
 			t.Fatalf("%s: %v", name, err)
 		}
 	}
-	if _, _, _, err := runPolicy("nope", seq, 8); err == nil {
+	if _, _, _, err := runPolicy("nope", seq, 8, nil); err == nil {
 		t.Error("unknown policy accepted")
+	}
+}
+
+// TestRunPolicyObserved: the -metrics/-trace-out path — an attached observer
+// records the run without changing its cost.
+func TestRunPolicyObserved(t *testing.T) {
+	seq, err := buildWorkload("batched", "", baseCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{"stack", "distribute", "most-pending"} {
+		bare, _, _, err := runPolicy(name, seq, 8, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		o, err := obs.NewObserver()
+		if err != nil {
+			t.Fatal(err)
+		}
+		o.Tracer = obs.NewTracer(obs.DefaultTracerCap)
+		observed, _, _, err := runPolicy(name, seq, 8, o)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if observed != bare {
+			t.Errorf("%s: observed cost %v != bare %v", name, observed, bare)
+		}
+		snap := o.Metrics.Snapshot()
+		if rounds, ok := snap.Counter(obs.MetricRounds); !ok || rounds == 0 {
+			t.Errorf("%s: observer saw no rounds", name)
+		}
+		if len(o.Tracer.Spans()) == 0 {
+			t.Errorf("%s: tracer recorded no spans", name)
+		}
 	}
 }
 

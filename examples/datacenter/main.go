@@ -10,6 +10,7 @@ import (
 
 	"rrsched"
 	"rrsched/internal/baseline"
+	"rrsched/internal/obs"
 	"rrsched/internal/offline"
 	"rrsched/internal/sim"
 	"rrsched/internal/workload"
@@ -38,7 +39,16 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	env := sim.Env{Seq: seq, Resources: servers, Replication: 2, Speed: 1}
+	// Instrument the baseline run with the observability layer instead of
+	// deriving stats from the schedule by hand: scheduler metrics and a
+	// structured event stream come straight from the engine.
+	o, err := obs.NewObserver()
+	if err != nil {
+		log.Fatal(err)
+	}
+	events := &obs.CountingSink{}
+	o.Sink = events
+	env := sim.Env{Seq: seq, Resources: servers, Replication: 2, Speed: 1, Obs: o}
 	mp := sim.MustRun(env, &baseline.MostPending{Margin: 2})
 
 	lb, ub := rrsched.OfflineBracket(seq, servers/8)
@@ -58,6 +68,19 @@ func main() {
 	oracle := offline.BestGreedy(seq, servers/8)
 	fmt.Printf("best offline heuristic (m=%d): window=%d cost=%d\n",
 		servers/8, oracle.Window, oracle.Cost.Total())
+
+	// Metrics snapshot of the instrumented baseline run.
+	snap := o.Metrics.Snapshot()
+	rounds, _ := snap.Counter(obs.MetricRounds)
+	reconfigs, _ := snap.Counter(obs.MetricReconfigs)
+	dropped, _ := snap.Counter(obs.MetricDropped)
+	executed, _ := snap.Counter(obs.MetricExecuted)
+	fmt.Printf("\nmost-pending run, from the metrics registry:\n")
+	fmt.Printf("  rounds=%d reconfigs=%d executed=%d dropped=%d events=%d\n",
+		rounds, reconfigs, executed, dropped, events.Count())
+	if age, ok := snap.Histogram(obs.MetricPendingAge); ok && age.Count > 0 {
+		fmt.Printf("  mean wait before execution: %.1f rounds\n", float64(age.Sum)/float64(age.Count))
+	}
 }
 
 func maxi(a, b int64) int64 {

@@ -89,24 +89,27 @@ func DefaultLayeringRules() map[string][]string {
 		m + "sweep":    {},
 		m + "analysis": {},
 
+		// Observability: metrics, tracing, event sinks. Near-leaf by design.
+		m + "obs": {m + "model"},
+
 		// Core layers.
 		m + "workload":   {m + "model"},
-		m + "sim":        {m + "model", m + "queue"},
-		m + "core":       {m + "model", m + "sim"},
-		m + "reduce":     {m + "model", m + "sim"},
+		m + "sim":        {m + "model", m + "obs", m + "queue"},
+		m + "core":       {m + "model", m + "obs", m + "sim"},
+		m + "reduce":     {m + "model", m + "obs", m + "sim"},
 		m + "baseline":   {m + "model", m + "sim"},
 		m + "introspect": {m + "model"},
 		m + "edf":        {m + "core", m + "model", m + "queue", m + "sim"},
 		m + "offline":    {m + "edf", m + "model", m + "sim"},
 		m + "stream":     {m + "core", m + "model", m + "queue", m + "reduce"},
-		m + "chaos":      {m + "model", m + "sim", m + "stream", m + "workload"},
+		m + "chaos":      {m + "model", m + "obs", m + "sim", m + "stream", m + "workload"},
 		m + "adversary":  {m + "model", m + "offline", m + "sim", m + "stats"},
 
 		// The benchmark harness drives the engine, policies, queues, the
 		// streaming scheduler, and the sweep substrate; like experiments it
 		// sits above the core layers and nothing imports it but its cmd.
 		m + "perf": {
-			m + "core", m + "model", m + "queue", m + "sim",
+			m + "core", m + "model", m + "obs", m + "queue", m + "sim",
 			m + "stream", m + "sweep", m + "workload",
 		},
 
@@ -119,17 +122,18 @@ func DefaultLayeringRules() map[string][]string {
 
 		// Commands: public API plus declared internals.
 		"rrsched/cmd/rrbench":  {m + "perf"},
-		"rrsched/cmd/rrexp":    {m + "experiments"},
+		"rrsched/cmd/rrexp":    {m + "experiments", m + "obs"},
+		"rrsched/cmd/rrcover":  {},
 		"rrsched/cmd/rrlint":   {m + "analysis"},
 		"rrsched/cmd/rropt":    {m + "core", m + "model", m + "offline", m + "reduce", m + "workload"},
 		"rrsched/cmd/rrreplay": {m + "introspect", m + "model", m + "workload"},
-		"rrsched/cmd/rrsim":    {m + "baseline", m + "core", m + "model", m + "offline", m + "reduce", m + "sim", m + "workload"},
+		"rrsched/cmd/rrsim":    {m + "baseline", m + "core", m + "model", m + "obs", m + "offline", m + "reduce", m + "sim", m + "workload"},
 		"rrsched/cmd/rrtrace":  {m + "model", m + "workload"},
 
 		// Examples: public API plus declared internals.
 		"rrsched/examples/adaptive":   {m + "core", m + "introspect", m + "sim", m + "workload"},
 		"rrsched/examples/background": {m + "baseline", m + "core", m + "model", m + "reduce", m + "sim", m + "workload"},
-		"rrsched/examples/datacenter": {"rrsched", m + "baseline", m + "offline", m + "sim", m + "workload"},
+		"rrsched/examples/datacenter": {"rrsched", m + "baseline", m + "obs", m + "offline", m + "sim", m + "workload"},
 		"rrsched/examples/paging":     {m + "paging"},
 		"rrsched/examples/quickstart": {"rrsched"},
 		"rrsched/examples/router":     {"rrsched", m + "baseline", m + "model", m + "offline", m + "sim", m + "workload"},

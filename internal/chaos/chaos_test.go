@@ -1,10 +1,12 @@
 package chaos
 
 import (
+	"fmt"
 	"math"
 	"testing"
 
 	"rrsched/internal/model"
+	"rrsched/internal/obs"
 	"rrsched/internal/sim"
 	"rrsched/internal/workload"
 )
@@ -187,5 +189,94 @@ func TestCompareReportsInflationAndDrops(t *testing.T) {
 	}
 	if rep.String() == "" {
 		t.Error("empty report string")
+	}
+}
+
+// observedRun runs the policy with a fresh observer attached and returns the
+// result together with the end-of-run metric snapshot.
+func observedRun(t *testing.T, env sim.Env) (*sim.Result, *obs.Snapshot) {
+	t.Helper()
+	o, err := obs.NewObserver()
+	if err != nil {
+		t.Fatal(err)
+	}
+	env.Obs = o
+	res, err := sim.Run(env, greedy{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res, o.Metrics.Snapshot()
+}
+
+func TestCompareSnapshotsMatchesResults(t *testing.T) {
+	seq := baseSequence(t)
+	env := sim.Env{Seq: seq, Resources: 8, Replication: 2, Speed: 1}
+	baseRes, baseSnap := observedRun(t, env)
+
+	plan, err := sim.RandomFaultPlan(sim.FaultConfig{
+		Seed: 4, Resources: 8, Horizon: seq.Horizon() + 1, MeanUp: 16, MeanDown: 8,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	faultyEnv := env
+	faultyEnv.Faults = plan
+	faultyRes, faultySnap := observedRun(t, faultyEnv)
+
+	// The snapshots must agree with the engine's own accounting exactly.
+	for name, snap := range map[string]*obs.Snapshot{"baseline": baseSnap, "faulty": faultySnap} {
+		res := baseRes
+		if name == "faulty" {
+			res = faultyRes
+		}
+		if got, _ := snap.Counter(obs.MetricDropped); got != int64(res.Dropped) {
+			t.Errorf("%s: %s = %d, result says %d", name, obs.MetricDropped, got, res.Dropped)
+		}
+		if got, _ := snap.Counter(obs.MetricExecuted); got != int64(res.Executed) {
+			t.Errorf("%s: %s = %d, result says %d", name, obs.MetricExecuted, got, res.Executed)
+		}
+		if got, _ := snap.Counter(obs.MetricRounds); got != seq.Horizon()+1 {
+			t.Errorf("%s: %s = %d, want horizon+1 = %d", name, obs.MetricRounds, got, seq.Horizon()+1)
+		}
+		for c, n := range res.DropsByColor {
+			label := fmt.Sprint(int64(c))
+			if got, ok := snap.CounterWith(obs.MetricDrops, label); !ok || got != int64(n) {
+				t.Errorf("%s: drops[color %v] = %d (ok=%v), result says %d", name, c, got, ok, n)
+			}
+		}
+	}
+
+	rep, err := CompareSnapshots(baseSnap, faultySnap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.ExtraDrops != int64(faultyRes.Dropped-baseRes.Dropped) {
+		t.Errorf("ExtraDrops = %d, results say %d", rep.ExtraDrops, faultyRes.Dropped-baseRes.Dropped)
+	}
+	if rep.Crashes == 0 {
+		t.Error("faulty run observed no crashes despite an active fault plan")
+	}
+	if rep.Repairs > rep.Crashes {
+		t.Errorf("more repairs (%d) than crashes (%d)", rep.Repairs, rep.Crashes)
+	}
+	if base, _ := baseSnap.Counter(obs.MetricCrashes); base != 0 {
+		t.Errorf("fault-free run observed %d crashes", base)
+	}
+
+	// Snapshots of different horizons must be rejected, as must snapshots
+	// lacking the scheduler metrics entirely.
+	short, err := workload.RandomGeneral(workload.RandomConfig{
+		Seed: 11, Delta: 3, Colors: 6, Rounds: 12,
+		MinDelayExp: 1, MaxDelayExp: 4, Load: 0.5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, shortSnap := observedRun(t, sim.Env{Seq: short, Resources: 8, Replication: 2, Speed: 1})
+	if _, err := CompareSnapshots(baseSnap, shortSnap); err == nil {
+		t.Error("accepted snapshots of different horizons")
+	}
+	if _, err := CompareSnapshots(&obs.Snapshot{}, faultySnap); err == nil {
+		t.Error("accepted an empty baseline snapshot")
 	}
 }

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"rrsched/internal/model"
+	"rrsched/internal/obs"
 	"rrsched/internal/sim"
 )
 
@@ -58,4 +59,48 @@ func Compare(baseline, faulty *sim.Result, plan *sim.FaultPlan) Report {
 func (r Report) String() string {
 	return fmt.Sprintf("chaos{inflation=%.3f drops=%.3f->%.3f (Δ%+.3f) downtime=%d}",
 		r.CostInflation, r.BaselineDropRate, r.FaultyDropRate, r.DropRateDelta, r.DowntimeRounds)
+}
+
+// SnapshotReport compares the metric snapshots of a fault-free and a faulty
+// instrumented run (both with their own obs.Observer over the same workload).
+type SnapshotReport struct {
+	// BaselineRounds and FaultyRounds are the sched_rounds_total counters;
+	// they must agree — faults never shorten a run.
+	BaselineRounds int64
+	FaultyRounds   int64
+	// ExtraDrops and ExtraReconfigs are faulty minus baseline counter totals.
+	ExtraDrops     int64
+	ExtraReconfigs int64
+	// Crashes and Repairs are the fault transitions the faulty run observed.
+	Crashes int64
+	Repairs int64
+}
+
+// CompareSnapshots builds a SnapshotReport from the metric snapshots of a
+// baseline and a faulty run. It errors if either snapshot is missing the
+// scheduler metrics, or if the two runs disagree on round count — a faulty
+// run covers the same horizon as its baseline, so a mismatch means the
+// snapshots come from different workloads.
+func CompareSnapshots(baseline, faulty *obs.Snapshot) (SnapshotReport, error) {
+	var rep SnapshotReport
+	var ok bool
+	if rep.BaselineRounds, ok = baseline.Counter(obs.MetricRounds); !ok {
+		return rep, fmt.Errorf("chaos: baseline snapshot has no %s", obs.MetricRounds)
+	}
+	if rep.FaultyRounds, ok = faulty.Counter(obs.MetricRounds); !ok {
+		return rep, fmt.Errorf("chaos: faulty snapshot has no %s", obs.MetricRounds)
+	}
+	if rep.BaselineRounds != rep.FaultyRounds {
+		return rep, fmt.Errorf("chaos: snapshots cover different horizons: %d vs %d rounds",
+			rep.BaselineRounds, rep.FaultyRounds)
+	}
+	bd, _ := baseline.Counter(obs.MetricDropped)
+	fd, _ := faulty.Counter(obs.MetricDropped)
+	rep.ExtraDrops = fd - bd
+	br, _ := baseline.Counter(obs.MetricReconfigs)
+	fr, _ := faulty.Counter(obs.MetricReconfigs)
+	rep.ExtraReconfigs = fr - br
+	rep.Crashes, _ = faulty.Counter(obs.MetricCrashes)
+	rep.Repairs, _ = faulty.Counter(obs.MetricRepairs)
+	return rep, nil
 }

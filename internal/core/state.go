@@ -11,6 +11,7 @@ import (
 	"slices"
 
 	"rrsched/internal/model"
+	"rrsched/internal/obs"
 	"rrsched/internal/sim"
 )
 
@@ -84,6 +85,11 @@ type Tracker struct {
 	// (see superepoch.go).
 	super *superEpochTracker
 
+	// sink, when non-nil, receives the tracker's decision events (epoch
+	// ends, eligibility wraps). Emission is strictly after the state
+	// transition, so attaching a sink never changes a decision.
+	sink obs.EventSink
+
 	// Per-round scratch, reused across calls so the steady-state decision
 	// path allocates nothing. Slices returned from the helpers below alias
 	// these buffers and are valid only until the next tracker call.
@@ -106,12 +112,20 @@ func NewTracker(env sim.Env) *Tracker {
 		panic("core: the Section 3 policies require batched arrivals; wrap general inputs with reduce.VarBatch")
 	}
 	t := NewDynamicTracker(env.Seq.Delta())
+	if env.Obs != nil {
+		t.sink = env.Obs.Sink
+	}
 	for _, c := range env.Seq.Colors() {
 		d, _ := env.Seq.DelayBound(c)
 		t.Register(c, d)
 	}
 	return t
 }
+
+// SetSink attaches an event sink for the tracker's decision events (epoch
+// ends per Section 3.2, eligibility wraps per Section 3.1). NewTracker wires
+// this automatically from Env.Obs; dynamic trackers attach it explicitly.
+func (t *Tracker) SetSink(sink obs.EventSink) { t.sink = sink }
 
 // NewDynamicTracker returns a Tracker whose color universe is registered
 // incrementally with Register — the streaming interface uses this, since
@@ -248,6 +262,9 @@ func (t *Tracker) DropPhase(v sim.View, dropped map[model.Color]int) {
 				// immediately (Section 3.2).
 				t.super.onEpochStart(c)
 			}
+			if t.sink != nil {
+				t.sink.Emit(obs.Event{Kind: obs.EventEpochEnd, Round: k, Color: c, Resource: -1, N: t.completedEpochs})
+			}
 		}
 	}
 }
@@ -280,6 +297,9 @@ func (t *Tracker) ArrivalPhase(v sim.View, arrivals []model.Job) {
 			cs.cnt %= t.delta
 			cs.wrap(k, t.tsK+1)
 			cs.eligible = true
+			if t.sink != nil {
+				t.sink.Emit(obs.Event{Kind: obs.EventEligible, Round: k, Color: c, Resource: -1, N: t.delta})
+			}
 		}
 	}
 }

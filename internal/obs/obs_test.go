@@ -1,0 +1,227 @@
+package obs
+
+import (
+	"bytes"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestCounterGaugeBasics(t *testing.T) {
+	r := NewRegistry()
+	c, err := r.Counter("x_total")
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Inc()
+	c.Add(4)
+	if got := c.Value(); got != 5 {
+		t.Fatalf("counter = %d, want 5", got)
+	}
+	c2, err := r.Counter("x_total")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c2 != c {
+		t.Error("get-or-create returned a different counter handle")
+	}
+	g, err := r.Gauge("depth")
+	if err != nil {
+		t.Fatal(err)
+	}
+	g.Set(7)
+	g.Add(-2)
+	if got := g.Value(); got != 5 {
+		t.Fatalf("gauge = %d, want 5", got)
+	}
+	if _, err := r.Gauge("x_total"); err == nil {
+		t.Error("kind clash (counter re-registered as gauge) not rejected")
+	}
+}
+
+func TestHistogramBucketsAndValidation(t *testing.T) {
+	r := NewRegistry()
+	h, err := r.Histogram("lat", []int64{10, 100, 1000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range []int64{1, 10, 11, 100, 5000, -3} {
+		h.Observe(v)
+	}
+	if h.Count() != 6 {
+		t.Fatalf("count = %d, want 6", h.Count())
+	}
+	if h.Sum() != 1+10+11+100+5000-3 {
+		t.Fatalf("sum = %d", h.Sum())
+	}
+	snap := r.Snapshot()
+	hs, ok := snap.Histogram("lat")
+	if !ok {
+		t.Fatal("histogram missing from snapshot")
+	}
+	// Buckets: <=10 gets {1,10,-3}=3, <=100 gets {11,100}=2, <=1000 gets 0,
+	// overflow gets {5000}=1.
+	wantCounts := []int64{3, 2, 0, 1}
+	if len(hs.Buckets) != len(wantCounts) {
+		t.Fatalf("got %d buckets, want %d", len(hs.Buckets), len(wantCounts))
+	}
+	for i, w := range wantCounts {
+		if hs.Buckets[i].Count != w {
+			t.Errorf("bucket %d count = %d, want %d", i, hs.Buckets[i].Count, w)
+		}
+	}
+	if hs.Buckets[3].UpperBound != nil {
+		t.Error("overflow bucket carries an upper bound")
+	}
+	if _, err := r.Histogram("lat", []int64{1, 2}); err == nil {
+		t.Error("bound mismatch on re-registration not rejected")
+	}
+	if _, err := r.Histogram("bad", nil); err == nil {
+		t.Error("empty bounds accepted")
+	}
+	if _, err := r.Histogram("bad", []int64{5, 5}); err == nil {
+		t.Error("non-ascending bounds accepted")
+	}
+}
+
+func TestExpBuckets(t *testing.T) {
+	b := ExpBuckets(1, 2, 5)
+	want := []int64{1, 2, 4, 8, 16}
+	if len(b) != len(want) {
+		t.Fatalf("len = %d, want %d", len(b), len(want))
+	}
+	for i := range want {
+		if b[i] != want[i] {
+			t.Fatalf("bucket %d = %d, want %d", i, b[i], want[i])
+		}
+	}
+	// Saturation: huge factors must not wrap around into negative bounds.
+	big := ExpBuckets(1<<40, 1<<30, 10)
+	for i := 1; i < len(big); i++ {
+		if big[i] <= big[i-1] {
+			t.Fatalf("saturated buckets not ascending: %v", big)
+		}
+	}
+}
+
+func TestCounterVecSnapshotSorted(t *testing.T) {
+	r := NewRegistry()
+	v, err := r.CounterVec("drops_total", "color")
+	if err != nil {
+		t.Fatal(err)
+	}
+	v.With("9").Add(2)
+	v.With("1").Add(3)
+	v.With("5").Inc()
+	if v.With("9") != v.With("9") {
+		t.Error("With not stable")
+	}
+	if _, err := r.CounterVec("drops_total", "other"); err == nil {
+		t.Error("label clash not rejected")
+	}
+	snap := r.Snapshot()
+	var labels []string
+	for _, m := range snap.Metrics {
+		if m.Name == "drops_total" {
+			labels = append(labels, m.Label)
+		}
+	}
+	if strings.Join(labels, ",") != "1,5,9" {
+		t.Errorf("labels not sorted: %v", labels)
+	}
+	if got, _ := snap.Counter("drops_total"); got != 6 {
+		t.Errorf("summed labeled counter = %d, want 6", got)
+	}
+	if got, ok := snap.CounterWith("drops_total", "1"); !ok || got != 3 {
+		t.Errorf("CounterWith = %d,%v want 3,true", got, ok)
+	}
+}
+
+func TestSnapshotJSONRoundTripAndStability(t *testing.T) {
+	r := NewRegistry()
+	sm, err := NewSchedulerMetrics(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sm.Rounds.Add(10)
+	sm.Drops.With("3").Add(2)
+	sm.PendingAge.Observe(5)
+	var a, b bytes.Buffer
+	if err := r.Snapshot().WriteJSON(&a); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Snapshot().WriteJSON(&b); err != nil {
+		t.Fatal(err)
+	}
+	if a.String() != b.String() {
+		t.Error("snapshots of unchanged state differ byte-wise")
+	}
+	back, err := ReadSnapshot(&a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, _ := back.Counter(MetricRounds); got != 10 {
+		t.Errorf("round-tripped rounds = %d, want 10", got)
+	}
+	if _, err := ReadSnapshot(strings.NewReader("{nonsense")); err == nil {
+		t.Error("malformed snapshot accepted")
+	}
+}
+
+func TestSchedulerMetricsIdempotent(t *testing.T) {
+	r := NewRegistry()
+	a, err := NewSchedulerMetrics(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := NewSchedulerMetrics(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Rounds != b.Rounds || a.PhaseNs[PhaseDrop] != b.PhaseNs[PhaseDrop] {
+		t.Error("re-wiring on the same registry returned different handles")
+	}
+}
+
+func TestConcurrentHotPath(t *testing.T) {
+	r := NewRegistry()
+	c, err := r.Counter("c")
+	if err != nil {
+		t.Fatal(err)
+	}
+	h, err := r.Histogram("h", ExpBuckets(1, 2, 10))
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, err := r.CounterVec("vec", "k")
+	if err != nil {
+		t.Fatal(err)
+	}
+	const workers, per = 8, 1000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			h2 := v.With("a")
+			for i := 0; i < per; i++ {
+				c.Inc()
+				h.Observe(int64(i % 64))
+				h2.Inc()
+				if i%100 == 0 {
+					r.Snapshot() // snapshot-on-read must not race the hot path
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if c.Value() != workers*per {
+		t.Errorf("counter = %d, want %d", c.Value(), workers*per)
+	}
+	if h.Count() != workers*per {
+		t.Errorf("histogram count = %d, want %d", h.Count(), workers*per)
+	}
+	if v.With("a").Value() != workers*per {
+		t.Errorf("vec counter = %d, want %d", v.With("a").Value(), workers*per)
+	}
+}

@@ -1,0 +1,360 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// Counter is a monotone int64 counter. All methods are safe for concurrent
+// use; the hot path is a single atomic add.
+type Counter struct{ v atomic.Int64 }
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds n (negative deltas are a caller bug but are not policed on the
+// hot path; Snapshot exposes whatever was accumulated).
+func (c *Counter) Add(n int64) { c.v.Add(n) }
+
+// Value returns the current count.
+func (c *Counter) Value() int64 { return c.v.Load() }
+
+// Gauge is a settable int64 instrument (queue depth, cached colors).
+type Gauge struct{ v atomic.Int64 }
+
+// Set stores v.
+func (g *Gauge) Set(v int64) { g.v.Store(v) }
+
+// Add adjusts the gauge by d.
+func (g *Gauge) Add(d int64) { g.v.Add(d) }
+
+// Value returns the current value.
+func (g *Gauge) Value() int64 { return g.v.Load() }
+
+// Histogram is a fixed-bucket histogram over int64 observations. Bounds are
+// inclusive upper bounds in ascending order; an implicit overflow bucket
+// catches everything above the last bound. Observe is a binary search plus
+// three atomic adds — no locks, no allocation.
+type Histogram struct {
+	bounds []int64
+	counts []atomic.Int64 // len(bounds)+1, last = overflow
+	sum    atomic.Int64
+	count  atomic.Int64
+}
+
+// Observe records one observation.
+func (h *Histogram) Observe(v int64) {
+	lo, hi := 0, len(h.bounds)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if v <= h.bounds[mid] {
+			hi = mid
+		} else {
+			lo = mid + 1
+		}
+	}
+	h.counts[lo].Add(1)
+	h.sum.Add(v)
+	h.count.Add(1)
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() int64 { return h.count.Load() }
+
+// Sum returns the sum of all observations.
+func (h *Histogram) Sum() int64 { return h.sum.Load() }
+
+// ExpBuckets returns n ascending bucket bounds starting at start and growing
+// by the integer factor (>= 2) — the standard shape for latencies and ages.
+func ExpBuckets(start, factor int64, n int) []int64 {
+	out := make([]int64, 0, n)
+	b := start
+	for i := 0; i < n; i++ {
+		out = append(out, b)
+		// Saturate instead of overflowing so deep bucket lists stay sorted.
+		if b > (1<<62)/factor {
+			break
+		}
+		b *= factor
+	}
+	return out
+}
+
+// metric is the registry's internal view of one instrument.
+type metric struct {
+	kind    string // "counter" | "gauge" | "histogram"
+	counter *Counter
+	gauge   *Gauge
+	hist    *Histogram
+	vec     *CounterVec
+}
+
+// Registry holds named metrics. Registration (get-or-create) takes a lock;
+// the returned handles are lock-free, so instrumented code registers once at
+// setup and touches only atomics per round.
+type Registry struct {
+	mu      sync.Mutex
+	metrics map[string]*metric
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{metrics: make(map[string]*metric)}
+}
+
+// Counter returns the counter with the given name, creating it on first use.
+// A name already registered as a different kind is an error.
+func (r *Registry) Counter(name string) (*Counter, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if m, ok := r.metrics[name]; ok {
+		if m.kind != "counter" {
+			return nil, fmt.Errorf("obs: metric %q already registered as %s", name, m.kind)
+		}
+		return m.counter, nil
+	}
+	c := &Counter{}
+	r.metrics[name] = &metric{kind: "counter", counter: c}
+	return c, nil
+}
+
+// Gauge returns the gauge with the given name, creating it on first use.
+func (r *Registry) Gauge(name string) (*Gauge, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if m, ok := r.metrics[name]; ok {
+		if m.kind != "gauge" {
+			return nil, fmt.Errorf("obs: metric %q already registered as %s", name, m.kind)
+		}
+		return m.gauge, nil
+	}
+	g := &Gauge{}
+	r.metrics[name] = &metric{kind: "gauge", gauge: g}
+	return g, nil
+}
+
+// Histogram returns the histogram with the given name, creating it with the
+// given bucket bounds on first use. Bounds must be ascending and non-empty;
+// re-registering with different bounds is an error.
+func (r *Registry) Histogram(name string, bounds []int64) (*Histogram, error) {
+	if len(bounds) == 0 {
+		return nil, fmt.Errorf("obs: histogram %q needs at least one bucket bound", name)
+	}
+	for i := 1; i < len(bounds); i++ {
+		if bounds[i] <= bounds[i-1] {
+			return nil, fmt.Errorf("obs: histogram %q bounds not ascending at index %d", name, i)
+		}
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if m, ok := r.metrics[name]; ok {
+		if m.kind != "histogram" {
+			return nil, fmt.Errorf("obs: metric %q already registered as %s", name, m.kind)
+		}
+		if !equalBounds(m.hist.bounds, bounds) {
+			return nil, fmt.Errorf("obs: histogram %q re-registered with different bounds", name)
+		}
+		return m.hist, nil
+	}
+	h := &Histogram{bounds: append([]int64(nil), bounds...)}
+	h.counts = make([]atomic.Int64, len(bounds)+1)
+	r.metrics[name] = &metric{kind: "histogram", hist: h}
+	return h, nil
+}
+
+func equalBounds(a, b []int64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// CounterVec is a family of counters distinguished by one label (for
+// example sched_drops_total by color). With is get-or-create; callers on a
+// hot path cache the returned handle per label value.
+type CounterVec struct {
+	name  string
+	label string
+
+	mu sync.Mutex
+	by map[string]*Counter
+}
+
+// CounterVec returns the labeled counter family with the given name and
+// label key, creating it on first use.
+func (r *Registry) CounterVec(name, label string) (*CounterVec, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if m, ok := r.metrics[name]; ok {
+		if m.kind != "countervec" {
+			return nil, fmt.Errorf("obs: metric %q already registered as %s", name, m.kind)
+		}
+		if m.vec.label != label {
+			return nil, fmt.Errorf("obs: counter family %q re-registered with label %q (was %q)", name, label, m.vec.label)
+		}
+		return m.vec, nil
+	}
+	v := &CounterVec{name: name, label: label, by: make(map[string]*Counter)}
+	r.metrics[name] = &metric{kind: "countervec", vec: v}
+	return v, nil
+}
+
+// With returns the counter for the given label value, creating it on first
+// use.
+func (v *CounterVec) With(value string) *Counter {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	c, ok := v.by[value]
+	if !ok {
+		c = &Counter{}
+		v.by[value] = c
+	}
+	return c
+}
+
+// --- snapshots ---
+
+// BucketSnapshot is one histogram bucket: the count of observations at or
+// below the inclusive upper bound (per bucket, not cumulative). The overflow
+// bucket is encoded with "le" omitted.
+type BucketSnapshot struct {
+	UpperBound *int64 `json:"le,omitempty"`
+	Count      int64  `json:"count"`
+}
+
+// MetricSnapshot is one metric's state at snapshot time.
+type MetricSnapshot struct {
+	Name  string `json:"name"`
+	Kind  string `json:"kind"`
+	Label string `json:"label,omitempty"` // countervec: the label value
+	Value int64  `json:"value,omitempty"` // counter/gauge
+
+	Count   int64            `json:"count,omitempty"` // histogram observations
+	Sum     int64            `json:"sum,omitempty"`
+	Buckets []BucketSnapshot `json:"buckets,omitempty"`
+}
+
+// Snapshot is a point-in-time copy of every registered metric, sorted by
+// name (then label value) so snapshots of equal state are byte-identical.
+// Individual reads are atomic; the snapshot as a whole is not a cross-metric
+// transaction — fine for the simulator, which snapshots between rounds or at
+// end of run.
+type Snapshot struct {
+	Metrics []MetricSnapshot `json:"metrics"`
+}
+
+// Snapshot captures the current state of every metric.
+func (r *Registry) Snapshot() *Snapshot {
+	r.mu.Lock()
+	names := make([]string, 0, len(r.metrics))
+	for name := range r.metrics {
+		names = append(names, name)
+	}
+	byName := make(map[string]*metric, len(r.metrics))
+	for name, m := range r.metrics {
+		byName[name] = m
+	}
+	r.mu.Unlock()
+	sort.Strings(names)
+
+	snap := &Snapshot{}
+	for _, name := range names {
+		m := byName[name]
+		switch m.kind {
+		case "counter":
+			snap.Metrics = append(snap.Metrics, MetricSnapshot{Name: name, Kind: "counter", Value: m.counter.Value()})
+		case "gauge":
+			snap.Metrics = append(snap.Metrics, MetricSnapshot{Name: name, Kind: "gauge", Value: m.gauge.Value()})
+		case "histogram":
+			h := m.hist
+			ms := MetricSnapshot{Name: name, Kind: "histogram", Count: h.Count(), Sum: h.Sum()}
+			for i := range h.counts {
+				b := BucketSnapshot{Count: h.counts[i].Load()}
+				if i < len(h.bounds) {
+					ub := h.bounds[i]
+					b.UpperBound = &ub
+				}
+				ms.Buckets = append(ms.Buckets, b)
+			}
+			snap.Metrics = append(snap.Metrics, ms)
+		case "countervec":
+			v := m.vec
+			v.mu.Lock()
+			values := make([]string, 0, len(v.by))
+			for val := range v.by {
+				values = append(values, val)
+			}
+			handles := make(map[string]*Counter, len(v.by))
+			for val, c := range v.by {
+				handles[val] = c
+			}
+			v.mu.Unlock()
+			sort.Strings(values)
+			for _, val := range values {
+				snap.Metrics = append(snap.Metrics, MetricSnapshot{
+					Name: name, Kind: "counter", Label: val, Value: handles[val].Value(),
+				})
+			}
+		}
+	}
+	return snap
+}
+
+// Counter returns the value of the named counter or gauge in the snapshot
+// (for labeled counters, the sum over all label values).
+func (s *Snapshot) Counter(name string) (int64, bool) {
+	total, found := int64(0), false
+	for _, m := range s.Metrics {
+		if m.Name == name && (m.Kind == "counter" || m.Kind == "gauge") {
+			total += m.Value
+			found = true
+		}
+	}
+	return total, found
+}
+
+// CounterWith returns the value of one labeled counter.
+func (s *Snapshot) CounterWith(name, label string) (int64, bool) {
+	for _, m := range s.Metrics {
+		if m.Name == name && m.Label == label {
+			return m.Value, true
+		}
+	}
+	return 0, false
+}
+
+// Histogram returns the named histogram's snapshot.
+func (s *Snapshot) Histogram(name string) (MetricSnapshot, bool) {
+	for _, m := range s.Metrics {
+		if m.Name == name && m.Kind == "histogram" {
+			return m, true
+		}
+	}
+	return MetricSnapshot{}, false
+}
+
+// WriteJSON encodes the snapshot as indented JSON.
+func (s *Snapshot) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(s)
+}
+
+// ReadSnapshot decodes a snapshot written with WriteJSON.
+func ReadSnapshot(r io.Reader) (*Snapshot, error) {
+	var s Snapshot
+	dec := json.NewDecoder(r)
+	if err := dec.Decode(&s); err != nil {
+		return nil, fmt.Errorf("obs: decoding snapshot: %w", err)
+	}
+	return &s, nil
+}

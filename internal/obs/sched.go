@@ -1,0 +1,131 @@
+package obs
+
+import "strconv"
+
+// Phase indexes the four phases of a simulation round (paper, Section 2).
+type Phase int
+
+// The four round phases, in execution order. PhaseReconfig and PhaseExecute
+// repeat once per mini-round under double speed.
+const (
+	PhaseDrop Phase = iota
+	PhaseArrival
+	PhaseReconfig
+	PhaseExecute
+	NumPhases
+)
+
+// String returns the phase's span and metric name.
+func (p Phase) String() string {
+	switch p {
+	case PhaseDrop:
+		return "drop"
+	case PhaseArrival:
+		return "arrival"
+	case PhaseReconfig:
+		return "reconfig"
+	case PhaseExecute:
+		return "execute"
+	default:
+		return "phase" + strconv.Itoa(int(p))
+	}
+}
+
+// Canonical scheduler metric names. The set mirrors the paper's per-round
+// cost accounting: reconfigurations at cost Δ each, drops at unit cost, and
+// the queue/latency quantities the delay-factor literature tracks.
+const (
+	// MetricRounds counts simulated rounds.
+	MetricRounds = "sched_rounds_total"
+	// MetricReconfigs counts resource recolorings; MetricReconfigCost is the
+	// accumulated reconfiguration cost (Δ per recoloring).
+	MetricReconfigs    = "sched_reconfigs_total"
+	MetricReconfigCost = "sched_reconfig_cost_total"
+	// MetricDrops counts dropped jobs per color (label "color");
+	// MetricDropped is the color-blind total and MetricDropCost the
+	// accumulated drop cost (unit per drop, so it equals MetricDropped).
+	MetricDrops    = "sched_drops_total"
+	MetricDropped  = "sched_dropped_total"
+	MetricDropCost = "sched_drop_cost_total"
+	// MetricExecuted counts executed jobs.
+	MetricExecuted = "sched_executed_total"
+	// MetricQueueDepth gauges the total pending jobs across all colors.
+	MetricQueueDepth = "sched_queue_depth"
+	// MetricPendingAge is the histogram of job age at execution, in rounds
+	// since arrival (the per-job latency the delay bound caps).
+	MetricPendingAge = "sched_pending_age_rounds"
+	// MetricPhaseNsPrefix prefixes the four per-phase round-latency
+	// histograms: sched_phase_ns_drop, ..., sched_phase_ns_execute.
+	MetricPhaseNsPrefix = "sched_phase_ns_"
+	// MetricCrashes and MetricRepairs count fault-plan transitions.
+	MetricCrashes = "sched_crashes_total"
+	MetricRepairs = "sched_repairs_total"
+)
+
+// SchedulerMetrics is the pre-wired handle set the engine (and any other
+// driver of the scheduling stack) instruments against. All handles live on
+// one Registry; the struct exists so the hot path never does a name lookup.
+type SchedulerMetrics struct {
+	Rounds       *Counter
+	Reconfigs    *Counter
+	ReconfigCost *Counter
+	Drops        *CounterVec // by color
+	Dropped      *Counter
+	DropCost     *Counter
+	Executed     *Counter
+	QueueDepth   *Gauge
+	PendingAge   *Histogram
+	PhaseNs      [NumPhases]*Histogram
+	Crashes      *Counter
+	Repairs      *Counter
+}
+
+// NewSchedulerMetrics registers the scheduler metric set on the registry and
+// returns the handles. Registering twice on the same registry returns the
+// same handles (get-or-create semantics throughout).
+func NewSchedulerMetrics(r *Registry) (*SchedulerMetrics, error) {
+	sm := &SchedulerMetrics{}
+	var err error
+	if sm.Rounds, err = r.Counter(MetricRounds); err != nil {
+		return nil, err
+	}
+	if sm.Reconfigs, err = r.Counter(MetricReconfigs); err != nil {
+		return nil, err
+	}
+	if sm.ReconfigCost, err = r.Counter(MetricReconfigCost); err != nil {
+		return nil, err
+	}
+	if sm.Drops, err = r.CounterVec(MetricDrops, "color"); err != nil {
+		return nil, err
+	}
+	if sm.Dropped, err = r.Counter(MetricDropped); err != nil {
+		return nil, err
+	}
+	if sm.DropCost, err = r.Counter(MetricDropCost); err != nil {
+		return nil, err
+	}
+	if sm.Executed, err = r.Counter(MetricExecuted); err != nil {
+		return nil, err
+	}
+	if sm.QueueDepth, err = r.Gauge(MetricQueueDepth); err != nil {
+		return nil, err
+	}
+	// Ages are bounded by the largest delay bound; powers of two to 2^16
+	// rounds cover every workload in the repo with an overflow bucket above.
+	if sm.PendingAge, err = r.Histogram(MetricPendingAge, ExpBuckets(1, 2, 17)); err != nil {
+		return nil, err
+	}
+	// Phase latencies: 256 ns to ~8.6 s in powers of four.
+	for p := PhaseDrop; p < NumPhases; p++ {
+		if sm.PhaseNs[p], err = r.Histogram(MetricPhaseNsPrefix+p.String(), ExpBuckets(256, 4, 13)); err != nil {
+			return nil, err
+		}
+	}
+	if sm.Crashes, err = r.Counter(MetricCrashes); err != nil {
+		return nil, err
+	}
+	if sm.Repairs, err = r.Counter(MetricRepairs); err != nil {
+		return nil, err
+	}
+	return sm, nil
+}

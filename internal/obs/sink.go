@@ -1,0 +1,142 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"sync"
+	"sync/atomic"
+
+	"rrsched/internal/model"
+)
+
+// EventKind names a structured decision event.
+type EventKind string
+
+// Engine events (emitted by internal/sim) and tracker events (emitted by the
+// core policy state machine).
+const (
+	// EventDrop: N jobs of Color dropped at their deadline in Round.
+	EventDrop EventKind = "drop"
+	// EventArrival: N jobs arrived in Round.
+	EventArrival EventKind = "arrival"
+	// EventReconfig: Resource recolored to Color in Round/Mini at cost N (Δ).
+	EventReconfig EventKind = "reconfig"
+	// EventExec: Resource executed job N (a job ID) of Color in Round/Mini.
+	EventExec EventKind = "exec"
+	// EventCrash / EventRepair: Resource went down / came back in Round.
+	EventCrash  EventKind = "crash"
+	EventRepair EventKind = "repair"
+	// EventEpochEnd: Color's epoch ended in Round (it turned ineligible
+	// uncached at a delay-bound boundary; Section 3.2 accounting).
+	EventEpochEnd EventKind = "epoch_end"
+	// EventEligible: Color's counter wrapped in Round, making it eligible;
+	// N is the wrap count consumed (Δ).
+	EventEligible EventKind = "eligible"
+)
+
+// Event is one structured decision event. Resource is -1 when the event is
+// not about a specific resource; Color is model.Black when colorless; N
+// carries the event's magnitude (a count, a cost, or a job ID — see the kind
+// constants).
+type Event struct {
+	Kind     EventKind   `json:"kind"`
+	Round    int64       `json:"round"`
+	Mini     int         `json:"mini"`
+	Color    model.Color `json:"color"`
+	Resource int         `json:"resource"`
+	N        int64       `json:"n"`
+}
+
+// EventSink consumes decision events. Emit must be cheap and must not block
+// the caller: the engine invokes it inside the round loop. Implementations
+// needing I/O should buffer. A nil sink disables event streaming entirely.
+type EventSink interface {
+	Emit(Event)
+}
+
+// CollectorSink retains the first Cap events in memory (0 means unbounded)
+// and counts the rest — the assertion-friendly sink for tests and tools.
+type CollectorSink struct {
+	// Cap bounds the retained events when > 0.
+	Cap int
+
+	mu      sync.Mutex
+	events  []Event
+	dropped int64
+}
+
+// Emit implements EventSink.
+func (s *CollectorSink) Emit(e Event) {
+	s.mu.Lock()
+	if s.Cap > 0 && len(s.events) >= s.Cap {
+		s.dropped++
+	} else {
+		s.events = append(s.events, e)
+	}
+	s.mu.Unlock()
+}
+
+// Events returns a copy of the retained events in emission order.
+func (s *CollectorSink) Events() []Event {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return append([]Event(nil), s.events...)
+}
+
+// Dropped returns how many events exceeded Cap.
+func (s *CollectorSink) Dropped() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.dropped
+}
+
+// CountingSink counts events and discards them — the benchmark sink, so the
+// instrumented-vs-bare comparison measures emission overhead, not storage.
+type CountingSink struct{ n atomic.Int64 }
+
+// Emit implements EventSink.
+func (s *CountingSink) Emit(Event) { s.n.Add(1) }
+
+// Count returns the number of events emitted.
+func (s *CountingSink) Count() int64 { return s.n.Load() }
+
+// WriterSink streams events as newline-delimited JSON to an io.Writer. The
+// first encoding error is retained (Emit cannot fail) and exposed via Err;
+// subsequent events are dropped after an error. Not safe for concurrent use
+// with the same writer elsewhere; guard with the internal lock only.
+type WriterSink struct {
+	mu  sync.Mutex
+	enc *json.Encoder
+	err error
+}
+
+// NewWriterSink returns a sink writing NDJSON events to w.
+func NewWriterSink(w io.Writer) *WriterSink {
+	return &WriterSink{enc: json.NewEncoder(w)}
+}
+
+// Emit implements EventSink.
+func (s *WriterSink) Emit(e Event) {
+	s.mu.Lock()
+	if s.err == nil {
+		s.err = s.enc.Encode(e)
+	}
+	s.mu.Unlock()
+}
+
+// Err returns the first encoding error, if any.
+func (s *WriterSink) Err() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.err
+}
+
+// MultiSink fans events out to several sinks in order.
+type MultiSink []EventSink
+
+// Emit implements EventSink.
+func (m MultiSink) Emit(e Event) {
+	for _, s := range m {
+		s.Emit(e)
+	}
+}

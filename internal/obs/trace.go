@@ -1,0 +1,110 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sync"
+)
+
+// Span is one timed phase of one round. Start is nanoseconds since the
+// process-local epoch (see Now); Dur is the span's duration. Spans exist for
+// latency attribution — which phase a slow round spent its time in — and are
+// pure outputs: nothing reads them back into scheduling.
+type Span struct {
+	Name  string `json:"name"`
+	Round int64  `json:"round"`
+	Mini  int    `json:"mini"`
+	Start int64  `json:"start_ns"`
+	Dur   int64  `json:"dur_ns"`
+}
+
+// Tracer records spans into a bounded ring buffer: the most recent Cap spans
+// survive, older ones are evicted and counted. The zero capacity means
+// DefaultTracerCap. Record is safe for concurrent use.
+type Tracer struct {
+	mu      sync.Mutex
+	spans   []Span
+	head    int // index of the oldest span
+	count   int
+	evicted int64
+}
+
+// DefaultTracerCap bounds a Tracer constructed with capacity <= 0: enough
+// for the last ~4k rounds of four-phase tracing without unbounded growth.
+const DefaultTracerCap = 16384
+
+// NewTracer returns a tracer retaining at most capacity spans (<= 0 means
+// DefaultTracerCap).
+func NewTracer(capacity int) *Tracer {
+	if capacity <= 0 {
+		capacity = DefaultTracerCap
+	}
+	return &Tracer{spans: make([]Span, capacity)}
+}
+
+// Record appends a finished span that started at startNs (a Now() value),
+// computing its duration from the current clock.
+func (t *Tracer) Record(name string, round int64, mini int, startNs int64) {
+	t.RecordSpan(Span{Name: name, Round: round, Mini: mini, Start: startNs, Dur: Now() - startNs})
+}
+
+// RecordSpan appends a fully formed span.
+func (t *Tracer) RecordSpan(s Span) {
+	t.mu.Lock()
+	if t.count == len(t.spans) {
+		t.spans[t.head] = s
+		t.head = (t.head + 1) % len(t.spans)
+		t.evicted++
+	} else {
+		t.spans[(t.head+t.count)%len(t.spans)] = s
+		t.count++
+	}
+	t.mu.Unlock()
+}
+
+// Spans returns the retained spans, oldest first.
+func (t *Tracer) Spans() []Span {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make([]Span, 0, t.count)
+	for i := 0; i < t.count; i++ {
+		out = append(out, t.spans[(t.head+i)%len(t.spans)])
+	}
+	return out
+}
+
+// Evicted returns how many spans were displaced by the ring bound.
+func (t *Tracer) Evicted() int64 {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.evicted
+}
+
+// traceDump is the JSON image of a tracer.
+type traceDump struct {
+	Spans   []Span `json:"spans"`
+	Evicted int64  `json:"evicted"`
+}
+
+// WriteJSON dumps the retained spans (oldest first) plus the eviction count
+// as indented JSON.
+func (t *Tracer) WriteJSON(w io.Writer) error {
+	d := traceDump{Spans: t.Spans(), Evicted: t.Evicted()}
+	if d.Spans == nil {
+		d.Spans = []Span{}
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(d)
+}
+
+// ReadTrace decodes a dump written with WriteJSON and returns the spans and
+// eviction count.
+func ReadTrace(r io.Reader) ([]Span, int64, error) {
+	var d traceDump
+	if err := json.NewDecoder(r).Decode(&d); err != nil {
+		return nil, 0, fmt.Errorf("obs: decoding trace: %w", err)
+	}
+	return d.Spans, d.Evicted, nil
+}

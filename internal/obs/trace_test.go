@@ -1,0 +1,145 @@
+package obs
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"rrsched/internal/model"
+)
+
+func TestTracerRingBounds(t *testing.T) {
+	tr := NewTracer(4)
+	for i := 0; i < 10; i++ {
+		tr.RecordSpan(Span{Name: "drop", Round: int64(i), Start: int64(i), Dur: 1})
+	}
+	spans := tr.Spans()
+	if len(spans) != 4 {
+		t.Fatalf("retained %d spans, want 4", len(spans))
+	}
+	for i, s := range spans {
+		if s.Round != int64(6+i) {
+			t.Errorf("span %d round = %d, want %d (oldest-first order)", i, s.Round, 6+i)
+		}
+	}
+	if tr.Evicted() != 6 {
+		t.Errorf("evicted = %d, want 6", tr.Evicted())
+	}
+}
+
+func TestTracerRecordMeasuresDuration(t *testing.T) {
+	tr := NewTracer(8)
+	start := Now()
+	tr.Record("execute", 3, 1, start)
+	spans := tr.Spans()
+	if len(spans) != 1 {
+		t.Fatalf("got %d spans", len(spans))
+	}
+	s := spans[0]
+	if s.Name != "execute" || s.Round != 3 || s.Mini != 1 || s.Start != start {
+		t.Errorf("span fields wrong: %+v", s)
+	}
+	if s.Dur < 0 {
+		t.Errorf("negative duration %d", s.Dur)
+	}
+}
+
+func TestTracerJSONRoundTrip(t *testing.T) {
+	tr := NewTracer(2)
+	tr.RecordSpan(Span{Name: "a", Round: 1, Dur: 5})
+	tr.RecordSpan(Span{Name: "b", Round: 2, Dur: 7})
+	tr.RecordSpan(Span{Name: "c", Round: 3, Dur: 9})
+	var buf bytes.Buffer
+	if err := tr.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	spans, evicted, err := ReadTrace(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(spans) != 2 || evicted != 1 {
+		t.Fatalf("round trip: %d spans, %d evicted; want 2, 1", len(spans), evicted)
+	}
+	if spans[0].Name != "b" || spans[1].Name != "c" {
+		t.Errorf("wrong spans survived: %+v", spans)
+	}
+	if _, _, err := ReadTrace(strings.NewReader("][")); err == nil {
+		t.Error("malformed trace accepted")
+	}
+	// An empty tracer must still dump valid JSON with an empty span list.
+	buf.Reset()
+	if err := NewTracer(1).WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), `"spans": []`) {
+		t.Errorf("empty dump lacks empty span list: %s", buf.String())
+	}
+}
+
+func TestSinks(t *testing.T) {
+	ev := func(i int64) Event {
+		return Event{Kind: EventExec, Round: i, Color: model.Color(2), Resource: 1, N: i}
+	}
+	t.Run("collector", func(t *testing.T) {
+		s := &CollectorSink{Cap: 3}
+		for i := int64(0); i < 5; i++ {
+			s.Emit(ev(i))
+		}
+		if got := s.Events(); len(got) != 3 || got[0].Round != 0 {
+			t.Errorf("collector kept %d events (first %v), want first 3", len(got), got)
+		}
+		if s.Dropped() != 2 {
+			t.Errorf("dropped = %d, want 2", s.Dropped())
+		}
+	})
+	t.Run("counting", func(t *testing.T) {
+		s := &CountingSink{}
+		for i := int64(0); i < 7; i++ {
+			s.Emit(ev(i))
+		}
+		if s.Count() != 7 {
+			t.Errorf("count = %d, want 7", s.Count())
+		}
+	})
+	t.Run("writer", func(t *testing.T) {
+		var buf bytes.Buffer
+		s := NewWriterSink(&buf)
+		s.Emit(ev(0))
+		s.Emit(ev(1))
+		if s.Err() != nil {
+			t.Fatal(s.Err())
+		}
+		lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+		if len(lines) != 2 {
+			t.Fatalf("wrote %d NDJSON lines, want 2", len(lines))
+		}
+		if !strings.Contains(lines[1], `"kind":"exec"`) {
+			t.Errorf("unexpected line: %s", lines[1])
+		}
+	})
+	t.Run("multi", func(t *testing.T) {
+		a, b := &CountingSink{}, &CountingSink{}
+		m := MultiSink{a, b}
+		m.Emit(ev(0))
+		if a.Count() != 1 || b.Count() != 1 {
+			t.Error("multi sink did not fan out")
+		}
+	})
+}
+
+func TestObserverConstructor(t *testing.T) {
+	o, err := NewObserver()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if o.Metrics == nil || o.Sched == nil {
+		t.Fatal("observer missing registry or scheduler metrics")
+	}
+	if o.Tracer != nil || o.Sink != nil {
+		t.Error("observer has tracer/sink attached by default")
+	}
+	o.Sched.Rounds.Inc()
+	if got, _ := o.Metrics.Snapshot().Counter(MetricRounds); got != 1 {
+		t.Errorf("rounds = %d, want 1", got)
+	}
+}

@@ -1,0 +1,56 @@
+package perf
+
+// Fuzz target for the benchmark-report reader: ReadReport gates CI runs on
+// files that cross machine and branch boundaries, so it must reject
+// arbitrary bytes with an error — never a panic — and every report it
+// accepts must survive a write/read round trip and a Compare call.
+
+import (
+	"bytes"
+	"os"
+	"strings"
+	"testing"
+)
+
+func FuzzReadReport(f *testing.F) {
+	// Seed with the committed baseline report when present (tests run from
+	// the package directory), plus a minimal valid report and mutations that
+	// target the validation branches.
+	if data, err := os.ReadFile("../../BENCH_sim.json"); err == nil {
+		f.Add(data)
+	}
+	valid := `{"schema":"` + Schema + `","machine":{"go_version":"go1.22","goos":"linux","goarch":"amd64","gomaxprocs":4,"num_cpu":4},"results":[{"name":"engine/n8","iterations":10,"rounds_per_op":257,"ns_per_round":100,"allocs_per_round":0,"bytes_per_round":0}]}`
+	f.Add([]byte(valid))
+	f.Add([]byte(strings.Replace(valid, Schema, "other/v9", 1)))
+	f.Add([]byte(strings.Replace(valid, `"rounds_per_op":257`, `"rounds_per_op":0`, 1)))
+	f.Add([]byte(strings.Replace(valid, `"engine/n8"`, `""`, 1)))
+	f.Add([]byte(`{"schema":`))
+	f.Add([]byte{})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		r, err := ReadReport(bytes.NewReader(data))
+		if err != nil {
+			return // rejected gracefully
+		}
+		if r.Schema != Schema {
+			t.Fatalf("accepted report with schema %q", r.Schema)
+		}
+		for _, res := range r.Results {
+			if res.Name == "" || res.RoundsPerOp <= 0 {
+				t.Fatalf("accepted invalid result %+v", res)
+			}
+		}
+		// Accepted reports must round-trip and be comparable to themselves.
+		var buf bytes.Buffer
+		if err := r.Write(&buf); err != nil {
+			t.Fatalf("rewriting accepted report: %v", err)
+		}
+		rt, err := ReadReport(&buf)
+		if err != nil {
+			t.Fatalf("re-reading rewritten report: %v", err)
+		}
+		if regs := Compare(r, rt, 0.01); len(regs) != 0 {
+			t.Fatalf("report regressed against itself: %v", regs)
+		}
+	})
+}

@@ -100,7 +100,7 @@ func TestSelect(t *testing.T) {
 		t.Fatalf("empty pattern: %d scenarios, err %v", len(all), err)
 	}
 	engines, err := Select("^engine/")
-	if err != nil || len(engines) != 3 {
+	if err != nil || len(engines) != 4 {
 		t.Fatalf("engine pattern matched %d, err %v", len(engines), err)
 	}
 	if _, err := Select("no-such-scenario"); err == nil {

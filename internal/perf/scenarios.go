@@ -6,6 +6,7 @@ import (
 
 	"rrsched/internal/core"
 	"rrsched/internal/model"
+	"rrsched/internal/obs"
 	"rrsched/internal/queue"
 	"rrsched/internal/sim"
 	"rrsched/internal/stream"
@@ -35,6 +36,7 @@ func Scenarios() []Scenario {
 		engineScenario("engine/n8", 8, 6, 1, 4),
 		engineScenario("engine/n64", 64, 48, 1, 6),
 		engineScenario("engine/n512", 512, 256, 1, 6),
+		obsEngineScenario("engine/n64/obs", 64, 48, 1, 6),
 		policyScenario("policy/dlru-edf/n8", 8, 6, 1, 4),
 		policyScenario("policy/dlru-edf/n64", 64, 48, 1, 6),
 		policyScenario("policy/dlru-edf/n512", 512, 256, 1, 6),
@@ -154,6 +156,45 @@ func engineScenario(name string, n, colors int, minExp, maxExp uint) Scenario {
 	s := runScenario(name, "engine round loop (drop/arrival/reconfigure/execute) under a near-free rotating policy",
 		n, colors, minExp, maxExp, func() sim.Policy { return &cyclePolicy{} })
 	s.Rounds = scenarioHorizon(colors, minExp, maxExp)
+	return s
+}
+
+// obsEngineScenario is the instrumented half of the bare-vs-instrumented
+// pair: the same engine round loop as engineScenario, with a full Observer
+// (scheduler metrics, span tracer, counting event sink) attached. Its figure
+// against the bare twin is the all-in observability overhead; the bare
+// scenarios' regression gate guards the nil-observer fast path.
+func obsEngineScenario(name string, n, colors int, minExp, maxExp uint) Scenario {
+	s := Scenario{
+		Name:   name,
+		Doc:    "engine round loop with the full observability layer attached (metrics + tracer + event sink)",
+		Rounds: scenarioHorizon(colors, minExp, maxExp),
+		Setup: func() (func() error, error) {
+			seq, err := benchWorkload(colors, minExp, maxExp)
+			if err != nil {
+				return nil, err
+			}
+			o, err := obs.NewObserver()
+			if err != nil {
+				return nil, err
+			}
+			o.Tracer = obs.NewTracer(obs.DefaultTracerCap)
+			o.Sink = &obs.CountingSink{}
+			env := sim.Env{Seq: seq, Resources: n, Replication: 2, Speed: 1, Obs: o}
+			p := &cyclePolicy{}
+			return func() error {
+				res, err := sim.Run(env, p)
+				if err != nil {
+					return err
+				}
+				if res.Executed+res.Dropped != seq.NumJobs() {
+					return fmt.Errorf("job conservation violated: %d executed + %d dropped != %d jobs",
+						res.Executed, res.Dropped, seq.NumJobs())
+				}
+				return nil
+			}, nil
+		},
+	}
 	return s
 }
 

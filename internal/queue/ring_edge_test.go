@@ -1,0 +1,128 @@
+package queue
+
+import "testing"
+
+// TestRingEdgeCases is the table-driven edge matrix for the FIFO ring: empty
+// pops, wraparound exactly at the initial capacity, growth while the window
+// is wrapped, and capacity retention across Clear.
+func TestRingEdgeCases(t *testing.T) {
+	// The zero ring grows to this capacity on first push (see grow).
+	const initialCap = 8
+
+	cases := []struct {
+		name string
+		run  func(t *testing.T, r *Ring[int])
+	}{
+		{"pop empty panics", func(t *testing.T, r *Ring[int]) {
+			defer func() {
+				if recover() == nil {
+					t.Error("Pop on empty ring did not panic")
+				}
+			}()
+			r.Pop()
+		}},
+		{"peek empty panics", func(t *testing.T, r *Ring[int]) {
+			defer func() {
+				if recover() == nil {
+					t.Error("Peek on empty ring did not panic")
+				}
+			}()
+			r.Peek()
+		}},
+		{"pop after drain panics", func(t *testing.T, r *Ring[int]) {
+			r.Push(1)
+			r.Drain()
+			defer func() {
+				if recover() == nil {
+					t.Error("Pop after Drain did not panic")
+				}
+			}()
+			r.Pop()
+		}},
+		{"wraparound at capacity", func(t *testing.T, r *Ring[int]) {
+			// Advance head so the next fill wraps: push/pop half a window,
+			// then fill to exactly the initial capacity without growing.
+			for i := 0; i < initialCap/2; i++ {
+				r.Push(-1)
+			}
+			for i := 0; i < initialCap/2; i++ {
+				r.Pop()
+			}
+			for i := 0; i < initialCap; i++ {
+				r.Push(i)
+			}
+			if r.Len() != initialCap {
+				t.Fatalf("len = %d, want %d", r.Len(), initialCap)
+			}
+			for i := 0; i < initialCap; i++ {
+				if got := r.Pop(); got != i {
+					t.Fatalf("wrapped pop %d = %d, want %d", i, got, i)
+				}
+			}
+		}},
+		{"growth while wrapped", func(t *testing.T, r *Ring[int]) {
+			// Leave the head mid-buffer, fill past capacity so grow() must
+			// linearize a wrapped window.
+			for i := 0; i < 5; i++ {
+				r.Push(-1)
+			}
+			for i := 0; i < 5; i++ {
+				r.Pop()
+			}
+			const n = 3 * initialCap
+			for i := 0; i < n; i++ {
+				r.Push(i)
+			}
+			if got := r.Items(); len(got) != n {
+				t.Fatalf("items = %d, want %d", len(got), n)
+			}
+			for i := 0; i < n; i++ {
+				if got := r.Pop(); got != i {
+					t.Fatalf("pop %d = %d after growth, want %d", i, got, i)
+				}
+			}
+		}},
+		{"clear retains capacity and resets order", func(t *testing.T, r *Ring[int]) {
+			for i := 0; i < initialCap; i++ {
+				r.Push(i)
+			}
+			r.Clear()
+			if r.Len() != 0 {
+				t.Fatalf("len after Clear = %d", r.Len())
+			}
+			r.Push(42)
+			if got := r.Peek(); got != 42 {
+				t.Fatalf("peek after Clear = %d, want 42", got)
+			}
+		}},
+		{"items is non-destructive on wrapped window", func(t *testing.T, r *Ring[int]) {
+			for i := 0; i < 6; i++ {
+				r.Push(-1)
+			}
+			for i := 0; i < 6; i++ {
+				r.Pop()
+			}
+			for i := 0; i < 4; i++ {
+				r.Push(i)
+			}
+			a, b := r.Items(), r.Items()
+			if len(a) != 4 || len(b) != 4 {
+				t.Fatalf("items lengths %d, %d; want 4", len(a), len(b))
+			}
+			for i := range a {
+				if a[i] != i || b[i] != i {
+					t.Fatalf("items changed between calls: %v vs %v", a, b)
+				}
+			}
+			if r.Len() != 4 {
+				t.Fatalf("Items drained the ring: len %d", r.Len())
+			}
+		}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			var r Ring[int]
+			tc.run(t, &r)
+		})
+	}
+}

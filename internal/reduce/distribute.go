@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"rrsched/internal/model"
+	"rrsched/internal/obs"
 	"rrsched/internal/sim"
 )
 
@@ -112,11 +113,19 @@ func ProjectReconfigs(recs []model.Reconfigure, mapColor func(model.Color) model
 // executions are re-derived greedily (interchangeable within a color). The
 // outer cost never exceeds the inner cost (Lemma 4.2).
 func RunDistribute(seq *model.Sequence, n int, policy sim.Policy) (*Result, error) {
+	return RunDistributeObserved(seq, n, policy, nil)
+}
+
+// RunDistributeObserved is RunDistribute with an observer attached to the
+// inner simulation (the only part of the reduction that runs the engine).
+// The outer replay and audit are pure bookkeeping and are not instrumented.
+// A nil observer is exactly RunDistribute.
+func RunDistributeObserved(seq *model.Sequence, n int, policy sim.Policy, o *obs.Observer) (*Result, error) {
 	innerSeq, m, err := DistributeSequence(seq)
 	if err != nil {
 		return nil, err
 	}
-	inner, err := sim.Run(sim.Env{Seq: innerSeq, Resources: n, Replication: 2, Speed: 1}, policy)
+	inner, err := sim.Run(sim.Env{Seq: innerSeq, Resources: n, Replication: 2, Speed: 1, Obs: o}, policy)
 	if err != nil {
 		return nil, err
 	}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"rrsched/internal/model"
+	"rrsched/internal/obs"
 	"rrsched/internal/sim"
 )
 
@@ -56,11 +57,17 @@ func VarBatchSequence(seq *model.Sequence) (*model.Sequence, error) {
 // window, and its drop cost never exceeds the batched schedule's (the outer
 // replay sees every job at least as early and keeps it at least as long).
 func RunVarBatch(seq *model.Sequence, n int, policy sim.Policy) (*Result, error) {
+	return RunVarBatchObserved(seq, n, policy, nil)
+}
+
+// RunVarBatchObserved is RunVarBatch with an observer attached to the inner
+// Distribute simulation; a nil observer is exactly RunVarBatch.
+func RunVarBatchObserved(seq *model.Sequence, n int, policy sim.Policy, o *obs.Observer) (*Result, error) {
 	batched, err := VarBatchSequence(seq)
 	if err != nil {
 		return nil, err
 	}
-	inner, err := RunDistribute(batched, n, policy)
+	inner, err := RunDistributeObserved(batched, n, policy, o)
 	if err != nil {
 		return nil, err
 	}
@@ -87,6 +94,8 @@ func RunVarBatch(seq *model.Sequence, n int, policy sim.Policy) (*Result, error)
 // changes the instance), so it exposes Run instead.
 type VarBatchPolicy struct {
 	NewInner func() sim.Policy
+	// Obs, when non-nil, instruments the inner simulation of every Run.
+	Obs *obs.Observer
 }
 
 // Run executes the stack on an arbitrary instance with n resources.
@@ -94,5 +103,5 @@ func (p *VarBatchPolicy) Run(seq *model.Sequence, n int) (*Result, error) {
 	if p.NewInner == nil {
 		return nil, fmt.Errorf("reduce: VarBatchPolicy needs a NewInner factory")
 	}
-	return RunVarBatch(seq, n, p.NewInner())
+	return RunVarBatchObserved(seq, n, p.NewInner(), p.Obs)
 }

@@ -13,6 +13,7 @@ import (
 
 	"rrsched/internal/core"
 	"rrsched/internal/model"
+	"rrsched/internal/obs"
 	"rrsched/internal/sim"
 	"rrsched/internal/workload"
 )
@@ -31,8 +32,12 @@ type summary struct {
 }
 
 func runOnce(t *testing.T, seq *model.Sequence, repl int, newPolicy func() sim.Policy) (schedule, summaryJSON []byte) {
+	return runObserved(t, seq, repl, newPolicy, nil)
+}
+
+func runObserved(t *testing.T, seq *model.Sequence, repl int, newPolicy func() sim.Policy, o *obs.Observer) (schedule, summaryJSON []byte) {
 	t.Helper()
-	res, err := sim.Run(sim.Env{Seq: seq, Resources: 8, Replication: repl, Speed: 1}, newPolicy())
+	res, err := sim.Run(sim.Env{Seq: seq, Resources: 8, Replication: repl, Speed: 1, Obs: o}, newPolicy())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -107,6 +112,35 @@ func TestSeededRunsAreByteIdentical(t *testing.T) {
 				}
 				if len(sumA) == 0 || len(schedA) == 0 {
 					t.Fatal("empty schedule or summary; the run produced nothing to compare")
+				}
+
+				// A fully instrumented run — metrics, tracer, and an event
+				// sink all attached — must make exactly the same decisions:
+				// observability is read-only by construction, and this pins
+				// it byte-for-byte.
+				seqC, err := sc.gen()
+				if err != nil {
+					t.Fatal(err)
+				}
+				o, err := obs.NewObserver()
+				if err != nil {
+					t.Fatal(err)
+				}
+				o.Tracer = obs.NewTracer(1024)
+				sink := &obs.CountingSink{}
+				o.Sink = sink
+				schedC, sumC := runObserved(t, seqC, 2, pol.mk, o)
+				if !bytes.Equal(schedA, schedC) {
+					t.Errorf("attaching an observer changed the serialized schedule (%d vs %d bytes)", len(schedA), len(schedC))
+				}
+				if !bytes.Equal(sumA, sumC) {
+					t.Errorf("attaching an observer changed the summary:\n%s\n%s", sumA, sumC)
+				}
+				if sink.Count() == 0 {
+					t.Error("instrumented run emitted no events")
+				}
+				if len(o.Tracer.Spans()) == 0 {
+					t.Error("instrumented run recorded no spans")
 				}
 			})
 		}

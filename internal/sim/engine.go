@@ -20,6 +20,7 @@ import (
 	"fmt"
 
 	"rrsched/internal/model"
+	"rrsched/internal/obs"
 )
 
 // Env describes one simulation run.
@@ -34,6 +35,11 @@ type Env struct {
 	// schedule records the outages so model.Audit verifies no decision
 	// touched a dead resource.
 	Faults *FaultPlan
+	// Obs, when non-nil, attaches the observability layer: scheduler metrics
+	// (drops per color, reconfigurations, queue depth, pending age, phase
+	// latency), phase span tracing, and structured decision events. nil (the
+	// default) costs nothing; instrumentation never changes a decision.
+	Obs *obs.Observer
 }
 
 // Slots returns the distinct-color cache capacity Resources/Replication.
@@ -145,6 +151,7 @@ func Run(env Env, p Policy) (res *Result, err error) {
 		}
 	}()
 	st := newState(env)
+	st.in = newInstr(env)
 	p.Reset(env)
 	if env.Faults != nil {
 		for _, o := range env.Faults.Outages() {
@@ -155,27 +162,38 @@ func Run(env Env, p Policy) (res *Result, err error) {
 	horizon := env.Seq.Horizon()
 	for k := int64(0); k <= horizon; k++ {
 		st.round = k
+		st.in.observeRound()
 
 		// Phase 0: fault transitions (repairs, then crashes).
 		st.applyFaults(k)
 
-		// Phase 1: drop.
+		// Phase 1: drop. The phase span covers the engine's deadline sweep
+		// plus the policy's drop bookkeeping.
+		t0 := st.in.phaseStart()
 		dropped := st.dropDue(k)
 		p.DropPhase(st, dropped)
+		st.in.phaseEnd(obs.PhaseDrop, k, 0, t0)
 
 		// Phase 2: arrival.
+		t0 = st.in.phaseStart()
 		arrivals := env.Seq.Request(k)
 		st.admit(arrivals)
 		p.ArrivalPhase(st, arrivals)
+		st.in.phaseEnd(obs.PhaseArrival, k, 0, t0)
 
-		// Phases 3 and 4, repeated Speed times.
+		// Phases 3 and 4, repeated Speed times. The reconfiguration span
+		// covers the policy decision plus the engine's placement.
 		for mini := 0; mini < env.Speed; mini++ {
 			st.mini = mini
+			t0 = st.in.phaseStart()
 			target := p.Target(st)
 			if err := st.reconfigure(target); err != nil {
 				return nil, fmt.Errorf("sim: round %d mini %d: %w", k, mini, err)
 			}
+			st.in.phaseEnd(obs.PhaseReconfig, k, mini, t0)
+			t0 = st.in.phaseStart()
 			st.execute()
+			st.in.phaseEnd(obs.PhaseExecute, k, mini, t0)
 		}
 	}
 

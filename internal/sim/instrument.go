@@ -1,0 +1,158 @@
+package sim
+
+import (
+	"strconv"
+
+	"rrsched/internal/model"
+	"rrsched/internal/obs"
+)
+
+// instr is the engine's view of an attached Observer: pre-resolved metric
+// handles plus per-color drop counters cached by dense color index, so the
+// round loop never does a name or map lookup. A nil *instr (the default, when
+// Env.Obs is nil) reduces every instrumentation site to one pointer test;
+// the rrbench bare-vs-instrumented scenario pair tracks both costs.
+//
+// Instrumentation is strictly read-only with respect to scheduling: it
+// observes decisions after they are made and never feeds anything back, so
+// runs with and without an Observer produce byte-identical schedules (pinned
+// by the determinism regression tests).
+type instr struct {
+	sm      *obs.SchedulerMetrics
+	tracer  *obs.Tracer
+	sink    obs.EventSink
+	dropCtr []*obs.Counter // per dense color index, lazily created
+}
+
+// newInstr resolves the environment's Observer into engine handles; it
+// returns nil when there is nothing to observe.
+func newInstr(env Env) *instr {
+	o := env.Obs
+	if o == nil {
+		return nil
+	}
+	if o.Sched == nil && o.Tracer == nil && o.Sink == nil {
+		return nil
+	}
+	return &instr{sm: o.Sched, tracer: o.Tracer, sink: o.Sink}
+}
+
+// phaseStart returns the phase start timestamp (0 when nothing times phases).
+func (in *instr) phaseStart() int64 {
+	if in == nil || (in.tracer == nil && in.sm == nil) {
+		return 0
+	}
+	return obs.Now()
+}
+
+// phaseEnd records the span and latency observation for one finished phase.
+func (in *instr) phaseEnd(p obs.Phase, round int64, mini int, start int64) {
+	if in == nil || (in.tracer == nil && in.sm == nil) {
+		return
+	}
+	dur := obs.Now() - start
+	if in.tracer != nil {
+		in.tracer.RecordSpan(obs.Span{Name: p.String(), Round: round, Mini: mini, Start: start, Dur: dur})
+	}
+	if in.sm != nil {
+		in.sm.PhaseNs[p].Observe(dur)
+	}
+}
+
+// dropCounter returns the per-color drop counter for dense index ci,
+// creating (and caching) it on first drop of that color.
+func (in *instr) dropCounter(ci int32, c model.Color) *obs.Counter {
+	for int(ci) >= len(in.dropCtr) {
+		in.dropCtr = append(in.dropCtr, nil)
+	}
+	if in.dropCtr[ci] == nil {
+		in.dropCtr[ci] = in.sm.Drops.With(strconv.FormatInt(int64(c), 10))
+	}
+	return in.dropCtr[ci]
+}
+
+// observeRound counts one simulated round.
+func (in *instr) observeRound() {
+	if in == nil || in.sm == nil {
+		return
+	}
+	in.sm.Rounds.Inc()
+}
+
+// observeDrop records n unit-cost drops of color c (dense index ci) in round
+// k: per-color and total counters, queue depth, and a drop event.
+func (in *instr) observeDrop(k int64, ci int32, c model.Color, n int) {
+	if in == nil {
+		return
+	}
+	if in.sm != nil {
+		in.dropCounter(ci, c).Add(int64(n))
+		in.sm.Dropped.Add(int64(n))
+		in.sm.DropCost.Add(int64(n))
+		in.sm.QueueDepth.Add(-int64(n))
+	}
+	if in.sink != nil {
+		in.sink.Emit(obs.Event{Kind: obs.EventDrop, Round: k, Color: c, Resource: -1, N: int64(n)})
+	}
+}
+
+// observeArrival records a non-empty arrival batch of round k.
+func (in *instr) observeArrival(k int64, n int) {
+	if in == nil || n == 0 {
+		return
+	}
+	if in.sm != nil {
+		in.sm.QueueDepth.Add(int64(n))
+	}
+	if in.sink != nil {
+		in.sink.Emit(obs.Event{Kind: obs.EventArrival, Round: k, Color: model.Black, Resource: -1, N: int64(n)})
+	}
+}
+
+// observeReconfig records one resource recoloring at cost delta.
+func (in *instr) observeReconfig(k int64, mini, loc int, c model.Color, delta int64) {
+	if in == nil {
+		return
+	}
+	if in.sm != nil {
+		in.sm.Reconfigs.Inc()
+		in.sm.ReconfigCost.Add(delta)
+	}
+	if in.sink != nil {
+		in.sink.Emit(obs.Event{Kind: obs.EventReconfig, Round: k, Mini: mini, Color: c, Resource: loc, N: delta})
+	}
+}
+
+// observeExec records one job execution: counters, the job's age at
+// execution (rounds since arrival), queue depth, and an exec event.
+func (in *instr) observeExec(k int64, mini, loc int, c model.Color, j model.Job) {
+	if in == nil {
+		return
+	}
+	if in.sm != nil {
+		in.sm.Executed.Inc()
+		in.sm.PendingAge.Observe(k - j.Arrival)
+		in.sm.QueueDepth.Add(-1)
+	}
+	if in.sink != nil {
+		in.sink.Emit(obs.Event{Kind: obs.EventExec, Round: k, Mini: mini, Color: c, Resource: loc, N: j.ID})
+	}
+}
+
+// observeFault records a crash or repair transition of resource loc.
+func (in *instr) observeFault(k int64, loc int, kind obs.EventKind) {
+	if in == nil {
+		return
+	}
+	if in.sm != nil {
+		switch kind {
+		case obs.EventCrash:
+			in.sm.Crashes.Inc()
+		case obs.EventRepair:
+			in.sm.Repairs.Inc()
+		}
+	}
+	if in.sink != nil {
+		in.sink.Emit(obs.Event{Kind: kind, Round: k, Color: model.Black, Resource: loc, N: 1})
+	}
+}

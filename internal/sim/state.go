@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"rrsched/internal/model"
+	"rrsched/internal/obs"
 	"rrsched/internal/queue"
 )
 
@@ -61,6 +62,10 @@ type state struct {
 	executed     int
 	droppedTotal int
 	dropsByColor map[model.Color]int
+
+	// in is the resolved observability attachment (nil when Env.Obs is nil);
+	// every hook below is a single pointer test in the unobserved case.
+	in *instr
 }
 
 func newState(env Env) *state {
@@ -173,11 +178,13 @@ func (s *state) applyFaults(k int64) {
 	for r := 0; r < s.env.Resources; r++ {
 		if s.down[r] && !f.Down(r, k) {
 			s.repair(r)
+			s.in.observeFault(k, r, obs.EventRepair)
 		}
 	}
 	for r := 0; r < s.env.Resources; r++ {
 		if !s.down[r] && f.Down(r, k) {
 			s.crash(r)
+			s.in.observeFault(k, r, obs.EventCrash)
 		}
 	}
 }
@@ -247,6 +254,7 @@ func (s *state) dropDue(k int64) map[model.Color]int {
 			s.cost.Drop += int64(n)
 			s.droppedTotal += n
 			s.dropsByColor[c] += n
+			s.in.observeDrop(k, ci, c, n)
 		}
 	}
 	delete(s.dueBuckets, k)
@@ -255,6 +263,7 @@ func (s *state) dropDue(k int64) map[model.Color]int {
 }
 
 func (s *state) admit(jobs []model.Job) {
+	s.in.observeArrival(s.round, len(jobs))
 	for _, j := range jobs {
 		ci := s.index(j.Color)
 		s.pending[ci].Push(j)
@@ -353,6 +362,7 @@ func (s *state) reconfigure(target []model.Color) error {
 				s.locColorIdx[loc] = ci
 				s.sched.AddReconfig(s.round, s.mini, loc, c)
 				s.cost.Reconfig += s.env.Seq.Delta()
+				s.in.observeReconfig(s.round, s.mini, loc, c, s.env.Seq.Delta())
 			}
 		}
 		s.colorLocs[ci] = locs
@@ -403,5 +413,6 @@ func (s *state) execute() {
 		j := q.Pop()
 		s.sched.AddExec(s.round, s.mini, loc, j.ID)
 		s.executed++
+		s.in.observeExec(s.round, s.mini, loc, s.colors[ci], j)
 	}
 }

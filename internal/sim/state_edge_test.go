@@ -1,0 +1,152 @@
+package sim
+
+// White-box edge tests for the drop phase's deadline-bucket index: the
+// map of due rounds, the per-color dedupe (lastDue), and the recycled
+// bucket-slice pool that keeps the steady state allocation-free.
+
+import (
+	"testing"
+
+	"rrsched/internal/model"
+)
+
+// edgeState builds a bare state over a two-color sequence; tests drive
+// admit/dropDue directly, bypassing the engine loop.
+func edgeState(t *testing.T) *state {
+	t.Helper()
+	b := model.NewBuilder(4)
+	b.Add(0, 1, 4, 1)
+	b.Add(0, 2, 8, 1)
+	seq, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return newState(Env{Seq: seq, Resources: 4, Replication: 2, Speed: 1})
+}
+
+func job(id int64, c model.Color, arrival, delay int64) model.Job {
+	return model.Job{ID: id, Color: c, Arrival: arrival, Delay: delay}
+}
+
+func TestDropDueDeadlineEdges(t *testing.T) {
+	cases := []struct {
+		name   string
+		admit  []model.Job
+		round  int64
+		want   map[model.Color]int
+		remain int // total jobs still pending after the drop
+	}{
+		{
+			name:   "no bucket at round",
+			admit:  []model.Job{job(1, 1, 0, 4)},
+			round:  1,
+			want:   map[model.Color]int{},
+			remain: 1,
+		},
+		{
+			name:   "deadline equals current round",
+			admit:  []model.Job{job(1, 1, 0, 4)}, // deadline 4
+			round:  4,
+			want:   map[model.Color]int{1: 1},
+			remain: 0,
+		},
+		{
+			name:   "round just before deadline keeps the job",
+			admit:  []model.Job{job(1, 1, 0, 4)},
+			round:  3,
+			want:   map[model.Color]int{},
+			remain: 1,
+		},
+		{
+			name: "same-deadline jobs of two colors drop together",
+			admit: []model.Job{
+				job(1, 1, 0, 4), job(2, 1, 0, 4), // dedupe: one bucket entry
+				job(3, 2, 0, 4),
+			},
+			round:  4,
+			want:   map[model.Color]int{1: 2, 2: 1},
+			remain: 0,
+		},
+		{
+			name: "later deadline survives an earlier drop",
+			admit: []model.Job{
+				job(1, 1, 0, 4),
+				job(2, 2, 0, 8),
+			},
+			round:  4,
+			want:   map[model.Color]int{1: 1},
+			remain: 1,
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			s := edgeState(t)
+			s.admit(tc.admit)
+			got := s.dropDue(tc.round)
+			if len(got) != len(tc.want) {
+				t.Fatalf("dropped %v, want %v", got, tc.want)
+			}
+			for c, n := range tc.want {
+				if got[c] != n {
+					t.Errorf("dropped[%v] = %d, want %d", c, got[c], n)
+				}
+			}
+			remain := 0
+			for i := range s.pending {
+				remain += s.pending[i].Len()
+			}
+			if remain != tc.remain {
+				t.Errorf("%d jobs still pending, want %d", remain, tc.remain)
+			}
+			if _, ok := s.dueBuckets[tc.round]; ok {
+				t.Error("bucket for the dropped round was not removed")
+			}
+		})
+	}
+}
+
+func TestDropDueDedupesBucketEntries(t *testing.T) {
+	s := edgeState(t)
+	// Ten same-color jobs with one shared deadline: lastDue must collapse
+	// them into a single bucket entry.
+	var jobs []model.Job
+	for i := int64(0); i < 10; i++ {
+		jobs = append(jobs, job(i, 1, 0, 4))
+	}
+	s.admit(jobs)
+	if got := len(s.dueBuckets[4]); got != 1 {
+		t.Fatalf("bucket at 4 has %d entries, want 1 (deduped)", got)
+	}
+	if got := s.dropDue(4)[model.Color(1)]; got != 10 {
+		t.Fatalf("dropped %d jobs, want 10", got)
+	}
+}
+
+func TestDropDueRecyclesBucketSlices(t *testing.T) {
+	s := edgeState(t)
+	s.admit([]model.Job{job(1, 1, 0, 4)})
+	if len(s.duePool) != 0 {
+		t.Fatalf("fresh state has %d pooled buckets", len(s.duePool))
+	}
+	s.dropDue(4)
+	if len(s.duePool) != 1 {
+		t.Fatalf("drop did not recycle the bucket: pool has %d", len(s.duePool))
+	}
+	recycled := cap(s.duePool[0])
+
+	// The next distinct deadline must reuse the pooled slice, not allocate.
+	s.admit([]model.Job{job(2, 1, 8, 4)}) // deadline 12
+	if len(s.duePool) != 0 {
+		t.Fatalf("admit did not take the pooled bucket: pool has %d", len(s.duePool))
+	}
+	if got := cap(s.dueBuckets[12]); got != recycled {
+		t.Errorf("bucket capacity %d, want recycled capacity %d", got, recycled)
+	}
+	if got := s.dropDue(12)[model.Color(1)]; got != 1 {
+		t.Fatalf("reused bucket dropped %d jobs, want 1", got)
+	}
+	// And the bucket goes straight back to the pool.
+	if len(s.duePool) != 1 {
+		t.Fatalf("second drop did not recycle: pool has %d", len(s.duePool))
+	}
+}

@@ -104,6 +104,90 @@ func TestSnapshotRestoreDecisionIdentical(t *testing.T) {
 	}
 }
 
+// TestRestoreAtDeadlineBoundaryDropsIdentical pins the deadline-drop index
+// across a checkpoint: an overloaded color whose jobs must expire is pushed,
+// the scheduler is killed and restored right around the deadline rounds, and
+// the resumed run must drop exactly the same jobs as the uninterrupted one —
+// i.e. the restored engine rebuilds its deadline buckets, it does not lose
+// or duplicate pending expirations.
+func TestRestoreAtDeadlineBoundaryDropsIdentical(t *testing.T) {
+	const (
+		delta   = 4
+		n       = 8
+		rounds  = 48
+		perPush = 40 // far beyond n per delay window: guaranteed drops
+	)
+	pushes := make([][]model.Job, rounds)
+	id := int64(0)
+	for r := int64(0); r < rounds; r += 8 {
+		for i := 0; i < perPush; i++ {
+			pushes[r] = append(pushes[r], model.Job{ID: id, Color: 1, Arrival: r, Delay: 8})
+			id++
+		}
+	}
+
+	ref, err := New(Config{Delta: delta, Resources: n})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var refDecs []Decision
+	for r := int64(0); r < rounds; r++ {
+		dec, err := ref.Push(r, pushes[r])
+		if err != nil {
+			t.Fatal(err)
+		}
+		refDecs = append(refDecs, dec)
+	}
+	if _, err := ref.Drain(); err != nil {
+		t.Fatal(err)
+	}
+	if ref.Dropped() == 0 {
+		t.Fatal("overload scenario dropped nothing; the test exercises no deadlines")
+	}
+
+	// Kill/restore straddling the first deadline rounds (jobs of the round-0
+	// burst expire at round 8) and a later steady-state boundary.
+	for _, killAt := range []int64{6, 7, 8, 9, 23} {
+		s, err := New(Config{Delta: delta, Resources: n})
+		if err != nil {
+			t.Fatal(err)
+		}
+		var decs []Decision
+		for r := int64(0); r <= killAt; r++ {
+			dec, err := s.Push(r, pushes[r])
+			if err != nil {
+				t.Fatal(err)
+			}
+			decs = append(decs, dec)
+		}
+		snap, err := s.Snapshot()
+		if err != nil {
+			t.Fatal(err)
+		}
+		restored, err := Restore(snap)
+		if err != nil {
+			t.Fatalf("kill at %d: %v", killAt, err)
+		}
+		for r := killAt + 1; r < rounds; r++ {
+			dec, err := restored.Push(r, pushes[r])
+			if err != nil {
+				t.Fatalf("kill at %d: push round %d: %v", killAt, r, err)
+			}
+			decs = append(decs, dec)
+		}
+		if _, err := restored.Drain(); err != nil {
+			t.Fatal(err)
+		}
+		if restored.Dropped() != ref.Dropped() || restored.Executed() != ref.Executed() {
+			t.Errorf("kill at %d: resumed (exec %d, drop %d) != uninterrupted (exec %d, drop %d)",
+				killAt, restored.Executed(), restored.Dropped(), ref.Executed(), ref.Dropped())
+		}
+		if !bytes.Equal(decisionBytes(t, refDecs), decisionBytes(t, decs)) {
+			t.Errorf("kill at %d: decision trace differs across the deadline boundary", killAt)
+		}
+	}
+}
+
 func TestSnapshotDeterministic(t *testing.T) {
 	seq, err := workload.RandomGeneral(workload.RandomConfig{
 		Seed: 3, Delta: 3, Colors: 5, Rounds: 64,

@@ -51,7 +51,13 @@ func (e *SweepError) Indices() []int {
 }
 
 // Map applies f to every input concurrently using at most workers
-// goroutines (0 means GOMAXPROCS) and returns the outputs in input order.
+// goroutines and returns the outputs in input order. Workers <= 0 selects
+// the default, runtime.GOMAXPROCS(0) — "use the machine" — which is what
+// every production caller (the experiment sweeps, cmd/rrexp) passes; the
+// zero default is pinned by TestMapZeroWorkersRunsConcurrently. Bounded
+// values are for tests and benchmarks that need a deterministic degree of
+// parallelism (the rrbench sweep scenario pins workers=1 to measure
+// dispatch, not speedup).
 // A task that returns an error or panics does not abort the sweep: the
 // remaining tasks still run to completion, the failed slots keep their zero
 // value, and Map reports every failure — with its input index — in a single

@@ -3,10 +3,12 @@ package sweep
 import (
 	"errors"
 	"fmt"
+	"runtime"
 	"strings"
 	"sync/atomic"
 	"testing"
 	"testing/quick"
+	"time"
 )
 
 func ok[In, Out any](f func(In) Out) func(In) (Out, error) {
@@ -54,6 +56,39 @@ func TestMapUsesConcurrency(t *testing.T) {
 	}
 	if calls.Load() != 64 {
 		t.Fatalf("calls = %d", calls.Load())
+	}
+}
+
+// TestMapZeroWorkersRunsConcurrently pins the documented Workers==0 default
+// (runtime.GOMAXPROCS(0)): with at least two processors available, two tasks
+// must be in flight at once. A rendezvous proves it — each task waits for
+// the other, so a sequential fallback would deadlock and hit the timeout.
+func TestMapZeroWorkersRunsConcurrently(t *testing.T) {
+	if runtime.GOMAXPROCS(0) < 2 {
+		t.Skip("needs GOMAXPROCS >= 2 to observe concurrency")
+	}
+	var arrived atomic.Int64
+	both := make(chan struct{})
+	out, err := Map(0, Seeds(2), func(v int64) (int64, error) {
+		if arrived.Add(1) == 2 {
+			close(both)
+		}
+		select {
+		case <-both:
+			return v, nil
+		case <-time.After(5 * time.Second):
+			return 0, fmt.Errorf("task %d never met its partner: Map(0, ...) ran sequentially", v)
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 2 {
+		t.Fatalf("got %d results", len(out))
+	}
+	// Negative workers take the same default path.
+	if _, err := Map(-3, Seeds(4), ok(func(v int64) int64 { return v })); err != nil {
+		t.Fatal(err)
 	}
 }
 
