@@ -1,0 +1,291 @@
+// Command rrload drives an rrserve instance with a seeded workload and
+// reports latency, throughput, and drop-rate figures. It reuses the
+// internal/workload generators, so a -seed pins the exact job stream: the
+// same seed against the same server configuration reproduces the same
+// per-tenant decision streams.
+//
+// Examples:
+//
+//	rrload -addr http://127.0.0.1:8080 -tenants 8 -rounds 256 -seed 1
+//	rrload -addr http://127.0.0.1:8080 -quick -out stats.json
+//
+// In virtual-time mode (the default, -tick=true) rrload owns the clock: each
+// round it submits every tenant's arrivals concurrently, then advances the
+// server one round via /v1/tick, and finally drains enough extra rounds that
+// every job has executed or dropped. With -tick=false it only submits, at
+// the server's real-time pace.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"sync"
+
+	"rrsched/internal/model"
+	"rrsched/internal/obs"
+	"rrsched/internal/serve"
+	"rrsched/internal/workload"
+)
+
+func main() {
+	// Library code returns errors; a defect that still panics must exit with
+	// a diagnostic, not a stack trace.
+	defer func() {
+		if r := recover(); r != nil {
+			fmt.Fprintln(os.Stderr, "rrload: internal panic:", r)
+			os.Exit(1)
+		}
+	}()
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "rrload:", err)
+		os.Exit(1)
+	}
+}
+
+// tenantStream is one tenant's generated arrival stream, split per round.
+type tenantStream struct {
+	name string
+	seq  *model.Sequence
+}
+
+// result accumulates one worker's view of the run; workers keep private
+// results and the coordinator folds them after the barrier, so the hot path
+// takes no locks.
+type result struct {
+	submitted int64
+	accepted  int64
+	rejected  int64 // 429 backpressure
+	refused   int64 // 503 drain
+	latencies []int64
+}
+
+func (r *result) fold(o *result) {
+	r.submitted += o.submitted
+	r.accepted += o.accepted
+	r.rejected += o.rejected
+	r.refused += o.refused
+	r.latencies = append(r.latencies, o.latencies...)
+}
+
+func run(args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("rrload", flag.ContinueOnError)
+	fs.SetOutput(stdout)
+	var (
+		addr    = fs.String("addr", "http://127.0.0.1:8080", "rrserve base URL")
+		tenants = fs.Int("tenants", 8, "number of tenants")
+		rounds  = fs.Int64("rounds", 256, "arrival rounds per tenant")
+		colors  = fs.Int("colors", 8, "colors per tenant")
+		load    = fs.Float64("load", 0.6, "per-color load fraction")
+		seed    = fs.Int64("seed", 1, "PRNG seed (per-tenant streams derive from it)")
+		delta   = fs.Int64("delta", 4, "reconfiguration cost used by the workload generators")
+		minExp  = fs.Uint("min-delay-exp", 2, "minimum delay bound exponent (D = 2^exp)")
+		maxExp  = fs.Uint("max-delay-exp", 5, "maximum delay bound exponent")
+		conns   = fs.Int("conns", 8, "concurrent submit workers")
+		batch   = fs.Int("batch", 4096, "max jobs per submit request")
+		tick    = fs.Bool("tick", true, "drive /v1/tick after each submitted round (virtual-time server)")
+		quick   = fs.Bool("quick", false, "small preset for smoke runs (-tenants 4 -rounds 48 -colors 6)")
+		out     = fs.String("out", "", "write the final /v1/stats JSON to this file")
+		minRate = fs.Float64("min-rate", 0, "fail unless sustained accepted-jobs/s meets this rate (0 disables)")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() > 0 {
+		return fmt.Errorf("unexpected arguments: %v", fs.Args())
+	}
+	if *quick {
+		*tenants, *rounds, *colors = 4, 48, 6
+	}
+	if *tenants <= 0 || *rounds <= 0 || *conns <= 0 || *batch <= 0 {
+		return fmt.Errorf("tenants, rounds, conns, and batch must be positive")
+	}
+
+	// Generate every tenant's stream up front: generation cost must not
+	// pollute the latency figures.
+	streams := make([]tenantStream, *tenants)
+	horizon := int64(0)
+	totalJobs := 0
+	for i := range streams {
+		seq, err := workload.RandomGeneral(workload.RandomConfig{
+			Seed:        *seed + int64(i),
+			Delta:       *delta,
+			Colors:      *colors,
+			Rounds:      *rounds,
+			MinDelayExp: *minExp,
+			MaxDelayExp: *maxExp,
+			Load:        *load,
+		})
+		if err != nil {
+			return err
+		}
+		// Canonical IDs are round-major and dense, which satisfies the wire
+		// contract that a tenant's IDs increase strictly across batches.
+		seq = seq.Canonical()
+		streams[i] = tenantStream{name: fmt.Sprintf("tenant-%03d", i), seq: seq}
+		if h := seq.Horizon(); h > horizon {
+			horizon = h
+		}
+		totalJobs += seq.NumJobs()
+	}
+
+	client := serve.NewClient(*addr)
+	if !client.Healthy() {
+		return fmt.Errorf("server at %s is not healthy", *addr)
+	}
+	_, _ = fmt.Fprintf(stdout, "rrload: %d tenants x %d rounds, %d jobs total, seed %d -> %s\n", // best-effort status output
+		*tenants, *rounds, totalJobs, *seed, *addr)
+
+	total := &result{}
+	start := obs.Now()
+	// Drive arrival rounds, then enough drain rounds for every delay bound
+	// to expire, so executed+dropped reaches the accepted total.
+	lastRound := horizon + 1
+	for r := int64(0); r < lastRound; r++ {
+		if r < *rounds {
+			submitRound(client, streams, r, *batch, *conns, total)
+		}
+		if *tick {
+			if _, err := client.Tick(1); err != nil {
+				return err
+			}
+		}
+	}
+	elapsed := obs.Now() - start
+
+	stats, err := client.Stats()
+	if err != nil {
+		return err
+	}
+	if *out != "" {
+		raw, err := client.StatsRaw()
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(*out, raw, 0o644); err != nil {
+			return err
+		}
+	}
+	report(stdout, total, stats, elapsed)
+	if *minRate > 0 {
+		rate := ratePerSec(total.accepted, elapsed)
+		if rate < *minRate {
+			return fmt.Errorf("sustained %.0f accepted jobs/s, below -min-rate %.0f", rate, *minRate)
+		}
+	}
+	return nil
+}
+
+// submitRound fans one round's batches across conns workers. A round is a
+// barrier: every batch lands before the caller ticks, so the server sees
+// exactly the generated arrival pattern.
+func submitRound(client *serve.Client, streams []tenantStream, r int64, batchSize, conns int, total *result) {
+	type task struct {
+		tenant string
+		jobs   []serve.SubmitJob
+	}
+	var tasks []task
+	for _, ts := range streams {
+		jobs := ts.seq.Request(r)
+		for len(jobs) > 0 {
+			n := len(jobs)
+			if n > batchSize {
+				n = batchSize
+			}
+			wire := make([]serve.SubmitJob, n)
+			for i, j := range jobs[:n] {
+				wire[i] = serve.SubmitJob{ID: j.ID, Color: int32(j.Color), Delay: j.Delay}
+			}
+			tasks = append(tasks, task{tenant: ts.name, jobs: wire})
+			jobs = jobs[n:]
+		}
+	}
+	if len(tasks) == 0 {
+		return
+	}
+	if conns > len(tasks) {
+		conns = len(tasks)
+	}
+	results := make([]result, conns)
+	next := make(chan task)
+	var wg sync.WaitGroup
+	wg.Add(conns)
+	for w := 0; w < conns; w++ {
+		go func(res *result) {
+			defer wg.Done()
+			for t := range next {
+				n := int64(len(t.jobs))
+				res.submitted += n
+				t0 := obs.Now()
+				outcome, err := client.Submit(&serve.SubmitRequest{Schema: serve.WireSchema, Tenant: t.tenant, Jobs: t.jobs})
+				res.latencies = append(res.latencies, obs.Now()-t0)
+				switch {
+				case err != nil:
+					// Transport/validation failure: count as refused; the
+					// summary surfaces it and the exit code stays honest via
+					// the accepted-vs-submitted line.
+					res.refused += n
+				case outcome.Accepted:
+					res.accepted += n
+				case outcome.Rejected:
+					res.rejected += n
+				case outcome.Refused:
+					res.refused += n
+				}
+			}
+		}(&results[w])
+	}
+	for _, t := range tasks {
+		next <- t
+	}
+	close(next)
+	wg.Wait()
+	for i := range results {
+		total.fold(&results[i])
+	}
+}
+
+func report(stdout io.Writer, total *result, stats *serve.StatsResponse, elapsedNs int64) {
+	_, _ = fmt.Fprintf(stdout, "submitted: %d  accepted=%d rejected(429)=%d refused=%d\n", // best-effort summary output
+		total.submitted, total.accepted, total.rejected, total.refused)
+	_, _ = fmt.Fprintf(stdout, "server:    round=%d executed=%d dropped=%d reconfigs=%d backlog=%d inflight=%d\n", // best-effort summary output
+		stats.Round, stats.Totals.Executed, stats.Totals.Dropped, stats.Totals.Reconfigs,
+		stats.Totals.Backlog, stats.Totals.Inflight)
+	dropRate := 0.0
+	if done := stats.Totals.Executed + stats.Totals.Dropped; done > 0 {
+		dropRate = float64(stats.Totals.Dropped) / float64(done)
+	}
+	_, _ = fmt.Fprintf(stdout, "rates:     %.0f jobs/s accepted  drop-rate=%.4f  wall=%.3fs\n", // best-effort summary output
+		ratePerSec(total.accepted, elapsedNs), dropRate, float64(elapsedNs)/1e9)
+	if len(total.latencies) > 0 {
+		lat := total.latencies
+		sort.Slice(lat, func(i, j int) bool { return lat[i] < lat[j] })
+		_, _ = fmt.Fprintf(stdout, "latency:   p50=%s p95=%s p99=%s max=%s (%d requests)\n", // best-effort summary output
+			ms(pct(lat, 50)), ms(pct(lat, 95)), ms(pct(lat, 99)), ms(lat[len(lat)-1]), len(lat))
+	}
+}
+
+func ratePerSec(n, elapsedNs int64) float64 {
+	if elapsedNs <= 0 {
+		return 0
+	}
+	return float64(n) / (float64(elapsedNs) / 1e9)
+}
+
+// pct returns the p-th percentile of sorted samples.
+func pct(sorted []int64, p int) int64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	i := (len(sorted)*p + 99) / 100
+	if i > 0 {
+		i--
+	}
+	return sorted[i]
+}
+
+func ms(ns int64) string {
+	return fmt.Sprintf("%.3fms", float64(ns)/1e6)
+}

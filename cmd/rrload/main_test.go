@@ -1,0 +1,118 @@
+package main
+
+import (
+	"bytes"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"rrsched/internal/serve"
+)
+
+func startServer(t *testing.T) string {
+	t.Helper()
+	svc, _, err := serve.New(serve.Config{Shards: 2, Resources: 8, Delta: 4, Watermark: 1 << 16})
+	if err != nil {
+		t.Fatalf("serve.New: %v", err)
+	}
+	srv := httptest.NewServer(svc.Handler())
+	t.Cleanup(func() {
+		srv.Close()
+		svc.Close()
+	})
+	return srv.URL
+}
+
+func TestRunQuick(t *testing.T) {
+	url := startServer(t)
+	outFile := filepath.Join(t.TempDir(), "stats.json")
+	var out bytes.Buffer
+	err := run([]string{"-addr", url, "-quick", "-seed", "7", "-out", outFile}, &out)
+	if err != nil {
+		t.Fatalf("run: %v\n%s", err, out.String())
+	}
+	text := out.String()
+	for _, want := range []string{"accepted=", "rejected(429)=", "jobs/s", "latency:"} {
+		if !strings.Contains(text, want) {
+			t.Fatalf("summary lacks %q:\n%s", want, text)
+		}
+	}
+	// Quick preset with a huge watermark: everything is accepted and, after
+	// the drain ticks, everything has resolved.
+	if strings.Contains(text, "rejected(429)=0") == false {
+		t.Fatalf("quick run saw rejections:\n%s", text)
+	}
+	data, err := os.ReadFile(outFile)
+	if err != nil {
+		t.Fatalf("stats artifact: %v", err)
+	}
+	if !strings.Contains(string(data), serve.StatsSchema) {
+		t.Fatalf("artifact lacks stats schema:\n%s", data)
+	}
+	if !strings.Contains(string(data), `"backlog": 0`) {
+		t.Fatalf("artifact shows undrained backlog:\n%s", data)
+	}
+}
+
+func TestRunDeterministicAcceptCounts(t *testing.T) {
+	// Two runs with the same seed against fresh servers must accept the same
+	// job count (latency and wall-clock vary; the workload must not).
+	counts := make([]string, 2)
+	for i := range counts {
+		var out bytes.Buffer
+		if err := run([]string{"-addr", startServer(t), "-quick", "-seed", "11"}, &out); err != nil {
+			t.Fatalf("run %d: %v", i, err)
+		}
+		for _, line := range strings.Split(out.String(), "\n") {
+			if strings.HasPrefix(line, "submitted:") {
+				counts[i] = line
+			}
+		}
+	}
+	if counts[0] == "" || counts[0] != counts[1] {
+		t.Fatalf("seeded runs disagree:\n%q\n%q", counts[0], counts[1])
+	}
+}
+
+func TestRunBackpressure(t *testing.T) {
+	// A tiny watermark forces 429s; rrload must report them as rejections and
+	// still exit cleanly (open-loop drop, not a failure).
+	svc, _, err := serve.New(serve.Config{Shards: 1, Resources: 8, Delta: 4, Watermark: 4})
+	if err != nil {
+		t.Fatalf("serve.New: %v", err)
+	}
+	srv := httptest.NewServer(svc.Handler())
+	defer srv.Close()
+	defer svc.Close()
+	var out bytes.Buffer
+	if err := run([]string{"-addr", srv.URL, "-quick", "-batch", "8", "-seed", "3"}, &out); err != nil {
+		t.Fatalf("run: %v\n%s", err, out.String())
+	}
+	if strings.Contains(out.String(), "rejected(429)=0") {
+		t.Fatalf("tiny watermark produced no 429s:\n%s", out.String())
+	}
+}
+
+func TestRunMinRate(t *testing.T) {
+	var out bytes.Buffer
+	// No realistic run moves 1e12 jobs/s; the threshold must trip.
+	err := run([]string{"-addr", startServer(t), "-quick", "-min-rate", "1e12"}, &out)
+	if err == nil || !strings.Contains(err.Error(), "below -min-rate") {
+		t.Fatalf("min-rate err = %v", err)
+	}
+}
+
+func TestRunRejectsBadInput(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-tenants", "0"}, &out); err == nil {
+		t.Fatal("accepted -tenants 0")
+	}
+	if err := run([]string{"extra"}, &out); err == nil {
+		t.Fatal("accepted positional arguments")
+	}
+	if err := run([]string{"-addr", "http://127.0.0.1:1"}, &out); err == nil || !strings.Contains(err.Error(), "not healthy") {
+		t.Fatalf("unreachable server err = %v", err)
+	}
+}

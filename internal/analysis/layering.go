@@ -105,6 +105,11 @@ func DefaultLayeringRules() map[string][]string {
 		m + "chaos":      {m + "model", m + "obs", m + "sim", m + "stream", m + "workload"},
 		m + "adversary":  {m + "model", m + "offline", m + "sim", m + "stats"},
 
+		// The network service wraps stream schedulers behind an HTTP ingest
+		// layer; it builds only on model, obs, and stream, so serving never
+		// grows a dependency on the evaluation stack.
+		m + "serve": {m + "model", m + "obs", m + "stream"},
+
 		// The benchmark harness drives the engine, policies, queues, the
 		// streaming scheduler, and the sweep substrate; like experiments it
 		// sits above the core layers and nothing imports it but its cmd.
@@ -125,8 +130,10 @@ func DefaultLayeringRules() map[string][]string {
 		"rrsched/cmd/rrexp":    {m + "experiments", m + "obs"},
 		"rrsched/cmd/rrcover":  {},
 		"rrsched/cmd/rrlint":   {m + "analysis"},
+		"rrsched/cmd/rrload":   {m + "model", m + "obs", m + "serve", m + "workload"},
 		"rrsched/cmd/rropt":    {m + "core", m + "model", m + "offline", m + "reduce", m + "workload"},
 		"rrsched/cmd/rrreplay": {m + "introspect", m + "model", m + "workload"},
+		"rrsched/cmd/rrserve":  {m + "serve"},
 		"rrsched/cmd/rrsim":    {m + "baseline", m + "core", m + "model", m + "obs", m + "offline", m + "reduce", m + "sim", m + "workload"},
 		"rrsched/cmd/rrtrace":  {m + "model", m + "workload"},
 

@@ -1,0 +1,82 @@
+package obs
+
+import (
+	"fmt"
+	"sort"
+)
+
+// MergeSnapshots combines snapshots from several registries into one
+// service-level view: counters and gauges with the same name (and label) sum,
+// and histograms merge bucket-wise. Histograms with the same name must share
+// bucket bounds, and a name must carry the same kind everywhere — mismatches
+// are errors, because silently coercing them would fabricate a metric nobody
+// recorded. The merged snapshot is sorted by name then label, so merging
+// equal inputs is byte-stable like Registry.Snapshot itself.
+func MergeSnapshots(snaps ...*Snapshot) (*Snapshot, error) {
+	type key struct {
+		name  string
+		label string
+	}
+	merged := map[key]*MetricSnapshot{}
+	var order []key
+	for _, s := range snaps {
+		if s == nil {
+			continue
+		}
+		for i := range s.Metrics {
+			m := s.Metrics[i]
+			k := key{name: m.Name, label: m.Label}
+			acc, ok := merged[k]
+			if !ok {
+				cp := m
+				cp.Buckets = append([]BucketSnapshot(nil), m.Buckets...)
+				merged[k] = &cp
+				order = append(order, k)
+				continue
+			}
+			if acc.Kind != m.Kind {
+				return nil, fmt.Errorf("obs: merging %q: kind %s vs %s", m.Name, acc.Kind, m.Kind)
+			}
+			switch m.Kind {
+			case "counter", "gauge":
+				acc.Value += m.Value
+			case "histogram":
+				if err := mergeHistogram(acc, m); err != nil {
+					return nil, err
+				}
+			default:
+				return nil, fmt.Errorf("obs: merging %q: unknown kind %q", m.Name, m.Kind)
+			}
+		}
+	}
+	sort.Slice(order, func(i, j int) bool {
+		if order[i].name != order[j].name {
+			return order[i].name < order[j].name
+		}
+		return order[i].label < order[j].label
+	})
+	out := &Snapshot{}
+	for _, k := range order {
+		out.Metrics = append(out.Metrics, *merged[k])
+	}
+	return out, nil
+}
+
+func mergeHistogram(acc *MetricSnapshot, m MetricSnapshot) error {
+	if len(acc.Buckets) != len(m.Buckets) {
+		return fmt.Errorf("obs: merging histogram %q: %d buckets vs %d", m.Name, len(acc.Buckets), len(m.Buckets))
+	}
+	for i := range m.Buckets {
+		a, b := &acc.Buckets[i], m.Buckets[i]
+		switch {
+		case a.UpperBound == nil && b.UpperBound == nil:
+			// Both overflow buckets.
+		case a.UpperBound == nil || b.UpperBound == nil || *a.UpperBound != *b.UpperBound:
+			return fmt.Errorf("obs: merging histogram %q: bucket %d bounds differ", m.Name, i)
+		}
+		a.Count += b.Count
+	}
+	acc.Count += m.Count
+	acc.Sum += m.Sum
+	return nil
+}

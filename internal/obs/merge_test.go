@@ -1,0 +1,157 @@
+package obs
+
+import (
+	"bytes"
+	"testing"
+)
+
+func snapFrom(t *testing.T, build func(r *Registry)) *Snapshot {
+	t.Helper()
+	r := NewRegistry()
+	build(r)
+	return r.Snapshot()
+}
+
+func TestMergeSnapshotsSums(t *testing.T) {
+	build := func(cAdd, gSet, hObs int64) func(r *Registry) {
+		return func(r *Registry) {
+			c, err := r.Counter("jobs_total")
+			if err != nil {
+				t.Fatalf("Counter: %v", err)
+			}
+			c.Add(cAdd)
+			g, err := r.Gauge("backlog")
+			if err != nil {
+				t.Fatalf("Gauge: %v", err)
+			}
+			g.Set(gSet)
+			h, err := r.Histogram("latency_ns", ExpBuckets(1, 2, 4))
+			if err != nil {
+				t.Fatalf("Histogram: %v", err)
+			}
+			h.Observe(hObs)
+			v, err := r.CounterVec("drops_total", "color")
+			if err != nil {
+				t.Fatalf("CounterVec: %v", err)
+			}
+			v.With("red").Add(cAdd)
+		}
+	}
+	a := snapFrom(t, build(3, 10, 2))
+	b := snapFrom(t, build(4, 20, 6))
+	merged, err := MergeSnapshots(a, b)
+	if err != nil {
+		t.Fatalf("MergeSnapshots: %v", err)
+	}
+	if got, ok := merged.Counter("jobs_total"); !ok || got != 7 {
+		t.Fatalf("jobs_total = %d (ok=%v), want 7", got, ok)
+	}
+	if got, ok := merged.Counter("backlog"); !ok || got != 30 {
+		t.Fatalf("backlog = %d (ok=%v), want 30", got, ok)
+	}
+	if got, ok := merged.CounterWith("drops_total", "red"); !ok || got != 7 {
+		t.Fatalf("drops_total{red} = %d (ok=%v), want 7", got, ok)
+	}
+	var hist *MetricSnapshot
+	for i := range merged.Metrics {
+		if merged.Metrics[i].Name == "latency_ns" {
+			hist = &merged.Metrics[i]
+		}
+	}
+	if hist == nil {
+		t.Fatal("merged snapshot lost the histogram")
+	}
+	if hist.Count != 2 || hist.Sum != 8 {
+		t.Fatalf("histogram count=%d sum=%d, want 2/8", hist.Count, hist.Sum)
+	}
+	total := int64(0)
+	for _, bk := range hist.Buckets {
+		total += bk.Count
+	}
+	if total != 2 {
+		t.Fatalf("bucket counts sum to %d, want 2", total)
+	}
+}
+
+func TestMergeSnapshotsDeterministic(t *testing.T) {
+	build := func(r *Registry) {
+		c, err := r.Counter("z_metric")
+		if err != nil {
+			t.Fatalf("Counter: %v", err)
+		}
+		c.Inc()
+		g, err := r.Gauge("a_metric")
+		if err != nil {
+			t.Fatalf("Gauge: %v", err)
+		}
+		g.Set(1)
+	}
+	a1, err := MergeSnapshots(snapFrom(t, build), snapFrom(t, build))
+	if err != nil {
+		t.Fatalf("MergeSnapshots: %v", err)
+	}
+	a2, err := MergeSnapshots(snapFrom(t, build), snapFrom(t, build))
+	if err != nil {
+		t.Fatalf("MergeSnapshots: %v", err)
+	}
+	var b1, b2 bytes.Buffer
+	if err := a1.WriteJSON(&b1); err != nil {
+		t.Fatalf("WriteJSON: %v", err)
+	}
+	if err := a2.WriteJSON(&b2); err != nil {
+		t.Fatalf("WriteJSON: %v", err)
+	}
+	if !bytes.Equal(b1.Bytes(), b2.Bytes()) {
+		t.Fatal("merging equal inputs twice produced different bytes")
+	}
+	if len(a1.Metrics) != 2 || a1.Metrics[0].Name != "a_metric" {
+		t.Fatalf("merged snapshot not sorted by name: %+v", a1.Metrics)
+	}
+}
+
+func TestMergeSnapshotsRejectsMismatches(t *testing.T) {
+	counter := snapFrom(t, func(r *Registry) {
+		c, err := r.Counter("m")
+		if err != nil {
+			t.Fatalf("Counter: %v", err)
+		}
+		c.Inc()
+	})
+	gauge := snapFrom(t, func(r *Registry) {
+		g, err := r.Gauge("m")
+		if err != nil {
+			t.Fatalf("Gauge: %v", err)
+		}
+		g.Set(1)
+	})
+	if _, err := MergeSnapshots(counter, gauge); err == nil {
+		t.Fatal("kind mismatch accepted")
+	}
+	h1 := snapFrom(t, func(r *Registry) {
+		h, err := r.Histogram("h", ExpBuckets(1, 2, 4))
+		if err != nil {
+			t.Fatalf("Histogram: %v", err)
+		}
+		h.Observe(1)
+	})
+	h2 := snapFrom(t, func(r *Registry) {
+		h, err := r.Histogram("h", ExpBuckets(1, 2, 5))
+		if err != nil {
+			t.Fatalf("Histogram: %v", err)
+		}
+		h.Observe(1)
+	})
+	if _, err := MergeSnapshots(h1, h2); err == nil {
+		t.Fatal("bucket-bound mismatch accepted")
+	}
+}
+
+func TestMergeSnapshotsNilAndEmpty(t *testing.T) {
+	merged, err := MergeSnapshots(nil, &Snapshot{})
+	if err != nil {
+		t.Fatalf("MergeSnapshots: %v", err)
+	}
+	if len(merged.Metrics) != 0 {
+		t.Fatalf("merged empty inputs have %d metrics", len(merged.Metrics))
+	}
+}

@@ -1,0 +1,178 @@
+package serve
+
+import (
+	"encoding/json"
+	"fmt"
+	"sort"
+
+	"rrsched/internal/model"
+	"rrsched/internal/stream"
+)
+
+// StateSchema versions the per-shard checkpoint files written on drain.
+const StateSchema = "rrserve-state/v1"
+
+// shardCheckpoint is the JSON image of one shard: the next round, and for
+// every tenant the embedded stream checkpoint plus the ingest-layer state the
+// stream scheduler does not know about (queued-but-unpushed jobs, the ID
+// high-water mark, and the inflight metadata the metrics layer needs).
+type shardCheckpoint struct {
+	Schema string `json:"schema"`
+	Shard  int    `json:"shard"`
+	Shards int    `json:"shards"`
+	Round  int64  `json:"round"`
+
+	Tenants []tenantCheckpoint `json:"tenants,omitempty"`
+}
+
+type tenantCheckpoint struct {
+	Name  string `json:"name"`
+	Epoch int64  `json:"epoch"`
+	MaxID int64  `json:"max_id"`
+
+	Delays   []colorDelay    `json:"delays,omitempty"`
+	Queued   []queuedJob     `json:"queued,omitempty"`
+	Inflight []inflightJob   `json:"inflight,omitempty"`
+	Snapshot json.RawMessage `json:"snapshot"`
+}
+
+type colorDelay struct {
+	Color int32 `json:"color"`
+	Delay int64 `json:"delay"`
+}
+
+type queuedJob struct {
+	ID    int64 `json:"id"`
+	Color int32 `json:"color"`
+	Delay int64 `json:"delay"`
+}
+
+type inflightJob struct {
+	ID      int64 `json:"id"`
+	Color   int32 `json:"color"`
+	Arrival int64 `json:"arrival"`
+}
+
+// checkpoint serializes the shard. Runs on the shard goroutine, strictly
+// between round ticks, so the image is a consistent cut: every accepted job
+// is either inside a scheduler snapshot, in a queued list, or resolved.
+func (sh *shard) checkpoint() ([]byte, error) {
+	cp := shardCheckpoint{
+		Schema: StateSchema,
+		Shard:  sh.idx,
+		Shards: sh.cfg.Shards,
+		Round:  sh.round,
+	}
+	for _, name := range sh.order {
+		tn := sh.tenants[name]
+		snap, err := tn.sched.Snapshot()
+		if err != nil {
+			return nil, fmt.Errorf("serve: checkpointing tenant %q: %w", name, err)
+		}
+		tcp := tenantCheckpoint{
+			Name:     name,
+			Epoch:    tn.epoch,
+			MaxID:    tn.maxID,
+			Snapshot: snap,
+		}
+		for c, d := range tn.delays {
+			tcp.Delays = append(tcp.Delays, colorDelay{Color: int32(c), Delay: d})
+		}
+		sort.Slice(tcp.Delays, func(i, j int) bool { return tcp.Delays[i].Color < tcp.Delays[j].Color })
+		for _, j := range tn.queued {
+			tcp.Queued = append(tcp.Queued, queuedJob{ID: j.ID, Color: int32(j.Color), Delay: j.Delay})
+		}
+		sort.Slice(tcp.Queued, func(i, j int) bool { return tcp.Queued[i].ID < tcp.Queued[j].ID })
+		for id, meta := range tn.inflight {
+			tcp.Inflight = append(tcp.Inflight, inflightJob{ID: id, Color: int32(meta.Color), Arrival: meta.Arrival})
+		}
+		sort.Slice(tcp.Inflight, func(i, j int) bool { return tcp.Inflight[i].ID < tcp.Inflight[j].ID })
+		cp.Tenants = append(cp.Tenants, tcp)
+	}
+	return json.MarshalIndent(cp, "", "  ")
+}
+
+// restoreShard rebuilds a shard's goroutine-owned state from checkpoint
+// bytes. Called before the shard goroutine starts, so plain field writes are
+// safe. Validation is field by field: a corrupted file is rejected with an
+// error rather than resumed into an inconsistent service.
+func (sh *shard) restoreShard(data []byte, ring hashRing) error {
+	var cp shardCheckpoint
+	if err := json.Unmarshal(data, &cp); err != nil {
+		return fmt.Errorf("serve: decoding shard checkpoint: %w", err)
+	}
+	if cp.Schema != StateSchema {
+		return fmt.Errorf("serve: shard checkpoint schema %q, want %q", cp.Schema, StateSchema)
+	}
+	if cp.Shard != sh.idx {
+		return fmt.Errorf("serve: checkpoint is for shard %d, restoring shard %d", cp.Shard, sh.idx)
+	}
+	if cp.Shards != sh.cfg.Shards {
+		return fmt.Errorf("serve: checkpoint taken with %d shards, service has %d (reshard is not supported; restart with -shards %d)",
+			cp.Shards, sh.cfg.Shards, cp.Shards)
+	}
+	if cp.Round < 0 {
+		return fmt.Errorf("serve: checkpoint has negative round %d", cp.Round)
+	}
+	sh.round = cp.Round
+	for _, tcp := range cp.Tenants {
+		if err := ValidateTenant(tcp.Name); err != nil {
+			return fmt.Errorf("serve: checkpoint tenant: %w", err)
+		}
+		if _, dup := sh.tenants[tcp.Name]; dup {
+			return fmt.Errorf("serve: checkpoint repeats tenant %q", tcp.Name)
+		}
+		if got := ring.ShardOf(tcp.Name); got != sh.idx {
+			return fmt.Errorf("serve: checkpoint places tenant %q on shard %d, ring says %d", tcp.Name, sh.idx, got)
+		}
+		if tcp.Epoch < 0 || tcp.Epoch > cp.Round {
+			return fmt.Errorf("serve: tenant %q has epoch %d outside [0, %d]", tcp.Name, tcp.Epoch, cp.Round)
+		}
+		sched, err := stream.Restore(tcp.Snapshot)
+		if err != nil {
+			return fmt.Errorf("serve: restoring tenant %q: %w", tcp.Name, err)
+		}
+		tn := &tenant{
+			name:     tcp.Name,
+			epoch:    tcp.Epoch,
+			sched:    sched,
+			maxID:    tcp.MaxID,
+			delays:   make(map[model.Color]int64, len(tcp.Delays)),
+			inflight: make(map[int64]jobMeta, len(tcp.Inflight)),
+		}
+		for _, d := range tcp.Delays {
+			if d.Color < 0 || d.Delay <= 0 || d.Delay > MaxDelayBound {
+				return fmt.Errorf("serve: tenant %q has invalid delay bound %d for color %d", tcp.Name, d.Delay, d.Color)
+			}
+			tn.delays[model.Color(d.Color)] = d.Delay
+		}
+		for _, q := range tcp.Queued {
+			if q.ID < 0 || q.ID > tcp.MaxID {
+				return fmt.Errorf("serve: tenant %q queued job id %d outside [0, %d]", tcp.Name, q.ID, tcp.MaxID)
+			}
+			d, ok := tn.delays[model.Color(q.Color)]
+			if !ok || d != q.Delay {
+				return fmt.Errorf("serve: tenant %q queued job %d has unregistered delay %d for color %d", tcp.Name, q.ID, q.Delay, q.Color)
+			}
+			tn.queued = append(tn.queued, model.Job{ID: q.ID, Color: model.Color(q.Color), Delay: q.Delay})
+		}
+		for _, f := range tcp.Inflight {
+			if _, dup := tn.inflight[f.ID]; dup {
+				return fmt.Errorf("serve: tenant %q repeats inflight job %d", tcp.Name, f.ID)
+			}
+			if f.Color < 0 {
+				return fmt.Errorf("serve: tenant %q inflight job %d has negative color", tcp.Name, f.ID)
+			}
+			tn.inflight[f.ID] = jobMeta{Color: model.Color(f.Color), Arrival: f.Arrival}
+		}
+		sh.tenants[tcp.Name] = tn
+		sh.order = append(sh.order, tcp.Name)
+		sh.backlog += len(tn.queued)
+		sh.inflight += len(tn.inflight)
+	}
+	sort.Strings(sh.order)
+	sh.met.tenants.Set(int64(len(sh.tenants)))
+	sh.met.backlog.Set(int64(sh.backlog))
+	sh.met.sm.QueueDepth.Set(int64(sh.inflight))
+	return nil
+}

@@ -1,0 +1,214 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"strconv"
+	"time"
+
+	"rrsched/internal/obs"
+)
+
+// Client is a thin typed client for the rrserve HTTP API, used by rrload,
+// the CI smoke job, and the end-to-end tests.
+type Client struct {
+	base string
+	hc   *http.Client
+}
+
+// NewClient returns a client for the service at base (e.g.
+// "http://127.0.0.1:8080"). The underlying http.Client reuses connections,
+// which is what gives the load generator its throughput.
+func NewClient(base string) *Client {
+	return &Client{
+		base: base,
+		hc: &http.Client{
+			Timeout: 30 * time.Second,
+			Transport: &http.Transport{
+				MaxIdleConns:        256,
+				MaxIdleConnsPerHost: 256,
+			},
+		},
+	}
+}
+
+// SubmitOutcome is the result of one submit call.
+type SubmitOutcome struct {
+	// Accepted is true for a 200 (the whole batch was queued).
+	Accepted bool
+	// Rejected is true for a 429 (watermark backpressure); RetryAfter is the
+	// parsed Retry-After duration.
+	Rejected   bool
+	RetryAfter time.Duration
+	// Refused is true for a 503 (service draining).
+	Refused bool
+	// Round and Backlog echo the SubmitResponse on acceptance.
+	Round   int64
+	Backlog int
+}
+
+// Submit posts one batch. Admission outcomes (429, 503) are reported in the
+// SubmitOutcome, not as errors; an error means the request itself failed
+// (transport, 400, unexpected status).
+func (c *Client) Submit(req *SubmitRequest) (SubmitOutcome, error) {
+	body, err := EncodeSubmit(req)
+	if err != nil {
+		return SubmitOutcome{}, err
+	}
+	resp, err := c.hc.Post(c.base+"/v1/jobs", "application/json", bytes.NewReader(body))
+	if err != nil {
+		return SubmitOutcome{}, fmt.Errorf("serve: submit: %w", err)
+	}
+	defer drainClose(resp.Body)
+	switch resp.StatusCode {
+	case http.StatusOK:
+		var sr SubmitResponse
+		if err := decodeBody(resp.Body, &sr); err != nil {
+			return SubmitOutcome{}, err
+		}
+		return SubmitOutcome{Accepted: true, Round: sr.Round, Backlog: sr.Backlog}, nil
+	case http.StatusTooManyRequests:
+		retry := time.Second
+		if v := resp.Header.Get("Retry-After"); v != "" {
+			if secs, err := strconv.Atoi(v); err == nil && secs >= 0 {
+				retry = time.Duration(secs) * time.Second
+			}
+		}
+		return SubmitOutcome{Rejected: true, RetryAfter: retry}, nil
+	case http.StatusServiceUnavailable:
+		return SubmitOutcome{Refused: true}, nil
+	default:
+		return SubmitOutcome{}, statusError("submit", resp)
+	}
+}
+
+// Tick advances n rounds (virtual-time mode) and returns the new next round.
+func (c *Client) Tick(n int) (int64, error) {
+	resp, err := c.hc.Post(c.base+"/v1/tick?rounds="+strconv.Itoa(n), "application/json", nil)
+	if err != nil {
+		return 0, fmt.Errorf("serve: tick: %w", err)
+	}
+	defer drainClose(resp.Body)
+	if resp.StatusCode != http.StatusOK {
+		return 0, statusError("tick", resp)
+	}
+	var tr TickResponse
+	if err := decodeBody(resp.Body, &tr); err != nil {
+		return 0, err
+	}
+	return tr.Round, nil
+}
+
+// Stats fetches /v1/stats.
+func (c *Client) Stats() (*StatsResponse, error) {
+	var sr StatsResponse
+	if err := c.getJSON("/v1/stats", &sr); err != nil {
+		return nil, err
+	}
+	if sr.Schema != StatsSchema {
+		return nil, fmt.Errorf("serve: stats schema %q, want %q", sr.Schema, StatsSchema)
+	}
+	return &sr, nil
+}
+
+// StatsRaw fetches /v1/stats as raw bytes (for artifact files).
+func (c *Client) StatsRaw() ([]byte, error) {
+	return c.getRaw("/v1/stats")
+}
+
+// Metrics fetches and decodes the merged /metrics snapshot.
+func (c *Client) Metrics() (*obs.Snapshot, error) {
+	data, err := c.getRaw("/metrics")
+	if err != nil {
+		return nil, err
+	}
+	return obs.ReadSnapshot(bytes.NewReader(data))
+}
+
+// Decisions fetches a tenant's recorded decision stream.
+func (c *Client) Decisions(tenant string) (*DecisionsResponse, error) {
+	var dr DecisionsResponse
+	if err := c.getJSON("/v1/decisions?tenant="+url.QueryEscape(tenant), &dr); err != nil {
+		return nil, err
+	}
+	return &dr, nil
+}
+
+// DecisionsRaw fetches the decision stream as raw bytes, for byte-identity
+// comparison against MarshalResponse of a reference run.
+func (c *Client) DecisionsRaw(tenant string) ([]byte, error) {
+	return c.getRaw("/v1/decisions?tenant=" + url.QueryEscape(tenant))
+}
+
+// Ready reports whether /readyz returns 200.
+func (c *Client) Ready() bool {
+	resp, err := c.hc.Get(c.base + "/readyz")
+	if err != nil {
+		return false
+	}
+	defer drainClose(resp.Body)
+	return resp.StatusCode == http.StatusOK
+}
+
+// Healthy reports whether /healthz returns 200.
+func (c *Client) Healthy() bool {
+	resp, err := c.hc.Get(c.base + "/healthz")
+	if err != nil {
+		return false
+	}
+	defer drainClose(resp.Body)
+	return resp.StatusCode == http.StatusOK
+}
+
+func (c *Client) getRaw(path string) ([]byte, error) {
+	resp, err := c.hc.Get(c.base + path)
+	if err != nil {
+		return nil, fmt.Errorf("serve: get %s: %w", path, err)
+	}
+	defer drainClose(resp.Body)
+	if resp.StatusCode != http.StatusOK {
+		return nil, statusError(path, resp)
+	}
+	return io.ReadAll(resp.Body)
+}
+
+func (c *Client) getJSON(path string, v any) error {
+	data, err := c.getRaw(path)
+	if err != nil {
+		return err
+	}
+	return decodeBody(bytes.NewReader(data), v)
+}
+
+func decodeBody(r io.Reader, v any) error {
+	data, err := io.ReadAll(r)
+	if err != nil {
+		return fmt.Errorf("serve: reading response: %w", err)
+	}
+	if err := json.Unmarshal(data, v); err != nil {
+		return fmt.Errorf("serve: decoding response: %w", err)
+	}
+	return nil
+}
+
+// statusError turns a non-2xx response into an error carrying the server's
+// ErrorResponse body when one is present.
+func statusError(op string, resp *http.Response) error {
+	data, _ := io.ReadAll(io.LimitReader(resp.Body, 4096)) // body is advisory; status alone is actionable
+	var er ErrorResponse
+	if err := json.Unmarshal(data, &er); err == nil && er.Error != "" {
+		return fmt.Errorf("serve: %s: %s (%s)", op, resp.Status, er.Error)
+	}
+	return fmt.Errorf("serve: %s: %s", op, resp.Status)
+}
+
+// drainClose discards any unread body and closes it, which lets the
+// transport reuse the connection.
+func drainClose(body io.ReadCloser) {
+	_, _ = io.Copy(io.Discard, io.LimitReader(body, 4096)) // best-effort connection reuse
+	_ = body.Close()                                       // read side already consumed; close error carries no signal
+}

@@ -1,0 +1,239 @@
+package serve
+
+import (
+	"bytes"
+	"fmt"
+	"net/http/httptest"
+	"sort"
+	"sync"
+	"testing"
+
+	"rrsched/internal/model"
+	"rrsched/internal/stream"
+	"rrsched/internal/workload"
+)
+
+// detTenant is one tenant of the end-to-end determinism fixture: a seeded
+// workload plus the global round at which the tenant starts submitting
+// (startRound > 0 exercises the epoch offset for late tenants).
+type detTenant struct {
+	name       string
+	seq        *model.Sequence
+	startRound int64
+}
+
+func detFixture(t *testing.T, seed int64) []detTenant {
+	t.Helper()
+	names := []string{"alpha", "beta", "gamma", "delta", "epsilon", "late-tenant"}
+	tenants := make([]detTenant, len(names))
+	for i, name := range names {
+		seq, err := workload.RandomGeneral(workload.RandomConfig{
+			Seed:        seed + int64(i),
+			Delta:       4,
+			Colors:      4 + i%3,
+			Rounds:      20,
+			MinDelayExp: 2,
+			MaxDelayExp: 4,
+			Load:        0.7,
+		})
+		if err != nil {
+			t.Fatalf("workload for %s: %v", name, err)
+		}
+		tenants[i] = detTenant{name: name, seq: seq.Canonical()}
+	}
+	// The last tenant appears late: its first submission (local round 0)
+	// happens at global round 5, so its epoch must offset every local round.
+	tenants[len(tenants)-1].startRound = 5
+	return tenants
+}
+
+// driveService replays the fixture against a service over real HTTP. Each
+// global round, the tenants submit concurrently with each other and in
+// varying batch splits — a tenant's own batches stay sequential, since IDs
+// must increase across its batches — before one tick. The cross-tenant
+// interleaving chaos is the point: decisions must not see it.
+func driveService(t *testing.T, client *Client, tenants []detTenant, totalRounds int64) {
+	t.Helper()
+	for r := int64(0); r < totalRounds; r++ {
+		var wg sync.WaitGroup
+		for i := range tenants {
+			tn := &tenants[i]
+			local := r - tn.startRound
+			if local < 0 {
+				continue
+			}
+			jobs := tn.seq.Request(local)
+			if len(jobs) == 0 {
+				continue
+			}
+			wg.Add(1)
+			go func(name string, jobs []model.Job, split int) {
+				defer wg.Done()
+				for len(jobs) > 0 {
+					n := split
+					if n > len(jobs) {
+						n = len(jobs)
+					}
+					wire := make([]SubmitJob, n)
+					for k, j := range jobs[:n] {
+						wire[k] = SubmitJob{ID: j.ID, Color: int32(j.Color), Delay: j.Delay}
+					}
+					jobs = jobs[n:]
+					out, err := client.Submit(&SubmitRequest{Schema: WireSchema, Tenant: name, Jobs: wire})
+					if err != nil || !out.Accepted {
+						t.Errorf("submit %s: out=%+v err=%v", name, out, err)
+						return
+					}
+				}
+			}(tn.name, tn.seq.Request(local), int(r%3)+1)
+		}
+		wg.Wait()
+		if t.Failed() {
+			t.FailNow()
+		}
+		if _, err := client.Tick(1); err != nil {
+			t.Fatalf("Tick at round %d: %v", r, err)
+		}
+	}
+}
+
+// epochOf returns the global round at which the service creates the tenant:
+// its first accepted submission, i.e. the first local round with arrivals,
+// offset by when the tenant starts submitting.
+func epochOf(tn detTenant) int64 {
+	for local := int64(0); local < tn.seq.NumRounds(); local++ {
+		if len(tn.seq.Request(local)) > 0 {
+			return tn.startRound + local
+		}
+	}
+	return tn.startRound
+}
+
+// referenceDecisions replays one tenant's arrivals through a bare
+// stream.Scheduler at tenant-local rounds, exactly as the service promises
+// to: one Push per local round, jobs sorted by ID. Local round 0 is the
+// tenant's epoch — its first accepted submission — so sequence rounds before
+// the first arrival shift out of the local frame.
+func referenceDecisions(t *testing.T, tn detTenant, totalRounds int64, cfg Config) []stream.Decision {
+	t.Helper()
+	sched, err := stream.New(stream.Config{Delta: cfg.Delta, Resources: cfg.Resources})
+	if err != nil {
+		t.Fatalf("stream.New: %v", err)
+	}
+	epoch := epochOf(tn)
+	shift := epoch - tn.startRound
+	var out []stream.Decision
+	for local := int64(0); local < totalRounds-epoch; local++ {
+		arrivals := tn.seq.Request(local + shift)
+		jobs := make([]model.Job, len(arrivals))
+		copy(jobs, arrivals)
+		for i := range jobs {
+			jobs[i].Arrival = local
+		}
+		sort.Slice(jobs, func(i, j int) bool { return jobs[i].ID < jobs[j].ID })
+		dec, err := sched.Push(local, jobs)
+		if err != nil {
+			t.Fatalf("reference push for %s at local %d: %v", tn.name, local, err)
+		}
+		out = append(out, dec)
+	}
+	return out
+}
+
+// TestServiceDecisionsMatchBareScheduler is the end-to-end determinism
+// property of the service: a seeded multi-tenant workload pushed through a
+// 4-shard rrserve under concurrent, oddly-framed HTTP submissions yields,
+// for every tenant, a decision stream byte-identical to a bare
+// stream.Scheduler fed the same arrivals sequentially.
+func TestServiceDecisionsMatchBareScheduler(t *testing.T) {
+	cfg := Config{Shards: 4, Resources: 8, Delta: 4, Watermark: 1 << 16, RecordDecisions: true}
+	svc, _, err := New(cfg)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	defer svc.Close()
+	srv := httptest.NewServer(svc.Handler())
+	defer srv.Close()
+	client := NewClient(srv.URL)
+
+	tenants := detFixture(t, 42)
+	// Enough rounds past the last arrival for every delay bound (max 2^4) to
+	// expire, so the streams include the drop tail.
+	totalRounds := int64(20 + 5 + 20)
+	driveService(t, client, tenants, totalRounds)
+
+	ring := newHashRing(cfg.Shards)
+	for _, tn := range tenants {
+		got, err := client.DecisionsRaw(tn.name)
+		if err != nil {
+			t.Fatalf("DecisionsRaw(%s): %v", tn.name, err)
+		}
+		want, err := MarshalResponse(&DecisionsResponse{
+			Schema:    DecisionsSchema,
+			Tenant:    tn.name,
+			Shard:     ring.ShardOf(tn.name),
+			Epoch:     epochOf(tn),
+			Round:     totalRounds,
+			Decisions: referenceDecisions(t, tn, totalRounds, cfg),
+		})
+		if err != nil {
+			t.Fatalf("MarshalResponse: %v", err)
+		}
+		if !bytes.Equal(got, want) {
+			t.Fatalf("tenant %s: service decisions diverge from bare scheduler\nservice:   %s\nreference: %s",
+				tn.name, excerpt(got, want), excerpt(want, got))
+		}
+	}
+}
+
+// TestServiceDecisionsStableAcrossRuns re-runs the same fixture against a
+// fresh service and demands byte-identical /v1/decisions responses — the
+// service-level restatement of "decisions are a function of the input".
+func TestServiceDecisionsStableAcrossRuns(t *testing.T) {
+	cfg := Config{Shards: 4, Resources: 8, Delta: 4, Watermark: 1 << 16, RecordDecisions: true}
+	run := func() map[string][]byte {
+		svc, _, err := New(cfg)
+		if err != nil {
+			t.Fatalf("New: %v", err)
+		}
+		defer svc.Close()
+		srv := httptest.NewServer(svc.Handler())
+		defer srv.Close()
+		client := NewClient(srv.URL)
+		tenants := detFixture(t, 42)
+		driveService(t, client, tenants, 45)
+		out := map[string][]byte{}
+		for _, tn := range tenants {
+			raw, err := client.DecisionsRaw(tn.name)
+			if err != nil {
+				t.Fatalf("DecisionsRaw(%s): %v", tn.name, err)
+			}
+			out[tn.name] = raw
+		}
+		return out
+	}
+	first, second := run(), run()
+	for name, a := range first {
+		if !bytes.Equal(a, second[name]) {
+			t.Fatalf("tenant %s: two identical runs produced different decision bytes", name)
+		}
+	}
+}
+
+// excerpt returns the neighborhood of the first byte where a and b differ,
+// so a failure points at the divergence instead of dumping both documents.
+func excerpt(a, b []byte) string {
+	i := 0
+	for i < len(a) && i < len(b) && a[i] == b[i] {
+		i++
+	}
+	lo := i - 80
+	if lo < 0 {
+		lo = 0
+	}
+	hi := i + 80
+	if hi > len(a) {
+		hi = len(a)
+	}
+	return fmt.Sprintf("...%s... (diverges at byte %d of %d)", a[lo:hi], i, len(a))
+}

@@ -1,0 +1,48 @@
+package serve
+
+import (
+	"reflect"
+	"testing"
+)
+
+// FuzzDecodeSubmit pins two properties of the wire decoder on arbitrary
+// bytes: it never panics (errors are the only failure mode), and anything it
+// accepts survives an encode/decode round trip unchanged — the canonical
+// form is a fixed point.
+func FuzzDecodeSubmit(f *testing.F) {
+	seed := [][]byte{
+		[]byte(""),
+		[]byte("{}"),
+		[]byte("null"),
+		[]byte(`{"schema":"rrserve/v1","tenant":"t","jobs":[{"id":0,"color":0,"delay":4}]}`),
+		[]byte(`{"schema":"rrserve/v1","tenant":"t","jobs":[{"id":0,"color":0,"delay":4},{"id":1,"color":1,"delay":8}]}`),
+		[]byte(`{"schema":"rrserve/v1","tenant":"t","jobs":[{"id":1,"color":0,"delay":4},{"id":0,"color":0,"delay":4}]}`),
+		[]byte(`{"schema":"rrserve/v2","tenant":"t","jobs":[{"id":0,"color":0,"delay":4}]}`),
+		[]byte(`{"schema":"rrserve/v1","tenant":"","jobs":[{"id":0,"color":0,"delay":4}]}`),
+		[]byte(`{"schema":"rrserve/v1","tenant":"t","jobs":[{"id":0,"color":-1,"delay":4}]}`),
+		[]byte(`{"schema":"rrserve/v1","tenant":"t","jobs":[{"id":0,"color":0,"delay":0}]}`),
+		[]byte(`{"schema":"rrserve/v1","tenant":"t","jobs":[]}`),
+	}
+	for _, s := range seed {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		req, err := DecodeSubmit(data)
+		if err != nil {
+			return
+		}
+		// Accepted input must round-trip: encode re-validates, and decoding
+		// the canonical bytes reproduces the same request value.
+		enc, err := EncodeSubmit(req)
+		if err != nil {
+			t.Fatalf("decoded request fails to encode: %v\ninput: %q", err, data)
+		}
+		again, err := DecodeSubmit(enc)
+		if err != nil {
+			t.Fatalf("canonical encoding fails to decode: %v\nencoded: %q", err, enc)
+		}
+		if !reflect.DeepEqual(req, again) {
+			t.Fatalf("round trip changed the request:\nfirst:  %+v\nsecond: %+v", req, again)
+		}
+	})
+}

@@ -1,0 +1,64 @@
+package serve
+
+import (
+	"fmt"
+	"hash/fnv"
+	"sort"
+)
+
+// ringReplicas is the number of virtual nodes per shard on the hash ring.
+// 64 keeps the per-shard tenant load within a few percent of uniform for the
+// shard counts this service targets while the ring stays tiny.
+const ringReplicas = 64
+
+// hashRing maps tenant IDs to shards by consistent hashing: each shard
+// contributes ringReplicas points, and a tenant lands on the first point at
+// or after its own hash (wrapping). The mapping is a pure function of the
+// shard count, so a restored service re-derives exactly the placement the
+// checkpoint was written under.
+type hashRing struct {
+	points []ringPoint // sorted by hash
+}
+
+type ringPoint struct {
+	hash  uint64
+	shard int
+}
+
+// newHashRing builds the ring for the given shard count.
+func newHashRing(shards int) hashRing {
+	r := hashRing{points: make([]ringPoint, 0, shards*ringReplicas)}
+	for s := 0; s < shards; s++ {
+		for v := 0; v < ringReplicas; v++ {
+			r.points = append(r.points, ringPoint{hash: hash64(fmt.Sprintf("shard-%d-vnode-%d", s, v)), shard: s})
+		}
+	}
+	// Ties (hash collisions between vnode labels) resolve to the lower shard
+	// index so the placement is a total function of the shard count.
+	sort.Slice(r.points, func(i, j int) bool {
+		if r.points[i].hash != r.points[j].hash {
+			return r.points[i].hash < r.points[j].hash
+		}
+		return r.points[i].shard < r.points[j].shard
+	})
+	return r
+}
+
+// ShardOf returns the shard owning the tenant.
+func (r hashRing) ShardOf(tenant string) int {
+	h := hash64(tenant)
+	i := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= h })
+	if i == len(r.points) {
+		i = 0
+	}
+	return r.points[i].shard
+}
+
+// hash64 is FNV-1a, chosen because it is in the stdlib, stable across
+// processes and architectures, and uniform enough for ring placement.
+func hash64(s string) uint64 {
+	h := fnv.New64a()
+	// hash/fnv's Write is documented to never fail.
+	_, _ = h.Write([]byte(s)) // infallible per hash.Hash contract
+	return h.Sum64()
+}

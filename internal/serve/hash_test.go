@@ -1,0 +1,58 @@
+package serve
+
+import (
+	"fmt"
+	"testing"
+)
+
+func TestHashRingDeterministic(t *testing.T) {
+	a := newHashRing(8)
+	b := newHashRing(8)
+	for i := 0; i < 1000; i++ {
+		tenant := fmt.Sprintf("tenant-%d", i)
+		if a.ShardOf(tenant) != b.ShardOf(tenant) {
+			t.Fatalf("ring placement of %q differs between identical rings", tenant)
+		}
+	}
+}
+
+func TestHashRingRange(t *testing.T) {
+	for _, shards := range []int{1, 2, 3, 7, 16} {
+		ring := newHashRing(shards)
+		for i := 0; i < 500; i++ {
+			s := ring.ShardOf(fmt.Sprintf("t%d", i))
+			if s < 0 || s >= shards {
+				t.Fatalf("shards=%d: ShardOf returned %d", shards, s)
+			}
+		}
+	}
+}
+
+func TestHashRingSpreads(t *testing.T) {
+	const shards, tenants = 8, 4096
+	ring := newHashRing(shards)
+	counts := make([]int, shards)
+	for i := 0; i < tenants; i++ {
+		counts[ring.ShardOf(fmt.Sprintf("tenant-%04d", i))]++
+	}
+	// With 64 vnodes per shard the load imbalance stays mild; the bound here
+	// is loose on purpose — the test pins "spreads at all", not a tight
+	// distribution property.
+	for s, c := range counts {
+		if c == 0 {
+			t.Fatalf("shard %d received no tenants", s)
+		}
+		if c > tenants/shards*3 {
+			t.Fatalf("shard %d received %d of %d tenants (mean %d)", s, c, tenants, tenants/shards)
+		}
+	}
+}
+
+func TestHashRingSingleShard(t *testing.T) {
+	ring := newHashRing(1)
+	for i := 0; i < 64; i++ {
+		if s := ring.ShardOf(fmt.Sprintf("x%d", i)); s != 0 {
+			t.Fatalf("single-shard ring returned shard %d", s)
+		}
+	}
+}

@@ -1,0 +1,220 @@
+package serve
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+)
+
+// maxSubmitBody caps the request body of POST /v1/jobs. Generous for
+// MaxBatchJobs-sized batches while bounding what a hostile client can make
+// the decoder buffer.
+const maxSubmitBody = 8 << 20
+
+// Handler returns the service's HTTP API:
+//
+//	POST /v1/jobs       submit one batch for one tenant (wire.go)
+//	POST /v1/tick       advance rounds (virtual-time mode only; ?rounds=n)
+//	GET  /v1/stats      service + per-shard stats (StatsResponse)
+//	GET  /v1/decisions  a tenant's recorded decision stream (?tenant=...)
+//	GET  /metrics       merged per-shard metric snapshot (obs JSON format)
+//	GET  /healthz       liveness: 200 once the shards are running
+//	GET  /readyz        readiness: 200 while accepting jobs, 503 draining
+func (s *Service) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/v1/jobs", s.handleSubmit)
+	mux.HandleFunc("/v1/tick", s.handleTick)
+	mux.HandleFunc("/v1/stats", s.handleStats)
+	mux.HandleFunc("/v1/decisions", s.handleDecisions)
+	mux.HandleFunc("/metrics", s.handleMetrics)
+	mux.HandleFunc("/healthz", s.handleHealthz)
+	mux.HandleFunc("/readyz", s.handleReadyz)
+	return mux
+}
+
+func (s *Service) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeError(w, http.StatusMethodNotAllowed, "POST only")
+		return
+	}
+	if s.draining.Load() {
+		writeError(w, http.StatusServiceUnavailable, "service is draining")
+		return
+	}
+	body, err := io.ReadAll(io.LimitReader(r.Body, maxSubmitBody+1))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Sprintf("reading body: %v", err))
+		return
+	}
+	if len(body) > maxSubmitBody {
+		writeError(w, http.StatusRequestEntityTooLarge, fmt.Sprintf("body exceeds %d bytes", maxSubmitBody))
+		return
+	}
+	req, err := DecodeSubmit(body)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	sh := s.shards[s.ring.ShardOf(req.Tenant)]
+	reply := make(chan submitResult, 1)
+	sh.ch <- shardCmd{submit: &submitCmd{req: req, reply: reply}}
+	res := <-reply
+	if res.status != http.StatusOK {
+		if res.status == http.StatusTooManyRequests {
+			w.Header().Set("Retry-After", s.retryAfterSeconds())
+		}
+		writeError(w, res.status, res.err)
+		return
+	}
+	writeJSON(w, http.StatusOK, SubmitResponse{
+		Schema:   WireSchema,
+		Accepted: len(req.Jobs),
+		Round:    res.round,
+		Backlog:  res.backlog,
+	})
+}
+
+// retryAfterSeconds is the Retry-After value for 429s: one round duration
+// rounded up (real-time mode), or 1 second in virtual-time mode, where the
+// backlog drains only when the driver ticks.
+func (s *Service) retryAfterSeconds() string {
+	if s.Virtual() {
+		return "1"
+	}
+	secs := int64(s.cfg.RoundEvery.Seconds()) + 1
+	return strconv.FormatInt(secs, 10)
+}
+
+func (s *Service) handleTick(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeError(w, http.StatusMethodNotAllowed, "POST only")
+		return
+	}
+	if !s.Virtual() {
+		writeError(w, http.StatusConflict, "service runs a real-time round ticker; /v1/tick is for virtual-time mode")
+		return
+	}
+	n := 1
+	if v := r.URL.Query().Get("rounds"); v != "" {
+		parsed, err := strconv.Atoi(v)
+		if err != nil || parsed <= 0 || parsed > 1<<20 {
+			writeError(w, http.StatusBadRequest, fmt.Sprintf("invalid rounds %q (want 1..%d)", v, 1<<20))
+			return
+		}
+		n = parsed
+	}
+	round, err := s.Tick(n)
+	if err != nil {
+		writeError(w, http.StatusServiceUnavailable, err.Error())
+		return
+	}
+	writeJSON(w, http.StatusOK, TickResponse{Schema: StatsSchema, Round: round})
+}
+
+// TickResponse is the body of POST /v1/tick.
+type TickResponse struct {
+	Schema string `json:"schema"`
+	Round  int64  `json:"round"`
+}
+
+func (s *Service) handleStats(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeError(w, http.StatusMethodNotAllowed, "GET only")
+		return
+	}
+	writeJSON(w, http.StatusOK, s.Stats())
+}
+
+func (s *Service) handleDecisions(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeError(w, http.StatusMethodNotAllowed, "GET only")
+		return
+	}
+	tenantID := r.URL.Query().Get("tenant")
+	if err := ValidateTenant(tenantID); err != nil {
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	sh := s.shards[s.ring.ShardOf(tenantID)]
+	reply := make(chan decisionsResult, 1)
+	sh.ch <- shardCmd{decisions: &decisionsCmd{tenant: tenantID, reply: reply}}
+	res := <-reply
+	if res.status != http.StatusOK {
+		writeError(w, res.status, res.err)
+		return
+	}
+	writeJSON(w, http.StatusOK, res.resp)
+}
+
+func (s *Service) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeError(w, http.StatusMethodNotAllowed, "GET only")
+		return
+	}
+	snap, err := s.MergedMetrics()
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, err.Error())
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(http.StatusOK)
+	if err := snap.WriteJSON(w); err != nil {
+		return // client went away mid-write; nothing to salvage
+	}
+}
+
+func (s *Service) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	writeBody(w, http.StatusOK, []byte("ok\n"))
+}
+
+func (s *Service) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	if s.draining.Load() {
+		writeBody(w, http.StatusServiceUnavailable, []byte("draining\n"))
+		return
+	}
+	writeBody(w, http.StatusOK, []byte("ready\n"))
+}
+
+// writeJSON writes v as indented JSON, matching json.MarshalIndent with
+// two-space indent plus a trailing newline. The encoding is part of the
+// /v1/decisions contract: the determinism tests reproduce it byte for byte.
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	data, err := MarshalResponse(v)
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, err.Error())
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_, _ = w.Write(data) // best-effort: a vanished client owns its connection
+}
+
+// MarshalResponse is the canonical response encoding of every JSON endpoint:
+// MarshalIndent with two-space indent and a trailing newline. Exported so
+// byte-identity tests (and clients that want to diff responses) can
+// reproduce the exact bytes.
+func MarshalResponse(v any) ([]byte, error) {
+	data, err := json.MarshalIndent(v, "", "  ")
+	if err != nil {
+		return nil, fmt.Errorf("serve: encoding response: %w", err)
+	}
+	return append(data, '\n'), nil
+}
+
+func writeError(w http.ResponseWriter, status int, msg string) {
+	data, err := MarshalResponse(ErrorResponse{Error: msg})
+	if err != nil {
+		// Unreachable: ErrorResponse always marshals.
+		data = []byte(`{"error":"encoding failure"}` + "\n")
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_, _ = w.Write(data) // best-effort: a vanished client owns its connection
+}
+
+func writeBody(w http.ResponseWriter, status int, body []byte) {
+	w.WriteHeader(status)
+	_, _ = w.Write(body) // best-effort: a vanished client owns its connection
+}

@@ -1,0 +1,278 @@
+package serve
+
+import (
+	"bytes"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+)
+
+// newTestService builds a virtual-time service and its HTTP server, wired for
+// cleanup.
+func newTestService(t *testing.T, cfg Config) (*Service, *Client) {
+	t.Helper()
+	if cfg.Shards == 0 {
+		cfg.Shards = 2
+	}
+	if cfg.Resources == 0 {
+		cfg.Resources = 8
+	}
+	if cfg.Delta == 0 {
+		cfg.Delta = 4
+	}
+	if cfg.Watermark == 0 {
+		cfg.Watermark = 1 << 16
+	}
+	svc, _, err := New(cfg)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	srv := httptest.NewServer(svc.Handler())
+	t.Cleanup(func() {
+		srv.Close()
+		svc.Close()
+	})
+	return svc, NewClient(srv.URL)
+}
+
+func submitJobs(t *testing.T, c *Client, tenant string, jobs ...SubmitJob) SubmitOutcome {
+	t.Helper()
+	out, err := c.Submit(&SubmitRequest{Schema: WireSchema, Tenant: tenant, Jobs: jobs})
+	if err != nil {
+		t.Fatalf("Submit(%s): %v", tenant, err)
+	}
+	return out
+}
+
+func TestSubmitTickExecute(t *testing.T) {
+	svc, client := newTestService(t, Config{})
+	out := submitJobs(t, client, "alpha",
+		SubmitJob{ID: 0, Color: 0, Delay: 4},
+		SubmitJob{ID: 1, Color: 1, Delay: 4},
+	)
+	if !out.Accepted || out.Round != 0 || out.Backlog != 2 {
+		t.Fatalf("unexpected outcome %+v", out)
+	}
+	// Tick past the delay bound: both jobs must resolve. Whether each is
+	// executed or dropped is the scheduler's call (dropping a sparse color
+	// can be cheaper than reconfiguring for it); the service contract is
+	// that nothing stays pending.
+	round, err := client.Tick(8)
+	if err != nil {
+		t.Fatalf("Tick: %v", err)
+	}
+	if round != 8 || svc.Round() != 8 {
+		t.Fatalf("round = %d / %d, want 8", round, svc.Round())
+	}
+	stats, err := client.Stats()
+	if err != nil {
+		t.Fatalf("Stats: %v", err)
+	}
+	if stats.Totals.Accepted != 2 || stats.Totals.Executed+stats.Totals.Dropped != 2 ||
+		stats.Totals.Backlog != 0 || stats.Totals.Inflight != 0 {
+		t.Fatalf("totals %+v", stats.Totals)
+	}
+	if stats.Totals.Tenants != 1 || stats.Schema != StatsSchema {
+		t.Fatalf("stats %+v", stats)
+	}
+}
+
+func TestWatermarkBackpressure(t *testing.T) {
+	_, client := newTestService(t, Config{Shards: 1, Watermark: 10})
+	jobs := func(from, n int) []SubmitJob {
+		out := make([]SubmitJob, n)
+		for i := range out {
+			out[i] = SubmitJob{ID: int64(from + i), Color: 0, Delay: 8}
+		}
+		return out
+	}
+	if out := submitJobs(t, client, "alpha", jobs(0, 8)...); !out.Accepted {
+		t.Fatalf("first batch rejected: %+v", out)
+	}
+	// 8 queued + 8 more would cross the watermark of 10.
+	out := submitJobs(t, client, "alpha", jobs(8, 8)...)
+	if !out.Rejected {
+		t.Fatalf("want 429, got %+v", out)
+	}
+	if out.RetryAfter != time.Second {
+		t.Fatalf("virtual-time Retry-After = %v, want 1s", out.RetryAfter)
+	}
+	// A tick drains the backlog into the scheduler; the same batch then fits.
+	if _, err := client.Tick(1); err != nil {
+		t.Fatalf("Tick: %v", err)
+	}
+	if out := submitJobs(t, client, "alpha", jobs(8, 8)...); !out.Accepted {
+		t.Fatalf("post-tick batch rejected: %+v", out)
+	}
+	// The rejected batch must not have been half-queued: stats sees exactly
+	// the two accepted batches.
+	stats, err := client.Stats()
+	if err != nil {
+		t.Fatalf("Stats: %v", err)
+	}
+	if stats.Totals.Accepted != 16 || stats.Totals.Rejected != 8 {
+		t.Fatalf("accepted=%d rejected=%d, want 16/8", stats.Totals.Accepted, stats.Totals.Rejected)
+	}
+}
+
+func TestSubmitRejectsDuplicateAndInconsistent(t *testing.T) {
+	_, client := newTestService(t, Config{})
+	submitJobs(t, client, "alpha", SubmitJob{ID: 5, Color: 0, Delay: 4})
+	// Replayed or out-of-order ID: at or below the high-water mark.
+	if _, err := client.Submit(&SubmitRequest{Schema: WireSchema, Tenant: "alpha",
+		Jobs: []SubmitJob{{ID: 5, Color: 0, Delay: 4}}}); err == nil || !strings.Contains(err.Error(), "high-water") {
+		t.Fatalf("duplicate id: err = %v", err)
+	}
+	// Same color, different delay bound than registered.
+	if _, err := client.Submit(&SubmitRequest{Schema: WireSchema, Tenant: "alpha",
+		Jobs: []SubmitJob{{ID: 6, Color: 0, Delay: 8}}}); err == nil || !strings.Contains(err.Error(), "delay bound") {
+		t.Fatalf("delay mismatch: err = %v", err)
+	}
+	// Both refusals are all-or-nothing; the tenant still accepts valid work.
+	if out := submitJobs(t, client, "alpha", SubmitJob{ID: 6, Color: 0, Delay: 4}); !out.Accepted {
+		t.Fatalf("valid follow-up rejected: %+v", out)
+	}
+}
+
+func TestDrainRefusesWork(t *testing.T) {
+	svc, client := newTestService(t, Config{})
+	submitJobs(t, client, "alpha", SubmitJob{ID: 0, Color: 0, Delay: 4})
+	if !client.Ready() {
+		t.Fatal("not ready before drain")
+	}
+	svc.BeginDrain()
+	out, err := client.Submit(&SubmitRequest{Schema: WireSchema, Tenant: "alpha",
+		Jobs: []SubmitJob{{ID: 1, Color: 0, Delay: 4}}})
+	if err != nil || !out.Refused {
+		t.Fatalf("draining submit: out=%+v err=%v", out, err)
+	}
+	if _, err := client.Tick(1); err == nil {
+		t.Fatal("tick succeeded while draining")
+	}
+	if client.Ready() {
+		t.Fatal("ready while draining")
+	}
+	if !client.Healthy() {
+		t.Fatal("liveness must survive draining")
+	}
+	stats, err := client.Stats()
+	if err != nil {
+		t.Fatalf("Stats: %v", err)
+	}
+	if !stats.Draining {
+		t.Fatal("stats does not report draining")
+	}
+}
+
+func TestTickRejectedInRealTimeMode(t *testing.T) {
+	// A long round keeps the ticker from firing during the test; Start is not
+	// called, so rounds cannot move at all.
+	_, client := newTestService(t, Config{RoundEvery: time.Hour})
+	if _, err := client.Tick(1); err == nil || !strings.Contains(err.Error(), "409") {
+		t.Fatalf("tick in real-time mode: err = %v", err)
+	}
+}
+
+func TestTickValidation(t *testing.T) {
+	_, client := newTestService(t, Config{})
+	srvURL := client.base
+	for _, q := range []string{"rounds=0", "rounds=-1", "rounds=x", "rounds=1048577"} {
+		resp, err := http.Post(srvURL+"/v1/tick?"+q, "application/json", nil)
+		if err != nil {
+			t.Fatalf("post: %v", err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Fatalf("tick?%s = %d, want 400", q, resp.StatusCode)
+		}
+	}
+}
+
+func TestHTTPValidation(t *testing.T) {
+	_, client := newTestService(t, Config{})
+	base := client.base
+	get := func(path string) *http.Response {
+		resp, err := http.Get(base + path)
+		if err != nil {
+			t.Fatalf("get %s: %v", path, err)
+		}
+		resp.Body.Close()
+		return resp
+	}
+	if resp := get("/v1/jobs"); resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Fatalf("GET /v1/jobs = %d, want 405", resp.StatusCode)
+	}
+	post := func(path, body string) *http.Response {
+		resp, err := http.Post(base+path, "application/json", strings.NewReader(body))
+		if err != nil {
+			t.Fatalf("post %s: %v", path, err)
+		}
+		resp.Body.Close()
+		return resp
+	}
+	if resp := post("/v1/jobs", "{not json"); resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("malformed submit = %d, want 400", resp.StatusCode)
+	}
+	if resp := get("/v1/decisions?tenant="); resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("empty tenant = %d, want 400", resp.StatusCode)
+	}
+	if resp := get("/v1/decisions?tenant=ghost"); resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("decisions with recording disabled = %d, want 404", resp.StatusCode)
+	}
+}
+
+func TestSubmitBodyLimit(t *testing.T) {
+	_, client := newTestService(t, Config{})
+	body := bytes.Repeat([]byte("x"), maxSubmitBody+1)
+	resp, err := http.Post(client.base+"/v1/jobs", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatalf("post: %v", err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusRequestEntityTooLarge {
+		t.Fatalf("oversized body = %d, want 413", resp.StatusCode)
+	}
+}
+
+func TestMergedMetricsEndpoint(t *testing.T) {
+	// Spread tenants across shards so /metrics genuinely merges registries.
+	_, client := newTestService(t, Config{Shards: 4})
+	tenants := []string{"alpha", "beta", "gamma", "delta", "epsilon"}
+	for _, tn := range tenants {
+		submitJobs(t, client, tn,
+			SubmitJob{ID: 0, Color: 0, Delay: 4},
+			SubmitJob{ID: 1, Color: 1, Delay: 4},
+		)
+	}
+	if _, err := client.Tick(6); err != nil {
+		t.Fatalf("Tick: %v", err)
+	}
+	snap, err := client.Metrics()
+	if err != nil {
+		t.Fatalf("Metrics: %v", err)
+	}
+	if got, ok := snap.Counter(MetricAccepted); !ok || got != int64(2*len(tenants)) {
+		t.Fatalf("%s = %d (ok=%v), want %d", MetricAccepted, got, ok, 2*len(tenants))
+	}
+	// Every shard ticked 6 rounds regardless of tenant count.
+	if got, ok := snap.Counter("sched_rounds_total"); !ok || got != 4*6 {
+		t.Fatalf("sched_rounds_total = %d (ok=%v), want 24", got, ok)
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	bad := []Config{
+		{Shards: 0, Resources: 8, Delta: 4, Watermark: 1},
+		{Shards: 1, Resources: 6, Delta: 4, Watermark: 1},
+		{Shards: 1, Resources: 8, Delta: 0, Watermark: 1},
+		{Shards: 1, Resources: 8, Delta: 4, Watermark: 0},
+		{Shards: 1, Resources: 8, Delta: 4, Watermark: 1, RoundEvery: -time.Second},
+	}
+	for i, cfg := range bad {
+		if _, _, err := New(cfg); err == nil {
+			t.Fatalf("config %d accepted: %+v", i, cfg)
+		}
+	}
+}

@@ -1,0 +1,336 @@
+package serve
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"rrsched/internal/obs"
+)
+
+// Config parameterizes the service.
+type Config struct {
+	// Shards is the number of scheduler shards (>= 1). Tenants map to shards
+	// by consistent hashing; a checkpoint can only be restored under the same
+	// shard count.
+	Shards int
+	// Resources is the per-tenant resource count n (positive multiple of 4),
+	// and Delta the reconfiguration cost — the stream.Config of every
+	// tenant's scheduler.
+	Resources int
+	Delta     int64
+	// Watermark is the per-shard bound on queued (accepted but not yet
+	// scheduled) jobs. A batch that would push the backlog past it is
+	// rejected with 429 + Retry-After; the watermark is also the hard memory
+	// bound of the ingest queue.
+	Watermark int
+	// RoundEvery is the real-time duration of one scheduling round. Zero
+	// selects virtual-time mode: rounds advance only via POST /v1/tick (or
+	// Service.Tick), which is what tests and the CI smoke job use.
+	RoundEvery time.Duration
+	// RecordDecisions keeps every tenant's full decision stream in memory
+	// and serves it at /v1/decisions. Meant for determinism testing and
+	// debugging, not production traffic (memory grows with the run).
+	RecordDecisions bool
+	// StateDir is where Checkpoint writes per-shard state files and where
+	// New looks for a previous incarnation's files to restore. Empty
+	// disables durability.
+	StateDir string
+}
+
+func (cfg Config) validate() error {
+	if cfg.Shards <= 0 {
+		return fmt.Errorf("serve: need at least one shard, got %d", cfg.Shards)
+	}
+	if cfg.Resources <= 0 || cfg.Resources%4 != 0 {
+		return fmt.Errorf("serve: resources must be a positive multiple of 4, got %d", cfg.Resources)
+	}
+	if cfg.Delta <= 0 {
+		return fmt.Errorf("serve: non-positive delta %d", cfg.Delta)
+	}
+	if cfg.Watermark <= 0 {
+		return fmt.Errorf("serve: non-positive watermark %d", cfg.Watermark)
+	}
+	if cfg.RoundEvery < 0 {
+		return fmt.Errorf("serve: negative round duration %v", cfg.RoundEvery)
+	}
+	return nil
+}
+
+// Service is the sharded scheduling service. Construct with New, expose
+// Handler over HTTP, Start the ticker (real-time mode), and shut down in
+// order: BeginDrain, then HTTP server shutdown, then Checkpoint, then Close.
+type Service struct {
+	cfg    Config
+	ring   hashRing
+	shards []*shard
+
+	// round is the next global round; shards advance in lockstep under
+	// tickMu. Atomic so handlers can read it without joining the tick path.
+	round    atomic.Int64
+	tickMu   sync.Mutex
+	draining atomic.Bool
+
+	tickerStop chan struct{}
+	tickerDone chan struct{}
+	startOnce  sync.Once
+	stopOnce   sync.Once
+	closeOnce  sync.Once
+
+	bootNs int64 // obs.Now at construction, for uptime reporting
+}
+
+// New builds a service. If cfg.StateDir contains checkpoint files from a
+// previous incarnation (same shard count), the full per-tenant state is
+// restored before the service accepts traffic; the returned restored count
+// is the number of tenants recovered.
+func New(cfg Config) (svc *Service, restored int, err error) {
+	if err := cfg.validate(); err != nil {
+		return nil, 0, err
+	}
+	s := &Service{
+		cfg:    cfg,
+		ring:   newHashRing(cfg.Shards),
+		bootNs: obs.Now(),
+	}
+	for i := 0; i < cfg.Shards; i++ {
+		sh, err := newShard(i, cfg)
+		if err != nil {
+			return nil, 0, err
+		}
+		s.shards = append(s.shards, sh)
+	}
+	if cfg.StateDir != "" {
+		restored, err = s.restore()
+		if err != nil {
+			return nil, 0, err
+		}
+	}
+	for _, sh := range s.shards {
+		sh.start()
+	}
+	return s, restored, nil
+}
+
+// restore loads per-shard checkpoint files from cfg.StateDir, if present.
+// Either every shard file exists or none: a partial state dir means a failed
+// or foreign checkpoint, and resuming from it would silently lose tenants.
+func (s *Service) restore() (int, error) {
+	present := 0
+	for i := range s.shards {
+		if _, err := os.Stat(s.shardStatePath(i)); err == nil {
+			present++
+		} else if !os.IsNotExist(err) {
+			return 0, fmt.Errorf("serve: probing state dir: %w", err)
+		}
+	}
+	if present == 0 {
+		return 0, nil
+	}
+	if present != len(s.shards) {
+		return 0, fmt.Errorf("serve: state dir %s has %d of %d shard files; refusing a partial restore",
+			s.cfg.StateDir, present, len(s.shards))
+	}
+	restored := 0
+	var round int64
+	for i, sh := range s.shards {
+		data, err := os.ReadFile(s.shardStatePath(i))
+		if err != nil {
+			return 0, fmt.Errorf("serve: reading shard %d state: %w", i, err)
+		}
+		if err := sh.restoreShard(data, s.ring); err != nil {
+			return 0, fmt.Errorf("serve: shard %d: %w", i, err)
+		}
+		if i == 0 {
+			round = sh.round
+		} else if sh.round != round {
+			return 0, fmt.Errorf("serve: shard rounds diverge in checkpoint (%d vs %d); shards tick in lockstep", sh.round, round)
+		}
+		restored += len(sh.tenants)
+	}
+	s.round.Store(round)
+	return restored, nil
+}
+
+func (s *Service) shardStatePath(i int) string {
+	return filepath.Join(s.cfg.StateDir, fmt.Sprintf("shard-%04d.json", i))
+}
+
+// Round returns the next global round.
+func (s *Service) Round() int64 { return s.round.Load() }
+
+// Draining reports whether BeginDrain has been called.
+func (s *Service) Draining() bool { return s.draining.Load() }
+
+// Virtual reports whether the service runs in virtual-time mode.
+func (s *Service) Virtual() bool { return s.cfg.RoundEvery == 0 }
+
+// Start launches the real-time round ticker. A no-op in virtual-time mode.
+func (s *Service) Start() {
+	if s.Virtual() {
+		return
+	}
+	s.startOnce.Do(func() {
+		s.tickerStop = make(chan struct{})
+		s.tickerDone = make(chan struct{})
+		go func() {
+			defer close(s.tickerDone)
+			t := time.NewTicker(s.cfg.RoundEvery)
+			defer t.Stop()
+			for {
+				select {
+				case <-t.C:
+					// A tick error only means the service began draining
+					// between the channel receive and the tick; the loop
+					// exits on the next select either way.
+					_, _ = s.Tick(1) // drain race only; see comment
+				case <-s.tickerStop:
+					return
+				}
+			}
+		}()
+	})
+}
+
+// Tick advances all shards by n rounds in lockstep and returns the new next
+// round. Shards tick concurrently within a round but a barrier separates
+// rounds, keeping every shard's round counter aligned.
+func (s *Service) Tick(n int) (int64, error) {
+	if n <= 0 {
+		return s.round.Load(), fmt.Errorf("serve: tick count must be positive, got %d", n)
+	}
+	s.tickMu.Lock()
+	defer s.tickMu.Unlock()
+	if s.draining.Load() {
+		return s.round.Load(), fmt.Errorf("serve: service is draining")
+	}
+	for i := 0; i < n; i++ {
+		r := s.round.Load()
+		var wg sync.WaitGroup
+		wg.Add(len(s.shards))
+		cmd := &tickCmd{round: r, done: &wg}
+		for _, sh := range s.shards {
+			sh.ch <- shardCmd{tick: cmd}
+		}
+		wg.Wait()
+		s.round.Store(r + 1)
+	}
+	return s.round.Load(), nil
+}
+
+// BeginDrain stops admissions and the round ticker. Idempotent. After it
+// returns, no new jobs are accepted (submits get 503), no further rounds
+// tick, and any in-flight tick has completed — the service state is frozen
+// at a round boundary, ready for Checkpoint.
+func (s *Service) BeginDrain() {
+	s.draining.Store(true)
+	s.stopOnce.Do(func() {
+		if s.tickerStop != nil {
+			close(s.tickerStop)
+			<-s.tickerDone
+		}
+	})
+	// Barrier: an in-flight Tick holds tickMu until its round completes, so
+	// acquiring and releasing it guarantees the state rests at a round
+	// boundary when BeginDrain returns.
+	s.tickMu.Lock()
+	s.tickMu.Unlock()
+}
+
+// Checkpoint writes every shard's state to cfg.StateDir (one file per shard,
+// written atomically via rename). Call after BeginDrain and after the HTTP
+// server has stopped delivering submissions.
+func (s *Service) Checkpoint() error {
+	if s.cfg.StateDir == "" {
+		return fmt.Errorf("serve: no state dir configured")
+	}
+	if err := os.MkdirAll(s.cfg.StateDir, 0o755); err != nil {
+		return fmt.Errorf("serve: creating state dir: %w", err)
+	}
+	for i, sh := range s.shards {
+		reply := make(chan snapshotResult, 1)
+		sh.ch <- shardCmd{snapshot: &snapshotCmd{reply: reply}}
+		res := <-reply
+		if res.err != nil {
+			return res.err
+		}
+		path := s.shardStatePath(i)
+		tmp := path + ".tmp"
+		if err := os.WriteFile(tmp, res.data, 0o644); err != nil {
+			return fmt.Errorf("serve: writing shard %d state: %w", i, err)
+		}
+		if err := os.Rename(tmp, path); err != nil {
+			return fmt.Errorf("serve: committing shard %d state: %w", i, err)
+		}
+	}
+	return nil
+}
+
+// Close stops the shard goroutines. The caller must guarantee no concurrent
+// Handler traffic or Tick calls: Close is the last step of the shutdown
+// order (BeginDrain, HTTP shutdown, Checkpoint, Close).
+func (s *Service) Close() {
+	s.closeOnce.Do(func() {
+		s.draining.Store(true)
+		s.stopOnce.Do(func() {
+			if s.tickerStop != nil {
+				close(s.tickerStop)
+				<-s.tickerDone
+			}
+		})
+		for _, sh := range s.shards {
+			sh.stop()
+		}
+	})
+}
+
+// Stats assembles the service-level stats response.
+func (s *Service) Stats() *StatsResponse {
+	resp := &StatsResponse{
+		Schema:   StatsSchema,
+		Round:    s.round.Load(),
+		Shards:   len(s.shards),
+		Virtual:  s.Virtual(),
+		Draining: s.draining.Load(),
+		UptimeNs: obs.Now() - s.bootNs,
+	}
+	for _, sh := range s.shards {
+		reply := make(chan ShardStats, 1)
+		sh.ch <- shardCmd{stats: &statsCmd{reply: reply}}
+		st := <-reply
+		resp.PerShard = append(resp.PerShard, st)
+		resp.Totals.add(st)
+	}
+	resp.Totals.Shard = -1
+	resp.Totals.Round = resp.Round
+	return resp
+}
+
+// MergedMetrics returns the service-level metric snapshot: the per-shard
+// registries merged (counters summed, histograms bucket-wise summed).
+func (s *Service) MergedMetrics() (*obs.Snapshot, error) {
+	snaps := make([]*obs.Snapshot, len(s.shards))
+	for i, sh := range s.shards {
+		snaps[i] = sh.met.reg.Snapshot()
+	}
+	return obs.MergeSnapshots(snaps...)
+}
+
+// StatsSchema versions the /v1/stats response format.
+const StatsSchema = "rrserve-stats/v1"
+
+// StatsResponse is the body of GET /v1/stats.
+type StatsResponse struct {
+	Schema   string `json:"schema"`
+	Round    int64  `json:"round"`
+	Shards   int    `json:"shards"`
+	Virtual  bool   `json:"virtual"`
+	Draining bool   `json:"draining"`
+	UptimeNs int64  `json:"uptime_ns"`
+
+	Totals   ShardStats   `json:"totals"`
+	PerShard []ShardStats `json:"per_shard"`
+}

@@ -1,0 +1,462 @@
+package serve
+
+import (
+	"fmt"
+	"net/http"
+	"sort"
+	"sync"
+
+	"rrsched/internal/model"
+	"rrsched/internal/obs"
+	"rrsched/internal/stream"
+)
+
+// tenant is one tenant's scheduling state inside a shard. All fields are
+// owned by the shard goroutine.
+type tenant struct {
+	name string
+	// epoch is the global round of the tenant's first scheduled round: the
+	// tenant's scheduler runs on local rounds (global - epoch), so a tenant
+	// appearing late does not pay a catch-up walk from global round 0.
+	epoch int64
+	sched *stream.Scheduler
+	// queued holds accepted jobs awaiting the next round tick. Arrival is
+	// stamped at push time.
+	queued []model.Job
+	// maxID is the highest job ID accepted so far (-1 before the first).
+	// Submissions must exceed it, which rejects duplicates in O(1).
+	maxID int64
+	// delays mirrors the per-color delay bounds registered so far, so an
+	// inconsistent submission is rejected at admission instead of poisoning
+	// a round's Push.
+	delays map[model.Color]int64
+	// inflight tracks color and local arrival round of jobs pushed into the
+	// scheduler and not yet executed or dropped — the metadata the metrics
+	// layer needs when a decision only carries job IDs.
+	inflight map[int64]jobMeta
+	// decisions is the recorded decision stream (Config.RecordDecisions).
+	decisions []stream.Decision
+}
+
+type jobMeta struct {
+	Color   model.Color
+	Arrival int64 // local round
+}
+
+// shardMetrics bundles the per-shard instrument handles: the standard
+// scheduler vocabulary plus the serve-specific ingest instruments.
+type shardMetrics struct {
+	reg *obs.Registry
+	sm  *obs.SchedulerMetrics
+
+	accepted *obs.Counter // jobs admitted
+	rejected *obs.Counter // jobs refused with 429 (watermark)
+	refused  *obs.Counter // jobs refused with 400/503 (invalid, draining)
+	backlog  *obs.Gauge   // queued jobs awaiting the next tick
+	tenants  *obs.Gauge   // live tenants on this shard
+	tickNs   *obs.Histogram
+	submitNs *obs.Histogram
+}
+
+// Serve-specific metric names (the scheduler vocabulary lives in obs).
+const (
+	MetricAccepted = "serve_accepted_jobs_total"
+	MetricRejected = "serve_rejected_jobs_total"
+	MetricRefused  = "serve_refused_jobs_total"
+	MetricBacklog  = "serve_backlog_jobs"
+	MetricTenants  = "serve_tenants"
+	MetricTickNs   = "serve_tick_ns"
+	MetricSubmitNs = "serve_submit_ns"
+)
+
+func newShardMetrics() (*shardMetrics, error) {
+	m := &shardMetrics{reg: obs.NewRegistry()}
+	var err error
+	if m.sm, err = obs.NewSchedulerMetrics(m.reg); err != nil {
+		return nil, err
+	}
+	if m.accepted, err = m.reg.Counter(MetricAccepted); err != nil {
+		return nil, err
+	}
+	if m.rejected, err = m.reg.Counter(MetricRejected); err != nil {
+		return nil, err
+	}
+	if m.refused, err = m.reg.Counter(MetricRefused); err != nil {
+		return nil, err
+	}
+	if m.backlog, err = m.reg.Gauge(MetricBacklog); err != nil {
+		return nil, err
+	}
+	if m.tenants, err = m.reg.Gauge(MetricTenants); err != nil {
+		return nil, err
+	}
+	// 1 µs to ~17 s in powers of four: round ticks batch many pushes.
+	if m.tickNs, err = m.reg.Histogram(MetricTickNs, obs.ExpBuckets(1024, 4, 13)); err != nil {
+		return nil, err
+	}
+	// 256 ns to ~1 s: per-batch admission work.
+	if m.submitNs, err = m.reg.Histogram(MetricSubmitNs, obs.ExpBuckets(256, 4, 12)); err != nil {
+		return nil, err
+	}
+	return m, nil
+}
+
+// shard owns a subset of tenants. A single goroutine (run) serializes every
+// state mutation — submissions, round ticks, checkpoints — so scheduling
+// decisions are reproducible no matter how requests interleave on the wire.
+type shard struct {
+	idx int
+	cfg Config
+	ch  chan shardCmd
+	wg  sync.WaitGroup
+
+	met *shardMetrics
+
+	// Everything below is owned by the shard goroutine.
+	round    int64 // next round to tick
+	tenants  map[string]*tenant
+	order    []string // sorted tenant names: the deterministic visit order
+	backlog  int      // total queued jobs across tenants
+	inflight int      // jobs pushed into schedulers and not yet resolved
+}
+
+// shardCmd is the message type of the shard goroutine. Exactly one of the
+// fields is set.
+type shardCmd struct {
+	submit    *submitCmd
+	tick      *tickCmd
+	snapshot  *snapshotCmd
+	stats     *statsCmd
+	decisions *decisionsCmd
+}
+
+type submitCmd struct {
+	req   *SubmitRequest
+	reply chan submitResult
+}
+
+type submitResult struct {
+	status  int // http status: 200, 429, or 400
+	err     string
+	round   int64
+	backlog int
+}
+
+type tickCmd struct {
+	round int64
+	done  *sync.WaitGroup
+}
+
+type snapshotCmd struct {
+	reply chan snapshotResult
+}
+
+type snapshotResult struct {
+	data []byte
+	err  error
+}
+
+type statsCmd struct {
+	reply chan ShardStats
+}
+
+type decisionsCmd struct {
+	tenant string
+	reply  chan decisionsResult
+}
+
+type decisionsResult struct {
+	status int
+	err    string
+	resp   *DecisionsResponse
+}
+
+func newShard(idx int, cfg Config) (*shard, error) {
+	met, err := newShardMetrics()
+	if err != nil {
+		return nil, err
+	}
+	return &shard{
+		idx:     idx,
+		cfg:     cfg,
+		ch:      make(chan shardCmd, 64),
+		met:     met,
+		tenants: map[string]*tenant{},
+	}, nil
+}
+
+// start launches the shard goroutine.
+func (sh *shard) start() {
+	sh.wg.Add(1)
+	go sh.run()
+}
+
+// stop closes the command channel and waits for the goroutine to exit. The
+// caller guarantees no further sends (the service only stops shards after the
+// HTTP server has shut down and the ticker has stopped).
+func (sh *shard) stop() {
+	close(sh.ch)
+	sh.wg.Wait()
+}
+
+func (sh *shard) run() {
+	defer sh.wg.Done()
+	for cmd := range sh.ch {
+		switch {
+		case cmd.submit != nil:
+			t0 := obs.Now()
+			cmd.submit.reply <- sh.handleSubmit(cmd.submit.req)
+			sh.met.submitNs.Observe(obs.Now() - t0)
+		case cmd.tick != nil:
+			t0 := obs.Now()
+			sh.handleTick(cmd.tick.round)
+			sh.met.tickNs.Observe(obs.Now() - t0)
+			cmd.tick.done.Done()
+		case cmd.snapshot != nil:
+			data, err := sh.checkpoint()
+			cmd.snapshot.reply <- snapshotResult{data: data, err: err}
+		case cmd.stats != nil:
+			cmd.stats.reply <- sh.stats()
+		case cmd.decisions != nil:
+			cmd.decisions.reply <- sh.handleDecisions(cmd.decisions.tenant)
+		}
+	}
+}
+
+// handleSubmit admits or rejects one batch. Admission is all-or-nothing:
+// every job is validated against the tenant's registered state before any is
+// queued.
+func (sh *shard) handleSubmit(req *SubmitRequest) submitResult {
+	n := len(req.Jobs)
+	if sh.backlog+n > sh.cfg.Watermark {
+		sh.met.rejected.Add(int64(n))
+		return submitResult{
+			status:  http.StatusTooManyRequests,
+			err:     fmt.Sprintf("shard %d backlog %d + batch %d exceeds watermark %d", sh.idx, sh.backlog, n, sh.cfg.Watermark),
+			round:   sh.round,
+			backlog: sh.backlog,
+		}
+	}
+	tn := sh.tenants[req.Tenant]
+	maxID := int64(-1)
+	var delays map[model.Color]int64
+	if tn != nil {
+		maxID = tn.maxID
+		delays = tn.delays
+	}
+	if req.Jobs[0].ID <= maxID {
+		sh.met.refused.Add(int64(n))
+		return submitResult{
+			status:  http.StatusBadRequest,
+			err:     fmt.Sprintf("tenant %q job id %d not above high-water id %d (ids must be strictly increasing)", req.Tenant, req.Jobs[0].ID, maxID),
+			round:   sh.round,
+			backlog: sh.backlog,
+		}
+	}
+	for _, j := range req.Jobs {
+		if d, ok := delays[model.Color(j.Color)]; ok && d != j.Delay {
+			sh.met.refused.Add(int64(n))
+			return submitResult{
+				status:  http.StatusBadRequest,
+				err:     fmt.Sprintf("tenant %q color %d has delay bound %d, batch says %d", req.Tenant, j.Color, d, j.Delay),
+				round:   sh.round,
+				backlog: sh.backlog,
+			}
+		}
+	}
+	if tn == nil {
+		sched, err := stream.New(stream.Config{Delta: sh.cfg.Delta, Resources: sh.cfg.Resources})
+		if err != nil {
+			// Unreachable: Config.validate checked the same parameters.
+			sh.met.refused.Add(int64(n))
+			return submitResult{status: http.StatusInternalServerError, err: err.Error(), round: sh.round, backlog: sh.backlog}
+		}
+		tn = &tenant{
+			name:     req.Tenant,
+			epoch:    sh.round,
+			sched:    sched,
+			maxID:    -1,
+			delays:   map[model.Color]int64{},
+			inflight: map[int64]jobMeta{},
+		}
+		sh.tenants[req.Tenant] = tn
+		i := sort.SearchStrings(sh.order, req.Tenant)
+		sh.order = append(sh.order, "")
+		copy(sh.order[i+1:], sh.order[i:])
+		sh.order[i] = req.Tenant
+		sh.met.tenants.Set(int64(len(sh.tenants)))
+	}
+	for _, j := range req.Jobs {
+		tn.delays[model.Color(j.Color)] = j.Delay
+		// Arrival is stamped at the next tick; see handleTick.
+		tn.queued = append(tn.queued, model.Job{ID: j.ID, Color: model.Color(j.Color), Delay: j.Delay})
+	}
+	tn.maxID = req.Jobs[n-1].ID
+	sh.backlog += n
+	sh.met.backlog.Set(int64(sh.backlog))
+	sh.met.accepted.Add(int64(n))
+	return submitResult{status: http.StatusOK, round: sh.round, backlog: sh.backlog}
+}
+
+// handleTick advances every tenant one round. Tenants are visited in sorted
+// name order and each tenant's queued jobs are pushed sorted by ID, so the
+// decision streams are independent of submission interleaving.
+func (sh *shard) handleTick(round int64) {
+	if round != sh.round {
+		// The service ticks all shards in lockstep; a mismatch would be a
+		// serve bug, not an input error. Skip rather than corrupt: the next
+		// aligned tick resynchronizes.
+		return
+	}
+	for _, name := range sh.order {
+		tn := sh.tenants[name]
+		local := round - tn.epoch
+		jobs := tn.queued
+		tn.queued = nil
+		for i := range jobs {
+			jobs[i].Arrival = local
+		}
+		sort.Slice(jobs, func(i, j int) bool { return jobs[i].ID < jobs[j].ID })
+		dec, err := tn.sched.Push(local, jobs)
+		if err != nil {
+			// Unreachable by construction: admission validated every job
+			// against the tenant's registered delays and ID high-water mark.
+			// Refuse to guess at recovery; count the round as refused work.
+			sh.met.refused.Add(int64(len(jobs)))
+			sh.backlog -= len(jobs)
+			continue
+		}
+		sh.backlog -= len(jobs)
+		sh.inflight += len(jobs)
+		for _, j := range jobs {
+			tn.inflight[j.ID] = jobMeta{Color: j.Color, Arrival: local}
+		}
+		sh.observeDecision(tn, dec)
+		if sh.cfg.RecordDecisions {
+			tn.decisions = append(tn.decisions, dec)
+		}
+	}
+	sh.round = round + 1
+	sh.met.sm.Rounds.Inc()
+	sh.met.backlog.Set(int64(sh.backlog))
+}
+
+// observeDecision folds one round's decision into the shard metrics and
+// retires the resolved jobs from the inflight table.
+func (sh *shard) observeDecision(tn *tenant, dec stream.Decision) {
+	sm := sh.met.sm
+	if n := len(dec.Reconfigs); n > 0 {
+		sm.Reconfigs.Add(int64(n))
+		sm.ReconfigCost.Add(int64(n) * sh.cfg.Delta)
+	}
+	for _, id := range dec.Dropped {
+		meta, ok := tn.inflight[id]
+		if ok {
+			delete(tn.inflight, id)
+			sh.inflight--
+			sm.Drops.With(meta.Color.String()).Inc()
+		}
+		sm.Dropped.Inc()
+		sm.DropCost.Inc()
+	}
+	for _, ex := range dec.Executions {
+		if meta, ok := tn.inflight[ex.JobID]; ok {
+			delete(tn.inflight, ex.JobID)
+			sh.inflight--
+			sm.PendingAge.Observe(dec.Round - meta.Arrival)
+		}
+		sm.Executed.Inc()
+	}
+	sm.QueueDepth.Set(int64(sh.inflight))
+}
+
+// handleDecisions returns a tenant's recorded decision stream.
+func (sh *shard) handleDecisions(name string) decisionsResult {
+	if !sh.cfg.RecordDecisions {
+		return decisionsResult{status: http.StatusNotFound, err: "decision recording is disabled (start the service with record-decisions)"}
+	}
+	tn := sh.tenants[name]
+	if tn == nil {
+		return decisionsResult{status: http.StatusNotFound, err: fmt.Sprintf("unknown tenant %q", name)}
+	}
+	// Copy: the reply outlives this command, and the goroutine keeps
+	// appending on later ticks.
+	decs := make([]stream.Decision, len(tn.decisions))
+	copy(decs, tn.decisions)
+	return decisionsResult{
+		status: http.StatusOK,
+		resp: &DecisionsResponse{
+			Schema:    DecisionsSchema,
+			Tenant:    tn.name,
+			Shard:     sh.idx,
+			Epoch:     tn.epoch,
+			Round:     sh.round,
+			Decisions: decs,
+		},
+	}
+}
+
+// stats summarizes the shard for /v1/stats.
+func (sh *shard) stats() ShardStats {
+	s := ShardStats{
+		Shard:    sh.idx,
+		Round:    sh.round,
+		Tenants:  len(sh.tenants),
+		Backlog:  sh.backlog,
+		Accepted: sh.met.accepted.Value(),
+		Rejected: sh.met.rejected.Value(),
+		Refused:  sh.met.refused.Value(),
+	}
+	s.Executed = sh.met.sm.Executed.Value()
+	s.Dropped = sh.met.sm.Dropped.Value()
+	s.Reconfigs = sh.met.sm.Reconfigs.Value()
+	s.ReconfigCost = sh.met.sm.ReconfigCost.Value()
+	s.Inflight = sh.inflight
+	return s
+}
+
+// ShardStats is one shard's row in the /v1/stats response.
+type ShardStats struct {
+	Shard        int   `json:"shard"`
+	Round        int64 `json:"round"`
+	Tenants      int   `json:"tenants"`
+	Backlog      int   `json:"backlog"`
+	Inflight     int   `json:"inflight"`
+	Accepted     int64 `json:"accepted"`
+	Rejected     int64 `json:"rejected"`
+	Refused      int64 `json:"refused"`
+	Executed     int64 `json:"executed"`
+	Dropped      int64 `json:"dropped"`
+	Reconfigs    int64 `json:"reconfigs"`
+	ReconfigCost int64 `json:"reconfig_cost"`
+}
+
+// add accumulates o into s for the service-level totals row.
+func (s *ShardStats) add(o ShardStats) {
+	s.Tenants += o.Tenants
+	s.Backlog += o.Backlog
+	s.Inflight += o.Inflight
+	s.Accepted += o.Accepted
+	s.Rejected += o.Rejected
+	s.Refused += o.Refused
+	s.Executed += o.Executed
+	s.Dropped += o.Dropped
+	s.Reconfigs += o.Reconfigs
+	s.ReconfigCost += o.ReconfigCost
+}
+
+// DecisionsSchema versions the /v1/decisions response format.
+const DecisionsSchema = "rrserve-decisions/v1"
+
+// DecisionsResponse is the body of GET /v1/decisions?tenant=...: the
+// tenant's full recorded decision stream, in tenant-local rounds.
+type DecisionsResponse struct {
+	Schema string `json:"schema"`
+	Tenant string `json:"tenant"`
+	Shard  int    `json:"shard"`
+	// Epoch is the global round of the tenant's local round 0.
+	Epoch int64 `json:"epoch"`
+	// Round is the shard's next global round.
+	Round     int64             `json:"round"`
+	Decisions []stream.Decision `json:"decisions"`
+}

@@ -1,0 +1,155 @@
+// Package serve is the network scheduling service over the stream scheduler:
+// a shard pool of per-tenant stream.Scheduler instances keyed by consistent
+// hashing of the tenant ID, an HTTP ingest layer with watermark-based
+// admission control, a round ticker (real-time or virtual), and graceful
+// drain to per-shard checkpoints that restore decision-identically.
+//
+// The design constraint throughout is that the ingest layer must never
+// perturb scheduling: each shard owns a single goroutine that serializes
+// submissions and round advancement, tenants are visited in sorted order,
+// and a tenant's queued jobs are pushed sorted by ID — so the per-tenant
+// decision stream is byte-identical to feeding the same arrivals to a bare
+// stream.Scheduler sequentially.
+package serve
+
+import (
+	"encoding/json"
+	"fmt"
+)
+
+// WireSchema versions the submit wire format; requests carrying any other
+// schema string are rejected so format evolution stays explicit.
+const WireSchema = "rrserve/v1"
+
+// Wire-format bounds. They exist to keep a single malformed or hostile
+// request from pinning memory: the decoder rejects anything beyond them
+// before the batch reaches a shard.
+const (
+	// MaxBatchJobs caps the jobs in one submit request.
+	MaxBatchJobs = 65536
+	// MaxTenantLen caps the tenant ID length in bytes.
+	MaxTenantLen = 256
+	// MaxDelayBound caps a job's delay bound. Far beyond any real workload,
+	// but small enough that arrival+delay arithmetic can never overflow.
+	MaxDelayBound = int64(1) << 32
+)
+
+// SubmitJob is one job on the wire. The service assigns the arrival round
+// (jobs arrive "now" — they are scheduled at the shard's next round tick),
+// so the wire job carries only identity, color, and delay bound.
+type SubmitJob struct {
+	// ID identifies the job within its tenant. IDs must be strictly
+	// increasing across a tenant's lifetime (and therefore within a batch);
+	// the shard rejects anything at or below the highest ID it has accepted,
+	// which makes duplicate-suppression O(1) instead of O(history).
+	ID int64 `json:"id"`
+	// Color is the job's color (category); non-negative.
+	Color int32 `json:"color"`
+	// Delay is the delay bound D_ℓ of the job's color. All jobs of one color
+	// must carry the same bound, within a batch and across the tenant's life.
+	Delay int64 `json:"delay"`
+}
+
+// SubmitRequest is the body of POST /v1/jobs: one batch of jobs for one
+// tenant. Batches are admitted all-or-nothing, so a 429 never leaves a batch
+// half-queued.
+type SubmitRequest struct {
+	Schema string      `json:"schema"`
+	Tenant string      `json:"tenant"`
+	Jobs   []SubmitJob `json:"jobs"`
+}
+
+// SubmitResponse is the body of a successful submit.
+type SubmitResponse struct {
+	Schema string `json:"schema"`
+	// Accepted is the number of jobs queued (always len(Jobs): admission is
+	// all-or-nothing).
+	Accepted int `json:"accepted"`
+	// Round is the global round at which the batch will be pushed into the
+	// tenant's scheduler (the shard's next tick).
+	Round int64 `json:"round"`
+	// Backlog is the shard's queued-job count after this batch.
+	Backlog int `json:"backlog"`
+}
+
+// ErrorResponse is the body of every non-2xx response.
+type ErrorResponse struct {
+	Error string `json:"error"`
+}
+
+// DecodeSubmit parses and validates a submit request. It never panics on
+// arbitrary bytes, and any request it accepts re-encodes (EncodeSubmit) to an
+// equivalent batch — the round-trip property FuzzDecodeSubmit pins.
+func DecodeSubmit(data []byte) (*SubmitRequest, error) {
+	var req SubmitRequest
+	if err := json.Unmarshal(data, &req); err != nil {
+		return nil, fmt.Errorf("serve: decoding submit request: %w", err)
+	}
+	if err := validateSubmit(&req); err != nil {
+		return nil, err
+	}
+	return &req, nil
+}
+
+// EncodeSubmit validates and serializes a submit request.
+func EncodeSubmit(req *SubmitRequest) ([]byte, error) {
+	if err := validateSubmit(req); err != nil {
+		return nil, err
+	}
+	return json.Marshal(req)
+}
+
+// validateSubmit enforces the wire invariants shared by the decoder and the
+// encoder: schema, tenant shape, batch bounds, per-job field ranges, strictly
+// increasing IDs, and per-color delay-bound consistency within the batch.
+func validateSubmit(req *SubmitRequest) error {
+	if req.Schema != WireSchema {
+		return fmt.Errorf("serve: submit schema %q, want %q", req.Schema, WireSchema)
+	}
+	if err := ValidateTenant(req.Tenant); err != nil {
+		return err
+	}
+	if len(req.Jobs) == 0 {
+		return fmt.Errorf("serve: submit batch for tenant %q has no jobs", req.Tenant)
+	}
+	if len(req.Jobs) > MaxBatchJobs {
+		return fmt.Errorf("serve: submit batch has %d jobs, max %d", len(req.Jobs), MaxBatchJobs)
+	}
+	delays := make(map[int32]int64, 4)
+	for i, j := range req.Jobs {
+		if j.ID < 0 {
+			return fmt.Errorf("serve: job %d has negative id", j.ID)
+		}
+		if i > 0 && j.ID <= req.Jobs[i-1].ID {
+			return fmt.Errorf("serve: batch ids not strictly increasing (%d after %d)", j.ID, req.Jobs[i-1].ID)
+		}
+		if j.Color < 0 {
+			return fmt.Errorf("serve: job %d has negative color %d", j.ID, j.Color)
+		}
+		if j.Delay <= 0 || j.Delay > MaxDelayBound {
+			return fmt.Errorf("serve: job %d has delay bound %d out of range (1..%d)", j.ID, j.Delay, MaxDelayBound)
+		}
+		if d, ok := delays[j.Color]; ok && d != j.Delay {
+			return fmt.Errorf("serve: batch gives color %d delay bounds %d and %d", j.Color, d, j.Delay)
+		}
+		delays[j.Color] = j.Delay
+	}
+	return nil
+}
+
+// ValidateTenant checks a tenant ID: non-empty, bounded, and free of control
+// characters (tenant IDs travel in URLs, logs, and checkpoint files).
+func ValidateTenant(tenant string) error {
+	if tenant == "" {
+		return fmt.Errorf("serve: empty tenant id")
+	}
+	if len(tenant) > MaxTenantLen {
+		return fmt.Errorf("serve: tenant id of %d bytes, max %d", len(tenant), MaxTenantLen)
+	}
+	for i := 0; i < len(tenant); i++ {
+		if tenant[i] < 0x20 || tenant[i] == 0x7f {
+			return fmt.Errorf("serve: tenant id contains control byte 0x%02x", tenant[i])
+		}
+	}
+	return nil
+}

@@ -1,0 +1,109 @@
+package serve
+
+import (
+	"strings"
+	"testing"
+)
+
+func validRequest() *SubmitRequest {
+	return &SubmitRequest{
+		Schema: WireSchema,
+		Tenant: "tenant-a",
+		Jobs: []SubmitJob{
+			{ID: 0, Color: 0, Delay: 4},
+			{ID: 1, Color: 1, Delay: 8},
+			{ID: 5, Color: 0, Delay: 4},
+		},
+	}
+}
+
+func TestDecodeSubmitRoundTrip(t *testing.T) {
+	want := validRequest()
+	data, err := EncodeSubmit(want)
+	if err != nil {
+		t.Fatalf("EncodeSubmit: %v", err)
+	}
+	got, err := DecodeSubmit(data)
+	if err != nil {
+		t.Fatalf("DecodeSubmit: %v", err)
+	}
+	if got.Schema != want.Schema || got.Tenant != want.Tenant || len(got.Jobs) != len(want.Jobs) {
+		t.Fatalf("round-trip mismatch: got %+v want %+v", got, want)
+	}
+	for i := range want.Jobs {
+		if got.Jobs[i] != want.Jobs[i] {
+			t.Fatalf("job %d: got %+v want %+v", i, got.Jobs[i], want.Jobs[i])
+		}
+	}
+}
+
+func TestDecodeSubmitRejects(t *testing.T) {
+	mutate := func(f func(*SubmitRequest)) *SubmitRequest {
+		req := validRequest()
+		f(req)
+		return req
+	}
+	cases := []struct {
+		name string
+		req  *SubmitRequest
+		frag string // substring the error must carry
+	}{
+		{"wrong schema", mutate(func(r *SubmitRequest) { r.Schema = "rrserve/v0" }), "schema"},
+		{"empty tenant", mutate(func(r *SubmitRequest) { r.Tenant = "" }), "tenant"},
+		{"long tenant", mutate(func(r *SubmitRequest) { r.Tenant = strings.Repeat("x", MaxTenantLen+1) }), "max"},
+		{"control byte tenant", mutate(func(r *SubmitRequest) { r.Tenant = "a\nb" }), "control"},
+		{"no jobs", mutate(func(r *SubmitRequest) { r.Jobs = nil }), "no jobs"},
+		{"negative id", mutate(func(r *SubmitRequest) { r.Jobs[0].ID = -1 }), "negative id"},
+		{"nonincreasing ids", mutate(func(r *SubmitRequest) { r.Jobs[1].ID = 0 }), "strictly increasing"},
+		{"negative color", mutate(func(r *SubmitRequest) { r.Jobs[2].Color = -3 }), "negative color"},
+		{"zero delay", mutate(func(r *SubmitRequest) { r.Jobs[0].Delay = 0 }), "delay bound"},
+		{"huge delay", mutate(func(r *SubmitRequest) { r.Jobs[0].Delay = MaxDelayBound + 1 }), "delay bound"},
+		{"inconsistent delay", mutate(func(r *SubmitRequest) { r.Jobs[2].Delay = 16 }), "delay bounds"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			data, err := EncodeSubmit(tc.req)
+			if err == nil {
+				// The encoder shares validateSubmit, so the decoder must
+				// reject the same request.
+				if _, derr := DecodeSubmit(data); derr == nil {
+					t.Fatalf("both EncodeSubmit and DecodeSubmit accepted %+v", tc.req)
+				}
+				t.Fatalf("EncodeSubmit accepted %+v", tc.req)
+			}
+			if !strings.Contains(err.Error(), tc.frag) {
+				t.Fatalf("error %q does not mention %q", err, tc.frag)
+			}
+		})
+	}
+}
+
+func TestDecodeSubmitMalformedJSON(t *testing.T) {
+	for _, data := range []string{"", "{", "[1,2,3]", `{"schema":42}`, "null"} {
+		if _, err := DecodeSubmit([]byte(data)); err == nil {
+			t.Fatalf("DecodeSubmit accepted %q", data)
+		}
+	}
+}
+
+func TestDecodeSubmitTooManyJobs(t *testing.T) {
+	req := &SubmitRequest{Schema: WireSchema, Tenant: "t"}
+	for i := 0; i <= MaxBatchJobs; i++ {
+		req.Jobs = append(req.Jobs, SubmitJob{ID: int64(i), Color: 0, Delay: 4})
+	}
+	if _, err := EncodeSubmit(req); err == nil {
+		t.Fatalf("EncodeSubmit accepted %d jobs", len(req.Jobs))
+	}
+}
+
+func TestValidateTenantBoundary(t *testing.T) {
+	if err := ValidateTenant(strings.Repeat("x", MaxTenantLen)); err != nil {
+		t.Fatalf("max-length tenant rejected: %v", err)
+	}
+	if err := ValidateTenant("tenant with spaces and ünïcode"); err != nil {
+		t.Fatalf("printable tenant rejected: %v", err)
+	}
+	if err := ValidateTenant("\x7f"); err == nil {
+		t.Fatal("DEL byte accepted")
+	}
+}
