@@ -1,0 +1,103 @@
+package main
+
+import (
+	"bytes"
+	"io"
+	"os"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+
+	"rrsched/internal/dispatch"
+	"rrsched/internal/serve"
+)
+
+// startDispatch runs rrdispatch's run() in a goroutine with an injected
+// signal channel, exactly as main wires it, and hands back the bound address.
+func startDispatch(t *testing.T, args ...string) (addr string, sigs chan os.Signal, done chan error, out *bytes.Buffer) {
+	t.Helper()
+	sigs = make(chan os.Signal, 1)
+	done = make(chan error, 1)
+	out = &bytes.Buffer{}
+	ready := make(chan string, 1)
+	go func() {
+		done <- run(append([]string{"-addr", "127.0.0.1:0"}, args...), out, sigs, ready)
+	}()
+	select {
+	case addr = <-ready:
+	case err := <-done:
+		t.Fatalf("rrdispatch exited before binding: %v\n%s", err, out)
+	}
+	return addr, sigs, done, out
+}
+
+// TestDispatchServesFleet boots rrdispatch via run(), attaches an in-process
+// worker, drives a few transactional rounds through the placement table, and
+// shuts down cleanly on SIGTERM.
+func TestDispatchServesFleet(t *testing.T) {
+	addr, sigs, done, out := startDispatch(t,
+		"-shards", "2", "-heartbeat", "25ms", "-record-decisions")
+	base := "http://" + addr
+
+	w, err := dispatch.StartWorker("w1", base, "127.0.0.1:0", io.Discard)
+	if err != nil {
+		t.Fatalf("StartWorker: %v", err)
+	}
+	defer w.Kill()
+
+	dc := dispatch.NewClient(base)
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		st, err := dc.Stats()
+		if err == nil && st.Assigned == 2 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("shards never assigned (stats=%+v err=%v)", err, err)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+
+	driver, err := dispatch.NewDriver(base, dispatch.DriverConfig{Attempts: 200, RetryEvery: 20 * time.Millisecond})
+	if err != nil {
+		t.Fatalf("NewDriver: %v", err)
+	}
+	for r := 0; r < 3; r++ {
+		jobs := []serve.SubmitJob{{ID: int64(10*r + 1), Color: 1, Delay: 4}, {ID: int64(10*r + 2), Color: 2, Delay: 4}}
+		if err := driver.Round([]dispatch.Batch{{Tenant: "smoke", Jobs: jobs}}); err != nil {
+			t.Fatalf("round %d: %v", r+1, err)
+		}
+	}
+	if driver.CurrentRound() != 3 {
+		t.Fatalf("driver round = %d, want 3", driver.CurrentRound())
+	}
+	raw, err := driver.DecisionsRaw("smoke")
+	if err != nil || len(raw) == 0 {
+		t.Fatalf("DecisionsRaw: %d bytes, err %v", len(raw), err)
+	}
+
+	metrics, err := dc.MetricsRaw()
+	if err != nil || !bytes.Contains(metrics, []byte("dispatch_lease_grants_total")) {
+		t.Fatalf("metrics endpoint: err=%v body=%.120s", err, metrics)
+	}
+
+	sigs <- syscall.SIGTERM
+	if err := <-done; err != nil {
+		t.Fatalf("rrdispatch exited with error: %v\n%s", err, out)
+	}
+	if !strings.Contains(out.String(), "rrdispatch: done") {
+		t.Fatalf("missing shutdown summary:\n%s", out)
+	}
+}
+
+// TestDispatchFlagValidation pins the CLI contract.
+func TestDispatchFlagValidation(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"stray"}, &out, nil, nil); err == nil || !strings.Contains(err.Error(), "unexpected arguments") {
+		t.Fatalf("stray args: err = %v", err)
+	}
+	if err := run([]string{"-shards", "0"}, &out, nil, nil); err == nil {
+		t.Fatal("zero shards accepted")
+	}
+}

@@ -17,6 +17,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
@@ -24,6 +25,7 @@ import (
 	"sort"
 	"sync"
 
+	"rrsched/internal/dispatch"
 	"rrsched/internal/model"
 	"rrsched/internal/obs"
 	"rrsched/internal/serve"
@@ -75,6 +77,7 @@ func run(args []string, stdout io.Writer) error {
 	fs.SetOutput(stdout)
 	var (
 		addr    = fs.String("addr", "http://127.0.0.1:8080", "rrserve base URL")
+		dispURL = fs.String("dispatcher", "", "rrdispatch base URL: drive the worker fleet through the placement table instead of -addr (rounds become driver-owned transactions that survive worker failovers; -conns and -tick are ignored)")
 		tenants = fs.Int("tenants", 8, "number of tenants")
 		rounds  = fs.Int64("rounds", 256, "arrival rounds per tenant")
 		colors  = fs.Int("colors", 8, "colors per tenant")
@@ -131,6 +134,10 @@ func run(args []string, stdout io.Writer) error {
 		totalJobs += seq.NumJobs()
 	}
 
+	if *dispURL != "" {
+		return driveDispatched(stdout, streams, *rounds, horizon, totalJobs, *batch, *dispURL, *out, *minRate)
+	}
+
 	client := serve.NewClient(*addr)
 	if !client.Healthy() {
 		return fmt.Errorf("server at %s is not healthy", *addr)
@@ -176,6 +183,113 @@ func run(args []string, stdout io.Writer) error {
 		}
 	}
 	return nil
+}
+
+// driveDispatched replays the generated streams through a dispatched worker
+// fleet: each round is one transactional dispatch.Driver round — every batch
+// lands on the worker holding its tenant's shard, then every shard ticks once
+// — so the run rides out worker crashes and lease migrations, at the cost of
+// driver-serialized rounds (per-round latency is the figure reported).
+func driveDispatched(stdout io.Writer, streams []tenantStream, rounds, horizon int64, totalJobs, batchSize int, base, outPath string, minRate float64) error {
+	driver, err := dispatch.NewDriver(base, dispatch.DriverConfig{})
+	if err != nil {
+		return err
+	}
+	_, _ = fmt.Fprintf(stdout, "rrload: dispatched mode -> %s (%d shards)\n", base, driver.Shards()) // best-effort status output
+
+	var accepted int64
+	var latencies []int64
+	start := obs.Now()
+	lastRound := horizon + 1
+	for r := int64(0); r < lastRound; r++ {
+		var batches []dispatch.Batch
+		if r < rounds {
+			for _, ts := range streams {
+				jobs := ts.seq.Request(r)
+				for len(jobs) > 0 {
+					n := len(jobs)
+					if n > batchSize {
+						n = batchSize
+					}
+					wire := make([]serve.SubmitJob, n)
+					for i, j := range jobs[:n] {
+						wire[i] = serve.SubmitJob{ID: j.ID, Color: int32(j.Color), Delay: j.Delay}
+					}
+					batches = append(batches, dispatch.Batch{Tenant: ts.name, Jobs: wire})
+					jobs = jobs[n:]
+				}
+			}
+		}
+		t0 := obs.Now()
+		if err := driver.Round(batches); err != nil {
+			return fmt.Errorf("round %d: %w", r+1, err)
+		}
+		latencies = append(latencies, obs.Now()-t0)
+		for _, b := range batches {
+			accepted += int64(len(b.Jobs))
+		}
+	}
+	elapsed := obs.Now() - start
+
+	stats, err := fleetStats(base)
+	if err != nil {
+		return err
+	}
+	if outPath != "" {
+		raw, err := json.MarshalIndent(stats, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(outPath, raw, 0o644); err != nil {
+			return err
+		}
+	}
+	total := &result{submitted: int64(totalJobs), accepted: accepted, latencies: latencies}
+	report(stdout, total, stats, elapsed)
+	if minRate > 0 {
+		rate := ratePerSec(accepted, elapsed)
+		if rate < minRate {
+			return fmt.Errorf("sustained %.0f accepted jobs/s, below -min-rate %.0f", rate, minRate)
+		}
+	}
+	return nil
+}
+
+// fleetStats aggregates serve stats across every worker in the placement
+// table into one fleet-level response: totals summed, round the maximum.
+func fleetStats(base string) (*serve.StatsResponse, error) {
+	p, err := dispatch.NewClient(base).Placement()
+	if err != nil {
+		return nil, err
+	}
+	agg := &serve.StatsResponse{Schema: serve.StatsSchema, Shards: len(p.Shards)}
+	seen := map[string]bool{}
+	for _, e := range p.Shards {
+		if e.Addr == "" || seen[e.Addr] {
+			continue
+		}
+		seen[e.Addr] = true
+		st, err := serve.NewClient(e.Addr).Stats()
+		if err != nil {
+			return nil, fmt.Errorf("stats from %s: %w", e.Addr, err)
+		}
+		if st.Round > agg.Round {
+			agg.Round = st.Round
+		}
+		agg.Totals.Tenants += st.Totals.Tenants
+		agg.Totals.Backlog += st.Totals.Backlog
+		agg.Totals.Inflight += st.Totals.Inflight
+		agg.Totals.Accepted += st.Totals.Accepted
+		agg.Totals.Rejected += st.Totals.Rejected
+		agg.Totals.Refused += st.Totals.Refused
+		agg.Totals.Executed += st.Totals.Executed
+		agg.Totals.Dropped += st.Totals.Dropped
+		agg.Totals.Reconfigs += st.Totals.Reconfigs
+		agg.Totals.ReconfigCost += st.Totals.ReconfigCost
+	}
+	agg.Totals.Round = agg.Round
+	agg.Totals.Shard = -1
+	return agg, nil
 }
 
 // submitRound fans one round's batches across conns workers. A round is a

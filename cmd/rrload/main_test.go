@@ -2,12 +2,15 @@ package main
 
 import (
 	"bytes"
+	"io"
 	"net/http/httptest"
 	"os"
 	"path/filepath"
 	"strings"
 	"testing"
+	"time"
 
+	"rrsched/internal/dispatch"
 	"rrsched/internal/serve"
 )
 
@@ -73,6 +76,51 @@ func TestRunDeterministicAcceptCounts(t *testing.T) {
 	}
 	if counts[0] == "" || counts[0] != counts[1] {
 		t.Fatalf("seeded runs disagree:\n%q\n%q", counts[0], counts[1])
+	}
+}
+
+// TestRunDispatchedFleet drives the -dispatcher mode end to end: an
+// in-process rrdispatch plus one worker, the quick preset routed through the
+// placement table, and a fully drained fleet at the end.
+func TestRunDispatchedFleet(t *testing.T) {
+	d, err := dispatch.New(dispatch.Config{
+		Service:        dispatch.ServiceConfig{Shards: 2, Resources: 8, Delta: 4, Watermark: 1 << 16},
+		HeartbeatEvery: 25 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatalf("dispatch.New: %v", err)
+	}
+	defer d.Close()
+	srv := httptest.NewServer(d.Handler())
+	defer srv.Close()
+	w, err := dispatch.StartWorker("w1", srv.URL, "127.0.0.1:0", io.Discard)
+	if err != nil {
+		t.Fatalf("StartWorker: %v", err)
+	}
+	defer w.Kill()
+	deadline := time.Now().Add(10 * time.Second)
+	for d.Stats().Assigned != 2 {
+		if time.Now().After(deadline) {
+			t.Fatal("shards never assigned")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+
+	outFile := filepath.Join(t.TempDir(), "stats.json")
+	var out bytes.Buffer
+	if err := run([]string{"-dispatcher", srv.URL, "-quick", "-seed", "5", "-out", outFile}, &out); err != nil {
+		t.Fatalf("run: %v\n%s", err, out.String())
+	}
+	text := out.String()
+	if !strings.Contains(text, "dispatched mode") || !strings.Contains(text, "jobs/s") {
+		t.Fatalf("summary lacks dispatched-mode report:\n%s", text)
+	}
+	data, err := os.ReadFile(outFile)
+	if err != nil {
+		t.Fatalf("stats artifact: %v", err)
+	}
+	if !strings.Contains(string(data), `"backlog": 0`) {
+		t.Fatalf("artifact shows undrained backlog:\n%s", data)
 	}
 }
 

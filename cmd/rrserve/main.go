@@ -107,7 +107,9 @@ func run(args []string, stdout io.Writer, sigs <-chan os.Signal, ready chan<- st
 		_, _ = fmt.Fprintf(stdout, "rrserve: restored %d tenants from %s at round %d\n", restored, *state, svc.Round()) // best-effort status output
 	}
 
-	srv := &http.Server{Handler: svc.Handler(), ReadHeaderTimeout: 10 * time.Second}
+	// Bounded read/header/write/idle timeouts: a stalled peer cannot pin a
+	// connection (slowloris) or hold the drain hostage mid-response.
+	srv := serve.HardenedServer(svc.Handler())
 	serveErr := make(chan error, 1)
 	go func() { serveErr <- srv.Serve(ln) }()
 	svc.Start()

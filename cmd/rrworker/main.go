@@ -1,0 +1,78 @@
+// Command rrworker runs one worker daemon of the dispatched fleet: it
+// registers with an rrdispatch instance, receives shard leases over its
+// heartbeats, serves the rrserve HTTP API for the shards it holds, pushes a
+// checkpoint to the dispatcher after every tick, and fences itself (closes
+// every shard) if the dispatcher becomes unreachable for the miss budget.
+//
+// Examples:
+//
+//	rrworker -name w1 -dispatcher http://127.0.0.1:9090 -addr 127.0.0.1:0
+//	rrworker -name w2 -dispatcher http://127.0.0.1:9090 -addr :8081
+//
+// On SIGINT/SIGTERM the worker drains gracefully: it hands every held shard
+// back to the dispatcher with a final checkpoint, so the shards regrant to
+// surviving workers without waiting out failure detection. SIGKILL is the
+// crash path the dispatcher's lease protocol exists for.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"os/signal"
+	"syscall"
+
+	"rrsched/internal/dispatch"
+)
+
+func main() {
+	// Library code returns errors; a defect that still panics must exit with
+	// a diagnostic, not a stack trace.
+	defer func() {
+		if r := recover(); r != nil {
+			fmt.Fprintln(os.Stderr, "rrworker: internal panic:", r)
+			os.Exit(1)
+		}
+	}()
+	sigs := make(chan os.Signal, 2)
+	signal.Notify(sigs, os.Interrupt, syscall.SIGTERM)
+	if err := run(os.Args[1:], os.Stdout, sigs, nil); err != nil {
+		fmt.Fprintln(os.Stderr, "rrworker:", err)
+		os.Exit(1)
+	}
+}
+
+// run is main minus the process plumbing, so tests can inject flags, a signal
+// channel, and receive the bound serve address.
+func run(args []string, stdout io.Writer, sigs <-chan os.Signal, ready chan<- string) error {
+	fs := flag.NewFlagSet("rrworker", flag.ContinueOnError)
+	fs.SetOutput(stdout)
+	var (
+		name       = fs.String("name", "", "worker name, unique within the fleet (required)")
+		dispatcher = fs.String("dispatcher", "http://127.0.0.1:9090", "rrdispatch base URL")
+		addr       = fs.String("addr", "127.0.0.1:0", "listen address for the shard-serving API (port 0 picks a free port)")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() > 0 {
+		return fmt.Errorf("unexpected arguments: %v", fs.Args())
+	}
+	if *name == "" {
+		return fmt.Errorf("-name is required")
+	}
+
+	w, err := dispatch.StartWorker(*name, *dispatcher, *addr, stdout)
+	if err != nil {
+		return err
+	}
+	if ready != nil {
+		ready <- w.Addr()
+	}
+
+	sig := <-sigs
+	_, _ = fmt.Fprintf(stdout, "rrworker %s: received %v, handing shards back\n", *name, sig) // best-effort status output
+	w.Close()
+	return nil
+}

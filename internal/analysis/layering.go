@@ -110,6 +110,11 @@ func DefaultLayeringRules() map[string][]string {
 		// grows a dependency on the evaluation stack.
 		m + "serve": {m + "model", m + "obs", m + "stream"},
 
+		// The dispatcher/worker tier is the fault-tolerant control plane over
+		// hosted serve workers: leases, heartbeats, checkpoint failover. It
+		// builds only on obs and serve — scheduling knowledge stays below it.
+		m + "dispatch": {m + "obs", m + "serve"},
+
 		// The benchmark harness drives the engine, policies, queues, the
 		// streaming scheduler, and the sweep substrate; like experiments it
 		// sits above the core layers and nothing imports it but its cmd.
@@ -126,16 +131,18 @@ func DefaultLayeringRules() map[string][]string {
 		},
 
 		// Commands: public API plus declared internals.
-		"rrsched/cmd/rrbench":  {m + "perf"},
-		"rrsched/cmd/rrexp":    {m + "experiments", m + "obs"},
-		"rrsched/cmd/rrcover":  {},
-		"rrsched/cmd/rrlint":   {m + "analysis"},
-		"rrsched/cmd/rrload":   {m + "model", m + "obs", m + "serve", m + "workload"},
-		"rrsched/cmd/rropt":    {m + "core", m + "model", m + "offline", m + "reduce", m + "workload"},
-		"rrsched/cmd/rrreplay": {m + "introspect", m + "model", m + "workload"},
-		"rrsched/cmd/rrserve":  {m + "serve"},
-		"rrsched/cmd/rrsim":    {m + "baseline", m + "core", m + "model", m + "obs", m + "offline", m + "reduce", m + "sim", m + "workload"},
-		"rrsched/cmd/rrtrace":  {m + "model", m + "workload"},
+		"rrsched/cmd/rrbench":    {m + "perf"},
+		"rrsched/cmd/rrexp":      {m + "experiments", m + "obs"},
+		"rrsched/cmd/rrcover":    {},
+		"rrsched/cmd/rrdispatch": {m + "dispatch", m + "serve"},
+		"rrsched/cmd/rrlint":     {m + "analysis"},
+		"rrsched/cmd/rrload":     {m + "dispatch", m + "model", m + "obs", m + "serve", m + "workload"},
+		"rrsched/cmd/rrworker":   {m + "dispatch"},
+		"rrsched/cmd/rropt":      {m + "core", m + "model", m + "offline", m + "reduce", m + "workload"},
+		"rrsched/cmd/rrreplay":   {m + "introspect", m + "model", m + "workload"},
+		"rrsched/cmd/rrserve":    {m + "serve"},
+		"rrsched/cmd/rrsim":      {m + "baseline", m + "core", m + "model", m + "obs", m + "offline", m + "reduce", m + "sim", m + "workload"},
+		"rrsched/cmd/rrtrace":    {m + "model", m + "workload"},
 
 		// Examples: public API plus declared internals.
 		"rrsched/examples/adaptive":   {m + "core", m + "introspect", m + "sim", m + "workload"},

@@ -1,0 +1,53 @@
+package chaos
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+)
+
+// ProcFault is one process-level fault in a scheduled scenario: before driver
+// round Round fires, the worker at index Victim is killed abruptly (the
+// SIGKILL analogue of the simulator's machine crashes). When Respawn is set,
+// a replacement worker joins the fleet immediately after the kill — the
+// crash/repair pair, at process granularity.
+type ProcFault struct {
+	Round   int64
+	Victim  int
+	Respawn bool
+}
+
+// KillSchedule derives a deterministic process-fault scenario from a seed:
+// faults fire strictly one per round, at distinct rounds drawn uniformly
+// from [minRound, maxRound), against victims drawn uniformly from the fleet.
+// Every other fault respawns a replacement, so schedules alternate between
+// shrinking the fleet and churning it. The same seed always reproduces the
+// same schedule, which is what lets a distributed failover test pin decision
+// byte-identity against a fault-free reference run.
+func KillSchedule(seed int64, workers, faults int, minRound, maxRound int64) ([]ProcFault, error) {
+	if workers <= 1 {
+		return nil, fmt.Errorf("chaos: kill schedule needs at least 2 workers, got %d", workers)
+	}
+	if faults < 0 {
+		return nil, fmt.Errorf("chaos: negative fault count %d", faults)
+	}
+	span := maxRound - minRound
+	if span < int64(faults) {
+		return nil, fmt.Errorf("chaos: %d faults do not fit in rounds [%d,%d)", faults, minRound, maxRound)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	rounds := map[int64]bool{}
+	for len(rounds) < faults {
+		rounds[minRound+rng.Int63n(span)] = true
+	}
+	ordered := make([]int64, 0, faults)
+	for r := range rounds {
+		ordered = append(ordered, r)
+	}
+	sort.Slice(ordered, func(i, j int) bool { return ordered[i] < ordered[j] })
+	out := make([]ProcFault, faults)
+	for i, r := range ordered {
+		out[i] = ProcFault{Round: r, Victim: rng.Intn(workers), Respawn: i%2 == 1}
+	}
+	return out, nil
+}

@@ -1,0 +1,43 @@
+package chaos
+
+import "testing"
+
+func TestKillScheduleDeterministic(t *testing.T) {
+	a, err := KillSchedule(9, 3, 4, 2, 20)
+	if err != nil {
+		t.Fatalf("KillSchedule: %v", err)
+	}
+	b, err := KillSchedule(9, 3, 4, 2, 20)
+	if err != nil {
+		t.Fatalf("KillSchedule: %v", err)
+	}
+	if len(a) != 4 {
+		t.Fatalf("schedule length %d, want 4", len(a))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("same seed diverged at fault %d: %+v vs %+v", i, a[i], b[i])
+		}
+		if a[i].Round < 2 || a[i].Round >= 20 {
+			t.Fatalf("fault %d round %d outside [2,20)", i, a[i].Round)
+		}
+		if a[i].Victim < 0 || a[i].Victim >= 3 {
+			t.Fatalf("fault %d victim %d outside fleet", i, a[i].Victim)
+		}
+		if i > 0 && a[i].Round <= a[i-1].Round {
+			t.Fatalf("faults not at distinct ascending rounds: %+v", a)
+		}
+	}
+}
+
+func TestKillScheduleRejections(t *testing.T) {
+	if _, err := KillSchedule(1, 1, 1, 0, 10); err == nil {
+		t.Fatal("single-worker fleet accepted")
+	}
+	if _, err := KillSchedule(1, 2, -1, 0, 10); err == nil {
+		t.Fatal("negative fault count accepted")
+	}
+	if _, err := KillSchedule(1, 2, 11, 0, 10); err == nil {
+		t.Fatal("overfull schedule accepted")
+	}
+}

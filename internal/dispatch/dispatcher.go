@@ -1,0 +1,515 @@
+package dispatch
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+	"time"
+
+	"rrsched/internal/obs"
+)
+
+// Config parameterizes the dispatcher.
+type Config struct {
+	// Service is the scheduling-service shape handed to every worker at
+	// registration. All workers run the same config; checkpoints are only
+	// portable between identical services.
+	Service ServiceConfig
+	// HeartbeatEvery is the interval workers must heartbeat at. Default 1s.
+	HeartbeatEvery time.Duration
+	// MissBudget is how many heartbeat intervals may elapse without a
+	// heartbeat before a worker is declared dead and its shards fail over.
+	// Workers apply the same budget to fence themselves when they cannot
+	// reach the dispatcher. Default 3.
+	MissBudget int
+	// StateDir, when set, persists every accepted checkpoint to one file per
+	// shard (tmp+rename), so a restarted dispatcher regrants shards from the
+	// last state it had rather than from scratch. Empty disables durability.
+	StateDir string
+}
+
+func (cfg *Config) validate() error {
+	if err := cfg.Service.validate(); err != nil {
+		return err
+	}
+	if cfg.HeartbeatEvery < 0 {
+		return fmt.Errorf("dispatch: negative heartbeat interval %v", cfg.HeartbeatEvery)
+	}
+	if cfg.HeartbeatEvery == 0 {
+		cfg.HeartbeatEvery = time.Second
+	}
+	if cfg.MissBudget < 0 {
+		return fmt.Errorf("dispatch: negative miss budget %d", cfg.MissBudget)
+	}
+	if cfg.MissBudget == 0 {
+		cfg.MissBudget = 3
+	}
+	return nil
+}
+
+// lease is the dispatcher's record of one shard: who holds it, under which
+// epoch, and the latest checkpoint pushed for it.
+type lease struct {
+	worker   string // "" while unassigned
+	epoch    int64  // bumped on every grant and on every fencing revoke
+	round    int64  // round of the stored checkpoint
+	revoking bool   // graceful revoke issued; awaiting the final checkpoint
+
+	checkpoint []byte // latest accepted checkpoint (nil = open fresh)
+	// deadSinceNs is non-zero while the shard awaits reassignment after its
+	// holder died; cleared (and observed into the failover-latency histogram)
+	// at the regrant.
+	deadSinceNs int64
+}
+
+// workerInfo is the dispatcher's record of one registered worker.
+type workerInfo struct {
+	name       string
+	addr       string
+	alive      bool
+	lastSeenNs int64
+}
+
+// Dispatcher owns the tenant→shard placement: it leases shards to registered
+// workers, renews the leases on heartbeats, stores the checkpoints workers
+// push after every tick, and — when a worker misses its heartbeat budget —
+// revokes its leases and regrants the shards to survivors from those stored
+// checkpoints.
+type Dispatcher struct {
+	cfg Config
+	reg *obs.Registry
+	met *obs.DispatchMetrics
+	now func() int64 // obs.Now, injectable in tests
+
+	mu      sync.Mutex
+	workers map[string]*workerInfo
+	leases  []lease
+
+	monitorStop chan struct{}
+	monitorDone chan struct{}
+	closeOnce   sync.Once
+}
+
+// New builds a dispatcher and starts its failure monitor. If cfg.StateDir
+// holds checkpoints from a previous incarnation (same shard count), they seed
+// the lease table so regrants resume from persisted state.
+func New(cfg Config) (*Dispatcher, error) {
+	return newDispatcher(cfg, obs.Now)
+}
+
+// newDispatcher is New with an injectable clock, so tests drive failure
+// detection deterministically.
+func newDispatcher(cfg Config, now func() int64) (*Dispatcher, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	reg := obs.NewRegistry()
+	met, err := obs.NewDispatchMetrics(reg)
+	if err != nil {
+		return nil, err
+	}
+	d := &Dispatcher{
+		cfg:         cfg,
+		reg:         reg,
+		met:         met,
+		now:         now,
+		workers:     map[string]*workerInfo{},
+		leases:      make([]lease, cfg.Service.Shards),
+		monitorStop: make(chan struct{}),
+		monitorDone: make(chan struct{}),
+	}
+	if cfg.StateDir != "" {
+		if err := d.loadState(); err != nil {
+			return nil, err
+		}
+	}
+	go d.monitor()
+	return d, nil
+}
+
+// Close stops the failure monitor. Workers discover the dispatcher is gone
+// through failed heartbeats and fence themselves.
+func (d *Dispatcher) Close() {
+	d.closeOnce.Do(func() {
+		close(d.monitorStop)
+		<-d.monitorDone
+	})
+}
+
+// monitor periodically sweeps for workers that have exceeded the heartbeat
+// miss budget. It polls at half the heartbeat interval so detection lags the
+// budget by at most half an interval.
+func (d *Dispatcher) monitor() {
+	defer close(d.monitorDone)
+	every := d.cfg.HeartbeatEvery / 2
+	if every <= 0 {
+		every = d.cfg.HeartbeatEvery
+	}
+	t := time.NewTicker(every)
+	defer t.Stop()
+	for {
+		select {
+		case <-t.C:
+			d.sweep(d.now())
+		case <-d.monitorStop:
+			return
+		}
+	}
+}
+
+// sweep declares every worker dead whose last heartbeat is older than
+// HeartbeatEvery × MissBudget, fences its leases (epoch bump), and marks its
+// shards for reassignment at the next surviving heartbeat.
+func (d *Dispatcher) sweep(nowNs int64) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	deadline := int64(d.cfg.HeartbeatEvery) * int64(d.cfg.MissBudget)
+	for _, w := range d.workers {
+		if !w.alive || nowNs-w.lastSeenNs <= deadline {
+			continue
+		}
+		d.met.HeartbeatMisses.Inc()
+		w.alive = false
+		d.met.WorkersDead.Inc()
+		d.met.Workers.Add(-1)
+		for i := range d.leases {
+			l := &d.leases[i]
+			if l.worker != w.name {
+				continue
+			}
+			// Fence: any checkpoint the dead worker still manages to push
+			// carries the old epoch and is rejected. The stored checkpoint —
+			// taken synchronously after the shard's last completed tick — is
+			// what the survivor restores.
+			l.epoch++
+			l.worker = ""
+			l.revoking = false
+			l.deadSinceNs = nowNs
+			d.met.LeaseRevokes.Inc()
+			d.met.Failovers.Inc()
+			d.met.ShardsAssigned.Add(-1)
+		}
+	}
+}
+
+// register admits (or re-admits) a worker. A re-registration under a live
+// name resets the worker's record: a restarted process holds nothing, and
+// lease reconciliation at its next heartbeat will fence whatever the table
+// still attributes to it.
+func (d *Dispatcher) register(req *RegisterRequest) *RegisterResponse {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	w, ok := d.workers[req.Worker]
+	if !ok {
+		w = &workerInfo{name: req.Worker}
+		d.workers[req.Worker] = w
+	}
+	if !w.alive {
+		d.met.Workers.Add(1)
+	}
+	w.addr = req.Addr
+	w.alive = true
+	w.lastSeenNs = d.now()
+	return &RegisterResponse{
+		Schema:           WireSchema,
+		Config:           d.cfg.Service,
+		HeartbeatEveryMs: d.cfg.HeartbeatEvery.Milliseconds(),
+		MissBudget:       d.cfg.MissBudget,
+	}
+}
+
+// errUnknownWorker marks a heartbeat from a worker that never registered (or
+// that the dispatcher restarted away); the worker must re-register.
+var errUnknownWorker = fmt.Errorf("dispatch: unknown worker; register first")
+
+// heartbeat renews a worker's liveness and reconciles leases: held leases are
+// renewed or revoked, lost leases are fenced, over-fair-share holdings are
+// revoked gracefully, and unassigned shards are granted up to the fair share.
+func (d *Dispatcher) heartbeat(req *HeartbeatRequest) (*HeartbeatResponse, error) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	w, ok := d.workers[req.Worker]
+	if !ok {
+		return nil, errUnknownWorker
+	}
+	d.met.Heartbeats.Inc()
+	if !w.alive {
+		// The worker outlived a death sentence (a partition healed). Its
+		// leases were fenced at the sweep; reconciliation below revokes
+		// whatever it still claims to hold.
+		w.alive = true
+		d.met.Workers.Add(1)
+	}
+	w.lastSeenNs = d.now()
+
+	resp := &HeartbeatResponse{Schema: WireSchema}
+	held := map[int]LeaseInfo{}
+	for _, l := range req.Held {
+		if l.Shard < len(d.leases) {
+			held[l.Shard] = l
+		} else {
+			resp.Revokes = append(resp.Revokes, l.Shard)
+		}
+	}
+
+	// Leases the table attributes to this worker but the worker no longer
+	// claims: a lost grant response or a restarted process. Fence and free.
+	for i := range d.leases {
+		l := &d.leases[i]
+		if l.worker != req.Worker {
+			continue
+		}
+		if _, ok := held[i]; !ok {
+			l.epoch++
+			l.worker = ""
+			l.revoking = false
+			d.met.LeaseRevokes.Inc()
+			d.met.ShardsAssigned.Add(-1)
+		}
+	}
+
+	// Held leases: renew matches, revoke everything else (zombie holdings
+	// under a stale epoch, or shards reassigned while the worker was away).
+	valid := 0
+	for shard, info := range held {
+		l := &d.leases[shard]
+		if l.worker == req.Worker && l.epoch == info.Epoch {
+			d.met.LeaseRenewals.Inc()
+			if l.revoking {
+				resp.Revokes = append(resp.Revokes, shard)
+			} else {
+				valid++
+			}
+		} else {
+			d.met.StaleEpochs.Inc()
+			resp.Revokes = append(resp.Revokes, shard)
+		}
+	}
+
+	// Fair share: ceil(shards / live workers). Graceful rebalance revokes the
+	// excess (highest shard index first, deterministically); the freed shards
+	// reach an underloaded worker once the final checkpoint lands.
+	live := 0
+	for _, wi := range d.workers {
+		if wi.alive {
+			live++
+		}
+	}
+	fair := (len(d.leases) + live - 1) / live
+	if valid > fair {
+		for i := len(d.leases) - 1; i >= 0 && valid > fair; i-- {
+			l := &d.leases[i]
+			if l.worker == req.Worker && !l.revoking {
+				if _, ok := held[i]; ok {
+					l.revoking = true
+					resp.Revokes = append(resp.Revokes, i)
+					d.met.LeaseRevokes.Inc()
+					valid--
+				}
+			}
+		}
+	}
+
+	// Grants: hand unassigned shards to this worker up to its fair share,
+	// each with the latest stored checkpoint.
+	for i := range d.leases {
+		if valid >= fair {
+			break
+		}
+		l := &d.leases[i]
+		if l.worker != "" {
+			continue
+		}
+		l.worker = req.Worker
+		l.epoch++
+		grant := LeaseGrant{Shard: i, Epoch: l.epoch, Round: l.round}
+		if len(l.checkpoint) > 0 {
+			grant.Checkpoint = append(json.RawMessage(nil), l.checkpoint...)
+		}
+		resp.Grants = append(resp.Grants, grant)
+		d.met.LeaseGrants.Inc()
+		d.met.ShardsAssigned.Add(1)
+		if l.deadSinceNs != 0 {
+			d.met.FailoverNs.Observe(d.now() - l.deadSinceNs)
+			l.deadSinceNs = 0
+		}
+		valid++
+	}
+	sort.Ints(resp.Revokes)
+	return resp, nil
+}
+
+// errStaleEpoch marks a checkpoint push fenced by a newer lease epoch.
+var errStaleEpoch = fmt.Errorf("dispatch: stale lease epoch")
+
+// storeCheckpoint accepts a checkpoint push: the freshest state of one shard,
+// fenced by lease epoch. A final push on a revoking lease completes the
+// graceful handoff and frees the shard for regranting.
+func (d *Dispatcher) storeCheckpoint(req *CheckpointPush) error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if req.Shard >= len(d.leases) {
+		return fmt.Errorf("dispatch: checkpoint names shard %d of %d", req.Shard, len(d.leases))
+	}
+	l := &d.leases[req.Shard]
+	if l.worker != req.Worker || l.epoch != req.Epoch {
+		d.met.StaleEpochs.Inc()
+		return fmt.Errorf("%w: shard %d epoch %d from %q, lease is epoch %d held by %q",
+			errStaleEpoch, req.Shard, req.Epoch, req.Worker, l.epoch, l.worker)
+	}
+	l.checkpoint = append([]byte(nil), req.Data...)
+	l.round = req.Round
+	d.met.Checkpoints.Inc()
+	d.met.CheckpointBytes.Observe(int64(len(req.Data)))
+	if req.Final {
+		l.worker = ""
+		l.revoking = false
+		d.met.ShardsAssigned.Add(-1)
+	}
+	if d.cfg.StateDir != "" {
+		if err := d.persistLocked(req.Shard); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Placement returns the current placement table, one entry per shard.
+func (d *Dispatcher) Placement() *PlacementResponse {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	resp := &PlacementResponse{Schema: WireSchema, Shards: make([]PlacementEntry, len(d.leases))}
+	for i := range d.leases {
+		l := &d.leases[i]
+		e := PlacementEntry{Shard: i, Epoch: l.epoch, Round: l.round}
+		// A revoking lease is on its way out; advertising it would route new
+		// traffic at a shard that is about to close.
+		if l.worker != "" && !l.revoking {
+			e.Worker = l.worker
+			if w, ok := d.workers[l.worker]; ok {
+				e.Addr = w.addr
+			}
+		}
+		resp.Shards[i] = e
+	}
+	return resp
+}
+
+// StatsSchema versions the dispatcher /v1/stats response format.
+const StatsSchema = "rrdispatch-stats/v1"
+
+// WorkerStats is one worker row of the dispatcher stats.
+type WorkerStats struct {
+	Worker string `json:"worker"`
+	Addr   string `json:"addr"`
+	Alive  bool   `json:"alive"`
+	Held   int    `json:"held"`
+}
+
+// StatsResponse is the body of the dispatcher's GET /v1/stats.
+type StatsResponse struct {
+	Schema   string        `json:"schema"`
+	Shards   int           `json:"shards"`
+	Assigned int           `json:"assigned"`
+	Workers  []WorkerStats `json:"workers"`
+}
+
+// Stats assembles the dispatcher stats response. Workers are listed in name
+// order.
+func (d *Dispatcher) Stats() *StatsResponse {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	resp := &StatsResponse{Schema: StatsSchema, Shards: len(d.leases)}
+	heldBy := map[string]int{}
+	for i := range d.leases {
+		if d.leases[i].worker != "" {
+			heldBy[d.leases[i].worker]++
+			resp.Assigned++
+		}
+	}
+	names := make([]string, 0, len(d.workers))
+	for name := range d.workers {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		w := d.workers[name]
+		resp.Workers = append(resp.Workers, WorkerStats{
+			Worker: name, Addr: w.addr, Alive: w.alive, Held: heldBy[name],
+		})
+	}
+	return resp
+}
+
+// Metrics returns a snapshot of the dispatcher's metric registry.
+func (d *Dispatcher) Metrics() *obs.Snapshot { return d.reg.Snapshot() }
+
+// stateSchema versions the persisted per-shard checkpoint wrapper.
+const stateSchema = "rrdispatch-state/v1"
+
+// shardState is the on-disk wrapper around one shard's checkpoint.
+type shardState struct {
+	Schema string          `json:"schema"`
+	Shard  int             `json:"shard"`
+	Epoch  int64           `json:"epoch"`
+	Round  int64           `json:"round"`
+	Data   json.RawMessage `json:"data"`
+}
+
+func (d *Dispatcher) statePath(shard int) string {
+	return filepath.Join(d.cfg.StateDir, fmt.Sprintf("shard-%04d.json", shard))
+}
+
+// persistLocked writes one shard's stored checkpoint atomically (tmp+rename).
+// Caller holds d.mu.
+func (d *Dispatcher) persistLocked(shard int) error {
+	if err := os.MkdirAll(d.cfg.StateDir, 0o755); err != nil {
+		return fmt.Errorf("dispatch: creating state dir: %w", err)
+	}
+	l := &d.leases[shard]
+	data, err := json.Marshal(shardState{
+		Schema: stateSchema, Shard: shard, Epoch: l.epoch, Round: l.round, Data: l.checkpoint,
+	})
+	if err != nil {
+		return fmt.Errorf("dispatch: encoding shard %d state: %w", shard, err)
+	}
+	path := d.statePath(shard)
+	tmp := path + ".tmp"
+	if err := os.WriteFile(tmp, data, 0o644); err != nil {
+		return fmt.Errorf("dispatch: writing shard %d state: %w", shard, err)
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		return fmt.Errorf("dispatch: committing shard %d state: %w", shard, err)
+	}
+	return nil
+}
+
+// loadState seeds the lease table from persisted checkpoints. Absent files
+// are fine — shards that never checkpointed start fresh; present files must
+// parse and match their shard slot.
+func (d *Dispatcher) loadState() error {
+	for i := range d.leases {
+		data, err := os.ReadFile(d.statePath(i))
+		if os.IsNotExist(err) {
+			continue
+		}
+		if err != nil {
+			return fmt.Errorf("dispatch: reading shard %d state: %w", i, err)
+		}
+		var st shardState
+		if err := json.Unmarshal(data, &st); err != nil {
+			return fmt.Errorf("dispatch: decoding shard %d state: %w", i, err)
+		}
+		if st.Schema != stateSchema {
+			return fmt.Errorf("dispatch: shard %d state schema %q, want %q", i, st.Schema, stateSchema)
+		}
+		if st.Shard != i {
+			return fmt.Errorf("dispatch: state file for shard %d claims shard %d", i, st.Shard)
+		}
+		d.leases[i] = lease{epoch: st.Epoch, round: st.Round, checkpoint: st.Data}
+	}
+	return nil
+}

@@ -1,0 +1,304 @@
+package dispatch
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"rrsched/internal/serve"
+)
+
+// DriverConfig bounds the driver's repair loop: how many times one operation
+// may be retried (each retry refreshing the placement table) and the wait
+// between retries. The product is the driver's patience with a failover —
+// it must exceed HeartbeatEvery × (MissBudget + 1) or a crash mid-operation
+// surfaces as an error before the dispatcher has even declared the worker
+// dead.
+type DriverConfig struct {
+	// Attempts per operation (>= 1). Default 100.
+	Attempts int
+	// RetryEvery is the wait between attempts. Default 100ms.
+	RetryEvery time.Duration
+}
+
+func (cfg DriverConfig) validate() DriverConfig {
+	if cfg.Attempts < 1 {
+		cfg.Attempts = 100
+	}
+	if cfg.RetryEvery <= 0 {
+		cfg.RetryEvery = 100 * time.Millisecond
+	}
+	return cfg
+}
+
+// Batch is one tenant's submissions for one driver round.
+type Batch struct {
+	Tenant string
+	Jobs   []serve.SubmitJob
+}
+
+// Driver submits work through the dispatcher's placement table: each tenant's
+// batches go to the worker holding the tenant's shard, and every failure —
+// transport error, 421 misdirect, 503 drain — triggers a placement refresh
+// and a retry. Submissions survive failovers because admission is idempotent
+// (a resent batch that already landed answers 409, which counts as landed),
+// and Round couples resubmission with per-shard ticking so a shard restored
+// from a pre-admission checkpoint is re-fed the exact arrivals it lost.
+//
+// One driver instance assumes it is the only round-driver of the fleet
+// (virtual time has a single clock); concurrent submitters are fine, a second
+// ticker is not.
+type Driver struct {
+	dc     *Client
+	cfg    DriverConfig
+	ring   serve.Ring
+	shards int
+
+	mu        sync.Mutex
+	placement map[int]PlacementEntry
+	clients   map[string]*serve.Client
+	round     int64
+
+	// sleep is time.Sleep unless a test injects a recorder.
+	sleep func(time.Duration)
+}
+
+// NewDriver builds a driver over the dispatcher at dispatcherURL, reading the
+// shard count from the placement table.
+func NewDriver(dispatcherURL string, cfg DriverConfig) (*Driver, error) {
+	d := &Driver{
+		dc:        NewClient(dispatcherURL),
+		cfg:       cfg.validate(),
+		placement: map[int]PlacementEntry{},
+		clients:   map[string]*serve.Client{},
+		sleep:     time.Sleep,
+	}
+	p, err := d.dc.Placement()
+	if err != nil {
+		return nil, err
+	}
+	d.shards = len(p.Shards)
+	ring, err := serve.NewRing(d.shards)
+	if err != nil {
+		return nil, err
+	}
+	d.ring = ring
+	d.applyPlacement(p)
+	return d, nil
+}
+
+// Shards returns the fleet's shard count.
+func (d *Driver) Shards() int { return d.shards }
+
+// CurrentRound returns the driver's round counter (the next round to tick).
+func (d *Driver) CurrentRound() int64 {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.round
+}
+
+// ShardOf returns the shard owning a tenant.
+func (d *Driver) ShardOf(tenant string) int { return d.ring.ShardOf(tenant) }
+
+func (d *Driver) applyPlacement(p *PlacementResponse) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	for _, e := range p.Shards {
+		d.placement[e.Shard] = e
+	}
+}
+
+// refresh re-reads the placement table. Errors are swallowed: the next
+// operation retry surfaces persistent dispatcher unavailability.
+func (d *Driver) refresh() {
+	if p, err := d.dc.Placement(); err == nil {
+		d.applyPlacement(p)
+	}
+}
+
+// clientFor returns a serve client for the worker holding shard, or an error
+// while the shard is unassigned (mid-failover). Clients are single-shot: the
+// driver's repair loop owns retries, because a retry here must re-check
+// placement first.
+func (d *Driver) clientFor(shard int) (*serve.Client, error) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	e, ok := d.placement[shard]
+	if !ok || e.Addr == "" {
+		return nil, fmt.Errorf("dispatch: shard %d is unassigned", shard)
+	}
+	c, ok := d.clients[e.Addr]
+	if !ok {
+		c = serve.NewClientPolicy(e.Addr, serve.SingleShot())
+		d.clients[e.Addr] = c
+	}
+	return c, nil
+}
+
+// Submit lands one batch: it retries through placement refreshes until the
+// batch is admitted (fresh or duplicate) or the attempt budget is spent.
+// Backpressure (429) is returned to the caller, not absorbed.
+func (d *Driver) Submit(tenant string, jobs []serve.SubmitJob) (serve.SubmitOutcome, error) {
+	shard := d.ring.ShardOf(tenant)
+	req := &serve.SubmitRequest{Schema: serve.WireSchema, Tenant: tenant, Jobs: jobs}
+	var lastErr error
+	for attempt := 0; attempt < d.cfg.Attempts; attempt++ {
+		if attempt > 0 {
+			d.sleep(d.cfg.RetryEvery)
+			d.refresh()
+		}
+		client, err := d.clientFor(shard)
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		out, err := client.Submit(req)
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		switch {
+		case out.Landed(), out.Rejected:
+			return out, nil
+		case out.Misdirected, out.Refused:
+			lastErr = fmt.Errorf("dispatch: shard %d moved (misdirected=%v refused=%v)", shard, out.Misdirected, out.Refused)
+		default:
+			lastErr = fmt.Errorf("dispatch: submit for tenant %q: unexpected outcome %+v", tenant, out)
+		}
+	}
+	return serve.SubmitOutcome{}, fmt.Errorf("dispatch: submit for tenant %q failed after %d attempts: %w", tenant, d.cfg.Attempts, lastErr)
+}
+
+// shardRound reads a shard's current round from its owner's stats, verifying
+// the owner actually has the shard open.
+func (d *Driver) shardRound(shard int) (int64, error) {
+	client, err := d.clientFor(shard)
+	if err != nil {
+		return 0, err
+	}
+	st, err := client.Stats()
+	if err != nil {
+		return 0, err
+	}
+	if shard >= len(st.PerShard) || !st.PerShard[shard].Open {
+		return 0, fmt.Errorf("dispatch: shard %d is not open on its advertised owner", shard)
+	}
+	return st.PerShard[shard].Round, nil
+}
+
+// Round executes one scheduling round transactionally: every batch lands on
+// its shard, then every shard ticks exactly once. If a worker dies anywhere
+// in the protocol, the repair loop refreshes placement, resubmits the
+// affected shard's batches (idempotent — landed batches answer 409), and
+// re-ticks from the restored round. On return, every shard has advanced to
+// the same next round with the round's arrivals admitted exactly once.
+func (d *Driver) Round(batches []Batch) error {
+	d.mu.Lock()
+	target := d.round + 1
+	d.mu.Unlock()
+
+	perShard := make(map[int][]Batch, d.shards)
+	for _, b := range batches {
+		shard := d.ring.ShardOf(b.Tenant)
+		perShard[shard] = append(perShard[shard], b)
+	}
+	for shard := 0; shard < d.shards; shard++ {
+		if err := d.roundShard(shard, perShard[shard], target); err != nil {
+			return err
+		}
+	}
+	d.mu.Lock()
+	d.round = target
+	d.mu.Unlock()
+	return nil
+}
+
+// roundShard drives one shard through one round: land the shard's batches,
+// then tick to target. Every iteration restarts from resubmission, because a
+// failed tick may mean the shard was restored from a checkpoint that predates
+// the admissions — and checkpoints are tick-aligned, so the restored round is
+// always target-1 (admissions lost, resubmit fresh) or target (tick landed,
+// only the response was lost).
+func (d *Driver) roundShard(shard int, batches []Batch, target int64) error {
+	var lastErr error
+	for attempt := 0; attempt < d.cfg.Attempts; attempt++ {
+		if attempt > 0 {
+			d.sleep(d.cfg.RetryEvery)
+			d.refresh()
+		}
+		if lastErr = d.landBatches(shard, batches); lastErr != nil {
+			continue
+		}
+		cur, err := d.shardRound(shard)
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		if cur >= target {
+			return nil
+		}
+		client, err := d.clientFor(shard)
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		round, err := client.TickShard(shard, int(target-cur))
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		if round != target {
+			lastErr = fmt.Errorf("dispatch: shard %d ticked to round %d, want %d", shard, round, target)
+			continue
+		}
+		return nil
+	}
+	return fmt.Errorf("dispatch: round %d on shard %d failed after %d attempts: %w", target, shard, d.cfg.Attempts, lastErr)
+}
+
+// landBatches admits every batch on the shard's current owner, single-shot —
+// the caller's repair loop owns retries and placement refreshes.
+func (d *Driver) landBatches(shard int, batches []Batch) error {
+	if len(batches) == 0 {
+		return nil
+	}
+	client, err := d.clientFor(shard)
+	if err != nil {
+		return err
+	}
+	for _, b := range batches {
+		out, err := client.Submit(&serve.SubmitRequest{Schema: serve.WireSchema, Tenant: b.Tenant, Jobs: b.Jobs})
+		if err != nil {
+			return err
+		}
+		if !out.Landed() {
+			return fmt.Errorf("dispatch: batch for tenant %q not landed: %+v", b.Tenant, out)
+		}
+	}
+	return nil
+}
+
+// DecisionsRaw fetches a tenant's recorded decision stream from the worker
+// holding its shard, retrying through placement refreshes.
+func (d *Driver) DecisionsRaw(tenant string) ([]byte, error) {
+	shard := d.ring.ShardOf(tenant)
+	var lastErr error
+	for attempt := 0; attempt < d.cfg.Attempts; attempt++ {
+		if attempt > 0 {
+			d.sleep(d.cfg.RetryEvery)
+			d.refresh()
+		}
+		client, err := d.clientFor(shard)
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		raw, err := client.DecisionsRaw(tenant)
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		return raw, nil
+	}
+	return nil, fmt.Errorf("dispatch: decisions for tenant %q failed after %d attempts: %w", tenant, d.cfg.Attempts, lastErr)
+}

@@ -1,0 +1,319 @@
+// Package dispatch is the fault-tolerant control plane over hosted rrserve
+// workers: a dispatcher that owns the tenant→shard placement and hands shards
+// to pull-based worker daemons via time-bounded leases, detects missed
+// heartbeats, and fails shards over to surviving workers from the checkpoints
+// the old holder pushed after every tick.
+//
+// The determinism contract of the serve layer survives the tier: checkpoints
+// carry full per-shard scheduler state (and, when recording, the decision
+// history), lease epochs fence stale writers, and clients resend idempotently
+// across a failover — so a tenant's decision stream is byte-identical whether
+// its shard lived on one worker throughout or was killed and restored
+// mid-run.
+package dispatch
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"rrsched/internal/serve"
+)
+
+// WireSchema versions every dispatcher wire message; requests carrying any
+// other schema string are rejected so format evolution stays explicit.
+const WireSchema = "rrdispatch/v1"
+
+// Wire-format bounds, sized to refuse hostile payloads before they pin
+// memory, like the serve wire bounds.
+const (
+	// MaxWorkerLen caps the worker name length in bytes.
+	MaxWorkerLen = 128
+	// MaxAddrLen caps a worker's advertised address length.
+	MaxAddrLen = 512
+	// MaxShards caps the shard count a dispatcher will manage — and with it
+	// the leases one heartbeat may claim.
+	MaxShards = 4096
+)
+
+// ServiceConfig is the scheduling-service shape the dispatcher imposes on
+// every worker. Workers do not choose their own: a checkpoint restores only
+// under the same shard count and scheduler parameters, so the dispatcher is
+// the single source of truth and hands the config out at registration.
+type ServiceConfig struct {
+	Shards    int   `json:"shards"`
+	Resources int   `json:"resources"`
+	Delta     int64 `json:"delta"`
+	Watermark int   `json:"watermark"`
+	// RecordDecisions turns on per-tenant decision recording on every worker,
+	// with histories embedded in checkpoints so they survive failover
+	// (serve.Config.CheckpointDecisions). Determinism tests depend on it.
+	RecordDecisions bool `json:"record_decisions,omitempty"`
+}
+
+func (c ServiceConfig) validate() error {
+	if c.Shards <= 0 || c.Shards > MaxShards {
+		return fmt.Errorf("dispatch: shard count %d out of range (1..%d)", c.Shards, MaxShards)
+	}
+	if c.Resources <= 0 || c.Resources%4 != 0 {
+		return fmt.Errorf("dispatch: resources must be a positive multiple of 4, got %d", c.Resources)
+	}
+	if c.Delta <= 0 {
+		return fmt.Errorf("dispatch: non-positive delta %d", c.Delta)
+	}
+	if c.Watermark <= 0 {
+		return fmt.Errorf("dispatch: non-positive watermark %d", c.Watermark)
+	}
+	return nil
+}
+
+// RegisterRequest is the body of POST /v1/register: a worker announcing
+// itself and the address its hosted serve API listens on.
+type RegisterRequest struct {
+	Schema string `json:"schema"`
+	Worker string `json:"worker"`
+	Addr   string `json:"addr"`
+}
+
+// RegisterResponse tells the worker how to build its hosted service and how
+// to stay alive: heartbeat at least every HeartbeatEveryMs, and consider
+// itself fenced after MissBudget consecutive failures (the dispatcher applies
+// the same budget to declare it dead).
+type RegisterResponse struct {
+	Schema           string        `json:"schema"`
+	Config           ServiceConfig `json:"config"`
+	HeartbeatEveryMs int64         `json:"heartbeat_every_ms"`
+	MissBudget       int           `json:"miss_budget"`
+}
+
+// LeaseInfo identifies one held lease in a heartbeat: the shard, the epoch
+// under which it was granted, and the shard's current round.
+type LeaseInfo struct {
+	Shard int   `json:"shard"`
+	Epoch int64 `json:"epoch"`
+	Round int64 `json:"round"`
+}
+
+// HeartbeatRequest is the body of POST /v1/heartbeat: liveness plus the
+// worker's view of its held leases, so the dispatcher can renew, revoke, or
+// grant against ground truth rather than its own bookkeeping alone.
+type HeartbeatRequest struct {
+	Schema string      `json:"schema"`
+	Worker string      `json:"worker"`
+	Held   []LeaseInfo `json:"held,omitempty"`
+}
+
+// LeaseGrant hands a shard to the heartbeating worker. Checkpoint carries the
+// shard's last stored state (empty means open fresh at round 0); Round echoes
+// the round that checkpoint was taken at.
+type LeaseGrant struct {
+	Shard      int             `json:"shard"`
+	Epoch      int64           `json:"epoch"`
+	Round      int64           `json:"round"`
+	Checkpoint json.RawMessage `json:"checkpoint,omitempty"`
+}
+
+// HeartbeatResponse acknowledges a heartbeat: new leases granted to this
+// worker and shards it must close. A revoked shard is closed gracefully — the
+// worker pushes a final checkpoint — unless the worker's epoch is already
+// stale, in which case its push is fenced and discarded.
+type HeartbeatResponse struct {
+	Schema  string       `json:"schema"`
+	Grants  []LeaseGrant `json:"grants,omitempty"`
+	Revokes []int        `json:"revokes,omitempty"`
+}
+
+// CheckpointPush is the body of POST /v1/checkpoint: one shard's state as of
+// Round, pushed by the worker after every tick (and once more, with Final
+// set, when closing a revoked shard). Epoch fences the push: the dispatcher
+// rejects epochs older than the shard's current lease with 409.
+type CheckpointPush struct {
+	Schema string          `json:"schema"`
+	Worker string          `json:"worker"`
+	Shard  int             `json:"shard"`
+	Epoch  int64           `json:"epoch"`
+	Round  int64           `json:"round"`
+	Final  bool            `json:"final,omitempty"`
+	Data   json.RawMessage `json:"data"`
+}
+
+// PlacementEntry is one row of the placement table: which worker currently
+// holds a shard and where its serve API listens. Worker is empty while the
+// shard is unassigned (freshly booted, or mid-failover).
+type PlacementEntry struct {
+	Shard  int    `json:"shard"`
+	Worker string `json:"worker,omitempty"`
+	Addr   string `json:"addr,omitempty"`
+	Epoch  int64  `json:"epoch"`
+	Round  int64  `json:"round"`
+}
+
+// PlacementResponse is the body of GET /v1/placement: one entry per shard, in
+// shard order. Drivers route each tenant to Addr of the tenant's shard and
+// refresh on 421/transport errors.
+type PlacementResponse struct {
+	Schema string           `json:"schema"`
+	Shards []PlacementEntry `json:"shards"`
+}
+
+// DecodeRegister parses and validates a register request.
+func DecodeRegister(data []byte) (*RegisterRequest, error) {
+	var req RegisterRequest
+	if err := json.Unmarshal(data, &req); err != nil {
+		return nil, fmt.Errorf("dispatch: decoding register request: %w", err)
+	}
+	if err := validateRegister(&req); err != nil {
+		return nil, err
+	}
+	return &req, nil
+}
+
+// EncodeRegister validates and serializes a register request.
+func EncodeRegister(req *RegisterRequest) ([]byte, error) {
+	if err := validateRegister(req); err != nil {
+		return nil, err
+	}
+	return json.Marshal(req)
+}
+
+func validateRegister(req *RegisterRequest) error {
+	if req.Schema != WireSchema {
+		return fmt.Errorf("dispatch: register schema %q, want %q", req.Schema, WireSchema)
+	}
+	if err := ValidateWorker(req.Worker); err != nil {
+		return err
+	}
+	if req.Addr == "" {
+		return fmt.Errorf("dispatch: register for worker %q has no address", req.Worker)
+	}
+	if len(req.Addr) > MaxAddrLen {
+		return fmt.Errorf("dispatch: worker address of %d bytes, max %d", len(req.Addr), MaxAddrLen)
+	}
+	for i := 0; i < len(req.Addr); i++ {
+		if req.Addr[i] < 0x20 || req.Addr[i] == 0x7f {
+			return fmt.Errorf("dispatch: worker address contains control byte 0x%02x", req.Addr[i])
+		}
+	}
+	return nil
+}
+
+// DecodeHeartbeat parses and validates a heartbeat request.
+func DecodeHeartbeat(data []byte) (*HeartbeatRequest, error) {
+	var req HeartbeatRequest
+	if err := json.Unmarshal(data, &req); err != nil {
+		return nil, fmt.Errorf("dispatch: decoding heartbeat request: %w", err)
+	}
+	if err := validateHeartbeat(&req); err != nil {
+		return nil, err
+	}
+	return &req, nil
+}
+
+// EncodeHeartbeat validates and serializes a heartbeat request.
+func EncodeHeartbeat(req *HeartbeatRequest) ([]byte, error) {
+	if err := validateHeartbeat(req); err != nil {
+		return nil, err
+	}
+	return json.Marshal(req)
+}
+
+func validateHeartbeat(req *HeartbeatRequest) error {
+	if req.Schema != WireSchema {
+		return fmt.Errorf("dispatch: heartbeat schema %q, want %q", req.Schema, WireSchema)
+	}
+	if err := ValidateWorker(req.Worker); err != nil {
+		return err
+	}
+	if len(req.Held) > MaxShards {
+		return fmt.Errorf("dispatch: heartbeat claims %d leases, max %d", len(req.Held), MaxShards)
+	}
+	for i, l := range req.Held {
+		if l.Shard < 0 || l.Shard >= MaxShards {
+			return fmt.Errorf("dispatch: held lease %d names shard %d out of range (0..%d)", i, l.Shard, MaxShards-1)
+		}
+		if i > 0 && l.Shard <= req.Held[i-1].Shard {
+			return fmt.Errorf("dispatch: held leases not strictly increasing by shard (%d after %d)", l.Shard, req.Held[i-1].Shard)
+		}
+		if l.Epoch < 0 {
+			return fmt.Errorf("dispatch: held lease for shard %d has negative epoch %d", l.Shard, l.Epoch)
+		}
+		if l.Round < 0 {
+			return fmt.Errorf("dispatch: held lease for shard %d has negative round %d", l.Shard, l.Round)
+		}
+	}
+	return nil
+}
+
+// DecodeCheckpointPush parses and validates a checkpoint push.
+func DecodeCheckpointPush(data []byte) (*CheckpointPush, error) {
+	var req CheckpointPush
+	if err := json.Unmarshal(data, &req); err != nil {
+		return nil, fmt.Errorf("dispatch: decoding checkpoint push: %w", err)
+	}
+	if err := validateCheckpointPush(&req); err != nil {
+		return nil, err
+	}
+	return &req, nil
+}
+
+// EncodeCheckpointPush validates and serializes a checkpoint push.
+func EncodeCheckpointPush(req *CheckpointPush) ([]byte, error) {
+	if err := validateCheckpointPush(req); err != nil {
+		return nil, err
+	}
+	return json.Marshal(req)
+}
+
+func validateCheckpointPush(req *CheckpointPush) error {
+	if req.Schema != WireSchema {
+		return fmt.Errorf("dispatch: checkpoint schema %q, want %q", req.Schema, WireSchema)
+	}
+	if err := ValidateWorker(req.Worker); err != nil {
+		return err
+	}
+	if req.Shard < 0 || req.Shard >= MaxShards {
+		return fmt.Errorf("dispatch: checkpoint names shard %d out of range (0..%d)", req.Shard, MaxShards-1)
+	}
+	if req.Epoch < 0 {
+		return fmt.Errorf("dispatch: checkpoint for shard %d has negative epoch %d", req.Shard, req.Epoch)
+	}
+	if req.Round < 0 {
+		return fmt.Errorf("dispatch: checkpoint for shard %d has negative round %d", req.Shard, req.Round)
+	}
+	if len(req.Data) == 0 {
+		return fmt.Errorf("dispatch: checkpoint for shard %d has no data", req.Shard)
+	}
+	return nil
+}
+
+// ValidateWorker checks a worker name: non-empty, bounded, and free of
+// control characters (worker names travel in URLs, logs, and state files).
+// Mirrors serve.ValidateTenant.
+func ValidateWorker(worker string) error {
+	if worker == "" {
+		return fmt.Errorf("dispatch: empty worker name")
+	}
+	if len(worker) > MaxWorkerLen {
+		return fmt.Errorf("dispatch: worker name of %d bytes, max %d", len(worker), MaxWorkerLen)
+	}
+	for i := 0; i < len(worker); i++ {
+		if worker[i] < 0x20 || worker[i] == 0x7f {
+			return fmt.Errorf("dispatch: worker name contains control byte 0x%02x", worker[i])
+		}
+	}
+	return nil
+}
+
+// serveConfig expands the wire config into the hosted serve.Config every
+// worker runs, with decision histories embedded in checkpoints whenever
+// recording is on — a migrated shard must not forget its past.
+func (c ServiceConfig) serveConfig() serve.Config {
+	return serve.Config{
+		Shards:              c.Shards,
+		Resources:           c.Resources,
+		Delta:               c.Delta,
+		Watermark:           c.Watermark,
+		Hosted:              true,
+		RecordDecisions:     c.RecordDecisions,
+		CheckpointDecisions: c.RecordDecisions,
+	}
+}

@@ -1,0 +1,344 @@
+package dispatch
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"sort"
+	"sync"
+	"time"
+
+	"rrsched/internal/serve"
+)
+
+// Worker is the daemon side of the lease protocol: a hosted serve.Service
+// whose shards open and close as the dispatcher grants and revokes leases. It
+// registers at startup, heartbeats on the dispatcher's interval, pushes a
+// checkpoint of every shard after every tick (via serve's OnShardCheckpoint
+// hook, synchronously — when a tick returns, the dispatcher holds the
+// post-tick state), and fences itself — closes every shard — after missing
+// its heartbeat budget, so a partitioned worker can never serve a shard the
+// dispatcher has already failed over.
+type Worker struct {
+	name string
+	dc   *Client
+	svc  *serve.Service
+	srv  *http.Server
+	ln   net.Listener
+	addr string
+	logw io.Writer
+
+	heartbeatEvery time.Duration
+	missBudget     int
+
+	mu     sync.Mutex
+	epochs map[int]int64 // shard → lease epoch (held shards only)
+	rounds map[int]int64 // shard → round of its last checkpoint/open
+
+	stop     chan struct{}
+	done     chan struct{}
+	stopOnce sync.Once
+	endOnce  sync.Once
+}
+
+// halt stops the heartbeat loop exactly once, whether via Close or Kill.
+func (w *Worker) halt() {
+	w.stopOnce.Do(func() {
+		close(w.stop)
+		<-w.done
+	})
+}
+
+// StartWorker registers with the dispatcher at dispatcherURL, builds the
+// hosted service from the config the dispatcher returns, starts serving the
+// rrserve API on listenAddr (port 0 picks a free port), and launches the
+// heartbeat loop. logw receives one-line status messages (pass io.Discard to
+// silence).
+func StartWorker(name, dispatcherURL, listenAddr string, logw io.Writer) (*Worker, error) {
+	if err := ValidateWorker(name); err != nil {
+		return nil, err
+	}
+	ln, err := net.Listen("tcp", listenAddr)
+	if err != nil {
+		return nil, err
+	}
+	w := &Worker{
+		name:   name,
+		dc:     NewClient(dispatcherURL),
+		ln:     ln,
+		addr:   "http://" + ln.Addr().String(),
+		logw:   logw,
+		epochs: map[int]int64{},
+		rounds: map[int]int64{},
+		stop:   make(chan struct{}),
+		done:   make(chan struct{}),
+	}
+	reg, err := w.dc.Register(name, w.addr)
+	if err != nil {
+		_ = ln.Close() // constructor failed; listener has served no traffic
+		return nil, fmt.Errorf("dispatch: registering worker %q: %w", name, err)
+	}
+	w.heartbeatEvery = time.Duration(reg.HeartbeatEveryMs) * time.Millisecond
+	if w.heartbeatEvery <= 0 {
+		_ = ln.Close() // constructor failed; listener has served no traffic
+		return nil, fmt.Errorf("dispatch: dispatcher returned heartbeat interval %dms", reg.HeartbeatEveryMs)
+	}
+	w.missBudget = reg.MissBudget
+	if w.missBudget <= 0 {
+		w.missBudget = 3
+	}
+	cfg := reg.Config.serveConfig()
+	cfg.OnShardCheckpoint = w.pushCheckpoint
+	svc, _, err := serve.New(cfg)
+	if err != nil {
+		_ = ln.Close() // constructor failed; listener has served no traffic
+		return nil, fmt.Errorf("dispatch: building hosted service: %w", err)
+	}
+	w.svc = svc
+	w.srv = serve.HardenedServer(svc.Handler())
+	go func() { _ = w.srv.Serve(ln) }() // exits via Close/Kill; error carries no signal then
+	go w.heartbeatLoop()
+	w.logf("rrworker %s: serving on %s (shards=%d, heartbeat %v, miss budget %d)",
+		name, w.addr, reg.Config.Shards, w.heartbeatEvery, w.missBudget)
+	return w, nil
+}
+
+// Addr returns the worker's serve API base URL.
+func (w *Worker) Addr() string { return w.addr }
+
+// Name returns the worker's registered name.
+func (w *Worker) Name() string { return w.name }
+
+// Held returns the shards the worker currently holds, in shard order.
+func (w *Worker) Held() []int {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	held := make([]int, 0, len(w.epochs))
+	for shard := range w.epochs {
+		held = append(held, shard)
+	}
+	sort.Ints(held)
+	return held
+}
+
+func (w *Worker) logf(format string, args ...any) {
+	if w.logw != nil {
+		_, _ = fmt.Fprintf(w.logw, format+"\n", args...) // best-effort status output
+	}
+}
+
+// pushCheckpoint is the serve OnShardCheckpoint hook: upload the fresh
+// post-tick state under the shard's lease epoch. A stale-epoch rejection is
+// an error — the tick that triggered it must not report success for a shard
+// the dispatcher has moved elsewhere.
+func (w *Worker) pushCheckpoint(shard int, round int64, data []byte) error {
+	w.mu.Lock()
+	epoch, held := w.epochs[shard]
+	if held {
+		w.rounds[shard] = round
+	}
+	w.mu.Unlock()
+	if !held {
+		return fmt.Errorf("dispatch: shard %d ticked without a lease", shard)
+	}
+	return w.dc.PushCheckpoint(&CheckpointPush{
+		Schema: WireSchema, Worker: w.name, Shard: shard,
+		Epoch: epoch, Round: round, Data: data,
+	})
+}
+
+// heartbeatLoop drives the lease protocol: heartbeat every interval, apply
+// the grants and revokes in each response, and self-fence after missBudget
+// consecutive failures.
+func (w *Worker) heartbeatLoop() {
+	defer close(w.done)
+	t := time.NewTicker(w.heartbeatEvery)
+	defer t.Stop()
+	fails := 0
+	for {
+		select {
+		case <-w.stop:
+			return
+		case <-t.C:
+		}
+		resp, err := w.dc.Heartbeat(w.heartbeatRequest())
+		if errors.Is(err, errUnknownWorker) {
+			// The dispatcher restarted and lost the registry. Re-register;
+			// whatever this worker still holds is reconciled (revoked or
+			// re-fenced) on the next heartbeat.
+			if _, rerr := w.dc.Register(w.name, w.addr); rerr == nil {
+				w.logf("rrworker %s: re-registered after dispatcher restart", w.name)
+				fails = 0
+				continue
+			}
+			err = fmt.Errorf("dispatch: re-register: %w", err)
+		}
+		if err != nil {
+			fails++
+			w.logf("rrworker %s: heartbeat failure %d/%d: %v", w.name, fails, w.missBudget, err)
+			if fails >= w.missBudget {
+				w.selfFence()
+				fails = 0
+			}
+			continue
+		}
+		fails = 0
+		w.apply(resp)
+	}
+}
+
+// heartbeatRequest snapshots the held leases, sorted by shard as the wire
+// format requires.
+func (w *Worker) heartbeatRequest() *HeartbeatRequest {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	req := &HeartbeatRequest{Schema: WireSchema, Worker: w.name}
+	shards := make([]int, 0, len(w.epochs))
+	for shard := range w.epochs {
+		shards = append(shards, shard)
+	}
+	sort.Ints(shards)
+	for _, shard := range shards {
+		req.Held = append(req.Held, LeaseInfo{Shard: shard, Epoch: w.epochs[shard], Round: w.rounds[shard]})
+	}
+	return req
+}
+
+// apply executes one heartbeat response: revokes first (close, push the final
+// checkpoint), then grants (record the epoch, open from the checkpoint).
+func (w *Worker) apply(resp *HeartbeatResponse) {
+	for _, shard := range resp.Revokes {
+		w.mu.Lock()
+		epoch, held := w.epochs[shard]
+		delete(w.epochs, shard)
+		delete(w.rounds, shard)
+		w.mu.Unlock()
+		data, err := w.svc.CloseShard(shard)
+		if err != nil {
+			// Already closed (a revoke for a lease this worker never applied);
+			// nothing to hand off.
+			continue
+		}
+		if !held {
+			continue
+		}
+		final := &CheckpointPush{
+			Schema: WireSchema, Worker: w.name, Shard: shard,
+			Epoch: epoch, Round: w.closedRound(data), Final: true, Data: data,
+		}
+		if err := w.dc.PushCheckpoint(final); err != nil && !errors.Is(err, ErrStale) {
+			w.logf("rrworker %s: final checkpoint for shard %d failed: %v", w.name, shard, err)
+		}
+		w.logf("rrworker %s: released shard %d", w.name, shard)
+	}
+	for _, g := range resp.Grants {
+		w.mu.Lock()
+		w.epochs[g.Shard] = g.Epoch
+		w.rounds[g.Shard] = g.Round
+		w.mu.Unlock()
+		round, err := w.svc.OpenShard(g.Shard, g.Checkpoint)
+		if err != nil {
+			w.mu.Lock()
+			delete(w.epochs, g.Shard)
+			delete(w.rounds, g.Shard)
+			w.mu.Unlock()
+			w.logf("rrworker %s: opening shard %d at epoch %d failed: %v", w.name, g.Shard, g.Epoch, err)
+			continue
+		}
+		w.mu.Lock()
+		w.rounds[g.Shard] = round
+		w.mu.Unlock()
+		w.logf("rrworker %s: holding shard %d at round %d (epoch %d)", w.name, g.Shard, round, g.Epoch)
+	}
+}
+
+// closedRound extracts the round from a close checkpoint via the recorded
+// rounds map — CloseShard returns state as of the shard's current round,
+// which pushCheckpoint tracked at the last tick. Fresh shards close at their
+// open round.
+func (w *Worker) closedRound(data []byte) int64 {
+	// The checkpoint payload itself carries the authoritative round; the
+	// dispatcher reads it only for placement display, so the tracked value
+	// suffices and saves a decode of an opaque (to this layer) payload.
+	var cp struct {
+		Round int64 `json:"round"`
+	}
+	if err := json.Unmarshal(data, &cp); err == nil {
+		return cp.Round
+	}
+	return 0
+}
+
+// selfFence closes every held shard without handoff: the dispatcher is
+// unreachable, its sweep has (or soon will have) fenced these leases, and a
+// partitioned worker serving stale shards is exactly the split brain the
+// epoch discipline exists to prevent. State is discarded — the dispatcher's
+// stored checkpoints are the source of truth for the failover.
+func (w *Worker) selfFence() {
+	w.mu.Lock()
+	shards := make([]int, 0, len(w.epochs))
+	for shard := range w.epochs {
+		shards = append(shards, shard)
+	}
+	w.epochs = map[int]int64{}
+	w.rounds = map[int]int64{}
+	w.mu.Unlock()
+	sort.Ints(shards)
+	for _, shard := range shards {
+		_, _ = w.svc.CloseShard(shard) // discard: the dispatcher's checkpoint is authoritative now
+	}
+	if len(shards) > 0 {
+		w.logf("rrworker %s: missed %d heartbeats; fenced shards %v", w.name, w.missBudget, shards)
+	}
+}
+
+// Close shuts the worker down gracefully: stop heartbeating, hand every held
+// shard back with a final checkpoint, then stop the HTTP server and the
+// service.
+func (w *Worker) Close() {
+	w.halt()
+	w.endOnce.Do(func() {
+		w.mu.Lock()
+		held := map[int]int64{}
+		for shard, epoch := range w.epochs {
+			held[shard] = epoch
+		}
+		w.epochs = map[int]int64{}
+		w.rounds = map[int]int64{}
+		w.mu.Unlock()
+		shards := make([]int, 0, len(held))
+		for shard := range held {
+			shards = append(shards, shard)
+		}
+		sort.Ints(shards)
+		for _, shard := range shards {
+			data, err := w.svc.CloseShard(shard)
+			if err != nil {
+				continue
+			}
+			push := &CheckpointPush{
+				Schema: WireSchema, Worker: w.name, Shard: shard,
+				Epoch: held[shard], Round: w.closedRound(data), Final: true, Data: data,
+			}
+			if err := w.dc.PushCheckpoint(push); err != nil && !errors.Is(err, ErrStale) {
+				w.logf("rrworker %s: handing back shard %d failed: %v", w.name, shard, err)
+			}
+		}
+		_ = w.srv.Close() // abrupt: held shards are handed back already
+		w.svc.Close()
+		w.logf("rrworker %s: stopped", w.name)
+	})
+}
+
+// Kill stops the worker abruptly — no handoff, no final checkpoints — for
+// in-process failover tests. The process-level equivalent is SIGKILL.
+func (w *Worker) Kill() {
+	w.halt()
+	w.endOnce.Do(func() {
+		_ = w.srv.Close() // abrupt by design
+		w.svc.Close()
+	})
+}

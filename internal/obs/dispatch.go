@@ -1,0 +1,105 @@
+package obs
+
+// Canonical dispatcher/worker-tier metric names: the lease lifecycle,
+// heartbeat liveness, and failover accounting of the distributed control
+// plane. Like the scheduler vocabulary, the names are fixed here so the
+// dispatcher, the workers, and the tests all read the same snapshot keys.
+const (
+	// MetricHeartbeats counts heartbeats processed by the dispatcher (or sent,
+	// on a worker registry); MetricHeartbeatMisses counts detection-loop
+	// passes that found a worker overdue.
+	MetricHeartbeats      = "dispatch_heartbeats_total"
+	MetricHeartbeatMisses = "dispatch_heartbeat_misses_total"
+	// MetricLeaseGrants/Renewals/Revokes count lease state transitions.
+	// A grant hands a shard to a worker, a renewal is a heartbeat that
+	// confirmed the holding, a revoke takes the shard back (rebalance or
+	// failure).
+	MetricLeaseGrants   = "dispatch_lease_grants_total"
+	MetricLeaseRenewals = "dispatch_lease_renewals_total"
+	MetricLeaseRevokes  = "dispatch_lease_revokes_total"
+	// MetricStaleEpochs counts fenced messages: checkpoints or heartbeats
+	// carrying a lease epoch older than the current one (a zombie worker).
+	MetricStaleEpochs = "dispatch_stale_epochs_total"
+	// MetricFailovers counts dead-worker shard reassignments;
+	// MetricWorkersDead counts workers declared dead, MetricWorkers gauges
+	// the live worker count.
+	MetricFailovers   = "dispatch_failovers_total"
+	MetricWorkersDead = "dispatch_workers_dead_total"
+	MetricWorkers     = "dispatch_workers"
+	// MetricShardsAssigned gauges shards currently under a live lease.
+	MetricShardsAssigned = "dispatch_shards_assigned"
+	// MetricCheckpoints counts checkpoint uploads accepted into the store;
+	// MetricCheckpointBytes is the size distribution of accepted uploads.
+	MetricCheckpoints     = "dispatch_checkpoints_total"
+	MetricCheckpointBytes = "dispatch_checkpoint_bytes"
+	// MetricFailoverNs is the distribution of failover latency: from a worker
+	// being declared dead to its last shard regranted.
+	MetricFailoverNs = "dispatch_failover_ns"
+)
+
+// DispatchMetrics is the pre-wired handle set of the dispatcher/worker tier.
+type DispatchMetrics struct {
+	Heartbeats      *Counter
+	HeartbeatMisses *Counter
+	LeaseGrants     *Counter
+	LeaseRenewals   *Counter
+	LeaseRevokes    *Counter
+	StaleEpochs     *Counter
+	Failovers       *Counter
+	WorkersDead     *Counter
+	Workers         *Gauge
+	ShardsAssigned  *Gauge
+	Checkpoints     *Counter
+	CheckpointBytes *Histogram
+	FailoverNs      *Histogram
+}
+
+// NewDispatchMetrics registers the dispatch metric set on the registry and
+// returns the handles (get-or-create semantics, like NewSchedulerMetrics).
+func NewDispatchMetrics(r *Registry) (*DispatchMetrics, error) {
+	dm := &DispatchMetrics{}
+	var err error
+	if dm.Heartbeats, err = r.Counter(MetricHeartbeats); err != nil {
+		return nil, err
+	}
+	if dm.HeartbeatMisses, err = r.Counter(MetricHeartbeatMisses); err != nil {
+		return nil, err
+	}
+	if dm.LeaseGrants, err = r.Counter(MetricLeaseGrants); err != nil {
+		return nil, err
+	}
+	if dm.LeaseRenewals, err = r.Counter(MetricLeaseRenewals); err != nil {
+		return nil, err
+	}
+	if dm.LeaseRevokes, err = r.Counter(MetricLeaseRevokes); err != nil {
+		return nil, err
+	}
+	if dm.StaleEpochs, err = r.Counter(MetricStaleEpochs); err != nil {
+		return nil, err
+	}
+	if dm.Failovers, err = r.Counter(MetricFailovers); err != nil {
+		return nil, err
+	}
+	if dm.WorkersDead, err = r.Counter(MetricWorkersDead); err != nil {
+		return nil, err
+	}
+	if dm.Workers, err = r.Gauge(MetricWorkers); err != nil {
+		return nil, err
+	}
+	if dm.ShardsAssigned, err = r.Gauge(MetricShardsAssigned); err != nil {
+		return nil, err
+	}
+	if dm.Checkpoints, err = r.Counter(MetricCheckpoints); err != nil {
+		return nil, err
+	}
+	// Checkpoint sizes: 256 B to ~16 MB in powers of four.
+	if dm.CheckpointBytes, err = r.Histogram(MetricCheckpointBytes, ExpBuckets(256, 4, 9)); err != nil {
+		return nil, err
+	}
+	// Failover latency: 1 ms to ~4.4 min in powers of four — dominated by the
+	// heartbeat interval times the miss budget.
+	if dm.FailoverNs, err = r.Histogram(MetricFailoverNs, ExpBuckets(1<<20, 4, 10)); err != nil {
+		return nil, err
+	}
+	return dm, nil
+}

@@ -1,0 +1,40 @@
+package obs
+
+import "testing"
+
+// TestNewDispatchMetrics pins the get-or-create contract and that every
+// handle is wired to the registry under its canonical name.
+func TestNewDispatchMetrics(t *testing.T) {
+	r := NewRegistry()
+	dm, err := NewDispatchMetrics(r)
+	if err != nil {
+		t.Fatalf("NewDispatchMetrics: %v", err)
+	}
+	dm2, err := NewDispatchMetrics(r)
+	if err != nil {
+		t.Fatalf("second NewDispatchMetrics: %v", err)
+	}
+	if dm.Failovers != dm2.Failovers || dm.Workers != dm2.Workers {
+		t.Fatal("re-registration did not return the same handles")
+	}
+
+	dm.Heartbeats.Inc()
+	dm.LeaseGrants.Add(3)
+	dm.Failovers.Inc()
+	dm.Workers.Set(2)
+	dm.CheckpointBytes.Observe(1024)
+	snap := r.Snapshot()
+	for name, want := range map[string]int64{
+		MetricHeartbeats:  1,
+		MetricLeaseGrants: 3,
+		MetricFailovers:   1,
+		MetricWorkers:     2,
+	} {
+		if got, ok := snap.Counter(name); !ok || got != want {
+			t.Errorf("%s = %d (ok=%v), want %d", name, got, ok, want)
+		}
+	}
+	if h, ok := snap.Histogram(MetricCheckpointBytes); !ok || h.Count != 1 {
+		t.Errorf("%s count = %+v (ok=%v), want 1 observation", MetricCheckpointBytes, h, ok)
+	}
+}

@@ -34,6 +34,11 @@ type tenantCheckpoint struct {
 	Queued   []queuedJob     `json:"queued,omitempty"`
 	Inflight []inflightJob   `json:"inflight,omitempty"`
 	Snapshot json.RawMessage `json:"snapshot"`
+	// Decisions is the tenant's recorded decision stream, present only under
+	// Config.CheckpointDecisions: the dispatcher/worker tier embeds history in
+	// checkpoints so it survives a shard migration, whereas the classic drain
+	// protocol keeps recordings in memory only.
+	Decisions []stream.Decision `json:"decisions,omitempty"`
 }
 
 type colorDelay struct {
@@ -87,6 +92,9 @@ func (sh *shard) checkpoint() ([]byte, error) {
 			tcp.Inflight = append(tcp.Inflight, inflightJob{ID: id, Color: int32(meta.Color), Arrival: meta.Arrival})
 		}
 		sort.Slice(tcp.Inflight, func(i, j int) bool { return tcp.Inflight[i].ID < tcp.Inflight[j].ID })
+		if sh.cfg.CheckpointDecisions {
+			tcp.Decisions = tn.decisions
+		}
 		cp.Tenants = append(cp.Tenants, tcp)
 	}
 	return json.MarshalIndent(cp, "", "  ")
@@ -164,6 +172,15 @@ func (sh *shard) restoreShard(data []byte, ring hashRing) error {
 				return fmt.Errorf("serve: tenant %q inflight job %d has negative color", tcp.Name, f.ID)
 			}
 			tn.inflight[f.ID] = jobMeta{Color: model.Color(f.Color), Arrival: f.Arrival}
+		}
+		if len(tcp.Decisions) > 0 {
+			// A decision-bearing checkpoint carries the tenant's full history:
+			// one decision per local round since its epoch.
+			if int64(len(tcp.Decisions)) != cp.Round-tcp.Epoch {
+				return fmt.Errorf("serve: tenant %q checkpoint has %d decisions, want %d (rounds %d..%d)",
+					tcp.Name, len(tcp.Decisions), cp.Round-tcp.Epoch, tcp.Epoch, cp.Round)
+			}
+			tn.decisions = tcp.Decisions
 		}
 		sh.tenants[tcp.Name] = tn
 		sh.order = append(sh.order, tcp.Name)

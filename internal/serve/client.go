@@ -5,27 +5,99 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"math/rand"
 	"net/http"
 	"net/url"
 	"strconv"
+	"sync"
 	"time"
 
 	"rrsched/internal/obs"
 )
 
+// RetryPolicy controls the client's request retries: capped exponential
+// backoff with jitter. Retries fire on transport failures (connection reset,
+// refused, EOF mid-response) and on 500/502/504; a 429 is retried only under
+// RetryBackpressure, waiting out the server's Retry-After when one is given.
+// A 503 is never retried — it means the service is draining, and hammering a
+// draining service only slows its exit.
+//
+// Retrying a submit is safe even when the first attempt's fate is unknown:
+// batch admission is all-or-nothing and job IDs are strictly increasing, so a
+// resend of a batch that did land is answered with 409 (duplicate), which the
+// client reports as SubmitOutcome.Duplicate — admitted, just not by this
+// attempt.
+type RetryPolicy struct {
+	// MaxAttempts is the total number of tries (>= 1). 1 disables retries.
+	MaxAttempts int
+	// BaseDelay is the backoff before the second attempt; each further
+	// attempt doubles it, capped at MaxDelay. The actual wait is jittered
+	// uniformly over [delay/2, delay).
+	BaseDelay time.Duration
+	MaxDelay  time.Duration
+	// RetryBackpressure also retries 429 responses, waiting max(backoff,
+	// Retry-After). Off, a 429 surfaces immediately as a Rejected outcome —
+	// the right default for load generators that account for backpressure.
+	RetryBackpressure bool
+	// Seed seeds the jitter PRNG, keeping retry schedules reproducible.
+	Seed int64
+}
+
+// DefaultRetryPolicy is what NewClient uses: a handful of quick attempts
+// that ride out a worker failover or a dropped connection without masking
+// backpressure.
+func DefaultRetryPolicy() RetryPolicy {
+	return RetryPolicy{MaxAttempts: 4, BaseDelay: 25 * time.Millisecond, MaxDelay: 2 * time.Second, Seed: 1}
+}
+
+// SingleShot disables retries entirely: every outcome, including transport
+// failures, surfaces on the first attempt.
+func SingleShot() RetryPolicy {
+	return RetryPolicy{MaxAttempts: 1}
+}
+
+func (p RetryPolicy) validate() RetryPolicy {
+	if p.MaxAttempts < 1 {
+		p.MaxAttempts = 1
+	}
+	if p.BaseDelay <= 0 {
+		p.BaseDelay = 25 * time.Millisecond
+	}
+	if p.MaxDelay < p.BaseDelay {
+		p.MaxDelay = p.BaseDelay
+	}
+	return p
+}
+
 // Client is a thin typed client for the rrserve HTTP API, used by rrload,
-// the CI smoke job, and the end-to-end tests.
+// the dispatcher/worker tier, the CI smoke jobs, and the end-to-end tests.
 type Client struct {
-	base string
-	hc   *http.Client
+	base   string
+	hc     *http.Client
+	policy RetryPolicy
+
+	mu  sync.Mutex
+	rng *rand.Rand
+	// sleep is time.Sleep unless a test injects a recorder.
+	sleep func(time.Duration)
 }
 
 // NewClient returns a client for the service at base (e.g.
-// "http://127.0.0.1:8080"). The underlying http.Client reuses connections,
-// which is what gives the load generator its throughput.
+// "http://127.0.0.1:8080") with the default retry policy. The underlying
+// http.Client reuses connections, which is what gives the load generator its
+// throughput.
 func NewClient(base string) *Client {
+	return NewClientPolicy(base, DefaultRetryPolicy())
+}
+
+// NewClientPolicy returns a client with an explicit retry policy.
+func NewClientPolicy(base string, policy RetryPolicy) *Client {
+	policy = policy.validate()
 	return &Client{
-		base: base,
+		base:   base,
+		policy: policy,
+		rng:    rand.New(rand.NewSource(policy.Seed)),
+		sleep:  time.Sleep,
 		hc: &http.Client{
 			Timeout: 30 * time.Second,
 			Transport: &http.Transport{
@@ -36,44 +108,132 @@ func NewClient(base string) *Client {
 	}
 }
 
+// backoff returns the jittered wait before attempt (2nd attempt = 1), at
+// least floor (a server-provided Retry-After).
+func (c *Client) backoff(attempt int, floor time.Duration) time.Duration {
+	d := c.policy.BaseDelay << (attempt - 1)
+	if d > c.policy.MaxDelay || d <= 0 {
+		d = c.policy.MaxDelay
+	}
+	c.mu.Lock()
+	// Jitter uniformly over [d/2, d) so synchronized clients desynchronize.
+	d = d/2 + time.Duration(c.rng.Int63n(int64(d/2)+1))
+	c.mu.Unlock()
+	if d < floor {
+		d = floor
+	}
+	return d
+}
+
+// retryableStatus reports whether a response status warrants another attempt
+// under the policy.
+func (c *Client) retryableStatus(status int) bool {
+	switch status {
+	case http.StatusInternalServerError, http.StatusBadGateway, http.StatusGatewayTimeout:
+		return true
+	case http.StatusTooManyRequests:
+		return c.policy.RetryBackpressure
+	default:
+		return false
+	}
+}
+
+// do issues one request with retries and returns the final response body and
+// status. Any returned status is from a completed HTTP exchange; an error
+// means every attempt failed at the transport layer.
+func (c *Client) do(method, path string, body []byte) (status int, respBody []byte, header http.Header, err error) {
+	var lastErr error
+	for attempt := 1; ; attempt++ {
+		var reader io.Reader
+		if body != nil {
+			reader = bytes.NewReader(body)
+		}
+		req, rerr := http.NewRequest(method, c.base+path, reader)
+		if rerr != nil {
+			return 0, nil, nil, fmt.Errorf("serve: building %s %s: %w", method, path, rerr)
+		}
+		if body != nil {
+			req.Header.Set("Content-Type", "application/json")
+		}
+		resp, derr := c.hc.Do(req)
+		retryAfter := time.Duration(0)
+		if derr != nil {
+			lastErr = fmt.Errorf("serve: %s %s: %w", method, path, derr)
+		} else {
+			data, rerr := io.ReadAll(io.LimitReader(resp.Body, maxResponseBody))
+			drainClose(resp.Body)
+			if rerr == nil {
+				if !c.retryableStatus(resp.StatusCode) {
+					return resp.StatusCode, data, resp.Header, nil
+				}
+				lastErr = fmt.Errorf("serve: %s %s: %s", method, path, resp.Status)
+				if v := resp.Header.Get("Retry-After"); v != "" {
+					if secs, perr := strconv.Atoi(v); perr == nil && secs >= 0 {
+						retryAfter = time.Duration(secs) * time.Second
+					}
+				}
+			} else {
+				lastErr = fmt.Errorf("serve: reading %s %s response: %w", method, path, rerr)
+			}
+		}
+		if attempt >= c.policy.MaxAttempts {
+			return 0, nil, nil, lastErr
+		}
+		c.sleep(c.backoff(attempt, retryAfter))
+	}
+}
+
 // SubmitOutcome is the result of one submit call.
 type SubmitOutcome struct {
 	// Accepted is true for a 200 (the whole batch was queued).
 	Accepted bool
+	// Duplicate is true for a 409: every ID in the batch is at or below the
+	// tenant's high-water mark, meaning the batch already landed (admission
+	// is all-or-nothing) — the idempotent-resend answer. Callers treating
+	// submits as at-least-once should count Accepted || Duplicate as success.
+	Duplicate bool
 	// Rejected is true for a 429 (watermark backpressure); RetryAfter is the
 	// parsed Retry-After duration.
 	Rejected   bool
 	RetryAfter time.Duration
 	// Refused is true for a 503 (service draining).
 	Refused bool
+	// Misdirected is true for a 421: a hosted worker that does not hold the
+	// tenant's shard. The caller should refresh placement and resend.
+	Misdirected bool
 	// Round and Backlog echo the SubmitResponse on acceptance.
 	Round   int64
 	Backlog int
 }
 
-// Submit posts one batch. Admission outcomes (429, 503) are reported in the
-// SubmitOutcome, not as errors; an error means the request itself failed
-// (transport, 400, unexpected status).
+// Landed reports whether the batch is in the server's hands: accepted by this
+// call or already admitted by an earlier one.
+func (o SubmitOutcome) Landed() bool { return o.Accepted || o.Duplicate }
+
+// Submit posts one batch. Admission outcomes (429, 503, 409, 421) are
+// reported in the SubmitOutcome, not as errors; an error means the request
+// itself failed (transport after retries, 400, unexpected status).
 func (c *Client) Submit(req *SubmitRequest) (SubmitOutcome, error) {
 	body, err := EncodeSubmit(req)
 	if err != nil {
 		return SubmitOutcome{}, err
 	}
-	resp, err := c.hc.Post(c.base+"/v1/jobs", "application/json", bytes.NewReader(body))
+	status, data, header, err := c.do(http.MethodPost, "/v1/jobs", body)
 	if err != nil {
 		return SubmitOutcome{}, fmt.Errorf("serve: submit: %w", err)
 	}
-	defer drainClose(resp.Body)
-	switch resp.StatusCode {
+	switch status {
 	case http.StatusOK:
 		var sr SubmitResponse
-		if err := decodeBody(resp.Body, &sr); err != nil {
+		if err := decodeBody(bytes.NewReader(data), &sr); err != nil {
 			return SubmitOutcome{}, err
 		}
 		return SubmitOutcome{Accepted: true, Round: sr.Round, Backlog: sr.Backlog}, nil
+	case http.StatusConflict:
+		return SubmitOutcome{Duplicate: true}, nil
 	case http.StatusTooManyRequests:
 		retry := time.Second
-		if v := resp.Header.Get("Retry-After"); v != "" {
+		if v := header.Get("Retry-After"); v != "" {
 			if secs, err := strconv.Atoi(v); err == nil && secs >= 0 {
 				retry = time.Duration(secs) * time.Second
 			}
@@ -81,23 +241,41 @@ func (c *Client) Submit(req *SubmitRequest) (SubmitOutcome, error) {
 		return SubmitOutcome{Rejected: true, RetryAfter: retry}, nil
 	case http.StatusServiceUnavailable:
 		return SubmitOutcome{Refused: true}, nil
+	case http.StatusMisdirectedRequest:
+		return SubmitOutcome{Misdirected: true}, nil
 	default:
-		return SubmitOutcome{}, statusError("submit", resp)
+		return SubmitOutcome{}, bodyError("submit", status, data)
 	}
 }
 
 // Tick advances n rounds (virtual-time mode) and returns the new next round.
 func (c *Client) Tick(n int) (int64, error) {
-	resp, err := c.hc.Post(c.base+"/v1/tick?rounds="+strconv.Itoa(n), "application/json", nil)
+	return c.tick("/v1/tick?rounds=" + strconv.Itoa(n))
+}
+
+// TickShard advances one hosted shard n rounds from its own round counter.
+// ErrMisdirected is returned when the worker no longer holds the shard.
+func (c *Client) TickShard(shard, n int) (int64, error) {
+	return c.tick("/v1/tick?rounds=" + strconv.Itoa(n) + "&shard=" + strconv.Itoa(shard))
+}
+
+// ErrMisdirected marks a per-shard request sent to a worker that does not
+// hold the shard's lease; callers refresh placement and retry elsewhere.
+var ErrMisdirected = fmt.Errorf("serve: shard is not hosted on this worker")
+
+func (c *Client) tick(path string) (int64, error) {
+	status, data, _, err := c.do(http.MethodPost, path, []byte{})
 	if err != nil {
 		return 0, fmt.Errorf("serve: tick: %w", err)
 	}
-	defer drainClose(resp.Body)
-	if resp.StatusCode != http.StatusOK {
-		return 0, statusError("tick", resp)
+	if status == http.StatusMisdirectedRequest {
+		return 0, ErrMisdirected
+	}
+	if status != http.StatusOK {
+		return 0, bodyError("tick", status, data)
 	}
 	var tr TickResponse
-	if err := decodeBody(resp.Body, &tr); err != nil {
+	if err := decodeBody(bytes.NewReader(data), &tr); err != nil {
 		return 0, err
 	}
 	return tr.Round, nil
@@ -144,7 +322,8 @@ func (c *Client) DecisionsRaw(tenant string) ([]byte, error) {
 	return c.getRaw("/v1/decisions?tenant=" + url.QueryEscape(tenant))
 }
 
-// Ready reports whether /readyz returns 200.
+// Ready reports whether /readyz returns 200. Single-shot: readiness polls
+// supply their own cadence.
 func (c *Client) Ready() bool {
 	resp, err := c.hc.Get(c.base + "/readyz")
 	if err != nil {
@@ -154,7 +333,7 @@ func (c *Client) Ready() bool {
 	return resp.StatusCode == http.StatusOK
 }
 
-// Healthy reports whether /healthz returns 200.
+// Healthy reports whether /healthz returns 200. Single-shot, like Ready.
 func (c *Client) Healthy() bool {
 	resp, err := c.hc.Get(c.base + "/healthz")
 	if err != nil {
@@ -165,15 +344,14 @@ func (c *Client) Healthy() bool {
 }
 
 func (c *Client) getRaw(path string) ([]byte, error) {
-	resp, err := c.hc.Get(c.base + path)
+	status, data, _, err := c.do(http.MethodGet, path, nil)
 	if err != nil {
 		return nil, fmt.Errorf("serve: get %s: %w", path, err)
 	}
-	defer drainClose(resp.Body)
-	if resp.StatusCode != http.StatusOK {
-		return nil, statusError(path, resp)
+	if status != http.StatusOK {
+		return nil, bodyError(path, status, data)
 	}
-	return io.ReadAll(resp.Body)
+	return data, nil
 }
 
 func (c *Client) getJSON(path string, v any) error {
@@ -195,15 +373,14 @@ func decodeBody(r io.Reader, v any) error {
 	return nil
 }
 
-// statusError turns a non-2xx response into an error carrying the server's
+// bodyError turns a non-2xx response into an error carrying the server's
 // ErrorResponse body when one is present.
-func statusError(op string, resp *http.Response) error {
-	data, _ := io.ReadAll(io.LimitReader(resp.Body, 4096)) // body is advisory; status alone is actionable
+func bodyError(op string, status int, data []byte) error {
 	var er ErrorResponse
 	if err := json.Unmarshal(data, &er); err == nil && er.Error != "" {
-		return fmt.Errorf("serve: %s: %s (%s)", op, resp.Status, er.Error)
+		return fmt.Errorf("serve: %s: status %d (%s)", op, status, er.Error)
 	}
-	return fmt.Errorf("serve: %s: %s", op, resp.Status)
+	return fmt.Errorf("serve: %s: status %d", op, status)
 }
 
 // drainClose discards any unread body and closes it, which lets the

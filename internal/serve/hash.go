@@ -54,6 +54,25 @@ func (r hashRing) ShardOf(tenant string) int {
 	return r.points[i].shard
 }
 
+// Ring is the exported tenant→shard consistent-hash mapping, for callers
+// outside the service — the dispatcher and its placement-following driver —
+// that must agree with every worker on where a tenant lives. The mapping is a
+// pure function of the shard count.
+type Ring struct {
+	r hashRing
+}
+
+// NewRing builds the ring for the given shard count.
+func NewRing(shards int) (Ring, error) {
+	if shards <= 0 {
+		return Ring{}, fmt.Errorf("serve: need at least one shard, got %d", shards)
+	}
+	return Ring{r: newHashRing(shards)}, nil
+}
+
+// ShardOf returns the shard owning the tenant.
+func (r Ring) ShardOf(tenant string) int { return r.r.ShardOf(tenant) }
+
 // hash64 is FNV-1a, chosen because it is in the stdlib, stable across
 // processes and architectures, and uniform enough for ring placement.
 func hash64(s string) uint64 {

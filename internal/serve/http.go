@@ -2,21 +2,46 @@ package serve
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"net/http"
 	"strconv"
+	"time"
 )
+
+// HardenedServer wraps a handler in an http.Server with bounded read, header,
+// write, and idle timeouts, so a stalled or hostile peer (slowloris) cannot
+// pin a connection — and with it a drain — forever. Every daemon in the repo
+// (rrserve, rrdispatch, rrworker) serves through this.
+func HardenedServer(h http.Handler) *http.Server {
+	return &http.Server{
+		Handler:           h,
+		ReadHeaderTimeout: 10 * time.Second,
+		ReadTimeout:       30 * time.Second,
+		// WriteTimeout doubles as the write deadline on drain: a response that
+		// cannot be flushed within it is abandoned rather than holding
+		// Shutdown hostage.
+		WriteTimeout: 30 * time.Second,
+		IdleTimeout:  2 * time.Minute,
+	}
+}
 
 // maxSubmitBody caps the request body of POST /v1/jobs. Generous for
 // MaxBatchJobs-sized batches while bounding what a hostile client can make
 // the decoder buffer.
 const maxSubmitBody = 8 << 20
 
+// maxResponseBody caps what the typed client buffers from one response;
+// recorded decision streams are the largest payloads and stay far below it.
+const maxResponseBody = 64 << 20
+
 // Handler returns the service's HTTP API:
 //
 //	POST /v1/jobs       submit one batch for one tenant (wire.go)
-//	POST /v1/tick       advance rounds (virtual-time mode only; ?rounds=n)
+//	POST /v1/tick       advance rounds (virtual-time mode only; ?rounds=n,
+//	                    and in hosted mode ?shard=i ticks one shard from its
+//	                    own round counter)
 //	GET  /v1/stats      service + per-shard stats (StatsResponse)
 //	GET  /v1/decisions  a tenant's recorded decision stream (?tenant=...)
 //	GET  /metrics       merged per-shard metric snapshot (obs JSON format)
@@ -105,7 +130,22 @@ func (s *Service) handleTick(w http.ResponseWriter, r *http.Request) {
 		}
 		n = parsed
 	}
-	round, err := s.Tick(n)
+	var round int64
+	var err error
+	if v := r.URL.Query().Get("shard"); v != "" {
+		shard, perr := strconv.Atoi(v)
+		if perr != nil || shard < 0 || shard >= len(s.shards) {
+			writeError(w, http.StatusBadRequest, fmt.Sprintf("invalid shard %q (want 0..%d)", v, len(s.shards)-1))
+			return
+		}
+		round, err = s.TickShard(shard, n)
+		if errors.Is(err, errShardClosed) {
+			writeError(w, http.StatusMisdirectedRequest, err.Error())
+			return
+		}
+	} else {
+		round, err = s.Tick(n)
+	}
 	if err != nil {
 		writeError(w, http.StatusServiceUnavailable, err.Error())
 		return

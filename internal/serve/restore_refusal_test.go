@@ -1,0 +1,157 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// checkpointedStateDir produces a valid two-shard drain checkpoint to mangle.
+func checkpointedStateDir(t *testing.T) (Config, string) {
+	t.Helper()
+	cfg := Config{Shards: 2, Resources: 8, Delta: 4, Watermark: 64, StateDir: t.TempDir()}
+	svc, _, err := New(cfg)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	srv := httptest.NewServer(svc.Handler())
+	client := NewClient(srv.URL)
+	for i := 0; i < 8; i++ {
+		submitJobs(t, client, fmt.Sprintf("tenant-%d", i), SubmitJob{ID: 0, Color: 0, Delay: 4})
+	}
+	srv.Close()
+	if _, err := svc.Tick(2); err != nil {
+		t.Fatalf("Tick: %v", err)
+	}
+	svc.BeginDrain()
+	if err := svc.Checkpoint(); err != nil {
+		t.Fatalf("Checkpoint: %v", err)
+	}
+	svc.Close()
+	return cfg, cfg.StateDir
+}
+
+// TestRestoreRejectsTruncatedFile pins that a checkpoint cut short mid-write
+// (torn file, full disk) refuses to restore instead of booting a service with
+// silently missing tenants.
+func TestRestoreRejectsTruncatedFile(t *testing.T) {
+	cfg, dir := checkpointedStateDir(t)
+	path := filepath.Join(dir, "shard-0000.json")
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("read: %v", err)
+	}
+	if err := os.WriteFile(path, data[:len(data)/2], 0o644); err != nil {
+		t.Fatalf("truncate: %v", err)
+	}
+	if _, _, err := New(cfg); err == nil {
+		t.Fatal("restore accepted a truncated checkpoint")
+	}
+}
+
+// TestRestoreRejectsSchemaSkew pins that a checkpoint from a different format
+// version is refused: the schema string is the compatibility contract.
+func TestRestoreRejectsSchemaSkew(t *testing.T) {
+	cfg, dir := checkpointedStateDir(t)
+	path := filepath.Join(dir, "shard-0000.json")
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("read: %v", err)
+	}
+	skewed := bytes.Replace(data, []byte(StateSchema), []byte("rrserve-state/v0"), 1)
+	if bytes.Equal(skewed, data) {
+		t.Fatal("schema string not found in checkpoint")
+	}
+	if err := os.WriteFile(path, skewed, 0o644); err != nil {
+		t.Fatalf("write: %v", err)
+	}
+	_, _, err = New(cfg)
+	if err == nil {
+		t.Fatal("restore accepted a schema skew")
+	}
+	if want := "rrserve-state/v0"; !bytes.Contains([]byte(err.Error()), []byte(want)) {
+		t.Fatalf("skew error does not name the offending schema: %v", err)
+	}
+}
+
+// TestOpenShardRejectsBadCheckpoints pins the hosted-mode refusal paths: a
+// lease grant carrying a damaged or misrouted checkpoint must fail the open
+// (the worker then declines the lease) rather than serve corrupted state.
+func TestOpenShardRejectsBadCheckpoints(t *testing.T) {
+	cfg := Config{Shards: 2, Resources: 8, Delta: 4, Watermark: 64,
+		Hosted: true, RecordDecisions: true, CheckpointDecisions: true}
+	svc, _, err := New(cfg)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	defer svc.Close()
+	srv := httptest.NewServer(svc.Handler())
+	defer srv.Close()
+	client := NewClient(srv.URL)
+
+	// Build a real checkpoint on shard 0: open, admit a tenant that hashes
+	// there, tick, close.
+	if _, err := svc.OpenShard(0, nil); err != nil {
+		t.Fatalf("OpenShard: %v", err)
+	}
+	ring := newHashRing(cfg.Shards)
+	tenant := ""
+	for i := 0; tenant == ""; i++ {
+		if name := fmt.Sprintf("tenant-%d", i); ring.ShardOf(name) == 0 {
+			tenant = name
+		}
+	}
+	if out := submitJobs(t, client, tenant, SubmitJob{ID: 0, Color: 0, Delay: 4}); !out.Accepted {
+		t.Fatalf("submit: %+v", out)
+	}
+	if _, err := svc.TickShard(0, 3); err != nil {
+		t.Fatalf("TickShard: %v", err)
+	}
+	good, err := svc.CloseShard(0)
+	if err != nil {
+		t.Fatalf("CloseShard: %v", err)
+	}
+
+	// Garbage bytes.
+	if _, err := svc.OpenShard(0, []byte("{torn")); err == nil {
+		t.Fatal("OpenShard accepted garbage")
+	}
+	// A checkpoint addressed to the other shard (misrouted grant).
+	if _, err := svc.OpenShard(1, good); err == nil {
+		t.Fatal("OpenShard accepted a checkpoint for a different shard")
+	}
+	// A decision-count mismatch: the history no longer covers every round
+	// since the tenant's epoch, so a restored stream could silently skip
+	// rounds.
+	var cp shardCheckpoint
+	if err := json.Unmarshal(good, &cp); err != nil {
+		t.Fatalf("decoding checkpoint: %v", err)
+	}
+	if len(cp.Tenants) != 1 || len(cp.Tenants[0].Decisions) == 0 {
+		t.Fatalf("fixture checkpoint lacks decisions: %d tenants", len(cp.Tenants))
+	}
+	cp.Tenants[0].Decisions = cp.Tenants[0].Decisions[:len(cp.Tenants[0].Decisions)-1]
+	mangled, err := json.Marshal(cp)
+	if err != nil {
+		t.Fatalf("re-encoding checkpoint: %v", err)
+	}
+	if _, err := svc.OpenShard(0, mangled); err == nil {
+		t.Fatal("OpenShard accepted a truncated decision history")
+	}
+
+	// The pristine checkpoint still restores, and double-open is refused.
+	round, err := svc.OpenShard(0, good)
+	if err != nil {
+		t.Fatalf("OpenShard with pristine checkpoint: %v", err)
+	}
+	if round != 3 {
+		t.Fatalf("restored round %d, want 3", round)
+	}
+	if _, err := svc.OpenShard(0, good); err == nil {
+		t.Fatal("OpenShard accepted an already-open shard")
+	}
+}

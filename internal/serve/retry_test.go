@@ -1,0 +1,178 @@
+package serve
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// flakyHandler serves a scripted sequence of failures before succeeding,
+// exercising every retryable path: 500s, connection resets, and 429s with
+// Retry-After.
+type flakyHandler struct {
+	calls  atomic.Int64
+	script []string // per attempt: "500", "429", "reset", "ok"
+	final  http.Handler
+}
+
+func (f *flakyHandler) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	n := int(f.calls.Add(1)) - 1
+	step := "ok"
+	if n < len(f.script) {
+		step = f.script[n]
+	}
+	switch step {
+	case "500":
+		writeError(w, http.StatusInternalServerError, "transient")
+	case "429":
+		w.Header().Set("Retry-After", "1")
+		writeError(w, http.StatusTooManyRequests, "backpressure")
+	case "reset":
+		hj, ok := w.(http.Hijacker)
+		if !ok {
+			panic("test server does not support hijacking")
+		}
+		conn, _, err := hj.Hijack()
+		if err != nil {
+			panic(err)
+		}
+		_ = conn.Close() // deliberate mid-request reset
+	default:
+		f.final.ServeHTTP(w, r)
+	}
+}
+
+// newRecordedClient returns a client whose sleeps are recorded instead of
+// slept, so backoff schedules are assertable and tests stay fast.
+func newRecordedClient(base string, policy RetryPolicy) (*Client, *[]time.Duration) {
+	c := NewClientPolicy(base, policy)
+	slept := &[]time.Duration{}
+	c.sleep = func(d time.Duration) { *slept = append(*slept, d) }
+	return c, slept
+}
+
+func retryBackend(t *testing.T) http.Handler {
+	t.Helper()
+	svc, _, err := New(Config{Shards: 1, Resources: 8, Delta: 4, Watermark: 1 << 10})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	t.Cleanup(svc.Close)
+	return svc.Handler()
+}
+
+// TestClientRetriesFlakyServer drives a submit through a 500, a connection
+// reset, and then success; the client must land the batch and back off
+// between attempts with jittered, growing delays.
+func TestClientRetriesFlakyServer(t *testing.T) {
+	fh := &flakyHandler{script: []string{"500", "reset"}, final: retryBackend(t)}
+	srv := httptest.NewServer(fh)
+	defer srv.Close()
+	client, slept := newRecordedClient(srv.URL, RetryPolicy{
+		MaxAttempts: 5, BaseDelay: 10 * time.Millisecond, MaxDelay: time.Second, Seed: 7,
+	})
+	out, err := client.Submit(&SubmitRequest{Schema: WireSchema, Tenant: "alpha",
+		Jobs: []SubmitJob{{ID: 0, Color: 0, Delay: 4}}})
+	if err != nil || !out.Accepted {
+		t.Fatalf("submit through flaky server: out=%+v err=%v", out, err)
+	}
+	if got := fh.calls.Load(); got != 3 {
+		t.Fatalf("server saw %d attempts, want 3", got)
+	}
+	if len(*slept) != 2 {
+		t.Fatalf("client slept %d times, want 2: %v", len(*slept), *slept)
+	}
+	for i, d := range *slept {
+		base := 10 * time.Millisecond << i
+		if d < base/2 || d >= base {
+			t.Fatalf("backoff %d = %v outside jitter window [%v, %v)", i, d, base/2, base)
+		}
+	}
+}
+
+// TestClientRetryBudgetExhausted pins that a persistently failing server
+// surfaces the last error after exactly MaxAttempts tries.
+func TestClientRetryBudgetExhausted(t *testing.T) {
+	fh := &flakyHandler{script: []string{"500", "500", "500", "500", "500", "500"}, final: retryBackend(t)}
+	srv := httptest.NewServer(fh)
+	defer srv.Close()
+	client, slept := newRecordedClient(srv.URL, RetryPolicy{
+		MaxAttempts: 3, BaseDelay: time.Millisecond, MaxDelay: 8 * time.Millisecond, Seed: 7,
+	})
+	_, err := client.Submit(&SubmitRequest{Schema: WireSchema, Tenant: "alpha",
+		Jobs: []SubmitJob{{ID: 0, Color: 0, Delay: 4}}})
+	if err == nil || !strings.Contains(err.Error(), "500") {
+		t.Fatalf("err = %v, want the final 500", err)
+	}
+	if got := fh.calls.Load(); got != 3 {
+		t.Fatalf("server saw %d attempts, want MaxAttempts=3", got)
+	}
+	if len(*slept) != 2 {
+		t.Fatalf("client slept %d times, want 2", len(*slept))
+	}
+}
+
+// TestClientHonorsRetryAfter pins the 429 paths: without RetryBackpressure a
+// 429 surfaces immediately as a Rejected outcome; with it, the client waits
+// at least the server's Retry-After before the next attempt.
+func TestClientHonorsRetryAfter(t *testing.T) {
+	// Default policy: no backpressure retries, single attempt, outcome visible.
+	fh := &flakyHandler{script: []string{"429"}, final: retryBackend(t)}
+	srv := httptest.NewServer(fh)
+	defer srv.Close()
+	client, slept := newRecordedClient(srv.URL, DefaultRetryPolicy())
+	out, err := client.Submit(&SubmitRequest{Schema: WireSchema, Tenant: "alpha",
+		Jobs: []SubmitJob{{ID: 0, Color: 0, Delay: 4}}})
+	if err != nil || !out.Rejected || out.RetryAfter != time.Second {
+		t.Fatalf("429 outcome: out=%+v err=%v", out, err)
+	}
+	if len(*slept) != 0 {
+		t.Fatalf("client slept on a non-retried 429: %v", *slept)
+	}
+
+	// Backpressure retries on: the wait is floored at Retry-After (1s),
+	// far above the 1ms base backoff.
+	fh2 := &flakyHandler{script: []string{"429"}, final: retryBackend(t)}
+	srv2 := httptest.NewServer(fh2)
+	defer srv2.Close()
+	client2, slept2 := newRecordedClient(srv2.URL, RetryPolicy{
+		MaxAttempts: 3, BaseDelay: time.Millisecond, MaxDelay: time.Millisecond,
+		RetryBackpressure: true, Seed: 7,
+	})
+	out, err = client2.Submit(&SubmitRequest{Schema: WireSchema, Tenant: "alpha",
+		Jobs: []SubmitJob{{ID: 0, Color: 0, Delay: 4}}})
+	if err != nil || !out.Accepted {
+		t.Fatalf("submit through 429: out=%+v err=%v", out, err)
+	}
+	if len(*slept2) != 1 || (*slept2)[0] < time.Second {
+		t.Fatalf("Retry-After not honored: slept %v, want >= 1s", *slept2)
+	}
+}
+
+// TestClientNeverRetriesDrain pins that 503 (draining) is terminal: no
+// retries, Refused outcome.
+func TestClientNeverRetriesDrain(t *testing.T) {
+	svc, _, err := New(Config{Shards: 1, Resources: 8, Delta: 4, Watermark: 8})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	defer svc.Close()
+	svc.BeginDrain()
+	srv := httptest.NewServer(svc.Handler())
+	defer srv.Close()
+	client, slept := newRecordedClient(srv.URL, RetryPolicy{
+		MaxAttempts: 5, BaseDelay: time.Millisecond, MaxDelay: time.Millisecond,
+		RetryBackpressure: true, Seed: 7,
+	})
+	out, err := client.Submit(&SubmitRequest{Schema: WireSchema, Tenant: "alpha",
+		Jobs: []SubmitJob{{ID: 0, Color: 0, Delay: 4}}})
+	if err != nil || !out.Refused {
+		t.Fatalf("drain outcome: out=%+v err=%v", out, err)
+	}
+	if len(*slept) != 0 {
+		t.Fatalf("client retried a draining server: %v", *slept)
+	}
+}

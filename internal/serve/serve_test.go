@@ -120,10 +120,18 @@ func TestWatermarkBackpressure(t *testing.T) {
 func TestSubmitRejectsDuplicateAndInconsistent(t *testing.T) {
 	_, client := newTestService(t, Config{})
 	submitJobs(t, client, "alpha", SubmitJob{ID: 5, Color: 0, Delay: 4})
-	// Replayed or out-of-order ID: at or below the high-water mark.
+	// A full replay (every ID at or below the high-water mark) is answered
+	// with the idempotent-duplicate outcome: the batch already landed, so a
+	// retrying client may treat it as admitted.
+	if out, err := client.Submit(&SubmitRequest{Schema: WireSchema, Tenant: "alpha",
+		Jobs: []SubmitJob{{ID: 5, Color: 0, Delay: 4}}}); err != nil || !out.Duplicate || !out.Landed() || out.Accepted {
+		t.Fatalf("duplicate batch: out=%+v err=%v", out, err)
+	}
+	// A partial overlap (one stale ID, one fresh) is not a clean resend of an
+	// admitted batch; it must be refused outright, not half-applied.
 	if _, err := client.Submit(&SubmitRequest{Schema: WireSchema, Tenant: "alpha",
-		Jobs: []SubmitJob{{ID: 5, Color: 0, Delay: 4}}}); err == nil || !strings.Contains(err.Error(), "high-water") {
-		t.Fatalf("duplicate id: err = %v", err)
+		Jobs: []SubmitJob{{ID: 5, Color: 0, Delay: 4}, {ID: 6, Color: 0, Delay: 4}}}); err == nil || !strings.Contains(err.Error(), "high-water") {
+		t.Fatalf("partial-overlap batch: err = %v", err)
 	}
 	// Same color, different delay bound than registered.
 	if _, err := client.Submit(&SubmitRequest{Schema: WireSchema, Tenant: "alpha",

@@ -1,6 +1,7 @@
 package serve
 
 import (
+	"errors"
 	"fmt"
 	"os"
 	"path/filepath"
@@ -39,6 +40,26 @@ type Config struct {
 	// New looks for a previous incarnation's files to restore. Empty
 	// disables durability.
 	StateDir string
+	// Hosted switches the service into hosted-shard mode, the worker side of
+	// the dispatcher/worker tier: shards start closed and are opened and
+	// closed per lease (OpenShard/CloseShard), submissions to closed shards
+	// get 421, and rounds advance per shard rather than in lockstep — a shard
+	// restored from a checkpoint resumes at its own round regardless of what
+	// its new host's other shards are doing. StateDir must be empty: hosted
+	// checkpoints travel through OnShardCheckpoint, not local files.
+	Hosted bool
+	// OnShardCheckpoint, if set (hosted mode only), is invoked from the shard
+	// goroutine after every self-tick with a fresh checkpoint of the shard.
+	// The worker daemon uses it to push state to the dispatcher's checkpoint
+	// store synchronously: when a tick call returns, the dispatcher already
+	// holds the post-tick state, so a later crash loses at most the
+	// admissions since that tick — which clients resend idempotently.
+	OnShardCheckpoint func(shard int, round int64, data []byte) error
+	// CheckpointDecisions embeds each tenant's recorded decision stream in
+	// checkpoints (requires RecordDecisions), so the full history survives a
+	// shard migration. Off by default: the classic drain/restore protocol
+	// keeps history in memory only.
+	CheckpointDecisions bool
 }
 
 func (cfg Config) validate() error {
@@ -56,6 +77,18 @@ func (cfg Config) validate() error {
 	}
 	if cfg.RoundEvery < 0 {
 		return fmt.Errorf("serve: negative round duration %v", cfg.RoundEvery)
+	}
+	if cfg.Hosted && cfg.StateDir != "" {
+		return fmt.Errorf("serve: hosted mode is incompatible with a state dir (checkpoints travel via OnShardCheckpoint)")
+	}
+	if cfg.Hosted && cfg.RoundEvery != 0 {
+		return fmt.Errorf("serve: hosted mode requires virtual time (rounds advance per shard via /v1/tick)")
+	}
+	if cfg.OnShardCheckpoint != nil && !cfg.Hosted {
+		return fmt.Errorf("serve: OnShardCheckpoint requires hosted mode")
+	}
+	if cfg.CheckpointDecisions && !cfg.RecordDecisions {
+		return fmt.Errorf("serve: CheckpointDecisions requires RecordDecisions")
 	}
 	return nil
 }
@@ -195,9 +228,11 @@ func (s *Service) Start() {
 	})
 }
 
-// Tick advances all shards by n rounds in lockstep and returns the new next
-// round. Shards tick concurrently within a round but a barrier separates
-// rounds, keeping every shard's round counter aligned.
+// Tick advances all shards by n rounds and returns the new next round. In a
+// classic service shards tick in lockstep (a barrier separates rounds, so
+// every shard's round counter stays aligned); in hosted mode every open shard
+// advances n rounds from its own counter and the returned round is the
+// maximum across open shards.
 func (s *Service) Tick(n int) (int64, error) {
 	if n <= 0 {
 		return s.round.Load(), fmt.Errorf("serve: tick count must be positive, got %d", n)
@@ -206,6 +241,9 @@ func (s *Service) Tick(n int) (int64, error) {
 	defer s.tickMu.Unlock()
 	if s.draining.Load() {
 		return s.round.Load(), fmt.Errorf("serve: service is draining")
+	}
+	if s.cfg.Hosted {
+		return s.tickHosted(n)
 	}
 	for i := 0; i < n; i++ {
 		r := s.round.Load()
@@ -219,6 +257,123 @@ func (s *Service) Tick(n int) (int64, error) {
 		s.round.Store(r + 1)
 	}
 	return s.round.Load(), nil
+}
+
+// tickHosted fans a self-tick to every shard concurrently; closed shards
+// report themselves and are skipped. Caller holds tickMu.
+func (s *Service) tickHosted(n int) (int64, error) {
+	replies := make([]chan selfTickResult, len(s.shards))
+	for i, sh := range s.shards {
+		replies[i] = make(chan selfTickResult, 1)
+		sh.ch <- shardCmd{selfTick: &selfTickCmd{n: n, reply: replies[i]}}
+	}
+	maxRound := int64(0)
+	var firstErr error
+	for _, reply := range replies {
+		res := <-reply
+		switch {
+		case res.err == nil:
+			if res.round > maxRound {
+				maxRound = res.round
+			}
+		case errors.Is(res.err, errShardClosed):
+			// Not hosted here; its owner ticks it.
+		case firstErr == nil:
+			firstErr = res.err
+		}
+	}
+	if firstErr != nil {
+		return maxRound, firstErr
+	}
+	s.round.Store(maxRound)
+	return maxRound, nil
+}
+
+// TickShard advances one hosted shard by n rounds from its own round counter.
+// It exists so a placement-following driver can realign shards that diverged
+// during a failover (the dead worker's shards resume at their checkpoint
+// rounds, behind the survivors).
+func (s *Service) TickShard(shard, n int) (int64, error) {
+	if n <= 0 {
+		return 0, fmt.Errorf("serve: tick count must be positive, got %d", n)
+	}
+	if !s.cfg.Hosted {
+		return 0, fmt.Errorf("serve: per-shard ticks require hosted mode")
+	}
+	if shard < 0 || shard >= len(s.shards) {
+		return 0, fmt.Errorf("serve: shard %d out of range [0, %d)", shard, len(s.shards))
+	}
+	s.tickMu.Lock()
+	defer s.tickMu.Unlock()
+	if s.draining.Load() {
+		return 0, fmt.Errorf("serve: service is draining")
+	}
+	reply := make(chan selfTickResult, 1)
+	s.shards[shard].ch <- shardCmd{selfTick: &selfTickCmd{n: n, reply: reply}}
+	res := <-reply
+	if res.err != nil {
+		return res.round, res.err
+	}
+	if res.round > s.round.Load() {
+		s.round.Store(res.round)
+	}
+	return res.round, nil
+}
+
+// OpenShard opens a hosted shard, restoring it from checkpoint bytes when
+// data is non-empty (an empty checkpoint opens the shard fresh at round 0).
+// Returns the shard's next round. The worker daemon calls this when the
+// dispatcher grants it a lease.
+func (s *Service) OpenShard(shard int, data []byte) (int64, error) {
+	if !s.cfg.Hosted {
+		return 0, fmt.Errorf("serve: OpenShard requires hosted mode")
+	}
+	if shard < 0 || shard >= len(s.shards) {
+		return 0, fmt.Errorf("serve: shard %d out of range [0, %d)", shard, len(s.shards))
+	}
+	reply := make(chan openResult, 1)
+	s.shards[shard].ch <- shardCmd{openShard: &openCmd{data: data, reply: reply}}
+	res := <-reply
+	return res.round, res.err
+}
+
+// CloseShard snapshots a hosted shard, drops its state, and marks it closed.
+// The returned bytes are the final checkpoint — the handoff artifact uploaded
+// to the dispatcher when a lease is revoked gracefully.
+func (s *Service) CloseShard(shard int) ([]byte, error) {
+	if !s.cfg.Hosted {
+		return nil, fmt.Errorf("serve: CloseShard requires hosted mode")
+	}
+	if shard < 0 || shard >= len(s.shards) {
+		return nil, fmt.Errorf("serve: shard %d out of range [0, %d)", shard, len(s.shards))
+	}
+	reply := make(chan snapshotResult, 1)
+	s.shards[shard].ch <- shardCmd{close: &closeCmd{reply: reply}}
+	res := <-reply
+	return res.data, res.err
+}
+
+// SnapshotShard returns a checkpoint of one shard without disturbing it.
+func (s *Service) SnapshotShard(shard int) ([]byte, error) {
+	if shard < 0 || shard >= len(s.shards) {
+		return nil, fmt.Errorf("serve: shard %d out of range [0, %d)", shard, len(s.shards))
+	}
+	reply := make(chan snapshotResult, 1)
+	s.shards[shard].ch <- shardCmd{snapshot: &snapshotCmd{reply: reply}}
+	res := <-reply
+	return res.data, res.err
+}
+
+// OpenShards reports which shards are currently open, in index order.
+func (s *Service) OpenShards() []int {
+	st := s.Stats()
+	var open []int
+	for _, row := range st.PerShard {
+		if row.Open {
+			open = append(open, row.Shard)
+		}
+	}
+	return open
 }
 
 // BeginDrain stops admissions and the round ticker. Idempotent. After it

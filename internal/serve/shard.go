@@ -1,6 +1,7 @@
 package serve
 
 import (
+	"errors"
 	"fmt"
 	"net/http"
 	"sort"
@@ -10,6 +11,11 @@ import (
 	"rrsched/internal/obs"
 	"rrsched/internal/stream"
 )
+
+// errShardClosed marks operations against a hosted shard this worker does not
+// currently hold a lease for; Tick skips such shards, submit handlers map it
+// to 421.
+var errShardClosed = errors.New("shard is not hosted on this worker")
 
 // tenant is one tenant's scheduling state inside a shard. All fields are
 // owned by the shard goroutine.
@@ -113,6 +119,10 @@ type shard struct {
 	met *shardMetrics
 
 	// Everything below is owned by the shard goroutine.
+	// open is whether the shard accepts work. Always true in a classic
+	// service; in hosted mode (Config.Hosted) a shard is closed until the
+	// worker daemon receives a lease for it and calls OpenShard.
+	open     bool
 	round    int64 // next round to tick
 	tenants  map[string]*tenant
 	order    []string // sorted tenant names: the deterministic visit order
@@ -125,6 +135,9 @@ type shard struct {
 type shardCmd struct {
 	submit    *submitCmd
 	tick      *tickCmd
+	selfTick  *selfTickCmd
+	openShard *openCmd
+	close     *closeCmd
 	snapshot  *snapshotCmd
 	stats     *statsCmd
 	decisions *decisionsCmd
@@ -145,6 +158,39 @@ type submitResult struct {
 type tickCmd struct {
 	round int64
 	done  *sync.WaitGroup
+}
+
+// selfTickCmd advances a hosted shard n rounds from its own round counter
+// (hosted shards tick independently: a restored shard resumes at its
+// checkpoint round regardless of its new host's other shards). After the last
+// round the shard snapshots itself and invokes Config.OnShardCheckpoint, so
+// when the tick call returns the caller knows the latest state has been
+// offered to the checkpoint store.
+type selfTickCmd struct {
+	n     int
+	reply chan selfTickResult
+}
+
+type selfTickResult struct {
+	round int64 // next round after ticking
+	err   error
+}
+
+// openCmd opens a hosted shard, restoring from checkpoint bytes when data is
+// non-empty.
+type openCmd struct {
+	data  []byte
+	reply chan openResult
+}
+
+type openResult struct {
+	round int64
+	err   error
+}
+
+// closeCmd snapshots a hosted shard, drops its state, and marks it closed.
+type closeCmd struct {
+	reply chan snapshotResult
 }
 
 type snapshotCmd struct {
@@ -177,10 +223,12 @@ func newShard(idx int, cfg Config) (*shard, error) {
 		return nil, err
 	}
 	return &shard{
-		idx:     idx,
-		cfg:     cfg,
-		ch:      make(chan shardCmd, 64),
-		met:     met,
+		idx: idx,
+		cfg: cfg,
+		ch:  make(chan shardCmd, 64),
+		met: met,
+		// Hosted shards stay closed until a lease arrives (OpenShard).
+		open:    !cfg.Hosted,
 		tenants: map[string]*tenant{},
 	}, nil
 }
@@ -212,6 +260,14 @@ func (sh *shard) run() {
 			sh.handleTick(cmd.tick.round)
 			sh.met.tickNs.Observe(obs.Now() - t0)
 			cmd.tick.done.Done()
+		case cmd.selfTick != nil:
+			t0 := obs.Now()
+			cmd.selfTick.reply <- sh.handleSelfTick(cmd.selfTick.n)
+			sh.met.tickNs.Observe(obs.Now() - t0)
+		case cmd.openShard != nil:
+			cmd.openShard.reply <- sh.handleOpen(cmd.openShard.data)
+		case cmd.close != nil:
+			cmd.close.reply <- sh.handleClose()
 		case cmd.snapshot != nil:
 			data, err := sh.checkpoint()
 			cmd.snapshot.reply <- snapshotResult{data: data, err: err}
@@ -223,11 +279,91 @@ func (sh *shard) run() {
 	}
 }
 
+// handleSelfTick ticks a hosted shard n rounds from its own counter and then
+// offers a fresh checkpoint to Config.OnShardCheckpoint. A hook failure does
+// not roll the rounds back — the decisions are made — but it is surfaced so
+// the worker can count it; the at-risk window is bounded by one tick call.
+func (sh *shard) handleSelfTick(n int) selfTickResult {
+	if !sh.open {
+		return selfTickResult{round: sh.round, err: fmt.Errorf("serve: shard %d: %w", sh.idx, errShardClosed)}
+	}
+	for i := 0; i < n; i++ {
+		sh.handleTick(sh.round)
+	}
+	if sh.cfg.OnShardCheckpoint != nil {
+		data, err := sh.checkpoint()
+		if err != nil {
+			return selfTickResult{round: sh.round, err: err}
+		}
+		if err := sh.cfg.OnShardCheckpoint(sh.idx, sh.round, data); err != nil {
+			return selfTickResult{round: sh.round, err: fmt.Errorf("serve: shard %d checkpoint hook: %w", sh.idx, err)}
+		}
+	}
+	return selfTickResult{round: sh.round}
+}
+
+// handleOpen opens a hosted shard, restoring from checkpoint bytes when data
+// is non-empty. An empty checkpoint opens the shard fresh at round 0.
+func (sh *shard) handleOpen(data []byte) openResult {
+	if sh.open {
+		return openResult{round: sh.round, err: fmt.Errorf("serve: shard %d is already open", sh.idx)}
+	}
+	if len(data) > 0 {
+		if err := sh.restoreShard(data, newHashRing(sh.cfg.Shards)); err != nil {
+			sh.clear()
+			return openResult{err: err}
+		}
+	}
+	sh.open = true
+	return openResult{round: sh.round}
+}
+
+// handleClose snapshots the shard, drops its state, and marks it closed. The
+// returned bytes are the shard's final checkpoint — the handoff artifact a
+// worker uploads when a lease is revoked gracefully.
+func (sh *shard) handleClose() snapshotResult {
+	if !sh.open {
+		return snapshotResult{err: fmt.Errorf("serve: shard %d is not open", sh.idx)}
+	}
+	data, err := sh.checkpoint()
+	if err != nil {
+		return snapshotResult{err: err}
+	}
+	sh.clear()
+	return snapshotResult{data: data}
+}
+
+// clear resets the shard's goroutine-owned state to closed-and-empty. The
+// cumulative counters survive (they describe this process's history); the
+// level gauges drop to zero because the state they measured is gone.
+func (sh *shard) clear() {
+	sh.open = false
+	sh.round = 0
+	sh.tenants = map[string]*tenant{}
+	sh.order = nil
+	sh.backlog = 0
+	sh.inflight = 0
+	sh.met.tenants.Set(0)
+	sh.met.backlog.Set(0)
+	sh.met.sm.QueueDepth.Set(0)
+}
+
 // handleSubmit admits or rejects one batch. Admission is all-or-nothing:
 // every job is validated against the tenant's registered state before any is
 // queued.
 func (sh *shard) handleSubmit(req *SubmitRequest) submitResult {
 	n := len(req.Jobs)
+	if !sh.open {
+		// Hosted mode: this worker does not hold the shard's lease. 421 tells
+		// the client to refresh placement and resend elsewhere.
+		sh.met.refused.Add(int64(n))
+		return submitResult{
+			status:  http.StatusMisdirectedRequest,
+			err:     fmt.Sprintf("shard %d is not hosted on this worker (stale placement?)", sh.idx),
+			round:   sh.round,
+			backlog: sh.backlog,
+		}
+	}
 	if sh.backlog+n > sh.cfg.Watermark {
 		sh.met.rejected.Add(int64(n))
 		return submitResult{
@@ -243,6 +379,19 @@ func (sh *shard) handleSubmit(req *SubmitRequest) submitResult {
 	if tn != nil {
 		maxID = tn.maxID
 		delays = tn.delays
+	}
+	if req.Jobs[n-1].ID <= maxID {
+		// Every ID in the batch is at or below the high-water mark. Because
+		// admission is all-or-nothing and IDs increase strictly, a resend of a
+		// previously accepted batch lands here in full — report it as a
+		// duplicate (409) so retrying clients can treat the batch as admitted.
+		// This is what makes resends after an ambiguous transport failure safe.
+		return submitResult{
+			status:  http.StatusConflict,
+			err:     fmt.Sprintf("tenant %q batch ids %d..%d all at or below high-water id %d (duplicate batch)", req.Tenant, req.Jobs[0].ID, req.Jobs[n-1].ID, maxID),
+			round:   sh.round,
+			backlog: sh.backlog,
+		}
 	}
 	if req.Jobs[0].ID <= maxID {
 		sh.met.refused.Add(int64(n))
@@ -400,6 +549,7 @@ func (sh *shard) handleDecisions(name string) decisionsResult {
 func (sh *shard) stats() ShardStats {
 	s := ShardStats{
 		Shard:    sh.idx,
+		Open:     sh.open,
 		Round:    sh.round,
 		Tenants:  len(sh.tenants),
 		Backlog:  sh.backlog,
@@ -417,7 +567,11 @@ func (sh *shard) stats() ShardStats {
 
 // ShardStats is one shard's row in the /v1/stats response.
 type ShardStats struct {
-	Shard        int   `json:"shard"`
+	Shard int `json:"shard"`
+	// Open is whether the shard currently accepts work. Always true in a
+	// classic service; in hosted mode it tracks the worker's leases. The
+	// totals row leaves it false — count open per-shard rows instead.
+	Open         bool  `json:"open"`
 	Round        int64 `json:"round"`
 	Tenants      int   `json:"tenants"`
 	Backlog      int   `json:"backlog"`
