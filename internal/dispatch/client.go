@@ -2,6 +2,7 @@ package dispatch
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"fmt"
 	"io"
@@ -54,12 +55,17 @@ func (c *Client) Register(worker, addr string) (*RegisterResponse, error) {
 // Heartbeat renews the worker's liveness and exchanges lease state. A 404
 // surfaces as errUnknownWorker: the dispatcher does not know this worker
 // (typically a dispatcher restart) and it must re-register.
-func (c *Client) Heartbeat(req *HeartbeatRequest) (*HeartbeatResponse, error) {
+//
+// timeout, when positive, caps this one request below the client's default:
+// the heartbeat loop must observe failures on the heartbeat cadence, not the
+// 30s transport deadline, or a packet-blackhole partition would let a fenced
+// dispatcher-side lease outlive the worker's own fence by many intervals.
+func (c *Client) Heartbeat(req *HeartbeatRequest, timeout time.Duration) (*HeartbeatResponse, error) {
 	body, err := EncodeHeartbeat(req)
 	if err != nil {
 		return nil, err
 	}
-	status, data, err := c.do(http.MethodPost, "/v1/heartbeat", body)
+	status, data, err := c.doTimeout(http.MethodPost, "/v1/heartbeat", body, timeout)
 	if err != nil {
 		return nil, err
 	}
@@ -166,6 +172,12 @@ func (c *Client) get(path string, v any) error {
 }
 
 func (c *Client) do(method, path string, body []byte) (int, []byte, error) {
+	return c.doTimeout(method, path, body, 0)
+}
+
+// doTimeout is do with an optional per-request deadline (0 falls back to the
+// client's transport timeout).
+func (c *Client) doTimeout(method, path string, body []byte, timeout time.Duration) (int, []byte, error) {
 	var reader io.Reader
 	if body != nil {
 		reader = bytes.NewReader(body)
@@ -173,6 +185,11 @@ func (c *Client) do(method, path string, body []byte) (int, []byte, error) {
 	req, err := http.NewRequest(method, c.base+path, reader)
 	if err != nil {
 		return 0, nil, fmt.Errorf("dispatch: building %s %s: %w", method, path, err)
+	}
+	if timeout > 0 {
+		ctx, cancel := context.WithTimeout(req.Context(), timeout)
+		defer cancel()
+		req = req.WithContext(ctx)
 	}
 	if body != nil {
 		req.Header.Set("Content-Type", "application/json")

@@ -214,11 +214,16 @@ func (d *Driver) Round(batches []Batch) error {
 }
 
 // roundShard drives one shard through one round: land the shard's batches,
-// then tick to target. Every iteration restarts from resubmission, because a
-// failed tick may mean the shard was restored from a checkpoint that predates
-// the admissions — and checkpoints are tick-aligned, so the restored round is
-// always target-1 (admissions lost, resubmit fresh) or target (tick landed,
-// only the response was lost).
+// tick to target, and confirm the dispatcher's checkpoint store has reached
+// target before reporting success. Every iteration restarts from
+// resubmission, because a failed tick may mean the shard was restored from a
+// checkpoint that predates the admissions — and the store-confirmation step
+// is what keeps restores tick-aligned to target-1 (admissions lost, resubmit
+// fresh) or target (tick landed, only the response was lost). Without it, a
+// tick whose checkpoint push failed would leave the live shard at target with
+// the store at target-1; the driver would move on, and a crash before the
+// next successful push would restore the shard two rounds behind the
+// driver's counter, losing a round's arrivals for good.
 func (d *Driver) roundShard(shard int, batches []Batch, target int64) error {
 	var lastErr error
 	for attempt := 0; attempt < d.cfg.Attempts; attempt++ {
@@ -234,26 +239,72 @@ func (d *Driver) roundShard(shard int, batches []Batch, target int64) error {
 			lastErr = err
 			continue
 		}
-		if cur >= target {
-			return nil
+		if cur < target {
+			client, err := d.clientFor(shard)
+			if err != nil {
+				lastErr = err
+				continue
+			}
+			round, err := client.TickShard(shard, int(target-cur))
+			if err != nil {
+				lastErr = err
+				continue
+			}
+			if round != target {
+				lastErr = fmt.Errorf("dispatch: shard %d ticked to round %d, want %d", shard, round, target)
+				continue
+			}
 		}
-		client, err := d.clientFor(shard)
-		if err != nil {
-			lastErr = err
-			continue
-		}
-		round, err := client.TickShard(shard, int(target-cur))
-		if err != nil {
-			lastErr = err
-			continue
-		}
-		if round != target {
-			lastErr = fmt.Errorf("dispatch: shard %d ticked to round %d, want %d", shard, round, target)
+		if lastErr = d.confirmStored(shard, target); lastErr != nil {
 			continue
 		}
 		return nil
 	}
 	return fmt.Errorf("dispatch: round %d on shard %d failed after %d attempts: %w", target, shard, d.cfg.Attempts, lastErr)
+}
+
+// confirmStored verifies the dispatcher's stored checkpoint for shard has
+// reached target, asking the shard's owner to re-push (sync) when it lags —
+// the repair for a tick that advanced the shard but whose checkpoint push was
+// lost in flight.
+func (d *Driver) confirmStored(shard int, target int64) error {
+	stored, err := d.storedRound(shard)
+	if err != nil {
+		return err
+	}
+	if stored >= target {
+		return nil
+	}
+	client, err := d.clientFor(shard)
+	if err != nil {
+		return err
+	}
+	if _, err := client.SyncShard(shard); err != nil {
+		return fmt.Errorf("dispatch: syncing shard %d checkpoint: %w", shard, err)
+	}
+	stored, err = d.storedRound(shard)
+	if err != nil {
+		return err
+	}
+	if stored < target {
+		return fmt.Errorf("dispatch: shard %d checkpoint store at round %d after sync, want %d", shard, stored, target)
+	}
+	return nil
+}
+
+// storedRound reads the round of the dispatcher's stored checkpoint for shard
+// from a fresh placement table (refreshing the driver's copy as a side
+// effect).
+func (d *Driver) storedRound(shard int) (int64, error) {
+	p, err := d.dc.Placement()
+	if err != nil {
+		return 0, err
+	}
+	d.applyPlacement(p)
+	if shard >= len(p.Shards) {
+		return 0, fmt.Errorf("dispatch: placement table has %d shards, no shard %d", len(p.Shards), shard)
+	}
+	return p.Shards[shard].Round, nil
 }
 
 // landBatches admits every batch on the shard's current owner, single-shot —

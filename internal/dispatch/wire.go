@@ -76,8 +76,9 @@ type RegisterRequest struct {
 
 // RegisterResponse tells the worker how to build its hosted service and how
 // to stay alive: heartbeat at least every HeartbeatEveryMs, and consider
-// itself fenced after MissBudget consecutive failures (the dispatcher applies
-// the same budget to declare it dead).
+// itself fenced once HeartbeatEveryMs × MissBudget of wall-clock time passes
+// without a successful heartbeat (the dispatcher applies the same deadline to
+// declare it dead).
 type RegisterResponse struct {
 	Schema           string        `json:"schema"`
 	Config           ServiceConfig `json:"config"`

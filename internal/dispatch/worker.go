@@ -11,6 +11,7 @@ import (
 	"sync"
 	"time"
 
+	"rrsched/internal/obs"
 	"rrsched/internal/serve"
 )
 
@@ -19,9 +20,10 @@ import (
 // registers at startup, heartbeats on the dispatcher's interval, pushes a
 // checkpoint of every shard after every tick (via serve's OnShardCheckpoint
 // hook, synchronously — when a tick returns, the dispatcher holds the
-// post-tick state), and fences itself — closes every shard — after missing
-// its heartbeat budget, so a partitioned worker can never serve a shard the
-// dispatcher has already failed over.
+// post-tick state), and fences itself — closes every shard — once the
+// wall-clock time since its last successful heartbeat exceeds the heartbeat
+// budget, so a partitioned worker can never serve a shard the dispatcher has
+// already failed over (see heartbeatLoop for the timing argument).
 type Worker struct {
 	name string
 	dc   *Client
@@ -33,6 +35,7 @@ type Worker struct {
 
 	heartbeatEvery time.Duration
 	missBudget     int
+	now            func() int64 // obs.Now, injectable in tests
 
 	mu     sync.Mutex
 	epochs map[int]int64 // shard → lease epoch (held shards only)
@@ -71,6 +74,7 @@ func StartWorker(name, dispatcherURL, listenAddr string, logw io.Writer) (*Worke
 		ln:     ln,
 		addr:   "http://" + ln.Addr().String(),
 		logw:   logw,
+		now:    obs.Now,
 		epochs: map[int]int64{},
 		rounds: map[int]int64{},
 		stop:   make(chan struct{}),
@@ -151,12 +155,28 @@ func (w *Worker) pushCheckpoint(shard int, round int64, data []byte) error {
 }
 
 // heartbeatLoop drives the lease protocol: heartbeat every interval, apply
-// the grants and revokes in each response, and self-fence after missBudget
-// consecutive failures.
+// the grants and revokes in each response, and self-fence once the wall-clock
+// time since the last successful heartbeat exceeds the miss budget.
+//
+// The fence clock is stamped at request *send* time, not response receipt:
+// the dispatcher's liveness clock starts when a heartbeat arrives, which is
+// never earlier than when this side sent it, so under synchronized clocks the
+// worker's fence deadline always fires at or before the dispatcher's sweep
+// deadline — and the dispatcher only regrants at a survivor's next heartbeat
+// after the sweep, which is the margin between fence and regrant. Each
+// request's timeout is capped at the heartbeat interval (and at the time left
+// until the fence deadline), so a packet-blackhole partition — where attempts
+// hang instead of failing fast — cannot hold the loop past the deadline on
+// the transport's 30s default. Elapsed time is read through w.now (obs.Now's
+// monotonic clock): fence timing is an availability mechanism, never an input
+// to scheduling decisions, and stays off the determinism lint's wall-clock
+// list by construction.
 func (w *Worker) heartbeatLoop() {
 	defer close(w.done)
 	t := time.NewTicker(w.heartbeatEvery)
 	defer t.Stop()
+	fenceAfter := w.heartbeatEvery * time.Duration(w.missBudget)
+	lastSuccess := w.now() // registration in StartWorker was the first contact
 	fails := 0
 	for {
 		select {
@@ -164,13 +184,20 @@ func (w *Worker) heartbeatLoop() {
 			return
 		case <-t.C:
 		}
-		resp, err := w.dc.Heartbeat(w.heartbeatRequest())
+		timeout := w.heartbeatEvery
+		if remain := fenceAfter - time.Duration(w.now()-lastSuccess); remain > 0 && remain < timeout {
+			timeout = remain
+		}
+		sent := w.now()
+		resp, err := w.dc.Heartbeat(w.heartbeatRequest(), timeout)
 		if errors.Is(err, errUnknownWorker) {
 			// The dispatcher restarted and lost the registry. Re-register;
 			// whatever this worker still holds is reconciled (revoked or
-			// re-fenced) on the next heartbeat.
+			// re-fenced) on the next heartbeat. Registration renews liveness
+			// on the dispatcher, so it resets the fence clock too.
 			if _, rerr := w.dc.Register(w.name, w.addr); rerr == nil {
 				w.logf("rrworker %s: re-registered after dispatcher restart", w.name)
+				lastSuccess = sent
 				fails = 0
 				continue
 			}
@@ -178,13 +205,18 @@ func (w *Worker) heartbeatLoop() {
 		}
 		if err != nil {
 			fails++
-			w.logf("rrworker %s: heartbeat failure %d/%d: %v", w.name, fails, w.missBudget, err)
-			if fails >= w.missBudget {
+			stale := time.Duration(w.now() - lastSuccess)
+			w.logf("rrworker %s: heartbeat failure %d (last success %v ago, fence at %v): %v",
+				w.name, fails, stale.Round(time.Millisecond), fenceAfter, err)
+			if stale > fenceAfter {
+				// Past the deadline the dispatcher sweeps against: drop every
+				// lease now. selfFence is a no-op when nothing is held, so
+				// staying past the deadline (partition persists) is harmless.
 				w.selfFence()
-				fails = 0
 			}
 			continue
 		}
+		lastSuccess = sent
 		fails = 0
 		w.apply(resp)
 	}
@@ -291,7 +323,7 @@ func (w *Worker) selfFence() {
 		_, _ = w.svc.CloseShard(shard) // discard: the dispatcher's checkpoint is authoritative now
 	}
 	if len(shards) > 0 {
-		w.logf("rrworker %s: missed %d heartbeats; fenced shards %v", w.name, w.missBudget, shards)
+		w.logf("rrworker %s: heartbeat deadline exceeded; fenced shards %v", w.name, shards)
 	}
 }
 

@@ -191,6 +191,12 @@ type SubmitOutcome struct {
 	// tenant's high-water mark, meaning the batch already landed (admission
 	// is all-or-nothing) — the idempotent-resend answer. Callers treating
 	// submits as at-least-once should count Accepted || Duplicate as success.
+	//
+	// The server verifies IDs, not payloads: Duplicate is only trustworthy
+	// when the resend is the original batch, byte for byte. Resending with
+	// different batch boundaries (re-chunking jobs across batches after a
+	// failure) is outside the idempotency contract and can mark jobs admitted
+	// that never were.
 	Duplicate bool
 	// Rejected is true for a 429 (watermark backpressure); RetryAfter is the
 	// parsed Retry-After duration.
@@ -250,29 +256,36 @@ func (c *Client) Submit(req *SubmitRequest) (SubmitOutcome, error) {
 
 // Tick advances n rounds (virtual-time mode) and returns the new next round.
 func (c *Client) Tick(n int) (int64, error) {
-	return c.tick("/v1/tick?rounds=" + strconv.Itoa(n))
+	return c.tick("tick", "/v1/tick?rounds="+strconv.Itoa(n))
 }
 
 // TickShard advances one hosted shard n rounds from its own round counter.
 // ErrMisdirected is returned when the worker no longer holds the shard.
 func (c *Client) TickShard(shard, n int) (int64, error) {
-	return c.tick("/v1/tick?rounds=" + strconv.Itoa(n) + "&shard=" + strconv.Itoa(shard))
+	return c.tick("tick", "/v1/tick?rounds="+strconv.Itoa(n)+"&shard="+strconv.Itoa(shard))
+}
+
+// SyncShard asks the worker to re-push one hosted shard's checkpoint at its
+// current round, without ticking, and returns that round. ErrMisdirected is
+// returned when the worker no longer holds the shard.
+func (c *Client) SyncShard(shard int) (int64, error) {
+	return c.tick("sync", "/v1/sync?shard="+strconv.Itoa(shard))
 }
 
 // ErrMisdirected marks a per-shard request sent to a worker that does not
 // hold the shard's lease; callers refresh placement and retry elsewhere.
 var ErrMisdirected = fmt.Errorf("serve: shard is not hosted on this worker")
 
-func (c *Client) tick(path string) (int64, error) {
+func (c *Client) tick(op, path string) (int64, error) {
 	status, data, _, err := c.do(http.MethodPost, path, []byte{})
 	if err != nil {
-		return 0, fmt.Errorf("serve: tick: %w", err)
+		return 0, fmt.Errorf("serve: %s: %w", op, err)
 	}
 	if status == http.StatusMisdirectedRequest {
 		return 0, ErrMisdirected
 	}
 	if status != http.StatusOK {
-		return 0, bodyError("tick", status, data)
+		return 0, bodyError(op, status, data)
 	}
 	var tr TickResponse
 	if err := decodeBody(bytes.NewReader(data), &tr); err != nil {

@@ -215,6 +215,124 @@ func TestHostedCheckpointHook(t *testing.T) {
 	}
 }
 
+// TestHostedTickNoOpenShards pins that a service-wide tick with zero leases
+// held is an error and leaves the round counter alone, rather than quietly
+// resetting it to zero.
+func TestHostedTickNoOpenShards(t *testing.T) {
+	svc, _, err := New(hostedConfig())
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	defer svc.Close()
+	if _, err := svc.Tick(1); err == nil {
+		t.Fatal("Tick with no open shards succeeded")
+	}
+	if _, err := svc.OpenShard(0, nil); err != nil {
+		t.Fatalf("open: %v", err)
+	}
+	if r, err := svc.Tick(3); err != nil || r != 3 {
+		t.Fatalf("Tick(3): r=%d err=%v", r, err)
+	}
+	if _, err := svc.CloseShard(0); err != nil {
+		t.Fatalf("close: %v", err)
+	}
+	if _, err := svc.Tick(1); err == nil {
+		t.Fatal("Tick after closing the last shard succeeded")
+	}
+	if got := svc.Round(); got != 3 {
+		t.Fatalf("round counter reset to %d by a no-op tick, want 3", got)
+	}
+}
+
+// TestHostedSyncShard pins the checkpoint-repair path: when a tick's hook push
+// fails, the shard has still advanced; SyncShard re-offers the current state
+// to the hook without ticking, and the bytes match a direct snapshot.
+func TestHostedSyncShard(t *testing.T) {
+	var mu sync.Mutex
+	fail := false
+	var gotRound int64 = -1
+	var gotBytes []byte
+	calls := 0
+	cfg := hostedConfig()
+	cfg.OnShardCheckpoint = func(shard int, round int64, data []byte) error {
+		mu.Lock()
+		defer mu.Unlock()
+		calls++
+		if fail {
+			return errors.New("injected push failure")
+		}
+		gotRound = round
+		gotBytes = append([]byte(nil), data...)
+		return nil
+	}
+	svc, _, err := New(cfg)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	defer svc.Close()
+	srv := httptest.NewServer(svc.Handler())
+	defer srv.Close()
+	client := NewClientPolicy(srv.URL, SingleShot())
+
+	// Sync against a closed shard misdirects (classic 421 semantics).
+	if _, err := client.SyncShard(0); !errors.Is(err, ErrMisdirected) {
+		t.Fatalf("sync on closed shard: err=%v", err)
+	}
+	if _, err := svc.OpenShard(0, nil); err != nil {
+		t.Fatalf("open: %v", err)
+	}
+
+	// A tick whose hook push fails surfaces the error but keeps the round.
+	mu.Lock()
+	fail = true
+	mu.Unlock()
+	if _, err := svc.TickShard(0, 1); err == nil {
+		t.Fatal("tick with failing hook succeeded")
+	}
+	if st := svc.Stats(); st.PerShard[0].Round != 1 {
+		t.Fatalf("shard round after failed-push tick = %d, want 1", st.PerShard[0].Round)
+	}
+	mu.Lock()
+	if gotRound != -1 {
+		mu.Unlock()
+		t.Fatalf("hook recorded round %d despite failing", gotRound)
+	}
+	fail = false
+	mu.Unlock()
+
+	// Sync closes the gap: the hook now holds round 1 without further ticking,
+	// and its bytes equal a direct snapshot.
+	if r, err := client.SyncShard(0); err != nil || r != 1 {
+		t.Fatalf("SyncShard: r=%d err=%v", r, err)
+	}
+	mu.Lock()
+	round, bytesGot := gotRound, gotBytes
+	mu.Unlock()
+	if round != 1 {
+		t.Fatalf("hook saw round %d after sync, want 1", round)
+	}
+	direct, err := svc.SnapshotShard(0)
+	if err != nil {
+		t.Fatalf("SnapshotShard: %v", err)
+	}
+	if !bytes.Equal(direct, bytesGot) {
+		t.Fatal("sync checkpoint diverges from a direct snapshot")
+	}
+	if st := svc.Stats(); st.PerShard[0].Round != 1 {
+		t.Fatalf("sync ticked the shard: round = %d, want 1", st.PerShard[0].Round)
+	}
+
+	// SyncShard is hosted-only.
+	classic, _, err := New(Config{Shards: 1, Resources: 8, Delta: 4, Watermark: 8})
+	if err != nil {
+		t.Fatalf("New classic: %v", err)
+	}
+	defer classic.Close()
+	if _, err := classic.SyncShard(0); err == nil {
+		t.Error("SyncShard accepted on a classic service")
+	}
+}
+
 // TestHostedConfigValidation pins the config cross-checks.
 func TestHostedConfigValidation(t *testing.T) {
 	bad := []Config{

@@ -42,6 +42,9 @@ const maxResponseBody = 64 << 20
 //	POST /v1/tick       advance rounds (virtual-time mode only; ?rounds=n,
 //	                    and in hosted mode ?shard=i ticks one shard from its
 //	                    own round counter)
+//	POST /v1/sync       re-push one hosted shard's checkpoint at its current
+//	                    round without ticking (?shard=i); drivers use it when
+//	                    the dispatcher's stored round lags the shard
 //	GET  /v1/stats      service + per-shard stats (StatsResponse)
 //	GET  /v1/decisions  a tenant's recorded decision stream (?tenant=...)
 //	GET  /metrics       merged per-shard metric snapshot (obs JSON format)
@@ -51,6 +54,7 @@ func (s *Service) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/v1/jobs", s.handleSubmit)
 	mux.HandleFunc("/v1/tick", s.handleTick)
+	mux.HandleFunc("/v1/sync", s.handleSync)
 	mux.HandleFunc("/v1/stats", s.handleStats)
 	mux.HandleFunc("/v1/decisions", s.handleDecisions)
 	mux.HandleFunc("/metrics", s.handleMetrics)
@@ -157,6 +161,30 @@ func (s *Service) handleTick(w http.ResponseWriter, r *http.Request) {
 type TickResponse struct {
 	Schema string `json:"schema"`
 	Round  int64  `json:"round"`
+}
+
+// handleSync re-pushes one hosted shard's checkpoint at its current round.
+func (s *Service) handleSync(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeError(w, http.StatusMethodNotAllowed, "POST only")
+		return
+	}
+	v := r.URL.Query().Get("shard")
+	shard, err := strconv.Atoi(v)
+	if err != nil || shard < 0 || shard >= len(s.shards) {
+		writeError(w, http.StatusBadRequest, fmt.Sprintf("invalid shard %q (want 0..%d)", v, len(s.shards)-1))
+		return
+	}
+	round, err := s.SyncShard(shard)
+	if errors.Is(err, errShardClosed) {
+		writeError(w, http.StatusMisdirectedRequest, err.Error())
+		return
+	}
+	if err != nil {
+		writeError(w, http.StatusServiceUnavailable, err.Error())
+		return
+	}
+	writeJSON(w, http.StatusOK, TickResponse{Schema: StatsSchema, Round: round})
 }
 
 func (s *Service) handleStats(w http.ResponseWriter, r *http.Request) {

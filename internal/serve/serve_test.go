@@ -138,6 +138,13 @@ func TestSubmitRejectsDuplicateAndInconsistent(t *testing.T) {
 		Jobs: []SubmitJob{{ID: 6, Color: 0, Delay: 8}}}); err == nil || !strings.Contains(err.Error(), "delay bound") {
 		t.Fatalf("delay mismatch: err = %v", err)
 	}
+	// A "resend" below the high-water mark whose content contradicts admitted
+	// state (wrong delay bound) must not be waved through as a duplicate: the
+	// 409 contract covers byte-identical resends only.
+	if out, err := client.Submit(&SubmitRequest{Schema: WireSchema, Tenant: "alpha",
+		Jobs: []SubmitJob{{ID: 5, Color: 0, Delay: 8}}}); err == nil || out.Duplicate || !strings.Contains(err.Error(), "duplicate batch disagrees") {
+		t.Fatalf("inconsistent duplicate: out=%+v err=%v", out, err)
+	}
 	// Both refusals are all-or-nothing; the tenant still accepts valid work.
 	if out := submitJobs(t, client, "alpha", SubmitJob{ID: 6, Color: 0, Delay: 4}); !out.Accepted {
 		t.Fatalf("valid follow-up rejected: %+v", out)

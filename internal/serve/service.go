@@ -268,11 +268,13 @@ func (s *Service) tickHosted(n int) (int64, error) {
 		sh.ch <- shardCmd{selfTick: &selfTickCmd{n: n, reply: replies[i]}}
 	}
 	maxRound := int64(0)
+	ticked := 0
 	var firstErr error
 	for _, reply := range replies {
 		res := <-reply
 		switch {
 		case res.err == nil:
+			ticked++
 			if res.round > maxRound {
 				maxRound = res.round
 			}
@@ -284,6 +286,11 @@ func (s *Service) tickHosted(n int) (int64, error) {
 	}
 	if firstErr != nil {
 		return maxRound, firstErr
+	}
+	if ticked == 0 {
+		// No leases held: nothing advanced, and storing the zero maxRound
+		// would reset the service-wide counter. Tell the caller instead.
+		return s.round.Load(), fmt.Errorf("serve: no open shards to tick")
 	}
 	s.round.Store(maxRound)
 	return maxRound, nil
@@ -318,6 +325,24 @@ func (s *Service) TickShard(shard, n int) (int64, error) {
 		s.round.Store(res.round)
 	}
 	return res.round, nil
+}
+
+// SyncShard re-offers a hosted shard's current state to OnShardCheckpoint at
+// its current round, without ticking, and returns that round. Drivers call it
+// when the dispatcher's checkpoint store lags the shard (a tick whose hook
+// push failed): it restores the invariant that a restored shard is never more
+// than one round behind the live one.
+func (s *Service) SyncShard(shard int) (int64, error) {
+	if !s.cfg.Hosted {
+		return 0, fmt.Errorf("serve: SyncShard requires hosted mode")
+	}
+	if shard < 0 || shard >= len(s.shards) {
+		return 0, fmt.Errorf("serve: shard %d out of range [0, %d)", shard, len(s.shards))
+	}
+	reply := make(chan selfTickResult, 1)
+	s.shards[shard].ch <- shardCmd{sync: &syncCmd{reply: reply}}
+	res := <-reply
+	return res.round, res.err
 }
 
 // OpenShard opens a hosted shard, restoring it from checkpoint bytes when

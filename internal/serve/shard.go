@@ -136,6 +136,7 @@ type shardCmd struct {
 	submit    *submitCmd
 	tick      *tickCmd
 	selfTick  *selfTickCmd
+	sync      *syncCmd
 	openShard *openCmd
 	close     *closeCmd
 	snapshot  *snapshotCmd
@@ -174,6 +175,15 @@ type selfTickCmd struct {
 type selfTickResult struct {
 	round int64 // next round after ticking
 	err   error
+}
+
+// syncCmd re-offers a hosted shard's current state to Config.OnShardCheckpoint
+// without ticking. It exists for the failure window where a tick advanced the
+// shard but the hook's push was lost: a placement-following driver that finds
+// the checkpoint store behind the shard uses sync to close the gap before
+// counting the round as durable.
+type syncCmd struct {
+	reply chan selfTickResult
 }
 
 // openCmd opens a hosted shard, restoring from checkpoint bytes when data is
@@ -264,6 +274,8 @@ func (sh *shard) run() {
 			t0 := obs.Now()
 			cmd.selfTick.reply <- sh.handleSelfTick(cmd.selfTick.n)
 			sh.met.tickNs.Observe(obs.Now() - t0)
+		case cmd.sync != nil:
+			cmd.sync.reply <- sh.handleSync()
 		case cmd.openShard != nil:
 			cmd.openShard.reply <- sh.handleOpen(cmd.openShard.data)
 		case cmd.close != nil:
@@ -282,13 +294,33 @@ func (sh *shard) run() {
 // handleSelfTick ticks a hosted shard n rounds from its own counter and then
 // offers a fresh checkpoint to Config.OnShardCheckpoint. A hook failure does
 // not roll the rounds back — the decisions are made — but it is surfaced so
-// the worker can count it; the at-risk window is bounded by one tick call.
+// the caller knows the store may be behind the shard; handleSync closes that
+// gap without ticking further.
 func (sh *shard) handleSelfTick(n int) selfTickResult {
 	if !sh.open {
 		return selfTickResult{round: sh.round, err: fmt.Errorf("serve: shard %d: %w", sh.idx, errShardClosed)}
 	}
 	for i := 0; i < n; i++ {
 		sh.handleTick(sh.round)
+	}
+	if sh.cfg.OnShardCheckpoint != nil {
+		data, err := sh.checkpoint()
+		if err != nil {
+			return selfTickResult{round: sh.round, err: err}
+		}
+		if err := sh.cfg.OnShardCheckpoint(sh.idx, sh.round, data); err != nil {
+			return selfTickResult{round: sh.round, err: fmt.Errorf("serve: shard %d checkpoint hook: %w", sh.idx, err)}
+		}
+	}
+	return selfTickResult{round: sh.round}
+}
+
+// handleSync re-offers the shard's current state to Config.OnShardCheckpoint
+// at its current round, without ticking. No-op (but still a success, echoing
+// the round) when no hook is configured.
+func (sh *shard) handleSync() selfTickResult {
+	if !sh.open {
+		return selfTickResult{round: sh.round, err: fmt.Errorf("serve: shard %d: %w", sh.idx, errShardClosed)}
 	}
 	if sh.cfg.OnShardCheckpoint != nil {
 		data, err := sh.checkpoint()
@@ -386,6 +418,26 @@ func (sh *shard) handleSubmit(req *SubmitRequest) submitResult {
 		// previously accepted batch lands here in full — report it as a
 		// duplicate (409) so retrying clients can treat the batch as admitted.
 		// This is what makes resends after an ambiguous transport failure safe.
+		//
+		// The contract is that a resend is the original batch, byte for byte:
+		// the high-water mark proves every ID in it was admitted, not that the
+		// batch's payloads match what landed, so a client that re-chunks jobs
+		// into different batch boundaries after a failure is outside the
+		// contract (serve.Client and the dispatch driver always resend
+		// verbatim). The delay-bound check below is the cheap part of content
+		// verification: a "resend" whose delays contradict the registered
+		// bounds is rejected instead of being waved through as admitted.
+		for _, j := range req.Jobs {
+			if d, ok := delays[model.Color(j.Color)]; ok && d != j.Delay {
+				sh.met.refused.Add(int64(n))
+				return submitResult{
+					status:  http.StatusBadRequest,
+					err:     fmt.Sprintf("tenant %q duplicate batch disagrees with admitted state: color %d has delay bound %d, batch says %d", req.Tenant, j.Color, d, j.Delay),
+					round:   sh.round,
+					backlog: sh.backlog,
+				}
+			}
+		}
 		return submitResult{
 			status:  http.StatusConflict,
 			err:     fmt.Sprintf("tenant %q batch ids %d..%d all at or below high-water id %d (duplicate batch)", req.Tenant, req.Jobs[0].ID, req.Jobs[n-1].ID, maxID),
