@@ -1,20 +1,38 @@
 // Command rrlint runs the repository's static-analysis engine
 // (internal/analysis) over every package of the module and reports
-// invariant violations: nondeterminism sources, library panics, discarded
-// errors, floating-point equality, and layering breaks.
+// invariant violations. The v1 analyzers guard the scheduling library
+// (determinism, nopanic, errcheck, floatcmp, layering); the v2 analyzers
+// guard the concurrent serve/dispatch tier (lockcheck, goroleak,
+// atomicwrite, fencedwrite, httpharden).
 //
 // Usage:
 //
 //	go run ./cmd/rrlint ./...                 # whole module
 //	go run ./cmd/rrlint ./internal/sim/...    # one subtree
-//	go run ./cmd/rrlint -json ./...           # machine-readable output
+//	go run ./cmd/rrlint -json ./...           # machine-readable report
 //	go run ./cmd/rrlint -disable=floatcmp ./...
+//	go run ./cmd/rrlint -baseline lint_baseline.json ./...
+//	go run ./cmd/rrlint -baseline lint_baseline.json -write-baseline ./...
 //	go run ./cmd/rrlint -list
 //
-// Exit status: 0 clean, 1 findings, 2 usage or load error. Suppress a
-// finding with a justified comment on or directly above the flagged line:
+// Exit status is a three-way contract:
+//
+//	0  clean — no unsuppressed, unbaselined findings;
+//	1  findings — at least one live finding (or, in -baseline mode, a stale
+//	   baseline entry: the debt ledger shrank and must be regenerated);
+//	2  usage or load error — bad flags, unknown analyzer, unreadable
+//	   baseline, or packages that fail to parse/type-check.
+//
+// Suppress a finding with a justified comment on or directly above the
+// flagged line:
 //
 //	//lint:ignore determinism keys are sorted two lines below
+//
+// An ignore with no reason is itself a finding, and so is a stale ignore
+// whose analyzer ran but suppressed nothing. -baseline compares findings
+// against a committed ledger of accepted debt: new findings fail, and
+// baselined classes that disappear fail too until -write-baseline shrinks
+// the ledger (the same ratchet contract as rrcover's coverage floors).
 package main
 
 import (
@@ -28,6 +46,37 @@ import (
 	"rrsched/internal/analysis"
 )
 
+// reportSchema versions the -json envelope.
+const reportSchema = "rrlint/v2"
+
+// report is the -json envelope: every diagnostic (suppressed ones included,
+// with their justification), the analyzers and package count that produced
+// them, stale baseline entries, and summary counts.
+type report struct {
+	Schema    string                   `json:"schema"`
+	Analyzers []string                 `json:"analyzers"`
+	Packages  int                      `json:"packages"`
+	Findings  []reportFinding          `json:"findings"`
+	Stale     []analysis.BaselineEntry `json:"stale_baseline,omitempty"`
+	Counts    reportCounts             `json:"counts"`
+}
+
+// reportFinding is one diagnostic plus its baseline disposition.
+type reportFinding struct {
+	analysis.Diagnostic
+	Baselined bool `json:"baselined,omitempty"`
+}
+
+// reportCounts summarizes the run: Total diagnostics emitted, how many were
+// Suppressed by ignore directives, how many were Baselined, and how many New
+// findings gate the exit status.
+type reportCounts struct {
+	Total      int `json:"total"`
+	Suppressed int `json:"suppressed"`
+	Baselined  int `json:"baselined"`
+	New        int `json:"new"`
+}
+
 func main() {
 	os.Exit(run(os.Args[1:]))
 }
@@ -35,9 +84,11 @@ func main() {
 func run(args []string) int {
 	fs := flag.NewFlagSet("rrlint", flag.ContinueOnError)
 	fs.SetOutput(os.Stderr)
-	jsonOut := fs.Bool("json", false, "emit diagnostics as a JSON array")
+	jsonOut := fs.Bool("json", false, "emit the rrlint/v2 JSON report")
 	enable := fs.String("enable", "", "comma-separated analyzers to run (default: all)")
 	disable := fs.String("disable", "", "comma-separated analyzers to skip")
+	baselinePath := fs.String("baseline", "", "compare findings against this committed baseline file")
+	writeBaseline := fs.Bool("write-baseline", false, "regenerate the -baseline file from this run's findings and exit 0")
 	list := fs.Bool("list", false, "list analyzers and exit")
 	dir := fs.String("C", ".", "directory to locate the module from")
 	if err := fs.Parse(args); err != nil {
@@ -50,6 +101,10 @@ func run(args []string) int {
 		}
 		return 0
 	}
+	if *writeBaseline && *baselinePath == "" {
+		fmt.Fprintln(os.Stderr, "rrlint: -write-baseline requires -baseline")
+		return 2
+	}
 
 	analyzers, unknown := analysis.ByName(splitList(*enable), splitList(*disable))
 	if len(unknown) > 0 {
@@ -59,6 +114,16 @@ func run(args []string) int {
 	if len(analyzers) == 0 {
 		fmt.Fprintln(os.Stderr, "rrlint: no analyzers selected")
 		return 2
+	}
+
+	var baseline *analysis.Baseline
+	if *baselinePath != "" && !*writeBaseline {
+		b, err := analysis.ReadBaseline(*baselinePath)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "rrlint: %v\n", err)
+			return 2
+		}
+		baseline = b
 	}
 
 	root, err := analysis.FindModuleRoot(*dir)
@@ -78,33 +143,91 @@ func run(args []string) int {
 		return 2
 	}
 
-	diags := analysis.Run(pkgs, analyzers)
+	result := analysis.Analyze(pkgs, analyzers)
 	// Report positions relative to the module root: stable across machines
-	// and what CI annotations expect.
-	for i := range diags {
-		if rel, err := filepath.Rel(root, diags[i].File); err == nil {
-			diags[i].File = rel
+	// and what CI annotations (and the committed baseline) expect.
+	for i := range result.Diags {
+		if rel, err := filepath.Rel(root, result.Diags[i].File); err == nil {
+			result.Diags[i].File = rel
 		}
 	}
-	if *jsonOut {
-		enc := json.NewEncoder(os.Stdout)
-		enc.SetIndent("", "  ")
-		if err := enc.Encode(diags); err != nil {
+	findings := result.Findings()
+
+	if *writeBaseline {
+		if err := analysis.WriteBaseline(*baselinePath, analysis.NewBaseline(findings)); err != nil {
 			fmt.Fprintf(os.Stderr, "rrlint: %v\n", err)
 			return 2
 		}
+		fmt.Fprintf(os.Stderr, "rrlint: wrote %s with %d finding(s)\n", *baselinePath, len(findings))
+		return 0
+	}
+
+	var fresh []analysis.Diagnostic
+	var baselined []bool
+	var stale []analysis.BaselineEntry
+	if baseline != nil {
+		fresh, baselined, stale = baseline.Diff(findings)
 	} else {
-		for _, d := range diags {
+		fresh = findings
+		baselined = make([]bool, len(findings))
+	}
+
+	if *jsonOut {
+		emitJSON(result, analyzers, len(pkgs), findings, baselined, stale, len(fresh))
+	} else {
+		for _, d := range fresh {
 			fmt.Fprintln(os.Stdout, d)
 		}
-		if len(diags) > 0 {
-			fmt.Fprintf(os.Stderr, "rrlint: %d finding(s) in %d package(s)\n", len(diags), len(pkgs))
+		for _, e := range stale {
+			fmt.Fprintf(os.Stdout, "%s: stale baseline entry: %d %s finding(s) no longer observed (%s); regenerate with -write-baseline\n", e.File, e.Count, e.Analyzer, e.Message)
+		}
+		if len(fresh) > 0 || len(stale) > 0 {
+			fmt.Fprintf(os.Stderr, "rrlint: %d finding(s), %d stale baseline entr(ies) in %d package(s)\n", len(fresh), len(stale), len(pkgs))
 		}
 	}
-	if len(diags) > 0 {
+	if len(fresh) > 0 || len(stale) > 0 {
 		return 1
 	}
 	return 0
+}
+
+// emitJSON writes the rrlint/v2 report. baselined is index-aligned with
+// findings (the unsuppressed subset of result.Diags).
+func emitJSON(result *analysis.Result, analyzers []*analysis.Analyzer, packages int, findings []analysis.Diagnostic, baselined []bool, stale []analysis.BaselineEntry, fresh int) {
+	rep := report{
+		Schema:   reportSchema,
+		Packages: packages,
+		Findings: []reportFinding{},
+		Stale:    stale,
+	}
+	for _, a := range analyzers {
+		rep.Analyzers = append(rep.Analyzers, a.Name)
+	}
+	// Walk result.Diags (suppressed included) in order, consuming the
+	// baseline flags that apply to the unsuppressed subset.
+	next := 0
+	for _, d := range result.Diags {
+		f := reportFinding{Diagnostic: d}
+		if !d.Suppressed {
+			if next < len(findings) {
+				f.Baselined = baselined[next]
+			}
+			next++
+		}
+		rep.Findings = append(rep.Findings, f)
+		rep.Counts.Total++
+		if d.Suppressed {
+			rep.Counts.Suppressed++
+		} else if f.Baselined {
+			rep.Counts.Baselined++
+		}
+	}
+	rep.Counts.New = fresh
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(rep); err != nil {
+		fmt.Fprintf(os.Stderr, "rrlint: %v\n", err)
+	}
 }
 
 // selectPackages filters the module's packages by the command-line patterns:

@@ -1,6 +1,8 @@
 package main
 
 import (
+	"encoding/json"
+	"os"
 	"path/filepath"
 	"testing"
 )
@@ -49,5 +51,134 @@ func TestRunSubtreePattern(t *testing.T) {
 func TestRunList(t *testing.T) {
 	if code := run([]string{"-list"}); code != 0 {
 		t.Fatalf("rrlint -list: exit %d, want 0", code)
+	}
+}
+
+// captureStdout runs f with os.Stdout redirected to a pipe and returns what
+// it wrote.
+func captureStdout(t *testing.T, f func()) []byte {
+	t.Helper()
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	saved := os.Stdout
+	os.Stdout = w
+	done := make(chan []byte)
+	go func() {
+		var buf []byte
+		tmp := make([]byte, 4096)
+		for {
+			n, err := r.Read(tmp)
+			buf = append(buf, tmp[:n]...)
+			if err != nil {
+				break
+			}
+		}
+		done <- buf
+	}()
+	f()
+	w.Close()
+	os.Stdout = saved
+	return <-done
+}
+
+// TestRunJSONEnvelope pins the rrlint/v2 report shape on the determinism
+// fixture: schema field, analyzer list, and per-finding metadata.
+func TestRunJSONEnvelope(t *testing.T) {
+	fixture := filepath.Join(repoRoot(), "internal", "analysis", "testdata", "src", "suppress")
+	var code int
+	out := captureStdout(t, func() {
+		code = run([]string{"-C", fixture, "-enable", "determinism", "-json", "./..."})
+	})
+	if code != 1 {
+		t.Fatalf("exit %d, want 1", code)
+	}
+	var rep struct {
+		Schema    string   `json:"schema"`
+		Analyzers []string `json:"analyzers"`
+		Packages  int      `json:"packages"`
+		Findings  []struct {
+			Analyzer       string `json:"analyzer"`
+			File           string `json:"file"`
+			Line           int    `json:"line"`
+			Suppressed     bool   `json:"suppressed"`
+			SuppressReason string `json:"suppress_reason"`
+		} `json:"findings"`
+		Counts struct {
+			Total      int `json:"total"`
+			Suppressed int `json:"suppressed"`
+			New        int `json:"new"`
+		} `json:"counts"`
+	}
+	if err := json.Unmarshal(out, &rep); err != nil {
+		t.Fatalf("parsing report: %v\n%s", err, out)
+	}
+	if rep.Schema != "rrlint/v2" {
+		t.Fatalf("schema = %q, want rrlint/v2", rep.Schema)
+	}
+	if len(rep.Analyzers) != 1 || rep.Analyzers[0] != "determinism" || rep.Packages != 1 {
+		t.Fatalf("envelope metadata wrong: %+v", rep)
+	}
+	if rep.Counts.Total != rep.Counts.Suppressed+rep.Counts.New {
+		t.Fatalf("counts don't add up: %+v", rep.Counts)
+	}
+	sawSuppressed := false
+	for _, f := range rep.Findings {
+		if f.Analyzer == "" || f.File == "" || f.Line <= 0 {
+			t.Fatalf("finding missing metadata: %+v", f)
+		}
+		if f.Suppressed {
+			sawSuppressed = true
+			if f.SuppressReason == "" {
+				t.Fatalf("suppressed finding without its justification: %+v", f)
+			}
+		}
+	}
+	if !sawSuppressed {
+		t.Fatal("the suppress fixture must contribute suppressed findings to the report")
+	}
+}
+
+// TestRunBaselineLifecycle drives the ratchet end to end on the determinism
+// fixture: write a baseline, gate cleanly against it, then prove a stale
+// baseline (debt that no longer exists) fails the run.
+func TestRunBaselineLifecycle(t *testing.T) {
+	fixture := filepath.Join(repoRoot(), "internal", "analysis", "testdata", "src", "determinism")
+	baseline := filepath.Join(t.TempDir(), "baseline.json")
+
+	if code := run([]string{"-C", fixture, "-enable", "determinism", "-baseline", baseline, "-write-baseline", "./..."}); code != 0 {
+		t.Fatalf("-write-baseline: exit %d, want 0", code)
+	}
+	// Against its own baseline the fixture is accepted debt: exit 0.
+	if code := run([]string{"-C", fixture, "-enable", "determinism", "-baseline", baseline, "./..."}); code != 0 {
+		t.Fatalf("baselined run: exit %d, want 0", code)
+	}
+	// Without the baseline the findings are live again: exit 1.
+	if code := run([]string{"-C", fixture, "-enable", "determinism", "./..."}); code != 1 {
+		t.Fatalf("unbaselined run: exit %d, want 1", code)
+	}
+	// A baseline with debt the tree no longer has must fail until
+	// regenerated: point the fixture baseline at a clean package.
+	clean := filepath.Join(repoRoot(), "internal", "analysis", "testdata", "src", "floatcmp")
+	if code := run([]string{"-C", clean, "-enable", "determinism", "-baseline", baseline, "./..."}); code != 1 {
+		t.Fatalf("stale baseline run: exit %d, want 1 (ratchet must force regeneration)", code)
+	}
+	// An unreadable baseline is a usage error.
+	if code := run([]string{"-C", fixture, "-enable", "determinism", "-baseline", filepath.Join(t.TempDir(), "missing.json"), "./..."}); code != 2 {
+		t.Fatalf("missing baseline: exit %d, want 2", code)
+	}
+	// -write-baseline without -baseline is a usage error.
+	if code := run([]string{"-C", fixture, "-write-baseline", "./..."}); code != 2 {
+		t.Fatalf("-write-baseline without -baseline: exit %d, want 2", code)
+	}
+}
+
+// TestRunRepoBaselineGate mirrors the CI step: the repository gated against
+// its committed (empty) baseline is clean.
+func TestRunRepoBaselineGate(t *testing.T) {
+	baseline := filepath.Join(repoRoot(), "lint_baseline.json")
+	if code := run([]string{"-C", repoRoot(), "-baseline", baseline, "./..."}); code != 0 {
+		t.Fatalf("repo against committed baseline: exit %d, want 0", code)
 	}
 }

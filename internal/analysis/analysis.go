@@ -15,11 +15,31 @@
 //   - layering: the package DAG is pinned (model and queue are leaves, sim
 //     never sees experiments, each cmd declares its internals).
 //
+// The concurrent tier (internal/serve, internal/dispatch) is guarded by a
+// second, type-aware generation of analyzers:
+//
+//   - lockcheck: sync.Mutex/RWMutex discipline — every Lock is released on
+//     every return path, and no lock is held across a blocking operation
+//     (channel send/receive, select, time.Sleep, http.Client calls);
+//   - goroleak: every `go` statement is tied to a shutdown path (WaitGroup,
+//     done channel, channel loop, or an http.Server serve loop), and
+//     goroutine launches inside unbounded loops are flagged;
+//   - atomicwrite: os.WriteFile/os.Create on paths that flow from
+//     state/checkpoint vocabulary must go through the sanctioned tmp+rename
+//     helper (internal/atomicio);
+//   - fencedwrite: in internal/dispatch, every lease mutation driven by an
+//     epoch-bearing wire request must consult the epoch-fence comparison —
+//     the rule that makes the 409 zombie-rejection protocol real;
+//   - httpharden: http.Server values are built via serve.HardenedServer and
+//     http.Client literals carry a non-zero Timeout.
+//
 // The engine loads every package of the module (see LoadModule), runs each
 // enabled Analyzer over each package, and reports Diagnostics with file:line
 // positions. `//lint:ignore <analyzer> <reason>` comments suppress a
 // diagnostic on the same line or the line directly below the comment; an
-// ignore with no reason is itself a diagnostic. cmd/rrlint is the driver.
+// ignore with no reason is itself a diagnostic, and so is a stale ignore
+// whose analyzer ran but found nothing to suppress. cmd/rrlint is the
+// driver.
 package analysis
 
 import (
@@ -28,7 +48,10 @@ import (
 	"sort"
 )
 
-// Diagnostic is one analyzer finding at a source position.
+// Diagnostic is one analyzer finding at a source position. Suppressed
+// findings survive in Result.Diags with Suppressed set and the directive's
+// justification in SuppressReason, so machine consumers see the full audit
+// trail, not just the gate.
 type Diagnostic struct {
 	Analyzer string         `json:"analyzer"`
 	Pos      token.Position `json:"-"`
@@ -36,6 +59,9 @@ type Diagnostic struct {
 	Line     int            `json:"line"`
 	Col      int            `json:"col"`
 	Message  string         `json:"message"`
+
+	Suppressed     bool   `json:"suppressed,omitempty"`
+	SuppressReason string `json:"suppress_reason,omitempty"`
 }
 
 // String renders the diagnostic in the conventional file:line:col form.
@@ -73,13 +99,41 @@ func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
 	})
 }
 
-// Run applies each analyzer to each package and returns the surviving
-// diagnostics in (file, line, column, analyzer) order. Suppressed
-// diagnostics are dropped; malformed suppression comments are reported under
-// the pseudo-analyzer "lint".
-func Run(pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
+// Result is the full outcome of an Analyze run.
+type Result struct {
+	// Diags holds every diagnostic in (file, line, column, analyzer) order:
+	// surviving findings, suppressed findings (Suppressed set, with the
+	// directive's reason), and the "lint" pseudo-diagnostics for malformed
+	// or stale ignore directives.
+	Diags []Diagnostic
+}
+
+// Findings returns the diagnostics that gate the build: everything not
+// covered by an ignore directive, including the "lint" pseudo-diagnostics.
+func (r *Result) Findings() []Diagnostic {
+	var out []Diagnostic
+	for _, d := range r.Diags {
+		if !d.Suppressed {
+			out = append(out, d)
+		}
+	}
+	return out
+}
+
+// Analyze applies each analyzer to each package and returns every diagnostic
+// with suppression metadata resolved: findings covered by a
+// `//lint:ignore <analyzer> <reason>` directive are marked Suppressed and
+// carry the directive's reason. Malformed directives, and stale directives
+// whose analyzer ran but suppressed nothing, are reported under the
+// pseudo-analyzer "lint" (stale directives for analyzers that did not run
+// are left alone — a subset run proves nothing about them).
+func Analyze(pkgs []*Package, analyzers []*Analyzer) *Result {
 	var diags []Diagnostic
 	sup := newSuppressions()
+	ran := map[string]bool{}
+	for _, a := range analyzers {
+		ran[a.Name] = true
+	}
 	for _, pkg := range pkgs {
 		for _, a := range analyzers {
 			pass := &Pass{Analyzer: a, Fset: pkg.Fset, Pkg: pkg, diags: &diags}
@@ -87,12 +141,16 @@ func Run(pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
 		}
 		sup.collect(pkg)
 	}
-	out := sup.malformed
+	out := make([]Diagnostic, 0, len(diags))
 	for _, d := range diags {
-		if !sup.covers(d) {
-			out = append(out, d)
+		if ig := sup.match(d); ig != nil {
+			d.Suppressed = true
+			d.SuppressReason = ig.reason
 		}
+		out = append(out, d)
 	}
+	out = append(out, sup.malformed...)
+	out = append(out, sup.unused(ran)...)
 	sort.Slice(out, func(i, j int) bool {
 		a, b := out[i], out[j]
 		if a.File != b.File {
@@ -106,5 +164,13 @@ func Run(pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
 		}
 		return a.Analyzer < b.Analyzer
 	})
-	return out
+	return &Result{Diags: out}
+}
+
+// Run applies each analyzer to each package and returns the surviving
+// diagnostics in (file, line, column, analyzer) order. Suppressed
+// diagnostics are dropped; malformed or stale suppression comments are
+// reported under the pseudo-analyzer "lint".
+func Run(pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
+	return Analyze(pkgs, analyzers).Findings()
 }

@@ -35,6 +35,20 @@ func fixtureAnalyzers(name string) []*Analyzer {
 			// fix/layering/c deliberately missing: undeclared packages are
 			// findings.
 		})}
+	case "lockcheck":
+		return []*Analyzer{LockCheck()}
+	case "goroleak":
+		return []*Analyzer{GoroLeak()}
+	case "atomicwrite":
+		return []*Analyzer{AtomicWrite(map[string]bool{
+			"fix/atomicwrite.writeFileAtomic": true,
+		})}
+	case "fencedwrite":
+		return []*Analyzer{FencedWrite("fix/fencedwrite", "lease", "epoch")}
+	case "httpharden":
+		return []*Analyzer{HTTPHarden(map[string]bool{
+			"fix/httpharden.hardened": true,
+		})}
 	default:
 		return nil
 	}

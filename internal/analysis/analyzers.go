@@ -1,8 +1,9 @@
 package analysis
 
 // Analyzers returns the default analyzer set with this repository's
-// configuration: the five invariant checkers, wired to the audited nopanic
-// allowlist, the floatcmp package scope, and the layering DAG.
+// configuration: the five v1 invariant checkers (wired to the audited
+// nopanic allowlist, the floatcmp package scope, and the layering DAG) and
+// the five v2 concurrency/protocol checkers for the serve/dispatch tier.
 func Analyzers() []*Analyzer {
 	return []*Analyzer{
 		Determinism(),
@@ -10,6 +11,28 @@ func Analyzers() []*Analyzer {
 		ErrCheck(),
 		FloatCmp("rrsched/internal/experiments", "rrsched/internal/stats"),
 		Layering(DefaultLayeringRules()),
+		LockCheck(),
+		GoroLeak(),
+		AtomicWrite(DefaultAtomicWriteSanctioned()),
+		FencedWrite("rrsched/internal/dispatch", "lease", "epoch"),
+		HTTPHarden(DefaultHTTPHardenSanctioned()),
+	}
+}
+
+// DefaultAtomicWriteSanctioned names the functions allowed to call
+// os.WriteFile/os.Create on state paths directly: the tmp+rename helper
+// itself. Everything else must route state writes through it.
+func DefaultAtomicWriteSanctioned() map[string]bool {
+	return map[string]bool{
+		"rrsched/internal/atomicio.WriteFile": true,
+	}
+}
+
+// DefaultHTTPHardenSanctioned names the constructors allowed to build raw
+// http.Server literals: the hardened constructor that pins timeouts.
+func DefaultHTTPHardenSanctioned() map[string]bool {
+	return map[string]bool{
+		"rrsched/internal/serve.HardenedServer": true,
 	}
 }
 

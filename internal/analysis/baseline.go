@@ -1,0 +1,122 @@
+package analysis
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"sort"
+)
+
+// BaselineSchema versions the on-disk baseline format.
+const BaselineSchema = "rrlint-baseline/v1"
+
+// BaselineEntry is one accepted finding class in a committed baseline:
+// Count findings of one analyzer in one file with one message. Line numbers
+// are deliberately excluded so unrelated edits above a baselined finding do
+// not churn the file; a message is specific enough to identify the finding
+// class, and Count still ratchets.
+type BaselineEntry struct {
+	Analyzer string `json:"analyzer"`
+	File     string `json:"file"`
+	Message  string `json:"message"`
+	Count    int    `json:"count"`
+}
+
+// Baseline is a committed snapshot of accepted rrlint findings. The contract
+// is a ratchet, as with the coverage floors: findings not in the baseline
+// fail the run, and baseline entries no longer observed ("stale") also fail
+// the run until the baseline is regenerated — the debt ledger may only
+// shrink, and must shrink explicitly.
+type Baseline struct {
+	Schema  string          `json:"schema"`
+	Entries []BaselineEntry `json:"entries"`
+}
+
+// baselineKey identifies a finding class.
+type baselineKey struct {
+	Analyzer, File, Message string
+}
+
+// NewBaseline builds a baseline from the surviving findings of a run.
+func NewBaseline(findings []Diagnostic) *Baseline {
+	counts := map[baselineKey]int{}
+	for _, d := range findings {
+		counts[baselineKey{d.Analyzer, d.File, d.Message}]++
+	}
+	b := &Baseline{Schema: BaselineSchema, Entries: []BaselineEntry{}}
+	for k, n := range counts {
+		b.Entries = append(b.Entries, BaselineEntry{Analyzer: k.Analyzer, File: k.File, Message: k.Message, Count: n})
+	}
+	sort.Slice(b.Entries, func(i, j int) bool {
+		a, c := b.Entries[i], b.Entries[j]
+		if a.File != c.File {
+			return a.File < c.File
+		}
+		if a.Analyzer != c.Analyzer {
+			return a.Analyzer < c.Analyzer
+		}
+		return a.Message < c.Message
+	})
+	return b
+}
+
+// ReadBaseline loads and validates a baseline file.
+func ReadBaseline(path string) (*Baseline, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("reading baseline: %w", err)
+	}
+	var b Baseline
+	if err := json.Unmarshal(data, &b); err != nil {
+		return nil, fmt.Errorf("parsing baseline %s: %w", path, err)
+	}
+	if b.Schema != BaselineSchema {
+		return nil, fmt.Errorf("baseline %s has schema %q, want %q", path, b.Schema, BaselineSchema)
+	}
+	for i, e := range b.Entries {
+		if e.Analyzer == "" || e.File == "" || e.Message == "" || e.Count < 1 {
+			return nil, fmt.Errorf("baseline %s entry %d is incomplete", path, i)
+		}
+	}
+	return &b, nil
+}
+
+// WriteBaseline writes the baseline as stable, indented JSON.
+func WriteBaseline(path string, b *Baseline) error {
+	data, err := json.MarshalIndent(b, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// Diff splits a run's findings against the baseline. fresh holds findings
+// not covered by the baseline (each entry absorbs up to Count findings of
+// its class, in source order); baselined is index-aligned with findings and
+// marks the absorbed ones; stale lists entries whose class was observed
+// fewer times than Count — evidence the debt shrank and the baseline must be
+// regenerated to match.
+func (b *Baseline) Diff(findings []Diagnostic) (fresh []Diagnostic, baselined []bool, stale []BaselineEntry) {
+	budget := map[baselineKey]int{}
+	for _, e := range b.Entries {
+		budget[baselineKey{e.Analyzer, e.File, e.Message}] += e.Count
+	}
+	baselined = make([]bool, len(findings))
+	for i, d := range findings {
+		k := baselineKey{d.Analyzer, d.File, d.Message}
+		if budget[k] > 0 {
+			budget[k]--
+			baselined[i] = true
+		} else {
+			fresh = append(fresh, d)
+		}
+	}
+	for _, e := range b.Entries {
+		if left := budget[baselineKey{e.Analyzer, e.File, e.Message}]; left > 0 {
+			se := e
+			se.Count = left
+			stale = append(stale, se)
+		}
+	}
+	return fresh, baselined, stale
+}

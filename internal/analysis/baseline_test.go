@@ -1,0 +1,124 @@
+package analysis
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func diag(analyzer, file, msg string, line int) Diagnostic {
+	return Diagnostic{Analyzer: analyzer, File: file, Line: line, Col: 1, Message: msg}
+}
+
+func TestBaselineRoundTrip(t *testing.T) {
+	findings := []Diagnostic{
+		diag("lockcheck", "a.go", "held", 10),
+		diag("lockcheck", "a.go", "held", 30),
+		diag("goroleak", "b.go", "leak", 5),
+	}
+	b := NewBaseline(findings)
+	if len(b.Entries) != 2 {
+		t.Fatalf("want 2 collapsed entries, got %+v", b.Entries)
+	}
+	if b.Entries[0].File != "a.go" || b.Entries[0].Count != 2 {
+		t.Fatalf("entries not collapsed/sorted: %+v", b.Entries)
+	}
+	path := filepath.Join(t.TempDir(), "baseline.json")
+	if err := WriteBaseline(path, b); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadBaseline(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Schema != BaselineSchema || len(got.Entries) != 2 {
+		t.Fatalf("round trip lost data: %+v", got)
+	}
+}
+
+func TestBaselineDiff(t *testing.T) {
+	b := NewBaseline([]Diagnostic{
+		diag("lockcheck", "a.go", "held", 10),
+		diag("lockcheck", "a.go", "held", 30),
+		diag("goroleak", "b.go", "leak", 5),
+	})
+
+	// Same findings: everything baselined, nothing fresh or stale.
+	fresh, baselined, stale := b.Diff([]Diagnostic{
+		diag("lockcheck", "a.go", "held", 11),
+		diag("lockcheck", "a.go", "held", 31),
+		diag("goroleak", "b.go", "leak", 6),
+	})
+	if len(fresh) != 0 || len(stale) != 0 {
+		t.Fatalf("line drift must not break the baseline: fresh=%v stale=%v", fresh, stale)
+	}
+	for i, ok := range baselined {
+		if !ok {
+			t.Fatalf("finding %d not baselined", i)
+		}
+	}
+
+	// A new finding class is fresh.
+	fresh, _, _ = b.Diff([]Diagnostic{
+		diag("lockcheck", "a.go", "held", 10),
+		diag("lockcheck", "a.go", "held", 30),
+		diag("goroleak", "b.go", "leak", 5),
+		diag("atomicwrite", "c.go", "torn", 7),
+	})
+	if len(fresh) != 1 || fresh[0].Analyzer != "atomicwrite" {
+		t.Fatalf("want the new finding fresh, got %v", fresh)
+	}
+
+	// One lockcheck finding fixed: its entry goes stale with the residue.
+	fresh, _, stale = b.Diff([]Diagnostic{
+		diag("lockcheck", "a.go", "held", 10),
+		diag("goroleak", "b.go", "leak", 5),
+	})
+	if len(fresh) != 0 {
+		t.Fatalf("want nothing fresh, got %v", fresh)
+	}
+	if len(stale) != 1 || stale[0].Analyzer != "lockcheck" || stale[0].Count != 1 {
+		t.Fatalf("want one stale lockcheck entry with count 1, got %+v", stale)
+	}
+}
+
+func TestReadBaselineRejectsBadFiles(t *testing.T) {
+	dir := t.TempDir()
+	write := func(name, content string) string {
+		p := filepath.Join(dir, name)
+		if err := os.WriteFile(p, []byte(content), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return p
+	}
+	if _, err := ReadBaseline(filepath.Join(dir, "missing.json")); err == nil {
+		t.Error("want error for a missing file")
+	}
+	if _, err := ReadBaseline(write("garbage.json", "{")); err == nil {
+		t.Error("want error for unparseable JSON")
+	}
+	if _, err := ReadBaseline(write("schema.json", `{"schema":"other/v9","entries":[]}`)); err == nil || !strings.Contains(err.Error(), "schema") {
+		t.Errorf("want schema error, got %v", err)
+	}
+	if _, err := ReadBaseline(write("incomplete.json", `{"schema":"rrlint-baseline/v1","entries":[{"analyzer":"x","file":"","message":"m","count":1}]}`)); err == nil {
+		t.Error("want error for an incomplete entry")
+	}
+}
+
+// TestRepoBaselineIsEmpty pins the self-host contract: the committed
+// baseline carries zero accepted debt, so any future finding fails CI until
+// fixed or explicitly baselined in review.
+func TestRepoBaselineIsEmpty(t *testing.T) {
+	root, err := FindModuleRoot(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := ReadBaseline(filepath.Join(root, "lint_baseline.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(b.Entries) != 0 {
+		t.Fatalf("the committed baseline must stay empty; found %d entr(ies): %+v", len(b.Entries), b.Entries)
+	}
+}

@@ -1,0 +1,146 @@
+package analysis
+
+import (
+	"strings"
+	"testing"
+)
+
+// These tests doctor known-good code into the exact bug each v2 analyzer
+// exists to catch, and assert the analyzer fires — the negative control for
+// the self-host gate: a clean run means something only if breaking the
+// invariant is proven to trip the analyzer.
+
+// assertFires runs one analyzer over doctored source and requires a finding
+// whose message contains want.
+func assertFires(t *testing.T, a *Analyzer, src, want string) {
+	t.Helper()
+	mod := loadTempModule(t, map[string]string{"a.go": src})
+	diags := Run(mod.Pkgs, []*Analyzer{a})
+	for _, d := range diags {
+		if d.Analyzer == a.Name && strings.Contains(d.Message, want) {
+			return
+		}
+	}
+	t.Fatalf("doctored source did not trip %s (want message containing %q); got %v", a.Name, want, diags)
+}
+
+// TestDoctoredLockAcrossSend doctors the serve Tick shape — a channel send
+// under the round-barrier mutex — minus the justification.
+func TestDoctoredLockAcrossSend(t *testing.T) {
+	assertFires(t, LockCheck(), `package tmp
+
+import "sync"
+
+type svc struct {
+	mu sync.Mutex
+	ch chan int
+}
+
+func (s *svc) Tick() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.ch <- 1
+}
+`, "channel send while holding s.mu")
+}
+
+// TestDoctoredLockLeak doctors an early return between Lock and Unlock.
+func TestDoctoredLockLeak(t *testing.T) {
+	assertFires(t, LockCheck(), `package tmp
+
+import "sync"
+
+type svc struct {
+	mu sync.Mutex
+	n  int
+}
+
+func (s *svc) Get(fast bool) int {
+	s.mu.Lock()
+	if fast {
+		return s.n
+	}
+	s.mu.Unlock()
+	return 0
+}
+`, "locked but not released on this return path")
+}
+
+// TestDoctoredUnfencedPlacementWrite doctors the dispatcher's checkpoint
+// handler with the epoch fence deleted: the zombie write goes through.
+func TestDoctoredUnfencedPlacementWrite(t *testing.T) {
+	assertFires(t, FencedWrite("fix/tmp", "lease", "epoch"), `package tmp
+
+type lease struct {
+	worker string
+	epoch  int64
+	data   []byte
+}
+
+type push struct {
+	Worker string
+	Shard  int
+	Epoch  int64
+	Data   []byte
+}
+
+type disp struct {
+	leases []lease
+}
+
+func (d *disp) StoreCheckpoint(req *push) {
+	d.leases[req.Shard].data = req.Data
+	d.leases[req.Shard].worker = req.Worker
+}
+`, "without consulting the fence")
+}
+
+// TestDoctoredFireAndForgetGoroutine doctors a worker loop with its done
+// channel removed.
+func TestDoctoredFireAndForgetGoroutine(t *testing.T) {
+	assertFires(t, GoroLeak(), `package tmp
+
+func Monitor() {
+	go func() {
+		for i := 0; ; i++ {
+			_ = i
+		}
+	}()
+}
+`, "not tied to a shutdown path")
+}
+
+// TestDoctoredTornCheckpointWrite doctors the persist path back to a plain
+// os.WriteFile.
+func TestDoctoredTornCheckpointWrite(t *testing.T) {
+	assertFires(t, AtomicWrite(nil), `package tmp
+
+import "os"
+
+func persist(checkpointPath string, data []byte) error {
+	return os.WriteFile(checkpointPath, data, 0o644)
+}
+`, "torn file")
+}
+
+// TestDoctoredRawServer doctors worker bring-up to bypass HardenedServer.
+func TestDoctoredRawServer(t *testing.T) {
+	assertFires(t, HTTPHarden(nil), `package tmp
+
+import "net/http"
+
+func listen(h http.Handler) *http.Server {
+	return &http.Server{Handler: h}
+}
+`, "raw http.Server literal")
+}
+
+// TestDoctoredZeroTimeoutClient doctors the dispatch client's timeout away.
+func TestDoctoredZeroTimeoutClient(t *testing.T) {
+	assertFires(t, HTTPHarden(nil), `package tmp
+
+import "net/http"
+
+var client = &http.Client{}
+`, "without a Timeout")
+}

@@ -1,0 +1,198 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// FencedWrite returns the analyzer that makes the dispatcher's 409
+// zombie-rejection protocol real: in pkgPath, any function that both takes
+// an epoch-bearing wire request (a parameter whose same-package struct type
+// carries a fenceField field, directly or nested one or two levels down) and
+// mutates the stateType lease table must, somewhere in its body, compare a
+// fenceField against the request (`l.epoch == info.Epoch`, `l.epoch !=
+// req.Epoch`). A handler that writes placement or checkpoint state on behalf
+// of a worker without consulting the fence would let a partitioned zombie
+// overwrite its successor's state — the exact failure the lease epochs
+// exist to prevent.
+//
+// Functions without an epoch-bearing parameter (the sweeper, which *sets*
+// the fence; the persistence and boot paths) are exempt by construction: the
+// fence guards externally-driven writes, not the dispatcher's own
+// bookkeeping. The check is presence-based, not order-based, because the
+// lost-lease loop legitimately bumps epochs before the comparison that
+// classifies the worker's view.
+func FencedWrite(pkgPath, stateType, fenceField string) *Analyzer {
+	a := &Analyzer{
+		Name: "fencedwrite",
+		Doc:  "requires epoch-fence comparisons in dispatch handlers that mutate lease state on behalf of a wire request",
+	}
+	a.Run = func(pass *Pass) {
+		if pass.Pkg.Path != pkgPath {
+			return
+		}
+		for _, f := range pass.Pkg.Files {
+			for _, decl := range f.Decls {
+				fn, ok := decl.(*ast.FuncDecl)
+				if !ok || fn.Body == nil {
+					continue
+				}
+				if !hasFenceBearingParam(pass, fn, fenceField) {
+					continue
+				}
+				mutation := firstStateMutation(pass, fn.Body, stateType)
+				if mutation == nil {
+					continue
+				}
+				if hasFenceComparison(fn.Body, fenceField) {
+					continue
+				}
+				pass.Reportf(mutation.Pos(), "%s state mutated on behalf of a request carrying %q without consulting the fence; compare the request's %s against the lease first (stale writers must be rejected)", stateType, fenceField, fenceField)
+			}
+		}
+	}
+	return a
+}
+
+// hasFenceBearingParam reports whether any parameter's type is (or points
+// to) a struct defined in this package that carries fenceField, directly or
+// nested through same-package struct fields, slices, or arrays.
+func hasFenceBearingParam(pass *Pass, fn *ast.FuncDecl, fenceField string) bool {
+	if fn.Type.Params == nil {
+		return false
+	}
+	for _, field := range fn.Type.Params.List {
+		tv, ok := pass.Pkg.Info.Types[field.Type]
+		if !ok {
+			continue
+		}
+		if typeCarriesFence(tv.Type, fenceField, pass.Pkg.Types, 3) {
+			return true
+		}
+	}
+	return false
+}
+
+// typeCarriesFence walks a type looking for a field named fenceField
+// (case-insensitive). Recursion stays inside structs defined in pkg so the
+// walk cannot wander into the standard library, and depth bounds it.
+func typeCarriesFence(t types.Type, fenceField string, pkg *types.Package, depth int) bool {
+	if depth < 0 {
+		return false
+	}
+	switch t := t.(type) {
+	case *types.Pointer:
+		return typeCarriesFence(t.Elem(), fenceField, pkg, depth)
+	case *types.Slice:
+		return typeCarriesFence(t.Elem(), fenceField, pkg, depth)
+	case *types.Array:
+		return typeCarriesFence(t.Elem(), fenceField, pkg, depth)
+	case *types.Named:
+		if t.Obj().Pkg() != pkg {
+			return false
+		}
+		return typeCarriesFence(t.Underlying(), fenceField, pkg, depth)
+	case *types.Struct:
+		for i := 0; i < t.NumFields(); i++ {
+			f := t.Field(i)
+			if strings.EqualFold(f.Name(), fenceField) {
+				return true
+			}
+			if typeCarriesFence(f.Type(), fenceField, pkg, depth-1) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// firstStateMutation finds the first assignment or ++/-- whose target is a
+// field of the stateType (or a whole stateType value), in source order.
+func firstStateMutation(pass *Pass, body *ast.BlockStmt, stateType string) ast.Node {
+	var first ast.Node
+	ast.Inspect(body, func(n ast.Node) bool {
+		if first != nil {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			for _, lhs := range n.Lhs {
+				if isStateTarget(pass, lhs, stateType) {
+					first = n
+					return false
+				}
+			}
+		case *ast.IncDecStmt:
+			if isStateTarget(pass, n.X, stateType) {
+				first = n
+				return false
+			}
+		}
+		return true
+	})
+	return first
+}
+
+// isStateTarget reports whether an assignment target writes the state: a
+// field selected from a stateType value, or a stateType element/slot
+// (`leases[i] = lease{...}`). A bare identifier is never a state write —
+// binding a local, even one of the state type (`l := &t.leases[i]`), reads
+// the table; mutations go through selectors or indexes.
+func isStateTarget(pass *Pass, e ast.Expr, stateType string) bool {
+	switch e := e.(type) {
+	case *ast.Ident:
+		return false
+	case *ast.SelectorExpr:
+		return isStateType(pass, e.X, stateType) || isStateType(pass, e, stateType)
+	default:
+		return isStateType(pass, e, stateType)
+	}
+}
+
+// isStateType reports whether an expression's type (behind pointers) is the
+// named stateType declared in the package under analysis.
+func isStateType(pass *Pass, e ast.Expr, stateType string) bool {
+	tv, ok := pass.Pkg.Info.Types[e]
+	if !ok {
+		return false
+	}
+	t := tv.Type
+	if p, ok := t.Underlying().(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	return named.Obj().Name() == stateType && named.Obj().Pkg() == pass.Pkg.Types
+}
+
+// hasFenceComparison reports whether the body contains an ==/!= comparison
+// with a fenceField operand on either side.
+func hasFenceComparison(body *ast.BlockStmt, fenceField string) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		be, ok := n.(*ast.BinaryExpr)
+		if !ok || (be.Op.String() != "==" && be.Op.String() != "!=") {
+			return true
+		}
+		for _, side := range []ast.Expr{be.X, be.Y} {
+			switch s := side.(type) {
+			case *ast.SelectorExpr:
+				if strings.EqualFold(s.Sel.Name, fenceField) {
+					found = true
+				}
+			case *ast.Ident:
+				if strings.EqualFold(s.Name, fenceField) {
+					found = true
+				}
+			}
+		}
+		return !found
+	})
+	return found
+}

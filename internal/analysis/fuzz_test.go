@@ -1,0 +1,40 @@
+package analysis
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzParseSuppression hammers the directive parser with arbitrary comment
+// text: it must never panic, and its result invariants must hold — a
+// well-formed directive always carries a non-empty analyzer name and reason,
+// and malformed implies found.
+func FuzzParseSuppression(f *testing.F) {
+	f.Add("//lint:ignore determinism keys are sorted below")
+	f.Add("//lint:ignore")
+	f.Add("//lint:ignore errcheck")
+	f.Add("/*lint:ignore all everything justified*/")
+	f.Add("// ordinary comment")
+	f.Add("//lint:ignoredeterminism smashed together")
+	f.Add("//lint:ignore\tall\ttabs as separators")
+	f.Add("/*lint:ignore*/")
+	f.Add("//lint:ignore all \x00\xff")
+	f.Add("")
+	f.Fuzz(func(t *testing.T, text string) {
+		analyzer, reason, found, malformed := ParseIgnoreDirective(text)
+		if malformed && !found {
+			t.Fatalf("malformed implies found: %q", text)
+		}
+		if found && !malformed {
+			if analyzer == "" || reason == "" {
+				t.Fatalf("well-formed directive with empty fields: %q -> (%q, %q)", text, analyzer, reason)
+			}
+			if strings.ContainsAny(analyzer, " \t") {
+				t.Fatalf("analyzer name contains whitespace: %q -> %q", text, analyzer)
+			}
+		}
+		if !found && (analyzer != "" || reason != "" || malformed) {
+			t.Fatalf("non-directive returned data: %q -> (%q, %q, %v, %v)", text, analyzer, reason, found, malformed)
+		}
+	})
+}

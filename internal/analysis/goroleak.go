@@ -1,0 +1,193 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// GoroLeak returns the analyzer that ties every goroutine to a shutdown
+// path. A `go` statement in non-test code must launch a body that shows
+// evidence of supervision:
+//
+//   - a (*sync.WaitGroup).Done call (the launcher waits);
+//   - a close(...) of a done channel (the launcher observes completion);
+//   - any channel operation — send, receive, range over a channel, or a
+//     select — because a channel-coupled goroutine exits when its peer
+//     closes the conversation;
+//   - an (*net/http.Server).Serve/ListenAndServe loop, whose lifecycle is
+//     owned by Server.Close/Shutdown.
+//
+// A launch whose body cannot be resolved in the same package (a method or
+// function from another package) is flagged too: the analyzer cannot prove
+// supervision, and the fix — wrap the launch in a supervised closure — is
+// cheap. Independently, a launch lexically inside an unbounded loop
+// (`for {}` with no condition) is flagged even when supervised: each
+// iteration stacks another goroutine with no bound.
+func GoroLeak() *Analyzer {
+	a := &Analyzer{
+		Name: "goroleak",
+		Doc:  "flags goroutines with no shutdown path (WaitGroup, done channel, channel loop, or server loop) and launches inside unbounded loops",
+	}
+	a.Run = func(pass *Pass) {
+		decls := funcDeclIndex(pass.Pkg)
+		for _, f := range pass.Pkg.Files {
+			unbounded := unboundedLoopBodies(f)
+			ast.Inspect(f, func(n ast.Node) bool {
+				g, ok := n.(*ast.GoStmt)
+				if !ok {
+					return true
+				}
+				for _, rng := range unbounded {
+					if rng[0] <= g.Pos() && g.Pos() < rng[1] {
+						pass.Reportf(g.Pos(), "goroutine launched inside an unbounded loop; each iteration stacks another goroutine — bound the loop or pool the workers")
+						break
+					}
+				}
+				if ok, why := goShutdownEvidence(pass, decls, g); !ok {
+					pass.Reportf(g.Pos(), "goroutine is not tied to a shutdown path (%s); supervise it with a WaitGroup, a done channel, or a channel loop", why)
+				}
+				return true
+			})
+		}
+	}
+	return a
+}
+
+// unboundedLoopBodies collects the body spans of `for {}` loops (no
+// condition, so nothing bounds the iteration count) in one file.
+func unboundedLoopBodies(f *ast.File) [][2]token.Pos {
+	var out [][2]token.Pos
+	ast.Inspect(f, func(n ast.Node) bool {
+		if fs, ok := n.(*ast.ForStmt); ok && fs.Cond == nil {
+			out = append(out, [2]token.Pos{fs.Body.Pos(), fs.Body.End()})
+		}
+		return true
+	})
+	return out
+}
+
+// funcDeclIndex maps each function object defined in the package to its
+// declaration, so `go pkgFunc()` and `go recv.method()` launches can be
+// resolved to a body.
+func funcDeclIndex(pkg *Package) map[types.Object]*ast.FuncDecl {
+	out := map[types.Object]*ast.FuncDecl{}
+	for _, f := range pkg.Files {
+		for _, decl := range f.Decls {
+			if fd, ok := decl.(*ast.FuncDecl); ok && fd.Body != nil {
+				if obj := pkg.Info.Defs[fd.Name]; obj != nil {
+					out[obj] = fd
+				}
+			}
+		}
+	}
+	return out
+}
+
+// serveMethods are the http.Server entry points whose goroutines are owned
+// by Server.Close/Shutdown rather than a caller-side channel.
+var serveMethods = map[string]bool{
+	"(*net/http.Server).Serve":             true,
+	"(*net/http.Server).ServeTLS":          true,
+	"(*net/http.Server).ListenAndServe":    true,
+	"(*net/http.Server).ListenAndServeTLS": true,
+}
+
+// goShutdownEvidence reports whether the launched body shows shutdown
+// evidence, with a reason when it does not.
+func goShutdownEvidence(pass *Pass, decls map[types.Object]*ast.FuncDecl, g *ast.GoStmt) (ok bool, why string) {
+	if isServeCall(pass, g.Call) {
+		return true, ""
+	}
+	var body *ast.BlockStmt
+	switch fun := g.Call.Fun.(type) {
+	case *ast.FuncLit:
+		body = fun.Body
+	default:
+		if obj := calleeObject(pass, g.Call.Fun); obj != nil {
+			if fd := decls[obj]; fd != nil {
+				body = fd.Body
+			}
+		}
+	}
+	if body == nil {
+		return false, "the body is defined outside this package, so supervision cannot be verified"
+	}
+	if bodyHasShutdownEvidence(pass, body) {
+		return true, ""
+	}
+	return false, "no WaitGroup.Done, close, channel operation, or server loop in the body"
+}
+
+// isServeCall reports whether the call is an http.Server serve loop.
+func isServeCall(pass *Pass, call *ast.CallExpr) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	selection := pass.Pkg.Info.Selections[sel]
+	if selection == nil {
+		return false
+	}
+	fn, ok := selection.Obj().(*types.Func)
+	return ok && serveMethods[fn.FullName()]
+}
+
+// calleeObject resolves the object a call expression invokes: a plain
+// function ident or a method/package selector.
+func calleeObject(pass *Pass, fun ast.Expr) types.Object {
+	switch fun := fun.(type) {
+	case *ast.Ident:
+		return pass.Pkg.Info.Uses[fun]
+	case *ast.SelectorExpr:
+		if selection := pass.Pkg.Info.Selections[fun]; selection != nil {
+			return selection.Obj()
+		}
+		return pass.Pkg.Info.Uses[fun.Sel]
+	default:
+		return nil
+	}
+}
+
+// bodyHasShutdownEvidence scans a goroutine body (nested literals included —
+// a Done in a deferred closure still counts) for supervision evidence.
+func bodyHasShutdownEvidence(pass *Pass, body *ast.BlockStmt) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.SendStmt, *ast.SelectStmt:
+			found = true
+		case *ast.UnaryExpr:
+			if n.Op == token.ARROW {
+				found = true
+			}
+		case *ast.RangeStmt:
+			if tv, ok := pass.Pkg.Info.Types[n.X]; ok {
+				if _, isChan := tv.Type.Underlying().(*types.Chan); isChan {
+					found = true
+				}
+			}
+		case *ast.CallExpr:
+			if id, ok := n.Fun.(*ast.Ident); ok && id.Name == "close" &&
+				pass.Pkg.Info.Uses[id] == types.Universe.Lookup("close") {
+				found = true
+				break
+			}
+			if sel, ok := n.Fun.(*ast.SelectorExpr); ok {
+				if selection := pass.Pkg.Info.Selections[sel]; selection != nil {
+					if fn, ok := selection.Obj().(*types.Func); ok {
+						full := fn.FullName()
+						if full == "(*sync.WaitGroup).Done" || serveMethods[full] {
+							found = true
+						}
+					}
+				}
+			}
+		}
+		return !found
+	})
+	return found
+}

@@ -1,0 +1,90 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/types"
+)
+
+// HTTPHarden returns the analyzer that keeps the HTTP edge uniform:
+//
+//   - every http.Server must be built through the sanctioned constructor
+//     (serve.HardenedServer, which pins read/write/idle timeouts and the
+//     header cap) — a raw &http.Server{...} literal silently ships with no
+//     timeouts at all, and one slowloris client can pin every dispatcher
+//     connection;
+//   - every http.Client composite literal must set a non-zero Timeout —
+//     the zero value waits forever, and the serve/dispatch tier's liveness
+//     arguments (lease expiry, failover) all assume bounded round trips.
+//
+// sanctioned maps function keys ("pkgpath.Func", like the nopanic allowlist)
+// to true for the constructors allowed to build raw http.Server values.
+func HTTPHarden(sanctioned map[string]bool) *Analyzer {
+	a := &Analyzer{
+		Name: "httpharden",
+		Doc:  "requires http.Server construction via the hardened constructor and non-zero http.Client timeouts",
+	}
+	a.Run = func(pass *Pass) {
+		for _, f := range pass.Pkg.Files {
+			for _, decl := range f.Decls {
+				exempt := false
+				if fn, ok := decl.(*ast.FuncDecl); ok {
+					exempt = sanctioned[funcKey(pass.Pkg, fn)]
+				}
+				ast.Inspect(decl, func(n ast.Node) bool {
+					cl, ok := n.(*ast.CompositeLit)
+					if !ok {
+						return true
+					}
+					switch {
+					case !exempt && isNetHTTPType(pass, cl, "Server"):
+						pass.Reportf(cl.Pos(), "raw http.Server literal has no timeouts; build it with serve.HardenedServer so slow clients cannot pin connections")
+					case isNetHTTPType(pass, cl, "Client"):
+						checkClientTimeout(pass, cl)
+					}
+					return true
+				})
+			}
+		}
+	}
+	return a
+}
+
+// isNetHTTPType reports whether a composite literal's type is the named
+// net/http type.
+func isNetHTTPType(pass *Pass, cl *ast.CompositeLit, name string) bool {
+	tv, ok := pass.Pkg.Info.Types[cl]
+	if !ok {
+		return false
+	}
+	named, ok := tv.Type.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Name() == name && obj.Pkg() != nil && obj.Pkg().Path() == "net/http"
+}
+
+// checkClientTimeout flags an http.Client literal whose Timeout is absent or
+// provably zero.
+func checkClientTimeout(pass *Pass, cl *ast.CompositeLit) {
+	for _, elt := range cl.Elts {
+		kv, ok := elt.(*ast.KeyValueExpr)
+		if !ok {
+			// Positional http.Client literals don't appear in practice; a
+			// keyless literal gets the missing-Timeout report below.
+			continue
+		}
+		key, ok := kv.Key.(*ast.Ident)
+		if !ok || key.Name != "Timeout" {
+			continue
+		}
+		if tv, ok := pass.Pkg.Info.Types[kv.Value]; ok && tv.Value != nil {
+			if v, exact := constant.Int64Val(tv.Value); exact && v == 0 {
+				pass.Reportf(kv.Value.Pos(), "http.Client Timeout is zero, which means no timeout at all; a hung peer then hangs the caller — set a bounded timeout")
+			}
+		}
+		return
+	}
+	pass.Reportf(cl.Pos(), "http.Client literal without a Timeout waits forever on a hung peer; set a bounded Timeout")
+}

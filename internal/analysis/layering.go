@@ -88,6 +88,7 @@ func DefaultLayeringRules() map[string][]string {
 		m + "stats":    {},
 		m + "sweep":    {},
 		m + "analysis": {},
+		m + "atomicio": {},
 
 		// Observability: metrics, tracing, event sinks. Near-leaf by design.
 		m + "obs": {m + "model"},
@@ -108,12 +109,12 @@ func DefaultLayeringRules() map[string][]string {
 		// The network service wraps stream schedulers behind an HTTP ingest
 		// layer; it builds only on model, obs, and stream, so serving never
 		// grows a dependency on the evaluation stack.
-		m + "serve": {m + "model", m + "obs", m + "stream"},
+		m + "serve": {m + "atomicio", m + "model", m + "obs", m + "stream"},
 
 		// The dispatcher/worker tier is the fault-tolerant control plane over
 		// hosted serve workers: leases, heartbeats, checkpoint failover. It
 		// builds only on obs and serve — scheduling knowledge stays below it.
-		m + "dispatch": {m + "obs", m + "serve"},
+		m + "dispatch": {m + "atomicio", m + "obs", m + "serve"},
 
 		// The benchmark harness drives the engine, policies, queues, the
 		// streaming scheduler, and the sweep substrate; like experiments it

@@ -1,0 +1,432 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// LockCheck returns the type-aware analyzer that enforces sync.Mutex and
+// sync.RWMutex discipline in non-test code. Two rules, both intra-procedural:
+//
+//   - every Lock/RLock must be released on every return path, either by an
+//     unlock before the return or by a deferred unlock;
+//   - no lock may be held across a blocking operation — a channel send or
+//     receive (including ranging over a channel), a select without a default
+//     clause, time.Sleep, or an http.Client round trip — because a peer that
+//     never answers then holds the lock, and every contender, indefinitely.
+//
+// The walker is deliberately simple: lock identity is the receiver's
+// ident/selector chain (locks behind index expressions or pointers returned
+// from calls are not tracked), branches are merged by union so a lock still
+// held on any surviving path counts as held, and function literals are
+// analyzed with fresh state (they run on their own stack). Intentional
+// blocking under a lock — a round barrier, for instance — carries a
+// //lint:ignore lockcheck justification.
+func LockCheck() *Analyzer {
+	a := &Analyzer{
+		Name: "lockcheck",
+		Doc:  "flags locks not released on every return path and locks held across blocking operations (channel ops, select, time.Sleep, http.Client calls)",
+	}
+	a.Run = func(pass *Pass) {
+		for _, f := range pass.Pkg.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				switch fn := n.(type) {
+				case *ast.FuncDecl:
+					if fn.Body != nil {
+						checkLockBody(pass, fn.Body)
+					}
+				case *ast.FuncLit:
+					checkLockBody(pass, fn.Body)
+				}
+				return true
+			})
+		}
+	}
+	return a
+}
+
+// heldLock is one tracked lock acquisition.
+type heldLock struct {
+	name     string // display form of the receiver ("s.tickMu")
+	deferred bool   // a deferred unlock covers the return paths
+}
+
+// lockState maps a lock's canonical receiver key to its acquisition record.
+type lockState map[string]heldLock
+
+func (st lockState) clone() lockState {
+	out := make(lockState, len(st))
+	for k, v := range st {
+		out[k] = v
+	}
+	return out
+}
+
+// mutexAcquire and mutexRelease name the sync methods that take and release
+// locks, keyed by go/types' full method name.
+var (
+	mutexAcquire = map[string]bool{
+		"(*sync.Mutex).Lock":    true,
+		"(*sync.RWMutex).Lock":  true,
+		"(*sync.RWMutex).RLock": true,
+	}
+	mutexRelease = map[string]bool{
+		"(*sync.Mutex).Unlock":    true,
+		"(*sync.RWMutex).Unlock":  true,
+		"(*sync.RWMutex).RUnlock": true,
+	}
+)
+
+// mutexCall classifies a call as a lock acquire/release on a trackable
+// receiver, returning the receiver's canonical key and display name.
+func mutexCall(pass *Pass, call *ast.CallExpr) (acquire, release bool, key, name string) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return false, false, "", ""
+	}
+	selection := pass.Pkg.Info.Selections[sel]
+	if selection == nil {
+		return false, false, "", ""
+	}
+	fn, ok := selection.Obj().(*types.Func)
+	if !ok {
+		return false, false, "", ""
+	}
+	full := fn.FullName()
+	if !mutexAcquire[full] && !mutexRelease[full] {
+		return false, false, "", ""
+	}
+	key, _ = exprKey(pass, sel.X)
+	if key == "" {
+		return false, false, "", ""
+	}
+	return mutexAcquire[full], mutexRelease[full], key, exprDisplay(sel.X)
+}
+
+// exprDisplay renders an ident/selector chain for diagnostics.
+func exprDisplay(e ast.Expr) string {
+	switch e := e.(type) {
+	case *ast.Ident:
+		return e.Name
+	case *ast.SelectorExpr:
+		return exprDisplay(e.X) + "." + e.Sel.Name
+	default:
+		return "lock"
+	}
+}
+
+// checkLockBody runs the lock-state walk over one function body. Nested
+// function literals are skipped here (the analyzer visits them separately
+// with fresh state).
+func checkLockBody(pass *Pass, body *ast.BlockStmt) {
+	st := lockState{}
+	terminated := walkLockStmts(pass, st, body.List)
+	if !terminated {
+		reportHeld(pass, st, body.End(), "function exit")
+	}
+}
+
+// walkLockStmts walks a statement list in order, returning true if control
+// cannot flow past the last statement (it returned or branched).
+func walkLockStmts(pass *Pass, st lockState, stmts []ast.Stmt) bool {
+	for _, s := range stmts {
+		if walkLockStmt(pass, st, s) {
+			return true
+		}
+	}
+	return false
+}
+
+// walkLockStmt applies one statement to the lock state, reporting blocking
+// operations executed while locks are held and returns taken while locks
+// lack a deferred unlock. It returns true when the statement terminates the
+// control path.
+func walkLockStmt(pass *Pass, st lockState, stmt ast.Stmt) bool {
+	switch s := stmt.(type) {
+	case *ast.ExprStmt:
+		checkBlockingExpr(pass, st, s.X)
+		applyLockCalls(pass, st, s.X, false)
+	case *ast.SendStmt:
+		reportBlocking(pass, st, s.Arrow, "channel send")
+		checkBlockingExpr(pass, st, s.Value)
+	case *ast.AssignStmt, *ast.DeclStmt, *ast.IncDecStmt:
+		checkBlockingExpr(pass, st, stmt)
+	case *ast.GoStmt:
+		// The goroutine body runs on its own stack; only the call's
+		// argument expressions are evaluated here.
+		for _, arg := range s.Call.Args {
+			checkBlockingExpr(pass, st, arg)
+		}
+	case *ast.DeferStmt:
+		applyLockCalls(pass, st, s.Call, true)
+	case *ast.ReturnStmt:
+		for _, r := range s.Results {
+			checkBlockingExpr(pass, st, r)
+		}
+		reportHeld(pass, st, s.Pos(), "return")
+		return true
+	case *ast.BranchStmt:
+		return true
+	case *ast.BlockStmt:
+		return walkLockStmts(pass, st, s.List)
+	case *ast.LabeledStmt:
+		return walkLockStmt(pass, st, s.Stmt)
+	case *ast.IfStmt:
+		if s.Init != nil {
+			walkLockStmt(pass, st, s.Init)
+		}
+		checkBlockingExpr(pass, st, s.Cond)
+		thenSt := st.clone()
+		thenTerm := walkLockStmt(pass, thenSt, s.Body)
+		elseSt := st.clone()
+		elseTerm := false
+		if s.Else != nil {
+			elseTerm = walkLockStmt(pass, elseSt, s.Else)
+		}
+		return mergeBranches(st, []lockState{thenSt, elseSt}, []bool{thenTerm, elseTerm})
+	case *ast.SwitchStmt:
+		if s.Init != nil {
+			walkLockStmt(pass, st, s.Init)
+		}
+		checkBlockingExpr(pass, st, s.Tag)
+		walkLockClauses(pass, st, s.Body, false)
+	case *ast.TypeSwitchStmt:
+		if s.Init != nil {
+			walkLockStmt(pass, st, s.Init)
+		}
+		walkLockClauses(pass, st, s.Body, false)
+	case *ast.SelectStmt:
+		if !selectHasDefault(s) {
+			reportBlocking(pass, st, s.Pos(), "select without a default clause")
+		}
+		walkLockClauses(pass, st, s.Body, true)
+	case *ast.ForStmt:
+		if s.Init != nil {
+			walkLockStmt(pass, st, s.Init)
+		}
+		checkBlockingExpr(pass, st, s.Cond)
+		// The body may run zero times: walk it on a copy for its own
+		// reports, keep the pre-loop state afterwards.
+		bodySt := st.clone()
+		walkLockStmt(pass, bodySt, s.Body)
+		if s.Post != nil {
+			walkLockStmt(pass, bodySt, s.Post)
+		}
+	case *ast.RangeStmt:
+		if tv, ok := pass.Pkg.Info.Types[s.X]; ok {
+			if _, isChan := tv.Type.Underlying().(*types.Chan); isChan {
+				reportBlocking(pass, st, s.Pos(), "channel receive (range over a channel)")
+			}
+		}
+		checkBlockingExpr(pass, st, s.X)
+		bodySt := st.clone()
+		walkLockStmt(pass, bodySt, s.Body)
+	}
+	return false
+}
+
+// walkLockClauses walks the case clauses of a switch or select body, each on
+// a copy of the state, and merges the survivors back. isSelect skips the
+// comm statement (its send/receive only fires when ready — the select itself
+// is reported as the blocking point).
+func walkLockClauses(pass *Pass, st lockState, body *ast.BlockStmt, isSelect bool) {
+	var outs []lockState
+	var terms []bool
+	sawDefault := false
+	for _, clause := range body.List {
+		cs := st.clone()
+		var stmts []ast.Stmt
+		switch c := clause.(type) {
+		case *ast.CaseClause:
+			if c.List == nil {
+				sawDefault = true
+			}
+			for _, e := range c.List {
+				checkBlockingExpr(pass, st, e)
+			}
+			stmts = c.Body
+		case *ast.CommClause:
+			if c.Comm == nil {
+				sawDefault = true
+			} else if !isSelect {
+				walkLockStmt(pass, cs, c.Comm)
+			}
+			stmts = c.Body
+		}
+		terms = append(terms, walkLockStmts(pass, cs, stmts))
+		outs = append(outs, cs)
+	}
+	if !sawDefault {
+		// Without a default the zero-match path keeps the incoming state.
+		outs = append(outs, st.clone())
+		terms = append(terms, false)
+	}
+	mergeBranches(st, outs, terms)
+}
+
+// mergeBranches folds branch out-states into st: a lock stays held if ANY
+// non-terminated branch still holds it (a single path that forgot the unlock
+// is a leak), and it counts as deferred-covered only if every branch that
+// holds it recorded the deferral. Returns true when every branch terminated.
+func mergeBranches(st lockState, outs []lockState, terms []bool) bool {
+	live := outs[:0]
+	for i, out := range outs {
+		if !terms[i] {
+			live = append(live, out)
+		}
+	}
+	if len(live) == 0 {
+		return true
+	}
+	for key := range st {
+		delete(st, key)
+	}
+	for _, out := range live {
+		for key, h := range out {
+			if prev, ok := st[key]; ok {
+				prev.deferred = prev.deferred && h.deferred
+				st[key] = prev
+			} else {
+				st[key] = h
+			}
+		}
+	}
+	return false
+}
+
+// applyLockCalls applies Lock/Unlock effects of an expression to the state.
+// In deferred position an unlock marks its lock covered instead of releasing
+// it immediately; a deferred function literal is scanned for unlock calls so
+// `defer func() { mu.Unlock() }()` counts too.
+func applyLockCalls(pass *Pass, st lockState, e ast.Expr, deferred bool) {
+	call, ok := e.(*ast.CallExpr)
+	if !ok {
+		return
+	}
+	if deferred {
+		if lit, ok := call.Fun.(*ast.FuncLit); ok {
+			ast.Inspect(lit.Body, func(n ast.Node) bool {
+				if inner, ok := n.(*ast.CallExpr); ok {
+					applyLockCalls(pass, st, inner, true)
+				}
+				return true
+			})
+			return
+		}
+	}
+	acquire, release, key, name := mutexCall(pass, call)
+	switch {
+	case acquire && !deferred:
+		st[key] = heldLock{name: name}
+	case release && deferred:
+		if h, ok := st[key]; ok {
+			h.deferred = true
+			st[key] = h
+		}
+	case release:
+		delete(st, key)
+	}
+}
+
+// checkBlockingExpr reports blocking operations nested inside an expression
+// or simple statement evaluated while locks are held. Function literals are
+// opaque: their bodies execute elsewhere.
+func checkBlockingExpr(pass *Pass, st lockState, node ast.Node) {
+	if node == nil || len(st) == 0 {
+		return
+	}
+	ast.Inspect(node, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.UnaryExpr:
+			if n.Op == token.ARROW {
+				reportBlocking(pass, st, n.Pos(), "channel receive")
+			}
+		case *ast.CallExpr:
+			if what := blockingCallName(pass, n); what != "" {
+				reportBlocking(pass, st, n.Pos(), what)
+			}
+		}
+		return true
+	})
+}
+
+// httpClientMethods are the (*net/http.Client) round-trip entry points.
+var httpClientMethods = map[string]bool{
+	"(*net/http.Client).Do":       true,
+	"(*net/http.Client).Get":      true,
+	"(*net/http.Client).Head":     true,
+	"(*net/http.Client).Post":     true,
+	"(*net/http.Client).PostForm": true,
+}
+
+// blockingCallName classifies a call as a known blocking operation.
+func blockingCallName(pass *Pass, call *ast.CallExpr) string {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return ""
+	}
+	if selection := pass.Pkg.Info.Selections[sel]; selection != nil {
+		if fn, ok := selection.Obj().(*types.Func); ok && httpClientMethods[fn.FullName()] {
+			return "http.Client round trip"
+		}
+		return ""
+	}
+	// Package-qualified call: time.Sleep.
+	if id, ok := sel.X.(*ast.Ident); ok {
+		if pn, ok := pass.Pkg.Info.Uses[id].(*types.PkgName); ok &&
+			pn.Imported().Path() == "time" && sel.Sel.Name == "Sleep" {
+			return "time.Sleep"
+		}
+	}
+	return ""
+}
+
+// reportBlocking emits one diagnostic naming every lock held across the
+// blocking operation.
+func reportBlocking(pass *Pass, st lockState, pos token.Pos, what string) {
+	if len(st) == 0 {
+		return
+	}
+	pass.Reportf(pos, "%s while holding %s; a peer that never answers holds the lock (and every contender) indefinitely", what, heldNames(st))
+}
+
+// reportHeld emits one diagnostic per lock held without deferred coverage at
+// a control-flow exit.
+func reportHeld(pass *Pass, st lockState, pos token.Pos, where string) {
+	var names []string
+	for _, h := range st {
+		if !h.deferred {
+			names = append(names, h.name)
+		}
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		pass.Reportf(pos, "%s locked but not released on this %s path; unlock before returning or defer the unlock", name, where)
+	}
+}
+
+// heldNames renders the held-lock display names, sorted for determinism.
+func heldNames(st lockState) string {
+	names := make([]string, 0, len(st))
+	for _, h := range st {
+		names = append(names, h.name)
+	}
+	sort.Strings(names)
+	return strings.Join(names, ", ")
+}
+
+// selectHasDefault reports whether a select statement has a default clause
+// (making it non-blocking).
+func selectHasDefault(s *ast.SelectStmt) bool {
+	for _, clause := range s.Body.List {
+		if c, ok := clause.(*ast.CommClause); ok && c.Comm == nil {
+			return true
+		}
+	}
+	return false
+}

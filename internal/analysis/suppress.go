@@ -1,6 +1,8 @@
 package analysis
 
 import (
+	"fmt"
+	"go/token"
 	"strings"
 )
 
@@ -15,18 +17,45 @@ import (
 // as documentation of every accepted exception.
 const ignoreDirective = "lint:ignore"
 
-type ignore struct {
+// ParseIgnoreDirective parses one comment's raw text (including the "//" or
+// "/* */" markers) as an ignore directive. found reports whether the comment
+// is a lint:ignore directive at all; malformed reports a directive that is
+// missing its analyzer name or its reason. A malformed directive suppresses
+// nothing — it is itself a diagnostic. For a well-formed directive the
+// analyzer name and the (whitespace-normalized) reason are returned.
+func ParseIgnoreDirective(text string) (analyzer, reason string, found, malformed bool) {
+	t := strings.TrimPrefix(text, "//")
+	t = strings.TrimSpace(strings.TrimPrefix(t, "/*"))
+	t = strings.TrimSuffix(t, "*/")
+	rest, ok := strings.CutPrefix(t, ignoreDirective)
+	if !ok {
+		return "", "", false, false
+	}
+	fields := strings.Fields(rest)
+	if len(fields) < 2 {
+		return "", "", true, true
+	}
+	return fields[0], strings.Join(fields[1:], " "), true, false
+}
+
+// directive is one well-formed ignore directive found in a source file.
+type directive struct {
 	analyzer string // "all" matches every analyzer
+	reason   string
+	pos      token.Position // where the directive's comment starts
+	line     int            // effective line: the comment's end line
+	used     bool           // set when the directive suppresses a diagnostic
 }
 
 // suppressions indexes ignore directives by file and line.
 type suppressions struct {
-	byLine    map[string]map[int][]ignore
+	byLine    map[string]map[int][]*directive
+	all       []*directive
 	malformed []Diagnostic
 }
 
 func newSuppressions() *suppressions {
-	return &suppressions{byLine: make(map[string]map[int][]ignore)}
+	return &suppressions{byLine: make(map[string]map[int][]*directive)}
 }
 
 // collect scans every comment of the package for ignore directives.
@@ -34,16 +63,12 @@ func (s *suppressions) collect(pkg *Package) {
 	for _, f := range pkg.Files {
 		for _, cg := range f.Comments {
 			for _, c := range cg.List {
-				text := strings.TrimPrefix(c.Text, "//")
-				text = strings.TrimSpace(strings.TrimPrefix(text, "/*"))
-				text = strings.TrimSuffix(text, "*/")
-				if !strings.HasPrefix(text, ignoreDirective) {
+				analyzer, reason, found, malformed := ParseIgnoreDirective(c.Text)
+				if !found {
 					continue
 				}
-				rest := strings.TrimSpace(strings.TrimPrefix(text, ignoreDirective))
-				fields := strings.Fields(rest)
 				pos := pkg.Fset.Position(c.Pos())
-				if len(fields) < 2 {
+				if malformed {
 					s.malformed = append(s.malformed, Diagnostic{
 						Analyzer: "lint",
 						Pos:      pos,
@@ -54,31 +79,62 @@ func (s *suppressions) collect(pkg *Package) {
 					})
 					continue
 				}
+				d := &directive{
+					analyzer: analyzer,
+					reason:   reason,
+					pos:      pos,
+					line:     pkg.Fset.Position(c.End()).Line,
+				}
 				lines := s.byLine[pos.Filename]
 				if lines == nil {
-					lines = make(map[int][]ignore)
+					lines = make(map[int][]*directive)
 					s.byLine[pos.Filename] = lines
 				}
-				end := pkg.Fset.Position(c.End()).Line
-				lines[end] = append(lines[end], ignore{analyzer: fields[0]})
+				lines[d.line] = append(lines[d.line], d)
+				s.all = append(s.all, d)
 			}
 		}
 	}
 }
 
-// covers reports whether an ignore directive on the diagnostic's line, or on
-// the line directly above it, names the diagnostic's analyzer.
-func (s *suppressions) covers(d Diagnostic) bool {
+// match returns the directive that covers the diagnostic — one on the
+// diagnostic's line or the line directly above naming its analyzer (or
+// "all") — marking it used, or nil.
+func (s *suppressions) match(d Diagnostic) *directive {
 	lines := s.byLine[d.File]
 	if lines == nil {
-		return false
+		return nil
 	}
 	for _, line := range []int{d.Line, d.Line - 1} {
 		for _, ig := range lines[line] {
 			if ig.analyzer == d.Analyzer || ig.analyzer == "all" {
-				return true
+				ig.used = true
+				return ig
 			}
 		}
 	}
-	return false
+	return nil
+}
+
+// unused reports every directive that suppressed nothing even though its
+// named analyzer ran: the finding it once justified has been fixed, so the
+// directive is stale and must be deleted. Directives naming analyzers that
+// did not run are left alone (a subset run proves nothing), and "all"
+// directives are exempt for the same reason.
+func (s *suppressions) unused(ran map[string]bool) []Diagnostic {
+	var out []Diagnostic
+	for _, ig := range s.all {
+		if ig.used || ig.analyzer == "all" || !ran[ig.analyzer] {
+			continue
+		}
+		out = append(out, Diagnostic{
+			Analyzer: "lint",
+			Pos:      ig.pos,
+			File:     ig.pos.Filename,
+			Line:     ig.pos.Line,
+			Col:      ig.pos.Column,
+			Message:  fmt.Sprintf("unused ignore: no %s finding on this or the next line; delete the stale directive", ig.analyzer),
+		})
+	}
+	return out
 }

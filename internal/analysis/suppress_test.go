@@ -1,0 +1,146 @@
+package analysis
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// loadTempModule writes a one-package module with the given file contents
+// and loads it.
+func loadTempModule(t *testing.T, files map[string]string) *Module {
+	t.Helper()
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, "go.mod"), []byte("module fix/tmp\n\ngo 1.22\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	for name, src := range files {
+		if err := os.WriteFile(filepath.Join(dir, name), []byte(src), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	mod, err := LoadModule(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return mod
+}
+
+func TestParseIgnoreDirective(t *testing.T) {
+	cases := []struct {
+		in               string
+		analyzer, reason string
+		found, malformed bool
+	}{
+		{"//lint:ignore determinism keys are sorted", "determinism", "keys are sorted", true, false},
+		{"// not a directive", "", "", false, false},
+		{"//lint:ignore", "", "", true, true},
+		{"//lint:ignore determinism", "", "", true, true},
+		{"//lint:ignore all multi word reason here", "all", "multi word reason here", true, false},
+		{"/*lint:ignore errcheck block comment form*/", "errcheck", "block comment form", true, false},
+		{"//   lint:ignore determinism padded", "determinism", "padded", true, false}, // padding after the comment marker is tolerated
+	}
+	for _, c := range cases {
+		analyzer, reason, found, malformed := ParseIgnoreDirective(c.in)
+		if analyzer != c.analyzer || reason != c.reason || found != c.found || malformed != c.malformed {
+			t.Errorf("ParseIgnoreDirective(%q) = (%q, %q, %v, %v), want (%q, %q, %v, %v)",
+				c.in, analyzer, reason, found, malformed, c.analyzer, c.reason, c.found, c.malformed)
+		}
+	}
+}
+
+// TestSuppressDirectiveOnLastLine pins that a trailing directive on the very
+// last line of a file (no newline after it) still suppresses.
+func TestSuppressDirectiveOnLastLine(t *testing.T) {
+	mod := loadTempModule(t, map[string]string{
+		"a.go": "package tmp\n\nimport \"time\"\n\nfunc Last() int64 {\n\treturn time.Now().UnixNano() //lint:ignore determinism test: directive on the final line\n}",
+	})
+	diags := Run(mod.Pkgs, []*Analyzer{Determinism()})
+	if len(diags) != 0 {
+		t.Fatalf("want clean, got %v", diags)
+	}
+}
+
+// TestSuppressMultipleDirectivesOneLine pins that two block-comment
+// directives on one line each suppress their own analyzer's finding there.
+func TestSuppressMultipleDirectivesOneLine(t *testing.T) {
+	mod := loadTempModule(t, map[string]string{
+		"a.go": `package tmp
+
+import (
+	"os"
+	"time"
+)
+
+func Both(f *os.File) int64 {
+	/*lint:ignore determinism test: wall clock*/ /*lint:ignore errcheck test: close on exit*/
+	t := time.Now().UnixNano(); f.Close()
+	return t
+}
+`,
+	})
+	diags := Run(mod.Pkgs, []*Analyzer{Determinism(), ErrCheck()})
+	if len(diags) != 0 {
+		t.Fatalf("want both findings suppressed by the two directives, got %v", diags)
+	}
+}
+
+// TestSuppressWrongAnalyzerName pins that a typo'd analyzer name suppresses
+// nothing — the real finding survives, and the directive is reported as
+// stale when its named analyzer also ran.
+func TestSuppressWrongAnalyzerName(t *testing.T) {
+	mod := loadTempModule(t, map[string]string{
+		"a.go": "package tmp\n\nimport \"time\"\n\nfunc Typo() int64 {\n\t//lint:ignore determinsm test: misspelled analyzer\n\treturn time.Now().UnixNano()\n}\n",
+	})
+	diags := Run(mod.Pkgs, []*Analyzer{Determinism()})
+	if len(diags) != 1 || diags[0].Analyzer != "determinism" {
+		t.Fatalf("want the determinism finding to survive a misspelled directive, got %v", diags)
+	}
+	// The misspelled name matches no analyzer that ran, so the directive is
+	// not reported stale (a subset run proves nothing about it) — but the
+	// finding above is the signal that the suppression failed.
+}
+
+// TestSuppressStaleDirective pins the unused-ignore report: the named
+// analyzer ran and suppressed nothing.
+func TestSuppressStaleDirective(t *testing.T) {
+	mod := loadTempModule(t, map[string]string{
+		"a.go": "package tmp\n\nfunc Fine() int {\n\t//lint:ignore determinism test: nothing to suppress\n\treturn 1\n}\n",
+	})
+	diags := Run(mod.Pkgs, []*Analyzer{Determinism()})
+	if len(diags) != 1 || diags[0].Analyzer != "lint" || !strings.Contains(diags[0].Message, "unused ignore") {
+		t.Fatalf("want one unused-ignore diagnostic, got %v", diags)
+	}
+}
+
+// TestSuppressStaleDirectiveNotReportedOnSubsetRun pins the converse: when
+// the directive's analyzer did not run, the directive is left alone.
+func TestSuppressStaleDirectiveNotReportedOnSubsetRun(t *testing.T) {
+	mod := loadTempModule(t, map[string]string{
+		"a.go": "package tmp\n\nfunc Fine() int {\n\t//lint:ignore determinism test: nothing to suppress\n\treturn 1\n}\n",
+	})
+	diags := Run(mod.Pkgs, []*Analyzer{ErrCheck()})
+	if len(diags) != 0 {
+		t.Fatalf("want no diagnostics when the directive's analyzer did not run, got %v", diags)
+	}
+}
+
+// TestSuppressedFindingsKeepMetadata pins the Analyze audit trail: the
+// suppressed diagnostic survives in Result.Diags with the justification.
+func TestSuppressedFindingsKeepMetadata(t *testing.T) {
+	mod := loadTempModule(t, map[string]string{
+		"a.go": "package tmp\n\nimport \"time\"\n\nfunc Now() int64 {\n\t//lint:ignore determinism test: audit trail\n\treturn time.Now().UnixNano()\n}\n",
+	})
+	result := Analyze(mod.Pkgs, []*Analyzer{Determinism()})
+	if len(result.Findings()) != 0 {
+		t.Fatalf("want no surviving findings, got %v", result.Findings())
+	}
+	if len(result.Diags) != 1 {
+		t.Fatalf("want the suppressed diagnostic in Diags, got %v", result.Diags)
+	}
+	d := result.Diags[0]
+	if !d.Suppressed || d.SuppressReason != "test: audit trail" {
+		t.Fatalf("suppression metadata not carried: %+v", d)
+	}
+}

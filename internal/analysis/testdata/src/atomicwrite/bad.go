@@ -1,0 +1,59 @@
+// Package atomicwrite is the known-bad fixture for the atomicwrite
+// analyzer: in-place writes to state/checkpoint paths.
+package atomicwrite
+
+import (
+	"os"
+	"path/filepath"
+)
+
+// SaveState's own name carries the vocabulary: every raw write inside is a
+// finding.
+func SaveState(dir string, data []byte) error {
+	return os.WriteFile(filepath.Join(dir, "out.json"), data, 0o644) // want: in-place state write
+}
+
+// Persist is vocabulary-free by name, but the path argument mentions a
+// checkpoint field.
+type store struct {
+	checkpointPath string
+}
+
+func (s *store) Persist(data []byte) error {
+	return os.WriteFile(s.checkpointPath, data, 0o644) // want: path mentions checkpoint
+}
+
+// CreateSnapshot covers the os.Create form.
+func CreateSnapshot(dir string) (*os.File, error) {
+	return os.Create(filepath.Join(dir, "snapshot.bin")) // want: os.Create on snapshot path
+}
+
+func statePathFor(dir string, shard int) string {
+	return filepath.Join(dir, "shard.json")
+}
+
+// Flow taints a local through two assignments before the write.
+func Flow(dir string, shard int, data []byte) error {
+	p := statePathFor(dir, shard)
+	tmp := p + ".new"
+	return os.WriteFile(tmp, data, 0o644) // want: tainted via statePathFor
+}
+
+// WriteStats has no state vocabulary anywhere: clean.
+func WriteStats(dir string, data []byte) error {
+	return os.WriteFile(filepath.Join(dir, "stats.csv"), data, 0o644)
+}
+
+// writeFileAtomic is the sanctioned helper (exempted by configuration).
+func writeFileAtomic(path string, data []byte) error {
+	tmp := path + ".tmp"
+	if err := os.WriteFile(tmp, data, 0o644); err != nil {
+		return err
+	}
+	return os.Rename(tmp, path)
+}
+
+// Atomic routes a state write through the sanctioned helper: clean.
+func Atomic(dir string, data []byte) error {
+	return writeFileAtomic(filepath.Join(dir, "state.json"), data)
+}

@@ -1,0 +1,3 @@
+module fix/atomicwrite
+
+go 1.22

@@ -1,0 +1,86 @@
+// Package fencedwrite is the known-bad fixture for the fencedwrite
+// analyzer: lease-table mutations driven by epoch-bearing requests that
+// never consult the epoch fence.
+package fencedwrite
+
+// lease is the fixture's protected state (analyzer stateType = "lease").
+type lease struct {
+	worker     string
+	epoch      int64
+	round      int64
+	checkpoint []byte
+}
+
+// Push is an epoch-bearing wire request (direct Epoch field).
+type Push struct {
+	Worker string
+	Shard  int
+	Epoch  int64
+	Data   []byte
+}
+
+// Held nests the epoch one struct down.
+type Held struct {
+	Shard int
+	Epoch int64
+}
+
+// Beat carries epochs behind a slice of Held (nested discovery).
+type Beat struct {
+	Worker string
+	Held   []Held
+}
+
+type table struct {
+	leases []lease
+}
+
+// StoreUnfenced writes the checkpoint a zombie could still be pushing:
+// no epoch comparison anywhere in the body.
+func (t *table) StoreUnfenced(req *Push) {
+	l := &t.leases[req.Shard]
+	l.checkpoint = req.Data // want: unfenced lease mutation
+	l.worker = req.Worker
+}
+
+// StoreFenced consults the fence before writing: clean.
+func (t *table) StoreFenced(req *Push) bool {
+	l := &t.leases[req.Shard]
+	if l.worker != req.Worker || l.epoch != req.Epoch {
+		return false
+	}
+	l.checkpoint = req.Data
+	return true
+}
+
+// RenewNested mutates via ++ under a nested epoch-bearing request, without
+// a fence.
+func (t *table) RenewNested(req *Beat) {
+	for _, h := range req.Held {
+		t.leases[h.Shard].round++ // want: unfenced lease mutation (IncDecStmt)
+	}
+}
+
+// RenewFenced is the same loop with the fence consulted: clean.
+func (t *table) RenewFenced(req *Beat) {
+	for _, h := range req.Held {
+		l := &t.leases[h.Shard]
+		if l.epoch == h.Epoch {
+			l.round++
+		}
+	}
+}
+
+// Sweep has no epoch-bearing parameter: the dispatcher's own bookkeeping
+// (it sets the fence) is exempt by construction.
+func (t *table) Sweep(now int64) {
+	for i := range t.leases {
+		t.leases[i].epoch++
+		t.leases[i].worker = ""
+	}
+}
+
+// Stats reads but never mutates under an epoch-bearing request: clean.
+func (t *table) Stats(req *Push) int64 {
+	return t.leases[req.Shard].round
+}

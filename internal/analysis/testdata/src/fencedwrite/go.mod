@@ -1,0 +1,3 @@
+module fix/fencedwrite
+
+go 1.22

@@ -1,0 +1,109 @@
+// Package goroleak is the known-bad fixture for the goroleak analyzer:
+// fire-and-forget goroutines, launches inside unbounded loops, and launches
+// whose bodies cannot be verified.
+package goroleak
+
+import (
+	"fmt"
+	"net/http"
+	"sync"
+)
+
+// LeakFireAndForget launches a goroutine nothing can stop or observe.
+func LeakFireAndForget(n int) {
+	go func() { // want: no shutdown evidence
+		total := 0
+		for i := 0; i < n; i++ {
+			total += i
+		}
+		fmt.Println(total)
+	}()
+}
+
+// LeakInUnboundedLoop stacks a goroutine per iteration of a for{} loop. The
+// launch itself is supervised (channel send), so only the loop finding
+// fires.
+func LeakInUnboundedLoop(out chan int) {
+	i := 0
+	for {
+		go func(v int) { // want: launched inside an unbounded loop
+			out <- v
+		}(i)
+		i++
+	}
+}
+
+// leakHelper is a named function with no shutdown evidence.
+func leakHelper() {
+	fmt.Println("working")
+}
+
+// LeakNamed launches the unsupervised named helper.
+func LeakNamed() {
+	go leakHelper() // want: no shutdown evidence in resolved body
+}
+
+// LeakForeign launches a body defined outside this package: unverifiable.
+func LeakForeign() {
+	go fmt.Println("bye") // want: body outside this package
+}
+
+// CleanWaitGroup is supervised by the launcher's Wait.
+func CleanWaitGroup(items []int) int {
+	var wg sync.WaitGroup
+	results := make([]int, len(items))
+	for i, it := range items {
+		wg.Add(1)
+		go func(i, it int) {
+			defer wg.Done()
+			results[i] = it * it
+		}(i, it)
+	}
+	wg.Wait()
+	total := 0
+	for _, r := range results {
+		total += r
+	}
+	return total
+}
+
+// CleanDoneChannel signals completion by closing a channel.
+func CleanDoneChannel() chan struct{} {
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		fmt.Println("tick")
+	}()
+	return done
+}
+
+// drain is a named channel-loop worker: it exits when its channel closes.
+func drain(ch chan int) {
+	for v := range ch {
+		fmt.Println(v)
+	}
+}
+
+// CleanNamedRange launches the channel-coupled named worker.
+func CleanNamedRange(ch chan int) {
+	go drain(ch)
+}
+
+// CleanServe launches an http.Server loop whose lifecycle Server.Close owns.
+func CleanServe(srv *http.Server) {
+	go srv.ListenAndServe()
+}
+
+// CleanSelectLoop is a supervised worker: the select observes a done channel.
+func CleanSelectLoop(work chan int, done chan struct{}) {
+	go func() {
+		for {
+			select {
+			case v := <-work:
+				fmt.Println(v)
+			case <-done:
+				return
+			}
+		}
+	}()
+}

@@ -1,0 +1,3 @@
+module fix/goroleak
+
+go 1.22

@@ -1,0 +1,51 @@
+// Package httpharden is the known-bad fixture for the httpharden analyzer:
+// raw http.Server literals and un-timed http.Clients.
+package httpharden
+
+import (
+	"net/http"
+	"time"
+)
+
+// RawServer builds an http.Server with no timeouts outside the sanctioned
+// constructor.
+func RawServer(h http.Handler) *http.Server {
+	return &http.Server{Handler: h} // want: raw server literal
+}
+
+// hardened is the fixture's sanctioned constructor (exempted by
+// configuration): the one place a raw literal is allowed.
+func hardened(h http.Handler) *http.Server {
+	return &http.Server{
+		Handler:           h,
+		ReadHeaderTimeout: 5 * time.Second,
+		ReadTimeout:       30 * time.Second,
+		WriteTimeout:      30 * time.Second,
+		IdleTimeout:       2 * time.Minute,
+	}
+}
+
+// Build routes construction through the sanctioned helper: clean.
+func Build(h http.Handler) *http.Server {
+	return hardened(h)
+}
+
+// NoTimeout omits the Timeout field entirely.
+func NoTimeout() *http.Client {
+	return &http.Client{} // want: client without Timeout
+}
+
+// ZeroTimeout sets it to the provably zero value, which still means "wait
+// forever".
+func ZeroTimeout() *http.Client {
+	return &http.Client{Timeout: 0} // want: zero Timeout
+}
+
+// Bounded sets a real timeout: clean.
+func Bounded() *http.Client {
+	return &http.Client{Timeout: 10 * time.Second}
+}
+
+// pkgClient is a package-level literal: declarations outside any function
+// are never exempt.
+var pkgClient = &http.Client{Transport: http.DefaultTransport} // want: client without Timeout

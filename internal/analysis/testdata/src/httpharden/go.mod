@@ -1,0 +1,3 @@
+module fix/httpharden
+
+go 1.22

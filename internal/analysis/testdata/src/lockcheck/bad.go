@@ -1,0 +1,124 @@
+// Package lockcheck is the known-bad fixture for the lockcheck analyzer:
+// locks leaked on return paths and locks held across blocking operations.
+package lockcheck
+
+import (
+	"net/http"
+	"sync"
+	"time"
+)
+
+type table struct {
+	mu   sync.Mutex
+	rw   sync.RWMutex
+	ch   chan int
+	vals map[string]int
+}
+
+// LeakOnReturn forgets the unlock on the early-return path.
+func (t *table) LeakOnReturn(k string) int {
+	t.mu.Lock()
+	if v, ok := t.vals[k]; ok {
+		return v // want: held at return
+	}
+	t.mu.Unlock()
+	return 0
+}
+
+// LeakAtEnd never unlocks at all.
+func (t *table) LeakAtEnd(k string, v int) {
+	t.mu.Lock()
+	t.vals[k] = v
+} // want: held at function exit
+
+// SendWhileHolding blocks on a channel send with the mutex held.
+func (t *table) SendWhileHolding(v int) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.ch <- v // want: channel send while holding
+}
+
+// RecvWhileHolding blocks on a channel receive with the mutex held.
+func (t *table) RecvWhileHolding() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return <-t.ch // want: channel receive while holding
+}
+
+// SleepWhileHolding parks the lock for the whole sleep.
+func (t *table) SleepWhileHolding() {
+	t.rw.Lock()
+	time.Sleep(time.Second) // want: time.Sleep while holding
+	t.rw.Unlock()
+}
+
+// HTTPWhileHolding performs a network round trip under the lock.
+func (t *table) HTTPWhileHolding(c *http.Client) error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	_, err := c.Get("http://example.invalid/") // want: http.Client round trip while holding
+	return err
+}
+
+// SelectWhileHolding blocks in a select with no default under the lock.
+func (t *table) SelectWhileHolding(done chan struct{}) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	select { // want: select without a default clause while holding
+	case v := <-t.ch:
+		t.vals["last"] = v
+	case <-done:
+	}
+}
+
+// BranchLeak unlocks in one branch only.
+func (t *table) BranchLeak(cond bool) {
+	t.mu.Lock()
+	if cond {
+		t.mu.Unlock()
+	}
+} // want: held at function exit (merge keeps the held lock)
+
+// CleanDeferred is the canonical correct form.
+func (t *table) CleanDeferred(k string) int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.vals[k]
+}
+
+// CleanStraightLine releases on every path explicitly.
+func (t *table) CleanStraightLine(k string) int {
+	t.mu.Lock()
+	if v, ok := t.vals[k]; ok {
+		t.mu.Unlock()
+		return v
+	}
+	t.mu.Unlock()
+	return 0
+}
+
+// CleanSelectDefault polls without blocking: a select with a default clause
+// cannot park the goroutine, so holding the lock is fine.
+func (t *table) CleanSelectDefault() {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	select {
+	case v := <-t.ch:
+		t.vals["last"] = v
+	default:
+	}
+}
+
+// CleanBarrier is the Lock-then-Unlock memory barrier idiom.
+func (t *table) CleanBarrier() {
+	t.mu.Lock()
+	t.mu.Unlock()
+	t.ch <- 1
+}
+
+// CleanRWRead covers RLock/RUnlock pairing.
+func (t *table) CleanRWRead(k string) int {
+	t.rw.RLock()
+	defer t.rw.RUnlock()
+	return t.vals[k]
+}

@@ -1,0 +1,3 @@
+module fix/lockcheck
+
+go 1.22

@@ -37,3 +37,10 @@ func Malformed() int64 {
 func Unsuppressed() int64 {
 	return time.Now().UnixNano()
 }
+
+// Stale carries a determinism ignore on a line with nothing to suppress;
+// since determinism runs here, the directive itself becomes a finding.
+func Stale() int {
+	//lint:ignore determinism fixture: nothing here needs suppressing
+	return 42
+}

