@@ -87,6 +87,81 @@ func TestBaselineRegressionExitsNonZero(t *testing.T) {
 	}
 }
 
+// TestQuickWireMatrixRoundTrips extends the quick smoke to the wire rows:
+// all twelve codec scenarios measure and round-trip through the report
+// schema, so the CI smoke catches a wire scenario that stops setting up.
+func TestQuickWireMatrixRoundTrips(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "wire.json")
+	var out bytes.Buffer
+	if err := run([]string{"-quick", "-scenario", "^wire/", "-out", path}, &out); err != nil {
+		t.Fatal(err)
+	}
+	rep, err := readReport(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Results) != 12 {
+		t.Fatalf("wire matrix produced %d rows, want 12:\n%s", len(rep.Results), out.String())
+	}
+	for _, want := range []string{"wire/json/encode/b1", "wire/json/decode/b256", "wire/binary/encode/b16", "wire/binary/decode/b256"} {
+		if _, ok := rep.Lookup(want); !ok {
+			t.Errorf("report lacks %s", want)
+		}
+	}
+}
+
+// TestWireBaselineGatesAllocRegression is the e2e form of the zero-alloc
+// gate: a real measurement of the binary decode row records 0 allocs/round;
+// re-running against that baseline with a threshold so lax only an infinite
+// regression could trip proves the gate passes exactly while the decode path
+// stays allocation-free — and a doctored baseline shows the diff actually
+// fails runs, wire rows included.
+func TestWireBaselineGatesAllocRegression(t *testing.T) {
+	dir := t.TempDir()
+	base := filepath.Join(dir, "base.json")
+	wireRun := func(extra ...string) (string, error) {
+		var out bytes.Buffer
+		args := append([]string{"-scenario", "^wire/binary/decode/b16$"}, extra...)
+		err := run(args, &out)
+		return out.String(), err
+	}
+	if _, err := wireRun("-out", base); err != nil {
+		t.Fatal(err)
+	}
+	rep, err := readReport(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	row, ok := rep.Lookup("wire/binary/decode/b16")
+	if !ok {
+		t.Fatal("baseline lacks the binary decode row")
+	}
+	if row.AllocsPerRound != 0 {
+		t.Fatalf("binary decode measured %v allocs/round, want 0", row.AllocsPerRound)
+	}
+	// Threshold 1e9: relative regressions cannot trip, only the +Inf of
+	// allocs climbing off a zero baseline can. Passing means the current run
+	// is still exactly zero-alloc.
+	if stdout, err := wireRun("-baseline", base, "-threshold", "1e9"); err != nil {
+		t.Fatalf("zero-alloc gate tripped on an honest re-run: %v\n%s", err, stdout)
+	}
+	// And the gate has teeth on wire rows: a baseline claiming the decode
+	// used to be 1000x faster fails the run.
+	doctored := doctorBaseline(t, base, func(r *perf.Result) {
+		r.NsPerRound /= 1000
+		if r.NsPerRound == 0 {
+			r.NsPerRound = 1e-6
+		}
+	})
+	stdout, err := wireRun("-baseline", doctored, "-threshold", "0.25")
+	if err == nil {
+		t.Fatalf("regression vs doctored wire baseline not detected:\n%s", stdout)
+	}
+	if !strings.Contains(err.Error(), "regressed") {
+		t.Errorf("error %q does not mention the regression", err)
+	}
+}
+
 func TestListAndBadFlags(t *testing.T) {
 	var out bytes.Buffer
 	if err := run([]string{"-list"}, &out); err != nil {

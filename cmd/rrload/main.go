@@ -8,6 +8,11 @@
 //
 //	rrload -addr http://127.0.0.1:8080 -tenants 8 -rounds 256 -seed 1
 //	rrload -addr http://127.0.0.1:8080 -quick -out stats.json
+//	rrload -addr http://127.0.0.1:8080 -wire binary -min-rate 400000
+//
+// -wire selects the submit codec: auto (default) negotiates the rrserve/v2
+// binary framing and falls back to JSON against older servers, json and
+// binary pin one format for A/B throughput comparisons.
 //
 // In virtual-time mode (the default, -tick=true) rrload owns the clock: each
 // round it submits every tenant's arrivals concurrently, then advances the
@@ -90,10 +95,15 @@ func run(args []string, stdout io.Writer) error {
 		batch   = fs.Int("batch", 4096, "max jobs per submit request")
 		tick    = fs.Bool("tick", true, "drive /v1/tick after each submitted round (virtual-time server)")
 		quick   = fs.Bool("quick", false, "small preset for smoke runs (-tenants 4 -rounds 48 -colors 6)")
-		out     = fs.String("out", "", "write the final /v1/stats JSON to this file")
-		minRate = fs.Float64("min-rate", 0, "fail unless sustained accepted-jobs/s meets this rate (0 disables)")
+		out      = fs.String("out", "", "write the final /v1/stats JSON to this file")
+		minRate  = fs.Float64("min-rate", 0, "fail unless sustained accepted-jobs/s meets this rate (0 disables)")
+		wireFlag = fs.String("wire", "auto", "wire format: auto (binary with JSON fallback), json, or binary")
 	)
 	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	wire, err := serve.ParseWireMode(*wireFlag)
+	if err != nil {
 		return err
 	}
 	if fs.NArg() > 0 {
@@ -135,10 +145,10 @@ func run(args []string, stdout io.Writer) error {
 	}
 
 	if *dispURL != "" {
-		return driveDispatched(stdout, streams, *rounds, horizon, totalJobs, *batch, *dispURL, *out, *minRate)
+		return driveDispatched(stdout, streams, *rounds, horizon, totalJobs, *batch, *dispURL, *out, *minRate, wire)
 	}
 
-	client := serve.NewClient(*addr)
+	client := serve.NewClientWire(*addr, serve.DefaultRetryPolicy(), wire)
 	if !client.Healthy() {
 		return fmt.Errorf("server at %s is not healthy", *addr)
 	}
@@ -190,8 +200,8 @@ func run(args []string, stdout io.Writer) error {
 // lands on the worker holding its tenant's shard, then every shard ticks once
 // — so the run rides out worker crashes and lease migrations, at the cost of
 // driver-serialized rounds (per-round latency is the figure reported).
-func driveDispatched(stdout io.Writer, streams []tenantStream, rounds, horizon int64, totalJobs, batchSize int, base, outPath string, minRate float64) error {
-	driver, err := dispatch.NewDriver(base, dispatch.DriverConfig{})
+func driveDispatched(stdout io.Writer, streams []tenantStream, rounds, horizon int64, totalJobs, batchSize int, base, outPath string, minRate float64, wire serve.WireMode) error {
+	driver, err := dispatch.NewDriver(base, dispatch.DriverConfig{Wire: wire})
 	if err != nil {
 		return err
 	}

@@ -12,6 +12,12 @@
 // On SIGINT/SIGTERM the service drains: admissions stop (submits get 503,
 // /readyz goes unready), the in-flight round completes, every shard's state
 // is checkpointed to -state, and the process exits 0.
+//
+// Every data endpoint negotiates the wire format per request: JSON
+// (rrserve/v1) by default, the length-prefixed binary framing (rrserve/v2)
+// when the client sends Content-Type/Accept application/x-rrserve-bin.
+// Nothing to configure server-side — clients opt in, and error responses are
+// always JSON.
 package main
 
 import (

@@ -117,11 +117,12 @@ func DefaultLayeringRules() map[string][]string {
 		m + "dispatch": {m + "atomicio", m + "obs", m + "serve"},
 
 		// The benchmark harness drives the engine, policies, queues, the
-		// streaming scheduler, and the sweep substrate; like experiments it
-		// sits above the core layers and nothing imports it but its cmd.
+		// streaming scheduler, the sweep substrate, and the serve wire
+		// codecs; like experiments it sits above the core layers and nothing
+		// imports it but its cmd.
 		m + "perf": {
-			m + "core", m + "model", m + "obs", m + "queue", m + "sim",
-			m + "stream", m + "sweep", m + "workload",
+			m + "core", m + "model", m + "obs", m + "queue", m + "serve",
+			m + "sim", m + "stream", m + "sweep", m + "workload",
 		},
 
 		// The evaluation harness sits on top of everything.

@@ -7,7 +7,11 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"strings"
+	"sync/atomic"
 	"time"
+
+	"rrsched/internal/serve"
 )
 
 // Client is a thin typed client for the dispatcher HTTP API, used by worker
@@ -18,13 +22,27 @@ import (
 type Client struct {
 	base string
 	hc   *http.Client
+	// wire selects the checkpoint-push codec. Registration, heartbeats, and
+	// the read endpoints stay JSON: they are small and rare, while checkpoint
+	// bodies carry full shard state every tick.
+	wire serve.WireMode
+	// jsonLatched flips once a binary push was rejected as not-understood;
+	// after that every push goes straight to JSON (dispatcher predates v2).
+	jsonLatched atomic.Bool
 }
 
 // NewClient returns a client for the dispatcher at base (e.g.
-// "http://127.0.0.1:9090").
+// "http://127.0.0.1:9090") negotiating the checkpoint wire format.
 func NewClient(base string) *Client {
+	return NewClientWire(base, serve.WireAuto)
+}
+
+// NewClientWire is NewClient with an explicit checkpoint wire mode:
+// WireAuto tries binary and falls back, WireJSON/WireBinary pin the codec.
+func NewClientWire(base string, wire serve.WireMode) *Client {
 	return &Client{
 		base: base,
+		wire: wire,
 		hc: &http.Client{
 			Timeout: 30 * time.Second,
 			Transport: &http.Transport{
@@ -88,7 +106,28 @@ var ErrStale = fmt.Errorf("dispatch: checkpoint fenced by a newer lease epoch")
 
 // PushCheckpoint uploads one shard checkpoint. ErrStale (from a 409) means
 // the lease moved on and the push was rightly discarded.
+//
+// In WireAuto/WireBinary mode the push is a binary checkpoint frame; a
+// dispatcher that cannot parse it answers 415 or a decode-level 400, which in
+// auto mode latches the client to JSON and resends the same checkpoint. Only
+// decode-level rejections trigger the fallback — a 400 from validation or a
+// 409 fence means the frame was understood and must not be resent.
 func (c *Client) PushCheckpoint(req *CheckpointPush) error {
+	if (c.wire == serve.WireAuto && !c.jsonLatched.Load()) || c.wire == serve.WireBinary {
+		body, err := EncodeCheckpointPushBinary(req)
+		if err != nil {
+			return err
+		}
+		status, data, err := c.doCT(http.MethodPost, "/v1/checkpoint", body, serve.ContentTypeBinary)
+		if err != nil {
+			return err
+		}
+		if c.wire == serve.WireAuto && checkpointDecodeReject(status, data) {
+			c.jsonLatched.Store(true)
+		} else {
+			return checkpointStatus(status, data)
+		}
+	}
 	body, err := EncodeCheckpointPush(req)
 	if err != nil {
 		return err
@@ -97,6 +136,10 @@ func (c *Client) PushCheckpoint(req *CheckpointPush) error {
 	if err != nil {
 		return err
 	}
+	return checkpointStatus(status, data)
+}
+
+func checkpointStatus(status int, data []byte) error {
 	switch status {
 	case http.StatusOK:
 		return nil
@@ -105,6 +148,26 @@ func (c *Client) PushCheckpoint(req *CheckpointPush) error {
 	default:
 		return bodyError("checkpoint", status, data)
 	}
+}
+
+// checkpointDecodeReject reports whether a binary push failed because the
+// server could not parse the frame at all (unsupported media type, or a 400
+// whose error body is the checkpoint decoder's) — the only responses that
+// justify retrying the same checkpoint as JSON.
+func checkpointDecodeReject(status int, data []byte) bool {
+	if status == http.StatusUnsupportedMediaType {
+		return true
+	}
+	if status != http.StatusBadRequest {
+		return false
+	}
+	var er struct {
+		Error string `json:"error"`
+	}
+	if err := json.Unmarshal(data, &er); err != nil {
+		return false
+	}
+	return strings.Contains(er.Error, "decoding checkpoint push")
 }
 
 // Placement fetches the shard→worker placement table.
@@ -172,12 +235,21 @@ func (c *Client) get(path string, v any) error {
 }
 
 func (c *Client) do(method, path string, body []byte) (int, []byte, error) {
-	return c.doTimeout(method, path, body, 0)
+	return c.request(method, path, body, "", 0)
+}
+
+// doCT is do with an explicit request Content-Type.
+func (c *Client) doCT(method, path string, body []byte, contentType string) (int, []byte, error) {
+	return c.request(method, path, body, contentType, 0)
 }
 
 // doTimeout is do with an optional per-request deadline (0 falls back to the
 // client's transport timeout).
 func (c *Client) doTimeout(method, path string, body []byte, timeout time.Duration) (int, []byte, error) {
+	return c.request(method, path, body, "", timeout)
+}
+
+func (c *Client) request(method, path string, body []byte, contentType string, timeout time.Duration) (int, []byte, error) {
 	var reader io.Reader
 	if body != nil {
 		reader = bytes.NewReader(body)
@@ -192,7 +264,10 @@ func (c *Client) doTimeout(method, path string, body []byte, timeout time.Durati
 		req = req.WithContext(ctx)
 	}
 	if body != nil {
-		req.Header.Set("Content-Type", "application/json")
+		if contentType == "" {
+			contentType = "application/json"
+		}
+		req.Header.Set("Content-Type", contentType)
 	}
 	resp, err := c.hc.Do(req)
 	if err != nil {

@@ -19,6 +19,10 @@ type DriverConfig struct {
 	Attempts int
 	// RetryEvery is the wait between attempts. Default 100ms.
 	RetryEvery time.Duration
+	// Wire selects the wire format the driver's per-worker serve clients
+	// speak. The zero value (WireAuto) tries binary and falls back to JSON
+	// per worker, so mixed fleets mid-upgrade keep working.
+	Wire serve.WireMode
 }
 
 func (cfg DriverConfig) validate() DriverConfig {
@@ -129,7 +133,7 @@ func (d *Driver) clientFor(shard int) (*serve.Client, error) {
 	}
 	c, ok := d.clients[e.Addr]
 	if !ok {
-		c = serve.NewClientPolicy(e.Addr, serve.SingleShot())
+		c = serve.NewClientWire(e.Addr, serve.SingleShot(), d.cfg.Wire)
 		d.clients[e.Addr] = c
 	}
 	return c, nil

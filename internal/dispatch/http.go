@@ -102,7 +102,13 @@ func (d *Dispatcher) handleCheckpoint(w http.ResponseWriter, r *http.Request) {
 	if !ok {
 		return
 	}
-	req, err := DecodeCheckpointPush(body)
+	var req *CheckpointPush
+	var err error
+	if ct := r.Header.Get("Content-Type"); ct != "" && serve.IsBinaryContent(ct) {
+		req, err = DecodeCheckpointPushBinary(body)
+	} else {
+		req, err = DecodeCheckpointPush(body)
+	}
 	if err != nil {
 		writeError(w, http.StatusBadRequest, err.Error())
 		return

@@ -264,6 +264,47 @@ func EncodeCheckpointPush(req *CheckpointPush) ([]byte, error) {
 	return json.Marshal(req)
 }
 
+// EncodeCheckpointPushBinary validates and serializes a checkpoint push as
+// an rrserve/v2 checkpoint frame: the shard state travels as raw bytes in a
+// length-prefixed field instead of being re-parsed as embedded JSON, which
+// is where the JSON path spends most of its time on large shards.
+func EncodeCheckpointPushBinary(req *CheckpointPush) ([]byte, error) {
+	if err := validateCheckpointPush(req); err != nil {
+		return nil, err
+	}
+	return serve.EncodeCheckpointFrame(&serve.CheckpointFrame{
+		Worker: req.Worker,
+		Shard:  req.Shard,
+		Epoch:  req.Epoch,
+		Round:  req.Round,
+		Final:  req.Final,
+		Data:   req.Data,
+	})
+}
+
+// DecodeCheckpointPushBinary parses a binary checkpoint frame and runs the
+// same validation as the JSON decoder, so the two codecs cannot drift.
+func DecodeCheckpointPushBinary(data []byte) (*CheckpointPush, error) {
+	f, err := serve.DecodeCheckpointFrame(data)
+	if err != nil {
+		return nil, fmt.Errorf("dispatch: decoding binary checkpoint frame: %w", err)
+	}
+	req := &CheckpointPush{
+		Schema: WireSchema,
+		Worker: f.Worker,
+		Shard:  f.Shard,
+		Epoch:  f.Epoch,
+		Round:  f.Round,
+		Final:  f.Final,
+		// Copy: the frame's Data aliases the request body buffer.
+		Data: json.RawMessage(append([]byte(nil), f.Data...)),
+	}
+	if err := validateCheckpointPush(req); err != nil {
+		return nil, err
+	}
+	return req, nil
+}
+
 func validateCheckpointPush(req *CheckpointPush) error {
 	if req.Schema != WireSchema {
 		return fmt.Errorf("dispatch: checkpoint schema %q, want %q", req.Schema, WireSchema)

@@ -1,0 +1,58 @@
+package obs
+
+// Wire-path metric names: ingest/egress volume and framing of a network
+// service speaking the rrserve wire protocols, plus the shard-inbox
+// coalescing histogram. They live in obs (not serve) for the same reason the
+// scheduler vocabulary does: one fixed name set that dashboards and merged
+// snapshots can rely on regardless of which daemon emits it.
+const (
+	// MetricWireBytesIn counts request-body bytes decoded (any codec).
+	MetricWireBytesIn = "wire_bytes_in_total"
+	// MetricWireBytesOut counts response-body bytes encoded on the data
+	// endpoints (error responses are not counted — they are diagnostics).
+	MetricWireBytesOut = "wire_bytes_out_total"
+	// MetricWireFramesJSON / MetricWireFramesBinary count decoded request
+	// payloads by codec, which is what makes a mixed-protocol fleet's format
+	// split observable.
+	MetricWireFramesJSON   = "wire_frames_json_total"
+	MetricWireFramesBinary = "wire_frames_binary_total"
+	// MetricWireCoalesced is a histogram of how many queued commands one
+	// shard wakeup drained: 1 means every request paid its own wakeup, the
+	// tail shows batch admission amortizing scheduling overhead.
+	MetricWireCoalesced = "wire_coalesced_batch"
+)
+
+// WireMetrics is the pre-wired handle set for a wire endpoint, one per shard
+// (or per service): byte and frame counters plus the coalescing histogram.
+type WireMetrics struct {
+	BytesIn      *Counter
+	BytesOut     *Counter
+	FramesJSON   *Counter
+	FramesBinary *Counter
+	Coalesced    *Histogram
+}
+
+// NewWireMetrics registers the wire metric set on the registry and returns
+// the handles (get-or-create semantics, like NewSchedulerMetrics).
+func NewWireMetrics(r *Registry) (*WireMetrics, error) {
+	wm := &WireMetrics{}
+	var err error
+	if wm.BytesIn, err = r.Counter(MetricWireBytesIn); err != nil {
+		return nil, err
+	}
+	if wm.BytesOut, err = r.Counter(MetricWireBytesOut); err != nil {
+		return nil, err
+	}
+	if wm.FramesJSON, err = r.Counter(MetricWireFramesJSON); err != nil {
+		return nil, err
+	}
+	if wm.FramesBinary, err = r.Counter(MetricWireFramesBinary); err != nil {
+		return nil, err
+	}
+	// Coalesced batch sizes: 1..1024 in powers of two, overflow above (the
+	// shard inbox is bounded, so the tail is the channel capacity).
+	if wm.Coalesced, err = r.Histogram(MetricWireCoalesced, ExpBuckets(1, 2, 11)); err != nil {
+		return nil, err
+	}
+	return wm, nil
+}

@@ -1,0 +1,54 @@
+package obs
+
+import "testing"
+
+// TestWireMetricsRegistersVocabulary pins the wire metric set: all five
+// instruments register under their fixed names, get-or-create is idempotent
+// (second call returns the same handles, like NewSchedulerMetrics), and a
+// registry that already claimed a name with a different shape surfaces the
+// conflict instead of silently splitting the vocabulary.
+func TestWireMetricsRegistersVocabulary(t *testing.T) {
+	r := NewRegistry()
+	wm, err := NewWireMetrics(r)
+	if err != nil {
+		t.Fatalf("NewWireMetrics: %v", err)
+	}
+	wm.BytesIn.Add(100)
+	wm.BytesOut.Add(40)
+	wm.FramesJSON.Inc()
+	wm.FramesBinary.Add(3)
+	wm.Coalesced.Observe(4)
+
+	snap := r.Snapshot()
+	for name, want := range map[string]int64{
+		MetricWireBytesIn:      100,
+		MetricWireBytesOut:     40,
+		MetricWireFramesJSON:   1,
+		MetricWireFramesBinary: 3,
+	} {
+		if got, ok := snap.Counter(name); !ok || got != want {
+			t.Errorf("%s = %d,%v want %d,true", name, got, ok, want)
+		}
+	}
+	hs, ok := snap.Histogram(MetricWireCoalesced)
+	if !ok || hs.Count != 1 || hs.Sum != 4 {
+		t.Errorf("%s = %+v,%v want count=1 sum=4", MetricWireCoalesced, hs, ok)
+	}
+
+	wm2, err := NewWireMetrics(r)
+	if err != nil {
+		t.Fatalf("second NewWireMetrics: %v", err)
+	}
+	if wm2.BytesIn != wm.BytesIn || wm2.Coalesced != wm.Coalesced {
+		t.Error("NewWireMetrics is not get-or-create: handles differ")
+	}
+
+	// A name collision with a different instrument shape must fail loudly.
+	bad := NewRegistry()
+	if _, err := bad.Histogram(MetricWireBytesIn, []int64{1, 2}); err != nil {
+		t.Fatalf("seeding conflicting histogram: %v", err)
+	}
+	if _, err := NewWireMetrics(bad); err == nil {
+		t.Error("NewWireMetrics accepted a registry with a conflicting instrument")
+	}
+}

@@ -28,9 +28,10 @@ type Scenario struct {
 // Scenarios returns the fixed benchmark matrix, in report order: the engine
 // round loop and the ΔLRU-EDF decision path at n ∈ {8, 64, 512} over
 // short/long-delay color mixes, the queue primitives, the streaming
-// scheduler's push loop and checkpoint round-trip, and the sweep fan-out
+// scheduler's push loop and checkpoint round-trip, the sweep fan-out
 // substrate (pinned to one worker so the figure is dispatch overhead, not
-// parallel speedup).
+// parallel speedup), and the wire-codec matrix (JSON vs binary submit
+// encode/decode at batch sizes 1/16/256, normalized per job).
 func Scenarios() []Scenario {
 	scs := []Scenario{
 		engineScenario("engine/n8", 8, 6, 1, 4),
@@ -46,6 +47,7 @@ func Scenarios() []Scenario {
 		streamCheckpointScenario(),
 		sweepScenario(),
 	}
+	scs = append(scs, wireScenarios()...)
 	return scs
 }
 

@@ -1,0 +1,122 @@
+package perf
+
+import (
+	"fmt"
+
+	"rrsched/internal/serve"
+)
+
+// wireBatches is the submit-batch size axis of the wire matrix: a lone job
+// (framing overhead dominates), a small burst, and a full admission batch
+// (payload cost dominates).
+var wireBatches = []int{1, 16, 256}
+
+// wireScenarios returns the wire-codec matrix: encode and decode of one
+// submit batch in both formats, normalized per job (Rounds = batch size).
+// The binary rows use the service's own hot path — a reused destination
+// request and DecodeSubmitBinaryInto — so AllocsPerRound on
+// wire/binary/decode is the steady-state per-frame allocation figure the
+// zero-alloc contract pins.
+func wireScenarios() []Scenario {
+	var scs []Scenario
+	for _, n := range wireBatches {
+		scs = append(scs,
+			wireJSONEncodeScenario(n),
+			wireJSONDecodeScenario(n),
+			wireBinaryEncodeScenario(n),
+			wireBinaryDecodeScenario(n),
+		)
+	}
+	return scs
+}
+
+// wireRequest builds one valid submit batch of n jobs: dense increasing IDs,
+// 16 colors round-robin, one shared delay bound (the wire contract requires
+// per-color delay consistency within a batch).
+func wireRequest(n int) *serve.SubmitRequest {
+	jobs := make([]serve.SubmitJob, n)
+	for i := range jobs {
+		jobs[i] = serve.SubmitJob{ID: int64(i + 1), Color: int32(i % 16), Delay: 64}
+	}
+	return &serve.SubmitRequest{Schema: serve.WireSchema, Tenant: "bench-tenant", Jobs: jobs}
+}
+
+func wireJSONEncodeScenario(n int) Scenario {
+	return Scenario{
+		Name:   fmt.Sprintf("wire/json/encode/b%d", n),
+		Doc:    fmt.Sprintf("encode a %d-job submit batch as rrserve/v1 JSON", n),
+		Rounds: int64(n),
+		Setup: func() (func() error, error) {
+			req := wireRequest(n)
+			return func() error {
+				_, err := serve.EncodeSubmit(req)
+				return err
+			}, nil
+		},
+	}
+}
+
+func wireJSONDecodeScenario(n int) Scenario {
+	return Scenario{
+		Name:   fmt.Sprintf("wire/json/decode/b%d", n),
+		Doc:    fmt.Sprintf("decode and validate a %d-job rrserve/v1 JSON submit batch", n),
+		Rounds: int64(n),
+		Setup: func() (func() error, error) {
+			data, err := serve.EncodeSubmit(wireRequest(n))
+			if err != nil {
+				return nil, err
+			}
+			return func() error {
+				_, err := serve.DecodeSubmit(data)
+				return err
+			}, nil
+		},
+	}
+}
+
+func wireBinaryEncodeScenario(n int) Scenario {
+	return Scenario{
+		Name:   fmt.Sprintf("wire/binary/encode/b%d", n),
+		Doc:    fmt.Sprintf("encode a %d-job submit batch as an rrserve/v2 frame into a reused buffer", n),
+		Rounds: int64(n),
+		Setup: func() (func() error, error) {
+			req := wireRequest(n)
+			// Warm the buffer to its final capacity so the op measures
+			// steady-state appends, as the pooled server buffers do.
+			buf, err := serve.AppendSubmitBinary(nil, req)
+			if err != nil {
+				return nil, err
+			}
+			return func() error {
+				var err error
+				buf, err = serve.AppendSubmitBinary(buf[:0], req)
+				return err
+			}, nil
+		},
+	}
+}
+
+func wireBinaryDecodeScenario(n int) Scenario {
+	return Scenario{
+		Name:   fmt.Sprintf("wire/binary/decode/b%d", n),
+		Doc:    fmt.Sprintf("decode and validate a %d-job rrserve/v2 frame into a reused request", n),
+		Rounds: int64(n),
+		Setup: func() (func() error, error) {
+			data, err := serve.EncodeSubmitBinary(wireRequest(n))
+			if err != nil {
+				return nil, err
+			}
+			// One persistent destination, as the serve hot path holds one
+			// pooled request per in-flight decode. The first decode warms the
+			// job slice and the tenant intern table; iterations after that
+			// are the zero-alloc steady state.
+			dst := serve.AcquireSubmitRequest()
+			if err := serve.DecodeSubmitBinaryInto(dst, data); err != nil {
+				return nil, err
+			}
+			return func() error {
+				return serve.DecodeSubmitBinaryInto(dst, data)
+			}, nil
+		},
+	}
+}

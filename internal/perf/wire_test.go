@@ -1,0 +1,77 @@
+package perf
+
+import (
+	"fmt"
+	"math"
+	"testing"
+)
+
+// TestWireScenariosRegistered pins the wire matrix's shape: both codecs,
+// both directions, every batch size, all selectable as one group.
+func TestWireScenariosRegistered(t *testing.T) {
+	scs, err := Select("^wire/")
+	if err != nil {
+		t.Fatalf("Select: %v", err)
+	}
+	want := map[string]bool{}
+	for _, codec := range []string{"json", "binary"} {
+		for _, dir := range []string{"encode", "decode"} {
+			for _, b := range wireBatches {
+				want[fmt.Sprintf("wire/%s/%s/b%d", codec, dir, b)] = true
+			}
+		}
+	}
+	if len(scs) != len(want) {
+		t.Fatalf("wire matrix has %d scenarios, want %d", len(scs), len(want))
+	}
+	for _, s := range scs {
+		if !want[s.Name] {
+			t.Errorf("unexpected wire scenario %q", s.Name)
+		}
+		if s.Rounds <= 0 {
+			t.Errorf("%s: rounds %d", s.Name, s.Rounds)
+		}
+	}
+}
+
+// TestCompareFlagsWireAllocRegression is the gate the zero-alloc contract
+// hangs on: a baseline that recorded 0 allocs/frame on the binary decode row
+// flags ANY measured allocation as an infinite regression, at any threshold —
+// so a committed baseline pins the hot path to zero forever.
+func TestCompareFlagsWireAllocRegression(t *testing.T) {
+	base := sampleReport(res("wire/binary/decode/b256", 8, 0, 0))
+	cur := sampleReport(res("wire/binary/decode/b256", 8, 0.4, 10))
+	regs := Compare(base, cur, 1000) // even an absurdly lax threshold trips
+	var sawAllocs bool
+	for _, r := range regs {
+		if r.Metric == "allocs/round" {
+			sawAllocs = true
+			if !math.IsInf(r.Change, 1) {
+				t.Errorf("alloc regression change %v, want +Inf", r.Change)
+			}
+		}
+	}
+	if !sawAllocs {
+		t.Fatalf("allocs 0 -> 0.4 on the binary decode row not flagged: %v", regs)
+	}
+}
+
+// TestWireBinaryDecodeMeasuresZeroAllocs runs the real (converged) benchmark
+// of the hot decode row and demands an exact zero — the measured form of the
+// AllocsPerRun pin, at the layer the committed baseline is produced from.
+func TestWireBinaryDecodeMeasuresZeroAllocs(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full benchmark measurement in -short mode")
+	}
+	scs, err := Select("^wire/binary/decode/b256$")
+	if err != nil {
+		t.Fatalf("Select: %v", err)
+	}
+	got, err := Measure(scs[0])
+	if err != nil {
+		t.Fatalf("Measure: %v", err)
+	}
+	if got.AllocsPerRound != 0 {
+		t.Fatalf("steady-state binary decode measured %v allocs/round, want exactly 0", got.AllocsPerRound)
+	}
+}

@@ -9,7 +9,9 @@ import (
 	"net/http"
 	"net/url"
 	"strconv"
+	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"rrsched/internal/obs"
@@ -69,12 +71,61 @@ func (p RetryPolicy) validate() RetryPolicy {
 	return p
 }
 
+// WireMode selects the codec a client speaks on the submit/tick/sync
+// endpoints.
+type WireMode int
+
+const (
+	// WireAuto (the zero value, and the default) speaks rrserve/v2 binary
+	// and falls back to JSON — permanently, per client — the first time a
+	// server proves it cannot decode a frame (415, or a 400 whose error is
+	// the JSON decoder choking on frame bytes). The fallback triggers are
+	// deliberately narrow: an admission 400 must surface to the caller, not
+	// silently re-submit a batch the server already judged.
+	WireAuto WireMode = iota
+	// WireJSON speaks rrserve/v1 JSON only (the debugging oracle).
+	WireJSON
+	// WireBinary speaks rrserve/v2 binary only, no fallback — for tests and
+	// benchmarks that must fail loudly on a codec mismatch.
+	WireBinary
+)
+
+// String names the mode, matching rrload's -wire flag values.
+func (m WireMode) String() string {
+	switch m {
+	case WireJSON:
+		return "json"
+	case WireBinary:
+		return "binary"
+	default:
+		return "auto"
+	}
+}
+
+// ParseWireMode parses an rrload-style -wire flag value.
+func ParseWireMode(s string) (WireMode, error) {
+	switch s {
+	case "auto", "":
+		return WireAuto, nil
+	case "json":
+		return WireJSON, nil
+	case "binary":
+		return WireBinary, nil
+	default:
+		return WireAuto, fmt.Errorf("serve: wire mode %q, want auto, json, or binary", s)
+	}
+}
+
 // Client is a thin typed client for the rrserve HTTP API, used by rrload,
 // the dispatcher/worker tier, the CI smoke jobs, and the end-to-end tests.
 type Client struct {
 	base   string
 	hc     *http.Client
 	policy RetryPolicy
+	wire   WireMode
+	// jsonLatched is set in WireAuto mode once a server proves JSON-only;
+	// every later request skips the binary attempt.
+	jsonLatched atomic.Bool
 
 	mu  sync.Mutex
 	rng *rand.Rand
@@ -83,19 +134,26 @@ type Client struct {
 }
 
 // NewClient returns a client for the service at base (e.g.
-// "http://127.0.0.1:8080") with the default retry policy. The underlying
-// http.Client reuses connections, which is what gives the load generator its
-// throughput.
+// "http://127.0.0.1:8080") with the default retry policy and auto wire
+// negotiation. The underlying http.Client reuses connections, which is what
+// gives the load generator its throughput.
 func NewClient(base string) *Client {
 	return NewClientPolicy(base, DefaultRetryPolicy())
 }
 
-// NewClientPolicy returns a client with an explicit retry policy.
+// NewClientPolicy returns a client with an explicit retry policy (and auto
+// wire negotiation).
 func NewClientPolicy(base string, policy RetryPolicy) *Client {
+	return NewClientWire(base, policy, WireAuto)
+}
+
+// NewClientWire returns a client with an explicit retry policy and wire mode.
+func NewClientWire(base string, policy RetryPolicy, wire WireMode) *Client {
 	policy = policy.validate()
 	return &Client{
 		base:   base,
 		policy: policy,
+		wire:   wire,
 		rng:    rand.New(rand.NewSource(policy.Seed)),
 		sleep:  time.Sleep,
 		hc: &http.Client{
@@ -105,6 +163,18 @@ func NewClientPolicy(base string, policy RetryPolicy) *Client {
 				MaxIdleConnsPerHost: 256,
 			},
 		},
+	}
+}
+
+// useBinary reports whether the next request should speak binary.
+func (c *Client) useBinary() bool {
+	switch c.wire {
+	case WireBinary:
+		return true
+	case WireJSON:
+		return false
+	default:
+		return !c.jsonLatched.Load()
 	}
 }
 
@@ -140,8 +210,9 @@ func (c *Client) retryableStatus(status int) bool {
 
 // do issues one request with retries and returns the final response body and
 // status. Any returned status is from a completed HTTP exchange; an error
-// means every attempt failed at the transport layer.
-func (c *Client) do(method, path string, body []byte) (status int, respBody []byte, header http.Header, err error) {
+// means every attempt failed at the transport layer. contentType and accept,
+// when non-empty, override the default JSON negotiation headers.
+func (c *Client) do(method, path string, body []byte, contentType, accept string) (status int, respBody []byte, header http.Header, err error) {
 	var lastErr error
 	for attempt := 1; ; attempt++ {
 		var reader io.Reader
@@ -153,7 +224,13 @@ func (c *Client) do(method, path string, body []byte) (status int, respBody []by
 			return 0, nil, nil, fmt.Errorf("serve: building %s %s: %w", method, path, rerr)
 		}
 		if body != nil {
-			req.Header.Set("Content-Type", "application/json")
+			if contentType == "" {
+				contentType = ContentTypeJSON
+			}
+			req.Header.Set("Content-Type", contentType)
+		}
+		if accept != "" {
+			req.Header.Set("Accept", accept)
 		}
 		resp, derr := c.hc.Do(req)
 		retryAfter := time.Duration(0)
@@ -218,18 +295,85 @@ func (o SubmitOutcome) Landed() bool { return o.Accepted || o.Duplicate }
 
 // Submit posts one batch. Admission outcomes (429, 503, 409, 421) are
 // reported in the SubmitOutcome, not as errors; an error means the request
-// itself failed (transport after retries, 400, unexpected status).
+// itself failed (transport after retries, 400, unexpected status). The wire
+// format follows the client's WireMode; in WireAuto a JSON-only server costs
+// one extra round trip on the first submit and none after.
 func (c *Client) Submit(req *SubmitRequest) (SubmitOutcome, error) {
+	if c.useBinary() {
+		out, err, fellBack := c.submitBinary(req)
+		if !fellBack {
+			return out, err
+		}
+	}
+	return c.submitJSON(req)
+}
+
+// submitBinary posts one batch as an rrserve/v2 frame. fellBack reports that
+// the server proved JSON-only and the caller must resend as JSON; the
+// request cannot have been admitted in that case (the server never parsed
+// it), so the resend is safe.
+func (c *Client) submitBinary(req *SubmitRequest) (out SubmitOutcome, err error, fellBack bool) {
+	fb := acquireFrameBuf()
+	defer releaseFrameBuf(fb)
+	body, err := AppendSubmitBinary(fb.b[:0], req)
+	if err != nil {
+		return SubmitOutcome{}, err, false
+	}
+	fb.b = body
+	status, data, header, err := c.do(http.MethodPost, "/v1/jobs", body, ContentTypeBinary, ContentTypeBinary)
+	if err != nil {
+		return SubmitOutcome{}, fmt.Errorf("serve: submit: %w", err), false
+	}
+	if c.wire == WireAuto {
+		if status == http.StatusUnsupportedMediaType ||
+			(status == http.StatusBadRequest && jsonDecodeReject(data)) {
+			c.jsonLatched.Store(true)
+			return SubmitOutcome{}, nil, true
+		}
+	}
+	out, err = c.parseSubmitResponse(status, data, header)
+	return out, err, false
+}
+
+// submitJSON posts one batch as rrserve/v1 JSON.
+func (c *Client) submitJSON(req *SubmitRequest) (SubmitOutcome, error) {
 	body, err := EncodeSubmit(req)
 	if err != nil {
 		return SubmitOutcome{}, err
 	}
-	status, data, header, err := c.do(http.MethodPost, "/v1/jobs", body)
+	status, data, header, err := c.do(http.MethodPost, "/v1/jobs", body, "", "")
 	if err != nil {
 		return SubmitOutcome{}, fmt.Errorf("serve: submit: %w", err)
 	}
+	return c.parseSubmitResponse(status, data, header)
+}
+
+// jsonDecodeReject reports whether a 400 body is a JSON-only server's
+// decoder choking on bytes it cannot parse — the one 400 that proves the
+// request never reached admission. Admission 400s (id regressions,
+// delay-bound disagreements) carry different messages and must not trigger a
+// fallback resend.
+func jsonDecodeReject(data []byte) bool {
+	var er ErrorResponse
+	if err := json.Unmarshal(data, &er); err != nil {
+		return false
+	}
+	return strings.Contains(er.Error, "decoding submit request")
+}
+
+// parseSubmitResponse maps one completed submit exchange to an outcome. A
+// 200 body is decoded by its Content-Type, so one client handles both a v2
+// server's frames and a v1 server's JSON.
+func (c *Client) parseSubmitResponse(status int, data []byte, header http.Header) (SubmitOutcome, error) {
 	switch status {
 	case http.StatusOK:
+		if IsBinaryContent(header.Get("Content-Type")) {
+			sr, err := DecodeSubmitResponseBinary(data)
+			if err != nil {
+				return SubmitOutcome{}, err
+			}
+			return SubmitOutcome{Accepted: true, Round: sr.Round, Backlog: sr.Backlog}, nil
+		}
 		var sr SubmitResponse
 		if err := decodeBody(bytes.NewReader(data), &sr); err != nil {
 			return SubmitOutcome{}, err
@@ -256,28 +400,42 @@ func (c *Client) Submit(req *SubmitRequest) (SubmitOutcome, error) {
 
 // Tick advances n rounds (virtual-time mode) and returns the new next round.
 func (c *Client) Tick(n int) (int64, error) {
-	return c.tick("tick", "/v1/tick?rounds="+strconv.Itoa(n))
+	return c.tick("tick", "/v1/tick?rounds="+strconv.Itoa(n), EncodeTickBinary(n, -1))
 }
 
 // TickShard advances one hosted shard n rounds from its own round counter.
 // ErrMisdirected is returned when the worker no longer holds the shard.
 func (c *Client) TickShard(shard, n int) (int64, error) {
-	return c.tick("tick", "/v1/tick?rounds="+strconv.Itoa(n)+"&shard="+strconv.Itoa(shard))
+	return c.tick("tick", "/v1/tick?rounds="+strconv.Itoa(n)+"&shard="+strconv.Itoa(shard), EncodeTickBinary(n, shard))
 }
 
 // SyncShard asks the worker to re-push one hosted shard's checkpoint at its
 // current round, without ticking, and returns that round. ErrMisdirected is
 // returned when the worker no longer holds the shard.
 func (c *Client) SyncShard(shard int) (int64, error) {
-	return c.tick("sync", "/v1/sync?shard="+strconv.Itoa(shard))
+	return c.tick("sync", "/v1/sync?shard="+strconv.Itoa(shard), EncodeSyncBinary(shard))
 }
 
 // ErrMisdirected marks a per-shard request sent to a worker that does not
 // hold the shard's lease; callers refresh placement and retry elsewhere.
 var ErrMisdirected = fmt.Errorf("serve: shard is not hosted on this worker")
 
-func (c *Client) tick(op, path string) (int64, error) {
-	status, data, _, err := c.do(http.MethodPost, path, []byte{})
+// tick posts a tick/sync. In a binary mode the request carries the frame AND
+// the query parameters: an old server ignores the body and serves the query,
+// a v2 server prefers the frame — so no fallback dance is needed here at
+// all, and the response's Content-Type says which codec came back.
+func (c *Client) tick(op, path string, frame []byte) (int64, error) {
+	var (
+		status int
+		data   []byte
+		header http.Header
+		err    error
+	)
+	if c.useBinary() {
+		status, data, header, err = c.do(http.MethodPost, path, frame, ContentTypeBinary, ContentTypeBinary)
+	} else {
+		status, data, header, err = c.do(http.MethodPost, path, []byte{}, "", "")
+	}
 	if err != nil {
 		return 0, fmt.Errorf("serve: %s: %w", op, err)
 	}
@@ -286,6 +444,9 @@ func (c *Client) tick(op, path string) (int64, error) {
 	}
 	if status != http.StatusOK {
 		return 0, bodyError(op, status, data)
+	}
+	if IsBinaryContent(header.Get("Content-Type")) {
+		return DecodeTickResponseBinary(data)
 	}
 	var tr TickResponse
 	if err := decodeBody(bytes.NewReader(data), &tr); err != nil {
@@ -357,7 +518,7 @@ func (c *Client) Healthy() bool {
 }
 
 func (c *Client) getRaw(path string) ([]byte, error) {
-	status, data, _, err := c.do(http.MethodGet, path, nil)
+	status, data, _, err := c.do(http.MethodGet, path, nil, "", "")
 	if err != nil {
 		return nil, fmt.Errorf("serve: get %s: %w", path, err)
 	}

@@ -7,6 +7,7 @@ import (
 	"io"
 	"net/http"
 	"strconv"
+	"strings"
 	"time"
 )
 
@@ -63,6 +64,22 @@ func (s *Service) Handler() http.Handler {
 	return mux
 }
 
+// IsBinaryContent reports whether a Content-Type names the binary wire
+// format (parameters after ';' are ignored).
+func IsBinaryContent(ct string) bool {
+	if i := strings.IndexByte(ct, ';'); i >= 0 {
+		ct = ct[:i]
+	}
+	return strings.TrimSpace(ct) == ContentTypeBinary
+}
+
+// acceptsBinary reports whether an Accept header asks for binary responses.
+// The check is a substring match on the media type: the client sends exactly
+// one type, and anything fancier (q-values) still means "binary is fine".
+func acceptsBinary(accept string) bool {
+	return strings.Contains(accept, ContentTypeBinary)
+}
+
 func (s *Service) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodPost {
 		writeError(w, http.StatusMethodNotAllowed, "POST only")
@@ -72,21 +89,46 @@ func (s *Service) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusServiceUnavailable, "service is draining")
 		return
 	}
-	body, err := io.ReadAll(io.LimitReader(r.Body, maxSubmitBody+1))
-	if err != nil {
+	binReq := IsBinaryContent(r.Header.Get("Content-Type"))
+	binResp := acceptsBinary(r.Header.Get("Accept"))
+	fb := acquireFrameBuf()
+	defer releaseFrameBuf(fb)
+	if err := fb.readFrom(r.Body, maxSubmitBody+1); err != nil {
 		writeError(w, http.StatusBadRequest, fmt.Sprintf("reading body: %v", err))
 		return
 	}
+	body := fb.b
 	if len(body) > maxSubmitBody {
 		writeError(w, http.StatusRequestEntityTooLarge, fmt.Sprintf("body exceeds %d bytes", maxSubmitBody))
 		return
 	}
-	req, err := DecodeSubmit(body)
-	if err != nil {
-		writeError(w, http.StatusBadRequest, err.Error())
-		return
+	// Decode by the request's Content-Type. The binary path reuses a pooled
+	// request (zero steady-state allocations); the JSON path stays the
+	// allocate-per-request debug oracle it always was. Errors are JSON either
+	// way: they must be readable across a codec mismatch.
+	var req *SubmitRequest
+	if binReq {
+		req = AcquireSubmitRequest()
+		defer ReleaseSubmitRequest(req)
+		if err := DecodeSubmitBinaryInto(req, body); err != nil {
+			writeError(w, http.StatusBadRequest, err.Error())
+			return
+		}
+	} else {
+		var err error
+		if req, err = DecodeSubmit(body); err != nil {
+			writeError(w, http.StatusBadRequest, err.Error())
+			return
+		}
 	}
 	sh := s.shards[s.ring.ShardOf(req.Tenant)]
+	wm := sh.met.wire
+	wm.BytesIn.Add(int64(len(body)))
+	if binReq {
+		wm.FramesBinary.Inc()
+	} else {
+		wm.FramesJSON.Inc()
+	}
 	reply := make(chan submitResult, 1)
 	sh.ch <- shardCmd{submit: &submitCmd{req: req, reply: reply}}
 	res := <-reply
@@ -97,12 +139,38 @@ func (s *Service) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		writeError(w, res.status, res.err)
 		return
 	}
-	writeJSON(w, http.StatusOK, SubmitResponse{
+	resp := SubmitResponse{
 		Schema:   WireSchema,
 		Accepted: len(req.Jobs),
 		Round:    res.round,
 		Backlog:  res.backlog,
-	})
+	}
+	if binResp {
+		// The body buffer is free again (the decoded request does not alias
+		// it), so the response frame is encoded into it — the response path
+		// allocates nothing either.
+		out := AppendSubmitResponseBinary(fb.b[:0], &resp)
+		fb.b = out
+		wm.BytesOut.Add(int64(len(out)))
+		writeBinary(w, http.StatusOK, out)
+		return
+	}
+	data, err := MarshalResponse(resp)
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, err.Error())
+		return
+	}
+	wm.BytesOut.Add(int64(len(data)))
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(http.StatusOK)
+	_, _ = w.Write(data) // best-effort: a vanished client owns its connection
+}
+
+// writeBinary writes one encoded frame with the binary content type.
+func writeBinary(w http.ResponseWriter, status int, frame []byte) {
+	w.Header().Set("Content-Type", ContentTypeBinary)
+	w.WriteHeader(status)
+	_, _ = w.Write(frame) // best-effort: a vanished client owns its connection
 }
 
 // retryAfterSeconds is the Retry-After value for 429s: one round duration
@@ -126,6 +194,7 @@ func (s *Service) handleTick(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	n := 1
+	shard := -1
 	if v := r.URL.Query().Get("rounds"); v != "" {
 		parsed, err := strconv.Atoi(v)
 		if err != nil || parsed <= 0 || parsed > 1<<20 {
@@ -134,14 +203,41 @@ func (s *Service) handleTick(w http.ResponseWriter, r *http.Request) {
 		}
 		n = parsed
 	}
-	var round int64
-	var err error
 	if v := r.URL.Query().Get("shard"); v != "" {
-		shard, perr := strconv.Atoi(v)
-		if perr != nil || shard < 0 || shard >= len(s.shards) {
+		parsed, perr := strconv.Atoi(v)
+		if perr != nil || parsed < 0 || parsed >= len(s.shards) {
 			writeError(w, http.StatusBadRequest, fmt.Sprintf("invalid shard %q (want 0..%d)", v, len(s.shards)-1))
 			return
 		}
+		shard = parsed
+	}
+	// A binary tick carries the same parameters as a request frame; the v2
+	// client sends both (query for old servers, frame for new), so the frame
+	// is authoritative here when present.
+	if IsBinaryContent(r.Header.Get("Content-Type")) {
+		body, err := io.ReadAll(io.LimitReader(r.Body, 1024))
+		if err != nil {
+			writeError(w, http.StatusBadRequest, fmt.Sprintf("reading body: %v", err))
+			return
+		}
+		fn, fshard, err := DecodeTickBinary(body)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, err.Error())
+			return
+		}
+		if fn <= 0 || fn > 1<<20 {
+			writeError(w, http.StatusBadRequest, fmt.Sprintf("invalid rounds %d (want 1..%d)", fn, 1<<20))
+			return
+		}
+		if fshard != -1 && (fshard < 0 || fshard >= len(s.shards)) {
+			writeError(w, http.StatusBadRequest, fmt.Sprintf("invalid shard %d (want 0..%d)", fshard, len(s.shards)-1))
+			return
+		}
+		n, shard = fn, fshard
+	}
+	var round int64
+	var err error
+	if shard >= 0 {
 		round, err = s.TickShard(shard, n)
 		if errors.Is(err, errShardClosed) {
 			writeError(w, http.StatusMisdirectedRequest, err.Error())
@@ -152,6 +248,10 @@ func (s *Service) handleTick(w http.ResponseWriter, r *http.Request) {
 	}
 	if err != nil {
 		writeError(w, http.StatusServiceUnavailable, err.Error())
+		return
+	}
+	if acceptsBinary(r.Header.Get("Accept")) {
+		writeBinary(w, http.StatusOK, EncodeTickResponseBinary(round))
 		return
 	}
 	writeJSON(w, http.StatusOK, TickResponse{Schema: StatsSchema, Round: round})
@@ -169,10 +269,31 @@ func (s *Service) handleSync(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusMethodNotAllowed, "POST only")
 		return
 	}
-	v := r.URL.Query().Get("shard")
-	shard, err := strconv.Atoi(v)
-	if err != nil || shard < 0 || shard >= len(s.shards) {
-		writeError(w, http.StatusBadRequest, fmt.Sprintf("invalid shard %q (want 0..%d)", v, len(s.shards)-1))
+	shard := -1
+	if v := r.URL.Query().Get("shard"); v != "" {
+		parsed, err := strconv.Atoi(v)
+		if err != nil || parsed < 0 || parsed >= len(s.shards) {
+			writeError(w, http.StatusBadRequest, fmt.Sprintf("invalid shard %q (want 0..%d)", v, len(s.shards)-1))
+			return
+		}
+		shard = parsed
+	}
+	// As with tick: a binary sync frame is authoritative when present.
+	if IsBinaryContent(r.Header.Get("Content-Type")) {
+		body, err := io.ReadAll(io.LimitReader(r.Body, 1024))
+		if err != nil {
+			writeError(w, http.StatusBadRequest, fmt.Sprintf("reading body: %v", err))
+			return
+		}
+		fshard, err := DecodeSyncBinary(body)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, err.Error())
+			return
+		}
+		shard = fshard
+	}
+	if shard < 0 || shard >= len(s.shards) {
+		writeError(w, http.StatusBadRequest, fmt.Sprintf("invalid shard %d (want 0..%d)", shard, len(s.shards)-1))
 		return
 	}
 	round, err := s.SyncShard(shard)
@@ -182,6 +303,10 @@ func (s *Service) handleSync(w http.ResponseWriter, r *http.Request) {
 	}
 	if err != nil {
 		writeError(w, http.StatusServiceUnavailable, err.Error())
+		return
+	}
+	if acceptsBinary(r.Header.Get("Accept")) {
+		writeBinary(w, http.StatusOK, EncodeTickResponseBinary(round))
 		return
 	}
 	writeJSON(w, http.StatusOK, TickResponse{Schema: StatsSchema, Round: round})

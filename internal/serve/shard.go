@@ -52,8 +52,9 @@ type jobMeta struct {
 // shardMetrics bundles the per-shard instrument handles: the standard
 // scheduler vocabulary plus the serve-specific ingest instruments.
 type shardMetrics struct {
-	reg *obs.Registry
-	sm  *obs.SchedulerMetrics
+	reg  *obs.Registry
+	sm   *obs.SchedulerMetrics
+	wire *obs.WireMetrics
 
 	accepted *obs.Counter // jobs admitted
 	rejected *obs.Counter // jobs refused with 429 (watermark)
@@ -79,6 +80,9 @@ func newShardMetrics() (*shardMetrics, error) {
 	m := &shardMetrics{reg: obs.NewRegistry()}
 	var err error
 	if m.sm, err = obs.NewSchedulerMetrics(m.reg); err != nil {
+		return nil, err
+	}
+	if m.wire, err = obs.NewWireMetrics(m.reg); err != nil {
 		return nil, err
 	}
 	if m.accepted, err = m.reg.Counter(MetricAccepted); err != nil {
@@ -257,37 +261,67 @@ func (sh *shard) stop() {
 	sh.wg.Wait()
 }
 
+// run is the shard goroutine: one blocking receive per wakeup, then a
+// non-blocking drain of everything already queued. Coalescing matters under
+// concurrent ingest: a burst of submissions costs one goroutine wakeup
+// instead of one scheduler round trip per request, and the drained batch
+// size is recorded so the amortization is observable. Handling order is
+// channel order either way, so determinism is untouched.
 func (sh *shard) run() {
 	defer sh.wg.Done()
-	for cmd := range sh.ch {
-		switch {
-		case cmd.submit != nil:
-			t0 := obs.Now()
-			cmd.submit.reply <- sh.handleSubmit(cmd.submit.req)
-			sh.met.submitNs.Observe(obs.Now() - t0)
-		case cmd.tick != nil:
-			t0 := obs.Now()
-			sh.handleTick(cmd.tick.round)
-			sh.met.tickNs.Observe(obs.Now() - t0)
-			cmd.tick.done.Done()
-		case cmd.selfTick != nil:
-			t0 := obs.Now()
-			cmd.selfTick.reply <- sh.handleSelfTick(cmd.selfTick.n)
-			sh.met.tickNs.Observe(obs.Now() - t0)
-		case cmd.sync != nil:
-			cmd.sync.reply <- sh.handleSync()
-		case cmd.openShard != nil:
-			cmd.openShard.reply <- sh.handleOpen(cmd.openShard.data)
-		case cmd.close != nil:
-			cmd.close.reply <- sh.handleClose()
-		case cmd.snapshot != nil:
-			data, err := sh.checkpoint()
-			cmd.snapshot.reply <- snapshotResult{data: data, err: err}
-		case cmd.stats != nil:
-			cmd.stats.reply <- sh.stats()
-		case cmd.decisions != nil:
-			cmd.decisions.reply <- sh.handleDecisions(cmd.decisions.tenant)
+	for {
+		cmd, ok := <-sh.ch
+		if !ok {
+			return
 		}
+		batch := int64(1)
+		sh.handleCmd(cmd)
+		for drained := false; !drained; {
+			select {
+			case cmd, ok := <-sh.ch:
+				if !ok {
+					sh.met.wire.Coalesced.Observe(batch)
+					return
+				}
+				sh.handleCmd(cmd)
+				batch++
+			default:
+				drained = true
+			}
+		}
+		sh.met.wire.Coalesced.Observe(batch)
+	}
+}
+
+// handleCmd dispatches one shard command. Exactly one field of cmd is set.
+func (sh *shard) handleCmd(cmd shardCmd) {
+	switch {
+	case cmd.submit != nil:
+		t0 := obs.Now()
+		cmd.submit.reply <- sh.handleSubmit(cmd.submit.req)
+		sh.met.submitNs.Observe(obs.Now() - t0)
+	case cmd.tick != nil:
+		t0 := obs.Now()
+		sh.handleTick(cmd.tick.round)
+		sh.met.tickNs.Observe(obs.Now() - t0)
+		cmd.tick.done.Done()
+	case cmd.selfTick != nil:
+		t0 := obs.Now()
+		cmd.selfTick.reply <- sh.handleSelfTick(cmd.selfTick.n)
+		sh.met.tickNs.Observe(obs.Now() - t0)
+	case cmd.sync != nil:
+		cmd.sync.reply <- sh.handleSync()
+	case cmd.openShard != nil:
+		cmd.openShard.reply <- sh.handleOpen(cmd.openShard.data)
+	case cmd.close != nil:
+		cmd.close.reply <- sh.handleClose()
+	case cmd.snapshot != nil:
+		data, err := sh.checkpoint()
+		cmd.snapshot.reply <- snapshotResult{data: data, err: err}
+	case cmd.stats != nil:
+		cmd.stats.reply <- sh.stats()
+	case cmd.decisions != nil:
+		cmd.decisions.reply <- sh.handleDecisions(cmd.decisions.tenant)
 	}
 }
 

@@ -99,29 +99,38 @@ func EncodeSubmit(req *SubmitRequest) ([]byte, error) {
 	return json.Marshal(req)
 }
 
-// validateSubmit enforces the wire invariants shared by the decoder and the
-// encoder: schema, tenant shape, batch bounds, per-job field ranges, strictly
-// increasing IDs, and per-color delay-bound consistency within the batch.
+// validateSubmit enforces the JSON codec's wire invariants: the v1 schema
+// string plus the codec-independent body invariants of validateSubmitBody.
 func validateSubmit(req *SubmitRequest) error {
 	if req.Schema != WireSchema {
 		return fmt.Errorf("serve: submit schema %q, want %q", req.Schema, WireSchema)
 	}
-	if err := ValidateTenant(req.Tenant); err != nil {
+	var ck delayChecker
+	return validateSubmitBody(req.Tenant, req.Jobs, &ck)
+}
+
+// validateSubmitBody enforces the invariants shared by every submit codec —
+// JSON and binary, encode and decode: tenant shape, batch bounds, per-job
+// field ranges, strictly increasing IDs, and per-color delay-bound
+// consistency within the batch. The caller supplies the delayChecker so the
+// scratch state lives on its stack (the binary decode path must not allocate).
+func validateSubmitBody(tenant string, jobs []SubmitJob, ck *delayChecker) error {
+	if err := ValidateTenant(tenant); err != nil {
 		return err
 	}
-	if len(req.Jobs) == 0 {
-		return fmt.Errorf("serve: submit batch for tenant %q has no jobs", req.Tenant)
+	if len(jobs) == 0 {
+		return fmt.Errorf("serve: submit batch for tenant %q has no jobs", tenant)
 	}
-	if len(req.Jobs) > MaxBatchJobs {
-		return fmt.Errorf("serve: submit batch has %d jobs, max %d", len(req.Jobs), MaxBatchJobs)
+	if len(jobs) > MaxBatchJobs {
+		return fmt.Errorf("serve: submit batch has %d jobs, max %d", len(jobs), MaxBatchJobs)
 	}
-	delays := make(map[int32]int64, 4)
-	for i, j := range req.Jobs {
+	for i := range jobs {
+		j := &jobs[i]
 		if j.ID < 0 {
 			return fmt.Errorf("serve: job %d has negative id", j.ID)
 		}
-		if i > 0 && j.ID <= req.Jobs[i-1].ID {
-			return fmt.Errorf("serve: batch ids not strictly increasing (%d after %d)", j.ID, req.Jobs[i-1].ID)
+		if i > 0 && j.ID <= jobs[i-1].ID {
+			return fmt.Errorf("serve: batch ids not strictly increasing (%d after %d)", j.ID, jobs[i-1].ID)
 		}
 		if j.Color < 0 {
 			return fmt.Errorf("serve: job %d has negative color %d", j.ID, j.Color)
@@ -129,18 +138,83 @@ func validateSubmit(req *SubmitRequest) error {
 		if j.Delay <= 0 || j.Delay > MaxDelayBound {
 			return fmt.Errorf("serve: job %d has delay bound %d out of range (1..%d)", j.ID, j.Delay, MaxDelayBound)
 		}
-		if d, ok := delays[j.Color]; ok && d != j.Delay {
+		if d, seen := ck.register(j.Color, j.Delay); seen && d != j.Delay {
 			return fmt.Errorf("serve: batch gives color %d delay bounds %d and %d", j.Color, d, j.Delay)
 		}
-		delays[j.Color] = j.Delay
 	}
 	return nil
+}
+
+// delayCheckerSlots sizes the delayChecker's inline open-addressed table.
+// 256 slots at a 3/4 load factor cover batches with up to 192 distinct
+// colors without touching the heap.
+const delayCheckerSlots = 256
+
+// delayChecker verifies per-color delay-bound consistency within one batch.
+// It replaces a per-call map: a fixed-size open-addressed table lives on the
+// caller's stack, and only a batch with more distinct colors than the table
+// holds spills to an allocated map — so the steady-state decode path stays
+// allocation-free.
+type delayChecker struct {
+	n     int
+	keys  [delayCheckerSlots]int64 // color+1; 0 marks an empty slot
+	vals  [delayCheckerSlots]int64
+	spill map[int32]int64
+}
+
+// register records color→delay on first sight; for a color seen before it
+// returns the registered bound and true (without overwriting).
+func (c *delayChecker) register(color int32, delay int64) (int64, bool) {
+	if c.spill != nil {
+		prev, seen := c.spill[color]
+		if !seen {
+			c.spill[color] = delay
+		}
+		return prev, seen
+	}
+	key := int64(color) + 1
+	// Fibonacci hashing on the color's low 32 bits; linear probing.
+	i := int((uint32(color) * 2654435761) >> 24)
+	for {
+		switch c.keys[i] {
+		case key:
+			return c.vals[i], true
+		case 0:
+			if c.n >= delayCheckerSlots*3/4 {
+				// Table crowded: migrate to a map and continue there. Rare
+				// (>192 distinct colors in one batch) and amortized over a
+				// batch at least that long.
+				c.spill = make(map[int32]int64, 2*delayCheckerSlots)
+				for j, k := range c.keys {
+					if k != 0 {
+						c.spill[int32(k-1)] = c.vals[j]
+					}
+				}
+				c.spill[color] = delay
+				return 0, false
+			}
+			c.keys[i] = key
+			c.vals[i] = delay
+			c.n++
+			return 0, false
+		}
+		i++
+		if i == delayCheckerSlots {
+			i = 0
+		}
+	}
 }
 
 // ValidateTenant checks a tenant ID: non-empty, bounded, and free of control
 // characters (tenant IDs travel in URLs, logs, and checkpoint files).
 func ValidateTenant(tenant string) error {
-	if tenant == "" {
+	return validateTenantBytes(tenant)
+}
+
+// validateTenantBytes is ValidateTenant over either string or []byte, so the
+// binary decoder can validate in place without converting (and allocating).
+func validateTenantBytes[T string | []byte](tenant T) error {
+	if len(tenant) == 0 {
 		return fmt.Errorf("serve: empty tenant id")
 	}
 	if len(tenant) > MaxTenantLen {
