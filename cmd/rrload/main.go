@@ -28,6 +28,8 @@ import (
 	"io"
 	"os"
 	"sort"
+	"strconv"
+	"strings"
 	"sync"
 
 	"rrsched/internal/dispatch"
@@ -54,8 +56,39 @@ func main() {
 
 // tenantStream is one tenant's generated arrival stream, split per round.
 type tenantStream struct {
-	name string
-	seq  *model.Sequence
+	name  string
+	class string // QoS class stamped on every submit; empty = server default
+	seq   *model.Sequence
+}
+
+// reshardPlan is the parsed -reshard flag: resize the serving pool to shards
+// at the given round boundary, mid-run.
+type reshardPlan struct {
+	round  int64
+	shards int
+}
+
+// parseReshard parses "ROUND:SHARDS" (e.g. "24:8").
+func parseReshard(s string) (*reshardPlan, error) {
+	if s == "" {
+		return nil, nil
+	}
+	roundStr, shardStr, ok := strings.Cut(s, ":")
+	if !ok {
+		return nil, fmt.Errorf("-reshard %q: want ROUND:SHARDS", s)
+	}
+	round, err := strconv.ParseInt(roundStr, 10, 64)
+	if err != nil {
+		return nil, fmt.Errorf("-reshard %q: round: %w", s, err)
+	}
+	shards, err := strconv.Atoi(shardStr)
+	if err != nil {
+		return nil, fmt.Errorf("-reshard %q: shards: %w", s, err)
+	}
+	if round < 0 || shards < 1 {
+		return nil, fmt.Errorf("-reshard %q: round must be >= 0 and shards >= 1", s)
+	}
+	return &reshardPlan{round: round, shards: shards}, nil
 }
 
 // result accumulates one worker's view of the run; workers keep private
@@ -98,11 +131,17 @@ func run(args []string, stdout io.Writer) error {
 		out      = fs.String("out", "", "write the final /v1/stats JSON to this file")
 		minRate  = fs.Float64("min-rate", 0, "fail unless sustained accepted-jobs/s meets this rate (0 disables)")
 		wireFlag = fs.String("wire", "auto", "wire format: auto (binary with JSON fallback), json, or binary")
+		reshardF = fs.String("reshard", "", "ROUND:SHARDS — issue one live reshard to SHARDS at the ROUND boundary mid-run (works in both server and -dispatcher modes)")
+		classesF = fs.String("classes", "", "comma list of QoS class names; tenants cycle across them and stamp every submit (server must be booted with matching -classes)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	wire, err := serve.ParseWireMode(*wireFlag)
+	if err != nil {
+		return err
+	}
+	reshard, err := parseReshard(*reshardF)
 	if err != nil {
 		return err
 	}
@@ -118,6 +157,7 @@ func run(args []string, stdout io.Writer) error {
 
 	// Generate every tenant's stream up front: generation cost must not
 	// pollute the latency figures.
+	names := classNames(*classesF)
 	streams := make([]tenantStream, *tenants)
 	horizon := int64(0)
 	totalJobs := 0
@@ -138,6 +178,9 @@ func run(args []string, stdout io.Writer) error {
 		// contract that a tenant's IDs increase strictly across batches.
 		seq = seq.Canonical()
 		streams[i] = tenantStream{name: fmt.Sprintf("tenant-%03d", i), seq: seq}
+		if len(names) > 0 {
+			streams[i].class = names[i%len(names)]
+		}
 		if h := seq.Horizon(); h > horizon {
 			horizon = h
 		}
@@ -145,7 +188,10 @@ func run(args []string, stdout io.Writer) error {
 	}
 
 	if *dispURL != "" {
-		return driveDispatched(stdout, streams, *rounds, horizon, totalJobs, *batch, *dispURL, *out, *minRate, wire)
+		if len(names) > 0 {
+			return fmt.Errorf("-classes drives per-submit class tags, which the dispatched driver does not carry; use it against -addr")
+		}
+		return driveDispatched(stdout, streams, *rounds, horizon, totalJobs, *batch, *dispURL, *out, *minRate, wire, reshard)
 	}
 
 	client := serve.NewClientWire(*addr, serve.DefaultRetryPolicy(), wire)
@@ -161,6 +207,14 @@ func run(args []string, stdout io.Writer) error {
 	// to expire, so executed+dropped reaches the accepted total.
 	lastRound := horizon + 1
 	for r := int64(0); r < lastRound; r++ {
+		if reshard != nil && r == reshard.round {
+			rr, err := client.Reshard(reshard.shards)
+			if err != nil {
+				return fmt.Errorf("reshard at round %d: %w", r, err)
+			}
+			_, _ = fmt.Fprintf(stdout, "rrload: resharded %d -> %d at round %d  moved=%d migrated=%dB pause=%.3fms (epoch %d)\n", // best-effort status output
+				rr.From, rr.Shards, rr.Round, rr.Moved, rr.MigratedBytes, float64(rr.DurationNs)/1e6, rr.Epoch)
+		}
 		if r < *rounds {
 			submitRound(client, streams, r, *batch, *conns, total)
 		}
@@ -200,7 +254,7 @@ func run(args []string, stdout io.Writer) error {
 // lands on the worker holding its tenant's shard, then every shard ticks once
 // — so the run rides out worker crashes and lease migrations, at the cost of
 // driver-serialized rounds (per-round latency is the figure reported).
-func driveDispatched(stdout io.Writer, streams []tenantStream, rounds, horizon int64, totalJobs, batchSize int, base, outPath string, minRate float64, wire serve.WireMode) error {
+func driveDispatched(stdout io.Writer, streams []tenantStream, rounds, horizon int64, totalJobs, batchSize int, base, outPath string, minRate float64, wire serve.WireMode, reshard *reshardPlan) error {
 	driver, err := dispatch.NewDriver(base, dispatch.DriverConfig{Wire: wire})
 	if err != nil {
 		return err
@@ -212,6 +266,14 @@ func driveDispatched(stdout io.Writer, streams []tenantStream, rounds, horizon i
 	start := obs.Now()
 	lastRound := horizon + 1
 	for r := int64(0); r < lastRound; r++ {
+		if reshard != nil && r == reshard.round {
+			rr, err := dispatch.NewClient(base).Reshard(reshard.shards)
+			if err != nil {
+				return fmt.Errorf("fleet reshard at round %d: %w", r, err)
+			}
+			_, _ = fmt.Fprintf(stdout, "rrload: fleet resharded %d -> %d at round %d  moved=%d migrated=%dB pause=%.3fms (config epoch %d)\n", // best-effort status output
+				rr.From, rr.Shards, rr.Round, rr.Moved, rr.MigratedBytes, float64(rr.DurationNs)/1e6, rr.Epoch)
+		}
 		var batches []dispatch.Batch
 		if r < rounds {
 			for _, ts := range streams {
@@ -308,6 +370,7 @@ func fleetStats(base string) (*serve.StatsResponse, error) {
 func submitRound(client *serve.Client, streams []tenantStream, r int64, batchSize, conns int, total *result) {
 	type task struct {
 		tenant string
+		class  string
 		jobs   []serve.SubmitJob
 	}
 	var tasks []task
@@ -322,7 +385,7 @@ func submitRound(client *serve.Client, streams []tenantStream, r int64, batchSiz
 			for i, j := range jobs[:n] {
 				wire[i] = serve.SubmitJob{ID: j.ID, Color: int32(j.Color), Delay: j.Delay}
 			}
-			tasks = append(tasks, task{tenant: ts.name, jobs: wire})
+			tasks = append(tasks, task{tenant: ts.name, class: ts.class, jobs: wire})
 			jobs = jobs[n:]
 		}
 	}
@@ -343,7 +406,7 @@ func submitRound(client *serve.Client, streams []tenantStream, r int64, batchSiz
 				n := int64(len(t.jobs))
 				res.submitted += n
 				t0 := obs.Now()
-				outcome, err := client.Submit(&serve.SubmitRequest{Schema: serve.WireSchema, Tenant: t.tenant, Jobs: t.jobs})
+				outcome, err := client.Submit(&serve.SubmitRequest{Schema: serve.WireSchema, Tenant: t.tenant, Class: t.class, Jobs: t.jobs})
 				res.latencies = append(res.latencies, obs.Now()-t0)
 				switch {
 				case err != nil:
@@ -389,6 +452,20 @@ func report(stdout io.Writer, total *result, stats *serve.StatsResponse, elapsed
 		_, _ = fmt.Fprintf(stdout, "latency:   p50=%s p95=%s p99=%s max=%s (%d requests)\n", // best-effort summary output
 			ms(pct(lat, 50)), ms(pct(lat, 95)), ms(pct(lat, 99)), ms(lat[len(lat)-1]), len(lat))
 	}
+}
+
+// classNames splits the -classes value into its class-name cycle.
+func classNames(s string) []string {
+	if s == "" {
+		return nil
+	}
+	var out []string
+	for _, name := range strings.Split(s, ",") {
+		if name = strings.TrimSpace(name); name != "" {
+			out = append(out, name)
+		}
+	}
+	return out
 }
 
 func ratePerSec(n, elapsedNs int64) float64 {

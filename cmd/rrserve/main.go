@@ -30,11 +30,34 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strconv"
+	"strings"
 	"syscall"
 	"time"
 
 	"rrsched/internal/serve"
 )
+
+// parseClasses parses the -classes value ("name:weight,...") into the
+// weighted class table; range and duplicate validation stays in serve.New.
+func parseClasses(s string) ([]serve.TenantClass, error) {
+	if s == "" {
+		return nil, nil
+	}
+	var out []serve.TenantClass
+	for _, part := range strings.Split(s, ",") {
+		name, weight, ok := strings.Cut(strings.TrimSpace(part), ":")
+		if !ok {
+			return nil, fmt.Errorf("-classes entry %q: want name:weight", part)
+		}
+		w, err := strconv.ParseInt(weight, 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("-classes entry %q: weight: %w", part, err)
+		}
+		out = append(out, serve.TenantClass{Name: name, Weight: w})
+	}
+	return out, nil
+}
 
 func main() {
 	// Library code returns errors; a defect that still panics must exit with
@@ -74,12 +97,18 @@ func run(args []string, stdout io.Writer, sigs <-chan os.Signal, ready chan<- st
 		state     = fs.String("state", "", "state dir for drain checkpoints (and boot restore); empty disables durability")
 		record    = fs.Bool("record-decisions", false, "keep per-tenant decision streams and serve /v1/decisions (testing; memory grows with the run)")
 		drainWait = fs.Duration("drain-timeout", 10*time.Second, "max wait for in-flight HTTP requests on shutdown")
+		classesF  = fs.String("classes", "", "weighted tenant QoS classes as name:weight,... (e.g. gold:3,bronze:1); empty runs the single implicit default class")
+		budget    = fs.Int64("reshard-budget", 0, "max tenant-state bytes one live reshard may migrate, split across classes by weight (0 = unlimited)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	if fs.NArg() > 0 {
 		return fmt.Errorf("unexpected arguments: %v", fs.Args())
+	}
+	classes, err := parseClasses(*classesF)
+	if err != nil {
+		return err
 	}
 
 	svc, restored, err := serve.New(serve.Config{
@@ -90,6 +119,8 @@ func run(args []string, stdout io.Writer, sigs <-chan os.Signal, ready chan<- st
 		RoundEvery:      *round,
 		RecordDecisions: *record,
 		StateDir:        *state,
+		Classes:         classes,
+		ReshardBudget:   *budget,
 	})
 	if err != nil {
 		return err
@@ -109,6 +140,9 @@ func run(args []string, stdout io.Writer, sigs <-chan os.Signal, ready chan<- st
 	}
 	_, _ = fmt.Fprintf(stdout, "rrserve: listening on %s  shards=%d n=%d Δ=%d watermark=%d %s\n", // best-effort status output
 		ln.Addr(), *shards, *n, *delta, *watermark, mode)
+	if len(classes) > 0 {
+		_, _ = fmt.Fprintf(stdout, "rrserve: classes %s  reshard-budget=%d\n", *classesF, *budget) // best-effort status output
+	}
 	if restored > 0 {
 		_, _ = fmt.Fprintf(stdout, "rrserve: restored %d tenants from %s at round %d\n", restored, *state, svc.Round()) // best-effort status output
 	}
@@ -148,6 +182,9 @@ func run(args []string, stdout io.Writer, sigs <-chan os.Signal, ready chan<- st
 	}
 	stats := svc.Stats()
 	svc.Close()
+	if n := stats.Reshards; n > 0 {
+		_, _ = fmt.Fprintf(stdout, "rrserve: reshards=%d (final epoch %d)\n", n, svc.Epoch()) // best-effort status output
+	}
 	_, _ = fmt.Fprintf(stdout, "rrserve: done  round=%d tenants=%d accepted=%d rejected=%d executed=%d dropped=%d reconfigs=%d\n", // best-effort status output
 		stats.Round, stats.Totals.Tenants, stats.Totals.Accepted, stats.Totals.Rejected,
 		stats.Totals.Executed, stats.Totals.Dropped, stats.Totals.Reconfigs)

@@ -182,6 +182,25 @@ func (c *Client) Placement() (*PlacementResponse, error) {
 	return &resp, nil
 }
 
+// Reshard asks the dispatcher to resize the fleet to shards. The request and
+// response reuse the serve layer's reshard wire format; a 409 (mid-round,
+// incomplete checkpoint set, same count) surfaces as an error the caller can
+// retry after the next completed round.
+func (c *Client) Reshard(shards int) (*serve.ReshardResponse, error) {
+	body, err := serve.EncodeReshard(&serve.ReshardRequest{Schema: serve.ReshardSchema, Shards: shards})
+	if err != nil {
+		return nil, err
+	}
+	var resp serve.ReshardResponse
+	if err := c.post("/v1/reshard", body, &resp); err != nil {
+		return nil, err
+	}
+	if resp.Schema != serve.ReshardSchema {
+		return nil, fmt.Errorf("dispatch: reshard response schema %q, want %q", resp.Schema, serve.ReshardSchema)
+	}
+	return &resp, nil
+}
+
 // Stats fetches the dispatcher stats.
 func (c *Client) Stats() (*StatsResponse, error) {
 	var resp StatsResponse

@@ -11,6 +11,7 @@ import (
 
 	"rrsched/internal/atomicio"
 	"rrsched/internal/obs"
+	"rrsched/internal/serve"
 )
 
 // Config parameterizes the dispatcher.
@@ -88,6 +89,10 @@ type Dispatcher struct {
 	mu      sync.Mutex
 	workers map[string]*workerInfo
 	leases  []lease
+	// configEpoch versions cfg.Service. Reshard bumps it; workers echo it in
+	// heartbeats, and a mismatch withholds grants until the worker rebuilds
+	// its hosted service from the fresh config.
+	configEpoch int64
 
 	monitorStop chan struct{}
 	monitorDone chan struct{}
@@ -219,6 +224,7 @@ func (d *Dispatcher) register(req *RegisterRequest) *RegisterResponse {
 		Config:           d.cfg.Service,
 		HeartbeatEveryMs: d.cfg.HeartbeatEvery.Milliseconds(),
 		MissBudget:       d.cfg.MissBudget,
+		ConfigEpoch:      d.configEpoch,
 	}
 }
 
@@ -247,6 +253,16 @@ func (d *Dispatcher) heartbeat(req *HeartbeatRequest) (*HeartbeatResponse, error
 	w.lastSeenNs = d.now()
 
 	resp := &HeartbeatResponse{Schema: WireSchema}
+	if req.ConfigEpoch != d.configEpoch {
+		// The worker's hosted service was built under an older (or, after a
+		// dispatcher restart, newer) config generation. Hand back the current
+		// config and withhold grants: a checkpoint taken under one shard count
+		// must never be opened into a service built for another. Revocation of
+		// whatever it still claims proceeds below as usual.
+		resp.ConfigEpoch = d.configEpoch
+		cfgCopy := d.cfg.Service
+		resp.Config = &cfgCopy
+	}
 	held := map[int]LeaseInfo{}
 	for _, l := range req.Held {
 		if l.Shard < len(d.leases) {
@@ -315,9 +331,10 @@ func (d *Dispatcher) heartbeat(req *HeartbeatRequest) (*HeartbeatResponse, error
 	}
 
 	// Grants: hand unassigned shards to this worker up to its fair share,
-	// each with the latest stored checkpoint.
+	// each with the latest stored checkpoint. A worker on a stale config gets
+	// nothing until it rebuilds and heartbeats under the current epoch.
 	for i := range d.leases {
-		if valid >= fair {
+		if valid >= fair || resp.Config != nil {
 			break
 		}
 		l := &d.leases[i]
@@ -378,11 +395,148 @@ func (d *Dispatcher) storeCheckpoint(req *CheckpointPush) error {
 	return nil
 }
 
+// Reshard resizes the fleet to newShards at the current round boundary: it
+// transforms the stored checkpoint set through serve.ReshardCheckpoints
+// (splitting or merging per the consistent-hash ring of the new count), fences
+// every outstanding lease epoch, bumps the config epoch so workers rebuild
+// their hosted services before claiming anything, and rebuilds the lease table
+// so the next heartbeats grant the migrated shards.
+//
+// The precondition is the fleet-wide round barrier the driver already
+// maintains: every shard must have a stored checkpoint, all at the same round.
+// (A fleet that has never checkpointed resizes without a transform.) Between
+// driver rounds that holds by construction — confirmStored leaves every store
+// at the driver's round — and mid-round it cannot hold, so a reshard can only
+// land where the serve-layer determinism proof needs it to.
+func (d *Dispatcher) Reshard(newShards int) (*serve.ReshardResponse, error) {
+	start := d.now()
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	old := len(d.leases)
+	if newShards < 1 || newShards > MaxShards {
+		return nil, fmt.Errorf("dispatch: reshard to %d shards out of range (1..%d)", newShards, MaxShards)
+	}
+	if newShards == old {
+		return nil, fmt.Errorf("dispatch: fleet already has %d shards", old)
+	}
+	have := 0
+	for i := range d.leases {
+		if len(d.leases[i].checkpoint) > 0 {
+			have++
+		}
+	}
+	if have != 0 && have != old {
+		return nil, fmt.Errorf("dispatch: reshard needs a stored checkpoint for every shard (%d of %d present); drive a full round first", have, old)
+	}
+	var newData [][]byte
+	var round, migrated int64
+	moved := 0
+	if have == old {
+		round = d.leases[0].round
+		olds := make([][]byte, old)
+		for i := range d.leases {
+			if d.leases[i].round != round {
+				return nil, fmt.Errorf("dispatch: shard rounds diverge (shard 0 at %d, shard %d at %d); reshard lands only on a round boundary",
+					round, i, d.leases[i].round)
+			}
+			olds[i] = d.leases[i].checkpoint
+		}
+		var err error
+		newData, err = serve.ReshardCheckpoints(olds, newShards)
+		if err != nil {
+			return nil, err
+		}
+		if moved, err = movedTenants(olds, old, newShards); err != nil {
+			return nil, err
+		}
+		for i := range newData {
+			migrated += int64(len(newData[i]))
+		}
+	}
+	// Fence everything the old placement issued: new leases start past the
+	// highest epoch ever granted, so any straggler push or held claim from the
+	// old topology is stale on arrival.
+	maxEpoch := int64(0)
+	for i := range d.leases {
+		if d.leases[i].epoch > maxEpoch {
+			maxEpoch = d.leases[i].epoch
+		}
+		if d.leases[i].worker != "" {
+			d.met.LeaseRevokes.Inc()
+			d.met.ShardsAssigned.Add(-1)
+		}
+	}
+	leases := make([]lease, newShards)
+	for i := range leases {
+		leases[i] = lease{epoch: maxEpoch + 1, round: round}
+		if newData != nil {
+			leases[i].checkpoint = newData[i]
+		}
+	}
+	d.leases = leases
+	d.cfg.Service.Shards = newShards
+	d.configEpoch++
+	if d.cfg.StateDir != "" {
+		for i := range d.leases {
+			if len(d.leases[i].checkpoint) == 0 {
+				continue
+			}
+			if err := d.persistLocked(i); err != nil {
+				return nil, err
+			}
+		}
+		for i := newShards; i < old; i++ {
+			_ = os.Remove(d.statePath(i)) // best-effort: a leftover stale file is re-detected (and refused) at next boot
+		}
+	}
+	d.met.Reshards.Inc()
+	return &serve.ReshardResponse{
+		Schema:        serve.ReshardSchema,
+		From:          old,
+		Shards:        newShards,
+		Epoch:         d.configEpoch,
+		Round:         round,
+		Moved:         moved,
+		MigratedBytes: migrated,
+		DurationNs:    d.now() - start,
+	}, nil
+}
+
+// movedTenants counts the tenants whose shard assignment changes between the
+// old and new ring — the migration volume a reshard reports.
+func movedTenants(olds [][]byte, oldShards, newShards int) (int, error) {
+	oldRing, err := serve.NewRing(oldShards)
+	if err != nil {
+		return 0, err
+	}
+	newRing, err := serve.NewRing(newShards)
+	if err != nil {
+		return 0, err
+	}
+	moved := 0
+	for i, data := range olds {
+		var cp struct {
+			Tenants []struct {
+				Name string `json:"name"`
+			} `json:"tenants"`
+		}
+		if err := json.Unmarshal(data, &cp); err != nil {
+			return 0, fmt.Errorf("dispatch: decoding shard %d checkpoint for reshard accounting: %w", i, err)
+		}
+		for _, tn := range cp.Tenants {
+			if oldRing.ShardOf(tn.Name) != newRing.ShardOf(tn.Name) {
+				moved++
+			}
+		}
+	}
+	return moved, nil
+}
+
 // Placement returns the current placement table, one entry per shard.
 func (d *Dispatcher) Placement() *PlacementResponse {
 	d.mu.Lock()
 	defer d.mu.Unlock()
-	resp := &PlacementResponse{Schema: WireSchema, Shards: make([]PlacementEntry, len(d.leases))}
+	resp := &PlacementResponse{Schema: WireSchema, Shards: make([]PlacementEntry, len(d.leases)), ConfigEpoch: d.configEpoch}
 	for i := range d.leases {
 		l := &d.leases[i]
 		e := PlacementEntry{Shard: i, Epoch: l.epoch, Round: l.round}
@@ -416,6 +570,9 @@ type StatsResponse struct {
 	Shards   int           `json:"shards"`
 	Assigned int           `json:"assigned"`
 	Workers  []WorkerStats `json:"workers"`
+	// Epoch is the config epoch: how many fleet reshards this dispatcher has
+	// performed since boot.
+	Epoch int64 `json:"epoch"`
 }
 
 // Stats assembles the dispatcher stats response. Workers are listed in name
@@ -423,7 +580,7 @@ type StatsResponse struct {
 func (d *Dispatcher) Stats() *StatsResponse {
 	d.mu.Lock()
 	defer d.mu.Unlock()
-	resp := &StatsResponse{Schema: StatsSchema, Shards: len(d.leases)}
+	resp := &StatsResponse{Schema: StatsSchema, Shards: len(d.leases), Epoch: d.configEpoch}
 	heldBy := map[string]int{}
 	for i := range d.leases {
 		if d.leases[i].worker != "" {
@@ -451,10 +608,14 @@ func (d *Dispatcher) Metrics() *obs.Snapshot { return d.reg.Snapshot() }
 // stateSchema versions the persisted per-shard checkpoint wrapper.
 const stateSchema = "rrdispatch-state/v1"
 
-// shardState is the on-disk wrapper around one shard's checkpoint.
+// shardState is the on-disk wrapper around one shard's checkpoint. Shards
+// records the fleet size the checkpoint was taken under (0 in files written
+// before resizing existed, which are read as "the configured count"); a boot
+// that finds a different count reshards the persisted set before granting.
 type shardState struct {
 	Schema string          `json:"schema"`
 	Shard  int             `json:"shard"`
+	Shards int             `json:"shards,omitempty"`
 	Epoch  int64           `json:"epoch"`
 	Round  int64           `json:"round"`
 	Data   json.RawMessage `json:"data"`
@@ -472,7 +633,8 @@ func (d *Dispatcher) persistLocked(shard int) error {
 	}
 	l := &d.leases[shard]
 	data, err := json.Marshal(shardState{
-		Schema: stateSchema, Shard: shard, Epoch: l.epoch, Round: l.round, Data: l.checkpoint,
+		Schema: stateSchema, Shard: shard, Shards: len(d.leases),
+		Epoch: l.epoch, Round: l.round, Data: l.checkpoint,
 	})
 	if err != nil {
 		return fmt.Errorf("dispatch: encoding shard %d state: %w", shard, err)
@@ -483,29 +645,135 @@ func (d *Dispatcher) persistLocked(shard int) error {
 	return nil
 }
 
-// loadState seeds the lease table from persisted checkpoints. Absent files
-// are fine — shards that never checkpointed start fresh; present files must
-// parse and match their shard slot.
+// loadState seeds the lease table from persisted checkpoints. When the
+// persisted shard count matches the configured one, absent files are fine —
+// shards that never checkpointed start fresh. When the counts differ (the
+// dispatcher was rebooted into a new size), the complete persisted set is
+// transformed through serve.ReshardCheckpoints at boot, exactly like a live
+// reshard: the old epochs are fenced and the migrated set is persisted before
+// any worker registers.
 func (d *Dispatcher) loadState() error {
-	for i := range d.leases {
-		data, err := os.ReadFile(d.statePath(i))
-		if os.IsNotExist(err) {
-			continue
-		}
+	idxs, err := d.scanStateDir()
+	if err != nil {
+		return err
+	}
+	if len(idxs) == 0 {
+		return nil
+	}
+	states := map[int]*shardState{}
+	diskShards := 0
+	for _, i := range idxs {
+		st, err := d.readShardState(i)
 		if err != nil {
-			return fmt.Errorf("dispatch: reading shard %d state: %w", i, err)
+			return err
 		}
-		var st shardState
-		if err := json.Unmarshal(data, &st); err != nil {
-			return fmt.Errorf("dispatch: decoding shard %d state: %w", i, err)
+		if st.Shards != 0 {
+			if diskShards == 0 {
+				diskShards = st.Shards
+			} else if st.Shards != diskShards {
+				return fmt.Errorf("dispatch: state files disagree on the shard count (%d vs %d)", diskShards, st.Shards)
+			}
 		}
-		if st.Schema != stateSchema {
-			return fmt.Errorf("dispatch: shard %d state schema %q, want %q", i, st.Schema, stateSchema)
+		states[i] = st
+	}
+	if diskShards == 0 {
+		// Files from before fleet resizing recorded no count; they were only
+		// ever written under the configured one.
+		diskShards = len(d.leases)
+	}
+	if last := idxs[len(idxs)-1]; last >= diskShards {
+		return fmt.Errorf("dispatch: state file for shard %d exceeds the persisted shard count %d", last, diskShards)
+	}
+	if diskShards == len(d.leases) {
+		for i, st := range states {
+			d.leases[i] = lease{epoch: st.Epoch, round: st.Round, checkpoint: st.Data}
 		}
-		if st.Shard != i {
-			return fmt.Errorf("dispatch: state file for shard %d claims shard %d", i, st.Shard)
+		return nil
+	}
+	// Shard-count change across a restart: a partial set cannot be resharded
+	// (a missing shard's tenants would silently vanish), so every old file
+	// must be present, non-empty, and at one common round.
+	old := make([][]byte, diskShards)
+	var round, maxEpoch int64
+	for i := 0; i < diskShards; i++ {
+		st, ok := states[i]
+		if !ok {
+			return fmt.Errorf("dispatch: resizing %d persisted shards to %d needs the full set; shard %d state is missing", diskShards, len(d.leases), i)
 		}
-		d.leases[i] = lease{epoch: st.Epoch, round: st.Round, checkpoint: st.Data}
+		if len(st.Data) == 0 {
+			return fmt.Errorf("dispatch: resizing %d persisted shards to %d: shard %d has no checkpoint", diskShards, len(d.leases), i)
+		}
+		if i == 0 {
+			round = st.Round
+		} else if st.Round != round {
+			return fmt.Errorf("dispatch: resizing persisted state: shard rounds diverge (shard 0 at %d, shard %d at %d)", round, i, st.Round)
+		}
+		if st.Epoch > maxEpoch {
+			maxEpoch = st.Epoch
+		}
+		old[i] = st.Data
+	}
+	newData, err := serve.ReshardCheckpoints(old, len(d.leases))
+	if err != nil {
+		return fmt.Errorf("dispatch: resizing %d persisted shards to %d: %w", diskShards, len(d.leases), err)
+	}
+	for i := range d.leases {
+		d.leases[i] = lease{epoch: maxEpoch + 1, round: round, checkpoint: newData[i]}
+		if err := d.persistLocked(i); err != nil {
+			return err
+		}
+	}
+	for i := len(d.leases); i < diskShards; i++ {
+		_ = os.Remove(d.statePath(i)) // stale count; re-detected at next boot if left behind
 	}
 	return nil
+}
+
+// scanStateDir lists the shard indices persisted in the state directory, in
+// increasing order (empty when the directory is absent or holds no state
+// files).
+func (d *Dispatcher) scanStateDir() ([]int, error) {
+	entries, err := os.ReadDir(d.cfg.StateDir)
+	if os.IsNotExist(err) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, fmt.Errorf("dispatch: scanning state dir: %w", err)
+	}
+	var idxs []int
+	for _, e := range entries {
+		var i int
+		if n, err := fmt.Sscanf(e.Name(), "shard-%d.json", &i); err != nil || n != 1 {
+			continue
+		}
+		if e.Name() != fmt.Sprintf("shard-%04d.json", i) {
+			continue // tmp files and other near-misses are not state
+		}
+		idxs = append(idxs, i)
+	}
+	sort.Ints(idxs)
+	return idxs, nil
+}
+
+// readShardState reads and validates one persisted shard file. The error is
+// os.IsNotExist-preserving so callers can distinguish absent from corrupt.
+func (d *Dispatcher) readShardState(i int) (*shardState, error) {
+	data, err := os.ReadFile(d.statePath(i))
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil, err
+		}
+		return nil, fmt.Errorf("dispatch: reading shard %d state: %w", i, err)
+	}
+	var st shardState
+	if err := json.Unmarshal(data, &st); err != nil {
+		return nil, fmt.Errorf("dispatch: decoding shard %d state: %w", i, err)
+	}
+	if st.Schema != stateSchema {
+		return nil, fmt.Errorf("dispatch: shard %d state schema %q, want %q", i, st.Schema, stateSchema)
+	}
+	if st.Shard != i {
+		return nil, fmt.Errorf("dispatch: state file for shard %d claims shard %d", i, st.Shard)
+	}
+	return &st, nil
 }

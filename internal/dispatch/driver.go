@@ -1,6 +1,7 @@
 package dispatch
 
 import (
+	"errors"
 	"fmt"
 	"sync"
 	"time"
@@ -53,12 +54,12 @@ type Batch struct {
 // (virtual time has a single clock); concurrent submitters are fine, a second
 // ticker is not.
 type Driver struct {
-	dc     *Client
-	cfg    DriverConfig
-	ring   serve.Ring
-	shards int
+	dc  *Client
+	cfg DriverConfig
 
 	mu        sync.Mutex
+	ring      serve.Ring // rebuilt whenever the placement shard count changes
+	shards    int
 	placement map[int]PlacementEntry
 	clients   map[string]*serve.Client
 	round     int64
@@ -68,7 +69,8 @@ type Driver struct {
 }
 
 // NewDriver builds a driver over the dispatcher at dispatcherURL, reading the
-// shard count from the placement table.
+// shard count (and, after a restart, the fleet's current round) from the
+// placement table.
 func NewDriver(dispatcherURL string, cfg DriverConfig) (*Driver, error) {
 	d := &Driver{
 		dc:        NewClient(dispatcherURL),
@@ -88,11 +90,23 @@ func NewDriver(dispatcherURL string, cfg DriverConfig) (*Driver, error) {
 	}
 	d.ring = ring
 	d.applyPlacement(p)
+	// Adopt the fleet's round so a driver started against a running (or
+	// restored) fleet continues its clock instead of restarting at zero. On a
+	// fresh fleet every stored round is 0 and this is a no-op.
+	for _, e := range p.Shards {
+		if e.Round > d.round {
+			d.round = e.Round
+		}
+	}
 	return d, nil
 }
 
-// Shards returns the fleet's shard count.
-func (d *Driver) Shards() int { return d.shards }
+// Shards returns the fleet's shard count as of the last placement refresh.
+func (d *Driver) Shards() int {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.shards
+}
 
 // CurrentRound returns the driver's round counter (the next round to tick).
 func (d *Driver) CurrentRound() int64 {
@@ -101,12 +115,27 @@ func (d *Driver) CurrentRound() int64 {
 	return d.round
 }
 
-// ShardOf returns the shard owning a tenant.
-func (d *Driver) ShardOf(tenant string) int { return d.ring.ShardOf(tenant) }
+// ShardOf returns the shard owning a tenant under the current ring.
+func (d *Driver) ShardOf(tenant string) int {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.ring.ShardOf(tenant)
+}
 
 func (d *Driver) applyPlacement(p *PlacementResponse) {
 	d.mu.Lock()
 	defer d.mu.Unlock()
+	if len(p.Shards) != d.shards {
+		// The fleet resharded: rebuild the ring and drop the stale table —
+		// old shard indices name different tenant sets now.
+		ring, err := serve.NewRing(len(p.Shards))
+		if err != nil {
+			return // hostile placement size; keep routing on the old table
+		}
+		d.ring = ring
+		d.shards = len(p.Shards)
+		d.placement = map[int]PlacementEntry{}
+	}
 	for _, e := range p.Shards {
 		d.placement[e.Shard] = e
 	}
@@ -143,7 +172,6 @@ func (d *Driver) clientFor(shard int) (*serve.Client, error) {
 // batch is admitted (fresh or duplicate) or the attempt budget is spent.
 // Backpressure (429) is returned to the caller, not absorbed.
 func (d *Driver) Submit(tenant string, jobs []serve.SubmitJob) (serve.SubmitOutcome, error) {
-	shard := d.ring.ShardOf(tenant)
 	req := &serve.SubmitRequest{Schema: serve.WireSchema, Tenant: tenant, Jobs: jobs}
 	var lastErr error
 	for attempt := 0; attempt < d.cfg.Attempts; attempt++ {
@@ -151,6 +179,9 @@ func (d *Driver) Submit(tenant string, jobs []serve.SubmitJob) (serve.SubmitOutc
 			d.sleep(d.cfg.RetryEvery)
 			d.refresh()
 		}
+		// Resolved per attempt: a refresh may have rebuilt the ring after a
+		// fleet reshard, moving the tenant to a different shard index.
+		shard := d.ShardOf(tenant)
 		client, err := d.clientFor(shard)
 		if err != nil {
 			lastErr = err
@@ -190,30 +221,69 @@ func (d *Driver) shardRound(shard int) (int64, error) {
 	return st.PerShard[shard].Round, nil
 }
 
+// errPlacementChanged signals that the fleet's shard count moved under an
+// in-flight round: the batch partition was computed against a ring that no
+// longer exists and must be rebuilt before anything else is retried.
+var errPlacementChanged = errors.New("dispatch: fleet shard count changed; re-partitioning")
+
 // Round executes one scheduling round transactionally: every batch lands on
 // its shard, then every shard ticks exactly once. If a worker dies anywhere
 // in the protocol, the repair loop refreshes placement, resubmits the
 // affected shard's batches (idempotent — landed batches answer 409), and
 // re-ticks from the restored round. On return, every shard has advanced to
 // the same next round with the round's arrivals admitted exactly once.
+//
+// A fleet reshard concurrent with the round is survived the same way: the
+// dispatcher only accepts a reshard at the round boundary (equal stored
+// rounds), so any admissions this round had landed on the old topology are
+// rolled back by the checkpoint transform; the driver detects the shard-count
+// change, re-partitions every batch under the new ring, and replays the whole
+// round from resubmission.
 func (d *Driver) Round(batches []Batch) error {
 	d.mu.Lock()
 	target := d.round + 1
 	d.mu.Unlock()
 
-	perShard := make(map[int][]Batch, d.shards)
+	var lastErr error
+	for attempt := 0; attempt < d.cfg.Attempts; attempt++ {
+		if attempt > 0 {
+			d.sleep(d.cfg.RetryEvery)
+			d.refresh()
+		}
+		err := d.roundOnce(batches, target)
+		if err == nil {
+			d.mu.Lock()
+			d.round = target
+			d.mu.Unlock()
+			return nil
+		}
+		if !errors.Is(err, errPlacementChanged) {
+			return err
+		}
+		lastErr = err
+	}
+	return fmt.Errorf("dispatch: round %d failed after %d re-partitions: %w", target, d.cfg.Attempts, lastErr)
+}
+
+// roundOnce partitions the round's batches under the current ring and drives
+// every shard through the round. It fails with errPlacementChanged the moment
+// the fleet's shard count moves, so the caller can re-partition.
+func (d *Driver) roundOnce(batches []Batch, target int64) error {
+	d.mu.Lock()
+	fleet := d.shards
+	ring := d.ring
+	d.mu.Unlock()
+
+	perShard := make(map[int][]Batch, fleet)
 	for _, b := range batches {
-		shard := d.ring.ShardOf(b.Tenant)
+		shard := ring.ShardOf(b.Tenant)
 		perShard[shard] = append(perShard[shard], b)
 	}
-	for shard := 0; shard < d.shards; shard++ {
-		if err := d.roundShard(shard, perShard[shard], target); err != nil {
+	for shard := 0; shard < fleet; shard++ {
+		if err := d.roundShard(shard, fleet, perShard[shard], target); err != nil {
 			return err
 		}
 	}
-	d.mu.Lock()
-	d.round = target
-	d.mu.Unlock()
 	return nil
 }
 
@@ -228,12 +298,15 @@ func (d *Driver) Round(batches []Batch) error {
 // the store at target-1; the driver would move on, and a crash before the
 // next successful push would restore the shard two rounds behind the
 // driver's counter, losing a round's arrivals for good.
-func (d *Driver) roundShard(shard int, batches []Batch, target int64) error {
+func (d *Driver) roundShard(shard, fleet int, batches []Batch, target int64) error {
 	var lastErr error
 	for attempt := 0; attempt < d.cfg.Attempts; attempt++ {
 		if attempt > 0 {
 			d.sleep(d.cfg.RetryEvery)
 			d.refresh()
+		}
+		if d.Shards() != fleet {
+			return errPlacementChanged
 		}
 		if lastErr = d.landBatches(shard, batches); lastErr != nil {
 			continue
@@ -336,13 +409,14 @@ func (d *Driver) landBatches(shard int, batches []Batch) error {
 // DecisionsRaw fetches a tenant's recorded decision stream from the worker
 // holding its shard, retrying through placement refreshes.
 func (d *Driver) DecisionsRaw(tenant string) ([]byte, error) {
-	shard := d.ring.ShardOf(tenant)
 	var lastErr error
 	for attempt := 0; attempt < d.cfg.Attempts; attempt++ {
 		if attempt > 0 {
 			d.sleep(d.cfg.RetryEvery)
 			d.refresh()
 		}
+		// Per attempt: a reshard moves the tenant's shard index with the ring.
+		shard := d.ShardOf(tenant)
 		client, err := d.clientFor(shard)
 		if err != nil {
 			lastErr = err

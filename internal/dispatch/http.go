@@ -22,6 +22,7 @@ const maxCheckpointBody = 64 << 20
 //	POST /v1/register    worker registration (RegisterRequest → RegisterResponse)
 //	POST /v1/heartbeat   lease renewal + grant/revoke exchange
 //	POST /v1/checkpoint  per-tick shard checkpoint push (409 on a stale epoch)
+//	POST /v1/reshard     fleet resize at the round boundary (409 when refused)
 //	GET  /v1/placement   shard→worker placement table for drivers
 //	GET  /v1/stats       dispatcher stats (workers, lease counts)
 //	GET  /metrics        dispatcher metric snapshot (obs JSON format)
@@ -32,6 +33,7 @@ func (d *Dispatcher) Handler() http.Handler {
 	mux.HandleFunc("/v1/register", d.handleRegister)
 	mux.HandleFunc("/v1/heartbeat", d.handleHeartbeat)
 	mux.HandleFunc("/v1/checkpoint", d.handleCheckpoint)
+	mux.HandleFunc("/v1/reshard", d.handleReshard)
 	mux.HandleFunc("/v1/placement", d.handlePlacement)
 	mux.HandleFunc("/v1/stats", d.handleStats)
 	mux.HandleFunc("/metrics", d.handleMetrics)
@@ -122,6 +124,28 @@ func (d *Dispatcher) handleCheckpoint(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	writeBody(w, http.StatusOK, []byte("{}\n"))
+}
+
+// handleReshard resizes the fleet. The request body is the serve layer's
+// reshard message — one resize vocabulary across both tiers — and refusals
+// (mid-round, missing checkpoints, same count) answer 409: the caller should
+// finish a round and retry, not fix the request.
+func (d *Dispatcher) handleReshard(w http.ResponseWriter, r *http.Request) {
+	body, ok := readBody(w, r, maxControlBody)
+	if !ok {
+		return
+	}
+	req, err := serve.DecodeReshard(body)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	resp, err := d.Reshard(req.Shards)
+	if err != nil {
+		writeError(w, http.StatusConflict, err.Error())
+		return
+	}
+	writeJSON(w, http.StatusOK, resp)
 }
 
 func (d *Dispatcher) handlePlacement(w http.ResponseWriter, r *http.Request) {

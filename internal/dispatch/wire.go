@@ -84,6 +84,10 @@ type RegisterResponse struct {
 	Config           ServiceConfig `json:"config"`
 	HeartbeatEveryMs int64         `json:"heartbeat_every_ms"`
 	MissBudget       int           `json:"miss_budget"`
+	// ConfigEpoch versions Config. A fleet reshard bumps it; workers echo it
+	// on every heartbeat so the dispatcher can tell who still runs the old
+	// shard count.
+	ConfigEpoch int64 `json:"config_epoch,omitempty"`
 }
 
 // LeaseInfo identifies one held lease in a heartbeat: the shard, the epoch
@@ -101,6 +105,10 @@ type HeartbeatRequest struct {
 	Schema string      `json:"schema"`
 	Worker string      `json:"worker"`
 	Held   []LeaseInfo `json:"held,omitempty"`
+	// ConfigEpoch is the config generation this worker's hosted service was
+	// built from. When it trails the dispatcher's, the response carries the
+	// fresh config and no grants: the worker must rebuild first.
+	ConfigEpoch int64 `json:"config_epoch,omitempty"`
 }
 
 // LeaseGrant hands a shard to the heartbeating worker. Checkpoint carries the
@@ -121,6 +129,12 @@ type HeartbeatResponse struct {
 	Schema  string       `json:"schema"`
 	Grants  []LeaseGrant `json:"grants,omitempty"`
 	Revokes []int        `json:"revokes,omitempty"`
+	// ConfigEpoch and Config are set when the heartbeating worker's config
+	// epoch is stale (a fleet reshard happened): the worker must tear down its
+	// hosted service, rebuild it from Config, and only then claim leases. A
+	// response carrying Config never carries grants.
+	ConfigEpoch int64          `json:"config_epoch,omitempty"`
+	Config      *ServiceConfig `json:"config,omitempty"`
 }
 
 // CheckpointPush is the body of POST /v1/checkpoint: one shard's state as of
@@ -154,6 +168,10 @@ type PlacementEntry struct {
 type PlacementResponse struct {
 	Schema string           `json:"schema"`
 	Shards []PlacementEntry `json:"shards"`
+	// ConfigEpoch is the placement generation: drivers that see it change
+	// (or see the shard count change) must rebuild their hash ring before
+	// routing another batch.
+	ConfigEpoch int64 `json:"config_epoch,omitempty"`
 }
 
 // DecodeRegister parses and validates a register request.
@@ -223,6 +241,9 @@ func validateHeartbeat(req *HeartbeatRequest) error {
 	}
 	if err := ValidateWorker(req.Worker); err != nil {
 		return err
+	}
+	if req.ConfigEpoch < 0 {
+		return fmt.Errorf("dispatch: heartbeat carries negative config epoch %d", req.ConfigEpoch)
 	}
 	if len(req.Held) > MaxShards {
 		return fmt.Errorf("dispatch: heartbeat claims %d leases, max %d", len(req.Held), MaxShards)

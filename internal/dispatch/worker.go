@@ -25,26 +25,75 @@ import (
 // budget, so a partitioned worker can never serve a shard the dispatcher has
 // already failed over (see heartbeatLoop for the timing argument).
 type Worker struct {
-	name string
-	dc   *Client
-	svc  *serve.Service
-	srv  *http.Server
-	ln   net.Listener
-	addr string
-	logw io.Writer
+	name  string
+	dc    *Client
+	srv   *http.Server
+	hswap *handlerSwap
+	ln    net.Listener
+	addr  string
+	logw  io.Writer
 
 	heartbeatEvery time.Duration
 	missBudget     int
 	now            func() int64 // obs.Now, injectable in tests
 
-	mu     sync.Mutex
-	epochs map[int]int64 // shard → lease epoch (held shards only)
-	rounds map[int]int64 // shard → round of its last checkpoint/open
+	mu          sync.Mutex
+	svc         *serve.Service // replaced wholesale on a config-epoch rebuild
+	config      ServiceConfig
+	configEpoch int64
+	epochs      map[int]int64 // shard → lease epoch (held shards only)
+	rounds      map[int]int64 // shard → round of its last checkpoint/open
 
 	stop     chan struct{}
 	done     chan struct{}
 	stopOnce sync.Once
 	endOnce  sync.Once
+}
+
+// handlerSwap is the indirection that lets a worker rebuild its hosted
+// service under a new fleet config without restarting its HTTP listener: the
+// server is bound to the swap once, and a reshard replaces the handler behind
+// it between requests. The read lock is held for the whole request, so swap
+// doubles as a drain barrier: once it returns, no in-flight request is still
+// executing against the old handler and the old service can be closed.
+type handlerSwap struct {
+	mu sync.RWMutex
+	h  http.Handler
+}
+
+func (s *handlerSwap) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	s.h.ServeHTTP(w, r)
+}
+
+func (s *handlerSwap) swap(h http.Handler) {
+	s.mu.Lock()
+	s.h = h
+	s.mu.Unlock()
+}
+
+// service returns the current hosted service; it is replaced wholesale when
+// the dispatcher's config epoch moves.
+func (w *Worker) service() *serve.Service {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.svc
+}
+
+// cfgEpoch returns the config epoch the current hosted service was built at.
+func (w *Worker) cfgEpoch() int64 {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.configEpoch
+}
+
+// currentConfig returns the service config the current hosted service was
+// built from.
+func (w *Worker) currentConfig() ServiceConfig {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.config
 }
 
 // halt stops the heartbeat loop exactly once, whether via Close or Kill.
@@ -102,7 +151,10 @@ func StartWorker(name, dispatcherURL, listenAddr string, logw io.Writer) (*Worke
 		return nil, fmt.Errorf("dispatch: building hosted service: %w", err)
 	}
 	w.svc = svc
-	w.srv = serve.HardenedServer(svc.Handler())
+	w.config = reg.Config
+	w.configEpoch = reg.ConfigEpoch
+	w.hswap = &handlerSwap{h: svc.Handler()}
+	w.srv = serve.HardenedServer(w.hswap)
 	go func() { _ = w.srv.Serve(ln) }() // exits via Close/Kill; error carries no signal then
 	go w.heartbeatLoop()
 	w.logf("rrworker %s: serving on %s (shards=%d, heartbeat %v, miss budget %d)",
@@ -195,10 +247,18 @@ func (w *Worker) heartbeatLoop() {
 			// whatever this worker still holds is reconciled (revoked or
 			// re-fenced) on the next heartbeat. Registration renews liveness
 			// on the dispatcher, so it resets the fence clock too.
-			if _, rerr := w.dc.Register(w.name, w.addr); rerr == nil {
+			if reg, rerr := w.dc.Register(w.name, w.addr); rerr == nil {
 				w.logf("rrworker %s: re-registered after dispatcher restart", w.name)
 				lastSuccess = sent
 				fails = 0
+				// A restarted dispatcher may have come back with a different
+				// fleet shape (or a reset config epoch); rebuild before the
+				// next heartbeat claims anything under the wrong shard count.
+				if reg.ConfigEpoch != w.cfgEpoch() || reg.Config != w.currentConfig() {
+					if err := w.rebuild(reg.Config, reg.ConfigEpoch); err != nil {
+						w.logf("rrworker %s: rebuilding after re-register failed: %v", w.name, err)
+					}
+				}
 				continue
 			}
 			err = fmt.Errorf("dispatch: re-register: %w", err)
@@ -227,7 +287,7 @@ func (w *Worker) heartbeatLoop() {
 func (w *Worker) heartbeatRequest() *HeartbeatRequest {
 	w.mu.Lock()
 	defer w.mu.Unlock()
-	req := &HeartbeatRequest{Schema: WireSchema, Worker: w.name}
+	req := &HeartbeatRequest{Schema: WireSchema, Worker: w.name, ConfigEpoch: w.configEpoch}
 	shards := make([]int, 0, len(w.epochs))
 	for shard := range w.epochs {
 		shards = append(shards, shard)
@@ -240,15 +300,25 @@ func (w *Worker) heartbeatRequest() *HeartbeatRequest {
 }
 
 // apply executes one heartbeat response: revokes first (close, push the final
-// checkpoint), then grants (record the epoch, open from the checkpoint).
+// checkpoint), then grants (record the epoch, open from the checkpoint). A
+// response carrying a fresh config instead means the fleet resharded: the
+// hosted service is rebuilt from scratch and nothing else in the response
+// applies — grants were withheld, and the revokes name shards the rebuild
+// already dropped.
 func (w *Worker) apply(resp *HeartbeatResponse) {
+	if resp.Config != nil && resp.ConfigEpoch != w.cfgEpoch() {
+		if err := w.rebuild(*resp.Config, resp.ConfigEpoch); err != nil {
+			w.logf("rrworker %s: rebuilding for config epoch %d failed: %v", w.name, resp.ConfigEpoch, err)
+		}
+		return
+	}
 	for _, shard := range resp.Revokes {
 		w.mu.Lock()
 		epoch, held := w.epochs[shard]
 		delete(w.epochs, shard)
 		delete(w.rounds, shard)
 		w.mu.Unlock()
-		data, err := w.svc.CloseShard(shard)
+		data, err := w.service().CloseShard(shard)
 		if err != nil {
 			// Already closed (a revoke for a lease this worker never applied);
 			// nothing to hand off.
@@ -271,7 +341,7 @@ func (w *Worker) apply(resp *HeartbeatResponse) {
 		w.epochs[g.Shard] = g.Epoch
 		w.rounds[g.Shard] = g.Round
 		w.mu.Unlock()
-		round, err := w.svc.OpenShard(g.Shard, g.Checkpoint)
+		round, err := w.service().OpenShard(g.Shard, g.Checkpoint)
 		if err != nil {
 			w.mu.Lock()
 			delete(w.epochs, g.Shard)
@@ -285,6 +355,37 @@ func (w *Worker) apply(resp *HeartbeatResponse) {
 		w.mu.Unlock()
 		w.logf("rrworker %s: holding shard %d at round %d (epoch %d)", w.name, g.Shard, round, g.Epoch)
 	}
+}
+
+// rebuild tears the hosted service down and builds a fresh one from cfg —
+// the worker-side half of a fleet reshard. Held state is dropped, not handed
+// off: the dispatcher fenced every old lease when it bumped the config epoch
+// and already holds the transformed checkpoint set, so a final push would
+// only bounce off the fence. The HTTP listener survives; only the handler
+// behind it is swapped.
+func (w *Worker) rebuild(cfg ServiceConfig, epoch int64) error {
+	w.mu.Lock()
+	w.epochs = map[int]int64{}
+	w.rounds = map[int]int64{}
+	old := w.svc
+	w.mu.Unlock()
+	scfg := cfg.serveConfig()
+	scfg.OnShardCheckpoint = w.pushCheckpoint
+	svc, _, err := serve.New(scfg)
+	if err != nil {
+		return fmt.Errorf("dispatch: rebuilding hosted service: %w", err)
+	}
+	// Swap first: it drains every in-flight request off the old handler, so
+	// closing the old service afterwards cannot race a request against it.
+	w.hswap.swap(svc.Handler())
+	old.Close()
+	w.mu.Lock()
+	w.svc = svc
+	w.config = cfg
+	w.configEpoch = epoch
+	w.mu.Unlock()
+	w.logf("rrworker %s: rebuilt for config epoch %d (shards=%d)", w.name, epoch, cfg.Shards)
+	return nil
 }
 
 // closedRound extracts the round from a close checkpoint via the recorded
@@ -320,7 +421,7 @@ func (w *Worker) selfFence() {
 	w.mu.Unlock()
 	sort.Ints(shards)
 	for _, shard := range shards {
-		_, _ = w.svc.CloseShard(shard) // discard: the dispatcher's checkpoint is authoritative now
+		_, _ = w.service().CloseShard(shard) // discard: the dispatcher's checkpoint is authoritative now
 	}
 	if len(shards) > 0 {
 		w.logf("rrworker %s: heartbeat deadline exceeded; fenced shards %v", w.name, shards)
@@ -347,7 +448,7 @@ func (w *Worker) Close() {
 		}
 		sort.Ints(shards)
 		for _, shard := range shards {
-			data, err := w.svc.CloseShard(shard)
+			data, err := w.service().CloseShard(shard)
 			if err != nil {
 				continue
 			}
@@ -360,7 +461,7 @@ func (w *Worker) Close() {
 			}
 		}
 		_ = w.srv.Close() // abrupt: held shards are handed back already
-		w.svc.Close()
+		w.service().Close()
 		w.logf("rrworker %s: stopped", w.name)
 	})
 }
@@ -371,6 +472,6 @@ func (w *Worker) Kill() {
 	w.halt()
 	w.endOnce.Do(func() {
 		_ = w.srv.Close() // abrupt by design
-		w.svc.Close()
+		w.service().Close()
 	})
 }

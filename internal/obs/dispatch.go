@@ -35,6 +35,9 @@ const (
 	// MetricFailoverNs is the distribution of failover latency: from a worker
 	// being declared dead to its last shard regranted.
 	MetricFailoverNs = "dispatch_failover_ns"
+	// MetricReshards counts fleet reshards: config-epoch bumps that resized
+	// the shard count and migrated the stored checkpoint set.
+	MetricReshards = "dispatch_reshards_total"
 )
 
 // DispatchMetrics is the pre-wired handle set of the dispatcher/worker tier.
@@ -52,6 +55,7 @@ type DispatchMetrics struct {
 	Checkpoints     *Counter
 	CheckpointBytes *Histogram
 	FailoverNs      *Histogram
+	Reshards        *Counter
 }
 
 // NewDispatchMetrics registers the dispatch metric set on the registry and
@@ -99,6 +103,9 @@ func NewDispatchMetrics(r *Registry) (*DispatchMetrics, error) {
 	// Failover latency: 1 ms to ~4.4 min in powers of four — dominated by the
 	// heartbeat interval times the miss budget.
 	if dm.FailoverNs, err = r.Histogram(MetricFailoverNs, ExpBuckets(1<<20, 4, 10)); err != nil {
+		return nil, err
+	}
+	if dm.Reshards, err = r.Counter(MetricReshards); err != nil {
 		return nil, err
 	}
 	return dm, nil

@@ -150,6 +150,9 @@ func AppendSubmitBinary(dst []byte, req *SubmitRequest) ([]byte, error) {
 	if req.Schema != WireSchema && req.Schema != WireSchemaV2 {
 		return dst, fmt.Errorf("serve: submit schema %q, want %q or %q", req.Schema, WireSchema, WireSchemaV2)
 	}
+	if err := validateSubmitMeta(req.Class, req.Epoch); err != nil {
+		return dst, err
+	}
 	var ck delayChecker
 	if err := validateSubmitBody(req.Tenant, req.Jobs, &ck); err != nil {
 		return dst, err
@@ -164,6 +167,15 @@ func AppendSubmitBinary(dst []byte, req *SubmitRequest) ([]byte, error) {
 		dst = binary.LittleEndian.AppendUint64(dst, uint64(j.ID))
 		dst = binary.LittleEndian.AppendUint32(dst, uint32(j.Color))
 		dst = binary.LittleEndian.AppendUint64(dst, uint64(j.Delay))
+	}
+	// Optional routing-metadata trailer: [u16 class len][class][i64 epoch].
+	// Emitted only when either field is set, so legacy frames (and their
+	// golden bytes) are unchanged — the canonical encoding of a metadata-free
+	// batch has no trailer.
+	if req.Class != "" || req.Epoch != 0 {
+		dst = binary.LittleEndian.AppendUint16(dst, uint16(len(req.Class)))
+		dst = append(dst, req.Class...)
+		dst = binary.LittleEndian.AppendUint64(dst, uint64(req.Epoch))
 	}
 	return patchFrameLen(dst, start), nil
 }
@@ -225,8 +237,35 @@ func DecodeSubmitBinaryInto(req *SubmitRequest, data []byte) error {
 	if len(rest) < n*binJobLen {
 		return fmt.Errorf("%w: %d job bytes for %d jobs (want %d)", ErrFrameTruncated, len(rest), n, n*binJobLen)
 	}
-	if len(rest) > n*binJobLen {
-		return fmt.Errorf("%w: %d trailing bytes after jobs", ErrFrameHeader, len(rest)-n*binJobLen)
+	trailer := rest[n*binJobLen:]
+	req.Class, req.Epoch = "", 0
+	if len(trailer) > 0 {
+		// Routing-metadata trailer: [u16 class len][class][i64 epoch].
+		// Legacy frames simply end after the jobs.
+		if len(trailer) < 2 {
+			return fmt.Errorf("%w: submit trailer missing class length", ErrFrameTruncated)
+		}
+		cl := int(binary.LittleEndian.Uint16(trailer))
+		if cl > MaxClassLen {
+			return fmt.Errorf("serve: class name of %d bytes, max %d", cl, MaxClassLen)
+		}
+		if len(trailer) < 2+cl+8 {
+			return fmt.Errorf("%w: submit trailer %d bytes, want %d", ErrFrameTruncated, len(trailer), 2+cl+8)
+		}
+		if len(trailer) > 2+cl+8 {
+			return fmt.Errorf("%w: %d trailing bytes after submit trailer", ErrFrameHeader, len(trailer)-(2+cl+8))
+		}
+		cb := trailer[2 : 2+cl]
+		if cl > 0 {
+			if err := validateTenantBytes(cb); err != nil {
+				return fmt.Errorf("serve: invalid class name: %w", err)
+			}
+			req.Class = tenantInterner.get(cb)
+		}
+		req.Epoch = int64(binary.LittleEndian.Uint64(trailer[2+cl:]))
+		if err := validateSubmitMeta(req.Class, req.Epoch); err != nil {
+			return err
+		}
 	}
 	req.Schema = WireSchemaV2
 	req.Tenant = tenantInterner.get(tb)
@@ -255,24 +294,34 @@ func AppendSubmitResponseBinary(dst []byte, resp *SubmitResponse) []byte {
 	dst = binary.LittleEndian.AppendUint32(dst, uint32(resp.Accepted))
 	dst = binary.LittleEndian.AppendUint64(dst, uint64(resp.Round))
 	dst = binary.LittleEndian.AppendUint64(dst, uint64(resp.Backlog))
+	// Placement-epoch trailer, present only once the epoch is non-zero —
+	// pre-reshard responses keep the legacy 20-byte payload.
+	if resp.Epoch != 0 {
+		dst = binary.LittleEndian.AppendUint64(dst, uint64(resp.Epoch))
+	}
 	return patchFrameLen(dst, start)
 }
 
-// DecodeSubmitResponseBinary parses a submit response frame.
+// DecodeSubmitResponseBinary parses a submit response frame (20 bytes, or 28
+// with the placement-epoch trailer).
 func DecodeSubmitResponseBinary(data []byte) (*SubmitResponse, error) {
 	payload, err := splitTypedFrame(data, FrameSubmitResponse)
 	if err != nil {
 		return nil, err
 	}
-	if len(payload) != 20 {
-		return nil, fmt.Errorf("%w: submit response payload %d bytes, want 20", ErrFrameHeader, len(payload))
+	if len(payload) != 20 && len(payload) != 28 {
+		return nil, fmt.Errorf("%w: submit response payload %d bytes, want 20 or 28", ErrFrameHeader, len(payload))
 	}
-	return &SubmitResponse{
+	resp := &SubmitResponse{
 		Schema:   WireSchemaV2,
 		Accepted: int(binary.LittleEndian.Uint32(payload)),
 		Round:    int64(binary.LittleEndian.Uint64(payload[4:])),
 		Backlog:  int(int64(binary.LittleEndian.Uint64(payload[12:]))),
-	}, nil
+	}
+	if len(payload) == 28 {
+		resp.Epoch = int64(binary.LittleEndian.Uint64(payload[20:]))
+	}
+	return resp, nil
 }
 
 // EncodeTickBinary encodes a tick request frame: advance rounds rounds on

@@ -1,0 +1,272 @@
+package serve
+
+import (
+	"bytes"
+	"fmt"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+// classFixtureOutcomes drives a fixed two-class submission schedule against
+// a fresh service configured with the given weights and returns the ordered
+// admission outcomes plus each tenant's final decision bytes. The schedule
+// brushes the class-share boundary so weight changes are visible in it.
+func classFixtureOutcomes(t *testing.T, watermark int, classes []TenantClass) ([]string, map[string][]byte) {
+	t.Helper()
+	cfg := Config{Shards: 2, Resources: 8, Delta: 4, Watermark: watermark,
+		Classes: classes, RecordDecisions: true}
+	svc, _, err := New(cfg)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	defer svc.Close()
+	srv := httptest.NewServer(svc.Handler())
+	defer srv.Close()
+	client := NewClient(srv.URL)
+
+	tenants := []struct{ name, class string }{
+		{"a-one", "a"}, {"a-two", "a"}, {"b-one", "b"}, {"b-two", "b"},
+	}
+	var outcomes []string
+	next := map[string]int64{}
+	for round := 0; round < 12; round++ {
+		for _, tn := range tenants {
+			// Batch sizes sweep 1..6 so cumulative class backlogs cross any
+			// share boundary between 1 and the watermark.
+			n := 1 + (round+len(tn.name))%6
+			jobs := make([]SubmitJob, n)
+			for k := range jobs {
+				jobs[k] = SubmitJob{ID: next[tn.name] + int64(k), Color: int32(k % 3), Delay: 8}
+			}
+			out, err := client.Submit(&SubmitRequest{
+				Schema: WireSchema, Tenant: tn.name, Class: tn.class, Jobs: jobs,
+			})
+			if err != nil {
+				t.Fatalf("submit %s round %d: %v", tn.name, round, err)
+			}
+			if out.Accepted {
+				next[tn.name] += int64(n)
+			}
+			outcomes = append(outcomes, fmt.Sprintf("%s:%d:accepted=%v:rejected=%v", tn.name, round, out.Accepted, out.Rejected))
+		}
+		if _, err := client.Tick(1); err != nil {
+			t.Fatalf("Tick round %d: %v", round, err)
+		}
+	}
+	decisions := map[string][]byte{}
+	for _, tn := range tenants {
+		raw, err := client.DecisionsRaw(tn.name)
+		if err != nil {
+			t.Fatalf("DecisionsRaw(%s): %v", tn.name, err)
+		}
+		decisions[tn.name] = raw
+	}
+	return outcomes, decisions
+}
+
+// TestClassWeightScaleInvariance is the metamorphic property of weighted
+// admission: multiplying every class weight by a common factor changes no
+// admission decision and no decision stream — shares are ratios, not
+// magnitudes.
+func TestClassWeightScaleInvariance(t *testing.T) {
+	base := []TenantClass{{Name: "a", Weight: 1}, {Name: "b", Weight: 3}}
+	for _, k := range []int64{2, 7, 1000} {
+		scaled := []TenantClass{{Name: "a", Weight: 1 * k}, {Name: "b", Weight: 3 * k}}
+		outA, decA := classFixtureOutcomes(t, 24, base)
+		outB, decB := classFixtureOutcomes(t, 24, scaled)
+		for i := range outA {
+			if outA[i] != outB[i] {
+				t.Fatalf("k=%d: admission decision %d diverged:\nbase:   %s\nscaled: %s", k, i, outA[i], outB[i])
+			}
+		}
+		for name, a := range decA {
+			if !bytes.Equal(a, decB[name]) {
+				t.Fatalf("k=%d: tenant %s decision stream changed under weight scaling", k, name)
+			}
+		}
+	}
+}
+
+// TestClassWeightMonotonicity pins the direction of weighted admission:
+// growing one class's relative weight never shrinks its accepted-batch
+// count, and the boundary case is exact — a batch that fits the fair share
+// under equal weights is rejected once the weights tilt away.
+func TestClassWeightMonotonicity(t *testing.T) {
+	accepts := func(classes []TenantClass) (a, b int) {
+		outs, _ := classFixtureOutcomes(t, 24, classes)
+		for _, o := range outs {
+			if !strings.Contains(o, "accepted=true") {
+				continue
+			}
+			if strings.HasPrefix(o, "a-") {
+				a++
+			} else {
+				b++
+			}
+		}
+		return a, b
+	}
+	prevA := -1
+	var prevB int
+	for _, wa := range []int64{1, 2, 4, 8} {
+		a, b := accepts([]TenantClass{{Name: "a", Weight: wa}, {Name: "b", Weight: 4}})
+		if prevA >= 0 && (a < prevA || b > prevB) {
+			t.Fatalf("weight a=%d: accepts a=%d b=%d, want monotone vs previous a=%d b=%d", wa, a, b, prevA, prevB)
+		}
+		prevA, prevB = a, b
+	}
+
+	// Exact boundary: watermark 40 split 20/20 admits a 15-job batch for
+	// both classes; tilted to 10/30 the class-a batch must bounce off its
+	// share while class-b still clears.
+	boundary := func(classes []TenantClass) (SubmitOutcome, SubmitOutcome) {
+		cfg := Config{Shards: 1, Resources: 8, Delta: 4, Watermark: 40, Classes: classes}
+		svc, _, err := New(cfg)
+		if err != nil {
+			t.Fatalf("New: %v", err)
+		}
+		defer svc.Close()
+		srv := httptest.NewServer(svc.Handler())
+		defer srv.Close()
+		client := NewClient(srv.URL)
+		batch := func(tenant, class string) SubmitOutcome {
+			jobs := make([]SubmitJob, 15)
+			for k := range jobs {
+				jobs[k] = SubmitJob{ID: int64(k), Color: 0, Delay: 8}
+			}
+			out, err := client.Submit(&SubmitRequest{Schema: WireSchema, Tenant: tenant, Class: class, Jobs: jobs})
+			if err != nil {
+				t.Fatalf("submit %s: %v", tenant, err)
+			}
+			return out
+		}
+		return batch("alpha", "a"), batch("beta", "b")
+	}
+	outA, outB := boundary([]TenantClass{{Name: "a", Weight: 1}, {Name: "b", Weight: 1}})
+	if !outA.Accepted || !outB.Accepted {
+		t.Fatalf("equal weights: a=%+v b=%+v, want both accepted", outA, outB)
+	}
+	outA, outB = boundary([]TenantClass{{Name: "a", Weight: 1}, {Name: "b", Weight: 3}})
+	if !outA.Rejected || !outB.Accepted {
+		t.Fatalf("1:3 weights: a=%+v b=%+v, want a rejected and b accepted", outA, outB)
+	}
+}
+
+// TestClassAdmissionPlumbing covers the class wire contract: unknown class
+// names are 400s, a tenant cannot switch classes mid-life, defaulted traffic
+// is untouched, and /v1/stats aggregates per-class rows.
+func TestClassAdmissionPlumbing(t *testing.T) {
+	cfg := Config{Shards: 2, Resources: 8, Delta: 4, Watermark: 40,
+		Classes: []TenantClass{{Name: "gold", Weight: 3}, {Name: "bronze", Weight: 1}}}
+	svc, _, err := New(cfg)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	defer svc.Close()
+	srv := httptest.NewServer(svc.Handler())
+	defer srv.Close()
+	client := NewClient(srv.URL)
+
+	if _, err := client.Submit(&SubmitRequest{
+		Schema: WireSchema, Tenant: "alpha", Class: "platinum",
+		Jobs: []SubmitJob{{ID: 0, Color: 0, Delay: 4}},
+	}); err == nil || !strings.Contains(err.Error(), "unknown class") {
+		t.Fatalf("unknown class: err=%v, want 400 naming it", err)
+	}
+
+	out, err := client.Submit(&SubmitRequest{
+		Schema: WireSchema, Tenant: "alpha", Class: "gold",
+		Jobs: []SubmitJob{{ID: 0, Color: 0, Delay: 4}},
+	})
+	if err != nil || !out.Accepted {
+		t.Fatalf("gold submit: out=%+v err=%v", out, err)
+	}
+	if _, err := client.Submit(&SubmitRequest{
+		Schema: WireSchema, Tenant: "alpha", Class: "bronze",
+		Jobs: []SubmitJob{{ID: 1, Color: 0, Delay: 4}},
+	}); err == nil || !strings.Contains(err.Error(), "bound to class") {
+		t.Fatalf("class switch: err=%v, want 400 naming the binding", err)
+	}
+	// Omitting the class on later batches keeps the binding.
+	out, err = client.Submit(&SubmitRequest{
+		Schema: WireSchema, Tenant: "alpha",
+		Jobs: []SubmitJob{{ID: 1, Color: 0, Delay: 4}},
+	})
+	if err != nil || !out.Accepted {
+		t.Fatalf("bound follow-up: out=%+v err=%v", out, err)
+	}
+
+	st, err := client.Stats()
+	if err != nil {
+		t.Fatalf("Stats: %v", err)
+	}
+	byName := map[string]ClassStats{}
+	for _, cs := range st.Classes {
+		byName[cs.Name] = cs
+	}
+	gold, ok := byName["gold"]
+	if !ok {
+		t.Fatalf("stats missing class gold: %+v", st.Classes)
+	}
+	if gold.Accepted != 2 || gold.Backlog != 2 || gold.Weight != 3 {
+		t.Fatalf("gold stats %+v, want accepted=2 backlog=2 weight=3", gold)
+	}
+	if _, ok := byName["bronze"]; !ok {
+		t.Fatalf("stats missing class bronze: %+v", st.Classes)
+	}
+
+	// Per-class counters ride the merged metrics under the class label.
+	snap, err := svc.MergedMetrics()
+	if err != nil {
+		t.Fatalf("MergedMetrics: %v", err)
+	}
+	var goldAccepted int64
+	for _, m := range snap.Metrics {
+		if m.Name == MetricClassAccepted && m.Label == "gold" {
+			goldAccepted += m.Value
+		}
+	}
+	if goldAccepted != 2 {
+		t.Fatalf("%s{gold} = %d, want 2", MetricClassAccepted, goldAccepted)
+	}
+}
+
+// TestClassConfigValidation pins Config.validate on class lists: duplicate
+// names, bad weights, and invalid names are refused; an unconfigured service
+// still reports the implicit default class in stats.
+func TestClassConfigValidation(t *testing.T) {
+	bad := []Config{
+		{Shards: 1, Resources: 8, Delta: 4, Watermark: 8,
+			Classes: []TenantClass{{Name: "a", Weight: 1}, {Name: "a", Weight: 2}}},
+		{Shards: 1, Resources: 8, Delta: 4, Watermark: 8,
+			Classes: []TenantClass{{Name: "a", Weight: 0}}},
+		{Shards: 1, Resources: 8, Delta: 4, Watermark: 8,
+			Classes: []TenantClass{{Name: "a", Weight: MaxClassWeight + 1}}},
+		{Shards: 1, Resources: 8, Delta: 4, Watermark: 8,
+			Classes: []TenantClass{{Name: "", Weight: 1}}},
+		{Shards: 1, Resources: 8, Delta: 4, Watermark: 8,
+			Classes: []TenantClass{{Name: strings.Repeat("x", MaxClassLen+1), Weight: 1}}},
+	}
+	for i, cfg := range bad {
+		if _, _, err := New(cfg); err == nil {
+			t.Fatalf("config %d accepted: %+v", i, cfg.Classes)
+		}
+	}
+
+	svc, _, err := New(Config{Shards: 1, Resources: 8, Delta: 4, Watermark: 8})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	defer svc.Close()
+	srv := httptest.NewServer(svc.Handler())
+	defer srv.Close()
+	client := NewClient(srv.URL)
+	if out := submitJobs(t, client, "alpha", SubmitJob{ID: 0, Color: 0, Delay: 4}); !out.Accepted {
+		t.Fatalf("default-class submit: %+v", out)
+	}
+	st := svc.Stats()
+	if len(st.Classes) != 1 || st.Classes[0].Name != DefaultClass || st.Classes[0].Share != 8 {
+		t.Fatalf("implicit default class stats %+v, want one %q row with the full watermark", st.Classes, DefaultClass)
+	}
+}

@@ -126,6 +126,10 @@ type Client struct {
 	// jsonLatched is set in WireAuto mode once a server proves JSON-only;
 	// every later request skips the binary attempt.
 	jsonLatched atomic.Bool
+	// epoch is the last placement epoch the server reported; submits assert
+	// it so a reshard the client has not seen yet surfaces as a typed 409
+	// instead of landing on a stale shard's queue.
+	epoch atomic.Int64
 
 	mu  sync.Mutex
 	rng *rand.Rand
@@ -284,9 +288,17 @@ type SubmitOutcome struct {
 	// Misdirected is true for a 421: a hosted worker that does not hold the
 	// tenant's shard. The caller should refresh placement and resend.
 	Misdirected bool
+	// EpochSkew is true for a 409 carrying Code "epoch_skew": the request
+	// asserted a placement epoch the service has moved past. Submit handles
+	// it transparently unless the caller pinned SubmitRequest.Epoch itself.
+	EpochSkew bool
 	// Round and Backlog echo the SubmitResponse on acceptance.
 	Round   int64
 	Backlog int
+	// Epoch is the placement epoch the server reported: the current one on
+	// acceptance, or the retry hint on an EpochSkew 409 (zero when the
+	// server predates placement epochs).
+	Epoch int64
 }
 
 // Landed reports whether the batch is in the server's hands: accepted by this
@@ -298,7 +310,32 @@ func (o SubmitOutcome) Landed() bool { return o.Accepted || o.Duplicate }
 // itself failed (transport after retries, 400, unexpected status). The wire
 // format follows the client's WireMode; in WireAuto a JSON-only server costs
 // one extra round trip on the first submit and none after.
+//
+// Unless the caller pins SubmitRequest.Epoch, the client asserts its learned
+// placement epoch and transparently adopts the server's retry hint on an
+// epoch_skew 409 — a reshard costs unpinned callers one extra round trip,
+// never an error. Pinned epochs surface the skew as SubmitOutcome.EpochSkew.
 func (c *Client) Submit(req *SubmitRequest) (SubmitOutcome, error) {
+	pinned := req.Epoch != 0
+	for attempt := 0; ; attempt++ {
+		if !pinned {
+			req.Epoch = c.epoch.Load()
+		}
+		out, err := c.submitOnce(req)
+		if !pinned {
+			req.Epoch = 0 // the caller's request is not ours to mutate
+		}
+		if err != nil || !out.EpochSkew || pinned || attempt >= 3 {
+			return out, err
+		}
+		// Adopt the hint and resend. A zero hint (pre-epoch server, or a
+		// proxy that stripped it) clears the assertion entirely.
+		c.epoch.Store(out.Epoch)
+	}
+}
+
+// submitOnce posts one batch with whatever epoch assertion req carries.
+func (c *Client) submitOnce(req *SubmitRequest) (SubmitOutcome, error) {
 	if c.useBinary() {
 		out, err, fellBack := c.submitBinary(req)
 		if !fellBack {
@@ -367,19 +404,27 @@ func jsonDecodeReject(data []byte) bool {
 func (c *Client) parseSubmitResponse(status int, data []byte, header http.Header) (SubmitOutcome, error) {
 	switch status {
 	case http.StatusOK:
+		var sr SubmitResponse
 		if IsBinaryContent(header.Get("Content-Type")) {
-			sr, err := DecodeSubmitResponseBinary(data)
+			srp, err := DecodeSubmitResponseBinary(data)
 			if err != nil {
 				return SubmitOutcome{}, err
 			}
-			return SubmitOutcome{Accepted: true, Round: sr.Round, Backlog: sr.Backlog}, nil
-		}
-		var sr SubmitResponse
-		if err := decodeBody(bytes.NewReader(data), &sr); err != nil {
+			sr = *srp
+		} else if err := decodeBody(bytes.NewReader(data), &sr); err != nil {
 			return SubmitOutcome{}, err
 		}
-		return SubmitOutcome{Accepted: true, Round: sr.Round, Backlog: sr.Backlog}, nil
+		if sr.Epoch != 0 {
+			c.epoch.Store(sr.Epoch)
+		}
+		return SubmitOutcome{Accepted: true, Round: sr.Round, Backlog: sr.Backlog, Epoch: sr.Epoch}, nil
 	case http.StatusConflict:
+		// Two different 409s share the status: a duplicate batch (the
+		// idempotent-resend answer) and a typed placement-epoch skew.
+		var er ErrorResponse
+		if err := json.Unmarshal(data, &er); err == nil && er.Code == ErrCodeEpochSkew {
+			return SubmitOutcome{EpochSkew: true, Epoch: er.Epoch}, nil
+		}
 		return SubmitOutcome{Duplicate: true}, nil
 	case http.StatusTooManyRequests:
 		retry := time.Second
@@ -454,6 +499,35 @@ func (c *Client) tick(op, path string, frame []byte) (int64, error) {
 	}
 	return tr.Round, nil
 }
+
+// Reshard resizes the pool to shards under live traffic and adopts the new
+// placement epoch for subsequent submits.
+func (c *Client) Reshard(shards int) (*ReshardResponse, error) {
+	body, err := EncodeReshard(&ReshardRequest{Schema: ReshardSchema, Shards: shards})
+	if err != nil {
+		return nil, err
+	}
+	status, data, _, err := c.do(http.MethodPost, "/v1/reshard", body, "", "")
+	if err != nil {
+		return nil, fmt.Errorf("serve: reshard: %w", err)
+	}
+	if status != http.StatusOK {
+		return nil, bodyError("reshard", status, data)
+	}
+	var rr ReshardResponse
+	if err := decodeBody(bytes.NewReader(data), &rr); err != nil {
+		return nil, err
+	}
+	if rr.Schema != ReshardSchema {
+		return nil, fmt.Errorf("serve: reshard schema %q, want %q", rr.Schema, ReshardSchema)
+	}
+	c.epoch.Store(rr.Epoch)
+	return &rr, nil
+}
+
+// PlacementEpoch returns the placement epoch the client last learned from
+// the server (zero before any response carried one).
+func (c *Client) PlacementEpoch() int64 { return c.epoch.Load() }
 
 // Stats fetches /v1/stats.
 func (c *Client) Stats() (*StatsResponse, error) {

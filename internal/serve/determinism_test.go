@@ -54,7 +54,18 @@ func detFixture(t *testing.T, seed int64) []detTenant {
 // interleaving chaos is the point: decisions must not see it.
 func driveService(t *testing.T, client *Client, tenants []detTenant, totalRounds int64) {
 	t.Helper()
+	driveServiceHook(t, client, tenants, totalRounds, nil)
+}
+
+// driveServiceHook is driveService with a per-round hook, called before the
+// round's submissions; the reshard battery uses it to split or merge the
+// pool mid-run.
+func driveServiceHook(t *testing.T, client *Client, tenants []detTenant, totalRounds int64, hook func(r int64)) {
+	t.Helper()
 	for r := int64(0); r < totalRounds; r++ {
+		if hook != nil {
+			hook(r)
+		}
 		var wg sync.WaitGroup
 		for i := range tenants {
 			tn := &tenants[i]

@@ -1,0 +1,170 @@
+package serve
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"net/http/httputil"
+	"net/url"
+	"sync"
+	"testing"
+)
+
+// TestEpochSkewTyped409 pins the wire contract for stale-epoch submits: a
+// request asserting an old placement epoch gets a 409 whose body carries
+// Code "epoch_skew" and the current epoch as a retry hint, and a request
+// asserting the current epoch (or none) is admitted.
+func TestEpochSkewTyped409(t *testing.T) {
+	cfg := Config{Shards: 2, Resources: 8, Delta: 4, Watermark: 64}
+	svc, _, err := New(cfg)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	defer svc.Close()
+	srv := httptest.NewServer(svc.Handler())
+	defer srv.Close()
+
+	if _, err := svc.Reshard(3); err != nil {
+		t.Fatalf("Reshard(3): %v", err)
+	}
+
+	// A pinned stale epoch surfaces as EpochSkew, not Duplicate, with the
+	// current epoch hinted.
+	client := NewClient(srv.URL)
+	out, err := client.Submit(&SubmitRequest{
+		Schema: WireSchema, Tenant: "alpha", Epoch: 99,
+		Jobs: []SubmitJob{{ID: 0, Color: 0, Delay: 4}},
+	})
+	if err != nil {
+		t.Fatalf("pinned submit: %v", err)
+	}
+	if !out.EpochSkew || out.Duplicate || out.Accepted {
+		t.Fatalf("pinned stale epoch: outcome %+v, want EpochSkew", out)
+	}
+	if out.Epoch != 1 {
+		t.Fatalf("skew hint %d, want 1", out.Epoch)
+	}
+
+	// The correct pin and the empty assertion both land.
+	out, err = client.Submit(&SubmitRequest{
+		Schema: WireSchema, Tenant: "alpha", Epoch: 1,
+		Jobs: []SubmitJob{{ID: 0, Color: 0, Delay: 4}},
+	})
+	if err != nil || !out.Accepted {
+		t.Fatalf("correct pin: out=%+v err=%v", out, err)
+	}
+	out, err = client.Submit(&SubmitRequest{
+		Schema: WireSchema, Tenant: "beta",
+		Jobs: []SubmitJob{{ID: 0, Color: 0, Delay: 4}},
+	})
+	if err != nil || !out.Accepted {
+		t.Fatalf("unasserted submit: out=%+v err=%v", out, err)
+	}
+	if out.Epoch != 1 {
+		t.Fatalf("accepted submit reported epoch %d, want 1", out.Epoch)
+	}
+}
+
+// TestEpochSkewBinaryWire re-pins the typed 409 over the binary codec: the
+// epoch rides the v2 submit trailer, and the skew answer is still readable
+// (errors are JSON on both codecs).
+func TestEpochSkewBinaryWire(t *testing.T) {
+	cfg := Config{Shards: 2, Resources: 8, Delta: 4, Watermark: 64}
+	svc, _, err := New(cfg)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	defer svc.Close()
+	srv := httptest.NewServer(svc.Handler())
+	defer srv.Close()
+	if _, err := svc.Reshard(4); err != nil {
+		t.Fatalf("Reshard(4): %v", err)
+	}
+
+	client := NewClientWire(srv.URL, DefaultRetryPolicy(), WireBinary)
+	out, err := client.Submit(&SubmitRequest{
+		Schema: WireSchema, Tenant: "alpha", Epoch: 7,
+		Jobs: []SubmitJob{{ID: 0, Color: 0, Delay: 4}},
+	})
+	if err != nil {
+		t.Fatalf("binary pinned submit: %v", err)
+	}
+	if !out.EpochSkew || out.Epoch != 1 {
+		t.Fatalf("binary stale epoch: outcome %+v, want EpochSkew at hint 1", out)
+	}
+	// The binary response trailer carries the epoch on acceptance.
+	out, err = client.Submit(&SubmitRequest{
+		Schema: WireSchema, Tenant: "alpha",
+		Jobs: []SubmitJob{{ID: 0, Color: 0, Delay: 4}},
+	})
+	if err != nil || !out.Accepted || out.Epoch != 1 {
+		t.Fatalf("binary unasserted submit: out=%+v err=%v, want accepted at epoch 1", out, err)
+	}
+}
+
+// TestClientRetriesEpochSkewTransparently pins the client contract: a client
+// that learned one epoch keeps working across a reshard it did not perform —
+// the skew 409 is absorbed by one adopt-and-retry, invisible to the caller.
+// A fault-injection proxy flips the epoch between the client's send and the
+// server's admission, which is the worst-case interleaving.
+func TestClientRetriesEpochSkewTransparently(t *testing.T) {
+	cfg := Config{Shards: 2, Resources: 8, Delta: 4, Watermark: 1 << 16}
+	svc, _, err := New(cfg)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	defer svc.Close()
+	backend := httptest.NewServer(svc.Handler())
+	defer backend.Close()
+	target, err := url.Parse(backend.URL)
+	if err != nil {
+		t.Fatalf("parse backend URL: %v", err)
+	}
+
+	// The proxy reshards the backend upon seeing one marked submit, after
+	// the client has committed to its learned epoch — then forwards.
+	var mu sync.Mutex
+	flipped := false
+	rp := httputil.NewSingleHostReverseProxy(target)
+	proxy := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path == "/v1/jobs" {
+			mu.Lock()
+			doFlip := !flipped
+			flipped = true
+			mu.Unlock()
+			if doFlip {
+				if _, err := svc.Reshard(5); err != nil {
+					t.Errorf("mid-flight Reshard(5): %v", err)
+				}
+			}
+		}
+		rp.ServeHTTP(w, r)
+	}))
+	defer proxy.Close()
+
+	client := NewClient(proxy.URL)
+	// Learn epoch 1 the ordinary way: reshard through the client.
+	if _, err := client.Reshard(3); err != nil {
+		t.Fatalf("Reshard(3): %v", err)
+	}
+	if got := client.PlacementEpoch(); got != 1 {
+		t.Fatalf("client learned epoch %d, want 1", got)
+	}
+
+	// This submit asserts epoch 1; the proxy flips the service to epoch 2
+	// mid-flight. The caller must only see an acceptance.
+	out, err := client.Submit(&SubmitRequest{
+		Schema: WireSchema, Tenant: "alpha",
+		Jobs: []SubmitJob{{ID: 0, Color: 0, Delay: 4}},
+	})
+	if err != nil || !out.Accepted {
+		t.Fatalf("submit across epoch flip: out=%+v err=%v", out, err)
+	}
+	if got := client.PlacementEpoch(); got != 2 {
+		t.Fatalf("client adopted epoch %d, want 2", got)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if !flipped {
+		t.Fatal("proxy never flipped the epoch")
+	}
+}

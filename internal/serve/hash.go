@@ -73,11 +73,22 @@ func NewRing(shards int) (Ring, error) {
 // ShardOf returns the shard owning the tenant.
 func (r Ring) ShardOf(tenant string) int { return r.r.ShardOf(tenant) }
 
-// hash64 is FNV-1a, chosen because it is in the stdlib, stable across
-// processes and architectures, and uniform enough for ring placement.
+// hash64 is FNV-1a with a 64-bit avalanche finalizer, stable across
+// processes and architectures. Raw FNV-1a folds the last byte in with a
+// single multiply, so keys that differ only in a trailing digit (tenant-001,
+// tenant-002, ...) land within ~15 primes of each other — far closer than a
+// ring arc — and whole sequential tenant families collapse onto one shard.
+// The finalizer (MurmurHash3 fmix64) spreads that residue across all 64
+// bits, making consecutive names as independent as random ones.
 func hash64(s string) uint64 {
 	h := fnv.New64a()
 	// hash/fnv's Write is documented to never fail.
 	_, _ = h.Write([]byte(s)) // infallible per hash.Hash contract
-	return h.Sum64()
+	x := h.Sum64()
+	x ^= x >> 33
+	x *= 0xff51afd7ed558ccd
+	x ^= x >> 33
+	x *= 0xc4ceb9fe1a85ec53
+	x ^= x >> 33
+	return x
 }

@@ -60,7 +60,7 @@ func TestHostedLifecycle(t *testing.T) {
 	// Close the tenant's shard: the next submission misdirects again, a
 	// per-shard tick reports ErrMisdirected, and the checkpoint carries the
 	// tenant.
-	shard := svc.ring.ShardOf("alpha")
+	shard := svc.ShardFor("alpha")
 	data, err := svc.CloseShard(shard)
 	if err != nil {
 		t.Fatalf("CloseShard: %v", err)
@@ -180,7 +180,7 @@ func TestHostedCheckpointHook(t *testing.T) {
 
 	// The hook's last bytes equal a direct snapshot, and restoring them into
 	// a second hosted service reproduces the recorded decision stream.
-	shard := svc.ring.ShardOf("alpha")
+	shard := svc.ShardFor("alpha")
 	direct, err := svc.SnapshotShard(shard)
 	if err != nil {
 		t.Fatalf("SnapshotShard: %v", err)

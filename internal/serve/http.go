@@ -37,6 +37,12 @@ const maxSubmitBody = 8 << 20
 // recorded decision streams are the largest payloads and stay far below it.
 const maxResponseBody = 64 << 20
 
+// maxPlacementRetries bounds how many times a handler re-routes a command
+// that bounced off a shard's epoch fence. Each retry means the placement
+// flipped mid-flight; more than a handful in one request means the pool is
+// resharding pathologically fast and the client should back off.
+const maxPlacementRetries = 32
+
 // Handler returns the service's HTTP API:
 //
 //	POST /v1/jobs       submit one batch for one tenant (wire.go)
@@ -46,6 +52,7 @@ const maxResponseBody = 64 << 20
 //	POST /v1/sync       re-push one hosted shard's checkpoint at its current
 //	                    round without ticking (?shard=i); drivers use it when
 //	                    the dispatcher's stored round lags the shard
+//	POST /v1/reshard    resize the pool under live traffic (ReshardRequest)
 //	GET  /v1/stats      service + per-shard stats (StatsResponse)
 //	GET  /v1/decisions  a tenant's recorded decision stream (?tenant=...)
 //	GET  /metrics       merged per-shard metric snapshot (obs JSON format)
@@ -56,6 +63,7 @@ func (s *Service) Handler() http.Handler {
 	mux.HandleFunc("/v1/jobs", s.handleSubmit)
 	mux.HandleFunc("/v1/tick", s.handleTick)
 	mux.HandleFunc("/v1/sync", s.handleSync)
+	mux.HandleFunc("/v1/reshard", s.handleReshard)
 	mux.HandleFunc("/v1/stats", s.handleStats)
 	mux.HandleFunc("/v1/decisions", s.handleDecisions)
 	mux.HandleFunc("/metrics", s.handleMetrics)
@@ -121,7 +129,19 @@ func (s *Service) handleSubmit(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 	}
-	sh := s.shards[s.ring.ShardOf(req.Tenant)]
+	// Park: a reshard in progress holds new submissions at the gate until
+	// routing flips; they then proceed under the new epoch.
+	if g := s.gate.Load(); g != nil {
+		s.met.parked.Inc()
+		<-*g
+	}
+	pl := s.pl.Load()
+	if req.Epoch != 0 && req.Epoch != pl.epoch {
+		writeErrorCode(w, http.StatusConflict, ErrCodeEpochSkew, pl.epoch,
+			fmt.Sprintf("request asserts placement epoch %d, service is at %d", req.Epoch, pl.epoch))
+		return
+	}
+	sh := pl.shards[pl.ring.ShardOf(req.Tenant)]
 	wm := sh.met.wire
 	wm.BytesIn.Add(int64(len(body)))
 	if binReq {
@@ -129,9 +149,33 @@ func (s *Service) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	} else {
 		wm.FramesJSON.Inc()
 	}
-	reply := make(chan submitResult, 1)
-	sh.ch <- shardCmd{submit: &submitCmd{req: req, reply: reply}}
-	res := <-reply
+	var res submitResult
+	for attempt := 0; ; attempt++ {
+		reply := make(chan submitResult, 1)
+		sh.ch <- shardCmd{submit: &submitCmd{req: req, epoch: pl.epoch, reply: reply}}
+		res = <-reply
+		if res.status != statusWrongPlacement {
+			break
+		}
+		// Lost a race with a reshard: the shard fenced onto a newer epoch
+		// before our command arrived. Park if the gate is still up, reload the
+		// placement, and re-route.
+		if attempt >= maxPlacementRetries {
+			writeError(w, http.StatusServiceUnavailable, "placement is changing; retry")
+			return
+		}
+		if g := s.gate.Load(); g != nil {
+			s.met.parked.Inc()
+			<-*g
+		}
+		pl = s.pl.Load()
+		if req.Epoch != 0 && req.Epoch != pl.epoch {
+			writeErrorCode(w, http.StatusConflict, ErrCodeEpochSkew, pl.epoch,
+				fmt.Sprintf("request asserts placement epoch %d, service is at %d", req.Epoch, pl.epoch))
+			return
+		}
+		sh = pl.shards[pl.ring.ShardOf(req.Tenant)]
+	}
 	if res.status != http.StatusOK {
 		if res.status == http.StatusTooManyRequests {
 			w.Header().Set("Retry-After", s.retryAfterSeconds())
@@ -144,6 +188,7 @@ func (s *Service) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		Accepted: len(req.Jobs),
 		Round:    res.round,
 		Backlog:  res.backlog,
+		Epoch:    pl.epoch,
 	}
 	if binResp {
 		// The body buffer is free again (the decoded request does not alias
@@ -193,6 +238,7 @@ func (s *Service) handleTick(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusConflict, "service runs a real-time round ticker; /v1/tick is for virtual-time mode")
 		return
 	}
+	nshards := len(s.pl.Load().shards)
 	n := 1
 	shard := -1
 	if v := r.URL.Query().Get("rounds"); v != "" {
@@ -205,8 +251,8 @@ func (s *Service) handleTick(w http.ResponseWriter, r *http.Request) {
 	}
 	if v := r.URL.Query().Get("shard"); v != "" {
 		parsed, perr := strconv.Atoi(v)
-		if perr != nil || parsed < 0 || parsed >= len(s.shards) {
-			writeError(w, http.StatusBadRequest, fmt.Sprintf("invalid shard %q (want 0..%d)", v, len(s.shards)-1))
+		if perr != nil || parsed < 0 || parsed >= nshards {
+			writeError(w, http.StatusBadRequest, fmt.Sprintf("invalid shard %q (want 0..%d)", v, nshards-1))
 			return
 		}
 		shard = parsed
@@ -229,8 +275,8 @@ func (s *Service) handleTick(w http.ResponseWriter, r *http.Request) {
 			writeError(w, http.StatusBadRequest, fmt.Sprintf("invalid rounds %d (want 1..%d)", fn, 1<<20))
 			return
 		}
-		if fshard != -1 && (fshard < 0 || fshard >= len(s.shards)) {
-			writeError(w, http.StatusBadRequest, fmt.Sprintf("invalid shard %d (want 0..%d)", fshard, len(s.shards)-1))
+		if fshard != -1 && (fshard < 0 || fshard >= nshards) {
+			writeError(w, http.StatusBadRequest, fmt.Sprintf("invalid shard %d (want 0..%d)", fshard, nshards-1))
 			return
 		}
 		n, shard = fn, fshard
@@ -269,11 +315,12 @@ func (s *Service) handleSync(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusMethodNotAllowed, "POST only")
 		return
 	}
+	nshards := len(s.pl.Load().shards)
 	shard := -1
 	if v := r.URL.Query().Get("shard"); v != "" {
 		parsed, err := strconv.Atoi(v)
-		if err != nil || parsed < 0 || parsed >= len(s.shards) {
-			writeError(w, http.StatusBadRequest, fmt.Sprintf("invalid shard %q (want 0..%d)", v, len(s.shards)-1))
+		if err != nil || parsed < 0 || parsed >= nshards {
+			writeError(w, http.StatusBadRequest, fmt.Sprintf("invalid shard %q (want 0..%d)", v, nshards-1))
 			return
 		}
 		shard = parsed
@@ -292,8 +339,8 @@ func (s *Service) handleSync(w http.ResponseWriter, r *http.Request) {
 		}
 		shard = fshard
 	}
-	if shard < 0 || shard >= len(s.shards) {
-		writeError(w, http.StatusBadRequest, fmt.Sprintf("invalid shard %d (want 0..%d)", shard, len(s.shards)-1))
+	if shard < 0 || shard >= nshards {
+		writeError(w, http.StatusBadRequest, fmt.Sprintf("invalid shard %d (want 0..%d)", shard, nshards-1))
 		return
 	}
 	round, err := s.SyncShard(shard)
@@ -330,15 +377,54 @@ func (s *Service) handleDecisions(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, err.Error())
 		return
 	}
-	sh := s.shards[s.ring.ShardOf(tenantID)]
-	reply := make(chan decisionsResult, 1)
-	sh.ch <- shardCmd{decisions: &decisionsCmd{tenant: tenantID, reply: reply}}
-	res := <-reply
+	var res decisionsResult
+	pl := s.pl.Load()
+	for attempt := 0; ; attempt++ {
+		sh := pl.shards[pl.ring.ShardOf(tenantID)]
+		reply := make(chan decisionsResult, 1)
+		sh.ch <- shardCmd{decisions: &decisionsCmd{tenant: tenantID, epoch: pl.epoch, reply: reply}}
+		res = <-reply
+		if res.status != statusWrongPlacement {
+			break
+		}
+		if attempt >= maxPlacementRetries {
+			writeError(w, http.StatusServiceUnavailable, "placement is changing; retry")
+			return
+		}
+		if g := s.gate.Load(); g != nil {
+			<-*g
+		}
+		pl = s.pl.Load()
+	}
 	if res.status != http.StatusOK {
 		writeError(w, res.status, res.err)
 		return
 	}
 	writeJSON(w, http.StatusOK, res.resp)
+}
+
+// handleReshard resizes the pool under live traffic (POST /v1/reshard).
+func (s *Service) handleReshard(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeError(w, http.StatusMethodNotAllowed, "POST only")
+		return
+	}
+	body, err := io.ReadAll(io.LimitReader(r.Body, 4096))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Sprintf("reading body: %v", err))
+		return
+	}
+	req, err := DecodeReshard(body)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	resp, err := s.Reshard(req.Shards)
+	if err != nil {
+		writeError(w, http.StatusConflict, err.Error())
+		return
+	}
+	writeJSON(w, http.StatusOK, resp)
 }
 
 func (s *Service) handleMetrics(w http.ResponseWriter, r *http.Request) {
@@ -397,7 +483,13 @@ func MarshalResponse(v any) ([]byte, error) {
 }
 
 func writeError(w http.ResponseWriter, status int, msg string) {
-	data, err := MarshalResponse(ErrorResponse{Error: msg})
+	writeErrorCode(w, status, "", 0, msg)
+}
+
+// writeErrorCode writes a typed error: code and epoch let clients react
+// mechanically (epoch_skew → adopt the hinted epoch and retry).
+func writeErrorCode(w http.ResponseWriter, status int, code string, epoch int64, msg string) {
+	data, err := MarshalResponse(ErrorResponse{Error: msg, Code: code, Epoch: epoch})
 	if err != nil {
 		// Unreachable: ErrorResponse always marshals.
 		data = []byte(`{"error":"encoding failure"}` + "\n")

@@ -1,0 +1,493 @@
+package serve
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"sort"
+
+	"rrsched/internal/obs"
+)
+
+// ReshardSchema versions the reshard request/response wire format.
+const ReshardSchema = "rrserve-reshard/v1"
+
+// ReshardRequest is the body of POST /v1/reshard: resize the pool to Shards
+// under live traffic.
+type ReshardRequest struct {
+	Schema string `json:"schema"`
+	Shards int    `json:"shards"`
+}
+
+// ReshardResponse describes a completed reshard.
+type ReshardResponse struct {
+	Schema string `json:"schema"`
+	// From and Shards are the shard counts before and after.
+	From   int `json:"from"`
+	Shards int `json:"shards"`
+	// Epoch is the new placement epoch; clients asserting the old epoch get
+	// a typed 409 until they adopt it.
+	Epoch int64 `json:"epoch"`
+	// Round is the round boundary the migration happened at.
+	Round int64 `json:"round"`
+	// Moved is the number of tenants migrated shard-to-shard, and
+	// MigratedBytes the total size of their checkpoint frames.
+	Moved         int   `json:"moved_tenants"`
+	MigratedBytes int64 `json:"migrated_bytes"`
+	DurationNs    int64 `json:"duration_ns"`
+}
+
+// DecodeReshard parses and validates a reshard request. Never panics on
+// arbitrary bytes; anything it accepts re-encodes (EncodeReshard) to the
+// same request — the fixed point FuzzDecodeReshard pins.
+func DecodeReshard(data []byte) (*ReshardRequest, error) {
+	var req ReshardRequest
+	if err := json.Unmarshal(data, &req); err != nil {
+		return nil, fmt.Errorf("serve: decoding reshard request: %w", err)
+	}
+	if err := validateReshard(&req); err != nil {
+		return nil, err
+	}
+	return &req, nil
+}
+
+// EncodeReshard validates and serializes a reshard request.
+func EncodeReshard(req *ReshardRequest) ([]byte, error) {
+	if err := validateReshard(req); err != nil {
+		return nil, err
+	}
+	return json.Marshal(req)
+}
+
+func validateReshard(req *ReshardRequest) error {
+	if req.Schema != ReshardSchema {
+		return fmt.Errorf("serve: reshard schema %q, want %q", req.Schema, ReshardSchema)
+	}
+	if req.Shards < 1 || req.Shards > MaxShards {
+		return fmt.Errorf("serve: reshard to %d shards out of range (1..%d)", req.Shards, MaxShards)
+	}
+	return nil
+}
+
+// ErrReshardBudget marks a reshard refused because its migration plan
+// exceeds some class's slice of Config.ReshardBudget. The pool is left
+// exactly as it was.
+var ErrReshardBudget = errors.New("serve: reshard migration exceeds class budget")
+
+// reshardWorker is the Worker field on migration checkpoint frames; it
+// identifies in-process reshard traffic in the frame format shared with the
+// dispatcher tier.
+const reshardWorker = "reshard"
+
+// Reshard resizes the pool to newShards under live traffic. The sequence:
+// park new submissions behind the gate, fence every shard onto the new
+// epoch (in-flight submissions bounce and re-park), checkpoint the tenants
+// the new ring routes elsewhere into binary checkpoint frames, restore them
+// on their target shards, then atomically flip routing by swapping the
+// placement and releasing the gate. Parked submissions replay under the new
+// epoch; decision streams are untouched because all migration happens at a
+// round boundary (tickMu is held throughout).
+//
+// Classic services only — hosted pools reshard through the dispatcher,
+// which owns their placement.
+func (s *Service) Reshard(newShards int) (*ReshardResponse, error) {
+	if s.cfg.Hosted {
+		return nil, fmt.Errorf("serve: hosted services reshard via the dispatcher")
+	}
+	if newShards < 1 || newShards > MaxShards {
+		return nil, fmt.Errorf("serve: reshard to %d shards out of range (1..%d)", newShards, MaxShards)
+	}
+	s.reshardMu.Lock()
+	defer s.reshardMu.Unlock()
+	if s.draining.Load() {
+		return nil, fmt.Errorf("serve: service is draining")
+	}
+	t0 := obs.Now()
+
+	// Park: submissions arriving from here on wait for the flip.
+	gate := make(chan struct{})
+	s.gate.Store(&gate)
+	released := false
+	release := func() {
+		if !released {
+			released = true
+			s.gate.Store(nil)
+			close(gate)
+		}
+	}
+	defer release()
+
+	// Hold the round barrier: the whole migration happens between rounds.
+	s.tickMu.Lock()
+	defer s.tickMu.Unlock()
+
+	old := s.pl.Load()
+	if newShards == len(old.shards) {
+		return nil, fmt.Errorf("serve: service already has %d shards", newShards)
+	}
+	newEpoch := old.epoch + 1
+	round := s.round.Load()
+
+	// Build the grown shards first: no side effects yet, so failure needs no
+	// rollback.
+	surviving := len(old.shards)
+	if newShards < surviving {
+		surviving = newShards
+	}
+	shards := make([]*shard, newShards)
+	copy(shards, old.shards[:surviving])
+	for i := surviving; i < newShards; i++ {
+		sh, err := newShard(i, s.cfg)
+		if err != nil {
+			return nil, err
+		}
+		sh.epoch = newEpoch
+		sh.nshards = newShards
+		sh.round = round
+		shards[i] = sh
+	}
+
+	// Phase 1: fence. Every old shard adopts the new epoch; submissions
+	// routed under the old placement bounce back to the handler, which parks
+	// on the gate.
+	s.fenceShards(old.shards, newEpoch, newShards)
+	rollback := func() { s.fenceShards(old.shards, old.epoch, len(old.shards)) }
+
+	// Phase 2: plan. Each shard serializes the tenants the new ring routes
+	// elsewhere into checkpoint frames.
+	ring := newHashRing(newShards)
+	moves, err := s.planMoves(old.shards, ring, newShards, newEpoch)
+	if err != nil {
+		rollback()
+		return nil, err
+	}
+	if err := s.checkReshardBudget(moves); err != nil {
+		rollback()
+		return nil, err
+	}
+
+	// Phase 3: commit. Restore movers on their targets, then drop them from
+	// their sources. Inject-before-remove: until removal, a mover's state
+	// exists on both shards, but only the target is reachable after the flip
+	// and only the source before a rollback.
+	moved, bytes := 0, int64(0)
+	byTarget := make([][]migrationFrame, newShards)
+	for _, frames := range moves {
+		for _, mf := range frames {
+			byTarget[mf.target] = append(byTarget[mf.target], mf)
+			moved++
+			bytes += int64(len(mf.data))
+		}
+	}
+	for target, frames := range byTarget {
+		if len(frames) == 0 {
+			continue
+		}
+		if err := s.injectMoves(shards[target], target >= surviving, frames); err != nil {
+			// Unreachable in practice (the frames were built two phases ago);
+			// unwind the partial injections and re-fence the old epoch.
+			for t := 0; t <= target; t++ {
+				if len(byTarget[t]) > 0 {
+					s.removeMoved(shards[t], t >= surviving, byTarget[t])
+				}
+			}
+			rollback()
+			return nil, err
+		}
+	}
+	for i, frames := range moves {
+		if len(frames) > 0 {
+			s.removeMoved(old.shards[i], false, frames)
+		}
+	}
+
+	// Start the grown shards and flip routing.
+	for i := surviving; i < newShards; i++ {
+		shards[i].start()
+	}
+	retired := append([]*shard{}, old.retired...)
+	if newShards < len(old.shards) {
+		// Merged-away shards keep running: a handler that routed just before
+		// the flip may still send them a command, which bounces off the epoch
+		// fence. They hold no tenants and are never ticked again.
+		retired = append(retired, old.shards[newShards:]...)
+	}
+	s.pl.Store(&placement{epoch: newEpoch, ring: ring, shards: shards, retired: retired})
+	release()
+
+	dur := obs.Now() - t0
+	s.met.reshards.Inc()
+	s.met.reshardTenants.Add(int64(moved))
+	s.met.reshardBytes.Add(bytes)
+	s.met.reshardNs.Observe(dur)
+	return &ReshardResponse{
+		Schema:        ReshardSchema,
+		From:          len(old.shards),
+		Shards:        newShards,
+		Epoch:         newEpoch,
+		Round:         round,
+		Moved:         moved,
+		MigratedBytes: bytes,
+		DurationNs:    dur,
+	}, nil
+}
+
+// fenceShards synchronously installs a placement epoch on every shard.
+func (s *Service) fenceShards(shards []*shard, epoch int64, nshards int) {
+	replies := make([]chan struct{}, len(shards))
+	for i, sh := range shards {
+		replies[i] = make(chan struct{}, 1)
+		sh.ch <- shardCmd{place: &placeCmd{epoch: epoch, nshards: nshards, reply: replies[i]}}
+	}
+	for _, r := range replies {
+		<-r
+	}
+}
+
+// planMoves collects every shard's migration frames: the tenants the target
+// ring routes off the shard, serialized but not yet removed.
+func (s *Service) planMoves(shards []*shard, ring hashRing, nshards int, newEpoch int64) ([][]migrationFrame, error) {
+	replies := make([]chan planResult, len(shards))
+	for i, sh := range shards {
+		replies[i] = make(chan planResult, 1)
+		sh.ch <- shardCmd{plan: &planCmd{ring: ring, nshards: nshards, newEpoch: newEpoch, reply: replies[i]}}
+	}
+	out := make([][]migrationFrame, len(shards))
+	var firstErr error
+	for i, r := range replies {
+		res := <-r
+		if res.err != nil && firstErr == nil {
+			firstErr = res.err
+		}
+		out[i] = res.frames
+	}
+	return out, firstErr
+}
+
+// checkReshardBudget enforces Config.ReshardBudget split across classes by
+// weight: every class's migrated bytes must fit its slice.
+func (s *Service) checkReshardBudget(moves [][]migrationFrame) error {
+	budget := s.cfg.ReshardBudget
+	if budget == 0 {
+		return nil
+	}
+	classes := normalizeClasses(s.cfg.Classes)
+	var sum int64
+	for _, c := range classes {
+		sum += c.Weight
+	}
+	byClass := map[string]int64{}
+	for _, frames := range moves {
+		for _, mf := range frames {
+			byClass[mf.class] += int64(len(mf.data))
+		}
+	}
+	for _, c := range classes {
+		slice := budget * c.Weight / sum
+		if used := byClass[c.Name]; used > slice {
+			return fmt.Errorf("%w: class %q needs %d bytes of its %d-byte slice (budget %d)",
+				ErrReshardBudget, c.Name, used, slice, budget)
+		}
+	}
+	return nil
+}
+
+// injectMoves restores migration frames on their target shard. A running
+// shard adopts them on its own goroutine; a freshly built one (not started
+// yet) is written directly.
+func (s *Service) injectMoves(sh *shard, fresh bool, frames []migrationFrame) error {
+	if fresh {
+		return sh.adoptFrames(frames)
+	}
+	reply := make(chan error, 1)
+	sh.ch <- shardCmd{inject: &injectCmd{frames: frames, reply: reply}}
+	return <-reply
+}
+
+// removeMoved drops migrated tenants from a shard.
+func (s *Service) removeMoved(sh *shard, fresh bool, frames []migrationFrame) {
+	names := make([]string, len(frames))
+	for i, mf := range frames {
+		names[i] = mf.tenant
+	}
+	if fresh {
+		sh.handleRemove(names)
+		return
+	}
+	reply := make(chan struct{}, 1)
+	sh.ch <- shardCmd{remove: &removeCmd{tenants: names, reply: reply}}
+	<-reply
+}
+
+// handlePlan serializes every tenant the target ring routes off this shard
+// into a migration frame: the tenant's checkpoint JSON wrapped in a binary
+// checkpoint frame addressed to its new shard. Recorded decision streams
+// travel with the tenant whenever recording is on, so /v1/decisions is
+// seamless across the move. Runs on the shard goroutine.
+func (sh *shard) handlePlan(cmd *planCmd) planResult {
+	var frames []migrationFrame
+	for _, name := range sh.order {
+		target := cmd.ring.ShardOf(name)
+		if target == sh.idx && sh.idx < cmd.nshards {
+			continue
+		}
+		tn := sh.tenants[name]
+		tcp, err := sh.checkpointTenant(tn, sh.cfg.RecordDecisions)
+		if err != nil {
+			return planResult{err: err}
+		}
+		data, err := json.Marshal(tcp)
+		if err != nil {
+			return planResult{err: fmt.Errorf("serve: serializing tenant %q for migration: %w", name, err)}
+		}
+		enc, err := EncodeCheckpointFrame(&CheckpointFrame{
+			Worker: reshardWorker,
+			Shard:  target,
+			Epoch:  cmd.newEpoch,
+			Round:  sh.round,
+			Data:   data,
+		})
+		if err != nil {
+			return planResult{err: fmt.Errorf("serve: framing tenant %q for migration: %w", name, err)}
+		}
+		frames = append(frames, migrationFrame{
+			tenant: name,
+			class:  sh.classes[tn.class].Name,
+			target: target,
+			data:   enc,
+		})
+	}
+	return planResult{frames: frames}
+}
+
+// adoptFrames restores migration frames onto this shard: the inject half of
+// the checkpoint→transfer→restore path. Runs on the shard goroutine (or
+// before it starts, for shards created by a split).
+func (sh *shard) adoptFrames(frames []migrationFrame) error {
+	for _, mf := range frames {
+		cf, err := DecodeCheckpointFrame(mf.data)
+		if err != nil {
+			return fmt.Errorf("serve: decoding migration frame for tenant %q: %w", mf.tenant, err)
+		}
+		if cf.Shard != sh.idx {
+			return fmt.Errorf("serve: migration frame for shard %d delivered to shard %d", cf.Shard, sh.idx)
+		}
+		if cf.Round != sh.round {
+			return fmt.Errorf("serve: migration frame at round %d, shard %d is at %d", cf.Round, sh.idx, sh.round)
+		}
+		var tcp tenantCheckpoint
+		if err := json.Unmarshal(cf.Data, &tcp); err != nil {
+			return fmt.Errorf("serve: decoding migrated tenant %q: %w", mf.tenant, err)
+		}
+		if err := ValidateTenant(tcp.Name); err != nil {
+			return fmt.Errorf("serve: migrated tenant: %w", err)
+		}
+		if _, dup := sh.tenants[tcp.Name]; dup {
+			return fmt.Errorf("serve: migration repeats tenant %q on shard %d", tcp.Name, sh.idx)
+		}
+		tn, err := sh.buildTenant(&tcp, cf.Round)
+		if err != nil {
+			return err
+		}
+		sh.adoptTenant(tn)
+	}
+	sort.Strings(sh.order)
+	sh.setStateGauges()
+	return nil
+}
+
+// handleRemove drops the named tenants (their state now lives on another
+// shard). Runs on the shard goroutine.
+func (sh *shard) handleRemove(names []string) {
+	drop := make(map[string]bool, len(names))
+	for _, name := range names {
+		tn := sh.tenants[name]
+		if tn == nil {
+			continue
+		}
+		drop[name] = true
+		delete(sh.tenants, name)
+		sh.backlog -= len(tn.queued)
+		sh.classBacklog[tn.class] -= len(tn.queued)
+		sh.inflight -= len(tn.inflight)
+	}
+	if len(drop) == 0 {
+		return
+	}
+	order := make([]string, 0, len(sh.order)-len(drop))
+	for _, name := range sh.order {
+		if !drop[name] {
+			order = append(order, name)
+		}
+	}
+	sh.order = order
+	sh.setStateGauges()
+}
+
+// ReshardCheckpoints transforms a complete checkpoint set taken under one
+// shard count into an equivalent set for newShards shards: every tenant is
+// re-routed through the newShards-ring, rounds are preserved, and the
+// placement epoch is bumped past the input's. The boot-restore path uses it
+// to accept resharded state, and the dispatcher uses it to resize a hosted
+// fleet between rounds.
+func ReshardCheckpoints(old [][]byte, newShards int) ([][]byte, error) {
+	if newShards < 1 || newShards > MaxShards {
+		return nil, fmt.Errorf("serve: reshard to %d shards out of range (1..%d)", newShards, MaxShards)
+	}
+	if len(old) == 0 {
+		return nil, fmt.Errorf("serve: no checkpoints to reshard")
+	}
+	cps := make([]*shardCheckpoint, len(old))
+	for i, data := range old {
+		cp, err := decodeShardCheckpoint(data)
+		if err != nil {
+			return nil, fmt.Errorf("serve: shard %d checkpoint: %w", i, err)
+		}
+		if cp.Shard != i {
+			return nil, fmt.Errorf("serve: checkpoint %d names shard %d", i, cp.Shard)
+		}
+		if cp.Shards != len(old) {
+			return nil, fmt.Errorf("serve: checkpoint %d was taken with %d shards, set has %d", i, cp.Shards, len(old))
+		}
+		if i > 0 && cp.Round != cps[0].Round {
+			return nil, fmt.Errorf("serve: shard rounds diverge in checkpoint set (%d vs %d)", cp.Round, cps[0].Round)
+		}
+		if i > 0 && cp.PlacementEpoch != cps[0].PlacementEpoch {
+			return nil, fmt.Errorf("serve: placement epochs diverge in checkpoint set (%d vs %d)", cp.PlacementEpoch, cps[0].PlacementEpoch)
+		}
+		cps[i] = cp
+	}
+	ring := newHashRing(newShards)
+	out := make([]*shardCheckpoint, newShards)
+	for i := range out {
+		out[i] = &shardCheckpoint{
+			Schema:         StateSchema,
+			Shard:          i,
+			Shards:         newShards,
+			Round:          cps[0].Round,
+			PlacementEpoch: cps[0].PlacementEpoch + 1,
+		}
+	}
+	seen := make(map[string]bool)
+	for _, cp := range cps {
+		for i := range cp.Tenants {
+			tcp := cp.Tenants[i]
+			if seen[tcp.Name] {
+				return nil, fmt.Errorf("serve: checkpoint set repeats tenant %q", tcp.Name)
+			}
+			seen[tcp.Name] = true
+			t := ring.ShardOf(tcp.Name)
+			out[t].Tenants = append(out[t].Tenants, tcp)
+		}
+	}
+	res := make([][]byte, newShards)
+	for i, cp := range out {
+		sort.Slice(cp.Tenants, func(a, b int) bool { return cp.Tenants[a].Name < cp.Tenants[b].Name })
+		data, err := json.MarshalIndent(cp, "", "  ")
+		if err != nil {
+			return nil, fmt.Errorf("serve: serializing resharded shard %d: %w", i, err)
+		}
+		res[i] = data
+	}
+	return res, nil
+}

@@ -1,0 +1,542 @@
+package serve
+
+import (
+	"bytes"
+	"errors"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+
+	"rrsched/internal/stream"
+)
+
+// checkDecisionsMatchReference byte-compares every tenant's /v1/decisions
+// stream against a bare stream.Scheduler fed the same arrivals, with the
+// expected response carrying the given final shard ring and placement epoch.
+func checkDecisionsMatchReference(t *testing.T, client *Client, tenants []detTenant, totalRounds int64, cfg Config, finalShards int, finalEpoch int64) {
+	t.Helper()
+	ring := newHashRing(finalShards)
+	for _, tn := range tenants {
+		got, err := client.DecisionsRaw(tn.name)
+		if err != nil {
+			t.Fatalf("DecisionsRaw(%s): %v", tn.name, err)
+		}
+		want, err := MarshalResponse(&DecisionsResponse{
+			Schema:         DecisionsSchema,
+			Tenant:         tn.name,
+			Shard:          ring.ShardOf(tn.name),
+			Epoch:          epochOf(tn),
+			Round:          totalRounds,
+			PlacementEpoch: finalEpoch,
+			Decisions:      referenceDecisions(t, tn, totalRounds, cfg),
+		})
+		if err != nil {
+			t.Fatalf("MarshalResponse: %v", err)
+		}
+		if !bytes.Equal(got, want) {
+			t.Fatalf("tenant %s: decisions diverge from bare scheduler after reshard\nservice:   %s\nreference: %s",
+				tn.name, excerpt(got, want), excerpt(want, got))
+		}
+	}
+}
+
+// TestReshardSplitDeterminism is the headline property of online resharding:
+// a 4→8 split landing in the middle of a seeded multi-tenant run must leave
+// every tenant's decision stream byte-identical to a bare scheduler that
+// never saw a reshard. The split migrates tenants shard-to-shard through the
+// checkpoint→transfer→restore path while the fixture keeps submitting.
+func TestReshardSplitDeterminism(t *testing.T) {
+	cfg := Config{Shards: 4, Resources: 8, Delta: 4, Watermark: 1 << 16, RecordDecisions: true}
+	svc, _, err := New(cfg)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	defer svc.Close()
+	srv := httptest.NewServer(svc.Handler())
+	defer srv.Close()
+	client := NewClient(srv.URL)
+
+	tenants := detFixture(t, 42)
+	totalRounds := int64(45)
+	driveServiceHook(t, client, tenants, totalRounds, func(r int64) {
+		if r != 15 {
+			return
+		}
+		rr, err := client.Reshard(8)
+		if err != nil {
+			t.Fatalf("Reshard(8): %v", err)
+		}
+		if rr.From != 4 || rr.Shards != 8 || rr.Epoch != 1 || rr.Round != 15 {
+			t.Fatalf("unexpected reshard response %+v", rr)
+		}
+		if rr.Moved == 0 || rr.MigratedBytes == 0 {
+			t.Fatalf("split moved nothing: %+v", rr)
+		}
+	})
+	checkDecisionsMatchReference(t, client, tenants, totalRounds, cfg, 8, 1)
+
+	st := svc.Stats()
+	if st.Epoch != 1 || st.Reshards != 1 || st.Shards != 8 {
+		t.Fatalf("stats after split: epoch=%d reshards=%d shards=%d", st.Epoch, st.Reshards, st.Shards)
+	}
+}
+
+// TestReshardMergeDeterminism is the shrink direction: an 8→3 merge mid-run,
+// with the merged-away shards' tenants migrating onto the survivors, must be
+// invisible in every decision stream.
+func TestReshardMergeDeterminism(t *testing.T) {
+	cfg := Config{Shards: 8, Resources: 8, Delta: 4, Watermark: 1 << 16, RecordDecisions: true}
+	svc, _, err := New(cfg)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	defer svc.Close()
+	srv := httptest.NewServer(svc.Handler())
+	defer srv.Close()
+	client := NewClient(srv.URL)
+
+	tenants := detFixture(t, 43)
+	totalRounds := int64(45)
+	driveServiceHook(t, client, tenants, totalRounds, func(r int64) {
+		if r != 20 {
+			return
+		}
+		rr, err := client.Reshard(3)
+		if err != nil {
+			t.Fatalf("Reshard(3): %v", err)
+		}
+		if rr.From != 8 || rr.Shards != 3 || rr.Epoch != 1 {
+			t.Fatalf("unexpected reshard response %+v", rr)
+		}
+	})
+	checkDecisionsMatchReference(t, client, tenants, totalRounds, cfg, 3, 1)
+}
+
+// TestReshardRepeatedDeterminism stacks a split and a merge in one run: the
+// pool goes 4→8 at round 10 and 8→2 at round 25, and the streams still match
+// the bare scheduler. Epochs must step 0→1→2.
+func TestReshardRepeatedDeterminism(t *testing.T) {
+	cfg := Config{Shards: 4, Resources: 8, Delta: 4, Watermark: 1 << 16, RecordDecisions: true}
+	svc, _, err := New(cfg)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	defer svc.Close()
+	srv := httptest.NewServer(svc.Handler())
+	defer srv.Close()
+	client := NewClient(srv.URL)
+
+	tenants := detFixture(t, 44)
+	totalRounds := int64(45)
+	driveServiceHook(t, client, tenants, totalRounds, func(r int64) {
+		switch r {
+		case 10:
+			if rr, err := client.Reshard(8); err != nil || rr.Epoch != 1 {
+				t.Fatalf("Reshard(8): rr=%+v err=%v", rr, err)
+			}
+		case 25:
+			if rr, err := client.Reshard(2); err != nil || rr.Epoch != 2 {
+				t.Fatalf("Reshard(2): rr=%+v err=%v", rr, err)
+			}
+		}
+	})
+	checkDecisionsMatchReference(t, client, tenants, totalRounds, cfg, 2, 2)
+
+	if got := svc.Stats().Reshards; got != 2 {
+		t.Fatalf("stats counted %d reshards, want 2", got)
+	}
+}
+
+// TestReshardRacesSubmissions drives the fixture while the reshard fires
+// from a separate goroutine, unsynchronized with the submit waves: parked
+// and bounced submissions must replay under the new epoch without a single
+// error surfacing, and the streams must still match the bare scheduler.
+// Run under -race, this is also the memory-model check on the placement
+// swap, the park gate, and the epoch fences.
+func TestReshardRacesSubmissions(t *testing.T) {
+	cfg := Config{Shards: 4, Resources: 8, Delta: 4, Watermark: 1 << 16, RecordDecisions: true}
+	svc, _, err := New(cfg)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	defer svc.Close()
+	srv := httptest.NewServer(svc.Handler())
+	defer srv.Close()
+	client := NewClient(srv.URL)
+
+	tenants := detFixture(t, 45)
+	totalRounds := int64(45)
+	var wg sync.WaitGroup
+	driveServiceHook(t, client, tenants, totalRounds, func(r int64) {
+		if r != 15 {
+			return
+		}
+		// Fire the reshard concurrently with round 15's submissions. It
+		// serializes with ticks on tickMu, so determinism holds; what races
+		// is admission, which must park and replay.
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if _, err := client.Reshard(7); err != nil {
+				t.Errorf("Reshard(7): %v", err)
+			}
+		}()
+	})
+	wg.Wait()
+	if t.Failed() {
+		t.FailNow()
+	}
+	checkDecisionsMatchReference(t, client, tenants, totalRounds, cfg, 7, 1)
+}
+
+// TestReshardThenDrainRestore pins that a resharded pool drains and restores
+// like any other: checkpoint files carry the bumped placement epoch, a new
+// service at the post-split count resumes from them, and the combined run's
+// decision streams match the bare scheduler end to end.
+func TestReshardThenDrainRestore(t *testing.T) {
+	stateDir := t.TempDir()
+	cfg := Config{
+		Shards: 4, Resources: 8, Delta: 4, Watermark: 1 << 16,
+		RecordDecisions: true, CheckpointDecisions: true, StateDir: stateDir,
+	}
+	svc, _, err := New(cfg)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	srv := httptest.NewServer(svc.Handler())
+	client := NewClient(srv.URL)
+
+	tenants := detFixture(t, 46)
+	driveServiceHook(t, client, tenants, 20, func(r int64) {
+		if r == 10 {
+			if _, err := client.Reshard(6); err != nil {
+				t.Fatalf("Reshard(6): %v", err)
+			}
+		}
+	})
+	svc.BeginDrain()
+	srv.Close()
+	if err := svc.Checkpoint(); err != nil {
+		t.Fatalf("Checkpoint: %v", err)
+	}
+	svc.Close()
+
+	resumed := cfg
+	resumed.Shards = 6
+	svc2, _, err := New(resumed)
+	if err != nil {
+		t.Fatalf("restore at post-split count: %v", err)
+	}
+	defer svc2.Close()
+	if got := svc2.Epoch(); got != 1 {
+		t.Fatalf("restored epoch %d, want 1", got)
+	}
+	srv2 := httptest.NewServer(svc2.Handler())
+	defer srv2.Close()
+	client2 := NewClient(srv2.URL)
+
+	// Resume the fixture where the first service stopped.
+	totalRounds := int64(45)
+	for r := int64(20); r < totalRounds; r++ {
+		driveRound(t, client2, tenants, r)
+		if _, err := client2.Tick(1); err != nil {
+			t.Fatalf("Tick at round %d: %v", r, err)
+		}
+	}
+	checkDecisionsMatchReference(t, client2, tenants, totalRounds, cfg, 6, 1)
+}
+
+// TestBootRestoreAcrossShardCounts is the satellite restore property: a
+// checkpoint set cut at 4 shards boots an 8-shard pool (and a 3-shard one),
+// with every tenant re-routed through the new ring and the full-run decision
+// streams still byte-identical to the bare scheduler.
+func TestBootRestoreAcrossShardCounts(t *testing.T) {
+	for _, newShards := range []int{8, 3} {
+		stateDir := t.TempDir()
+		cfg := Config{
+			Shards: 4, Resources: 8, Delta: 4, Watermark: 1 << 16,
+			RecordDecisions: true, CheckpointDecisions: true, StateDir: stateDir,
+		}
+		svc, _, err := New(cfg)
+		if err != nil {
+			t.Fatalf("New: %v", err)
+		}
+		srv := httptest.NewServer(svc.Handler())
+		client := NewClient(srv.URL)
+		tenants := detFixture(t, 47)
+		driveService(t, client, tenants, 20)
+		svc.BeginDrain()
+		srv.Close()
+		if err := svc.Checkpoint(); err != nil {
+			t.Fatalf("Checkpoint: %v", err)
+		}
+		svc.Close()
+
+		grown := cfg
+		grown.Shards = newShards
+		svc2, _, err := New(grown)
+		if err != nil {
+			t.Fatalf("restore 4-shard checkpoints into %d shards: %v", newShards, err)
+		}
+		if got := svc2.Epoch(); got != 1 {
+			t.Fatalf("boot reshard to %d shards: epoch %d, want 1", newShards, got)
+		}
+		srv2 := httptest.NewServer(svc2.Handler())
+		client2 := NewClient(srv2.URL)
+
+		totalRounds := int64(45)
+		for r := int64(20); r < totalRounds; r++ {
+			driveRound(t, client2, tenants, r)
+			if _, err := client2.Tick(1); err != nil {
+				t.Fatalf("Tick at round %d: %v", r, err)
+			}
+		}
+		checkDecisionsMatchReference(t, client2, tenants, totalRounds, cfg, newShards, 1)
+		srv2.Close()
+		svc2.Close()
+	}
+}
+
+// driveRound replays one global round of the fixture (submissions, no tick).
+func driveRound(t *testing.T, client *Client, tenants []detTenant, r int64) {
+	t.Helper()
+	var wg sync.WaitGroup
+	for i := range tenants {
+		tn := &tenants[i]
+		local := r - tn.startRound
+		if local < 0 {
+			continue
+		}
+		jobs := tn.seq.Request(local)
+		if len(jobs) == 0 {
+			continue
+		}
+		wg.Add(1)
+		go func(name string) {
+			defer wg.Done()
+			wire := make([]SubmitJob, len(jobs))
+			for k, j := range jobs {
+				wire[k] = SubmitJob{ID: j.ID, Color: int32(j.Color), Delay: j.Delay}
+			}
+			out, err := client.Submit(&SubmitRequest{Schema: WireSchema, Tenant: name, Jobs: wire})
+			if err != nil || !out.Accepted {
+				t.Errorf("submit %s: out=%+v err=%v", name, out, err)
+			}
+		}(tn.name)
+	}
+	wg.Wait()
+	if t.Failed() {
+		t.FailNow()
+	}
+}
+
+// TestReshardBudgetAbort pins the rollback path: a reshard whose migration
+// plan exceeds a class's budget slice must fail with ErrReshardBudget and
+// leave the pool exactly as it was — same epoch, same shard count, still
+// serving, decision streams unharmed.
+func TestReshardBudgetAbort(t *testing.T) {
+	cfg := Config{
+		Shards: 4, Resources: 8, Delta: 4, Watermark: 1 << 16,
+		RecordDecisions: true, ReshardBudget: 1, // one byte: any migration blows it
+	}
+	svc, _, err := New(cfg)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	defer svc.Close()
+	srv := httptest.NewServer(svc.Handler())
+	defer srv.Close()
+	client := NewClient(srv.URL)
+
+	tenants := detFixture(t, 48)
+	totalRounds := int64(45)
+	driveServiceHook(t, client, tenants, totalRounds, func(r int64) {
+		if r != 15 {
+			return
+		}
+		_, err := svc.Reshard(8)
+		if !errors.Is(err, ErrReshardBudget) {
+			t.Fatalf("Reshard under 1-byte budget: err=%v, want ErrReshardBudget", err)
+		}
+		if got := svc.Epoch(); got != 0 {
+			t.Fatalf("aborted reshard left epoch %d, want 0", got)
+		}
+		if got := svc.Stats().Shards; got != 4 {
+			t.Fatalf("aborted reshard left %d shards, want 4", got)
+		}
+	})
+	checkDecisionsMatchReference(t, client, tenants, totalRounds, cfg, 4, 0)
+
+	if got := svc.Stats().Reshards; got != 0 {
+		t.Fatalf("aborted reshard counted as %d reshards, want 0", got)
+	}
+}
+
+// TestReshardRefusals pins the guard rails: no-op counts, out-of-range
+// counts, draining services, and hosted pools all refuse to reshard.
+func TestReshardRefusals(t *testing.T) {
+	cfg := Config{Shards: 2, Resources: 8, Delta: 4, Watermark: 64}
+	svc, _, err := New(cfg)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	if _, err := svc.Reshard(2); err == nil {
+		t.Fatal("resharding to the current count succeeded")
+	}
+	if _, err := svc.Reshard(0); err == nil {
+		t.Fatal("resharding to 0 shards succeeded")
+	}
+	if _, err := svc.Reshard(MaxShards + 1); err == nil {
+		t.Fatal("resharding past MaxShards succeeded")
+	}
+	svc.BeginDrain()
+	if _, err := svc.Reshard(4); err == nil {
+		t.Fatal("resharding a draining service succeeded")
+	}
+	svc.Close()
+
+	hosted := Config{Shards: 2, Resources: 8, Delta: 4, Watermark: 64, Hosted: true}
+	hsvc, _, err := New(hosted)
+	if err != nil {
+		t.Fatalf("New(hosted): %v", err)
+	}
+	defer hsvc.Close()
+	if _, err := hsvc.Reshard(4); err == nil || !strings.Contains(err.Error(), "dispatcher") {
+		t.Fatalf("hosted reshard: err=%v, want dispatcher refusal", err)
+	}
+}
+
+// TestReshardMetrics pins the new observability: one split must count one
+// reshard, its moved tenants and bytes, at least one duration sample, and
+// non-zero parked submissions are reflected when the gate catches traffic.
+func TestReshardMetrics(t *testing.T) {
+	cfg := Config{Shards: 4, Resources: 8, Delta: 4, Watermark: 1 << 16, RecordDecisions: true}
+	svc, _, err := New(cfg)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	defer svc.Close()
+	srv := httptest.NewServer(svc.Handler())
+	defer srv.Close()
+	client := NewClient(srv.URL)
+
+	tenants := detFixture(t, 49)
+	driveServiceHook(t, client, tenants, 20, func(r int64) {
+		if r == 10 {
+			if _, err := client.Reshard(8); err != nil {
+				t.Fatalf("Reshard(8): %v", err)
+			}
+		}
+	})
+
+	snap, err := svc.MergedMetrics()
+	if err != nil {
+		t.Fatalf("MergedMetrics: %v", err)
+	}
+	counters := map[string]int64{}
+	histCount := map[string]int64{}
+	for _, m := range snap.Metrics {
+		counters[m.Name] += m.Value
+		histCount[m.Name] += m.Count
+	}
+	if counters[MetricReshards] != 1 {
+		t.Fatalf("%s = %d, want 1", MetricReshards, counters[MetricReshards])
+	}
+	if counters[MetricReshardTenants] == 0 {
+		t.Fatalf("%s = 0, want > 0", MetricReshardTenants)
+	}
+	if counters[MetricReshardBytes] == 0 {
+		t.Fatalf("%s = 0, want > 0", MetricReshardBytes)
+	}
+	if histCount[MetricReshardNs] != 1 {
+		t.Fatalf("%s histogram has %d samples, want 1", MetricReshardNs, histCount[MetricReshardNs])
+	}
+}
+
+// TestReshardCheckpointsTransform unit-tests the pure checkpoint transform:
+// tenant sets are preserved and re-routed, rounds and epochs agree, and
+// malformed sets (diverging rounds, repeated tenants, wrong counts) are
+// refused.
+func TestReshardCheckpointsTransform(t *testing.T) {
+	mk := func(shard, shards int, round, epoch int64, names ...string) []byte {
+		cp := shardCheckpoint{Schema: StateSchema, Shard: shard, Shards: shards, Round: round, PlacementEpoch: epoch}
+		for _, n := range names {
+			cp.Tenants = append(cp.Tenants, tenantCheckpoint{Name: n, Snapshot: mustSnapshot(t)})
+		}
+		data, err := MarshalResponse(cp)
+		if err != nil {
+			t.Fatalf("marshal: %v", err)
+		}
+		return data
+	}
+	ring2 := newHashRing(2)
+	var on0, on1 []string
+	for _, n := range []string{"alpha", "beta", "gamma", "delta"} {
+		if ring2.ShardOf(n) == 0 {
+			on0 = append(on0, n)
+		} else {
+			on1 = append(on1, n)
+		}
+	}
+	old := [][]byte{mk(0, 2, 7, 3, on0...), mk(1, 2, 7, 3, on1...)}
+
+	out, err := ReshardCheckpoints(old, 5)
+	if err != nil {
+		t.Fatalf("ReshardCheckpoints: %v", err)
+	}
+	if len(out) != 5 {
+		t.Fatalf("got %d outputs, want 5", len(out))
+	}
+	ring5 := newHashRing(5)
+	seen := map[string]bool{}
+	for i, data := range out {
+		cp, err := decodeShardCheckpoint(data)
+		if err != nil {
+			t.Fatalf("output %d: %v", i, err)
+		}
+		if cp.Shard != i || cp.Shards != 5 || cp.Round != 7 || cp.PlacementEpoch != 4 {
+			t.Fatalf("output %d header: %+v", i, cp)
+		}
+		for _, tcp := range cp.Tenants {
+			if got := ring5.ShardOf(tcp.Name); got != i {
+				t.Fatalf("tenant %q on shard %d, ring says %d", tcp.Name, i, got)
+			}
+			seen[tcp.Name] = true
+		}
+	}
+	if len(seen) != 4 {
+		t.Fatalf("transform preserved %d tenants, want 4", len(seen))
+	}
+
+	if _, err := ReshardCheckpoints([][]byte{mk(0, 2, 7, 3), mk(1, 2, 8, 3)}, 4); err == nil {
+		t.Fatal("diverging rounds accepted")
+	}
+	if _, err := ReshardCheckpoints([][]byte{mk(0, 2, 7, 3), mk(1, 2, 7, 4)}, 4); err == nil {
+		t.Fatal("diverging placement epochs accepted")
+	}
+	if _, err := ReshardCheckpoints([][]byte{mk(0, 1, 7, 3, "alpha", "alpha")}, 4); err == nil {
+		t.Fatal("repeated tenant accepted")
+	}
+	if _, err := ReshardCheckpoints([][]byte{mk(0, 3, 7, 3)}, 4); err == nil {
+		t.Fatal("incomplete set accepted")
+	}
+	if _, err := ReshardCheckpoints(nil, 4); err == nil {
+		t.Fatal("empty set accepted")
+	}
+}
+
+// mustSnapshot returns a valid empty scheduler snapshot for checkpoint
+// fixtures.
+func mustSnapshot(t *testing.T) []byte {
+	t.Helper()
+	sched, err := stream.New(stream.Config{Delta: 4, Resources: 8})
+	if err != nil {
+		t.Fatalf("stream.New: %v", err)
+	}
+	snap, err := sched.Snapshot()
+	if err != nil {
+		t.Fatalf("Snapshot: %v", err)
+	}
+	return snap
+}

@@ -15,9 +15,11 @@ import (
 
 // Config parameterizes the service.
 type Config struct {
-	// Shards is the number of scheduler shards (>= 1). Tenants map to shards
-	// by consistent hashing; a checkpoint can only be restored under the same
-	// shard count.
+	// Shards is the number of scheduler shards at boot (>= 1). Tenants map to
+	// shards by consistent hashing. The count is not fixed for life: Reshard
+	// splits or merges the pool under live traffic, and New restores
+	// checkpoint sets taken under any prior shard count by re-routing tenants
+	// through the current ring.
 	Shards int
 	// Resources is the per-tenant resource count n (positive multiple of 4),
 	// and Delta the reconfiguration cost — the stream.Config of every
@@ -61,11 +63,72 @@ type Config struct {
 	// shard migration. Off by default: the classic drain/restore protocol
 	// keeps history in memory only.
 	CheckpointDecisions bool
+	// Classes are the weighted tenant QoS classes. Each class receives a
+	// slice of every shard's admission watermark proportional to its weight
+	// (share = max(1, Watermark*w/ΣW)), and the same split applies to
+	// ReshardBudget. Empty configures the single implicit class "default"
+	// with weight 1, whose share is the whole watermark — exactly the
+	// pre-class behavior. When classes are configured explicitly, a batch
+	// naming no class binds new tenants to the class named "default", which
+	// must then be one of the configured classes.
+	Classes []TenantClass
+	// ReshardBudget caps the total bytes of tenant state one Reshard may
+	// migrate, split across classes by weight; a reshard whose migration plan
+	// exceeds any class's slice aborts without moving anything. Zero means
+	// unlimited.
+	ReshardBudget int64
 }
+
+// TenantClass is one weighted QoS class.
+type TenantClass struct {
+	Name   string `json:"name"`
+	Weight int64  `json:"weight"`
+}
+
+// DefaultClass is the class tenants bind to when a submit names no class.
+const DefaultClass = "default"
+
+// normalizeClasses resolves the configured class list: empty means the
+// single implicit default class with weight 1.
+func normalizeClasses(classes []TenantClass) []TenantClass {
+	if len(classes) == 0 {
+		return []TenantClass{{Name: DefaultClass, Weight: 1}}
+	}
+	out := make([]TenantClass, len(classes))
+	copy(out, classes)
+	return out
+}
+
+// classShares splits a watermark (or any integer budget) across classes by
+// weight: share = max(1, total*w/ΣW). Integer division makes the split
+// exactly invariant under scaling every weight by a common factor —
+// floor(k·a/(k·b)) == floor(a/b) — the property the metamorphic class tests
+// pin.
+func classShares(classes []TenantClass, total int) []int {
+	var sum int64
+	for _, c := range classes {
+		sum += c.Weight
+	}
+	shares := make([]int, len(classes))
+	for i, c := range classes {
+		sh := int(int64(total) * c.Weight / sum)
+		if sh < 1 {
+			sh = 1
+		}
+		shares[i] = sh
+	}
+	return shares
+}
+
+// MaxClassWeight bounds a class weight so share arithmetic cannot overflow.
+const MaxClassWeight = 1 << 20
 
 func (cfg Config) validate() error {
 	if cfg.Shards <= 0 {
 		return fmt.Errorf("serve: need at least one shard, got %d", cfg.Shards)
+	}
+	if cfg.Shards > MaxShards {
+		return fmt.Errorf("serve: %d shards exceeds the maximum %d", cfg.Shards, MaxShards)
 	}
 	if cfg.Resources <= 0 || cfg.Resources%4 != 0 {
 		return fmt.Errorf("serve: resources must be a positive multiple of 4, got %d", cfg.Resources)
@@ -91,6 +154,22 @@ func (cfg Config) validate() error {
 	if cfg.CheckpointDecisions && !cfg.RecordDecisions {
 		return fmt.Errorf("serve: CheckpointDecisions requires RecordDecisions")
 	}
+	if cfg.ReshardBudget < 0 {
+		return fmt.Errorf("serve: negative reshard budget %d", cfg.ReshardBudget)
+	}
+	seen := map[string]bool{}
+	for _, c := range cfg.Classes {
+		if err := ValidateClass(c.Name); err != nil {
+			return err
+		}
+		if seen[c.Name] {
+			return fmt.Errorf("serve: duplicate class %q", c.Name)
+		}
+		seen[c.Name] = true
+		if c.Weight <= 0 || c.Weight > MaxClassWeight {
+			return fmt.Errorf("serve: class %q weight %d out of range (1..%d)", c.Name, c.Weight, MaxClassWeight)
+		}
+	}
 	return nil
 }
 
@@ -98,9 +177,19 @@ func (cfg Config) validate() error {
 // Handler over HTTP, Start the ticker (real-time mode), and shut down in
 // order: BeginDrain, then HTTP server shutdown, then Checkpoint, then Close.
 type Service struct {
-	cfg    Config
-	ring   hashRing
-	shards []*shard
+	cfg Config
+
+	// pl is the current placement: epoch, ring, and shard set. Handlers load
+	// it atomically per request; Reshard swaps it in one store, which is what
+	// makes the routing flip atomic.
+	pl atomic.Pointer[placement]
+	// gate, when non-nil, parks submissions: a reshard is migrating tenants
+	// and new batches wait on the channel until routing has flipped, then
+	// replay under the new epoch.
+	gate atomic.Pointer[chan struct{}]
+	// reshardMu serializes Reshard calls (the park/migrate/flip sequence is
+	// not reentrant).
+	reshardMu sync.Mutex
 
 	// round is the next global round; shards advance in lockstep under
 	// tickMu. Atomic so handlers can read it without joining the tick path.
@@ -114,78 +203,177 @@ type Service struct {
 	stopOnce   sync.Once
 	closeOnce  sync.Once
 
+	met    *serviceMetrics
 	bootNs int64 // obs.Now at construction, for uptime reporting
 }
 
+// placement is one immutable epoch of the shard↔tenant mapping. A reshard
+// builds a new placement and swaps the service's pointer; readers that
+// loaded the old one are fenced off by the per-shard epoch check.
+type placement struct {
+	epoch  int64
+	ring   hashRing
+	shards []*shard
+	// retired holds shards removed by a merge. Their goroutines keep running
+	// (an HTTP handler that routed just before the flip may still send them
+	// a command, which bounces off the epoch fence) but they hold no tenants
+	// and are not ticked; Close stops them with the live shards.
+	retired []*shard
+}
+
+// Service-level metric names (reshard lifecycle and submission parking).
+const (
+	MetricReshards       = "serve_reshards_total"
+	MetricReshardTenants = "serve_reshard_moved_tenants_total"
+	MetricReshardBytes   = "serve_reshard_migration_bytes_total"
+	MetricReshardNs      = "serve_reshard_ns"
+	MetricParkedBatches  = "serve_parked_batches_total"
+)
+
+// serviceMetrics are the instruments that describe the service as a whole
+// rather than any one shard; merged into /metrics with the shard registries.
+type serviceMetrics struct {
+	reg            *obs.Registry
+	reshards       *obs.Counter
+	reshardTenants *obs.Counter
+	reshardBytes   *obs.Counter
+	reshardNs      *obs.Histogram
+	parked         *obs.Counter
+}
+
+func newServiceMetrics() (*serviceMetrics, error) {
+	m := &serviceMetrics{reg: obs.NewRegistry()}
+	var err error
+	if m.reshards, err = m.reg.Counter(MetricReshards); err != nil {
+		return nil, err
+	}
+	if m.reshardTenants, err = m.reg.Counter(MetricReshardTenants); err != nil {
+		return nil, err
+	}
+	if m.reshardBytes, err = m.reg.Counter(MetricReshardBytes); err != nil {
+		return nil, err
+	}
+	// 4 µs to ~70 s in powers of four: a reshard checkpoints and re-routes
+	// whole tenant sets.
+	if m.reshardNs, err = m.reg.Histogram(MetricReshardNs, obs.ExpBuckets(4096, 4, 13)); err != nil {
+		return nil, err
+	}
+	if m.parked, err = m.reg.Counter(MetricParkedBatches); err != nil {
+		return nil, err
+	}
+	return m, nil
+}
+
 // New builds a service. If cfg.StateDir contains checkpoint files from a
-// previous incarnation (same shard count), the full per-tenant state is
-// restored before the service accepts traffic; the returned restored count
-// is the number of tenants recovered.
+// previous incarnation, the full per-tenant state is restored before the
+// service accepts traffic; the returned restored count is the number of
+// tenants recovered. A checkpoint set taken under a different shard count is
+// re-routed through the current ring (the placement epoch is bumped past the
+// checkpointed one) rather than refused.
 func New(cfg Config) (svc *Service, restored int, err error) {
 	if err := cfg.validate(); err != nil {
 		return nil, 0, err
 	}
+	met, err := newServiceMetrics()
+	if err != nil {
+		return nil, 0, err
+	}
 	s := &Service{
 		cfg:    cfg,
-		ring:   newHashRing(cfg.Shards),
+		met:    met,
 		bootNs: obs.Now(),
 	}
+	pl := &placement{ring: newHashRing(cfg.Shards)}
 	for i := 0; i < cfg.Shards; i++ {
 		sh, err := newShard(i, cfg)
 		if err != nil {
 			return nil, 0, err
 		}
-		s.shards = append(s.shards, sh)
+		pl.shards = append(pl.shards, sh)
 	}
+	s.pl.Store(pl)
 	if cfg.StateDir != "" {
-		restored, err = s.restore()
+		restored, err = s.restore(pl)
 		if err != nil {
 			return nil, 0, err
 		}
 	}
-	for _, sh := range s.shards {
+	for _, sh := range pl.shards {
 		sh.start()
 	}
 	return s, restored, nil
 }
 
 // restore loads per-shard checkpoint files from cfg.StateDir, if present.
-// Either every shard file exists or none: a partial state dir means a failed
-// or foreign checkpoint, and resuming from it would silently lose tenants.
-func (s *Service) restore() (int, error) {
-	present := 0
-	for i := range s.shards {
-		if _, err := os.Stat(s.shardStatePath(i)); err == nil {
-			present++
-		} else if !os.IsNotExist(err) {
-			return 0, fmt.Errorf("serve: probing state dir: %w", err)
-		}
+// Either the full checkpoint set exists or none of it: a partial state dir
+// means a failed or foreign checkpoint, and resuming from it would silently
+// lose tenants. The set's own shards count is authoritative — when it
+// differs from the current configuration, ReshardCheckpoints re-routes every
+// tenant through the current ring under a bumped placement epoch.
+func (s *Service) restore(pl *placement) (int, error) {
+	files, err := filepath.Glob(filepath.Join(s.cfg.StateDir, "shard-*.json"))
+	if err != nil {
+		return 0, fmt.Errorf("serve: probing state dir: %w", err)
 	}
-	if present == 0 {
+	if len(files) == 0 {
 		return 0, nil
 	}
-	if present != len(s.shards) {
+	// Decode the whole set first: the files agree on their own shard count,
+	// round, and placement epoch, and indices cover 0..shards-1 exactly.
+	datas := make([][]byte, 0, len(files))
+	cps := make([]*shardCheckpoint, 0, len(files))
+	for _, f := range files {
+		data, err := os.ReadFile(f)
+		if err != nil {
+			return 0, fmt.Errorf("serve: reading %s: %w", f, err)
+		}
+		cp, err := decodeShardCheckpoint(data)
+		if err != nil {
+			return 0, fmt.Errorf("serve: %s: %w", f, err)
+		}
+		datas = append(datas, data)
+		cps = append(cps, cp)
+	}
+	want := cps[0].Shards
+	if len(files) != want {
 		return 0, fmt.Errorf("serve: state dir %s has %d of %d shard files; refusing a partial restore",
-			s.cfg.StateDir, present, len(s.shards))
+			s.cfg.StateDir, len(files), want)
+	}
+	byIdx := make([][]byte, want)
+	for i, cp := range cps {
+		if cp.Shards != want {
+			return 0, fmt.Errorf("serve: checkpoint shard counts diverge (%d vs %d)", cp.Shards, want)
+		}
+		if cp.Round != cps[0].Round {
+			return 0, fmt.Errorf("serve: shard rounds diverge in checkpoint (%d vs %d); shards tick in lockstep", cp.Round, cps[0].Round)
+		}
+		if cp.PlacementEpoch != cps[0].PlacementEpoch {
+			return 0, fmt.Errorf("serve: placement epochs diverge in checkpoint (%d vs %d)", cp.PlacementEpoch, cps[0].PlacementEpoch)
+		}
+		if byIdx[cp.Shard] != nil {
+			return 0, fmt.Errorf("serve: state dir repeats shard %d", cp.Shard)
+		}
+		byIdx[cp.Shard] = datas[i]
+	}
+	if want != s.cfg.Shards {
+		// The set was taken under a different shard count: re-route every
+		// tenant through the current ring. The transform bumps the placement
+		// epoch past the checkpointed one, so clients that pinned the old
+		// epoch are told to re-resolve.
+		byIdx, err = ReshardCheckpoints(byIdx, s.cfg.Shards)
+		if err != nil {
+			return 0, fmt.Errorf("serve: re-routing %d-shard checkpoint set into %d shards: %w", want, s.cfg.Shards, err)
+		}
 	}
 	restored := 0
-	var round int64
-	for i, sh := range s.shards {
-		data, err := os.ReadFile(s.shardStatePath(i))
-		if err != nil {
-			return 0, fmt.Errorf("serve: reading shard %d state: %w", i, err)
-		}
-		if err := sh.restoreShard(data, s.ring); err != nil {
+	for i, sh := range pl.shards {
+		if err := sh.restoreShard(byIdx[i], pl.ring); err != nil {
 			return 0, fmt.Errorf("serve: shard %d: %w", i, err)
-		}
-		if i == 0 {
-			round = sh.round
-		} else if sh.round != round {
-			return 0, fmt.Errorf("serve: shard rounds diverge in checkpoint (%d vs %d); shards tick in lockstep", sh.round, round)
 		}
 		restored += len(sh.tenants)
 	}
-	s.round.Store(round)
+	pl.epoch = pl.shards[0].epoch
+	s.round.Store(pl.shards[0].round)
 	return restored, nil
 }
 
@@ -201,6 +389,15 @@ func (s *Service) Draining() bool { return s.draining.Load() }
 
 // Virtual reports whether the service runs in virtual-time mode.
 func (s *Service) Virtual() bool { return s.cfg.RoundEvery == 0 }
+
+// ShardFor reports which shard the current placement routes a tenant to.
+func (s *Service) ShardFor(tenant string) int {
+	pl := s.pl.Load()
+	return pl.ring.ShardOf(tenant)
+}
+
+// Epoch returns the current placement epoch (zero until the first reshard).
+func (s *Service) Epoch() int64 { return s.pl.Load().epoch }
 
 // Start launches the real-time round ticker. A no-op in virtual-time mode.
 func (s *Service) Start() {
@@ -246,12 +443,15 @@ func (s *Service) Tick(n int) (int64, error) {
 	if s.cfg.Hosted {
 		return s.tickHosted(n)
 	}
+	// Reshard swaps the placement under tickMu, so the shard set is stable
+	// for the whole multi-round tick.
+	pl := s.pl.Load()
 	for i := 0; i < n; i++ {
 		r := s.round.Load()
 		var wg sync.WaitGroup
-		wg.Add(len(s.shards))
+		wg.Add(len(pl.shards))
 		cmd := &tickCmd{round: r, done: &wg}
-		for _, sh := range s.shards {
+		for _, sh := range pl.shards {
 			sh.ch <- shardCmd{tick: cmd} //lint:ignore lockcheck tickMu is the round barrier, and shard goroutines drain their channels unconditionally until Close
 		}
 		wg.Wait()
@@ -263,8 +463,9 @@ func (s *Service) Tick(n int) (int64, error) {
 // tickHosted fans a self-tick to every shard concurrently; closed shards
 // report themselves and are skipped. Caller holds tickMu.
 func (s *Service) tickHosted(n int) (int64, error) {
-	replies := make([]chan selfTickResult, len(s.shards))
-	for i, sh := range s.shards {
+	shards := s.pl.Load().shards
+	replies := make([]chan selfTickResult, len(shards))
+	for i, sh := range shards {
 		replies[i] = make(chan selfTickResult, 1)
 		sh.ch <- shardCmd{selfTick: &selfTickCmd{n: n, reply: replies[i]}}
 	}
@@ -308,8 +509,9 @@ func (s *Service) TickShard(shard, n int) (int64, error) {
 	if !s.cfg.Hosted {
 		return 0, fmt.Errorf("serve: per-shard ticks require hosted mode")
 	}
-	if shard < 0 || shard >= len(s.shards) {
-		return 0, fmt.Errorf("serve: shard %d out of range [0, %d)", shard, len(s.shards))
+	pl := s.pl.Load()
+	if shard < 0 || shard >= len(pl.shards) {
+		return 0, fmt.Errorf("serve: shard %d out of range [0, %d)", shard, len(pl.shards))
 	}
 	s.tickMu.Lock()
 	defer s.tickMu.Unlock()
@@ -317,7 +519,7 @@ func (s *Service) TickShard(shard, n int) (int64, error) {
 		return 0, fmt.Errorf("serve: service is draining")
 	}
 	reply := make(chan selfTickResult, 1)
-	s.shards[shard].ch <- shardCmd{selfTick: &selfTickCmd{n: n, reply: reply}} //lint:ignore lockcheck tickMu is the round barrier, and shard goroutines drain their channels unconditionally until Close
+	pl.shards[shard].ch <- shardCmd{selfTick: &selfTickCmd{n: n, reply: reply}} //lint:ignore lockcheck tickMu is the round barrier, and shard goroutines drain their channels unconditionally until Close
 	res := <-reply //lint:ignore lockcheck the shard goroutine always answers a selfTick on the buffered reply channel
 	if res.err != nil {
 		return res.round, res.err
@@ -337,11 +539,12 @@ func (s *Service) SyncShard(shard int) (int64, error) {
 	if !s.cfg.Hosted {
 		return 0, fmt.Errorf("serve: SyncShard requires hosted mode")
 	}
-	if shard < 0 || shard >= len(s.shards) {
-		return 0, fmt.Errorf("serve: shard %d out of range [0, %d)", shard, len(s.shards))
+	pl := s.pl.Load()
+	if shard < 0 || shard >= len(pl.shards) {
+		return 0, fmt.Errorf("serve: shard %d out of range [0, %d)", shard, len(pl.shards))
 	}
 	reply := make(chan selfTickResult, 1)
-	s.shards[shard].ch <- shardCmd{sync: &syncCmd{reply: reply}}
+	pl.shards[shard].ch <- shardCmd{sync: &syncCmd{reply: reply}}
 	res := <-reply
 	return res.round, res.err
 }
@@ -354,11 +557,12 @@ func (s *Service) OpenShard(shard int, data []byte) (int64, error) {
 	if !s.cfg.Hosted {
 		return 0, fmt.Errorf("serve: OpenShard requires hosted mode")
 	}
-	if shard < 0 || shard >= len(s.shards) {
-		return 0, fmt.Errorf("serve: shard %d out of range [0, %d)", shard, len(s.shards))
+	pl := s.pl.Load()
+	if shard < 0 || shard >= len(pl.shards) {
+		return 0, fmt.Errorf("serve: shard %d out of range [0, %d)", shard, len(pl.shards))
 	}
 	reply := make(chan openResult, 1)
-	s.shards[shard].ch <- shardCmd{openShard: &openCmd{data: data, reply: reply}}
+	pl.shards[shard].ch <- shardCmd{openShard: &openCmd{data: data, reply: reply}}
 	res := <-reply
 	return res.round, res.err
 }
@@ -370,22 +574,24 @@ func (s *Service) CloseShard(shard int) ([]byte, error) {
 	if !s.cfg.Hosted {
 		return nil, fmt.Errorf("serve: CloseShard requires hosted mode")
 	}
-	if shard < 0 || shard >= len(s.shards) {
-		return nil, fmt.Errorf("serve: shard %d out of range [0, %d)", shard, len(s.shards))
+	pl := s.pl.Load()
+	if shard < 0 || shard >= len(pl.shards) {
+		return nil, fmt.Errorf("serve: shard %d out of range [0, %d)", shard, len(pl.shards))
 	}
 	reply := make(chan snapshotResult, 1)
-	s.shards[shard].ch <- shardCmd{close: &closeCmd{reply: reply}}
+	pl.shards[shard].ch <- shardCmd{close: &closeCmd{reply: reply}}
 	res := <-reply
 	return res.data, res.err
 }
 
 // SnapshotShard returns a checkpoint of one shard without disturbing it.
 func (s *Service) SnapshotShard(shard int) ([]byte, error) {
-	if shard < 0 || shard >= len(s.shards) {
-		return nil, fmt.Errorf("serve: shard %d out of range [0, %d)", shard, len(s.shards))
+	pl := s.pl.Load()
+	if shard < 0 || shard >= len(pl.shards) {
+		return nil, fmt.Errorf("serve: shard %d out of range [0, %d)", shard, len(pl.shards))
 	}
 	reply := make(chan snapshotResult, 1)
-	s.shards[shard].ch <- shardCmd{snapshot: &snapshotCmd{reply: reply}}
+	pl.shards[shard].ch <- shardCmd{snapshot: &snapshotCmd{reply: reply}}
 	res := <-reply
 	return res.data, res.err
 }
@@ -431,7 +637,8 @@ func (s *Service) Checkpoint() error {
 	if err := os.MkdirAll(s.cfg.StateDir, 0o755); err != nil {
 		return fmt.Errorf("serve: creating state dir: %w", err)
 	}
-	for i, sh := range s.shards {
+	pl := s.pl.Load()
+	for i, sh := range pl.shards {
 		reply := make(chan snapshotResult, 1)
 		sh.ch <- shardCmd{snapshot: &snapshotCmd{reply: reply}}
 		res := <-reply
@@ -440,6 +647,26 @@ func (s *Service) Checkpoint() error {
 		}
 		if err := atomicio.WriteFile(s.shardStatePath(i), res.data, 0o644); err != nil {
 			return fmt.Errorf("serve: writing shard %d state: %w", i, err)
+		}
+	}
+	// A merge shrank the pool below a previous incarnation's count: remove
+	// the stale higher-index files so the next boot sees exactly this set.
+	stale, err := filepath.Glob(filepath.Join(s.cfg.StateDir, "shard-*.json"))
+	if err != nil {
+		return fmt.Errorf("serve: probing state dir: %w", err)
+	}
+	for _, f := range stale {
+		keep := false
+		for i := range pl.shards {
+			if f == s.shardStatePath(i) {
+				keep = true
+				break
+			}
+		}
+		if !keep {
+			if err := os.Remove(f); err != nil {
+				return fmt.Errorf("serve: removing stale state file %s: %w", f, err)
+			}
 		}
 	}
 	return nil
@@ -457,7 +684,11 @@ func (s *Service) Close() {
 				<-s.tickerDone
 			}
 		})
-		for _, sh := range s.shards {
+		pl := s.pl.Load()
+		for _, sh := range pl.shards {
+			sh.stop()
+		}
+		for _, sh := range pl.retired {
 			sh.stop()
 		}
 	})
@@ -465,20 +696,40 @@ func (s *Service) Close() {
 
 // Stats assembles the service-level stats response.
 func (s *Service) Stats() *StatsResponse {
+	pl := s.pl.Load()
 	resp := &StatsResponse{
 		Schema:   StatsSchema,
 		Round:    s.round.Load(),
-		Shards:   len(s.shards),
+		Shards:   len(pl.shards),
 		Virtual:  s.Virtual(),
 		Draining: s.draining.Load(),
 		UptimeNs: obs.Now() - s.bootNs,
+		Epoch:    pl.epoch,
+		Reshards: s.met.reshards.Value(),
 	}
-	for _, sh := range s.shards {
+	classAgg := map[string]*ClassStats{}
+	var classOrder []string
+	for _, sh := range pl.shards {
 		reply := make(chan ShardStats, 1)
 		sh.ch <- shardCmd{stats: &statsCmd{reply: reply}}
 		st := <-reply
 		resp.PerShard = append(resp.PerShard, st)
 		resp.Totals.add(st)
+		for _, cs := range st.Classes {
+			agg := classAgg[cs.Name]
+			if agg == nil {
+				agg = &ClassStats{Name: cs.Name, Weight: cs.Weight}
+				classAgg[cs.Name] = agg
+				classOrder = append(classOrder, cs.Name)
+			}
+			agg.Share += cs.Share
+			agg.Backlog += cs.Backlog
+			agg.Accepted += cs.Accepted
+			agg.Rejected += cs.Rejected
+		}
+	}
+	for _, name := range classOrder {
+		resp.Classes = append(resp.Classes, *classAgg[name])
 	}
 	resp.Totals.Shard = -1
 	resp.Totals.Round = resp.Round
@@ -486,12 +737,18 @@ func (s *Service) Stats() *StatsResponse {
 }
 
 // MergedMetrics returns the service-level metric snapshot: the per-shard
-// registries merged (counters summed, histograms bucket-wise summed).
+// registries (live and retired — retired shards carry the pre-merge
+// admission history) merged with the service registry.
 func (s *Service) MergedMetrics() (*obs.Snapshot, error) {
-	snaps := make([]*obs.Snapshot, len(s.shards))
-	for i, sh := range s.shards {
-		snaps[i] = sh.met.reg.Snapshot()
+	pl := s.pl.Load()
+	snaps := make([]*obs.Snapshot, 0, len(pl.shards)+len(pl.retired)+1)
+	for _, sh := range pl.shards {
+		snaps = append(snaps, sh.met.reg.Snapshot())
 	}
+	for _, sh := range pl.retired {
+		snaps = append(snaps, sh.met.reg.Snapshot())
+	}
+	snaps = append(snaps, s.met.reg.Snapshot())
 	return obs.MergeSnapshots(snaps...)
 }
 
@@ -506,7 +763,14 @@ type StatsResponse struct {
 	Virtual  bool   `json:"virtual"`
 	Draining bool   `json:"draining"`
 	UptimeNs int64  `json:"uptime_ns"`
+	// Epoch is the current placement epoch (zero until the first reshard)
+	// and Reshards the number of reshards this process has performed.
+	Epoch    int64 `json:"epoch"`
+	Reshards int64 `json:"reshards"`
 
 	Totals   ShardStats   `json:"totals"`
 	PerShard []ShardStats `json:"per_shard"`
+	// Classes aggregates per-class admission across shards (shares summed
+	// over shards, so a class's Share is its service-wide queued-job slice).
+	Classes []ClassStats `json:"classes,omitempty"`
 }

@@ -42,6 +42,10 @@ type tenant struct {
 	inflight map[int64]jobMeta
 	// decisions is the recorded decision stream (Config.RecordDecisions).
 	decisions []stream.Decision
+	// class indexes the tenant's QoS class in the shard's class table. A
+	// tenant binds its class on first submit and keeps it for life (including
+	// across checkpoints and migrations).
+	class int
 }
 
 type jobMeta struct {
@@ -63,6 +67,9 @@ type shardMetrics struct {
 	tenants  *obs.Gauge   // live tenants on this shard
 	tickNs   *obs.Histogram
 	submitNs *obs.Histogram
+
+	classAccepted *obs.CounterVec // jobs admitted, by tenant class
+	classRejected *obs.CounterVec // jobs 429-rejected, by tenant class
 }
 
 // Serve-specific metric names (the scheduler vocabulary lives in obs).
@@ -74,6 +81,9 @@ const (
 	MetricTenants  = "serve_tenants"
 	MetricTickNs   = "serve_tick_ns"
 	MetricSubmitNs = "serve_submit_ns"
+
+	MetricClassAccepted = "serve_class_accepted_jobs_total"
+	MetricClassRejected = "serve_class_rejected_jobs_total"
 )
 
 func newShardMetrics() (*shardMetrics, error) {
@@ -108,6 +118,12 @@ func newShardMetrics() (*shardMetrics, error) {
 	if m.submitNs, err = m.reg.Histogram(MetricSubmitNs, obs.ExpBuckets(256, 4, 12)); err != nil {
 		return nil, err
 	}
+	if m.classAccepted, err = m.reg.CounterVec(MetricClassAccepted, "class"); err != nil {
+		return nil, err
+	}
+	if m.classRejected, err = m.reg.CounterVec(MetricClassRejected, "class"); err != nil {
+		return nil, err
+	}
 	return m, nil
 }
 
@@ -132,7 +148,26 @@ type shard struct {
 	order    []string // sorted tenant names: the deterministic visit order
 	backlog  int      // total queued jobs across tenants
 	inflight int      // jobs pushed into schedulers and not yet resolved
+	// epoch is the placement epoch this shard is serving under. A submit
+	// routed under a different epoch bounces (statusWrongPlacement) so the
+	// handler re-resolves against the current placement — the fence that
+	// makes the routing flip atomic from the shard's point of view.
+	epoch int64
+	// nshards is the ring size of the current placement, written into
+	// checkpoints (a reshard changes it without restarting the process).
+	nshards int
+	// Tenant-class state: the normalized class table, name→index, the
+	// per-class watermark share, and the per-class queued-job count.
+	classes      []TenantClass
+	classIdx     map[string]int
+	classShare   []int
+	classBacklog []int
 }
+
+// statusWrongPlacement is the internal submitResult status for a command
+// routed under a stale placement epoch. Never surfaces on the wire: the HTTP
+// handler reloads the placement and resends.
+const statusWrongPlacement = -1
 
 // shardCmd is the message type of the shard goroutine. Exactly one of the
 // fields is set.
@@ -146,10 +181,17 @@ type shardCmd struct {
 	snapshot  *snapshotCmd
 	stats     *statsCmd
 	decisions *decisionsCmd
+	place     *placeCmd
+	plan      *planCmd
+	remove    *removeCmd
+	inject    *injectCmd
 }
 
 type submitCmd struct {
-	req   *SubmitRequest
+	req *SubmitRequest
+	// epoch is the placement epoch the HTTP handler routed under; the shard
+	// bounces the command when it disagrees with its own epoch.
+	epoch int64
 	reply chan submitResult
 }
 
@@ -222,7 +264,53 @@ type statsCmd struct {
 
 type decisionsCmd struct {
 	tenant string
+	epoch  int64
 	reply  chan decisionsResult
+}
+
+// placeCmd fences the shard onto a placement epoch: submissions routed under
+// any other epoch bounce until the reshard flips routing (or rolls back).
+type placeCmd struct {
+	epoch   int64
+	nshards int
+	reply   chan struct{}
+}
+
+// planCmd asks the shard to serialize every tenant that the target ring
+// routes elsewhere into migration frames, without removing them yet.
+type planCmd struct {
+	ring     hashRing
+	nshards  int
+	newEpoch int64
+	reply    chan planResult
+}
+
+type planResult struct {
+	frames []migrationFrame
+	err    error
+}
+
+// migrationFrame is one tenant's serialized state in flight between shards
+// during a reshard: a binary checkpoint frame (rrserve/v2) wrapping the
+// tenant's checkpoint JSON.
+type migrationFrame struct {
+	tenant string
+	class  string
+	target int
+	data   []byte // encoded CheckpointFrame
+}
+
+// removeCmd drops the named tenants from the shard (their state has been
+// handed to their new shard).
+type removeCmd struct {
+	tenants []string
+	reply   chan struct{}
+}
+
+// injectCmd adopts migration frames produced by planCmd on another shard.
+type injectCmd struct {
+	frames []migrationFrame
+	reply  chan error
 }
 
 type decisionsResult struct {
@@ -236,14 +324,24 @@ func newShard(idx int, cfg Config) (*shard, error) {
 	if err != nil {
 		return nil, err
 	}
+	classes := normalizeClasses(cfg.Classes)
+	classIdx := make(map[string]int, len(classes))
+	for i, c := range classes {
+		classIdx[c.Name] = i
+	}
 	return &shard{
 		idx: idx,
 		cfg: cfg,
 		ch:  make(chan shardCmd, 64),
 		met: met,
 		// Hosted shards stay closed until a lease arrives (OpenShard).
-		open:    !cfg.Hosted,
-		tenants: map[string]*tenant{},
+		open:         !cfg.Hosted,
+		tenants:      map[string]*tenant{},
+		nshards:      cfg.Shards,
+		classes:      classes,
+		classIdx:     classIdx,
+		classShare:   classShares(classes, cfg.Watermark),
+		classBacklog: make([]int, len(classes)),
 	}, nil
 }
 
@@ -298,7 +396,7 @@ func (sh *shard) handleCmd(cmd shardCmd) {
 	switch {
 	case cmd.submit != nil:
 		t0 := obs.Now()
-		cmd.submit.reply <- sh.handleSubmit(cmd.submit.req)
+		cmd.submit.reply <- sh.handleSubmit(cmd.submit.req, cmd.submit.epoch)
 		sh.met.submitNs.Observe(obs.Now() - t0)
 	case cmd.tick != nil:
 		t0 := obs.Now()
@@ -321,7 +419,18 @@ func (sh *shard) handleCmd(cmd shardCmd) {
 	case cmd.stats != nil:
 		cmd.stats.reply <- sh.stats()
 	case cmd.decisions != nil:
-		cmd.decisions.reply <- sh.handleDecisions(cmd.decisions.tenant)
+		cmd.decisions.reply <- sh.handleDecisions(cmd.decisions.tenant, cmd.decisions.epoch)
+	case cmd.place != nil:
+		sh.epoch = cmd.place.epoch
+		sh.nshards = cmd.place.nshards
+		cmd.place.reply <- struct{}{}
+	case cmd.plan != nil:
+		cmd.plan.reply <- sh.handlePlan(cmd.plan)
+	case cmd.remove != nil:
+		sh.handleRemove(cmd.remove.tenants)
+		cmd.remove.reply <- struct{}{}
+	case cmd.inject != nil:
+		cmd.inject.reply <- sh.adoptFrames(cmd.inject.frames)
 	}
 }
 
@@ -409,6 +518,7 @@ func (sh *shard) clear() {
 	sh.order = nil
 	sh.backlog = 0
 	sh.inflight = 0
+	sh.classBacklog = make([]int, len(sh.classes))
 	sh.met.tenants.Set(0)
 	sh.met.backlog.Set(0)
 	sh.met.sm.QueueDepth.Set(0)
@@ -416,9 +526,17 @@ func (sh *shard) clear() {
 
 // handleSubmit admits or rejects one batch. Admission is all-or-nothing:
 // every job is validated against the tenant's registered state before any is
-// queued.
-func (sh *shard) handleSubmit(req *SubmitRequest) submitResult {
+// queued. epoch is the placement epoch the handler routed under; a mismatch
+// bounces the command back for re-routing instead of admitting under a stale
+// placement.
+func (sh *shard) handleSubmit(req *SubmitRequest, epoch int64) submitResult {
 	n := len(req.Jobs)
+	if epoch != sh.epoch {
+		// Routed under a placement this shard no longer (or does not yet)
+		// serve. Not an error and not counted as refused work: the handler
+		// re-resolves and resends.
+		return submitResult{status: statusWrongPlacement, round: sh.round, backlog: sh.backlog}
+	}
 	if !sh.open {
 		// Hosted mode: this worker does not hold the shard's lease. 421 tells
 		// the client to refresh placement and resend elsewhere.
@@ -430,8 +548,34 @@ func (sh *shard) handleSubmit(req *SubmitRequest) submitResult {
 			backlog: sh.backlog,
 		}
 	}
+	tn := sh.tenants[req.Tenant]
+	// Resolve the batch's tenant class before any admission decision, so an
+	// unknown or conflicting class is a 400 regardless of backlog pressure.
+	class, ok := sh.resolveClass(tn, req.Class)
+	if !ok {
+		sh.met.refused.Add(int64(n))
+		return submitResult{
+			status:  http.StatusBadRequest,
+			err:     fmt.Sprintf("tenant %q names unknown class %q", req.Tenant, req.Class),
+			round:   sh.round,
+			backlog: sh.backlog,
+		}
+	}
+	if tn != nil && req.Class != "" && tn.class != class {
+		sh.met.refused.Add(int64(n))
+		return submitResult{
+			status:  http.StatusBadRequest,
+			err:     fmt.Sprintf("tenant %q is bound to class %q, batch says %q", req.Tenant, sh.classes[tn.class].Name, req.Class),
+			round:   sh.round,
+			backlog: sh.backlog,
+		}
+	}
+	if tn != nil {
+		class = tn.class
+	}
 	if sh.backlog+n > sh.cfg.Watermark {
 		sh.met.rejected.Add(int64(n))
+		sh.met.classRejected.With(sh.classes[class].Name).Add(int64(n))
 		return submitResult{
 			status:  http.StatusTooManyRequests,
 			err:     fmt.Sprintf("shard %d backlog %d + batch %d exceeds watermark %d", sh.idx, sh.backlog, n, sh.cfg.Watermark),
@@ -439,7 +583,19 @@ func (sh *shard) handleSubmit(req *SubmitRequest) submitResult {
 			backlog: sh.backlog,
 		}
 	}
-	tn := sh.tenants[req.Tenant]
+	if sh.classBacklog[class]+n > sh.classShare[class] {
+		// Per-class admission watermark: the shard watermark split by class
+		// weight. With the implicit single default class the share equals the
+		// watermark, so this check only bites under configured classes.
+		sh.met.rejected.Add(int64(n))
+		sh.met.classRejected.With(sh.classes[class].Name).Add(int64(n))
+		return submitResult{
+			status:  http.StatusTooManyRequests,
+			err:     fmt.Sprintf("shard %d class %q backlog %d + batch %d exceeds class share %d", sh.idx, sh.classes[class].Name, sh.classBacklog[class], n, sh.classShare[class]),
+			round:   sh.round,
+			backlog: sh.backlog,
+		}
+	}
 	maxID := int64(-1)
 	var delays map[model.Color]int64
 	if tn != nil {
@@ -513,6 +669,7 @@ func (sh *shard) handleSubmit(req *SubmitRequest) submitResult {
 			maxID:    -1,
 			delays:   map[model.Color]int64{},
 			inflight: map[int64]jobMeta{},
+			class:    class,
 		}
 		sh.tenants[req.Tenant] = tn
 		i := sort.SearchStrings(sh.order, req.Tenant)
@@ -528,9 +685,26 @@ func (sh *shard) handleSubmit(req *SubmitRequest) submitResult {
 	}
 	tn.maxID = req.Jobs[n-1].ID
 	sh.backlog += n
+	sh.classBacklog[tn.class] += n
 	sh.met.backlog.Set(int64(sh.backlog))
 	sh.met.accepted.Add(int64(n))
+	sh.met.classAccepted.With(sh.classes[tn.class].Name).Add(int64(n))
 	return submitResult{status: http.StatusOK, round: sh.round, backlog: sh.backlog}
+}
+
+// resolveClass maps a batch's class name to an index in the shard's class
+// table. An empty name selects the existing tenant's bound class, or the
+// "default" class for a new tenant.
+func (sh *shard) resolveClass(tn *tenant, name string) (int, bool) {
+	if name == "" {
+		if tn != nil {
+			return tn.class, true
+		}
+		i, ok := sh.classIdx[DefaultClass]
+		return i, ok
+	}
+	i, ok := sh.classIdx[name]
+	return i, ok
 }
 
 // handleTick advances every tenant one round. Tenants are visited in sorted
@@ -559,9 +733,11 @@ func (sh *shard) handleTick(round int64) {
 			// Refuse to guess at recovery; count the round as refused work.
 			sh.met.refused.Add(int64(len(jobs)))
 			sh.backlog -= len(jobs)
+			sh.classBacklog[tn.class] -= len(jobs)
 			continue
 		}
 		sh.backlog -= len(jobs)
+		sh.classBacklog[tn.class] -= len(jobs)
 		sh.inflight += len(jobs)
 		for _, j := range jobs {
 			tn.inflight[j.ID] = jobMeta{Color: j.Color, Arrival: local}
@@ -606,7 +782,10 @@ func (sh *shard) observeDecision(tn *tenant, dec stream.Decision) {
 }
 
 // handleDecisions returns a tenant's recorded decision stream.
-func (sh *shard) handleDecisions(name string) decisionsResult {
+func (sh *shard) handleDecisions(name string, epoch int64) decisionsResult {
+	if epoch != sh.epoch {
+		return decisionsResult{status: statusWrongPlacement}
+	}
 	if !sh.cfg.RecordDecisions {
 		return decisionsResult{status: http.StatusNotFound, err: "decision recording is disabled (start the service with record-decisions)"}
 	}
@@ -621,12 +800,13 @@ func (sh *shard) handleDecisions(name string) decisionsResult {
 	return decisionsResult{
 		status: http.StatusOK,
 		resp: &DecisionsResponse{
-			Schema:    DecisionsSchema,
-			Tenant:    tn.name,
-			Shard:     sh.idx,
-			Epoch:     tn.epoch,
-			Round:     sh.round,
-			Decisions: decs,
+			Schema:         DecisionsSchema,
+			Tenant:         tn.name,
+			Shard:          sh.idx,
+			Epoch:          tn.epoch,
+			Round:          sh.round,
+			PlacementEpoch: sh.epoch,
+			Decisions:      decs,
 		},
 	}
 }
@@ -648,6 +828,18 @@ func (sh *shard) stats() ShardStats {
 	s.Reconfigs = sh.met.sm.Reconfigs.Value()
 	s.ReconfigCost = sh.met.sm.ReconfigCost.Value()
 	s.Inflight = sh.inflight
+	s.PlacementEpoch = sh.epoch
+	s.Classes = make([]ClassStats, len(sh.classes))
+	for i, c := range sh.classes {
+		s.Classes[i] = ClassStats{
+			Name:     c.Name,
+			Weight:   c.Weight,
+			Share:    sh.classShare[i],
+			Backlog:  sh.classBacklog[i],
+			Accepted: sh.met.classAccepted.With(c.Name).Value(),
+			Rejected: sh.met.classRejected.With(c.Name).Value(),
+		}
+	}
 	return s
 }
 
@@ -669,6 +861,25 @@ type ShardStats struct {
 	Dropped      int64 `json:"dropped"`
 	Reconfigs    int64 `json:"reconfigs"`
 	ReconfigCost int64 `json:"reconfig_cost"`
+	// PlacementEpoch is the placement epoch the shard serves under; zero
+	// until the first reshard.
+	PlacementEpoch int64 `json:"placement_epoch,omitempty"`
+	// Classes breaks admission down by tenant class (omitted on the totals
+	// row, which aggregates classes service-wide in StatsResponse.Classes).
+	Classes []ClassStats `json:"classes,omitempty"`
+}
+
+// ClassStats is one tenant class's admission row, per shard and aggregated
+// service-wide.
+type ClassStats struct {
+	Name   string `json:"name"`
+	Weight int64  `json:"weight"`
+	// Share is the class's slice of the shard watermark (per-shard rows) or
+	// the sum of its per-shard slices (the service aggregate).
+	Share    int   `json:"share"`
+	Backlog  int   `json:"backlog"`
+	Accepted int64 `json:"accepted"`
+	Rejected int64 `json:"rejected"`
 }
 
 // add accumulates o into s for the service-level totals row.
@@ -697,6 +908,9 @@ type DecisionsResponse struct {
 	// Epoch is the global round of the tenant's local round 0.
 	Epoch int64 `json:"epoch"`
 	// Round is the shard's next global round.
-	Round     int64             `json:"round"`
-	Decisions []stream.Decision `json:"decisions"`
+	Round int64 `json:"round"`
+	// PlacementEpoch is the placement epoch the tenant's shard serves under;
+	// zero until the first reshard moves the ring off its boot placement.
+	PlacementEpoch int64             `json:"placement_epoch"`
+	Decisions      []stream.Decision `json:"decisions"`
 }

@@ -32,6 +32,11 @@ const (
 	// MaxDelayBound caps a job's delay bound. Far beyond any real workload,
 	// but small enough that arrival+delay arithmetic can never overflow.
 	MaxDelayBound = int64(1) << 32
+	// MaxClassLen caps a tenant-class name length in bytes.
+	MaxClassLen = 64
+	// MaxShards caps the shard count a service (or a reshard request) may
+	// name, matching the dispatch tier's placement bound.
+	MaxShards = 4096
 )
 
 // SubmitJob is one job on the wire. The service assigns the arrival round
@@ -57,6 +62,15 @@ type SubmitRequest struct {
 	Schema string      `json:"schema"`
 	Tenant string      `json:"tenant"`
 	Jobs   []SubmitJob `json:"jobs"`
+	// Class optionally names the tenant's QoS class. Empty selects the
+	// tenant's bound class (or the "default" class for a new tenant); a
+	// non-empty class must match the configured class the tenant is bound to.
+	Class string `json:"class,omitempty"`
+	// Epoch optionally asserts the placement epoch the sender routed under.
+	// Zero means "no assertion". A non-zero epoch that does not match the
+	// service's current placement epoch is answered with a typed 409
+	// (ErrCodeEpochSkew) carrying the current epoch as a retry hint.
+	Epoch int64 `json:"epoch,omitempty"`
 }
 
 // SubmitResponse is the body of a successful submit.
@@ -70,11 +84,27 @@ type SubmitResponse struct {
 	Round int64 `json:"round"`
 	// Backlog is the shard's queued-job count after this batch.
 	Backlog int `json:"backlog"`
+	// Epoch is the placement epoch the batch was admitted under. Zero (and
+	// omitted) until the first reshard bumps the epoch.
+	Epoch int64 `json:"epoch,omitempty"`
 }
+
+// ErrCodeEpochSkew is the machine-readable code on a 409 produced by a
+// submit that asserted a placement epoch other than the service's current
+// one. The response's Epoch field carries the current epoch so the client
+// can adopt it and retry without a stats round trip.
+const ErrCodeEpochSkew = "epoch_skew"
 
 // ErrorResponse is the body of every non-2xx response.
 type ErrorResponse struct {
 	Error string `json:"error"`
+	// Code is a machine-readable error class for responses a client is
+	// expected to react to programmatically (currently only epoch_skew);
+	// empty for plain errors.
+	Code string `json:"code,omitempty"`
+	// Epoch carries the service's current placement epoch on epoch_skew
+	// responses.
+	Epoch int64 `json:"epoch,omitempty"`
 }
 
 // DecodeSubmit parses and validates a submit request. It never panics on
@@ -105,8 +135,26 @@ func validateSubmit(req *SubmitRequest) error {
 	if req.Schema != WireSchema {
 		return fmt.Errorf("serve: submit schema %q, want %q", req.Schema, WireSchema)
 	}
+	if err := validateSubmitMeta(req.Class, req.Epoch); err != nil {
+		return err
+	}
 	var ck delayChecker
 	return validateSubmitBody(req.Tenant, req.Jobs, &ck)
+}
+
+// validateSubmitMeta enforces the invariants of the optional routing
+// metadata shared by the JSON and binary submit codecs: class-name shape and
+// a non-negative epoch assertion.
+func validateSubmitMeta(class string, epoch int64) error {
+	if class != "" {
+		if err := ValidateClass(class); err != nil {
+			return err
+		}
+	}
+	if epoch < 0 {
+		return fmt.Errorf("serve: negative epoch assertion %d", epoch)
+	}
+	return nil
 }
 
 // validateSubmitBody enforces the invariants shared by every submit codec —
@@ -209,6 +257,24 @@ func (c *delayChecker) register(color int32, delay int64) (int64, bool) {
 // characters (tenant IDs travel in URLs, logs, and checkpoint files).
 func ValidateTenant(tenant string) error {
 	return validateTenantBytes(tenant)
+}
+
+// ValidateClass checks a tenant-class name: non-empty, bounded by
+// MaxClassLen, and free of control characters (class names travel on the
+// wire, in metric labels, and in checkpoint files).
+func ValidateClass(class string) error {
+	if len(class) == 0 {
+		return fmt.Errorf("serve: empty class name")
+	}
+	if len(class) > MaxClassLen {
+		return fmt.Errorf("serve: class name of %d bytes, max %d", len(class), MaxClassLen)
+	}
+	for i := 0; i < len(class); i++ {
+		if class[i] < 0x20 || class[i] == 0x7f {
+			return fmt.Errorf("serve: class name contains control byte 0x%02x", class[i])
+		}
+	}
+	return nil
 }
 
 // validateTenantBytes is ValidateTenant over either string or []byte, so the
