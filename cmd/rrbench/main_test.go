@@ -121,7 +121,10 @@ func TestWireBaselineGatesAllocRegression(t *testing.T) {
 	base := filepath.Join(dir, "base.json")
 	wireRun := func(extra ...string) (string, error) {
 		var out bytes.Buffer
-		args := append([]string{"-scenario", "^wire/binary/decode/b16$"}, extra...)
+		// Default -out points at the committed report; tests must never
+		// write into the working tree.
+		args := append([]string{"-scenario", "^wire/binary/decode/b16$",
+			"-out", filepath.Join(dir, "scratch.json")}, extra...)
 		err := run(args, &out)
 		return out.String(), err
 	}

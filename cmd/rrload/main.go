@@ -9,6 +9,7 @@
 //	rrload -addr http://127.0.0.1:8080 -tenants 8 -rounds 256 -seed 1
 //	rrload -addr http://127.0.0.1:8080 -quick -out stats.json
 //	rrload -addr http://127.0.0.1:8080 -wire binary -min-rate 400000
+//	rrload -addr http://127.0.0.1:8080 -sparse 100000 -rounds 64 -out stats.json
 //
 // -wire selects the submit codec: auto (default) negotiates the rrserve/v2
 // binary framing and falls back to JSON against older servers, json and
@@ -19,6 +20,14 @@
 // server one round via /v1/tick, and finally drains enough extra rounds that
 // every job has executed or dropped. With -tick=false it only submits, at
 // the server's real-time pace.
+//
+// -sparse N switches to the high-cardinality paging scenario: N one-burst
+// tenants, each submitting a single small batch at round (i mod rounds) and
+// then idling forever. Against a server booted with -state and -evict-after,
+// the resident set stays near N/rounds x the eviction window while the tenant
+// universe is unbounded; the reported server RSS (and the rss_bytes field in
+// the -out artifact) is the figure to watch. CI smokes this at 100k tenants;
+// 1M+ runs fine locally (see DESIGN.md).
 package main
 
 import (
@@ -114,25 +123,27 @@ func run(args []string, stdout io.Writer) error {
 	fs := flag.NewFlagSet("rrload", flag.ContinueOnError)
 	fs.SetOutput(stdout)
 	var (
-		addr    = fs.String("addr", "http://127.0.0.1:8080", "rrserve base URL")
-		dispURL = fs.String("dispatcher", "", "rrdispatch base URL: drive the worker fleet through the placement table instead of -addr (rounds become driver-owned transactions that survive worker failovers; -conns and -tick are ignored)")
-		tenants = fs.Int("tenants", 8, "number of tenants")
-		rounds  = fs.Int64("rounds", 256, "arrival rounds per tenant")
-		colors  = fs.Int("colors", 8, "colors per tenant")
-		load    = fs.Float64("load", 0.6, "per-color load fraction")
-		seed    = fs.Int64("seed", 1, "PRNG seed (per-tenant streams derive from it)")
-		delta   = fs.Int64("delta", 4, "reconfiguration cost used by the workload generators")
-		minExp  = fs.Uint("min-delay-exp", 2, "minimum delay bound exponent (D = 2^exp)")
-		maxExp  = fs.Uint("max-delay-exp", 5, "maximum delay bound exponent")
-		conns   = fs.Int("conns", 8, "concurrent submit workers")
-		batch   = fs.Int("batch", 4096, "max jobs per submit request")
-		tick    = fs.Bool("tick", true, "drive /v1/tick after each submitted round (virtual-time server)")
-		quick   = fs.Bool("quick", false, "small preset for smoke runs (-tenants 4 -rounds 48 -colors 6)")
+		addr     = fs.String("addr", "http://127.0.0.1:8080", "rrserve base URL")
+		dispURL  = fs.String("dispatcher", "", "rrdispatch base URL: drive the worker fleet through the placement table instead of -addr (rounds become driver-owned transactions that survive worker failovers; -conns and -tick are ignored)")
+		tenants  = fs.Int("tenants", 8, "number of tenants")
+		rounds   = fs.Int64("rounds", 256, "arrival rounds per tenant")
+		colors   = fs.Int("colors", 8, "colors per tenant")
+		load     = fs.Float64("load", 0.6, "per-color load fraction")
+		seed     = fs.Int64("seed", 1, "PRNG seed (per-tenant streams derive from it)")
+		delta    = fs.Int64("delta", 4, "reconfiguration cost used by the workload generators")
+		minExp   = fs.Uint("min-delay-exp", 2, "minimum delay bound exponent (D = 2^exp)")
+		maxExp   = fs.Uint("max-delay-exp", 5, "maximum delay bound exponent")
+		conns    = fs.Int("conns", 8, "concurrent submit workers")
+		batch    = fs.Int("batch", 4096, "max jobs per submit request")
+		tick     = fs.Bool("tick", true, "drive /v1/tick after each submitted round (virtual-time server)")
+		quick    = fs.Bool("quick", false, "small preset for smoke runs (-tenants 4 -rounds 48 -colors 6)")
 		out      = fs.String("out", "", "write the final /v1/stats JSON to this file")
 		minRate  = fs.Float64("min-rate", 0, "fail unless sustained accepted-jobs/s meets this rate (0 disables)")
 		wireFlag = fs.String("wire", "auto", "wire format: auto (binary with JSON fallback), json, or binary")
 		reshardF = fs.String("reshard", "", "ROUND:SHARDS — issue one live reshard to SHARDS at the ROUND boundary mid-run (works in both server and -dispatcher modes)")
 		classesF = fs.String("classes", "", "comma list of QoS class names; tenants cycle across them and stamp every submit (server must be booted with matching -classes)")
+		sparseN  = fs.Int("sparse", 0, "high-cardinality paging scenario: this many one-burst tenants instead of the generated streams (pair with a server booted with -state and -evict-after; 0 disables)")
+		sparseJ  = fs.Int("sparse-jobs", 4, "jobs per tenant burst in -sparse mode")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -153,6 +164,19 @@ func run(args []string, stdout io.Writer) error {
 	}
 	if *tenants <= 0 || *rounds <= 0 || *conns <= 0 || *batch <= 0 {
 		return fmt.Errorf("tenants, rounds, conns, and batch must be positive")
+	}
+	if *sparseN > 0 {
+		if *dispURL != "" || *classesF != "" {
+			return fmt.Errorf("-sparse drives a plain virtual-time server; it is incompatible with -dispatcher and -classes")
+		}
+		if *sparseJ <= 0 {
+			return fmt.Errorf("sparse-jobs must be positive")
+		}
+		client := serve.NewClientWire(*addr, serve.DefaultRetryPolicy(), wire)
+		if !client.Healthy() {
+			return fmt.Errorf("server at %s is not healthy", *addr)
+		}
+		return driveSparse(stdout, client, *sparseN, *sparseJ, *rounds, *conns, *out, *minRate, reshard)
 	}
 
 	// Generate every tenant's stream up front: generation cost must not
@@ -364,16 +388,18 @@ func fleetStats(base string) (*serve.StatsResponse, error) {
 	return agg, nil
 }
 
+// submitTask is one tenant-batch bound for /v1/submit.
+type submitTask struct {
+	tenant string
+	class  string
+	jobs   []serve.SubmitJob
+}
+
 // submitRound fans one round's batches across conns workers. A round is a
 // barrier: every batch lands before the caller ticks, so the server sees
 // exactly the generated arrival pattern.
 func submitRound(client *serve.Client, streams []tenantStream, r int64, batchSize, conns int, total *result) {
-	type task struct {
-		tenant string
-		class  string
-		jobs   []serve.SubmitJob
-	}
-	var tasks []task
+	var tasks []submitTask
 	for _, ts := range streams {
 		jobs := ts.seq.Request(r)
 		for len(jobs) > 0 {
@@ -385,10 +411,16 @@ func submitRound(client *serve.Client, streams []tenantStream, r int64, batchSiz
 			for i, j := range jobs[:n] {
 				wire[i] = serve.SubmitJob{ID: j.ID, Color: int32(j.Color), Delay: j.Delay}
 			}
-			tasks = append(tasks, task{tenant: ts.name, class: ts.class, jobs: wire})
+			tasks = append(tasks, submitTask{tenant: ts.name, class: ts.class, jobs: wire})
 			jobs = jobs[n:]
 		}
 	}
+	submitTasks(client, tasks, conns, total)
+}
+
+// submitTasks drives the shared worker pool over one round's batches; every
+// batch lands before it returns, so the caller may tick.
+func submitTasks(client *serve.Client, tasks []submitTask, conns int, total *result) {
 	if len(tasks) == 0 {
 		return
 	}
@@ -396,7 +428,7 @@ func submitRound(client *serve.Client, streams []tenantStream, r int64, batchSiz
 		conns = len(tasks)
 	}
 	results := make([]result, conns)
-	next := make(chan task)
+	next := make(chan submitTask)
 	var wg sync.WaitGroup
 	wg.Add(conns)
 	for w := 0; w < conns; w++ {
@@ -434,6 +466,72 @@ func submitRound(client *serve.Client, streams []tenantStream, r int64, batchSiz
 	}
 }
 
+// driveSparse runs the high-cardinality paging scenario: nTenants one-burst
+// tenants, each submitting jobsPer jobs at round (i mod rounds) and then
+// idling forever. The tenant universe grows without bound while the working
+// set per round stays near nTenants/rounds, which is exactly the shape
+// cold-tenant eviction exists for: with -evict-after set on the server, idle
+// tenants page out to the chunk store and the resident set — and the RSS the
+// report prints — stays flat as nTenants grows.
+func driveSparse(stdout io.Writer, client *serve.Client, nTenants, jobsPer int, rounds int64, conns int, outPath string, minRate float64, reshard *reshardPlan) error {
+	// Fixed small delay bound: every burst resolves within sparseDelay rounds
+	// of arrival, so the drain tail below settles the whole universe.
+	const sparseDelay = int64(4)
+	_, _ = fmt.Fprintf(stdout, "rrload: sparse mode, %d one-burst tenants x %d jobs over %d rounds\n", // best-effort status output
+		nTenants, jobsPer, rounds)
+
+	total := &result{}
+	start := obs.Now()
+	lastRound := rounds + sparseDelay + 1
+	for r := int64(0); r < lastRound; r++ {
+		if reshard != nil && r == reshard.round {
+			rr, err := client.Reshard(reshard.shards)
+			if err != nil {
+				return fmt.Errorf("reshard at round %d: %w", r, err)
+			}
+			_, _ = fmt.Fprintf(stdout, "rrload: resharded %d -> %d at round %d  moved=%d migrated=%dB pause=%.3fms (epoch %d)\n", // best-effort status output
+				rr.From, rr.Shards, rr.Round, rr.Moved, rr.MigratedBytes, float64(rr.DurationNs)/1e6, rr.Epoch)
+		}
+		if r < rounds {
+			var tasks []submitTask
+			for i := int(r); i < nTenants; i += int(rounds) {
+				jobs := make([]serve.SubmitJob, jobsPer)
+				for j := range jobs {
+					jobs[j] = serve.SubmitJob{ID: int64(j), Color: int32(j % 4), Delay: sparseDelay}
+				}
+				tasks = append(tasks, submitTask{tenant: fmt.Sprintf("cold-%07d", i), jobs: jobs})
+			}
+			submitTasks(client, tasks, conns, total)
+		}
+		if _, err := client.Tick(1); err != nil {
+			return err
+		}
+	}
+	elapsed := obs.Now() - start
+
+	stats, err := client.Stats()
+	if err != nil {
+		return err
+	}
+	if outPath != "" {
+		raw, err := client.StatsRaw()
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(outPath, raw, 0o644); err != nil {
+			return err
+		}
+	}
+	report(stdout, total, stats, elapsed)
+	if minRate > 0 {
+		rate := ratePerSec(total.accepted, elapsed)
+		if rate < minRate {
+			return fmt.Errorf("sustained %.0f accepted jobs/s, below -min-rate %.0f", rate, minRate)
+		}
+	}
+	return nil
+}
+
 func report(stdout io.Writer, total *result, stats *serve.StatsResponse, elapsedNs int64) {
 	_, _ = fmt.Fprintf(stdout, "submitted: %d  accepted=%d rejected(429)=%d refused=%d\n", // best-effort summary output
 		total.submitted, total.accepted, total.rejected, total.refused)
@@ -446,6 +544,10 @@ func report(stdout io.Writer, total *result, stats *serve.StatsResponse, elapsed
 	}
 	_, _ = fmt.Fprintf(stdout, "rates:     %.0f jobs/s accepted  drop-rate=%.4f  wall=%.3fs\n", // best-effort summary output
 		ratePerSec(total.accepted, elapsedNs), dropRate, float64(elapsedNs)/1e9)
+	if stats.Totals.Evicted > 0 || stats.RSSBytes > 0 {
+		_, _ = fmt.Fprintf(stdout, "paging:    resident=%d evicted=%d dirty=%d server-rss=%.1fMiB\n", // best-effort summary output
+			stats.Totals.Tenants, stats.Totals.Evicted, stats.Totals.Dirty, float64(stats.RSSBytes)/(1<<20))
+	}
 	if len(total.latencies) > 0 {
 		lat := total.latencies
 		sort.Slice(lat, func(i, j int) bool { return lat[i] < lat[j] })

@@ -143,6 +143,78 @@ func TestRunBackpressure(t *testing.T) {
 	}
 }
 
+// TestRunSparseEvicts drives the high-cardinality paging scenario against a
+// server with cold-tenant eviction on: most one-burst tenants must be paged
+// out by the end of the run, the summary must carry the paging line, and the
+// stats artifact must record the server RSS sample.
+func TestRunSparseEvicts(t *testing.T) {
+	svc, _, err := serve.New(serve.Config{
+		Shards:     2,
+		Resources:  8,
+		Delta:      4,
+		Watermark:  1 << 16,
+		StateDir:   t.TempDir(),
+		EvictAfter: 2,
+	})
+	if err != nil {
+		t.Fatalf("serve.New: %v", err)
+	}
+	srv := httptest.NewServer(svc.Handler())
+	defer srv.Close()
+	defer svc.Close()
+
+	outFile := filepath.Join(t.TempDir(), "stats.json")
+	var out bytes.Buffer
+	if err := run([]string{"-addr", srv.URL, "-sparse", "400", "-rounds", "16", "-out", outFile}, &out); err != nil {
+		t.Fatalf("run: %v\n%s", err, out.String())
+	}
+	text := out.String()
+	if !strings.Contains(text, "sparse mode, 400 one-burst tenants") {
+		t.Fatalf("summary lacks sparse-mode banner:\n%s", text)
+	}
+	if !strings.Contains(text, "paging:") || !strings.Contains(text, "evicted=") {
+		t.Fatalf("summary lacks the paging line:\n%s", text)
+	}
+	// rrload's drain tail settles every job but stops inside the last bursts'
+	// eviction window; a few idle ticks later the whole universe must be cold.
+	client := serve.NewClient(srv.URL)
+	if _, err := client.Tick(8); err != nil {
+		t.Fatalf("idle ticks: %v", err)
+	}
+	stats := svc.Stats()
+	if stats.Totals.Accepted != 400*4 {
+		t.Fatalf("accepted %d jobs, want %d", stats.Totals.Accepted, 400*4)
+	}
+	if stats.Totals.Evicted != 400 || stats.Totals.Tenants != 0 {
+		t.Fatalf("evicted=%d resident=%d, want all 400 paged out", stats.Totals.Evicted, stats.Totals.Tenants)
+	}
+	data, err := os.ReadFile(outFile)
+	if err != nil {
+		t.Fatalf("stats artifact: %v", err)
+	}
+	if !strings.Contains(string(data), `"evicted"`) {
+		t.Fatalf("artifact lacks eviction counters:\n%s", data)
+	}
+	if !strings.Contains(string(data), `"rss_bytes"`) {
+		t.Fatalf("artifact lacks the rss_bytes sample:\n%s", data)
+	}
+}
+
+// TestRunSparseRejectsIncompatibleModes pins the flag surface: sparse mode is
+// a plain-server scenario.
+func TestRunSparseRejectsIncompatibleModes(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-sparse", "10", "-dispatcher", "http://127.0.0.1:1"}, &out); err == nil {
+		t.Fatal("accepted -sparse with -dispatcher")
+	}
+	if err := run([]string{"-sparse", "10", "-classes", "gold"}, &out); err == nil {
+		t.Fatal("accepted -sparse with -classes")
+	}
+	if err := run([]string{"-sparse", "10", "-sparse-jobs", "0"}, &out); err == nil {
+		t.Fatal("accepted -sparse-jobs 0")
+	}
+}
+
 func TestRunMinRate(t *testing.T) {
 	var out bytes.Buffer
 	// No realistic run moves 1e12 jobs/s; the threshold must trip.

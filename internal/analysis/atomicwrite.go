@@ -8,8 +8,10 @@ import (
 
 // atomicWriteVocab are the lowercase substrings that mark a path expression
 // (or the function writing it) as persistent-state vocabulary: a write to
-// such a path must be crash-consistent.
-var atomicWriteVocab = []string{"state", "checkpoint", "snapshot"}
+// such a path must be crash-consistent. "chunk" and "manifest" cover the
+// incremental checkpoint store, whose content-addressed chunk files and
+// manifests are exactly the artifacts a restore trusts.
+var atomicWriteVocab = []string{"state", "checkpoint", "snapshot", "chunk", "manifest"}
 
 // AtomicWrite returns the analyzer that forces state and checkpoint writes
 // through the sanctioned tmp+rename helper (internal/atomicio). A plain
@@ -19,8 +21,9 @@ var atomicWriteVocab = []string{"state", "checkpoint", "snapshot"}
 //
 // The check is a small intra-procedural taint pass: an os.WriteFile or
 // os.Create call is flagged when its path argument mentions state vocabulary
-// ("state", "checkpoint", "snapshot" — as an identifier, a selected field,
-// or a called function's name), when the path flows through local
+// ("state", "checkpoint", "snapshot", "chunk", "manifest" — as an
+// identifier, a selected field, or a called function's name), when the path
+// flows through local
 // assignments from such an expression (`path := d.statePath(i); tmp := path
 // + ".tmp"`), or when the enclosing function's own name carries the
 // vocabulary. Functions named in sanctioned — the tmp+rename helpers

@@ -90,6 +90,11 @@ func DefaultLayeringRules() map[string][]string {
 		m + "analysis": {},
 		m + "atomicio": {},
 
+		// The incremental checkpoint store: content-addressed chunks, delta
+		// chains, manifests, and streaming decision logs. Pure persistence —
+		// it knows nothing about scheduling, so it sits just above atomicio.
+		m + "ckptstore": {m + "atomicio"},
+
 		// Observability: metrics, tracing, event sinks. Near-leaf by design.
 		m + "obs": {m + "model"},
 
@@ -109,20 +114,20 @@ func DefaultLayeringRules() map[string][]string {
 		// The network service wraps stream schedulers behind an HTTP ingest
 		// layer; it builds only on model, obs, and stream, so serving never
 		// grows a dependency on the evaluation stack.
-		m + "serve": {m + "atomicio", m + "model", m + "obs", m + "stream"},
+		m + "serve": {m + "atomicio", m + "ckptstore", m + "model", m + "obs", m + "stream"},
 
 		// The dispatcher/worker tier is the fault-tolerant control plane over
 		// hosted serve workers: leases, heartbeats, checkpoint failover. It
 		// builds only on obs and serve — scheduling knowledge stays below it.
-		m + "dispatch": {m + "atomicio", m + "obs", m + "serve"},
+		m + "dispatch": {m + "atomicio", m + "ckptstore", m + "obs", m + "serve"},
 
 		// The benchmark harness drives the engine, policies, queues, the
-		// streaming scheduler, the sweep substrate, and the serve wire
-		// codecs; like experiments it sits above the core layers and nothing
-		// imports it but its cmd.
+		// streaming scheduler, the sweep substrate, the checkpoint store,
+		// and the serve wire codecs; like experiments it sits above the core
+		// layers and nothing imports it but its cmd.
 		m + "perf": {
-			m + "core", m + "model", m + "obs", m + "queue", m + "serve",
-			m + "sim", m + "stream", m + "sweep", m + "workload",
+			m + "ckptstore", m + "core", m + "model", m + "obs", m + "queue",
+			m + "serve", m + "sim", m + "stream", m + "sweep", m + "workload",
 		},
 
 		// The evaluation harness sits on top of everything.

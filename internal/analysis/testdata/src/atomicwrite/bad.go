@@ -39,6 +39,34 @@ func Flow(dir string, shard int, data []byte) error {
 	return os.WriteFile(tmp, data, 0o644) // want: tainted via statePathFor
 }
 
+// chunkPath mirrors the checkpoint store's content-addressed layout.
+func chunkPath(dir string, id uint64) string {
+	return filepath.Join(dir, "0000000000000000.bin")
+}
+
+// CommitChunk is the chunk-writer shape: the path flows from chunkPath, so a
+// raw in-place write is a finding (a torn chunk poisons every manifest that
+// references it).
+func CommitChunk(dir string, id uint64, enc []byte) error {
+	p := chunkPath(dir, id)
+	return os.WriteFile(p, enc, 0o644) // want: tainted via chunkPath
+}
+
+// PublishManifest covers the manifest vocabulary through a selected field.
+type shardStore struct {
+	manifestPath string
+}
+
+func (s *shardStore) Publish(data []byte) error {
+	return os.WriteFile(s.manifestPath, data, 0o644) // want: path mentions manifest
+}
+
+// CommitChunkAtomic routes the same chunk write through the sanctioned
+// helper: clean.
+func CommitChunkAtomic(dir string, id uint64, enc []byte) error {
+	return writeFileAtomic(chunkPath(dir, id), enc)
+}
+
 // WriteStats has no state vocabulary anywhere: clean.
 func WriteStats(dir string, data []byte) error {
 	return os.WriteFile(filepath.Join(dir, "stats.csv"), data, 0o644)

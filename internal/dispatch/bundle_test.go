@@ -1,0 +1,206 @@
+package dispatch
+
+import (
+	"encoding/json"
+	"io"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"rrsched/internal/ckptstore"
+)
+
+// startBundleFleet mirrors startFleet with incremental checkpoint bundles on:
+// workers push ckptstore bundles per tick and the dispatcher flattens them
+// into its lease table.
+func startBundleFleet(t *testing.T) (*Dispatcher, *Worker, *Worker, *Driver, string) {
+	t.Helper()
+	d, err := New(Config{
+		Service: ServiceConfig{Shards: 4, Resources: 8, Delta: 4, Watermark: 1 << 16,
+			RecordDecisions: true, CheckpointBundles: true},
+		HeartbeatEvery: 50 * time.Millisecond,
+		MissBudget:     2,
+	})
+	if err != nil {
+		t.Fatalf("New dispatcher: %v", err)
+	}
+	t.Cleanup(d.Close)
+	srv := httptest.NewServer(d.Handler())
+	t.Cleanup(srv.Close)
+
+	w1, err := StartWorker("w1", srv.URL, "127.0.0.1:0", io.Discard)
+	if err != nil {
+		t.Fatalf("StartWorker w1: %v", err)
+	}
+	t.Cleanup(w1.Kill)
+	w2, err := StartWorker("w2", srv.URL, "127.0.0.1:0", io.Discard)
+	if err != nil {
+		t.Fatalf("StartWorker w2: %v", err)
+	}
+	t.Cleanup(w2.Kill)
+
+	waitAssigned(t, d, 4)
+
+	driver, err := NewDriver(srv.URL, DriverConfig{Attempts: 400, RetryEvery: 20 * time.Millisecond})
+	if err != nil {
+		t.Fatalf("NewDriver: %v", err)
+	}
+	return d, w1, w2, driver, srv.URL
+}
+
+// TestBundleFailoverPreservesDecisionStreams re-runs the fleet failover
+// property with incremental checkpoint bundles enabled: a worker dies right
+// after landing a round's admissions, its shards regrant from the flattened
+// bundle state, and every tenant's final decision stream is still
+// byte-identical to a bare scheduler. Afterwards the lease table must show
+// the bundle path actually engaged — every shard's chunk pool absorbed
+// pushes, and every stored checkpoint is flat legacy JSON, never a raw
+// bundle.
+func TestBundleFailoverPreservesDecisionStreams(t *testing.T) {
+	d, w1, _, driver, baseURL := startBundleFleet(t)
+	svc := d.cfg.Service
+	tenants := failoverFixture(t, 77)
+
+	const killRound = 6
+	for r := int64(0); r < foTotalRounds; r++ {
+		batches := batchesAt(tenants, r)
+		if r == killRound {
+			// Land this round's batches, then kill a holder before the tick:
+			// its shards hold admissions newer than any pushed bundle.
+			for _, b := range batches {
+				if out, err := driver.Submit(b.Tenant, b.Jobs); err != nil || !out.Landed() {
+					t.Fatalf("pre-kill submit %s: out=%+v err=%v", b.Tenant, out, err)
+				}
+			}
+			w1.Kill()
+			w3, err := StartWorker("w3", baseURL, "127.0.0.1:0", io.Discard)
+			if err != nil {
+				t.Fatalf("respawning worker: %v", err)
+			}
+			t.Cleanup(w3.Kill)
+		}
+		if err := driver.Round(batches); err != nil {
+			t.Fatalf("round %d: %v", r+1, err)
+		}
+	}
+
+	verifyStreams(t, driver, tenants, svc)
+
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	for i := range d.leases {
+		l := &d.leases[i]
+		if l.pool == nil {
+			t.Errorf("shard %d: lease never absorbed a checkpoint bundle", i)
+			continue
+		}
+		if len(l.checkpoint) == 0 {
+			t.Errorf("shard %d: no checkpoint stored", i)
+			continue
+		}
+		if ckptstore.IsBundle(l.checkpoint) {
+			t.Errorf("shard %d: stored checkpoint is a raw bundle, want flattened JSON", i)
+		}
+		if !json.Valid(l.checkpoint) {
+			t.Errorf("shard %d: flattened checkpoint is not valid JSON: %.120s", i, l.checkpoint)
+		}
+	}
+}
+
+// TestBundlePushRejectionKeepsLastGood pins the loss model at the
+// dispatcher boundary: a bundle whose references the lease pool cannot
+// resolve is rejected wholesale (the push fails, the stored checkpoint and
+// pool stay at the last good state), and a subsequent full-closure push
+// heals the shard.
+func TestBundlePushRejectionKeepsLastGood(t *testing.T) {
+	d, err := New(Config{
+		Service: ServiceConfig{Shards: 1, Resources: 8, Delta: 4, Watermark: 1 << 16,
+			RecordDecisions: true, CheckpointBundles: true},
+		HeartbeatEvery: time.Hour, // no live workers; exercise pushCheckpoint directly
+	})
+	if err != nil {
+		t.Fatalf("New dispatcher: %v", err)
+	}
+	defer d.Close()
+
+	// Build two bundles over the same tenant frame: one carrying its full
+	// chunk closure, one referencing the chunk without carrying it (what a
+	// sender whose acks outlived a receiver restart would push).
+	full := makeBundle(t, true)
+	orphan := makeBundle(t, false)
+
+	d.mu.Lock()
+	d.leases[0].worker = "w1"
+	d.mu.Unlock()
+
+	// An orphan bundle against an empty pool must be rejected and leave no
+	// trace: no checkpoint stored.
+	push := func(round int64, data []byte) error {
+		return d.storeCheckpoint(&CheckpointPush{
+			Schema: WireSchema, Worker: "w1", Shard: 0, Epoch: 0, Round: round, Data: data,
+		})
+	}
+	if err := push(3, orphan); err == nil {
+		t.Fatal("orphan bundle accepted against an empty pool")
+	}
+	d.mu.Lock()
+	if d.leases[0].checkpoint != nil {
+		t.Fatalf("rejected push stored a checkpoint: %.120s", d.leases[0].checkpoint)
+	}
+	d.mu.Unlock()
+
+	// The full closure heals the shard; the orphan reference then resolves
+	// from the pool the first push populated.
+	if err := push(3, full); err != nil {
+		t.Fatalf("full-closure push rejected: %v", err)
+	}
+	d.mu.Lock()
+	cp := append([]byte(nil), d.leases[0].checkpoint...)
+	d.mu.Unlock()
+	if len(cp) == 0 || ckptstore.IsBundle(cp) || !json.Valid(cp) {
+		t.Fatalf("stored checkpoint after full push is not flat JSON: %.120s", cp)
+	}
+	if err := push(4, orphan); err != nil {
+		t.Fatalf("orphan push after full closure rejected: %v", err)
+	}
+}
+
+// makeBundle builds an encoded bundle holding one tenant frame the serve
+// flattener accepts; withChunks controls whether the frame's chunk rides in
+// the bundle or is only referenced by the manifest.
+func makeBundle(t *testing.T, withChunks bool) []byte {
+	t.Helper()
+	pool := ckptstore.NewMemStore(0)
+	payload, err := json.Marshal(map[string]any{
+		"round":  3,
+		"tenant": map[string]any{"name": "tn-0", "epoch": 3},
+	})
+	if err != nil {
+		t.Fatalf("frame payload: %v", err)
+	}
+	res, err := pool.Put(payload, ckptstore.Ref{})
+	if err != nil {
+		t.Fatalf("Put: %v", err)
+	}
+	m := &ckptstore.Manifest{
+		Schema: ckptstore.ManifestSchema, Shard: 0, Shards: 1, Round: 3,
+		Tenants: []ckptstore.TenantRef{{Name: "tn-0", Chunk: ckptstore.FormatChunkID(res.Ref.ID)}},
+	}
+	carry := map[uint64][]byte{}
+	if withChunks {
+		data, ok := pool.Get(res.Ref.ID)
+		if !ok {
+			t.Fatalf("chunk %016x missing from scratch pool", res.Ref.ID)
+		}
+		carry[res.Ref.ID] = data
+	}
+	manifest, err := ckptstore.EncodeManifest(m)
+	if err != nil {
+		t.Fatalf("EncodeManifest: %v", err)
+	}
+	bundle, err := ckptstore.EncodeBundle(manifest, carry)
+	if err != nil {
+		t.Fatalf("EncodeBundle: %v", err)
+	}
+	return bundle
+}

@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"rrsched/internal/atomicio"
+	"rrsched/internal/ckptstore"
 	"rrsched/internal/obs"
 	"rrsched/internal/serve"
 )
@@ -61,6 +62,12 @@ type lease struct {
 	revoking bool   // graceful revoke issued; awaiting the final checkpoint
 
 	checkpoint []byte // latest accepted checkpoint (nil = open fresh)
+	// pool absorbs the content-addressed chunks of incremental checkpoint
+	// bundles pushed for this shard (workers running with checkpoint
+	// bundling). Bundles are flattened to legacy checkpoint JSON on arrival,
+	// so everything downstream — persistence, grants, reshards — sees flat
+	// state; the pool only persists un-superseded chunks between pushes.
+	pool *ckptstore.MemStore
 	// deadSinceNs is non-zero while the shard awaits reassignment after its
 	// holder died; cleared (and observed into the failover-latency histogram)
 	// at the regrant.
@@ -378,7 +385,22 @@ func (d *Dispatcher) storeCheckpoint(req *CheckpointPush) error {
 		return fmt.Errorf("%w: shard %d epoch %d from %q, lease is epoch %d held by %q",
 			errStaleEpoch, req.Shard, req.Epoch, req.Worker, l.epoch, l.worker)
 	}
-	l.checkpoint = append([]byte(nil), req.Data...)
+	data := req.Data
+	if ckptstore.IsBundle(data) {
+		// An incremental bundle: absorb its chunks and flatten to legacy
+		// checkpoint JSON. A failure (e.g. a reference to a chunk a restarted
+		// dispatcher no longer holds) rejects the push — the worker resets its
+		// acks and resends the full closure.
+		if l.pool == nil {
+			l.pool = ckptstore.NewMemStore(0)
+		}
+		flat, err := serve.FlattenBundle(data, l.pool)
+		if err != nil {
+			return fmt.Errorf("dispatch: shard %d bundle: %w", req.Shard, err)
+		}
+		data = flat
+	}
+	l.checkpoint = append([]byte(nil), data...)
 	l.round = req.Round
 	d.met.Checkpoints.Inc()
 	d.met.CheckpointBytes.Observe(int64(len(req.Data)))

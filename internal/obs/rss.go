@@ -1,0 +1,37 @@
+package obs
+
+import (
+	"bufio"
+	"bytes"
+	"os"
+	"strconv"
+)
+
+// RSSBytes reports the process's resident set size in bytes, read from
+// /proc/self/status (VmRSS). Returns 0 on platforms or sandboxes where the
+// file is absent or unparseable — callers treat 0 as "unknown", so the
+// metric degrades instead of failing.
+func RSSBytes() int64 {
+	f, err := os.Open("/proc/self/status")
+	if err != nil {
+		return 0
+	}
+	defer func() { _ = f.Close() }() // read-only file; nothing to recover on close failure
+	sc := bufio.NewScanner(f)
+	for sc.Scan() {
+		line := sc.Bytes()
+		if !bytes.HasPrefix(line, []byte("VmRSS:")) {
+			continue
+		}
+		fields := bytes.Fields(line[len("VmRSS:"):])
+		if len(fields) < 1 {
+			return 0
+		}
+		kb, err := strconv.ParseInt(string(fields[0]), 10, 64)
+		if err != nil {
+			return 0
+		}
+		return kb << 10
+	}
+	return 0
+}

@@ -1,0 +1,27 @@
+package obs
+
+import (
+	"os"
+	"testing"
+)
+
+// TestRSSBytes pins the degrade-to-zero contract: where /proc/self/status
+// exists (linux), a live process must report a positive resident set; where
+// it does not, the reading is 0, never an error.
+func TestRSSBytes(t *testing.T) {
+	got := RSSBytes()
+	if _, err := os.Stat("/proc/self/status"); err != nil {
+		if got != 0 {
+			t.Fatalf("RSSBytes = %d without /proc/self/status, want 0", got)
+		}
+		return
+	}
+	if got <= 0 {
+		t.Fatalf("RSSBytes = %d on a live process, want > 0", got)
+	}
+	// A test binary's resident set is megabytes, not terabytes; a unit slip
+	// (kB vs bytes) would trip one of these bounds.
+	if got < 1<<20 || got > 1<<40 {
+		t.Fatalf("RSSBytes = %d, implausible for a test process", got)
+	}
+}

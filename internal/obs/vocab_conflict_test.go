@@ -1,0 +1,48 @@
+package obs
+
+import "testing"
+
+// TestVocabularyConstructorsSurfaceConflicts drives every pre-wired metric
+// constructor over a registry where exactly one of its names is already
+// taken by an instrument of a different shape: each such seeding must fail
+// the whole constructor (no silent vocabulary split), and each name
+// exercises that constructor's corresponding error branch.
+func TestVocabularyConstructorsSurfaceConflicts(t *testing.T) {
+	ctors := map[string]func(*Registry) error{
+		"ckpt":     func(r *Registry) error { _, err := NewCkptMetrics(r); return err },
+		"dispatch": func(r *Registry) error { _, err := NewDispatchMetrics(r); return err },
+		"sched":    func(r *Registry) error { _, err := NewSchedulerMetrics(r); return err },
+		"wire":     func(r *Registry) error { _, err := NewWireMetrics(r); return err },
+	}
+	for ctor, mk := range ctors {
+		t.Run(ctor, func(t *testing.T) {
+			clean := NewRegistry()
+			if err := mk(clean); err != nil {
+				t.Fatalf("constructor on a clean registry: %v", err)
+			}
+			seen := map[string]bool{}
+			for _, m := range clean.Snapshot().Metrics {
+				if seen[m.Name] {
+					continue // countervec rows repeat the name per label
+				}
+				seen[m.Name] = true
+				bad := NewRegistry()
+				var err error
+				if m.Kind == "histogram" {
+					_, err = bad.Counter(m.Name)
+				} else {
+					_, err = bad.Histogram(m.Name, []int64{1, 2})
+				}
+				if err != nil {
+					t.Fatalf("seeding conflict under %q: %v", m.Name, err)
+				}
+				if err := mk(bad); err == nil {
+					t.Errorf("constructor accepted a registry where %q has a conflicting shape", m.Name)
+				}
+			}
+			if len(seen) == 0 {
+				t.Fatal("constructor registered no snapshot-visible metrics")
+			}
+		})
+	}
+}

@@ -30,8 +30,10 @@ type Scenario struct {
 // short/long-delay color mixes, the queue primitives, the streaming
 // scheduler's push loop and checkpoint round-trip, the sweep fan-out
 // substrate (pinned to one worker so the figure is dispatch overhead, not
-// parallel speedup), and the wire-codec matrix (JSON vs binary submit
-// encode/decode at batch sizes 1/16/256, normalized per job).
+// parallel speedup), the incremental checkpoint store (full vs delta cuts at
+// a dirty fraction, fault-in chain resolution, manifest codec), and the
+// wire-codec matrix (JSON vs binary submit encode/decode at batch sizes
+// 1/16/256, normalized per job).
 func Scenarios() []Scenario {
 	scs := []Scenario{
 		engineScenario("engine/n8", 8, 6, 1, 4),
@@ -47,6 +49,7 @@ func Scenarios() []Scenario {
 		streamCheckpointScenario(),
 		sweepScenario(),
 	}
+	scs = append(scs, ckptScenarios()...)
 	scs = append(scs, wireScenarios()...)
 	return scs
 }

@@ -1,0 +1,229 @@
+package serve
+
+import (
+	"bytes"
+	"fmt"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+
+	"rrsched/internal/ckptstore"
+)
+
+// bundleSink captures OnShardCheckpoint pushes and can be armed to reject
+// the next one, modeling a push lost on the wire.
+type bundleSink struct {
+	mu     sync.Mutex
+	pushes [][]byte
+	fail   bool
+}
+
+func (s *bundleSink) hook(shard int, round int64, data []byte) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.fail {
+		s.fail = false
+		return fmt.Errorf("injected push loss")
+	}
+	s.pushes = append(s.pushes, append([]byte(nil), data...))
+	return nil
+}
+
+func (s *bundleSink) take(t *testing.T) []byte {
+	t.Helper()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if len(s.pushes) == 0 {
+		t.Fatal("no checkpoint push captured")
+	}
+	last := s.pushes[len(s.pushes)-1]
+	s.pushes = s.pushes[:0]
+	return last
+}
+
+// chunkCount decodes a bundle and returns how many chunks ride in it.
+func chunkCount(t *testing.T, data []byte) int {
+	t.Helper()
+	b, err := ckptstore.DecodeBundle(data)
+	if err != nil {
+		t.Fatalf("DecodeBundle: %v", err)
+	}
+	return len(b.Chunks)
+}
+
+// TestBundleAckProtocol pins the sender side of the incremental checkpoint
+// protocol: the first push carries the full chunk closure, quiet ticks push
+// empty bundles, a dirty tenant rides as a small delta, and a failed push
+// resets the acks so the next bundle is self-contained again.
+func TestBundleAckProtocol(t *testing.T) {
+	sink := &bundleSink{}
+	svc, _, err := New(Config{Shards: 1, Resources: 8, Delta: 4, Watermark: 1 << 10,
+		RecordDecisions: true, CheckpointDecisions: true,
+		Hosted: true, CheckpointBundles: true, OnShardCheckpoint: sink.hook})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	defer svc.Close()
+	srv := httptest.NewServer(svc.Handler())
+	defer srv.Close()
+	client := NewClientPolicy(srv.URL, SingleShot())
+	if _, err := svc.OpenShard(0, nil); err != nil {
+		t.Fatalf("OpenShard: %v", err)
+	}
+
+	submit := func(tenant string, id int64) {
+		t.Helper()
+		out, err := client.Submit(&SubmitRequest{Schema: WireSchema, Tenant: tenant,
+			Jobs: []SubmitJob{{ID: id, Color: 0, Delay: 4}}})
+		if err != nil || !out.Accepted {
+			t.Fatalf("submit %s/%d: out=%+v err=%v", tenant, id, out, err)
+		}
+	}
+	tick := func(n int) error {
+		t.Helper()
+		_, err := svc.TickShard(0, n)
+		return err
+	}
+
+	// Push 1: three fresh tenants, jobs fully resolved — the bundle must be
+	// self-contained (a receiver with an empty pool can flatten it).
+	for _, tn := range []string{"pa", "pb", "pc"} {
+		submit(tn, 0)
+	}
+	if err := tick(6); err != nil {
+		t.Fatalf("tick: %v", err)
+	}
+	first := sink.take(t)
+	if n := chunkCount(t, first); n < 3 {
+		t.Fatalf("first push carries %d chunks, want the full closure (>= 3)", n)
+	}
+	if _, err := FlattenBundle(first, ckptstore.NewMemStore(0)); err != nil {
+		t.Fatalf("first push is not self-contained: %v", err)
+	}
+
+	// Push 2: nothing changed — every chunk is acked, so the bundle is all
+	// manifest, zero chunks.
+	if err := tick(1); err != nil {
+		t.Fatalf("quiet tick: %v", err)
+	}
+	if n := chunkCount(t, sink.take(t)); n != 0 {
+		t.Fatalf("quiet push carries %d chunks, want 0", n)
+	}
+
+	// Push 3: one dirty tenant — only its new frame rides (as a delta chain
+	// link or a folded full frame, never the whole closure), and a fresh
+	// receiver cannot flatten it alone.
+	submit("pa", 1)
+	if err := tick(6); err != nil {
+		t.Fatalf("tick: %v", err)
+	}
+	delta := sink.take(t)
+	if n := chunkCount(t, delta); n < 1 || n > 2 {
+		t.Fatalf("dirty-tenant push carries %d chunks, want 1..2", n)
+	}
+	if _, err := FlattenBundle(delta, ckptstore.NewMemStore(0)); err == nil {
+		t.Fatal("delta push flattened against an empty pool; it must need the acked chunks")
+	}
+
+	// Push 4 is rejected: the shard must surface the failure and forget its
+	// acks.
+	sink.mu.Lock()
+	sink.fail = true
+	sink.mu.Unlock()
+	submit("pb", 1)
+	err = tick(6)
+	if err == nil || !strings.Contains(err.Error(), "checkpoint hook") {
+		t.Fatalf("tick with failing hook err = %v, want checkpoint hook failure", err)
+	}
+
+	// Push 5: after the loss, the very next bundle carries the full closure
+	// again — self-contained, at least one chunk per tenant.
+	if err := tick(1); err != nil {
+		t.Fatalf("tick after loss: %v", err)
+	}
+	resend := sink.take(t)
+	if n := chunkCount(t, resend); n < 3 {
+		t.Fatalf("post-loss push carries %d chunks, want the full closure (>= 3)", n)
+	}
+	if _, err := FlattenBundle(resend, ckptstore.NewMemStore(0)); err != nil {
+		t.Fatalf("post-loss push is not self-contained: %v", err)
+	}
+}
+
+// TestBundleFlattenMatchesDrainCheckpoint pins receiver-side equivalence: a
+// dispatcher-style pool fed every successful bundle flattens to a checkpoint
+// that reopens into a shard whose decision streams are byte-identical to the
+// sender's.
+func TestBundleFlattenMatchesDrainCheckpoint(t *testing.T) {
+	sink := &bundleSink{}
+	cfg := Config{Shards: 1, Resources: 8, Delta: 4, Watermark: 1 << 10,
+		RecordDecisions: true, CheckpointDecisions: true, Hosted: true}
+	bundled := cfg
+	bundled.CheckpointBundles = true
+	bundled.OnShardCheckpoint = sink.hook
+	svc, _, err := New(bundled)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	defer svc.Close()
+	srv := httptest.NewServer(svc.Handler())
+	defer srv.Close()
+	client := NewClientPolicy(srv.URL, SingleShot())
+	if _, err := svc.OpenShard(0, nil); err != nil {
+		t.Fatalf("OpenShard: %v", err)
+	}
+
+	// A small multi-tenant run with staggered arrivals, flattening every
+	// push into the same persistent pool as the dispatcher would.
+	pool := ckptstore.NewMemStore(0)
+	var flat []byte
+	tenants := []string{"fa", "fb", "fc", "fd"}
+	nextID := map[string]int64{}
+	for r := 0; r < 12; r++ {
+		for i, tn := range tenants {
+			if r%(i+1) == 0 && r < 8 {
+				out, err := client.Submit(&SubmitRequest{Schema: WireSchema, Tenant: tn,
+					Jobs: []SubmitJob{{ID: nextID[tn], Color: int32(i % 4), Delay: 4}}})
+				if err != nil || !out.Accepted {
+					t.Fatalf("submit %s at %d: out=%+v err=%v", tn, r, out, err)
+				}
+				nextID[tn]++
+			}
+		}
+		if _, err := svc.TickShard(0, 1); err != nil {
+			t.Fatalf("tick %d: %v", r, err)
+		}
+		flat, err = FlattenBundle(sink.take(t), pool)
+		if err != nil {
+			t.Fatalf("FlattenBundle at round %d: %v", r, err)
+		}
+	}
+
+	// Reopen the final flattened state elsewhere; every tenant's stream must
+	// be byte-identical to the sender's.
+	svc2, _, err := New(cfg)
+	if err != nil {
+		t.Fatalf("New receiver: %v", err)
+	}
+	defer svc2.Close()
+	srv2 := httptest.NewServer(svc2.Handler())
+	defer srv2.Close()
+	client2 := NewClientPolicy(srv2.URL, SingleShot())
+	if round, err := svc2.OpenShard(0, flat); err != nil || round != 12 {
+		t.Fatalf("reopen from flattened bundle: round=%d err=%v", round, err)
+	}
+	for _, tn := range tenants {
+		want, err := client.DecisionsRaw(tn)
+		if err != nil {
+			t.Fatalf("sender DecisionsRaw(%s): %v", tn, err)
+		}
+		got, err := client2.DecisionsRaw(tn)
+		if err != nil {
+			t.Fatalf("receiver DecisionsRaw(%s): %v", tn, err)
+		}
+		if !bytes.Equal(got, want) {
+			t.Fatalf("tenant %s: flattened-bundle streams diverge\nsender:   %.200s\nreceiver: %.200s", tn, want, got)
+		}
+	}
+}

@@ -10,7 +10,6 @@ import (
 
 	"rrsched/internal/chaos"
 	"rrsched/internal/obs"
-	"rrsched/internal/stream"
 )
 
 // TestCheckpointRestoreDecisionIdentical is the durability half of the
@@ -85,8 +84,8 @@ func TestCheckpointRestoreDecisionIdentical(t *testing.T) {
 	}
 	svc1.Close()
 	for i := 0; i < cfg.Shards; i++ {
-		if _, err := os.Stat(filepath.Join(stateDir, fmt.Sprintf("shard-%04d.json", i))); err != nil {
-			t.Fatalf("missing shard %d checkpoint: %v", i, err)
+		if _, err := os.Stat(filepath.Join(stateDir, fmt.Sprintf("manifest-%04d.json", i))); err != nil {
+			t.Fatalf("missing shard %d manifest: %v", i, err)
 		}
 	}
 
@@ -108,29 +107,45 @@ func TestCheckpointRestoreDecisionIdentical(t *testing.T) {
 	tenants := detFixture(t, 42)
 	driveTail(t, client2, tenants, cutRound, totalRounds)
 
-	// (a) Decision identity: prefix + suffix == uninterrupted stream.
+	// (a) Decision identity. The streaming decision log survives the restart,
+	// so the restored incarnation serves each tenant's FULL history — which
+	// must match the uninterrupted run byte for byte (a stronger contract
+	// than the old in-memory recording, where only the post-restore suffix
+	// survived). The pre-crash prefix must also be a literal prefix of it.
 	for _, tn := range tenants {
-		suffix, err := client2.Decisions(tn.name)
+		full, err := client2.Decisions(tn.name)
 		if err != nil {
-			t.Fatalf("suffix Decisions(%s): %v", tn.name, err)
+			t.Fatalf("restored Decisions(%s): %v", tn.name, err)
 		}
-		if suffix.Epoch != prefix[tn.name].Epoch || suffix.Shard != prefix[tn.name].Shard {
-			t.Fatalf("tenant %s: restore moved epoch/shard: %+v vs %+v", tn.name, suffix, prefix[tn.name])
+		if full.Epoch != prefix[tn.name].Epoch || full.Shard != prefix[tn.name].Shard {
+			t.Fatalf("tenant %s: restore moved epoch/shard: %+v vs %+v", tn.name, full, prefix[tn.name])
 		}
-		combined := append([]stream.Decision{}, prefix[tn.name].Decisions...)
-		combined = append(combined, suffix.Decisions...)
-		want := baseline[tn.name].Decisions
-		a, err := MarshalResponse(combined)
+		a, err := MarshalResponse(full.Decisions)
 		if err != nil {
-			t.Fatalf("encode combined: %v", err)
+			t.Fatalf("encode restored stream: %v", err)
 		}
-		b, err := MarshalResponse(want)
+		b, err := MarshalResponse(baseline[tn.name].Decisions)
 		if err != nil {
 			t.Fatalf("encode baseline: %v", err)
 		}
 		if !bytes.Equal(a, b) {
 			t.Fatalf("tenant %s: interrupted run diverges from baseline\ngot:  %s\nwant: %s",
 				tn.name, excerpt(a, b), excerpt(b, a))
+		}
+		pre := prefix[tn.name].Decisions
+		if len(pre) > len(full.Decisions) {
+			t.Fatalf("tenant %s: pre-crash stream longer than restored stream", tn.name)
+		}
+		p, err := MarshalResponse(pre)
+		if err != nil {
+			t.Fatalf("encode prefix: %v", err)
+		}
+		q, err := MarshalResponse(full.Decisions[:len(pre)])
+		if err != nil {
+			t.Fatalf("encode restored prefix: %v", err)
+		}
+		if !bytes.Equal(p, q) {
+			t.Fatalf("tenant %s: restored stream rewrites the pre-crash prefix", tn.name)
 		}
 	}
 
@@ -223,8 +238,8 @@ func TestRestoreRejectsCorruptState(t *testing.T) {
 	}
 	grown.Close()
 
-	// Partial dir (one shard file missing) must be refused.
-	if err := os.Remove(filepath.Join(stateDir, "shard-0001.json")); err != nil {
+	// Partial dir (one manifest missing) must be refused.
+	if err := os.Remove(filepath.Join(stateDir, "manifest-0001.json")); err != nil {
 		t.Fatalf("remove: %v", err)
 	}
 	if _, _, err := New(cfg); err == nil {
@@ -232,10 +247,10 @@ func TestRestoreRejectsCorruptState(t *testing.T) {
 	}
 
 	// Corrupt JSON must be refused.
-	if err := os.WriteFile(filepath.Join(stateDir, "shard-0001.json"), []byte("{broken"), 0o644); err != nil {
+	if err := os.WriteFile(filepath.Join(stateDir, "manifest-0001.json"), []byte("{broken"), 0o644); err != nil {
 		t.Fatalf("write: %v", err)
 	}
 	if _, _, err := New(cfg); err == nil {
-		t.Fatal("restore accepted a corrupt shard file")
+		t.Fatal("restore accepted a corrupt manifest")
 	}
 }

@@ -46,6 +46,23 @@ type tenantCheckpoint struct {
 	// checkpoints so it survives a shard migration, whereas the classic drain
 	// protocol keeps recordings in memory only.
 	Decisions []stream.Decision `json:"decisions,omitempty"`
+
+	// Reshard migration extensions. A frame carrying Chunk ships a reference
+	// into the shared chunk store instead of embedded state: Evicted marks a
+	// cold stub (no resident state at all), otherwise the target resolves the
+	// chunk into a resident tenant. LogDecisions carries the tenant's
+	// streaming-log records so its /v1/decisions history survives the move.
+	Evicted      bool          `json:"evicted,omitempty"`
+	Chunk        string        `json:"chunk,omitempty"`
+	Chain        int           `json:"chain,omitempty"`
+	LogDecisions []logDecision `json:"log_decisions,omitempty"`
+}
+
+// logDecision is one streaming-log record riding a migration frame: the
+// global round it was appended at and the serialized stream.Decision.
+type logDecision struct {
+	Round    int64           `json:"round"`
+	Decision json.RawMessage `json:"decision"`
 }
 
 type colorDelay struct {
@@ -205,13 +222,14 @@ func (sh *shard) buildTenant(tcp *tenantCheckpoint, round int64) (*tenant, error
 		return nil, fmt.Errorf("serve: restoring tenant %q: %w", tcp.Name, err)
 	}
 	tn := &tenant{
-		name:     tcp.Name,
-		epoch:    tcp.Epoch,
-		sched:    sched,
-		maxID:    tcp.MaxID,
-		delays:   make(map[model.Color]int64, len(tcp.Delays)),
-		inflight: make(map[int64]jobMeta, len(tcp.Inflight)),
-		class:    class,
+		name:       tcp.Name,
+		epoch:      tcp.Epoch,
+		sched:      sched,
+		maxID:      tcp.MaxID,
+		delays:     make(map[model.Color]int64, len(tcp.Delays)),
+		inflight:   make(map[int64]jobMeta, len(tcp.Inflight)),
+		class:      class,
+		lastActive: round,
 	}
 	for _, d := range tcp.Delays {
 		if d.Color < 0 || d.Delay <= 0 || d.Delay > MaxDelayBound {

@@ -1,0 +1,537 @@
+package serve
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"os"
+	"path/filepath"
+	"sort"
+
+	"rrsched/internal/ckptstore"
+	"rrsched/internal/obs"
+	"rrsched/internal/stream"
+)
+
+// This file is the serve tier's side of the incremental checkpoint store:
+// delta cuts (only dirty tenants are re-serialized), cold-tenant paging
+// (quiescent tenants evict to the chunk store and fault back in on their next
+// submission), the streaming decision log, and the hosted-tier bundle
+// protocol. The disk formats live in internal/ckptstore; this file owns the
+// mapping between shard state and those formats.
+
+// tenantChunkPayload is what a tenant state chunk holds: the tenant's
+// checkpoint image plus the round it was cut at. The round must travel inside
+// the chunk because clean tenants keep their old chunk while the manifest's
+// round advances — the restored scheduler fast-forwards the gap, which is
+// deterministic precisely because a clean tenant's skipped rounds are trivial.
+type tenantChunkPayload struct {
+	Round  int64            `json:"round"`
+	Tenant tenantCheckpoint `json:"tenant"`
+}
+
+// evictedStub is the resident trace of a paged-out tenant: enough to route
+// reshards, answer decision queries, and fault the tenant back in, without
+// holding any scheduler state.
+type evictedStub struct {
+	chunk ckptstore.Ref
+	epoch int64
+	class int
+}
+
+// cutCmd asks the shard to serialize its dirty tenants into the chunk store
+// and return the manifest that commits the cut.
+type cutCmd struct {
+	reply chan cutResult
+}
+
+type cutResult struct {
+	manifest []byte
+	// roots are the manifest's referenced chunk IDs — this shard's
+	// contribution to the GC root set.
+	roots []uint64
+	err   error
+}
+
+// markDirty flags a tenant whose state has diverged from its committed chunk.
+func (sh *shard) markDirty(tn *tenant) {
+	if !tn.dirty {
+		tn.dirty = true
+		sh.dirtyCount++
+		sh.met.ckm.DirtyTenants.Set(int64(sh.dirtyCount))
+	}
+}
+
+func (sh *shard) clearDirty(tn *tenant) {
+	if tn.dirty {
+		tn.dirty = false
+		sh.dirtyCount--
+		sh.met.ckm.DirtyTenants.Set(int64(sh.dirtyCount))
+	}
+}
+
+// setPagingGauges refreshes the resident/evicted split gauges.
+func (sh *shard) setPagingGauges() {
+	sh.met.ckm.ResidentTenants.Set(int64(len(sh.tenants)))
+	sh.met.ckm.EvictedTenants.Set(int64(len(sh.evicted)))
+}
+
+// encodeTenantChunk serializes one tenant as a chunk payload cut at the
+// shard's current round.
+func (sh *shard) encodeTenantChunk(tn *tenant) ([]byte, error) {
+	tcp, err := sh.checkpointTenant(tn, sh.cfg.CheckpointDecisions)
+	if err != nil {
+		return nil, err
+	}
+	return json.Marshal(tenantChunkPayload{Round: sh.round, Tenant: tcp})
+}
+
+// putTenantChunk commits a tenant's current state to the chunk store (disk in
+// classic mode, the in-memory bundle pool in hosted mode), as a delta against
+// the tenant's previous chunk when that is smaller, and updates the tenant's
+// reference and the chunk metrics.
+func (sh *shard) putTenantChunk(tn *tenant) error {
+	payload, err := sh.encodeTenantChunk(tn)
+	if err != nil {
+		return err
+	}
+	var res ckptstore.PutResult
+	if sh.store != nil {
+		res, err = sh.store.Put(payload, tn.chunk)
+	} else {
+		res, err = sh.pool.Put(payload, tn.chunk)
+	}
+	if err != nil {
+		return fmt.Errorf("serve: shard %d tenant %q chunk: %w", sh.idx, tn.name, err)
+	}
+	ckm := sh.met.ckm
+	if res.Wrote {
+		ckm.ChunksWritten.Inc()
+		ckm.ChunkBytes.Add(int64(res.Bytes))
+	} else {
+		ckm.ChunksDeduped.Inc()
+	}
+	if res.Folded {
+		ckm.ChunksFolded.Inc()
+	}
+	tn.chunk = res.Ref
+	sh.clearDirty(tn)
+	return nil
+}
+
+// handleCut serializes the shard's dirty tenants into the chunk store and
+// builds the manifest that commits the cut. Clean tenants keep their previous
+// chunk reference; evicted tenants commit as stubs. Runs on the shard
+// goroutine, strictly between round ticks.
+func (sh *shard) handleCut() cutResult {
+	if sh.store == nil {
+		return cutResult{err: fmt.Errorf("serve: shard %d has no chunk store", sh.idx)}
+	}
+	if sh.declogErr != nil {
+		return cutResult{err: sh.declogErr}
+	}
+	m := &ckptstore.Manifest{
+		Schema:         ckptstore.ManifestSchema,
+		Shard:          sh.idx,
+		Shards:         sh.nshards,
+		Round:          sh.round,
+		PlacementEpoch: sh.epoch,
+	}
+	for _, name := range sh.order {
+		tn := sh.tenants[name]
+		if tn.dirty || tn.chunk.ID == 0 {
+			if err := sh.putTenantChunk(tn); err != nil {
+				return cutResult{err: err}
+			}
+		}
+		m.Tenants = append(m.Tenants, ckptstore.TenantRef{
+			Name:  name,
+			Chunk: ckptstore.FormatChunkID(tn.chunk.ID),
+			Chain: tn.chunk.Chain,
+		})
+	}
+	stubs := make([]string, 0, len(sh.evicted))
+	for name := range sh.evicted {
+		stubs = append(stubs, name)
+	}
+	sort.Strings(stubs)
+	for _, name := range stubs {
+		stub := sh.evicted[name]
+		m.Tenants = append(m.Tenants, ckptstore.TenantRef{
+			Name:    name,
+			Chunk:   ckptstore.FormatChunkID(stub.chunk.ID),
+			Chain:   stub.chunk.Chain,
+			Evicted: true,
+			Epoch:   stub.epoch,
+			Class:   sh.classes[stub.class].Name,
+		})
+	}
+	if sh.declog != nil {
+		if err := sh.declog.Flush(); err != nil {
+			return cutResult{err: fmt.Errorf("serve: shard %d decision log: %w", sh.idx, err)}
+		}
+		sh.met.ckm.DecisionLogB.Set(sh.declog.Bytes())
+	}
+	data, err := ckptstore.EncodeManifest(m)
+	if err != nil {
+		return cutResult{err: fmt.Errorf("serve: shard %d manifest: %w", sh.idx, err)}
+	}
+	roots, err := m.Roots()
+	if err != nil {
+		return cutResult{err: err}
+	}
+	return cutResult{manifest: data, roots: roots}
+}
+
+// maybeEvict pages out tenants that have been quiescent for at least
+// Config.EvictAfter rounds. Quiescence means no queued and no inflight work:
+// such a tenant's future rounds are all trivial until its next submission, so
+// the fast-forward a fault-in performs reproduces the live decision stream
+// byte for byte. Runs at the end of a tick, on the shard goroutine.
+func (sh *shard) maybeEvict() {
+	if sh.cfg.EvictAfter <= 0 || sh.store == nil {
+		return
+	}
+	var victims []string
+	for _, name := range sh.order {
+		tn := sh.tenants[name]
+		if len(tn.queued) == 0 && len(tn.inflight) == 0 && sh.round-tn.lastActive >= sh.cfg.EvictAfter {
+			victims = append(victims, name)
+		}
+	}
+	if len(victims) == 0 {
+		return
+	}
+	for _, name := range victims {
+		sh.evictTenant(sh.tenants[name])
+	}
+	sh.setStateGauges()
+	sh.setPagingGauges()
+}
+
+// evictTenant serializes one quiescent tenant into the chunk store and drops
+// it from resident state, leaving a stub. A failed chunk write leaves the
+// tenant resident (eviction is an optimization; the next tick retries).
+func (sh *shard) evictTenant(tn *tenant) {
+	if tn.dirty || tn.chunk.ID == 0 {
+		if err := sh.putTenantChunk(tn); err != nil {
+			return
+		}
+	}
+	sh.evicted[tn.name] = evictedStub{chunk: tn.chunk, epoch: tn.epoch, class: tn.class}
+	delete(sh.tenants, tn.name)
+	i := sort.SearchStrings(sh.order, tn.name)
+	sh.order = append(sh.order[:i], sh.order[i+1:]...)
+}
+
+// faultIn transparently pages an evicted tenant back in: resolve its chunk
+// chain, rebuild the tenant at the chunk's round, and adopt it. The returned
+// tenant's scheduler sits at the chunk's round; the next tick's Push
+// fast-forwards it to the shard round (a deterministic no-op walk, because an
+// evicted tenant's skipped rounds are trivial). Returns (nil, nil) when the
+// name is not evicted here.
+func (sh *shard) faultIn(name string) (*tenant, error) {
+	stub, ok := sh.evicted[name]
+	if !ok {
+		return nil, nil
+	}
+	t0 := obs.Now()
+	payload, _, err := sh.store.Resolve(stub.chunk.ID)
+	if err != nil {
+		return nil, fmt.Errorf("serve: faulting in tenant %q: %w", name, err)
+	}
+	var tcp tenantChunkPayload
+	if err := json.Unmarshal(payload, &tcp); err != nil {
+		return nil, fmt.Errorf("serve: faulting in tenant %q: %w", name, err)
+	}
+	if tcp.Tenant.Name != name {
+		return nil, fmt.Errorf("serve: tenant %q chunk holds tenant %q", name, tcp.Tenant.Name)
+	}
+	if tcp.Round < 0 || tcp.Round > sh.round {
+		return nil, fmt.Errorf("serve: tenant %q chunk round %d outside [0, %d]", name, tcp.Round, sh.round)
+	}
+	tn, err := sh.buildTenant(&tcp.Tenant, tcp.Round)
+	if err != nil {
+		return nil, err
+	}
+	delete(sh.evicted, name)
+	tn.chunk = stub.chunk
+	tn.lastActive = sh.round
+	sh.tenants[name] = tn
+	i := sort.SearchStrings(sh.order, name)
+	sh.order = append(sh.order, "")
+	copy(sh.order[i+1:], sh.order[i:])
+	sh.order[i] = name
+	sh.backlog += len(tn.queued)
+	sh.classBacklog[tn.class] += len(tn.queued)
+	sh.inflight += len(tn.inflight)
+	sh.setStateGauges()
+	sh.setPagingGauges()
+	sh.met.ckm.FaultIns.Inc()
+	sh.met.ckm.FaultInNs.Observe(obs.Now() - t0)
+	return tn, nil
+}
+
+// recordDecision records one tenant round decision: appended to resident
+// memory in memory mode, streamed to the shard's decision log in log mode.
+// The log stores only non-trivial decisions (at the tenant's global round);
+// trivial rounds are synthesized at read time, byte-identically, because the
+// scheduler constructs trivial decisions as Decision{Round: r} with nil
+// slices.
+func (sh *shard) recordDecision(tn *tenant, dec stream.Decision) {
+	if sh.declog == nil {
+		tn.decisions = append(tn.decisions, dec)
+		return
+	}
+	if len(dec.Reconfigs) == 0 && len(dec.Executions) == 0 && len(dec.Dropped) == 0 {
+		return
+	}
+	payload, err := json.Marshal(dec)
+	if err == nil {
+		err = sh.declog.Append(tn.name, tn.epoch+dec.Round, payload)
+	}
+	if err != nil && sh.declogErr == nil {
+		// The log is now behind the live stream; surface that on the next cut
+		// and on decision reads instead of silently serving a hole.
+		sh.declogErr = fmt.Errorf("serve: shard %d decision log: %w", sh.idx, err)
+	}
+}
+
+// decisionsFromLog answers /v1/decisions in log mode: synthesize a trivial
+// decision per tenant round, then overlay the logged non-trivial ones. Works
+// for evicted tenants too (their epoch lives in the stub), without faulting
+// them in.
+func (sh *shard) decisionsFromLog(name string) decisionsResult {
+	if sh.declogErr != nil {
+		return decisionsResult{status: http.StatusInternalServerError, err: sh.declogErr.Error()}
+	}
+	var epoch int64
+	if tn := sh.tenants[name]; tn != nil {
+		epoch = tn.epoch
+	} else if stub, ok := sh.evicted[name]; ok {
+		epoch = stub.epoch
+	} else {
+		return decisionsResult{status: http.StatusNotFound, err: fmt.Sprintf("unknown tenant %q", name)}
+	}
+	recs, err := sh.declog.ReadTenant(name)
+	if err != nil {
+		return decisionsResult{status: http.StatusInternalServerError, err: err.Error()}
+	}
+	n := sh.round - epoch
+	decs := make([]stream.Decision, n)
+	for i := range decs {
+		decs[i] = stream.Decision{Round: int64(i)}
+	}
+	for _, rec := range recs {
+		local := rec.Round - epoch
+		if local < 0 || local >= n {
+			return decisionsResult{status: http.StatusInternalServerError,
+				err: fmt.Sprintf("decision log round %d outside tenant %q rounds [%d, %d)", rec.Round, name, epoch, sh.round)}
+		}
+		var dec stream.Decision
+		if err := json.Unmarshal(rec.Payload, &dec); err != nil {
+			return decisionsResult{status: http.StatusInternalServerError, err: err.Error()}
+		}
+		// Keep-last: a tenant that resharded away and back has its records
+		// replayed into this log; the values are identical, the last wins.
+		decs[local] = dec
+	}
+	return decisionsResult{
+		status: http.StatusOK,
+		resp: &DecisionsResponse{
+			Schema:         DecisionsSchema,
+			Tenant:         name,
+			Shard:          sh.idx,
+			Epoch:          epoch,
+			Round:          sh.round,
+			PlacementEpoch: sh.epoch,
+			Decisions:      decs,
+		},
+	}
+}
+
+// restoreManifest rebuilds a shard from its incremental checkpoint manifest:
+// resident tenants are resolved out of the chunk store and rebuilt at their
+// chunk's round (the next tick fast-forwards them to the manifest round);
+// evicted tenants restore as stubs without touching their chunks. Called
+// before the shard goroutine starts.
+func (sh *shard) restoreManifest(m *ckptstore.Manifest, ring hashRing) error {
+	sh.round = m.Round
+	if !sh.cfg.Hosted {
+		sh.epoch = m.PlacementEpoch
+	}
+	for i := range m.Tenants {
+		ref := &m.Tenants[i]
+		if err := ValidateTenant(ref.Name); err != nil {
+			return fmt.Errorf("serve: manifest tenant: %w", err)
+		}
+		if got := ring.ShardOf(ref.Name); got != sh.idx {
+			return fmt.Errorf("serve: manifest places tenant %q on shard %d, ring says %d", ref.Name, sh.idx, got)
+		}
+		if _, dup := sh.tenants[ref.Name]; dup {
+			return fmt.Errorf("serve: manifest repeats tenant %q", ref.Name)
+		}
+		if _, dup := sh.evicted[ref.Name]; dup {
+			return fmt.Errorf("serve: manifest repeats tenant %q", ref.Name)
+		}
+		r, err := ref.Ref()
+		if err != nil {
+			return err
+		}
+		if ref.Evicted {
+			class, ok := sh.restoreClass(ref.Class)
+			if !ok {
+				return fmt.Errorf("serve: evicted tenant %q has unknown class %q", ref.Name, ref.Class)
+			}
+			if !sh.store.Has(r.ID) {
+				return fmt.Errorf("serve: evicted tenant %q chunk %s missing from the store", ref.Name, ref.Chunk)
+			}
+			sh.evicted[ref.Name] = evictedStub{chunk: r, epoch: ref.Epoch, class: class}
+			continue
+		}
+		payload, _, err := sh.store.Resolve(r.ID)
+		if err != nil {
+			return fmt.Errorf("serve: tenant %q: %w", ref.Name, err)
+		}
+		var tcp tenantChunkPayload
+		if err := json.Unmarshal(payload, &tcp); err != nil {
+			return fmt.Errorf("serve: tenant %q chunk: %w", ref.Name, err)
+		}
+		if tcp.Tenant.Name != ref.Name {
+			return fmt.Errorf("serve: tenant %q chunk holds tenant %q", ref.Name, tcp.Tenant.Name)
+		}
+		if tcp.Round < 0 || tcp.Round > m.Round {
+			return fmt.Errorf("serve: tenant %q chunk round %d outside [0, %d]", ref.Name, tcp.Round, m.Round)
+		}
+		tn, err := sh.buildTenant(&tcp.Tenant, tcp.Round)
+		if err != nil {
+			return err
+		}
+		tn.chunk = r
+		sh.adoptTenant(tn)
+	}
+	sort.Strings(sh.order)
+	sh.setStateGauges()
+	sh.setPagingGauges()
+	return nil
+}
+
+// restoreManifests loads an incremental checkpoint set, if one exists.
+// Mirrors the legacy restore's contract: all manifests or none, set-internal
+// agreement on shards/round/epoch, and a count mismatch with the current
+// configuration re-routes references through the current ring instead of
+// refusing. Returns found=false when the state dir holds no manifests.
+func (s *Service) restoreManifests(pl *placement) (restored int, resharded, found bool, err error) {
+	files, err := filepath.Glob(filepath.Join(s.cfg.StateDir, "manifest-*.json"))
+	if err != nil {
+		return 0, false, false, fmt.Errorf("serve: probing state dir: %w", err)
+	}
+	if len(files) == 0 {
+		return 0, false, false, nil
+	}
+	ms := make([]*ckptstore.Manifest, 0, len(files))
+	for _, f := range files {
+		data, err := os.ReadFile(f)
+		if err != nil {
+			return 0, false, false, fmt.Errorf("serve: reading %s: %w", f, err)
+		}
+		m, err := ckptstore.DecodeManifest(data)
+		if err != nil {
+			return 0, false, false, fmt.Errorf("serve: %s: %w", f, err)
+		}
+		ms = append(ms, m)
+	}
+	want := ms[0].Shards
+	if len(files) != want {
+		return 0, false, false, fmt.Errorf("serve: state dir %s has %d of %d manifests; refusing a partial restore",
+			s.cfg.StateDir, len(files), want)
+	}
+	byIdx := make([]*ckptstore.Manifest, want)
+	for _, m := range ms {
+		if m.Shards != want {
+			return 0, false, false, fmt.Errorf("serve: manifest shard counts diverge (%d vs %d)", m.Shards, want)
+		}
+		if m.Round != ms[0].Round {
+			return 0, false, false, fmt.Errorf("serve: shard rounds diverge in manifest set (%d vs %d)", m.Round, ms[0].Round)
+		}
+		if m.PlacementEpoch != ms[0].PlacementEpoch {
+			return 0, false, false, fmt.Errorf("serve: placement epochs diverge in manifest set (%d vs %d)", m.PlacementEpoch, ms[0].PlacementEpoch)
+		}
+		if byIdx[m.Shard] != nil {
+			return 0, false, false, fmt.Errorf("serve: state dir repeats manifest for shard %d", m.Shard)
+		}
+		byIdx[m.Shard] = m
+	}
+	if want != s.cfg.Shards {
+		byIdx, err = ReshardManifests(byIdx, s.cfg.Shards)
+		if err != nil {
+			return 0, false, false, fmt.Errorf("serve: re-routing %d-shard manifest set into %d shards: %w", want, s.cfg.Shards, err)
+		}
+		resharded = true
+	}
+	for i, sh := range pl.shards {
+		if err := sh.restoreManifest(byIdx[i], pl.ring); err != nil {
+			return 0, false, false, fmt.Errorf("serve: shard %d: %w", i, err)
+		}
+		restored += len(sh.tenants) + len(sh.evicted)
+	}
+	pl.epoch = pl.shards[0].epoch
+	s.round.Store(pl.shards[0].round)
+	return restored, resharded, true, nil
+}
+
+// ReshardManifests transforms a complete manifest set taken under one shard
+// count into an equivalent set for newShards: tenant references are re-routed
+// through the newShards ring and the placement epoch is bumped past the
+// input's. No chunk moves — references keep pointing into the shared store,
+// which is what makes resharding an incremental checkpoint set O(tenants)
+// instead of O(state bytes).
+func ReshardManifests(old []*ckptstore.Manifest, newShards int) ([]*ckptstore.Manifest, error) {
+	if newShards < 1 || newShards > MaxShards {
+		return nil, fmt.Errorf("serve: reshard to %d shards out of range (1..%d)", newShards, MaxShards)
+	}
+	if len(old) == 0 {
+		return nil, fmt.Errorf("serve: no manifests to reshard")
+	}
+	for i, m := range old {
+		if m == nil || m.Shard != i {
+			return nil, fmt.Errorf("serve: manifest %d missing or misnumbered", i)
+		}
+		if m.Shards != len(old) {
+			return nil, fmt.Errorf("serve: manifest %d was taken with %d shards, set has %d", i, m.Shards, len(old))
+		}
+		if m.Round != old[0].Round {
+			return nil, fmt.Errorf("serve: shard rounds diverge in manifest set (%d vs %d)", m.Round, old[0].Round)
+		}
+		if m.PlacementEpoch != old[0].PlacementEpoch {
+			return nil, fmt.Errorf("serve: placement epochs diverge in manifest set (%d vs %d)", m.PlacementEpoch, old[0].PlacementEpoch)
+		}
+	}
+	ring := newHashRing(newShards)
+	out := make([]*ckptstore.Manifest, newShards)
+	for i := range out {
+		out[i] = &ckptstore.Manifest{
+			Schema:         ckptstore.ManifestSchema,
+			Shard:          i,
+			Shards:         newShards,
+			Round:          old[0].Round,
+			PlacementEpoch: old[0].PlacementEpoch + 1,
+		}
+	}
+	seen := make(map[string]bool)
+	for _, m := range old {
+		for i := range m.Tenants {
+			ref := m.Tenants[i]
+			if seen[ref.Name] {
+				return nil, fmt.Errorf("serve: manifest set repeats tenant %q", ref.Name)
+			}
+			seen[ref.Name] = true
+			t := ring.ShardOf(ref.Name)
+			out[t].Tenants = append(out[t].Tenants, ref)
+		}
+	}
+	for _, m := range out {
+		sort.Slice(m.Tenants, func(a, b int) bool { return m.Tenants[a].Name < m.Tenants[b].Name })
+	}
+	return out, nil
+}

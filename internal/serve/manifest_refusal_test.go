@@ -1,0 +1,196 @@
+package serve
+
+import (
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"testing"
+
+	"rrsched/internal/ckptstore"
+)
+
+// This battery mangles a valid incremental checkpoint set on disk and pins
+// that every corruption is refused wholesale at restore: the manifest-set
+// invariants (completeness, round/epoch agreement, one manifest per shard)
+// and the per-tenant chunk invariants (reachable, addressed to the right
+// tenant). A refused restore must never boot a service with partial state.
+
+// readDiskManifest loads and decodes one on-disk shard manifest.
+func readDiskManifest(t *testing.T, path string) *ckptstore.Manifest {
+	t.Helper()
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("read %s: %v", path, err)
+	}
+	m, err := ckptstore.DecodeManifest(data)
+	if err != nil {
+		t.Fatalf("decode %s: %v", path, err)
+	}
+	return m
+}
+
+// writeDiskManifest re-encodes a (possibly mangled) manifest in place.
+func writeDiskManifest(t *testing.T, path string, m *ckptstore.Manifest) {
+	t.Helper()
+	data, err := ckptstore.EncodeManifest(m)
+	if err != nil {
+		t.Fatalf("encode %s: %v", path, err)
+	}
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatalf("write %s: %v", path, err)
+	}
+}
+
+// TestManifestRestoreRefusesPartialSet pins the all-or-nothing contract: a
+// state dir missing one shard's manifest (lost file, torn copy) is refused
+// instead of restoring a service with silently absent tenants.
+func TestManifestRestoreRefusesPartialSet(t *testing.T) {
+	cfg, dir := checkpointedStateDir(t)
+	if err := os.Remove(filepath.Join(dir, "manifest-0001.json")); err != nil {
+		t.Fatalf("remove: %v", err)
+	}
+	_, _, err := New(cfg)
+	if err == nil {
+		t.Fatal("restore accepted a partial manifest set")
+	}
+	if !strings.Contains(err.Error(), "partial") {
+		t.Fatalf("refusal does not name the partial set: %v", err)
+	}
+}
+
+// TestManifestRestoreRefusesRoundSkew pins set-internal agreement: shard
+// manifests cut at different rounds (a torn multi-shard checkpoint) refuse.
+func TestManifestRestoreRefusesRoundSkew(t *testing.T) {
+	cfg, dir := checkpointedStateDir(t)
+	path := filepath.Join(dir, "manifest-0001.json")
+	m := readDiskManifest(t, path)
+	m.Round++
+	writeDiskManifest(t, path, m)
+	if _, _, err := New(cfg); err == nil {
+		t.Fatal("restore accepted shard manifests cut at diverging rounds")
+	}
+}
+
+// TestManifestRestoreRefusesEpochSkew pins placement-epoch agreement across
+// the set.
+func TestManifestRestoreRefusesEpochSkew(t *testing.T) {
+	cfg, dir := checkpointedStateDir(t)
+	path := filepath.Join(dir, "manifest-0001.json")
+	m := readDiskManifest(t, path)
+	m.PlacementEpoch++
+	writeDiskManifest(t, path, m)
+	if _, _, err := New(cfg); err == nil {
+		t.Fatal("restore accepted diverging placement epochs")
+	}
+}
+
+// TestManifestRestoreRefusesDuplicateShard pins that two manifests claiming
+// the same shard index refuse (a botched copy between state dirs).
+func TestManifestRestoreRefusesDuplicateShard(t *testing.T) {
+	cfg, dir := checkpointedStateDir(t)
+	path := filepath.Join(dir, "manifest-0001.json")
+	m := readDiskManifest(t, path)
+	m.Shard = 0
+	writeDiskManifest(t, path, m)
+	if _, _, err := New(cfg); err == nil {
+		t.Fatal("restore accepted a duplicated shard manifest")
+	}
+}
+
+// TestManifestRestoreRefusesMissingChunks pins that a manifest referencing
+// chunks absent from the store (pruned too eagerly, lost files) refuses.
+func TestManifestRestoreRefusesMissingChunks(t *testing.T) {
+	cfg, dir := checkpointedStateDir(t)
+	chunks, err := filepath.Glob(filepath.Join(dir, "chunks", "*"))
+	if err != nil || len(chunks) == 0 {
+		t.Fatalf("chunk glob: %v (%d files)", err, len(chunks))
+	}
+	for _, f := range chunks {
+		if err := os.Remove(f); err != nil {
+			t.Fatalf("remove %s: %v", f, err)
+		}
+	}
+	if _, _, err := New(cfg); err == nil {
+		t.Fatal("restore accepted manifests whose chunks are gone")
+	}
+}
+
+// TestManifestRestoreRefusesSwappedChunks pins the chunk-identity check: a
+// manifest entry pointing at another tenant's chunk is caught by the name
+// embedded in the chunk payload, not trusted from the manifest.
+func TestManifestRestoreRefusesSwappedChunks(t *testing.T) {
+	cfg, dir := checkpointedStateDir(t)
+	var path string
+	var m *ckptstore.Manifest
+	for i := 0; i < cfg.Shards; i++ {
+		p := filepath.Join(dir, shardManifestName(i))
+		if c := readDiskManifest(t, p); len(c.Tenants) >= 2 {
+			path, m = p, c
+			break
+		}
+	}
+	if m == nil {
+		t.Fatal("no shard holds two tenants; fixture too small")
+	}
+	m.Tenants[0].Chunk, m.Tenants[1].Chunk = m.Tenants[1].Chunk, m.Tenants[0].Chunk
+	writeDiskManifest(t, path, m)
+	_, _, err := New(cfg)
+	if err == nil {
+		t.Fatal("restore accepted swapped tenant chunks")
+	}
+	if !strings.Contains(err.Error(), "chunk holds tenant") {
+		t.Fatalf("refusal does not name the identity mismatch: %v", err)
+	}
+}
+
+// TestManifestRestoreRefusesRepeatedTenant pins the duplicate-tenant check:
+// the manifest codec refuses in-file repeats via its ordering contract, so a
+// duplicate can only reach a shard through a cross-manifest repeat folded
+// together by a restore-time reshard merge — and that merge must refuse it.
+func TestManifestRestoreRefusesRepeatedTenant(t *testing.T) {
+	cfg, dir := checkpointedStateDir(t)
+	p0 := filepath.Join(dir, shardManifestName(0))
+	p1 := filepath.Join(dir, shardManifestName(1))
+	m0, m1 := readDiskManifest(t, p0), readDiskManifest(t, p1)
+	if len(m0.Tenants) == 0 {
+		t.Fatal("fixture shard 0 without tenants")
+	}
+	m1.Tenants = append(m1.Tenants, m0.Tenants[0])
+	sort.Slice(m1.Tenants, func(i, j int) bool { return m1.Tenants[i].Name < m1.Tenants[j].Name })
+	writeDiskManifest(t, p1, m1)
+	// Restoring into one shard folds both manifests together, so the repeat
+	// lands on a single shard and must refuse there.
+	cfg.Shards = 1
+	_, _, err := New(cfg)
+	if err == nil {
+		t.Fatal("restore accepted a tenant repeated across manifests")
+	}
+	if !strings.Contains(err.Error(), "repeats tenant") {
+		t.Fatalf("refusal does not name the repeat: %v", err)
+	}
+}
+
+// TestManifestRestoreRefusesMisroutedTenant pins the ring check: a tenant
+// listed in a shard the hash ring does not route it to refuses, because a
+// restored placement must agree with live routing.
+func TestManifestRestoreRefusesMisroutedTenant(t *testing.T) {
+	cfg, dir := checkpointedStateDir(t)
+	p0 := filepath.Join(dir, shardManifestName(0))
+	p1 := filepath.Join(dir, shardManifestName(1))
+	m0, m1 := readDiskManifest(t, p0), readDiskManifest(t, p1)
+	if len(m0.Tenants) == 0 || len(m1.Tenants) == 0 {
+		t.Fatal("fixture shard without tenants")
+	}
+	// Move one tenant's entry to the other shard's manifest: same chunk
+	// store, wrong placement.
+	moved := m1.Tenants[0]
+	m1.Tenants = m1.Tenants[1:]
+	m0.Tenants = append(m0.Tenants, moved)
+	sort.Slice(m0.Tenants, func(i, j int) bool { return m0.Tenants[i].Name < m0.Tenants[j].Name })
+	writeDiskManifest(t, p0, m0)
+	writeDiskManifest(t, p1, m1)
+	if _, _, err := New(cfg); err == nil {
+		t.Fatal("restore accepted a tenant on the wrong shard")
+	}
+}

@@ -4,8 +4,10 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"os"
 	"sort"
 
+	"rrsched/internal/ckptstore"
 	"rrsched/internal/obs"
 )
 
@@ -144,6 +146,20 @@ func (s *Service) Reshard(newShards int) (*ReshardResponse, error) {
 		sh.epoch = newEpoch
 		sh.nshards = newShards
 		sh.round = round
+		sh.store = s.store
+		if s.cfg.logMode() {
+			// A grown shard's log dir may hold stale segments from a previous
+			// incarnation at a higher shard count; start it clean.
+			dir := shardDecLogDir(s.cfg.StateDir, i)
+			if err := os.RemoveAll(dir); err != nil {
+				return nil, fmt.Errorf("serve: clearing decision log of grown shard %d: %w", i, err)
+			}
+			l, err := ckptstore.OpenDecLog(dir, 0)
+			if err != nil {
+				return nil, err
+			}
+			sh.declog = l
+		}
 		shards[i] = sh
 	}
 
@@ -322,8 +338,12 @@ func (s *Service) removeMoved(sh *shard, fresh bool, frames []migrationFrame) {
 // handlePlan serializes every tenant the target ring routes off this shard
 // into a migration frame: the tenant's checkpoint JSON wrapped in a binary
 // checkpoint frame addressed to its new shard. Recorded decision streams
-// travel with the tenant whenever recording is on, so /v1/decisions is
-// seamless across the move. Runs on the shard goroutine.
+// travel with the tenant whenever recording is on (in log mode as streaming
+// records riding the frame), so /v1/decisions is seamless across the move.
+// Clean chunk-backed residents and evicted stubs move as tiny chunk
+// references — the chunk store is shared across shards, so only the dirty
+// state pays serialization (and only it counts against the reshard budget).
+// Runs on the shard goroutine.
 func (sh *shard) handlePlan(cmd *planCmd) planResult {
 	var frames []migrationFrame
 	for _, name := range sh.order {
@@ -332,23 +352,30 @@ func (sh *shard) handlePlan(cmd *planCmd) planResult {
 			continue
 		}
 		tn := sh.tenants[name]
-		tcp, err := sh.checkpointTenant(tn, sh.cfg.RecordDecisions)
-		if err != nil {
+		var tcp tenantCheckpoint
+		if sh.store != nil && !tn.dirty && tn.chunk.ID != 0 {
+			tcp = tenantCheckpoint{
+				Name:  name,
+				Epoch: tn.epoch,
+				Chunk: ckptstore.FormatChunkID(tn.chunk.ID),
+				Chain: tn.chunk.Chain,
+			}
+			if tn.class != 0 || sh.classes[tn.class].Name != DefaultClass {
+				tcp.Class = sh.classes[tn.class].Name
+			}
+		} else {
+			full, err := sh.checkpointTenant(tn, sh.cfg.RecordDecisions && sh.declog == nil)
+			if err != nil {
+				return planResult{err: err}
+			}
+			tcp = full
+		}
+		if err := sh.attachLogDecisions(&tcp); err != nil {
 			return planResult{err: err}
 		}
-		data, err := json.Marshal(tcp)
+		enc, err := sh.encodeFrame(&tcp, cmd.newEpoch, target)
 		if err != nil {
-			return planResult{err: fmt.Errorf("serve: serializing tenant %q for migration: %w", name, err)}
-		}
-		enc, err := EncodeCheckpointFrame(&CheckpointFrame{
-			Worker: reshardWorker,
-			Shard:  target,
-			Epoch:  cmd.newEpoch,
-			Round:  sh.round,
-			Data:   data,
-		})
-		if err != nil {
-			return planResult{err: fmt.Errorf("serve: framing tenant %q for migration: %w", name, err)}
+			return planResult{err: err}
 		}
 		frames = append(frames, migrationFrame{
 			tenant: name,
@@ -357,7 +384,84 @@ func (sh *shard) handlePlan(cmd *planCmd) planResult {
 			data:   enc,
 		})
 	}
+	// Evicted stubs migrate too (sorted for deterministic plan order): their
+	// state already lives in the shared chunk store, so the frame is only the
+	// reference plus identity.
+	stubs := make([]string, 0, len(sh.evicted))
+	for name := range sh.evicted {
+		stubs = append(stubs, name)
+	}
+	sort.Strings(stubs)
+	for _, name := range stubs {
+		target := cmd.ring.ShardOf(name)
+		if target == sh.idx && sh.idx < cmd.nshards {
+			continue
+		}
+		stub := sh.evicted[name]
+		tcp := tenantCheckpoint{
+			Name:    name,
+			Epoch:   stub.epoch,
+			Evicted: true,
+			Chunk:   ckptstore.FormatChunkID(stub.chunk.ID),
+			Chain:   stub.chunk.Chain,
+		}
+		if stub.class != 0 || sh.classes[stub.class].Name != DefaultClass {
+			tcp.Class = sh.classes[stub.class].Name
+		}
+		if err := sh.attachLogDecisions(&tcp); err != nil {
+			return planResult{err: err}
+		}
+		enc, err := sh.encodeFrame(&tcp, cmd.newEpoch, target)
+		if err != nil {
+			return planResult{err: err}
+		}
+		frames = append(frames, migrationFrame{
+			tenant: name,
+			class:  sh.classes[stub.class].Name,
+			target: target,
+			data:   enc,
+		})
+	}
 	return planResult{frames: frames}
+}
+
+// attachLogDecisions copies a migrating tenant's streaming-log records onto
+// its frame, so the target shard can replay them into its own log.
+func (sh *shard) attachLogDecisions(tcp *tenantCheckpoint) error {
+	if sh.declog == nil {
+		return nil
+	}
+	if sh.declogErr != nil {
+		return fmt.Errorf("serve: shard %d decision log failed earlier: %w", sh.idx, sh.declogErr)
+	}
+	recs, err := sh.declog.ReadTenant(tcp.Name)
+	if err != nil {
+		return fmt.Errorf("serve: reading decision log of migrating tenant %q: %w", tcp.Name, err)
+	}
+	for _, rec := range recs {
+		tcp.LogDecisions = append(tcp.LogDecisions, logDecision{Round: rec.Round, Decision: rec.Payload})
+	}
+	return nil
+}
+
+// encodeFrame wraps one tenant checkpoint in a binary migration frame
+// addressed to its target shard under the new epoch.
+func (sh *shard) encodeFrame(tcp *tenantCheckpoint, newEpoch int64, target int) ([]byte, error) {
+	data, err := json.Marshal(tcp)
+	if err != nil {
+		return nil, fmt.Errorf("serve: serializing tenant %q for migration: %w", tcp.Name, err)
+	}
+	enc, err := EncodeCheckpointFrame(&CheckpointFrame{
+		Worker: reshardWorker,
+		Shard:  target,
+		Epoch:  newEpoch,
+		Round:  sh.round,
+		Data:   data,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("serve: framing tenant %q for migration: %w", tcp.Name, err)
+	}
+	return enc, nil
 }
 
 // adoptFrames restores migration frames onto this shard: the inject half of
@@ -385,14 +489,83 @@ func (sh *shard) adoptFrames(frames []migrationFrame) error {
 		if _, dup := sh.tenants[tcp.Name]; dup {
 			return fmt.Errorf("serve: migration repeats tenant %q on shard %d", tcp.Name, sh.idx)
 		}
-		tn, err := sh.buildTenant(&tcp, cf.Round)
-		if err != nil {
-			return err
+		if _, dup := sh.evicted[tcp.Name]; dup {
+			return fmt.Errorf("serve: migration repeats tenant %q on shard %d", tcp.Name, sh.idx)
 		}
-		sh.adoptTenant(tn)
+		if tcp.Chunk != "" {
+			if err := sh.adoptChunkFrame(&tcp, cf.Round); err != nil {
+				return err
+			}
+		} else {
+			tn, err := sh.buildTenant(&tcp, cf.Round)
+			if err != nil {
+				return err
+			}
+			sh.adoptTenant(tn)
+		}
+		if len(tcp.LogDecisions) > 0 {
+			if sh.declog == nil {
+				return fmt.Errorf("serve: migrated tenant %q carries log decisions, shard %d has no decision log", tcp.Name, sh.idx)
+			}
+			for _, ld := range tcp.LogDecisions {
+				if err := sh.declog.Append(tcp.Name, ld.Round, ld.Decision); err != nil {
+					return fmt.Errorf("serve: replaying decision log of migrated tenant %q: %w", tcp.Name, err)
+				}
+			}
+		}
 	}
 	sort.Strings(sh.order)
 	sh.setStateGauges()
+	sh.setPagingGauges()
+	return nil
+}
+
+// adoptChunkFrame restores one chunk-reference migration frame: an evicted
+// stub stays a stub (the chunk store is shared, nothing to copy), a clean
+// resident is resolved from its chunk.
+func (sh *shard) adoptChunkFrame(tcp *tenantCheckpoint, round int64) error {
+	if sh.store == nil {
+		return fmt.Errorf("serve: migrated tenant %q is chunk-backed, shard %d has no chunk store", tcp.Name, sh.idx)
+	}
+	ref, err := ckptstore.TenantRef{Name: tcp.Name, Chunk: tcp.Chunk, Chain: tcp.Chain}.Ref()
+	if err != nil {
+		return fmt.Errorf("serve: migrated tenant %q: %w", tcp.Name, err)
+	}
+	if tcp.Evicted {
+		class, ok := sh.restoreClass(tcp.Class)
+		if !ok {
+			return fmt.Errorf("serve: migrated tenant %q has unknown class %q", tcp.Name, tcp.Class)
+		}
+		if !sh.store.Has(ref.ID) {
+			return fmt.Errorf("serve: migrated tenant %q references missing chunk %s", tcp.Name, tcp.Chunk)
+		}
+		if tcp.Epoch < 0 || tcp.Epoch > round {
+			return fmt.Errorf("serve: migrated tenant %q has epoch %d outside [0, %d]", tcp.Name, tcp.Epoch, round)
+		}
+		sh.evicted[tcp.Name] = evictedStub{chunk: ref, epoch: tcp.Epoch, class: class}
+		return nil
+	}
+	payload, _, err := sh.store.Resolve(ref.ID)
+	if err != nil {
+		return fmt.Errorf("serve: resolving migrated tenant %q: %w", tcp.Name, err)
+	}
+	var tchunk tenantChunkPayload
+	if err := json.Unmarshal(payload, &tchunk); err != nil {
+		return fmt.Errorf("serve: decoding chunk of migrated tenant %q: %w", tcp.Name, err)
+	}
+	if tchunk.Tenant.Name != tcp.Name {
+		return fmt.Errorf("serve: tenant %q chunk holds tenant %q", tcp.Name, tchunk.Tenant.Name)
+	}
+	if tchunk.Round < 0 || tchunk.Round > round {
+		return fmt.Errorf("serve: tenant %q chunk round %d outside [0, %d]", tcp.Name, tchunk.Round, round)
+	}
+	tn, err := sh.buildTenant(&tchunk.Tenant, tchunk.Round)
+	if err != nil {
+		return err
+	}
+	tn.chunk = ref
+	tn.lastActive = round
+	sh.adoptTenant(tn)
 	return nil
 }
 
@@ -403,9 +576,18 @@ func (sh *shard) handleRemove(names []string) {
 	for _, name := range names {
 		tn := sh.tenants[name]
 		if tn == nil {
+			if _, ok := sh.evicted[name]; ok {
+				// A migrated stub: its state lives in the shared chunk store and
+				// now belongs to the target shard.
+				delete(sh.evicted, name)
+				sh.setPagingGauges()
+			}
 			continue
 		}
 		drop[name] = true
+		if tn.dirty {
+			sh.clearDirty(tn)
+		}
 		delete(sh.tenants, name)
 		sh.backlog -= len(tn.queued)
 		sh.classBacklog[tn.class] -= len(tn.queued)

@@ -8,6 +8,8 @@ import (
 	"os"
 	"path/filepath"
 	"testing"
+
+	"rrsched/internal/ckptstore"
 )
 
 // checkpointedStateDir produces a valid two-shard drain checkpoint to mangle.
@@ -40,7 +42,7 @@ func checkpointedStateDir(t *testing.T) (Config, string) {
 // silently missing tenants.
 func TestRestoreRejectsTruncatedFile(t *testing.T) {
 	cfg, dir := checkpointedStateDir(t)
-	path := filepath.Join(dir, "shard-0000.json")
+	path := filepath.Join(dir, "manifest-0000.json")
 	data, err := os.ReadFile(path)
 	if err != nil {
 		t.Fatalf("read: %v", err)
@@ -57,14 +59,14 @@ func TestRestoreRejectsTruncatedFile(t *testing.T) {
 // version is refused: the schema string is the compatibility contract.
 func TestRestoreRejectsSchemaSkew(t *testing.T) {
 	cfg, dir := checkpointedStateDir(t)
-	path := filepath.Join(dir, "shard-0000.json")
+	path := filepath.Join(dir, "manifest-0000.json")
 	data, err := os.ReadFile(path)
 	if err != nil {
 		t.Fatalf("read: %v", err)
 	}
-	skewed := bytes.Replace(data, []byte(StateSchema), []byte("rrserve-state/v0"), 1)
+	skewed := bytes.Replace(data, []byte(ckptstore.ManifestSchema), []byte("rrckpt/v0"), 1)
 	if bytes.Equal(skewed, data) {
-		t.Fatal("schema string not found in checkpoint")
+		t.Fatal("schema string not found in manifest")
 	}
 	if err := os.WriteFile(path, skewed, 0o644); err != nil {
 		t.Fatalf("write: %v", err)
@@ -73,7 +75,7 @@ func TestRestoreRejectsSchemaSkew(t *testing.T) {
 	if err == nil {
 		t.Fatal("restore accepted a schema skew")
 	}
-	if want := "rrserve-state/v0"; !bytes.Contains([]byte(err.Error()), []byte(want)) {
+	if want := "rrckpt/v0"; !bytes.Contains([]byte(err.Error()), []byte(want)) {
 		t.Fatalf("skew error does not name the offending schema: %v", err)
 	}
 }

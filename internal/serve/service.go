@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"rrsched/internal/atomicio"
+	"rrsched/internal/ckptstore"
 	"rrsched/internal/obs"
 )
 
@@ -39,10 +40,31 @@ type Config struct {
 	// and serves it at /v1/decisions. Meant for determinism testing and
 	// debugging, not production traffic (memory grows with the run).
 	RecordDecisions bool
-	// StateDir is where Checkpoint writes per-shard state files and where
-	// New looks for a previous incarnation's files to restore. Empty
-	// disables durability.
+	// StateDir is where Checkpoint writes per-shard state and where New looks
+	// for a previous incarnation's files to restore. Empty disables
+	// durability. Checkpoints are incremental: tenant state lives in a
+	// content-addressed chunk store (StateDir/chunks) referenced from small
+	// per-shard manifests, so a cut pays bytes only for tenants that changed
+	// since the last one. Legacy full-state checkpoint sets (shard-*.json)
+	// restore unchanged.
 	StateDir string
+	// EvictAfter pages quiescent tenants out of memory: a tenant with no
+	// queued or inflight work whose last activity is at least EvictAfter
+	// rounds old is serialized into the chunk store and dropped from the
+	// shard, then transparently faulted back in on its next submission.
+	// Requires StateDir (the chunk store is the backing store); zero
+	// disables eviction.
+	EvictAfter int64
+	// MaxChunkChain bounds checkpoint delta chains: the chain-length at which
+	// a tenant's next delta cut is folded back into a full chunk. Zero
+	// selects ckptstore.DefaultMaxChain.
+	MaxChunkChain int
+	// CheckpointBundles switches OnShardCheckpoint payloads from flat
+	// checkpoint JSON to incremental checkpoint bundles (manifest plus the
+	// chunks the receiver has not acknowledged), so steady-state pushes carry
+	// only dirty tenants' deltas. Hosted mode only; the dispatcher sniffs the
+	// payload and flattens bundles back to checkpoint JSON.
+	CheckpointBundles bool
 	// Hosted switches the service into hosted-shard mode, the worker side of
 	// the dispatcher/worker tier: shards start closed and are opened and
 	// closed per lease (OpenShard/CloseShard), submissions to closed shards
@@ -154,6 +176,18 @@ func (cfg Config) validate() error {
 	if cfg.CheckpointDecisions && !cfg.RecordDecisions {
 		return fmt.Errorf("serve: CheckpointDecisions requires RecordDecisions")
 	}
+	if cfg.EvictAfter < 0 {
+		return fmt.Errorf("serve: negative evict-after %d", cfg.EvictAfter)
+	}
+	if cfg.EvictAfter > 0 && cfg.StateDir == "" {
+		return fmt.Errorf("serve: EvictAfter requires a state dir (evicted tenants page out to the chunk store)")
+	}
+	if cfg.MaxChunkChain < 0 {
+		return fmt.Errorf("serve: negative max chunk chain %d", cfg.MaxChunkChain)
+	}
+	if cfg.CheckpointBundles && !cfg.Hosted {
+		return fmt.Errorf("serve: CheckpointBundles requires hosted mode")
+	}
 	if cfg.ReshardBudget < 0 {
 		return fmt.Errorf("serve: negative reshard budget %d", cfg.ReshardBudget)
 	}
@@ -205,6 +239,12 @@ type Service struct {
 
 	met    *serviceMetrics
 	bootNs int64 // obs.Now at construction, for uptime reporting
+
+	// store is the content-addressed chunk store backing incremental
+	// checkpoints and cold-tenant paging (nil when StateDir is empty). One
+	// store serves every shard: chunks are immutable, so sharing the
+	// directory is what makes reshard migration reference-only.
+	store *ckptstore.Store
 }
 
 // placement is one immutable epoch of the shard↔tenant mapping. A reshard
@@ -293,6 +333,13 @@ func New(cfg Config) (svc *Service, restored int, err error) {
 	}
 	s.pl.Store(pl)
 	if cfg.StateDir != "" {
+		s.store, err = ckptstore.Open(filepath.Join(cfg.StateDir, "chunks"), cfg.MaxChunkChain)
+		if err != nil {
+			return nil, 0, err
+		}
+		for _, sh := range pl.shards {
+			sh.store = s.store
+		}
 		restored, err = s.restore(pl)
 		if err != nil {
 			return nil, 0, err
@@ -304,13 +351,45 @@ func New(cfg Config) (svc *Service, restored int, err error) {
 	return s, restored, nil
 }
 
-// restore loads per-shard checkpoint files from cfg.StateDir, if present.
+// logMode reports whether decision history streams to per-shard decision
+// logs instead of resident memory: durable classic services with recording
+// on. Hosted services keep memory recording (their history travels inside
+// checkpoints).
+func (cfg Config) logMode() bool {
+	return cfg.StateDir != "" && cfg.RecordDecisions && !cfg.Hosted
+}
+
+// restore loads a previous incarnation's state from cfg.StateDir, if present.
+// Incremental manifests (manifest-*.json referencing the chunk store) take
+// precedence; a state dir holding only legacy full-state files (shard-*.json)
+// restores through the unchanged legacy path. In log mode the per-shard
+// decision logs are then opened and rolled back to the restored round.
+func (s *Service) restore(pl *placement) (int, error) {
+	restored, resharded, found, err := s.restoreManifests(pl)
+	if err != nil {
+		return 0, err
+	}
+	if !found {
+		restored, err = s.restoreLegacy(pl)
+		if err != nil {
+			return 0, err
+		}
+	}
+	if s.cfg.logMode() {
+		if err := s.setupDecLogs(pl, resharded, !found); err != nil {
+			return 0, err
+		}
+	}
+	return restored, nil
+}
+
+// restoreLegacy loads per-shard full-state checkpoint files, if present.
 // Either the full checkpoint set exists or none of it: a partial state dir
 // means a failed or foreign checkpoint, and resuming from it would silently
 // lose tenants. The set's own shards count is authoritative — when it
 // differs from the current configuration, ReshardCheckpoints re-routes every
 // tenant through the current ring under a bumped placement epoch.
-func (s *Service) restore(pl *placement) (int, error) {
+func (s *Service) restoreLegacy(pl *placement) (int, error) {
 	files, err := filepath.Glob(filepath.Join(s.cfg.StateDir, "shard-*.json"))
 	if err != nil {
 		return 0, fmt.Errorf("serve: probing state dir: %w", err)
@@ -377,8 +456,16 @@ func (s *Service) restore(pl *placement) (int, error) {
 	return restored, nil
 }
 
-func (s *Service) shardStatePath(i int) string {
-	return filepath.Join(s.cfg.StateDir, fmt.Sprintf("shard-%04d.json", i))
+// shardManifestPath is one shard's incremental checkpoint manifest. The name
+// deliberately does not match the legacy shard-*.json glob, so the two
+// formats coexist in one state dir without confusing either restore path.
+func (s *Service) shardManifestPath(i int) string {
+	return filepath.Join(s.cfg.StateDir, fmt.Sprintf("manifest-%04d.json", i))
+}
+
+// shardDecLogDir is one shard's decision-log directory.
+func shardDecLogDir(stateDir string, i int) string {
+	return filepath.Join(stateDir, "declog", fmt.Sprintf("shard-%04d", i))
 }
 
 // Round returns the next global round.
@@ -520,7 +607,7 @@ func (s *Service) TickShard(shard, n int) (int64, error) {
 	}
 	reply := make(chan selfTickResult, 1)
 	pl.shards[shard].ch <- shardCmd{selfTick: &selfTickCmd{n: n, reply: reply}} //lint:ignore lockcheck tickMu is the round barrier, and shard goroutines drain their channels unconditionally until Close
-	res := <-reply //lint:ignore lockcheck the shard goroutine always answers a selfTick on the buffered reply channel
+	res := <-reply                                                              //lint:ignore lockcheck the shard goroutine always answers a selfTick on the buffered reply channel
 	if res.err != nil {
 		return res.round, res.err
 	}
@@ -627,9 +714,14 @@ func (s *Service) BeginDrain() {
 	s.tickMu.Unlock()
 }
 
-// Checkpoint writes every shard's state to cfg.StateDir (one file per shard,
-// written atomically via rename). Call after BeginDrain and after the HTTP
-// server has stopped delivering submissions.
+// Checkpoint cuts an incremental checkpoint: every shard serializes only its
+// dirty tenants into the content-addressed chunk store and commits a small
+// manifest (written atomically via rename). Clean tenants reuse their prior
+// chunk references and evicted tenants commit as stubs, so a steady-state cut
+// costs bytes proportional to what changed, not to the tenant population.
+// After the manifests commit, legacy full-state files and orphan chunks (the
+// strandings of any earlier crash) are removed. Safe to call live: the round
+// barrier is held for the whole cut, so it lands exactly between rounds.
 func (s *Service) Checkpoint() error {
 	if s.cfg.StateDir == "" {
 		return fmt.Errorf("serve: no state dir configured")
@@ -637,28 +729,40 @@ func (s *Service) Checkpoint() error {
 	if err := os.MkdirAll(s.cfg.StateDir, 0o755); err != nil {
 		return fmt.Errorf("serve: creating state dir: %w", err)
 	}
+	// Hold the round barrier: no tick (and so no tick-time eviction chunk
+	// write) can interleave between the manifest commits and the orphan GC.
+	s.tickMu.Lock()
+	defer s.tickMu.Unlock()
 	pl := s.pl.Load()
+	var roots []uint64
 	for i, sh := range pl.shards {
-		reply := make(chan snapshotResult, 1)
-		sh.ch <- shardCmd{snapshot: &snapshotCmd{reply: reply}}
-		res := <-reply
+		reply := make(chan cutResult, 1)
+		sh.ch <- shardCmd{cut: &cutCmd{reply: reply}} //lint:ignore lockcheck tickMu is the round barrier, and shard goroutines drain their channels unconditionally until Close
+		res := <-reply                                //lint:ignore lockcheck the shard goroutine always answers a cut on the buffered reply channel
 		if res.err != nil {
 			return res.err
 		}
-		if err := atomicio.WriteFile(s.shardStatePath(i), res.data, 0o644); err != nil {
-			return fmt.Errorf("serve: writing shard %d state: %w", i, err)
+		if err := atomicio.WriteFile(s.shardManifestPath(i), res.manifest, 0o644); err != nil {
+			return fmt.Errorf("serve: writing shard %d manifest: %w", i, err)
 		}
+		roots = append(roots, res.roots...)
 	}
-	// A merge shrank the pool below a previous incarnation's count: remove
-	// the stale higher-index files so the next boot sees exactly this set.
-	stale, err := filepath.Glob(filepath.Join(s.cfg.StateDir, "shard-*.json"))
+	// The manifests are committed; everything else in the state dir is now
+	// redundant. Remove legacy full-state files (this incarnation's restores
+	// go through the manifests), manifests of shards a merge removed, and
+	// decision-log dirs beyond the current pool.
+	legacy, err := filepath.Glob(filepath.Join(s.cfg.StateDir, "shard-*.json"))
 	if err != nil {
 		return fmt.Errorf("serve: probing state dir: %w", err)
 	}
-	for _, f := range stale {
+	stale, err := filepath.Glob(filepath.Join(s.cfg.StateDir, "manifest-*.json"))
+	if err != nil {
+		return fmt.Errorf("serve: probing state dir: %w", err)
+	}
+	for _, f := range append(legacy, stale...) {
 		keep := false
 		for i := range pl.shards {
-			if f == s.shardStatePath(i) {
+			if f == s.shardManifestPath(i) {
 				keep = true
 				break
 			}
@@ -666,6 +770,40 @@ func (s *Service) Checkpoint() error {
 		if !keep {
 			if err := os.Remove(f); err != nil {
 				return fmt.Errorf("serve: removing stale state file %s: %w", f, err)
+			}
+		}
+	}
+	if err := s.removeStaleDecLogs(len(pl.shards)); err != nil {
+		return err
+	}
+	// Orphan GC: chunks outside the closure of the committed manifests can
+	// never be read again (a crash between a chunk write and a manifest
+	// rename strands exactly such chunks).
+	if _, err := s.store.GC(roots); err != nil {
+		return fmt.Errorf("serve: collecting orphan chunks: %w", err)
+	}
+	return nil
+}
+
+// removeStaleDecLogs drops decision-log directories of shards beyond the
+// current pool (left behind by a merge).
+func (s *Service) removeStaleDecLogs(shards int) error {
+	root := filepath.Join(s.cfg.StateDir, "declog")
+	entries, err := os.ReadDir(root)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil
+		}
+		return fmt.Errorf("serve: probing decision log dir: %w", err)
+	}
+	for _, e := range entries {
+		var i int
+		if n, err := fmt.Sscanf(e.Name(), "shard-%d", &i); err != nil || n != 1 {
+			continue
+		}
+		if i >= shards {
+			if err := os.RemoveAll(filepath.Join(root, e.Name())); err != nil {
+				return fmt.Errorf("serve: removing stale decision log %s: %w", e.Name(), err)
 			}
 		}
 	}
@@ -706,6 +844,7 @@ func (s *Service) Stats() *StatsResponse {
 		UptimeNs: obs.Now() - s.bootNs,
 		Epoch:    pl.epoch,
 		Reshards: s.met.reshards.Value(),
+		RSSBytes: obs.RSSBytes(),
 	}
 	classAgg := map[string]*ClassStats{}
 	var classOrder []string
@@ -767,6 +906,10 @@ type StatsResponse struct {
 	// and Reshards the number of reshards this process has performed.
 	Epoch    int64 `json:"epoch"`
 	Reshards int64 `json:"reshards"`
+	// RSSBytes is the process's resident set size when the stats were
+	// assembled (0 when the platform does not expose it). It is what the
+	// cold-tenant paging work bounds, so it rides the stats response.
+	RSSBytes int64 `json:"rss_bytes,omitempty"`
 
 	Totals   ShardStats   `json:"totals"`
 	PerShard []ShardStats `json:"per_shard"`

@@ -7,6 +7,7 @@ import (
 	"sort"
 	"sync"
 
+	"rrsched/internal/ckptstore"
 	"rrsched/internal/model"
 	"rrsched/internal/obs"
 	"rrsched/internal/stream"
@@ -46,6 +47,19 @@ type tenant struct {
 	// tenant binds its class on first submit and keeps it for life (including
 	// across checkpoints and migrations).
 	class int
+	// dirty marks state changes since the tenant's last chunk write: admitted
+	// jobs, pushed jobs, or a non-trivial decision. Clean tenants are skipped
+	// by delta checkpoints (their chunk is re-referenced) and are eligible for
+	// eviction. Trivial decisions on an idle tenant do NOT dirty it — the
+	// restore path reconstructs them exactly by fast-forwarding.
+	dirty bool
+	// lastActive is the global round after the tenant last did anything
+	// (admission or a non-empty push/decision); eviction triggers on
+	// round - lastActive.
+	lastActive int64
+	// chunk is the content-addressed chunk holding the tenant's last cut
+	// state (zero Ref before the first cut after a change).
+	chunk ckptstore.Ref
 }
 
 type jobMeta struct {
@@ -59,6 +73,7 @@ type shardMetrics struct {
 	reg  *obs.Registry
 	sm   *obs.SchedulerMetrics
 	wire *obs.WireMetrics
+	ckm  *obs.CkptMetrics
 
 	accepted *obs.Counter // jobs admitted
 	rejected *obs.Counter // jobs refused with 429 (watermark)
@@ -93,6 +108,9 @@ func newShardMetrics() (*shardMetrics, error) {
 		return nil, err
 	}
 	if m.wire, err = obs.NewWireMetrics(m.reg); err != nil {
+		return nil, err
+	}
+	if m.ckm, err = obs.NewCkptMetrics(m.reg); err != nil {
 		return nil, err
 	}
 	if m.accepted, err = m.reg.Counter(MetricAccepted); err != nil {
@@ -162,6 +180,22 @@ type shard struct {
 	classIdx     map[string]int
 	classShare   []int
 	classBacklog []int
+
+	// Incremental checkpoint state. store is the durable on-disk chunk store
+	// (classic service with a StateDir); pool/acked/lastClosure implement the
+	// hosted bundle protocol (Config.CheckpointBundles). declog is the shard's
+	// streaming decision log in log mode; an append failure is stashed in
+	// declogErr and surfaced at the next cut or decisions read. evicted holds
+	// stubs for cold tenants paged out to the chunk store; dirtyCount counts
+	// resident tenants with dirty set.
+	store       *ckptstore.Store
+	declog      *ckptstore.DecLog
+	declogErr   error
+	evicted     map[string]evictedStub
+	dirtyCount  int
+	pool        *ckptstore.MemStore
+	acked       map[uint64]bool
+	lastClosure map[uint64]bool
 }
 
 // statusWrongPlacement is the internal submitResult status for a command
@@ -185,6 +219,7 @@ type shardCmd struct {
 	plan      *planCmd
 	remove    *removeCmd
 	inject    *injectCmd
+	cut       *cutCmd
 }
 
 type submitCmd struct {
@@ -337,6 +372,7 @@ func newShard(idx int, cfg Config) (*shard, error) {
 		// Hosted shards stay closed until a lease arrives (OpenShard).
 		open:         !cfg.Hosted,
 		tenants:      map[string]*tenant{},
+		evicted:      map[string]evictedStub{},
 		nshards:      cfg.Shards,
 		classes:      classes,
 		classIdx:     classIdx,
@@ -367,6 +403,7 @@ func (sh *shard) stop() {
 // channel order either way, so determinism is untouched.
 func (sh *shard) run() {
 	defer sh.wg.Done()
+	defer sh.closeDecLog()
 	for {
 		cmd, ok := <-sh.ch
 		if !ok {
@@ -431,6 +468,8 @@ func (sh *shard) handleCmd(cmd shardCmd) {
 		cmd.remove.reply <- struct{}{}
 	case cmd.inject != nil:
 		cmd.inject.reply <- sh.adoptFrames(cmd.inject.frames)
+	case cmd.cut != nil:
+		cmd.cut.reply <- sh.handleCut()
 	}
 }
 
@@ -446,14 +485,8 @@ func (sh *shard) handleSelfTick(n int) selfTickResult {
 	for i := 0; i < n; i++ {
 		sh.handleTick(sh.round)
 	}
-	if sh.cfg.OnShardCheckpoint != nil {
-		data, err := sh.checkpoint()
-		if err != nil {
-			return selfTickResult{round: sh.round, err: err}
-		}
-		if err := sh.cfg.OnShardCheckpoint(sh.idx, sh.round, data); err != nil {
-			return selfTickResult{round: sh.round, err: fmt.Errorf("serve: shard %d checkpoint hook: %w", sh.idx, err)}
-		}
+	if err := sh.offerCheckpoint(); err != nil {
+		return selfTickResult{round: sh.round, err: err}
 	}
 	return selfTickResult{round: sh.round}
 }
@@ -465,14 +498,8 @@ func (sh *shard) handleSync() selfTickResult {
 	if !sh.open {
 		return selfTickResult{round: sh.round, err: fmt.Errorf("serve: shard %d: %w", sh.idx, errShardClosed)}
 	}
-	if sh.cfg.OnShardCheckpoint != nil {
-		data, err := sh.checkpoint()
-		if err != nil {
-			return selfTickResult{round: sh.round, err: err}
-		}
-		if err := sh.cfg.OnShardCheckpoint(sh.idx, sh.round, data); err != nil {
-			return selfTickResult{round: sh.round, err: fmt.Errorf("serve: shard %d checkpoint hook: %w", sh.idx, err)}
-		}
+	if err := sh.offerCheckpoint(); err != nil {
+		return selfTickResult{round: sh.round, err: err}
 	}
 	return selfTickResult{round: sh.round}
 }
@@ -519,9 +546,16 @@ func (sh *shard) clear() {
 	sh.backlog = 0
 	sh.inflight = 0
 	sh.classBacklog = make([]int, len(sh.classes))
+	sh.evicted = map[string]evictedStub{}
+	sh.dirtyCount = 0
+	sh.pool = nil
+	sh.acked = nil
+	sh.lastClosure = nil
 	sh.met.tenants.Set(0)
 	sh.met.backlog.Set(0)
 	sh.met.sm.QueueDepth.Set(0)
+	sh.met.ckm.DirtyTenants.Set(0)
+	sh.setPagingGauges()
 }
 
 // handleSubmit admits or rejects one batch. Admission is all-or-nothing:
@@ -549,6 +583,18 @@ func (sh *shard) handleSubmit(req *SubmitRequest, epoch int64) submitResult {
 		}
 	}
 	tn := sh.tenants[req.Tenant]
+	if tn == nil && len(sh.evicted) > 0 {
+		var err error
+		if tn, err = sh.faultIn(req.Tenant); err != nil {
+			sh.met.refused.Add(int64(n))
+			return submitResult{
+				status:  http.StatusInternalServerError,
+				err:     fmt.Sprintf("faulting in tenant %q: %v", req.Tenant, err),
+				round:   sh.round,
+				backlog: sh.backlog,
+			}
+		}
+	}
 	// Resolve the batch's tenant class before any admission decision, so an
 	// unknown or conflicting class is a 400 regardless of backlog pressure.
 	class, ok := sh.resolveClass(tn, req.Class)
@@ -684,6 +730,8 @@ func (sh *shard) handleSubmit(req *SubmitRequest, epoch int64) submitResult {
 		tn.queued = append(tn.queued, model.Job{ID: j.ID, Color: model.Color(j.Color), Delay: j.Delay})
 	}
 	tn.maxID = req.Jobs[n-1].ID
+	sh.markDirty(tn)
+	tn.lastActive = sh.round
 	sh.backlog += n
 	sh.classBacklog[tn.class] += n
 	sh.met.backlog.Set(int64(sh.backlog))
@@ -743,13 +791,21 @@ func (sh *shard) handleTick(round int64) {
 			tn.inflight[j.ID] = jobMeta{Color: j.Color, Arrival: local}
 		}
 		sh.observeDecision(tn, dec)
+		if len(jobs) > 0 || len(dec.Reconfigs)+len(dec.Executions)+len(dec.Dropped) > 0 {
+			// Pushed jobs or a non-trivial decision changed scheduler state; a
+			// trivial decision on an idle tenant did not (the restore path
+			// fast-forwards through trivial rounds, reconstructing it exactly).
+			sh.markDirty(tn)
+			tn.lastActive = round + 1
+		}
 		if sh.cfg.RecordDecisions {
-			tn.decisions = append(tn.decisions, dec)
+			sh.recordDecision(tn, dec)
 		}
 	}
 	sh.round = round + 1
 	sh.met.sm.Rounds.Inc()
 	sh.met.backlog.Set(int64(sh.backlog))
+	sh.maybeEvict()
 }
 
 // observeDecision folds one round's decision into the shard metrics and
@@ -788,6 +844,9 @@ func (sh *shard) handleDecisions(name string, epoch int64) decisionsResult {
 	}
 	if !sh.cfg.RecordDecisions {
 		return decisionsResult{status: http.StatusNotFound, err: "decision recording is disabled (start the service with record-decisions)"}
+	}
+	if sh.declog != nil {
+		return sh.decisionsFromLog(name)
 	}
 	tn := sh.tenants[name]
 	if tn == nil {
@@ -829,6 +888,8 @@ func (sh *shard) stats() ShardStats {
 	s.ReconfigCost = sh.met.sm.ReconfigCost.Value()
 	s.Inflight = sh.inflight
 	s.PlacementEpoch = sh.epoch
+	s.Evicted = len(sh.evicted)
+	s.Dirty = sh.dirtyCount
 	s.Classes = make([]ClassStats, len(sh.classes))
 	for i, c := range sh.classes {
 		s.Classes[i] = ClassStats{
@@ -861,6 +922,10 @@ type ShardStats struct {
 	Dropped      int64 `json:"dropped"`
 	Reconfigs    int64 `json:"reconfigs"`
 	ReconfigCost int64 `json:"reconfig_cost"`
+	// Evicted counts cold tenants paged out to the chunk store (Tenants counts
+	// residents only); Dirty counts residents changed since their last chunk.
+	Evicted int `json:"evicted,omitempty"`
+	Dirty   int `json:"dirty,omitempty"`
 	// PlacementEpoch is the placement epoch the shard serves under; zero
 	// until the first reshard.
 	PlacementEpoch int64 `json:"placement_epoch,omitempty"`
@@ -885,6 +950,8 @@ type ClassStats struct {
 // add accumulates o into s for the service-level totals row.
 func (s *ShardStats) add(o ShardStats) {
 	s.Tenants += o.Tenants
+	s.Evicted += o.Evicted
+	s.Dirty += o.Dirty
 	s.Backlog += o.Backlog
 	s.Inflight += o.Inflight
 	s.Accepted += o.Accepted

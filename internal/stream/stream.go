@@ -98,6 +98,11 @@ func New(cfg Config) (*Scheduler, error) {
 // Cost returns the cost accumulated so far.
 func (s *Scheduler) Cost() model.Cost { return s.cost }
 
+// Round returns the next round the scheduler will process. Push to any round
+// at or past it fast-forwards the gap, which is what lets a scheduler restored
+// from an older checkpoint catch up without an explicit replay loop.
+func (s *Scheduler) Round() int64 { return s.round }
+
 // Executed returns the number of jobs executed so far.
 func (s *Scheduler) Executed() int { return s.executed }
 
